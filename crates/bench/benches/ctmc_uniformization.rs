@@ -1,0 +1,41 @@
+//! Cost of exact CTMC analysis (uniformization and stationary solution) on
+//! the finite bike-sharing chain, as a function of the station capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_ctmc::finite::{ExpansionOptions, FiniteChain};
+use mfu_models::bike::BikeStationModel;
+use std::hint::black_box;
+
+fn bench_uniformization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc_bike_station");
+    group.sample_size(20);
+    let bike = BikeStationModel::symmetric();
+    let model = bike.population_model().unwrap();
+
+    for &racks in &[20usize, 100, 400] {
+        let chain = FiniteChain::expand(
+            &model,
+            racks,
+            &bike.initial_counts(racks),
+            &[1.0, 1.0],
+            &ExpansionOptions::default(),
+        )
+        .unwrap();
+        let initial = chain.initial_distribution();
+        group.bench_function(format!("transient_T5_racks{racks}"), |b| {
+            b.iter(|| {
+                chain
+                    .generator()
+                    .transient_distribution(black_box(&initial), 5.0, 1e-9)
+                    .unwrap()
+            })
+        });
+        group.bench_function(format!("stationary_racks{racks}"), |b| {
+            b.iter(|| chain.generator().stationary_distribution(1e-10, 1_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniformization);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Cost of the differential-hull over-approximation (Figures 4 and 5), as a
+//! function of the state dimension (SIR: 2, GPS MAP: 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_core::hull::{DifferentialHull, HullOptions};
+use mfu_models::gps::GpsModel;
+use mfu_models::sir::SirModel;
+use std::hint::black_box;
+
+fn bench_hull(c: &mut Criterion) {
+    let mut group = c.benchmark_group("differential_hull");
+    group.sample_size(10);
+
+    group.bench_function("sir_2d_T10", |b| {
+        let sir = SirModel::paper_with_contact_max(2.0);
+        let drift = sir.reduced_drift();
+        let x0 = sir.reduced_initial_state();
+        let hull = DifferentialHull::new(
+            &drift,
+            HullOptions { step: 1e-2, time_intervals: 50, ..Default::default() },
+        );
+        b.iter(|| hull.bounds(black_box(&x0), 10.0).unwrap())
+    });
+
+    group.bench_function("gps_map_4d_T5", |b| {
+        let gps = GpsModel::paper();
+        let drift = gps.map_drift();
+        let x0 = gps.map_initial_state();
+        let hull = DifferentialHull::new(
+            &drift,
+            HullOptions { step: 1e-2, time_intervals: 50, clamp: Some((0.0, 1.0)), ..Default::default() },
+        );
+        b.iter(|| hull.bounds(black_box(&x0), 5.0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hull);
+criterion_main!(benches);

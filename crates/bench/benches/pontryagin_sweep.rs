@@ -1,0 +1,37 @@
+//! Cost of the Pontryagin forward–backward sweep (the workhorse of the
+//! transient bounds of Figures 1, 2, 4 and 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mfu_models::gps::GpsModel;
+use mfu_models::sir::SirModel;
+use std::hint::black_box;
+
+fn bench_pontryagin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pontryagin_sweep");
+    group.sample_size(10);
+
+    for &grid in &[100usize, 400] {
+        group.bench_function(format!("sir_maximize_xI_T3_grid{grid}"), |b| {
+            let sir = SirModel::paper();
+            let drift = sir.reduced_drift();
+            let x0 = sir.reduced_initial_state();
+            let solver =
+                PontryaginSolver::new(PontryaginOptions { grid_intervals: grid, ..Default::default() });
+            b.iter(|| solver.maximize_coordinate(&drift, black_box(&x0), 3.0, 1).unwrap())
+        });
+    }
+
+    group.bench_function("gps_map_maximize_Q2_T5_grid150", |b| {
+        let gps = GpsModel::paper();
+        let drift = gps.map_drift();
+        let x0 = gps.map_initial_state();
+        let solver =
+            PontryaginSolver::new(PontryaginOptions { grid_intervals: 150, ..Default::default() });
+        b.iter(|| solver.maximize_coordinate(&drift, black_box(&x0), 5.0, 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pontryagin);
+criterion_main!(benches);

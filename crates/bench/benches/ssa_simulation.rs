@@ -1,0 +1,50 @@
+//! Cost of exact stochastic simulation of the SIR population process as a
+//! function of the population size (the finite-`N` side of Figure 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_models::sir::SirModel;
+use mfu_sim::gillespie::{SimulationOptions, Simulator};
+use mfu_sim::policy::{ConstantPolicy, HysteresisPolicy};
+use std::hint::black_box;
+
+fn bench_ssa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_sir");
+    group.sample_size(10);
+    let sir = SirModel::paper();
+    let model = sir.population_model().unwrap();
+
+    for &scale in &[100usize, 1000, 10000] {
+        group.bench_function(format!("constant_theta_N{scale}_T10"), |b| {
+            let simulator = Simulator::new(model.clone(), scale).unwrap();
+            let counts = sir.initial_counts(scale);
+            let options = SimulationOptions::new(10.0).record_stride(64);
+            b.iter(|| {
+                let mut policy = ConstantPolicy::new(vec![5.0]);
+                simulator.simulate(black_box(&counts), &mut policy, &options, 7).unwrap()
+            })
+        });
+    }
+
+    group.bench_function("hysteresis_theta1_N1000_T10", |b| {
+        let simulator = Simulator::new(model.clone(), 1000).unwrap();
+        let counts = sir.initial_counts(1000);
+        let options = SimulationOptions::new(10.0).record_stride(64);
+        b.iter(|| {
+            let mut policy = HysteresisPolicy::new(
+                vec![sir.contact_max],
+                0,
+                sir.contact_min,
+                sir.contact_max,
+                0,
+                0.5,
+                0.85,
+                true,
+            );
+            simulator.simulate(black_box(&counts), &mut policy, &options, 7).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssa);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 2: the trajectories that attain the maximum / minimum number of
+//! infected nodes at time T = 3, together with the bang-bang structure of the
+//! extremal control.
+//!
+//! The paper reports that the maximising control uses ϑ^min until t ≈ 2.25
+//! and ϑ^max afterwards, while the minimising control uses ϑ^min until
+//! t ≈ 0.7, ϑ^max until t ≈ 2.2, then ϑ^min again.
+//!
+//! Run with `cargo run --release -p mfu-bench --bin fig2_extremal_trajectories`.
+
+use mfu_bench::{print_header, print_row, print_section};
+use mfu_core::pontryagin::{ExtremalSolution, PontryaginOptions, PontryaginSolver};
+use mfu_models::sir::SirModel;
+
+fn describe(label: &str, solution: &ExtremalSolution) {
+    print_section(&format!("{label} (objective value {:.4})", solution.objective_value()));
+    println!("# bang-bang switching times: {:?}", solution.switching_times(1e-6));
+    print_header(&["t", "x_S", "x_I", "theta"]);
+    let grid = solution.state().grid().clone();
+    // subsample the sweep grid to ~60 reported rows
+    let stride = (grid.nodes() / 60).max(1);
+    for k in (0..grid.nodes()).step_by(stride) {
+        let state = &solution.state().values()[k];
+        let control = &solution.control().values()[k.min(grid.intervals() - 1)];
+        print_row(&[grid.node(k), state[0], state[1], control[0]]);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sir = SirModel::paper();
+    let drift = sir.reduced_drift();
+    let x0 = sir.reduced_initial_state();
+    let horizon = 3.0;
+
+    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 600, ..Default::default() });
+    let maximal = solver.maximize_coordinate(&drift, &x0, horizon, 1)?;
+    let minimal = solver.minimize_coordinate(&drift, &x0, horizon, 1)?;
+
+    println!("# Figure 2: extremal trajectories of x_I({horizon}) for the imprecise SIR model");
+    describe("trajectory maximising x_I(3)", &maximal);
+    describe("trajectory minimising x_I(3)", &minimal);
+    Ok(())
+}

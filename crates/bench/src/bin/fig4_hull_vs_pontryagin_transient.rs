@@ -1,0 +1,79 @@
+//! Figure 4: differential-hull approximation versus the exact (Pontryagin)
+//! imprecise bounds for the SIR transient, for ϑ^max ∈ {2, 5, 6}.
+//!
+//! The paper shows that the hull is accurate for ϑ^max = 2, noticeably loose
+//! for ϑ^max = 5 (its bounds even leave [0, 1]) and trivial for ϑ^max = 6 at
+//! large times. Both susceptible and infected fractions are reported over
+//! the horizon T = 10.
+//!
+//! Run with `cargo run --release -p mfu-bench --bin fig4_hull_vs_pontryagin_transient`.
+
+use mfu_bench::{print_header, print_row, print_section};
+use mfu_core::hull::{DifferentialHull, HullOptions};
+use mfu_core::pontryagin::PontryaginOptions;
+use mfu_core::reachability::{reach_tube, ReachTubeOptions};
+use mfu_models::sir::SirModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = 10.0;
+    let time_points = 20;
+
+    println!("# Figure 4: differential hull vs imprecise (Pontryagin) transient bounds, theta_min = 1");
+    for &theta_max in &[2.0, 5.0, 6.0] {
+        let sir = SirModel::paper_with_contact_max(theta_max);
+        let drift = sir.reduced_drift();
+        let x0 = sir.reduced_initial_state();
+
+        // Differential hull (unclamped, exactly as in the paper: the bounds may
+        // leave the simplex for large parameter ranges).
+        let hull = DifferentialHull::new(
+            &drift,
+            HullOptions { step: 2e-3, time_intervals: time_points, ..Default::default() },
+        );
+        let hull_bounds = hull.bounds(&x0, horizon)?;
+
+        // Exact imprecise bounds via Pontryagin reach tubes for S and I.
+        let tube_options = ReachTubeOptions {
+            time_points,
+            pontryagin: PontryaginOptions { grid_intervals: 250, ..Default::default() },
+        };
+        let tube_s = reach_tube(&drift, &x0, horizon, 0, &tube_options)?;
+        let tube_i = reach_tube(&drift, &x0, horizon, 1, &tube_options)?;
+
+        print_section(&format!("theta_max = {theta_max}"));
+        print_header(&[
+            "t",
+            "xS_min_imprecise",
+            "xS_max_imprecise",
+            "xS_min_hull",
+            "xS_max_hull",
+            "xI_min_imprecise",
+            "xI_max_imprecise",
+            "xI_min_hull",
+            "xI_max_hull",
+        ]);
+        for k in 0..time_points {
+            let t = tube_s.times()[k];
+            print_row(&[
+                t,
+                tube_s.lower()[k],
+                tube_s.upper()[k],
+                hull_bounds.lower()[k + 1][0],
+                hull_bounds.upper()[k + 1][0],
+                tube_i.lower()[k],
+                tube_i.upper()[k],
+                hull_bounds.lower()[k + 1][1],
+                hull_bounds.upper()[k + 1][1],
+            ]);
+        }
+        let last = time_points;
+        println!(
+            "# summary: at T = {horizon} the hull infected band is [{:.3}, {:.3}] vs imprecise [{:.3}, {:.3}]",
+            hull_bounds.lower()[last][1],
+            hull_bounds.upper()[last][1],
+            tube_i.lower()[time_points - 1],
+            tube_i.upper()[time_points - 1],
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Figure 7: maximal queue lengths of the closed GPS network as functions of
+//! time, for the uncertain and imprecise models, under Poisson and MAP job
+//! creation.
+//!
+//! Paper setting: µ = (5, 1), φ = (1, 1), λ1 ∈ [1, 7], λ2 ∈ [2, 3],
+//! a = (1, 2), Q(0) = (0.1, 0.1), horizon T = 5. The headline observations
+//! are (i) with Poisson creation the uncertain and imprecise maxima coincide,
+//! and (ii) with MAP creation the imprecise maximum is significantly larger
+//! than the uncertain one.
+//!
+//! Run with `cargo run --release -p mfu-bench --bin fig7_gps_queue_bounds`.
+
+use mfu_bench::{print_header, print_row, print_section};
+use mfu_core::drift::ImpreciseDrift;
+use mfu_core::pontryagin::PontryaginOptions;
+use mfu_core::reachability::{reach_tube, ReachTubeOptions};
+use mfu_core::uncertain::UncertainAnalysis;
+use mfu_models::gps::GpsModel;
+use mfu_num::StateVec;
+
+fn report_scenario<D: ImpreciseDrift>(
+    label: &str,
+    drift: &D,
+    x0: &StateVec,
+    queue_coords: [usize; 2],
+    horizon: f64,
+    time_points: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let uncertain = UncertainAnalysis { grid_per_axis: 6, time_intervals: time_points, step: 2e-3 };
+    let envelope = uncertain.envelope(drift, x0, horizon)?;
+
+    let tube_options = ReachTubeOptions {
+        time_points,
+        pontryagin: PontryaginOptions { grid_intervals: 200, multi_start: true, ..Default::default() },
+    };
+    let tube_q1 = reach_tube(drift, x0, horizon, queue_coords[0], &tube_options)?;
+    let tube_q2 = reach_tube(drift, x0, horizon, queue_coords[1], &tube_options)?;
+
+    print_section(label);
+    print_header(&[
+        "t",
+        "Q1_max_uncertain",
+        "Q1_max_imprecise",
+        "Q2_max_uncertain",
+        "Q2_max_imprecise",
+        "Q1_min_uncertain",
+        "Q1_min_imprecise",
+        "Q2_min_uncertain",
+        "Q2_min_imprecise",
+    ]);
+    for k in 0..time_points {
+        let t = tube_q1.times()[k];
+        print_row(&[
+            t,
+            envelope.upper()[k + 1][queue_coords[0]],
+            tube_q1.upper()[k],
+            envelope.upper()[k + 1][queue_coords[1]],
+            tube_q2.upper()[k],
+            envelope.lower()[k + 1][queue_coords[0]],
+            tube_q1.lower()[k],
+            envelope.lower()[k + 1][queue_coords[1]],
+            tube_q2.lower()[k],
+        ]);
+    }
+    let last = time_points - 1;
+    println!(
+        "# summary ({label}): at T the imprecise Q1 max exceeds the uncertain one by {:.4}, Q2 by {:.4}",
+        tube_q1.upper()[last] - envelope.upper()[time_points][queue_coords[0]],
+        tube_q2.upper()[last] - envelope.upper()[time_points][queue_coords[1]],
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gps = GpsModel::paper();
+    let horizon = 5.0;
+    let time_points = 20;
+
+    println!("# Figure 7: GPS maximal queue lengths, uncertain vs imprecise");
+
+    // (a) Poisson job creation: 2-dimensional mean field on (q1, q2).
+    let poisson_drift = gps.poisson_drift();
+    report_scenario(
+        "(a) Poisson arrivals",
+        &poisson_drift,
+        &gps.poisson_initial_state(),
+        [0, 1],
+        horizon,
+        time_points,
+    )?;
+
+    // (b) MAP job creation: 4-dimensional mean field on (d1, q1, d2, q2).
+    let map_drift = gps.map_drift();
+    report_scenario(
+        "(b) Markov arrival process",
+        &map_drift,
+        &gps.map_initial_state(),
+        [1, 3],
+        horizon,
+        time_points,
+    )?;
+
+    println!();
+    println!("# reading guide: in (a) the imprecise and uncertain maxima should (nearly) coincide;");
+    println!("# in (b) the imprecise maxima exceed every constant-rate maximum — the delay introduced");
+    println!("# by the activation stage lets a time-varying rate build up bursts.");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion benches.
+//!
+//! Every figure of the paper's evaluation section has a dedicated binary in
+//! `src/bin/` that prints the corresponding data series as aligned
+//! tab-separated columns (one row per plotted abscissa). `EXPERIMENTS.md` at
+//! the repository root records the qualitative comparison between these
+//! series and the published figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a table header: a `#`-prefixed tab-separated row of column names.
+pub fn print_header(columns: &[&str]) {
+    println!("# {}", columns.join("\t"));
+}
+
+/// Prints one tab-separated data row with six-decimal formatting.
+pub fn print_row(values: &[f64]) {
+    let formatted: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+    println!("{}", formatted.join("\t"));
+}
+
+/// Prints a section banner so that multi-part figure outputs stay readable.
+pub fn print_section(title: &str) {
+    println!();
+    println!("## {title}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        print_header(&["t", "lower", "upper"]);
+        print_row(&[0.0, 1.0, 2.0]);
+        print_section("part (a)");
+    }
+}

@@ -1,0 +1,197 @@
+//! The asymptotic reachable set `A_F` (Section III-C, Theorem 2).
+//!
+//! Theorem 2 states that, in the long run, the imprecise population process
+//! stays close to the asymptotic reachable set `A_F` — the set of points that
+//! solutions of the mean-field inclusion keep visiting at arbitrarily late
+//! times. The paper suggests computing a convex over-approximation of `A_F`
+//! by letting the horizon of the (Pontryagin) reachable-set computation grow.
+//! This module implements that procedure per coordinate: the per-coordinate
+//! reachable interval is computed at a sequence of growing horizons and the
+//! iteration stops once it stabilises, giving a box containing `A_F` as seen
+//! from the given initial condition.
+
+use mfu_num::StateVec;
+
+use crate::drift::ImpreciseDrift;
+use crate::pontryagin::{PontryaginOptions, PontryaginSolver};
+use crate::{CoreError, Result};
+
+/// Options of the asymptotic-box computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsymptoticOptions {
+    /// First horizon probed.
+    pub initial_horizon: f64,
+    /// Multiplicative factor between successive horizons.
+    pub growth_factor: f64,
+    /// Maximum number of horizon doublings.
+    pub max_rounds: usize,
+    /// The iteration stops when no bound moves by more than this amount
+    /// between two successive horizons.
+    pub tolerance: f64,
+    /// Options of the per-horizon Pontryagin sweeps.
+    pub pontryagin: PontryaginOptions,
+}
+
+impl Default for AsymptoticOptions {
+    fn default() -> Self {
+        AsymptoticOptions {
+            initial_horizon: 5.0,
+            growth_factor: 2.0,
+            max_rounds: 6,
+            tolerance: 1e-3,
+            pontryagin: PontryaginOptions { grid_intervals: 200, ..Default::default() },
+        }
+    }
+}
+
+/// A per-coordinate box containing the asymptotic reachable set `A_F`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymptoticBox {
+    lower: StateVec,
+    upper: StateVec,
+    horizon: f64,
+    converged: bool,
+}
+
+impl AsymptoticBox {
+    /// Per-coordinate lower bounds.
+    pub fn lower(&self) -> &StateVec {
+        &self.lower
+    }
+
+    /// Per-coordinate upper bounds.
+    pub fn upper(&self) -> &StateVec {
+        &self.upper
+    }
+
+    /// The largest horizon that was probed.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Whether the bounds stabilised before the round budget ran out.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Returns `true` when `state` lies inside the box (up to `tolerance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn contains(&self, state: &StateVec, tolerance: f64) -> bool {
+        (0..state.dim())
+            .all(|i| state[i] >= self.lower[i] - tolerance && state[i] <= self.upper[i] + tolerance)
+    }
+
+    /// Per-coordinate widths of the box.
+    pub fn widths(&self) -> StateVec {
+        &self.upper - &self.lower
+    }
+}
+
+/// Computes a box containing the asymptotic reachable set of the inclusion
+/// started from `x0`, by growing the reachability horizon until the
+/// per-coordinate bounds stabilise.
+///
+/// # Errors
+///
+/// Returns an error on invalid options or if a Pontryagin sweep fails. A
+/// failure to stabilise within the round budget is *not* an error; the
+/// returned box reports `converged() == false`.
+pub fn asymptotic_box<D: ImpreciseDrift>(
+    drift: &D,
+    x0: &StateVec,
+    options: &AsymptoticOptions,
+) -> Result<AsymptoticBox> {
+    if !(options.initial_horizon > 0.0) || !(options.growth_factor > 1.0) {
+        return Err(CoreError::invalid_input(
+            "asymptotic options need a positive initial horizon and a growth factor above 1",
+        ));
+    }
+    let dim = drift.dim();
+    let solver = PontryaginSolver::new(options.pontryagin);
+
+    let mut horizon = options.initial_horizon;
+    let mut lower = StateVec::zeros(dim);
+    let mut upper = StateVec::zeros(dim);
+    let mut converged = false;
+
+    for round in 0..options.max_rounds.max(1) {
+        let mut new_lower = StateVec::zeros(dim);
+        let mut new_upper = StateVec::zeros(dim);
+        for coordinate in 0..dim {
+            let (lo, hi) = solver.coordinate_extremes(drift, x0, horizon, coordinate)?;
+            new_lower[coordinate] = lo;
+            new_upper[coordinate] = hi;
+        }
+        if round > 0 {
+            let movement = new_lower
+                .distance_inf(&lower)
+                .max(new_upper.distance_inf(&upper));
+            if movement < options.tolerance {
+                lower = new_lower;
+                upper = new_upper;
+                converged = true;
+                break;
+            }
+        }
+        lower = new_lower;
+        upper = new_upper;
+        horizon *= options.growth_factor;
+    }
+    Ok(AsymptoticBox { lower, upper, horizon, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::FnDrift;
+    use mfu_ctmc::params::ParamSpace;
+
+    /// ẋ = ϑ - x with ϑ ∈ [0.3, 0.7]: every solution ends up oscillating in
+    /// [0.3, 0.7], which is exactly the asymptotic reachable set.
+    fn relaxation_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let params = ParamSpace::single("target", 0.3, 0.7).unwrap();
+        FnDrift::new(1, params, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = th[0] - x[0])
+    }
+
+    fn fast_options() -> AsymptoticOptions {
+        AsymptoticOptions {
+            initial_horizon: 3.0,
+            max_rounds: 5,
+            pontryagin: PontryaginOptions { grid_intervals: 80, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn relaxation_box_converges_to_the_parameter_interval() {
+        let drift = relaxation_drift();
+        let result = asymptotic_box(&drift, &StateVec::from([0.0]), &fast_options()).unwrap();
+        assert!(result.converged());
+        assert!((result.lower()[0] - 0.3).abs() < 0.02, "lower {:?}", result.lower());
+        assert!((result.upper()[0] - 0.7).abs() < 0.02, "upper {:?}", result.upper());
+        assert!(result.contains(&StateVec::from([0.5]), 1e-9));
+        assert!(!result.contains(&StateVec::from([0.9]), 1e-3));
+        assert!(result.widths()[0] > 0.3);
+    }
+
+    #[test]
+    fn starting_inside_the_set_gives_the_same_box() {
+        let drift = relaxation_drift();
+        let from_below = asymptotic_box(&drift, &StateVec::from([0.0]), &fast_options()).unwrap();
+        let from_inside = asymptotic_box(&drift, &StateVec::from([0.5]), &fast_options()).unwrap();
+        assert!((from_below.lower()[0] - from_inside.lower()[0]).abs() < 0.02);
+        assert!((from_below.upper()[0] - from_inside.upper()[0]).abs() < 0.02);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let drift = relaxation_drift();
+        let bad = AsymptoticOptions { initial_horizon: 0.0, ..fast_options() };
+        assert!(asymptotic_box(&drift, &StateVec::from([0.0]), &bad).is_err());
+        let bad = AsymptoticOptions { growth_factor: 1.0, ..fast_options() };
+        assert!(asymptotic_box(&drift, &StateVec::from([0.0]), &bad).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The imprecise drift `f(x, ϑ)` (Definition 3 of the paper).
+//!
+//! The entire mean-field analysis only interacts with a model through its
+//! drift and its parameter space: the set-valued limit drift of Equation (4)
+//! is `F(x) = {f(x, ϑ) : ϑ ∈ Θ}`, kept here in *parametrised* form. Every
+//! algorithm of Section IV (differential hulls, Pontryagin sweeps, Birkhoff
+//! expansion) reduces to optimising `f` — or a linear functional of `f` —
+//! over `Θ`, which [`ImpreciseDrift::extremal_theta`] performs by vertex
+//! enumeration with an optional grid refinement for drifts that are not
+//! affine in `ϑ`.
+
+use mfu_ctmc::params::ParamSpace;
+use mfu_ctmc::population::PopulationModel;
+use mfu_num::StateVec;
+
+/// A parametrised vector field `f(x, ϑ)` over an uncertainty set `Θ`.
+///
+/// The trait is object-safe; analyses take `&dyn ImpreciseDrift` so that
+/// models, closures and wrappers can be mixed freely.
+pub trait ImpreciseDrift {
+    /// Dimension of the state space.
+    fn dim(&self) -> usize;
+
+    /// The uncertainty set `Θ`.
+    fn params(&self) -> &ParamSpace;
+
+    /// Evaluates `f(x, ϑ)` into `out`.
+    fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec);
+
+    /// Evaluates `f(x, ϑ)` into a fresh vector.
+    fn drift(&self, x: &StateVec, theta: &[f64]) -> StateVec {
+        let mut out = StateVec::zeros(self.dim());
+        self.drift_into(x, theta, &mut out);
+        out
+    }
+
+    /// Number of additional interior grid points per parameter axis used when
+    /// optimising over `Θ`. The default (0) restricts the search to the
+    /// vertices of the box, which is exact for drifts affine in `ϑ` — the
+    /// case of every model in the paper. Override for drifts with non-affine
+    /// parameter dependence.
+    fn theta_refinement(&self) -> usize {
+        0
+    }
+
+    /// Returns the parameter in `Θ` maximising the scalar functional
+    /// `direction · f(x, ϑ)`, together with the attained value.
+    ///
+    /// The search enumerates the vertices of `Θ` and, when
+    /// [`ImpreciseDrift::theta_refinement`] is positive, a regular grid of the
+    /// box. For drifts affine in `ϑ` the vertex search is exact, which is
+    /// what produces the bang-bang extremal controls of Figure 2.
+    fn extremal_theta(&self, x: &StateVec, direction: &StateVec) -> (Vec<f64>, f64) {
+        let mut best_theta = self.params().midpoint();
+        let mut best_value = f64::NEG_INFINITY;
+        let mut buffer = StateVec::zeros(self.dim());
+        let consider = |theta: &[f64], buffer: &mut StateVec, best_value: &mut f64, best_theta: &mut Vec<f64>| {
+            self.drift_into(x, theta, buffer);
+            let value = buffer.dot(direction);
+            if value > *best_value {
+                *best_value = value;
+                *best_theta = theta.to_vec();
+            }
+        };
+        for theta in self.params().vertices() {
+            consider(&theta, &mut buffer, &mut best_value, &mut best_theta);
+        }
+        let refinement = self.theta_refinement();
+        if refinement > 0 {
+            for theta in self.params().grid(refinement + 1) {
+                consider(&theta, &mut buffer, &mut best_value, &mut best_theta);
+            }
+        }
+        (best_theta, best_value)
+    }
+
+    /// Component-wise extremes of the drift coordinate `i` over `Θ` at state `x`,
+    /// returned as `(min, max)`. Used by the differential-hull construction.
+    fn coordinate_range(&self, x: &StateVec, i: usize) -> (f64, f64) {
+        let mut direction = StateVec::zeros(self.dim());
+        direction[i] = 1.0;
+        let (_, max) = self.extremal_theta(x, &direction);
+        direction[i] = -1.0;
+        let (_, neg_min) = self.extremal_theta(x, &direction);
+        (-neg_min, max)
+    }
+}
+
+impl<D: ImpreciseDrift + ?Sized> ImpreciseDrift for &D {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn params(&self) -> &ParamSpace {
+        (**self).params()
+    }
+
+    fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
+        (**self).drift_into(x, theta, out)
+    }
+
+    fn theta_refinement(&self) -> usize {
+        (**self).theta_refinement()
+    }
+}
+
+/// An imprecise drift defined by a closure.
+///
+/// This is the most direct way to express the reduced mean-field equations of
+/// a model (for instance the two-dimensional SIR drift of Equation (11)).
+///
+/// # Example
+///
+/// ```
+/// use mfu_core::drift::{FnDrift, ImpreciseDrift};
+/// use mfu_ctmc::params::ParamSpace;
+/// use mfu_num::StateVec;
+///
+/// let theta = ParamSpace::single("rate", 1.0, 2.0)?;
+/// let drift = FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+///     dx[0] = -th[0] * x[0];
+/// });
+/// let (best, value) = drift.extremal_theta(&StateVec::from(vec![1.0]), &StateVec::from(vec![1.0]));
+/// assert_eq!(best, vec![1.0]); // the slowest decay maximises ẋ
+/// assert!((value + 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct FnDrift<F> {
+    dim: usize,
+    params: ParamSpace,
+    f: F,
+    refinement: usize,
+}
+
+impl<F> FnDrift<F>
+where
+    F: Fn(&StateVec, &[f64], &mut StateVec),
+{
+    /// Creates a drift from a closure writing `f(x, ϑ)` into its third argument.
+    pub fn new(dim: usize, params: ParamSpace, f: F) -> Self {
+        FnDrift { dim, params, f, refinement: 0 }
+    }
+
+    /// Enables grid refinement when optimising over `Θ` (for drifts that are
+    /// not affine in `ϑ`): `points` interior samples per axis are added to
+    /// the vertex search.
+    #[must_use]
+    pub fn with_theta_refinement(mut self, points: usize) -> Self {
+        self.refinement = points;
+        self
+    }
+}
+
+impl<F> ImpreciseDrift for FnDrift<F>
+where
+    F: Fn(&StateVec, &[f64], &mut StateVec),
+{
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn params(&self) -> &ParamSpace {
+        &self.params
+    }
+
+    fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
+        out.fill_zero();
+        (self.f)(x, theta, out);
+    }
+
+    fn theta_refinement(&self) -> usize {
+        self.refinement
+    }
+}
+
+/// The drift of a [`PopulationModel`], exposing the population layer to the
+/// mean-field analyses.
+#[derive(Debug, Clone)]
+pub struct PopulationDrift {
+    model: PopulationModel,
+}
+
+impl PopulationDrift {
+    /// Wraps a population model.
+    pub fn new(model: PopulationModel) -> Self {
+        PopulationDrift { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &PopulationModel {
+        &self.model
+    }
+}
+
+impl ImpreciseDrift for PopulationDrift {
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    fn params(&self) -> &ParamSpace {
+        self.model.params()
+    }
+
+    fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
+        self.model.drift_unchecked(x, theta, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_ctmc::params::Interval;
+    use mfu_ctmc::transition::TransitionClass;
+
+    fn linear_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let params = ParamSpace::new(vec![
+            ("a", Interval::new(1.0, 2.0).unwrap()),
+            ("b", Interval::new(-1.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        FnDrift::new(2, params, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] * x[0] + th[1];
+            dx[1] = -x[1] + th[1];
+        })
+    }
+
+    #[test]
+    fn drift_and_drift_into_agree() {
+        let d = linear_drift();
+        let x = StateVec::from([2.0, 3.0]);
+        let owned = d.drift(&x, &[1.5, 0.5]);
+        let mut buf = StateVec::zeros(2);
+        d.drift_into(&x, &[1.5, 0.5], &mut buf);
+        assert_eq!(owned, buf);
+        assert!((owned[0] - 3.5).abs() < 1e-12);
+        assert!((owned[1] + 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremal_theta_picks_the_right_vertex() {
+        let d = linear_drift();
+        let x = StateVec::from([1.0, 0.0]);
+        // maximise ẋ0 = a·x0 + b: best vertex is a = 2, b = 1
+        let (theta, value) = d.extremal_theta(&x, &StateVec::from([1.0, 0.0]));
+        assert_eq!(theta, vec![2.0, 1.0]);
+        assert!((value - 3.0).abs() < 1e-12);
+        // minimise ẋ0 (maximise its negation): a = 1, b = -1
+        let (theta, value) = d.extremal_theta(&x, &StateVec::from([-1.0, 0.0]));
+        assert_eq!(theta, vec![1.0, -1.0]);
+        assert!((value - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinate_range_brackets_all_vertices() {
+        let d = linear_drift();
+        let x = StateVec::from([1.0, 0.5]);
+        let (lo, hi) = d.coordinate_range(&x, 0);
+        assert!((lo - 0.0).abs() < 1e-12); // a=1, b=-1 → 1*1 - 1 = 0
+        assert!((hi - 3.0).abs() < 1e-12); // a=2, b=1 → 3
+        for theta in d.params().vertices() {
+            let v = d.drift(&x, &theta)[0];
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn refinement_helps_non_affine_drifts() {
+        // drift quadratic in ϑ with an interior maximum at ϑ = 0.5
+        let params = ParamSpace::single("theta", 0.0, 1.0).unwrap();
+        let make = |refinement: usize| {
+            FnDrift::new(1, params.clone(), |_x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                dx[0] = th[0] * (1.0 - th[0]);
+            })
+            .with_theta_refinement(refinement)
+        };
+        let x = StateVec::from([0.0]);
+        let direction = StateVec::from([1.0]);
+        let (_, vertex_only) = make(0).extremal_theta(&x, &direction);
+        let (theta, refined) = make(20).extremal_theta(&x, &direction);
+        assert!(vertex_only.abs() < 1e-12, "vertices alone miss the interior optimum");
+        assert!((refined - 0.25).abs() < 5e-3);
+        assert!((theta[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn population_drift_delegates_to_model() {
+        let params = ParamSpace::single("rate", 1.0, 2.0).unwrap();
+        let model = PopulationModel::builder(1, params)
+            .transition(TransitionClass::new("grow", [1.0], |x: &StateVec, th: &[f64]| th[0] * x[0]))
+            .build()
+            .unwrap();
+        let drift = PopulationDrift::new(model);
+        assert_eq!(drift.dim(), 1);
+        assert_eq!(drift.params().dim(), 1);
+        let v = drift.drift(&StateVec::from([2.0]), &[1.5]);
+        assert!((v[0] - 3.0).abs() < 1e-12);
+        assert_eq!(drift.model().transitions().len(), 1);
+    }
+
+    #[test]
+    fn reference_impl_is_usable_as_dyn() {
+        let d = linear_drift();
+        let dyn_ref: &dyn ImpreciseDrift = &d;
+        let through_ref = (&dyn_ref).drift(&StateVec::from([1.0, 1.0]), &[1.0, 0.0]);
+        assert_eq!(through_ref.dim(), 2);
+    }
+}

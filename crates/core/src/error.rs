@@ -1,0 +1,110 @@
+use std::fmt;
+
+use mfu_ctmc::CtmcError;
+use mfu_num::NumError;
+
+/// Error type for the mean-field analysis layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Inconsistent inputs (wrong dimensions, empty grids, invalid horizons, …).
+    InvalidInput {
+        /// Description of the offending input.
+        message: String,
+    },
+    /// An iterative analysis did not converge within its budget.
+    NoConvergence {
+        /// Name of the analysis.
+        analysis: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// The analysis is only available for a specific state dimension
+    /// (e.g. the Birkhoff-centre construction is two-dimensional).
+    UnsupportedDimension {
+        /// Dimension required by the analysis.
+        required: usize,
+        /// Dimension of the supplied model.
+        found: usize,
+    },
+    /// An error bubbled up from the modelling layer.
+    Model(CtmcError),
+    /// An error bubbled up from the numerical layer.
+    Numerical(NumError),
+}
+
+impl CoreError {
+    /// Creates an [`CoreError::InvalidInput`] from anything printable.
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        CoreError::InvalidInput { message: message.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            CoreError::NoConvergence { analysis, iterations, residual } => write!(
+                f,
+                "{analysis} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CoreError::UnsupportedDimension { required, found } => {
+                write!(f, "analysis requires dimension {required}, model has dimension {found}")
+            }
+            CoreError::Model(err) => write!(f, "model error: {err}"),
+            CoreError::Numerical(err) => write!(f, "numerical error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Model(err) => Some(err),
+            CoreError::Numerical(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for CoreError {
+    fn from(err: CtmcError) -> Self {
+        CoreError::Model(err)
+    }
+}
+
+impl From<NumError> for CoreError {
+    fn from(err: NumError) -> Self {
+        CoreError::Numerical(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::invalid_input("bad grid").to_string().contains("bad grid"));
+        let err = CoreError::NoConvergence { analysis: "pontryagin", iterations: 7, residual: 0.1 };
+        assert!(err.to_string().contains("pontryagin"));
+        let err = CoreError::UnsupportedDimension { required: 2, found: 4 };
+        assert!(err.to_string().contains("dimension 2"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: CoreError = CtmcError::invalid_model("oops").into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err: CoreError = NumError::invalid_argument("oops").into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

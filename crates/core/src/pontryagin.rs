@@ -1,0 +1,619 @@
+//! Transient bounds via Pontryagin's maximum principle (Section IV-C).
+//!
+//! The extremal value `x_i^max(T) = sup { x_i(T) : x ∈ S_{F,x_0} }` of a
+//! differential inclusion is an optimal-control problem: choose the
+//! measurable signal `ϑ(t) ∈ Θ` that maximises the terminal value. Pontryagin's
+//! principle gives necessary conditions — a costate `p` satisfying
+//! `-ṗ = (∂f/∂x)ᵀ p` with a terminal condition aligned with the objective,
+//! and `ϑ(t) ∈ argmax_ϑ  p(t)·f(x(t), ϑ)` — which this module solves with the
+//! classical forward–backward sweep:
+//!
+//! 1. integrate the state forward under the current control;
+//! 2. integrate the costate backward along that state;
+//! 3. update the control pointwise from the Hamiltonian maximisation
+//!    (exact vertex selection for drifts affine in `ϑ`, which yields the
+//!    bang-bang controls of Figure 2);
+//! 4. repeat until state and control stop changing.
+//!
+//! Arbitrary linear functionals `α·x(T)` are supported, which is what the
+//! paper calls *template* refinement of the reachable set.
+
+use mfu_num::grid::{GridSignal, TimeGrid};
+use mfu_num::jacobian::finite_difference_jacobian;
+use mfu_num::ode::Trajectory;
+use mfu_num::StateVec;
+
+use crate::drift::ImpreciseDrift;
+use crate::signal::GridParamSignal;
+use crate::{CoreError, Result};
+
+/// A linear terminal objective `weights · x(T)`, maximised or minimised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearObjective {
+    weights: StateVec,
+    maximize: bool,
+}
+
+impl LinearObjective {
+    /// Maximises `weights · x(T)`.
+    pub fn maximize(weights: StateVec) -> Self {
+        LinearObjective { weights, maximize: true }
+    }
+
+    /// Minimises `weights · x(T)`.
+    pub fn minimize(weights: StateVec) -> Self {
+        LinearObjective { weights, maximize: false }
+    }
+
+    /// Maximises coordinate `i` of `x(T)` in a `dim`-dimensional system.
+    pub fn maximize_coordinate(dim: usize, i: usize) -> Self {
+        let mut weights = StateVec::zeros(dim);
+        weights[i] = 1.0;
+        LinearObjective::maximize(weights)
+    }
+
+    /// Minimises coordinate `i` of `x(T)` in a `dim`-dimensional system.
+    pub fn minimize_coordinate(dim: usize, i: usize) -> Self {
+        let mut weights = StateVec::zeros(dim);
+        weights[i] = 1.0;
+        LinearObjective::minimize(weights)
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &StateVec {
+        &self.weights
+    }
+
+    /// Whether the objective is maximised.
+    pub fn is_maximization(&self) -> bool {
+        self.maximize
+    }
+
+    /// The weights of the equivalent maximisation problem (negated for
+    /// minimisation).
+    fn ascent_weights(&self) -> StateVec {
+        if self.maximize {
+            self.weights.clone()
+        } else {
+            -&self.weights
+        }
+    }
+}
+
+/// Options of the forward–backward sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PontryaginOptions {
+    /// Number of intervals of the shared time grid.
+    pub grid_intervals: usize,
+    /// Maximum number of sweep iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the sup-norm change of the state and control
+    /// between iterations.
+    pub tolerance: f64,
+    /// Relaxation weight of the control update in `(0, 1]` (1 replaces the
+    /// control outright; smaller values damp oscillations between sweeps).
+    pub relaxation: f64,
+    /// Finite-difference step for the drift Jacobian.
+    pub jacobian_step: f64,
+    /// When `true`, the sweep is restarted from every vertex of `Θ` in
+    /// addition to the midpoint, and the best result is kept. Pontryagin's
+    /// principle is only a necessary condition; multi-start protects against
+    /// local extremals on higher-dimensional models (e.g. the 4-D GPS MAP
+    /// drift) at a cost proportional to the number of vertices.
+    pub multi_start: bool,
+}
+
+impl Default for PontryaginOptions {
+    fn default() -> Self {
+        PontryaginOptions {
+            grid_intervals: 400,
+            max_iterations: 200,
+            tolerance: 1e-7,
+            relaxation: 1.0,
+            jacobian_step: 1e-6,
+            multi_start: false,
+        }
+    }
+}
+
+/// The extremal solution produced by a sweep: state, costate and control on a
+/// shared grid, plus the attained objective value.
+#[derive(Debug, Clone)]
+pub struct ExtremalSolution {
+    objective: LinearObjective,
+    objective_value: f64,
+    state: GridSignal,
+    costate: GridSignal,
+    control: GridSignal,
+    converged: bool,
+    iterations: usize,
+}
+
+impl ExtremalSolution {
+    /// The attained value of `weights · x(T)`.
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+
+    /// The objective this solution extremises.
+    pub fn objective(&self) -> &LinearObjective {
+        &self.objective
+    }
+
+    /// The extremal state on the sweep grid.
+    pub fn state(&self) -> &GridSignal {
+        &self.state
+    }
+
+    /// The costate on the sweep grid.
+    pub fn costate(&self) -> &GridSignal {
+        &self.costate
+    }
+
+    /// The extremal control on the sweep grid (piecewise constant per interval).
+    pub fn control(&self) -> &GridSignal {
+        &self.control
+    }
+
+    /// Whether the sweep met its convergence tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of sweep iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The extremal control as a parameter signal, ready to be replayed
+    /// through [`DifferentialInclusion`](crate::inclusion::DifferentialInclusion).
+    pub fn control_signal(&self) -> GridParamSignal {
+        GridParamSignal::new(self.control.clone())
+    }
+
+    /// The extremal state as a dense trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the grid is degenerate (cannot happen for
+    /// solutions produced by the solver).
+    pub fn state_trajectory(&self) -> Result<Trajectory> {
+        let grid = self.state.grid();
+        let mut traj = Trajectory::with_capacity(self.state.dim(), grid.nodes());
+        for (k, value) in self.state.values().iter().enumerate() {
+            traj.push(grid.node(k), value.clone())?;
+        }
+        Ok(traj)
+    }
+
+    /// Times at which the extremal control switches (changes by more than
+    /// `tolerance` in sup norm between consecutive grid intervals). For
+    /// drifts affine in `ϑ` these are the bang-bang switching instants.
+    pub fn switching_times(&self, tolerance: f64) -> Vec<f64> {
+        let grid = self.control.grid();
+        let values = self.control.values();
+        let mut out = Vec::new();
+        for k in 1..values.len() {
+            if values[k].distance_inf(&values[k - 1]) > tolerance {
+                out.push(grid.node(k));
+            }
+        }
+        out
+    }
+}
+
+/// Forward–backward sweep solver for extremal values of the mean-field
+/// differential inclusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PontryaginSolver {
+    options: PontryaginOptions,
+}
+
+impl PontryaginSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: PontryaginOptions) -> Self {
+        PontryaginSolver { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &PontryaginOptions {
+        &self.options
+    }
+
+    /// Maximises coordinate `i` of `x(T)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PontryaginSolver::solve`].
+    pub fn maximize_coordinate<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        coordinate: usize,
+    ) -> Result<ExtremalSolution> {
+        self.solve(drift, x0, horizon, LinearObjective::maximize_coordinate(drift.dim(), coordinate))
+    }
+
+    /// Minimises coordinate `i` of `x(T)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PontryaginSolver::solve`].
+    pub fn minimize_coordinate<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        coordinate: usize,
+    ) -> Result<ExtremalSolution> {
+        self.solve(drift, x0, horizon, LinearObjective::minimize_coordinate(drift.dim(), coordinate))
+    }
+
+    /// Returns `(min, max)` of coordinate `i` of `x(T)` over the solution set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PontryaginSolver::solve`].
+    pub fn coordinate_extremes<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        coordinate: usize,
+    ) -> Result<(f64, f64)> {
+        let lo = self.minimize_coordinate(drift, x0, horizon, coordinate)?;
+        let hi = self.maximize_coordinate(drift, x0, horizon, coordinate)?;
+        Ok((lo.objective_value(), hi.objective_value()))
+    }
+
+    /// Runs the forward–backward sweep for an arbitrary linear objective.
+    ///
+    /// With [`PontryaginOptions::multi_start`] enabled the sweep is restarted
+    /// from every vertex of `Θ` and the best extremal is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent inputs or when an integration step
+    /// produces non-finite values. A sweep that merely fails to meet the
+    /// convergence tolerance within the iteration budget is *not* an error;
+    /// the returned solution reports `converged() == false`.
+    pub fn solve<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        objective: LinearObjective,
+    ) -> Result<ExtremalSolution> {
+        let mut initializations = vec![drift.params().midpoint()];
+        if self.options.multi_start {
+            initializations.extend(drift.params().vertices());
+        }
+        let mut best: Option<ExtremalSolution> = None;
+        for initial in initializations {
+            let candidate = self.solve_from(drift, x0, horizon, objective.clone(), initial)?;
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    let sign = if objective.is_maximization() { 1.0 } else { -1.0 };
+                    sign * candidate.objective_value() > sign * current.objective_value()
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        Ok(best.expect("at least one initialization is always attempted"))
+    }
+
+    /// One forward–backward sweep started from a constant control `initial`.
+    fn solve_from<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        objective: LinearObjective,
+        initial_control: Vec<f64>,
+    ) -> Result<ExtremalSolution> {
+        let dim = drift.dim();
+        if x0.dim() != dim {
+            return Err(CoreError::invalid_input("initial condition dimension mismatch"));
+        }
+        if objective.weights().dim() != dim {
+            return Err(CoreError::invalid_input("objective weight dimension mismatch"));
+        }
+        if !(horizon > 0.0) || !horizon.is_finite() {
+            return Err(CoreError::invalid_input("horizon must be positive and finite"));
+        }
+        if !(self.options.relaxation > 0.0 && self.options.relaxation <= 1.0) {
+            return Err(CoreError::invalid_input("relaxation must lie in (0, 1]"));
+        }
+
+        let grid = TimeGrid::new(0.0, horizon, self.options.grid_intervals.max(1))?;
+        let n = grid.intervals();
+        let h = grid.step();
+        let ascent = objective.ascent_weights();
+        let theta_dim = drift.params().dim();
+
+        if initial_control.len() != theta_dim {
+            return Err(CoreError::invalid_input("initial control dimension mismatch"));
+        }
+        // control per interval (value at node k applies on [t_k, t_{k+1}))
+        let mut control: Vec<Vec<f64>> = vec![initial_control; n + 1];
+        let mut state: Vec<StateVec> = vec![x0.clone(); n + 1];
+        let mut costate: Vec<StateVec> = vec![StateVec::zeros(dim); n + 1];
+
+        let mut converged = false;
+        let mut iterations = 0;
+        // Best (in the ascent sense) control seen so far. The sweep can
+        // oscillate before converging; every iterate is a feasible selection
+        // of the inclusion, so keeping the best one makes the reported bound
+        // monotone across iterations.
+        let mut best_value = f64::NEG_INFINITY;
+        let mut best_control: Option<Vec<Vec<f64>>> = None;
+
+        for iteration in 0..self.options.max_iterations {
+            iterations = iteration + 1;
+            // ---- forward pass -------------------------------------------------
+            let previous_state_end = state[n].clone();
+            for k in 0..n {
+                let theta = &control[k];
+                state[k + 1] = rk4_step(
+                    &|x: &StateVec| drift.drift(x, theta),
+                    &state[k],
+                    h,
+                )?;
+            }
+            let iterate_value = ascent.dot(&state[n]);
+            if iterate_value > best_value {
+                best_value = iterate_value;
+                best_control = Some(control.clone());
+            }
+
+            // ---- backward pass ------------------------------------------------
+            costate[n] = ascent.clone();
+            for k in (0..n).rev() {
+                let theta = control[k].clone();
+                // Costate dynamics: -ṗ = Jᵀ p. Integrating backwards in time
+                // with step -h is equivalent to integrating ṗ = Jᵀ p forward
+                // in the reversed time variable.
+                let x_mid = 0.5 * (&state[k] + &state[k + 1]);
+                let jac_step = self.options.jacobian_step;
+                let rhs = |p: &StateVec| -> Result<StateVec> {
+                    let jac = finite_difference_jacobian(
+                        &|x: &StateVec| drift.drift(x, &theta),
+                        &x_mid,
+                        dim,
+                        jac_step,
+                    )?;
+                    Ok(jac.transpose_mul(p)?)
+                };
+                costate[k] = rk4_step(&|p: &StateVec| rhs(p).unwrap_or_else(|_| StateVec::zeros(dim)), &costate[k + 1], h)?;
+            }
+
+            // ---- control update ----------------------------------------------
+            let mut control_change = 0.0_f64;
+            for k in 0..n {
+                let p_mid = 0.5 * (&costate[k] + &costate[k + 1]);
+                let (theta_star, _) = drift.extremal_theta(&state[k], &p_mid);
+                let mut updated = Vec::with_capacity(theta_dim);
+                for j in 0..theta_dim {
+                    let relaxed = control[k][j]
+                        + self.options.relaxation * (theta_star[j] - control[k][j]);
+                    updated.push(drift.params().intervals()[j].clamp(relaxed));
+                }
+                let change = updated
+                    .iter()
+                    .zip(control[k].iter())
+                    .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+                control_change = control_change.max(change);
+                control[k] = updated;
+            }
+            control[n] = control[n - 1].clone();
+
+            let state_change = state[n].distance_inf(&previous_state_end);
+            if control_change < self.options.tolerance && state_change < self.options.tolerance && iteration > 0 {
+                converged = true;
+                break;
+            }
+        }
+
+        // Report the best control encountered (the converged control when the
+        // sweep converged, the best oscillation iterate otherwise) and rerun
+        // the forward pass with it so state and control match exactly.
+        if let Some(best) = best_control {
+            let final_value = ascent.dot(&state[n]);
+            if best_value > final_value {
+                control = best;
+            }
+        }
+        for k in 0..n {
+            let theta = &control[k];
+            state[k + 1] = rk4_step(&|x: &StateVec| drift.drift(x, theta), &state[k], h)?;
+        }
+        let objective_value = objective.weights().dot(&state[n]);
+
+        let control_values: Vec<StateVec> =
+            control.into_iter().map(StateVec::from).collect();
+        Ok(ExtremalSolution {
+            objective,
+            objective_value,
+            state: GridSignal::new(grid.clone(), state)?,
+            costate: GridSignal::new(grid.clone(), costate)?,
+            control: GridSignal::new(grid, control_values)?,
+            converged,
+            iterations,
+        })
+    }
+}
+
+/// One RK4 step of an autonomous vector field given as a closure.
+fn rk4_step<F>(f: &F, x: &StateVec, h: f64) -> Result<StateVec>
+where
+    F: Fn(&StateVec) -> StateVec,
+{
+    let k1 = f(x);
+    let k2 = f(&(x + &(&k1 * (0.5 * h))));
+    let k3 = f(&(x + &(&k2 * (0.5 * h))));
+    let k4 = f(&(x + &(&k3 * h)));
+    let mut out = x.clone();
+    out.add_scaled(h / 6.0, &k1);
+    out.add_scaled(h / 3.0, &k2);
+    out.add_scaled(h / 3.0, &k3);
+    out.add_scaled(h / 6.0, &k4);
+    if !out.is_finite() {
+        return Err(CoreError::Numerical(mfu_num::NumError::non_finite("pontryagin RK4 step")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::FnDrift;
+    use mfu_ctmc::params::{Interval, ParamSpace};
+
+    fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+    }
+
+    fn solver() -> PontryaginSolver {
+        PontryaginSolver::new(PontryaginOptions { grid_intervals: 200, ..Default::default() })
+    }
+
+    #[test]
+    fn scalar_decay_extremes_match_constant_controls() {
+        // Monotone problem: the max of x(T) is attained by ϑ ≡ 1, the min by ϑ ≡ 2.
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let (lo, hi) = solver().coordinate_extremes(&drift, &x0, 1.0, 0).unwrap();
+        assert!((hi - (-1.0f64).exp()).abs() < 1e-4, "max {hi}");
+        assert!((lo - (-2.0f64).exp()).abs() < 1e-4, "min {lo}");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn extremal_control_is_constant_for_monotone_problems() {
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let solution = solver().maximize_coordinate(&drift, &x0, 1.0, 0).unwrap();
+        assert!(solution.converged());
+        assert!(solution.iterations() >= 2);
+        // the extremal control sits at ϑ = 1 everywhere (no switching)
+        assert!(solution.switching_times(1e-9).is_empty());
+        for value in solution.control().values() {
+            assert!((value[0] - 1.0).abs() < 1e-9);
+        }
+        // terminal costate equals the objective weights
+        let last = solution.costate().values().last().unwrap();
+        assert!((last[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_metadata_is_preserved() {
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let solution = solver().minimize_coordinate(&drift, &x0, 0.5, 0).unwrap();
+        assert!(!solution.objective().is_maximization());
+        assert_eq!(solution.objective().weights().as_slice(), &[1.0]);
+        assert!(solution.objective_value() > 0.0);
+        let traj = solution.state_trajectory().unwrap();
+        assert!((traj.last_time() - 0.5).abs() < 1e-12);
+        assert!((traj.last_state()[0] - solution.objective_value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_objectives_bound_linear_functionals() {
+        // Two independent decays with different rate intervals; the maximum of
+        // x0 + x1 at T uses the slowest rate for each.
+        let theta = ParamSpace::new(vec![
+            ("a", Interval::new(1.0, 2.0).unwrap()),
+            ("b", Interval::new(0.5, 1.5).unwrap()),
+        ])
+        .unwrap();
+        let drift = FnDrift::new(2, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0];
+            dx[1] = -th[1] * x[1];
+        });
+        let x0 = StateVec::from([1.0, 1.0]);
+        let solution = solver()
+            .solve(&drift, &x0, 1.0, LinearObjective::maximize(StateVec::from([1.0, 1.0])))
+            .unwrap();
+        let expected = (-1.0f64).exp() + (-0.5f64).exp();
+        assert!((solution.objective_value() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bang_bang_switching_for_non_monotone_objective() {
+        // ẋ0 = ϑ, ẋ1 = -x0 with ϑ ∈ [-1, 1]; maximise x1(2).
+        // Optimal control: push x0 as negative as possible late, i.e. a
+        // bang-bang control; for this classic double-integrator-like problem
+        // the optimum of x1(2) = -∫ x0 dt is attained with ϑ ≡ -1 (x0 becomes
+        // negative immediately), so the control is constant at the vertex -1;
+        // starting the sweep from the midpoint 0 must discover it.
+        let theta = ParamSpace::single("u", -1.0, 1.0).unwrap();
+        let drift = FnDrift::new(2, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0];
+            dx[1] = -x[0];
+        });
+        let x0 = StateVec::from([0.0, 0.0]);
+        let solution = solver().maximize_coordinate(&drift, &x0, 2.0, 1).unwrap();
+        // value = -∫_0^2 x0(t) dt with x0(t) = -t  → value = ∫ t dt = 2
+        assert!((solution.objective_value() - 2.0).abs() < 1e-3);
+        for value in solution.control().values().iter().take(solution.control().values().len() - 1) {
+            assert!((value[0] + 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn genuinely_switching_problem_beats_constant_controls() {
+        // ẋ0 = ϑ·(1 - x0), ẋ1 = ϑ·x0 - x1, maximise x1(T): early high ϑ builds
+        // x0, but x1 also decays, so the best constant control is not optimal
+        // in general. The sweep must do at least as well as every constant ϑ.
+        let theta = ParamSpace::single("rate", 0.5, 3.0).unwrap();
+        let drift = FnDrift::new(2, theta.clone(), |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] * (1.0 - x[0]);
+            dx[1] = th[0] * x[0] - x[1];
+        });
+        let x0 = StateVec::from([0.0, 0.0]);
+        let horizon = 2.0;
+        let solution = solver().maximize_coordinate(&drift, &x0, horizon, 1).unwrap();
+
+        let inclusion = crate::inclusion::DifferentialInclusion::new(&drift);
+        for candidate in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+            let traj = inclusion.solve_constant(&[candidate], x0.clone(), horizon).unwrap();
+            assert!(
+                solution.objective_value() >= traj.last_state()[1] - 1e-4,
+                "constant ϑ = {candidate} beats the sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let s = solver();
+        assert!(s.solve(&drift, &StateVec::from([1.0, 2.0]), 1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
+        assert!(s.solve(&drift, &x0, -1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
+        assert!(s
+            .solve(&drift, &x0, 1.0, LinearObjective::maximize(StateVec::from([1.0, 0.0])))
+            .is_err());
+        let bad = PontryaginSolver::new(PontryaginOptions { relaxation: 0.0, ..Default::default() });
+        assert!(bad.solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
+        assert_eq!(s.options().grid_intervals, 200);
+    }
+
+    #[test]
+    fn replaying_the_extremal_control_reproduces_the_objective() {
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let solution = solver().maximize_coordinate(&drift, &x0, 1.0, 0).unwrap();
+        let inclusion = crate::inclusion::DifferentialInclusion::new(&drift);
+        let replay = inclusion
+            .solve_fixed_step(&solution.control_signal(), x0, 1.0, 1e-3)
+            .unwrap();
+        assert!((replay.last_state()[0] - solution.objective_value()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Reach tubes: per-coordinate bounds of the inclusion over a time grid.
+//!
+//! Figure 1 of the paper plots `x_I^min(t)` and `x_I^max(t)` as functions of
+//! time. Because the extremal control depends on the horizon (the bang-bang
+//! switching instant moves with `T`), a separate Pontryagin sweep is run for
+//! every reported time; the result is a *tube* containing every solution of
+//! the mean-field differential inclusion started from `x0`.
+
+use mfu_num::StateVec;
+
+use crate::drift::ImpreciseDrift;
+use crate::pontryagin::{PontryaginOptions, PontryaginSolver};
+use crate::{CoreError, Result};
+
+/// Per-coordinate lower/upper reachable bounds on a time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachTube {
+    coordinate: usize,
+    times: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl ReachTube {
+    /// The coordinate this tube bounds.
+    pub fn coordinate(&self) -> usize {
+        self.coordinate
+    }
+
+    /// The time grid (excluding `t = 0`, where the state is the known `x0`).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Lower bounds aligned with [`ReachTube::times`].
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds aligned with [`ReachTube::times`].
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Width of the tube at grid index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn width(&self, k: usize) -> f64 {
+        self.upper[k] - self.lower[k]
+    }
+
+    /// Largest width over the grid.
+    pub fn max_width(&self) -> f64 {
+        (0..self.times.len()).fold(0.0_f64, |m, k| m.max(self.width(k)))
+    }
+
+    /// Returns `true` when `value` lies inside the tube at grid index `k`
+    /// (up to `tolerance`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn contains_at(&self, k: usize, value: f64, tolerance: f64) -> bool {
+        value >= self.lower[k] - tolerance && value <= self.upper[k] + tolerance
+    }
+
+    /// Iterates over `(time, lower, upper)` rows — the series plotted in the
+    /// paper's transient figures.
+    pub fn rows(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        (0..self.times.len()).map(move |k| (self.times[k], self.lower[k], self.upper[k]))
+    }
+}
+
+/// Options of the reach-tube computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachTubeOptions {
+    /// Number of reported time points (excluding `t = 0`).
+    pub time_points: usize,
+    /// Options of the per-horizon Pontryagin sweeps.
+    pub pontryagin: PontryaginOptions,
+}
+
+impl Default for ReachTubeOptions {
+    fn default() -> Self {
+        ReachTubeOptions {
+            time_points: 40,
+            pontryagin: PontryaginOptions { grid_intervals: 200, ..Default::default() },
+        }
+    }
+}
+
+/// Computes the reach tube of coordinate `coordinate` over `[0, horizon]`.
+///
+/// Each reported time runs two Pontryagin sweeps (minimum and maximum); the
+/// per-sweep grid is scaled with the horizon so that early times are not
+/// over-resolved.
+///
+/// # Errors
+///
+/// Returns an error on inconsistent inputs or if any sweep fails.
+pub fn reach_tube<D: ImpreciseDrift>(
+    drift: &D,
+    x0: &StateVec,
+    horizon: f64,
+    coordinate: usize,
+    options: &ReachTubeOptions,
+) -> Result<ReachTube> {
+    if coordinate >= drift.dim() {
+        return Err(CoreError::invalid_input("coordinate out of range"));
+    }
+    if options.time_points == 0 {
+        return Err(CoreError::invalid_input("reach tube needs at least one time point"));
+    }
+    if !(horizon > 0.0) || !horizon.is_finite() {
+        return Err(CoreError::invalid_input("horizon must be positive and finite"));
+    }
+    let mut times = Vec::with_capacity(options.time_points);
+    let mut lower = Vec::with_capacity(options.time_points);
+    let mut upper = Vec::with_capacity(options.time_points);
+    for k in 1..=options.time_points {
+        let t = horizon * k as f64 / options.time_points as f64;
+        // Scale the sweep grid with the sub-horizon, with a floor so short
+        // horizons are still resolved.
+        let grid_intervals = ((options.pontryagin.grid_intervals as f64)
+            * (t / horizon).max(0.2))
+        .round() as usize;
+        let solver = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: grid_intervals.max(16),
+            ..options.pontryagin
+        });
+        let (lo, hi) = solver.coordinate_extremes(drift, x0, t, coordinate)?;
+        times.push(t);
+        lower.push(lo);
+        upper.push(hi);
+    }
+    Ok(ReachTube { coordinate, times, lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::FnDrift;
+    use crate::inclusion::DifferentialInclusion;
+    use crate::signal::PiecewiseSignal;
+    use mfu_ctmc::params::ParamSpace;
+
+    fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+    }
+
+    fn fast_options() -> ReachTubeOptions {
+        ReachTubeOptions {
+            time_points: 8,
+            pontryagin: PontryaginOptions { grid_intervals: 80, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn tube_of_scalar_decay_matches_extreme_exponentials() {
+        let drift = decay_drift();
+        let tube =
+            reach_tube(&drift, &StateVec::from([1.0]), 2.0, 0, &fast_options()).unwrap();
+        assert_eq!(tube.coordinate(), 0);
+        assert_eq!(tube.times().len(), 8);
+        for (t, lo, hi) in tube.rows() {
+            assert!((lo - (-2.0 * t).exp()).abs() < 1e-3, "t = {t}");
+            assert!((hi - (-t).exp()).abs() < 1e-3, "t = {t}");
+            assert!(lo <= hi);
+        }
+        assert!(tube.max_width() > 0.0);
+    }
+
+    #[test]
+    fn tube_contains_switching_selections() {
+        let drift = decay_drift();
+        let tube = reach_tube(&drift, &StateVec::from([1.0]), 2.0, 0, &fast_options()).unwrap();
+        let inclusion = DifferentialInclusion::new(&drift);
+        let signal = PiecewiseSignal::new(vec![0.7], vec![vec![2.0], vec![1.0]]);
+        let traj = inclusion.solve_fixed_step(&signal, StateVec::from([1.0]), 2.0, 1e-3).unwrap();
+        for (k, &t) in tube.times().iter().enumerate() {
+            let value = traj.at(t).unwrap()[0];
+            assert!(tube.contains_at(k, value, 1e-4), "violated at t = {t}");
+        }
+    }
+
+    #[test]
+    fn tube_width_grows_with_time_for_the_decay_model() {
+        let drift = decay_drift();
+        let tube = reach_tube(&drift, &StateVec::from([1.0]), 1.0, 0, &fast_options()).unwrap();
+        // early widths are smaller than the largest width
+        assert!(tube.width(0) < tube.max_width() + 1e-12);
+        assert!(tube.width(0) < tube.width(3));
+    }
+
+    #[test]
+    fn input_validation() {
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        assert!(reach_tube(&drift, &x0, 1.0, 3, &fast_options()).is_err());
+        assert!(reach_tube(&drift, &x0, -1.0, 0, &fast_options()).is_err());
+        let zero_points = ReachTubeOptions { time_points: 0, ..fast_options() };
+        assert!(reach_tube(&drift, &x0, 1.0, 0, &zero_points).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic parameter signals `ϑ(t)`.
+//!
+//! A *solution* of the mean-field differential inclusion is obtained by
+//! choosing a measurable selection `ϑ(t) ∈ Θ` and integrating
+//! `ẋ = f(x, ϑ(t))`. This module provides the deterministic signals used by
+//! the analyses: constants (the uncertain scenario), piecewise-constant
+//! switching schedules (the bang-bang extremal controls produced by the
+//! Pontryagin sweep), signals interpolated from a grid, and arbitrary
+//! closures of time.
+//!
+//! These signals are the deterministic counterpart of the stochastic
+//! [`ParameterPolicy`](../../mfu_sim/policy/trait.ParameterPolicy.html) used
+//! by the simulator; they take no randomness and do not observe the state.
+
+use mfu_num::grid::GridSignal;
+
+/// A deterministic parameter signal `t ↦ ϑ(t)`.
+pub trait ParamSignal {
+    /// The parameter vector in effect at time `t`.
+    fn theta_at(&self, t: f64) -> Vec<f64>;
+}
+
+impl<S: ParamSignal + ?Sized> ParamSignal for &S {
+    fn theta_at(&self, t: f64) -> Vec<f64> {
+        (**self).theta_at(t)
+    }
+}
+
+/// A constant signal: the uncertain scenario for one candidate `ϑ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantSignal {
+    theta: Vec<f64>,
+}
+
+impl ConstantSignal {
+    /// Creates a signal that always returns `theta`.
+    pub fn new(theta: Vec<f64>) -> Self {
+        ConstantSignal { theta }
+    }
+}
+
+impl ParamSignal for ConstantSignal {
+    fn theta_at(&self, _t: f64) -> Vec<f64> {
+        self.theta.clone()
+    }
+}
+
+/// A piecewise-constant switching schedule (e.g. a bang-bang control).
+///
+/// The value on `[t_k, t_{k+1})` is `values[k]`; before the first breakpoint
+/// `values[0]` applies, after the last breakpoint the last value applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseSignal {
+    breakpoints: Vec<f64>,
+    values: Vec<Vec<f64>>,
+}
+
+impl PiecewiseSignal {
+    /// Creates a schedule from breakpoints `t_1 < … < t_m` and `m + 1` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != breakpoints.len() + 1` or the breakpoints
+    /// are not strictly increasing.
+    pub fn new(breakpoints: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
+        assert_eq!(values.len(), breakpoints.len() + 1, "need one more value than breakpoints");
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        PiecewiseSignal { breakpoints, values }
+    }
+}
+
+impl ParamSignal for PiecewiseSignal {
+    fn theta_at(&self, t: f64) -> Vec<f64> {
+        let idx = self.breakpoints.iter().take_while(|&&b| t >= b).count();
+        self.values[idx].clone()
+    }
+}
+
+/// A signal read from a [`GridSignal`] with piecewise-constant sampling.
+///
+/// This is how the extremal control returned by the Pontryagin sweep is
+/// replayed through the plain integrator (e.g. to plot the extremal
+/// trajectories of Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridParamSignal {
+    signal: GridSignal,
+}
+
+impl GridParamSignal {
+    /// Wraps a grid signal.
+    pub fn new(signal: GridSignal) -> Self {
+        GridParamSignal { signal }
+    }
+
+    /// The wrapped grid signal.
+    pub fn grid_signal(&self) -> &GridSignal {
+        &self.signal
+    }
+}
+
+impl ParamSignal for GridParamSignal {
+    fn theta_at(&self, t: f64) -> Vec<f64> {
+        self.signal.at_piecewise_constant(t).into_inner()
+    }
+}
+
+/// A signal defined by an arbitrary closure of time.
+pub struct FnSignal<F> {
+    f: F,
+}
+
+impl<F> FnSignal<F>
+where
+    F: Fn(f64) -> Vec<f64>,
+{
+    /// Creates a signal from a closure.
+    pub fn new(f: F) -> Self {
+        FnSignal { f }
+    }
+}
+
+impl<F> ParamSignal for FnSignal<F>
+where
+    F: Fn(f64) -> Vec<f64>,
+{
+    fn theta_at(&self, t: f64) -> Vec<f64> {
+        (self.f)(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_num::grid::TimeGrid;
+    use mfu_num::StateVec;
+
+    #[test]
+    fn constant_signal() {
+        let s = ConstantSignal::new(vec![1.0, 2.0]);
+        assert_eq!(s.theta_at(0.0), vec![1.0, 2.0]);
+        assert_eq!(s.theta_at(100.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn piecewise_signal_switches() {
+        let s = PiecewiseSignal::new(vec![1.0, 2.0], vec![vec![0.0], vec![5.0], vec![9.0]]);
+        assert_eq!(s.theta_at(0.5), vec![0.0]);
+        assert_eq!(s.theta_at(1.0), vec![5.0]);
+        assert_eq!(s.theta_at(1.99), vec![5.0]);
+        assert_eq!(s.theta_at(2.0), vec![9.0]);
+        assert_eq!(s.theta_at(10.0), vec![9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn piecewise_signal_validates_breakpoints() {
+        let _ = PiecewiseSignal::new(vec![2.0, 1.0], vec![vec![0.0], vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn grid_signal_is_piecewise_constant() {
+        let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
+        let gs = GridSignal::new(
+            grid,
+            vec![StateVec::from([1.0]), StateVec::from([2.0]), StateVec::from([3.0])],
+        )
+        .unwrap();
+        let s = GridParamSignal::new(gs);
+        assert_eq!(s.theta_at(0.1), vec![1.0]);
+        assert_eq!(s.theta_at(0.6), vec![2.0]);
+        assert_eq!(s.grid_signal().dim(), 1);
+    }
+
+    #[test]
+    fn fn_signal_evaluates_closure() {
+        let s = FnSignal::new(|t: f64| vec![t.sin(), t.cos()]);
+        let v = s.theta_at(0.0);
+        assert_eq!(v, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn references_are_signals_too() {
+        let s = ConstantSignal::new(vec![3.0]);
+        fn sample<S: ParamSignal>(signal: S) -> Vec<f64> {
+            signal.theta_at(1.0)
+        }
+        assert_eq!(sample(&s), vec![3.0]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Template-polyhedron refinement of reachable sets (Section IV-C, remark).
+//!
+//! The per-coordinate Pontryagin bounds describe the reachable set of the
+//! mean-field inclusion at time `T` only up to a bounding rectangle. The
+//! paper notes that the same sweep applied to arbitrary linear functionals
+//! `α·x(T)` refines the rectangle into any convex template polyhedron. This
+//! module implements the two-dimensional version: the support function of
+//! the reachable set is evaluated in `K` evenly spaced directions and the
+//! corresponding support lines are intersected into a convex polygon that
+//! contains the reachable set (and converges to its convex hull as `K`
+//! grows).
+
+use mfu_num::geometry::{convex_hull, Point2, Polygon};
+use mfu_num::StateVec;
+
+use crate::drift::ImpreciseDrift;
+use crate::pontryagin::{LinearObjective, PontryaginOptions, PontryaginSolver};
+use crate::{CoreError, Result};
+
+/// Options of the template-polyhedron construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateOptions {
+    /// Number of template directions (evenly spaced on the unit circle).
+    pub directions: usize,
+    /// Options of the per-direction Pontryagin sweeps.
+    pub pontryagin: PontryaginOptions,
+}
+
+impl Default for TemplateOptions {
+    fn default() -> Self {
+        TemplateOptions {
+            directions: 16,
+            // multi-start costs one extra sweep per Θ vertex and protects the
+            // support values against local extremals in oblique directions
+            pontryagin: PontryaginOptions {
+                grid_intervals: 200,
+                multi_start: true,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A convex over-approximation of the reachable set at a fixed time,
+/// described by its support values and the induced polygon.
+#[derive(Debug, Clone)]
+pub struct ReachablePolygon {
+    horizon: f64,
+    directions: Vec<Point2>,
+    support: Vec<f64>,
+    polygon: Polygon,
+}
+
+impl ReachablePolygon {
+    /// The horizon at which the set was computed.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The template directions used.
+    pub fn directions(&self) -> &[Point2] {
+        &self.directions
+    }
+
+    /// The support value `max { α·x(T) }` for each template direction.
+    pub fn support(&self) -> &[f64] {
+        &self.support
+    }
+
+    /// The polygon obtained by intersecting the support half-planes.
+    pub fn polygon(&self) -> &Polygon {
+        &self.polygon
+    }
+
+    /// Returns `true` when the (two-dimensional) state satisfies every
+    /// support constraint up to a slack of `10⁻³` per constraint.
+    ///
+    /// The slack covers the numerical accuracy of the support values: each is
+    /// a forward–backward sweep on a finite grid, so the bang-bang switching
+    /// instants — and with them the support — are only resolved up to the
+    /// grid step. Use [`ReachablePolygon::contains_state_within`] to choose a
+    /// different slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have exactly two coordinates.
+    pub fn contains_state(&self, state: &StateVec) -> bool {
+        self.contains_state_within(state, 1e-3)
+    }
+
+    /// Returns `true` when the state satisfies every support constraint up to
+    /// `slack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have exactly two coordinates.
+    pub fn contains_state_within(&self, state: &StateVec, slack: f64) -> bool {
+        assert_eq!(state.dim(), 2, "template containment requires a 2-D state");
+        self.directions
+            .iter()
+            .zip(self.support.iter())
+            .all(|(alpha, &h)| alpha.x * state[0] + alpha.y * state[1] <= h + slack)
+    }
+
+    /// The bounding rectangle implied by the axis-aligned template directions
+    /// (the rectangle the paper's per-coordinate bounds would give).
+    pub fn bounding_box(&self) -> (Point2, Point2) {
+        self.polygon.bounding_box()
+    }
+}
+
+/// Computes a convex polygon containing the reachable set of a
+/// two-dimensional imprecise drift at time `horizon`.
+///
+/// One Pontryagin sweep is run per template direction, so the cost is
+/// `directions` times that of a single sweep.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedDimension`] for drifts that are not
+/// two-dimensional, and propagates sweep failures.
+pub fn reachable_polygon_2d<D: ImpreciseDrift>(
+    drift: &D,
+    x0: &StateVec,
+    horizon: f64,
+    options: &TemplateOptions,
+) -> Result<ReachablePolygon> {
+    if drift.dim() != 2 {
+        return Err(CoreError::UnsupportedDimension { required: 2, found: drift.dim() });
+    }
+    if options.directions < 3 {
+        return Err(CoreError::invalid_input("at least three template directions are required"));
+    }
+    let solver = PontryaginSolver::new(options.pontryagin);
+
+    let mut directions = Vec::with_capacity(options.directions);
+    let mut support = Vec::with_capacity(options.directions);
+    for k in 0..options.directions {
+        let angle = 2.0 * std::f64::consts::PI * k as f64 / options.directions as f64;
+        let alpha = Point2::new(angle.cos(), angle.sin());
+        let objective = LinearObjective::maximize(StateVec::from([alpha.x, alpha.y]));
+        let solution = solver.solve(drift, x0, horizon, objective)?;
+        directions.push(alpha);
+        support.push(solution.objective_value());
+    }
+
+    // Intersect adjacent support lines to obtain the polygon vertices. With
+    // evenly spaced directions adjacent lines are never parallel.
+    let mut vertices = Vec::with_capacity(options.directions);
+    for k in 0..options.directions {
+        let a1 = directions[k];
+        let h1 = support[k];
+        let a2 = directions[(k + 1) % options.directions];
+        let h2 = support[(k + 1) % options.directions];
+        let det = a1.x * a2.y - a1.y * a2.x;
+        if det.abs() < 1e-12 {
+            continue;
+        }
+        let x = (h1 * a2.y - h2 * a1.y) / det;
+        let y = (a1.x * h2 - a2.x * h1) / det;
+        vertices.push(Point2::new(x, y));
+    }
+    let polygon = convex_hull(&vertices).or_else(|_| {
+        // Degenerate reachable set (e.g. a precise model): fall back to a tiny
+        // triangle around the unique reachable point so the polygon stays valid.
+        let centre = vertices.first().copied().unwrap_or(Point2::new(x0[0], x0[1]));
+        let eps = 1e-9;
+        Polygon::new(vec![
+            Point2::new(centre.x - eps, centre.y - eps),
+            Point2::new(centre.x + eps, centre.y - eps),
+            Point2::new(centre.x, centre.y + eps),
+        ])
+        .map_err(CoreError::from)
+    })?;
+
+    Ok(ReachablePolygon { horizon, directions, support, polygon })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::FnDrift;
+    use crate::inclusion::DifferentialInclusion;
+    use crate::signal::PiecewiseSignal;
+    use mfu_ctmc::params::ParamSpace;
+
+    fn decoupled_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        // ẋ0 = -ϑ x0, ẋ1 = ϑ - x1 with ϑ ∈ [0.5, 1.5]
+        let params = ParamSpace::single("theta", 0.5, 1.5).unwrap();
+        FnDrift::new(2, params, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0];
+            dx[1] = th[0] - x[1];
+        })
+    }
+
+    fn fast_options(directions: usize) -> TemplateOptions {
+        TemplateOptions {
+            directions,
+            pontryagin: PontryaginOptions { grid_intervals: 80, multi_start: true, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn polygon_contains_constant_and_switching_selections() {
+        let drift = decoupled_drift();
+        let x0 = StateVec::from([1.0, 0.0]);
+        let horizon = 1.5;
+        let reachable = reachable_polygon_2d(&drift, &x0, horizon, &fast_options(12)).unwrap();
+        assert_eq!(reachable.directions().len(), 12);
+        assert!((reachable.horizon() - horizon).abs() < 1e-12);
+
+        let inclusion = DifferentialInclusion::new(&drift);
+        for theta in [0.5, 1.0, 1.5] {
+            let end = inclusion.solve_constant(&[theta], x0.clone(), horizon).unwrap();
+            assert!(
+                reachable.contains_state(end.last_state()),
+                "constant ϑ = {theta} escapes the template polygon"
+            );
+        }
+        // A switching selection whose endpoint sits essentially on the
+        // boundary of the reachable set: containment holds up to the support
+        // accuracy, which is limited by the sweep's time-grid resolution.
+        let signal = PiecewiseSignal::new(vec![0.7], vec![vec![1.5], vec![0.5]]);
+        let end = inclusion.solve_fixed_step(&signal, x0, horizon, 1e-3).unwrap();
+        assert!(reachable.contains_state_within(end.last_state(), 5e-3));
+    }
+
+    #[test]
+    fn more_directions_refine_the_polygon() {
+        let drift = decoupled_drift();
+        let x0 = StateVec::from([1.0, 0.0]);
+        let coarse = reachable_polygon_2d(&drift, &x0, 1.0, &fast_options(4)).unwrap();
+        let fine = reachable_polygon_2d(&drift, &x0, 1.0, &fast_options(24)).unwrap();
+        assert!(fine.polygon().area() <= coarse.polygon().area() + 1e-9);
+    }
+
+    #[test]
+    fn template_box_matches_coordinate_extremes() {
+        let drift = decoupled_drift();
+        let x0 = StateVec::from([1.0, 0.0]);
+        let horizon = 1.0;
+        let reachable = reachable_polygon_2d(&drift, &x0, horizon, &fast_options(16)).unwrap();
+        let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 80, ..Default::default() });
+        let (lo, hi) = solver.coordinate_extremes(&drift, &x0, horizon, 0).unwrap();
+        let (bb_lo, bb_hi) = reachable.bounding_box();
+        // with 16 directions the axis-aligned supports are included, so the
+        // bounding box matches the per-coordinate extremes closely
+        assert!((bb_lo.x - lo).abs() < 5e-3);
+        assert!((bb_hi.x - hi).abs() < 5e-3);
+    }
+
+    #[test]
+    fn input_validation() {
+        let drift = decoupled_drift();
+        let x0 = StateVec::from([1.0, 0.0]);
+        assert!(reachable_polygon_2d(&drift, &x0, 1.0, &fast_options(2)).is_err());
+        let params = ParamSpace::single("theta", 0.0, 1.0).unwrap();
+        let one_d = FnDrift::new(1, params, |_x: &StateVec, _th: &[f64], dx: &mut StateVec| dx[0] = 0.0);
+        assert!(matches!(
+            reachable_polygon_2d(&one_d, &StateVec::from([0.0]), 1.0, &fast_options(8)),
+            Err(CoreError::UnsupportedDimension { .. })
+        ));
+    }
+}

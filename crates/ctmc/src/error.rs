@@ -1,0 +1,116 @@
+use std::fmt;
+
+use mfu_num::NumError;
+
+/// Error type for the CTMC and population-process layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CtmcError {
+    /// A parameter interval or box was malformed (e.g. lower bound above upper).
+    InvalidParameter {
+        /// Description of the offending parameter.
+        message: String,
+    },
+    /// A model definition was inconsistent (wrong dimensions, no transitions, …).
+    InvalidModel {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// A state, parameter vector or distribution had the wrong dimension.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A rate function returned a negative or non-finite value.
+    InvalidRate {
+        /// Name of the transition class whose rate misbehaved.
+        transition: String,
+        /// The offending rate value.
+        rate: f64,
+    },
+    /// The explicit state-space expansion exceeded its configured limit.
+    StateSpaceTooLarge {
+        /// Configured maximum number of states.
+        limit: usize,
+    },
+    /// An underlying numerical routine failed.
+    Numerical(NumError),
+}
+
+impl CtmcError {
+    /// Creates an [`CtmcError::InvalidParameter`] from anything printable.
+    pub fn invalid_parameter(message: impl Into<String>) -> Self {
+        CtmcError::InvalidParameter { message: message.into() }
+    }
+
+    /// Creates an [`CtmcError::InvalidModel`] from anything printable.
+    pub fn invalid_model(message: impl Into<String>) -> Self {
+        CtmcError::InvalidModel { message: message.into() }
+    }
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            CtmcError::InvalidModel { message } => write!(f, "invalid model: {message}"),
+            CtmcError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            CtmcError::InvalidRate { transition, rate } => {
+                write!(f, "transition '{transition}' produced an invalid rate {rate}")
+            }
+            CtmcError::StateSpaceTooLarge { limit } => {
+                write!(f, "state-space expansion exceeded the limit of {limit} states")
+            }
+            CtmcError::Numerical(err) => write!(f, "numerical error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtmcError::Numerical(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for CtmcError {
+    fn from(err: NumError) -> Self {
+        CtmcError::Numerical(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CtmcError::invalid_parameter("bad box").to_string().contains("bad box"));
+        assert!(CtmcError::invalid_model("no transitions").to_string().contains("no transitions"));
+        let err = CtmcError::DimensionMismatch { expected: 2, found: 3 };
+        assert!(err.to_string().contains("expected 2"));
+        let err = CtmcError::InvalidRate { transition: "infect".into(), rate: -1.0 };
+        assert!(err.to_string().contains("infect"));
+        let err = CtmcError::StateSpaceTooLarge { limit: 10 };
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn wraps_numerical_errors() {
+        let err: CtmcError = NumError::invalid_argument("negative step").into();
+        assert!(err.to_string().contains("negative step"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CtmcError>();
+    }
+}

@@ -1,0 +1,405 @@
+//! Dense generators of finite continuous-time Markov chains.
+//!
+//! The mean-field results of the paper are statements about the limit of a
+//! *sequence* of finite CTMCs. To validate the other layers (the stochastic
+//! simulator and the mean-field approximation itself) we need the exact
+//! answer on small instances; this module provides it through
+//! uniformization (transient distributions) and power iteration on the
+//! uniformized chain (stationary distributions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CtmcError, Result};
+
+/// A dense generator matrix `Q` of a finite CTMC.
+///
+/// Off-diagonal entries are the transition rates `Q_{xy} ≥ 0`; the diagonal
+/// is maintained automatically as the negative row sum, so the invariant
+/// `Σ_y Q_{xy} = 0` of the paper's Section II always holds.
+///
+/// # Example
+///
+/// A two-state chain flipping between states 0 and 1:
+///
+/// ```
+/// use mfu_ctmc::generator::GeneratorMatrix;
+///
+/// let mut q = GeneratorMatrix::new(2);
+/// q.set_rate(0, 1, 2.0)?;
+/// q.set_rate(1, 0, 1.0)?;
+/// let pi = q.stationary_distribution(1e-12, 100_000)?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+/// assert!((pi[1] - 2.0 / 3.0).abs() < 1e-9);
+/// # Ok::<(), mfu_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorMatrix {
+    n: usize,
+    /// Row-major off-diagonal rates; the diagonal entries are stored too but
+    /// always equal the negative off-diagonal row sum.
+    rates: Vec<f64>,
+}
+
+impl GeneratorMatrix {
+    /// Creates the zero generator on `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a CTMC needs at least one state");
+        GeneratorMatrix { n, rates: vec![0.0; n * n] }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: the chain has at least one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sets the rate of the transition `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the indices are out of range or equal, or the rate
+    /// is negative or non-finite.
+    pub fn set_rate(&mut self, from: usize, to: usize, rate: f64) -> Result<()> {
+        if from >= self.n || to >= self.n {
+            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+        }
+        if from == to {
+            return Err(CtmcError::invalid_model("cannot set a diagonal rate directly"));
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(CtmcError::InvalidRate { transition: format!("{from}->{to}"), rate });
+        }
+        let old = self.rates[from * self.n + to];
+        self.rates[from * self.n + to] = rate;
+        // maintain the diagonal as negative row sum
+        self.rates[from * self.n + from] += old - rate;
+        Ok(())
+    }
+
+    /// Adds `rate` to the transition `from → to` (accumulating parallel
+    /// transition classes that target the same state).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GeneratorMatrix::set_rate`].
+    pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) -> Result<()> {
+        if from >= self.n || to >= self.n {
+            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+        }
+        if from == to {
+            return Err(CtmcError::invalid_model("cannot add to a diagonal rate directly"));
+        }
+        let current = self.rates[from * self.n + to];
+        self.set_rate(from, to, current + rate)
+    }
+
+    /// Returns entry `Q_{from, to}` (including the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.n && to < self.n, "generator index out of range");
+        self.rates[from * self.n + to]
+    }
+
+    /// Total exit rate of a state (`-Q_{xx}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        -self.rate(state, state)
+    }
+
+    /// The uniformization constant `Λ = max_x (-Q_{xx})`.
+    pub fn uniformization_rate(&self) -> f64 {
+        (0..self.n).fold(0.0_f64, |m, i| m.max(self.exit_rate(i)))
+    }
+
+    /// One step of the uniformized DTMC applied to a row distribution:
+    /// `out = p · (I + Q/Λ)`.
+    fn uniformized_step(&self, lambda: f64, p: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &pi) in p.iter().enumerate() {
+            if pi == 0.0 {
+                continue;
+            }
+            for j in 0..self.n {
+                let entry = if i == j {
+                    1.0 + self.rates[i * self.n + j] / lambda
+                } else {
+                    self.rates[i * self.n + j] / lambda
+                };
+                if entry != 0.0 {
+                    out[j] += pi * entry;
+                }
+            }
+        }
+    }
+
+    /// Transient distribution `p(t) = p(0)·e^{Qt}` via uniformization.
+    ///
+    /// The truncation error of the Poisson sum is kept below `tolerance`.
+    /// Long horizons are split into segments so the Poisson weights never
+    /// underflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `initial` is not a probability distribution over
+    /// the chain's states, or `t` is negative/non-finite, or `tolerance` is
+    /// not in `(0, 1)`.
+    pub fn transient_distribution(&self, initial: &[f64], t: f64, tolerance: f64) -> Result<Vec<f64>> {
+        self.check_distribution(initial)?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(CtmcError::invalid_parameter("time horizon must be finite and non-negative"));
+        }
+        if !(tolerance > 0.0 && tolerance < 1.0) {
+            return Err(CtmcError::invalid_parameter("tolerance must lie in (0, 1)"));
+        }
+        let lambda = self.uniformization_rate();
+        if lambda == 0.0 || t == 0.0 {
+            return Ok(initial.to_vec());
+        }
+        // Split long horizons so that Λ·Δt stays below ~400 and e^{-ΛΔt} does
+        // not underflow.
+        let segments = ((lambda * t) / 400.0).ceil().max(1.0) as usize;
+        let dt = t / segments as f64;
+        let seg_tolerance = tolerance / segments as f64;
+
+        let mut p = initial.to_vec();
+        for _ in 0..segments {
+            p = self.transient_segment(&p, lambda, dt, seg_tolerance);
+        }
+        Ok(p)
+    }
+
+    fn transient_segment(&self, initial: &[f64], lambda: f64, dt: f64, tolerance: f64) -> Vec<f64> {
+        let q = lambda * dt;
+        let mut weight = (-q).exp();
+        let mut accumulated = weight;
+        let mut result: Vec<f64> = initial.iter().map(|&v| v * weight).collect();
+        let mut current = initial.to_vec();
+        let mut next = vec![0.0; self.n];
+        let mut k = 0usize;
+        // crude upper bound on the number of terms needed
+        let max_terms = (q + 10.0 * q.sqrt() + 50.0) as usize;
+        while accumulated < 1.0 - tolerance && k < max_terms {
+            k += 1;
+            self.uniformized_step(lambda, &current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+            weight *= q / k as f64;
+            accumulated += weight;
+            for (r, &c) in result.iter_mut().zip(current.iter()) {
+                *r += weight * c;
+            }
+        }
+        // Renormalise to compensate for the truncated tail.
+        let total: f64 = result.iter().sum();
+        if total > 0.0 {
+            result.iter_mut().for_each(|v| *v /= total);
+        }
+        result
+    }
+
+    /// Stationary distribution via power iteration on the uniformized DTMC.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the iteration does not converge within
+    /// `max_iterations` (e.g. for periodic or reducible chains the
+    /// uniformized DTMC still converges because of the self-loop, so failure
+    /// here usually means `max_iterations` is too small).
+    pub fn stationary_distribution(&self, tolerance: f64, max_iterations: usize) -> Result<Vec<f64>> {
+        if !(tolerance > 0.0) {
+            return Err(CtmcError::invalid_parameter("tolerance must be positive"));
+        }
+        let lambda = self.uniformization_rate();
+        if lambda == 0.0 {
+            // absorbing everywhere: any distribution is stationary; return uniform
+            return Ok(vec![1.0 / self.n as f64; self.n]);
+        }
+        // Strictly sub-stochastic uniformization constant keeps a self-loop at
+        // every state, which makes the DTMC aperiodic.
+        let lambda = lambda * 1.05;
+        let mut p = vec![1.0 / self.n as f64; self.n];
+        let mut next = vec![0.0; self.n];
+        for iteration in 0..max_iterations {
+            self.uniformized_step(lambda, &p, &mut next);
+            let diff = p
+                .iter()
+                .zip(next.iter())
+                .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+            std::mem::swap(&mut p, &mut next);
+            if diff < tolerance {
+                let total: f64 = p.iter().sum();
+                p.iter_mut().for_each(|v| *v /= total);
+                return Ok(p);
+            }
+            let _ = iteration;
+        }
+        Err(CtmcError::Numerical(mfu_num::NumError::NoConvergence {
+            method: "stationary_distribution",
+            iterations: max_iterations,
+            residual: f64::NAN,
+        }))
+    }
+
+    /// Expected value of a reward vector under a distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lengths disagree with the number of states.
+    pub fn expectation(&self, distribution: &[f64], reward: &[f64]) -> Result<f64> {
+        if distribution.len() != self.n || reward.len() != self.n {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: distribution.len().min(reward.len()),
+            });
+        }
+        Ok(distribution.iter().zip(reward.iter()).map(|(p, r)| p * r).sum())
+    }
+
+    fn check_distribution(&self, p: &[f64]) -> Result<()> {
+        if p.len() != self.n {
+            return Err(CtmcError::DimensionMismatch { expected: self.n, found: p.len() });
+        }
+        if p.iter().any(|&v| v < -1e-12 || !v.is_finite()) {
+            return Err(CtmcError::invalid_parameter("distribution has negative or non-finite entries"));
+        }
+        let total: f64 = p.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(CtmcError::invalid_parameter(format!(
+                "distribution sums to {total}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state chain: 0 -> 1 at rate a, 1 -> 0 at rate b.
+    fn two_state(a: f64, b: f64) -> GeneratorMatrix {
+        let mut q = GeneratorMatrix::new(2);
+        q.set_rate(0, 1, a).unwrap();
+        q.set_rate(1, 0, b).unwrap();
+        q
+    }
+
+    /// M/M/1/K queue with arrival rate λ and service rate µ.
+    fn mm1k(lambda: f64, mu: f64, k: usize) -> GeneratorMatrix {
+        let mut q = GeneratorMatrix::new(k + 1);
+        for i in 0..k {
+            q.set_rate(i, i + 1, lambda).unwrap();
+            q.set_rate(i + 1, i, mu).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn diagonal_is_negative_row_sum() {
+        let q = two_state(2.0, 3.0);
+        assert_eq!(q.rate(0, 0), -2.0);
+        assert_eq!(q.rate(1, 1), -3.0);
+        assert_eq!(q.exit_rate(0), 2.0);
+        assert_eq!(q.uniformization_rate(), 3.0);
+    }
+
+    #[test]
+    fn set_rate_validation() {
+        let mut q = GeneratorMatrix::new(2);
+        assert!(q.set_rate(0, 0, 1.0).is_err());
+        assert!(q.set_rate(0, 5, 1.0).is_err());
+        assert!(q.set_rate(0, 1, -1.0).is_err());
+        assert!(q.set_rate(0, 1, f64::NAN).is_err());
+        assert!(q.set_rate(0, 1, 1.0).is_ok());
+        // overwriting adjusts the diagonal correctly
+        q.set_rate(0, 1, 4.0).unwrap();
+        assert_eq!(q.rate(0, 0), -4.0);
+        q.add_rate(0, 1, 1.0).unwrap();
+        assert_eq!(q.rate(0, 1), 5.0);
+        assert_eq!(q.rate(0, 0), -5.0);
+    }
+
+    #[test]
+    fn two_state_transient_matches_closed_form() {
+        // For a two-state chain, P(X_t = 1 | X_0 = 0) = a/(a+b) (1 - e^{-(a+b)t}).
+        let (a, b) = (2.0, 1.0);
+        let q = two_state(a, b);
+        for &t in &[0.1, 0.5, 1.0, 3.0] {
+            let p = q.transient_distribution(&[1.0, 0.0], t, 1e-10).unwrap();
+            let expected = a / (a + b) * (1.0 - (-(a + b) * t).exp());
+            assert!((p[1] - expected).abs() < 1e-8, "t = {t}: {p:?} vs {expected}");
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_at_zero_is_initial() {
+        let q = two_state(1.0, 1.0);
+        let p = q.transient_distribution(&[0.3, 0.7], 0.0, 1e-9).unwrap();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn long_horizon_transient_reaches_stationary() {
+        let q = mm1k(1.0, 2.0, 5);
+        let mut init = vec![0.0; 6];
+        init[0] = 1.0;
+        let p = q.transient_distribution(&init, 2000.0, 1e-10).unwrap();
+        let pi = q.stationary_distribution(1e-12, 1_000_000).unwrap();
+        for (a, b) in p.iter().zip(pi.iter()) {
+            assert!((a - b).abs() < 1e-6, "{p:?} vs {pi:?}");
+        }
+    }
+
+    #[test]
+    fn mm1k_stationary_is_truncated_geometric() {
+        let (lambda, mu, k) = (1.0, 2.0, 4usize);
+        let rho: f64 = lambda / mu;
+        let q = mm1k(lambda, mu, k);
+        let pi = q.stationary_distribution(1e-13, 1_000_000).unwrap();
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        for i in 0..=k {
+            let expected = rho.powi(i as i32) / norm;
+            assert!((pi[i] - expected).abs() < 1e-8, "state {i}: {} vs {expected}", pi[i]);
+        }
+    }
+
+    #[test]
+    fn transient_input_validation() {
+        let q = two_state(1.0, 1.0);
+        assert!(q.transient_distribution(&[1.0], 1.0, 1e-9).is_err());
+        assert!(q.transient_distribution(&[0.5, 0.2], 1.0, 1e-9).is_err());
+        assert!(q.transient_distribution(&[1.0, 0.0], -1.0, 1e-9).is_err());
+        assert!(q.transient_distribution(&[1.0, 0.0], 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_generator_is_absorbing() {
+        let q = GeneratorMatrix::new(3);
+        let p = q.transient_distribution(&[0.2, 0.3, 0.5], 10.0, 1e-9).unwrap();
+        assert_eq!(p, vec![0.2, 0.3, 0.5]);
+        let pi = q.stationary_distribution(1e-9, 100).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_reward() {
+        let q = two_state(1.0, 1.0);
+        let value = q.expectation(&[0.25, 0.75], &[0.0, 4.0]).unwrap();
+        assert!((value - 3.0).abs() < 1e-12);
+        assert!(q.expectation(&[1.0], &[0.0, 1.0]).is_err());
+    }
+}

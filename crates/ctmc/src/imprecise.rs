@@ -1,0 +1,326 @@
+//! Imprecise (interval-valued) Markov chains on finite state spaces.
+//!
+//! Section II of the paper introduces imprecise CTMCs, whose probability mass
+//! evolves according to the Kolmogorov *differential inclusion*
+//! `Ṗ(t) ∈ Q·P(t)` with `Q = ⋃_{ϑ∈Θ} Q^ϑ` (Equation 2). For finite chains we
+//! represent the set of generators by interval bounds on every off-diagonal
+//! rate and propagate coordinate-wise probability bounds with a differential
+//! hull — the same idea later applied to the mean field in Section IV-B, here
+//! specialised to the linear dynamics of the probability mass.
+//!
+//! The state-space dimension of the inclusion equals the number of CTMC
+//! states, so this analysis is only practical for small chains; the paper's
+//! population-level results exist precisely to avoid this blow-up. The module
+//! is nevertheless valuable for validating the population-level machinery on
+//! tiny examples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::GeneratorMatrix;
+use crate::{CtmcError, Result};
+
+/// Interval bounds on every off-diagonal rate of a finite-state generator.
+///
+/// # Example
+///
+/// A two-state chain whose switch-on rate is only known to lie in `[1, 2]`:
+///
+/// ```
+/// use mfu_ctmc::imprecise::IntervalGenerator;
+///
+/// let mut q = IntervalGenerator::new(2);
+/// q.set_rate_bounds(0, 1, 1.0, 2.0)?;
+/// q.set_rate_bounds(1, 0, 1.0, 1.0)?;
+/// let (lo, hi) = q.transient_bounds(&[1.0, 0.0], 1.0, 1e-3)?;
+/// assert!(lo[1] <= hi[1]);
+/// assert!(lo[1] > 0.0 && hi[1] <= 1.0);
+/// # Ok::<(), mfu_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalGenerator {
+    n: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl IntervalGenerator {
+    /// Creates an interval generator on `n` states with all rates fixed to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "an imprecise CTMC needs at least one state");
+        IntervalGenerator { n, lo: vec![0.0; n * n], hi: vec![0.0; n * n] }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: the chain has at least one state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sets the rate interval of the transition `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if indices are invalid (out of range or diagonal) or
+    /// the bounds are not `0 ≤ lo ≤ hi < ∞`.
+    pub fn set_rate_bounds(&mut self, from: usize, to: usize, lo: f64, hi: f64) -> Result<()> {
+        if from >= self.n || to >= self.n {
+            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+        }
+        if from == to {
+            return Err(CtmcError::invalid_model("cannot bound a diagonal rate directly"));
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo < 0.0 || lo > hi {
+            return Err(CtmcError::invalid_parameter(format!(
+                "invalid rate bounds [{lo}, {hi}] for {from}->{to}"
+            )));
+        }
+        self.lo[from * self.n + to] = lo;
+        self.hi[from * self.n + to] = hi;
+        Ok(())
+    }
+
+    /// Lower bound of the rate `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn rate_lo(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.n && to < self.n, "index out of range");
+        self.lo[from * self.n + to]
+    }
+
+    /// Upper bound of the rate `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn rate_hi(&self, from: usize, to: usize) -> f64 {
+        assert!(from < self.n && to < self.n, "index out of range");
+        self.hi[from * self.n + to]
+    }
+
+    /// Returns `true` when `generator` respects every interval bound.
+    pub fn contains(&self, generator: &GeneratorMatrix) -> bool {
+        if generator.len() != self.n {
+            return false;
+        }
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let r = generator.rate(i, j);
+                if r < self.rate_lo(i, j) - 1e-12 || r > self.rate_hi(i, j) + 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The generator obtained by fixing every rate to its interval midpoint.
+    pub fn midpoint_generator(&self) -> GeneratorMatrix {
+        let mut q = GeneratorMatrix::new(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let mid = 0.5 * (self.rate_lo(i, j) + self.rate_hi(i, j));
+                    if mid > 0.0 {
+                        q.set_rate(i, j, mid).expect("validated bounds produce valid rates");
+                    }
+                }
+            }
+        }
+        q
+    }
+
+    /// Coordinate-wise bounds on the transient probability mass of the
+    /// imprecise chain: the differential-hull relaxation of the Kolmogorov
+    /// inclusion `Ṗ ∈ Q·P` (Equation 2 of the paper), integrated with an
+    /// explicit Euler scheme of step `step`.
+    ///
+    /// Returns `(lower, upper)` bounds on `P(X_t = x)` for every state `x`,
+    /// each clamped to `[0, 1]`. The bounds are guaranteed to contain the
+    /// transient distribution of every CTMC whose generator respects the
+    /// interval bounds at every instant, but they are generally not tight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `initial` is not a distribution over the chain's
+    /// states, or `t`/`step` are not positive and finite.
+    pub fn transient_bounds(&self, initial: &[f64], t: f64, step: f64) -> Result<(Vec<f64>, Vec<f64>)> {
+        if initial.len() != self.n {
+            return Err(CtmcError::DimensionMismatch { expected: self.n, found: initial.len() });
+        }
+        let total: f64 = initial.iter().sum();
+        if initial.iter().any(|&p| p < 0.0 || !p.is_finite()) || (total - 1.0).abs() > 1e-6 {
+            return Err(CtmcError::invalid_parameter("initial distribution is not a probability vector"));
+        }
+        if !(t >= 0.0 && t.is_finite()) || !(step > 0.0 && step.is_finite()) {
+            return Err(CtmcError::invalid_parameter("horizon and step must be positive and finite"));
+        }
+
+        let mut lower = initial.to_vec();
+        let mut upper = initial.to_vec();
+        if t == 0.0 {
+            return Ok((lower, upper));
+        }
+        let n_steps = (t / step).ceil().max(1.0) as usize;
+        let h = t / n_steps as f64;
+
+        // Pre-compute worst-case exit rates per state.
+        let max_exit: Vec<f64> = (0..self.n)
+            .map(|i| (0..self.n).filter(|&j| j != i).map(|j| self.rate_hi(i, j)).sum())
+            .collect();
+        let min_exit: Vec<f64> = (0..self.n)
+            .map(|i| (0..self.n).filter(|&j| j != i).map(|j| self.rate_lo(i, j)).sum())
+            .collect();
+
+        let mut d_lower = vec![0.0; self.n];
+        let mut d_upper = vec![0.0; self.n];
+        for _ in 0..n_steps {
+            for x in 0..self.n {
+                // Lower bound: least inflow (lower rates, lower probabilities)
+                // minus largest outflow from the current lower bound.
+                let inflow_lo: f64 = (0..self.n)
+                    .filter(|&y| y != x)
+                    .map(|y| self.rate_lo(y, x) * lower[y])
+                    .sum();
+                d_lower[x] = inflow_lo - max_exit[x] * lower[x];
+                // Upper bound: largest inflow minus least outflow.
+                let inflow_hi: f64 = (0..self.n)
+                    .filter(|&y| y != x)
+                    .map(|y| self.rate_hi(y, x) * upper[y])
+                    .sum();
+                d_upper[x] = inflow_hi - min_exit[x] * upper[x];
+            }
+            for x in 0..self.n {
+                lower[x] = (lower[x] + h * d_lower[x]).clamp(0.0, 1.0);
+                upper[x] = (upper[x] + h * d_upper[x]).clamp(0.0, 1.0);
+            }
+        }
+        Ok((lower, upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_interval() -> IntervalGenerator {
+        let mut q = IntervalGenerator::new(2);
+        q.set_rate_bounds(0, 1, 1.0, 2.0).unwrap();
+        q.set_rate_bounds(1, 0, 1.0, 1.0).unwrap();
+        q
+    }
+
+    #[test]
+    fn bounds_validation() {
+        let mut q = IntervalGenerator::new(2);
+        assert!(q.set_rate_bounds(0, 0, 1.0, 2.0).is_err());
+        assert!(q.set_rate_bounds(0, 3, 1.0, 2.0).is_err());
+        assert!(q.set_rate_bounds(0, 1, -1.0, 2.0).is_err());
+        assert!(q.set_rate_bounds(0, 1, 2.0, 1.0).is_err());
+        assert!(q.set_rate_bounds(0, 1, 1.0, f64::INFINITY).is_err());
+        assert!(q.set_rate_bounds(0, 1, 1.0, 2.0).is_ok());
+        assert_eq!(q.rate_lo(0, 1), 1.0);
+        assert_eq!(q.rate_hi(0, 1), 2.0);
+    }
+
+    #[test]
+    fn contains_checks_every_rate() {
+        let iq = two_state_interval();
+        let mut inside = GeneratorMatrix::new(2);
+        inside.set_rate(0, 1, 1.5).unwrap();
+        inside.set_rate(1, 0, 1.0).unwrap();
+        assert!(iq.contains(&inside));
+
+        let mut outside = GeneratorMatrix::new(2);
+        outside.set_rate(0, 1, 3.0).unwrap();
+        outside.set_rate(1, 0, 1.0).unwrap();
+        assert!(!iq.contains(&outside));
+
+        assert!(!iq.contains(&GeneratorMatrix::new(3)));
+    }
+
+    #[test]
+    fn midpoint_generator_uses_interval_midpoints() {
+        let iq = two_state_interval();
+        let q = iq.midpoint_generator();
+        assert!((q.rate(0, 1) - 1.5).abs() < 1e-12);
+        assert!((q.rate(1, 0) - 1.0).abs() < 1e-12);
+        assert!(iq.contains(&q));
+    }
+
+    #[test]
+    fn degenerate_intervals_reproduce_exact_transient() {
+        // When lo == hi for every rate, the bounds must (tightly) bracket the
+        // exact uniformization answer, up to the Euler discretisation error.
+        let mut iq = IntervalGenerator::new(2);
+        iq.set_rate_bounds(0, 1, 2.0, 2.0).unwrap();
+        iq.set_rate_bounds(1, 0, 1.0, 1.0).unwrap();
+        let exact = iq
+            .midpoint_generator()
+            .transient_distribution(&[1.0, 0.0], 0.8, 1e-10)
+            .unwrap();
+        let (lo, hi) = iq.transient_bounds(&[1.0, 0.0], 0.8, 1e-4).unwrap();
+        for i in 0..2 {
+            assert!(lo[i] <= exact[i] + 1e-3, "state {i}: {lo:?} vs {exact:?}");
+            assert!(hi[i] >= exact[i] - 1e-3, "state {i}: {hi:?} vs {exact:?}");
+            assert!(hi[i] - lo[i] < 5e-3, "degenerate bounds should be tight");
+        }
+    }
+
+    #[test]
+    fn bounds_contain_every_constant_generator_in_the_box() {
+        let iq = two_state_interval();
+        let (lo, hi) = iq.transient_bounds(&[1.0, 0.0], 1.0, 1e-4).unwrap();
+        for &rate in &[1.0, 1.3, 1.7, 2.0] {
+            let mut q = GeneratorMatrix::new(2);
+            q.set_rate(0, 1, rate).unwrap();
+            q.set_rate(1, 0, 1.0).unwrap();
+            assert!(iq.contains(&q));
+            let p = q.transient_distribution(&[1.0, 0.0], 1.0, 1e-10).unwrap();
+            for i in 0..2 {
+                assert!(p[i] >= lo[i] - 1e-6, "rate {rate}, state {i}");
+                assert!(p[i] <= hi[i] + 1e-6, "rate {rate}, state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_horizon_returns_initial() {
+        let iq = two_state_interval();
+        let (lo, hi) = iq.transient_bounds(&[0.4, 0.6], 0.0, 1e-3).unwrap();
+        assert_eq!(lo, vec![0.4, 0.6]);
+        assert_eq!(hi, vec![0.4, 0.6]);
+    }
+
+    #[test]
+    fn transient_bounds_validate_inputs() {
+        let iq = two_state_interval();
+        assert!(iq.transient_bounds(&[1.0], 1.0, 1e-3).is_err());
+        assert!(iq.transient_bounds(&[0.7, 0.7], 1.0, 1e-3).is_err());
+        assert!(iq.transient_bounds(&[1.0, 0.0], -1.0, 1e-3).is_err());
+        assert!(iq.transient_bounds(&[1.0, 0.0], 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn bounds_widen_with_interval_width() {
+        let narrow = two_state_interval();
+        let mut wide = IntervalGenerator::new(2);
+        wide.set_rate_bounds(0, 1, 0.5, 4.0).unwrap();
+        wide.set_rate_bounds(1, 0, 1.0, 1.0).unwrap();
+        let (nl, nh) = narrow.transient_bounds(&[1.0, 0.0], 1.0, 1e-4).unwrap();
+        let (wl, wh) = wide.transient_bounds(&[1.0, 0.0], 1.0, 1e-4).unwrap();
+        assert!(wh[1] - wl[1] > nh[1] - nl[1]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Continuous-time Markov chain and population-process substrate.
+//!
+//! This crate implements the modelling layer of the reproduction of
+//! Bortolussi & Gast, *Mean Field Approximation of Uncertain Stochastic
+//! Models* (DSN 2016):
+//!
+//! * [`params`] — uncertainty sets `Θ` (boxes of parameter intervals, Section
+//!   I/II of the paper) with vertex enumeration and grid sampling;
+//! * [`transition`] — density-dependent transition classes, the standard way
+//!   of specifying population processes (Section III-A);
+//! * [`population`] — [`PopulationModel`](population::PopulationModel): a set
+//!   of transition classes with a parameter space, its drift, and numerical
+//!   checks of the scaling assumptions of Definition 4;
+//! * [`generator`] — dense generator matrices for *finite* CTMCs,
+//!   uniformization for transient distributions and stationary solutions,
+//!   used to validate both the simulator and the mean-field limit on small
+//!   populations;
+//! * [`finite`] — explicit state-space expansion of a population model for a
+//!   finite population size `N` and a fixed parameter, bridging the
+//!   population layer and the finite-chain layer;
+//! * [`imprecise`] — interval-valued generators (imprecise Markov chains of
+//!   Section II) and coordinate-wise bounds on the Kolmogorov differential
+//!   inclusion (Equation 2 of the paper).
+//!
+//! # Example
+//!
+//! Build the single-station bike-sharing model from Section II of the paper
+//! and evaluate its drift:
+//!
+//! ```
+//! use mfu_ctmc::params::{Interval, ParamSpace};
+//! use mfu_ctmc::population::PopulationModel;
+//! use mfu_ctmc::transition::TransitionClass;
+//! use mfu_num::StateVec;
+//!
+//! // One variable: the fraction of occupied bike racks.
+//! let space = ParamSpace::new(vec![
+//!     ("arrival", Interval::new(0.5, 1.5)?),
+//!     ("return", Interval::new(0.8, 1.2)?),
+//! ])?;
+//! let model = PopulationModel::builder(1, space)
+//!     .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, theta: &[f64]| {
+//!         if x[0] > 0.0 { theta[0] } else { 0.0 }
+//!     }))
+//!     .transition(TransitionClass::new("return", [1.0], |x: &StateVec, theta: &[f64]| {
+//!         if x[0] < 1.0 { theta[1] } else { 0.0 }
+//!     }))
+//!     .build()?;
+//!
+//! let drift = model.drift(&StateVec::from(vec![0.4]), &[1.0, 1.0])?;
+//! assert!(drift[0].abs() < 1e-12); // balanced rates => zero drift
+//! # Ok::<(), mfu_ctmc::CtmcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod finite;
+pub mod generator;
+pub mod imprecise;
+pub mod params;
+pub mod population;
+pub mod transition;
+
+pub use error::CtmcError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CtmcError>;

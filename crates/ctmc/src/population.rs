@@ -1,0 +1,384 @@
+//! Population models: transition classes + parameter space.
+//!
+//! A [`PopulationModel`] is the Rust counterpart of the *imprecise population
+//! process* of Definition 4 in the paper: a family of CTMCs indexed by the
+//! population size `N`, specified once through density-dependent transition
+//! classes and an uncertainty set `Θ`. The same object is consumed by
+//!
+//! * the stochastic simulator (`mfu-sim`), which interprets it at a finite
+//!   `N`;
+//! * the explicit state-space expansion ([`crate::finite`]), which builds the
+//!   exact generator for small `N`;
+//! * the mean-field layer (`mfu-core`), which only needs the drift
+//!   `f(x, ϑ) = Σ ℓ_k β_k(x, ϑ)` and the parameter space.
+
+use std::fmt;
+
+use mfu_num::ode::OdeSystem;
+use mfu_num::StateVec;
+
+use crate::params::ParamSpace;
+use crate::transition::TransitionClass;
+use crate::{CtmcError, Result};
+
+/// A population process specified by transition classes over a parameter box.
+///
+/// See the crate-level example for construction via [`PopulationModel::builder`].
+#[derive(Clone)]
+pub struct PopulationModel {
+    dim: usize,
+    names: Vec<String>,
+    params: ParamSpace,
+    transitions: Vec<TransitionClass>,
+}
+
+impl fmt::Debug for PopulationModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PopulationModel")
+            .field("dim", &self.dim)
+            .field("variables", &self.names)
+            .field("parameters", &self.params.names())
+            .field("transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+/// Builder for [`PopulationModel`].
+pub struct PopulationModelBuilder {
+    dim: usize,
+    names: Vec<String>,
+    params: ParamSpace,
+    transitions: Vec<TransitionClass>,
+}
+
+impl PopulationModelBuilder {
+    /// Names the state variables (defaults to `x0`, `x1`, …).
+    ///
+    /// The number of names must match the model dimension; this is validated
+    /// by [`PopulationModelBuilder::build`].
+    #[must_use]
+    pub fn variable_names<S: Into<String>>(mut self, names: Vec<S>) -> Self {
+        self.names = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a transition class.
+    #[must_use]
+    pub fn transition(mut self, class: TransitionClass) -> Self {
+        self.transitions.push(class);
+        self
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no transition was added, if any transition's jump
+    /// vector has the wrong dimension, or if the variable names do not match
+    /// the dimension.
+    pub fn build(self) -> Result<PopulationModel> {
+        if self.transitions.is_empty() {
+            return Err(CtmcError::invalid_model("a population model needs at least one transition"));
+        }
+        if self.names.len() != self.dim {
+            return Err(CtmcError::invalid_model(format!(
+                "expected {} variable names, got {}",
+                self.dim,
+                self.names.len()
+            )));
+        }
+        for t in &self.transitions {
+            if t.dim() != self.dim {
+                return Err(CtmcError::DimensionMismatch { expected: self.dim, found: t.dim() });
+            }
+        }
+        Ok(PopulationModel {
+            dim: self.dim,
+            names: self.names,
+            params: self.params,
+            transitions: self.transitions,
+        })
+    }
+}
+
+impl PopulationModel {
+    /// Starts building a model with `dim` state variables over the parameter
+    /// space `params`.
+    pub fn builder(dim: usize, params: ParamSpace) -> PopulationModelBuilder {
+        PopulationModelBuilder {
+            dim,
+            names: (0..dim).map(|i| format!("x{i}")).collect(),
+            params,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// State variable names.
+    pub fn variable_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The parameter space `Θ`.
+    pub fn params(&self) -> &ParamSpace {
+        &self.params
+    }
+
+    /// The transition classes.
+    pub fn transitions(&self) -> &[TransitionClass] {
+        &self.transitions
+    }
+
+    /// Evaluates the drift `f(x, ϑ) = Σ_k ℓ_k β_k(x, ϑ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` or `theta` have the wrong dimension, or if a
+    /// rate function returns a negative or non-finite value.
+    pub fn drift(&self, x: &StateVec, theta: &[f64]) -> Result<StateVec> {
+        self.check_dims(x, theta)?;
+        let mut acc = StateVec::zeros(self.dim);
+        for t in &self.transitions {
+            let r = t.rate(x, theta);
+            if !r.is_finite() || r < 0.0 {
+                return Err(CtmcError::InvalidRate { transition: t.name().to_string(), rate: r });
+            }
+            acc.add_scaled(r, t.change());
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates the drift without validating rates (hot path for integrators).
+    ///
+    /// Negative or non-finite rates are used as-is; prefer
+    /// [`PopulationModel::drift`] outside of inner loops.
+    pub fn drift_unchecked(&self, x: &StateVec, theta: &[f64], acc: &mut StateVec) {
+        acc.fill_zero();
+        for t in &self.transitions {
+            t.accumulate_drift(x, theta, acc);
+        }
+    }
+
+    /// Total exit-rate density `Σ_k β_k(x, ϑ)` at a state (the jump intensity
+    /// of the scaled process divided by `N`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PopulationModel::drift`].
+    pub fn total_rate(&self, x: &StateVec, theta: &[f64]) -> Result<f64> {
+        self.check_dims(x, theta)?;
+        let mut total = 0.0;
+        for t in &self.transitions {
+            let r = t.rate(x, theta);
+            if !r.is_finite() || r < 0.0 {
+                return Err(CtmcError::InvalidRate { transition: t.name().to_string(), rate: r });
+            }
+            total += r;
+        }
+        Ok(total)
+    }
+
+    /// Returns the mean-field ODE `ẋ = f(x, ϑ)` for a *fixed* parameter, as an
+    /// [`OdeSystem`] ready for the integrators in `mfu-num`.
+    ///
+    /// This is the uncertain-scenario limit of Corollary 1 for one candidate
+    /// value of `ϑ`.
+    pub fn ode_for(&self, theta: Vec<f64>) -> FixedParamOde<'_> {
+        FixedParamOde { model: self, theta }
+    }
+
+    /// Numerically checks the scaling assumptions of Definition 4 on a set of
+    /// sample states: every rate must be finite and non-negative at every
+    /// vertex of `Θ`, and the drift must stay bounded by `bound`.
+    ///
+    /// This does not *prove* the assumptions (they are about the `N → ∞`
+    /// limit) but catches the usual modelling mistakes — negative rates,
+    /// unbounded drifts inside the domain of interest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_scaling_assumptions(&self, sample_states: &[StateVec], bound: f64) -> Result<()> {
+        for x in sample_states {
+            for theta in self.params.vertices() {
+                let drift = self.drift(x, &theta)?;
+                if drift.norm_inf() > bound {
+                    return Err(CtmcError::invalid_model(format!(
+                        "drift norm {:.3} exceeds bound {bound} at state {x}",
+                        drift.norm_inf()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_dims(&self, x: &StateVec, theta: &[f64]) -> Result<()> {
+        if x.dim() != self.dim {
+            return Err(CtmcError::DimensionMismatch { expected: self.dim, found: x.dim() });
+        }
+        if theta.len() != self.params.dim() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.params.dim(),
+                found: theta.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The mean-field ODE of a population model at a fixed parameter value.
+///
+/// Created by [`PopulationModel::ode_for`]; borrows the model.
+#[derive(Debug, Clone)]
+pub struct FixedParamOde<'a> {
+    model: &'a PopulationModel,
+    theta: Vec<f64>,
+}
+
+impl FixedParamOde<'_> {
+    /// The parameter value this ODE was instantiated with.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+}
+
+impl OdeSystem for FixedParamOde<'_> {
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    fn rhs(&self, _t: f64, x: &StateVec, dx: &mut StateVec) {
+        self.model.drift_unchecked(x, &self.theta, dx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Interval;
+    use mfu_num::ode::{Dopri45, Integrator};
+
+    /// The SIR model of Section V with (a, b, c) fixed and ϑ uncertain,
+    /// expressed on the full 3-dimensional simplex.
+    fn sir_model() -> PopulationModel {
+        let a = 0.1;
+        let b = 5.0;
+        let c = 1.0;
+        let params = ParamSpace::new(vec![("contact", Interval::new(1.0, 10.0).unwrap())]).unwrap();
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["S", "I", "R"])
+            .transition(TransitionClass::new("infect", [-1.0, 1.0, 0.0], move |x: &StateVec, th: &[f64]| {
+                a * x[0] + th[0] * x[0] * x[1]
+            }))
+            .transition(TransitionClass::new("recover", [0.0, -1.0, 1.0], move |x: &StateVec, _| {
+                b * x[1]
+            }))
+            .transition(TransitionClass::new("lose_immunity", [1.0, 0.0, -1.0], move |x: &StateVec, _| {
+                c * x[2]
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn drift_matches_hand_computation() {
+        let model = sir_model();
+        let x = StateVec::from([0.7, 0.3, 0.0]);
+        let drift = model.drift(&x, &[2.0]).unwrap();
+        // infection rate = 0.1*0.7 + 2*0.7*0.3 = 0.07 + 0.42 = 0.49
+        // recovery rate  = 5*0.3 = 1.5 ; immunity loss = 0
+        assert!((drift[0] - (-0.49)).abs() < 1e-12);
+        assert!((drift[1] - (0.49 - 1.5)).abs() < 1e-12);
+        assert!((drift[2] - 1.5).abs() < 1e-12);
+        // conservation: drift components sum to zero on the simplex
+        assert!(drift.sum().abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_rate_sums_transition_densities() {
+        let model = sir_model();
+        let x = StateVec::from([0.7, 0.3, 0.0]);
+        let total = model.total_rate(&x, &[2.0]).unwrap();
+        assert!((total - (0.49 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let model = sir_model();
+        assert!(model.drift(&StateVec::from([0.5, 0.5]), &[2.0]).is_err());
+        assert!(model.drift(&StateVec::from([0.5, 0.5, 0.0]), &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn negative_rate_is_reported_with_transition_name() {
+        let params = ParamSpace::single("r", 0.0, 1.0).unwrap();
+        let model = PopulationModel::builder(1, params)
+            .transition(TransitionClass::new("bad", [1.0], |x: &StateVec, _| -x[0] - 1.0))
+            .build()
+            .unwrap();
+        let err = model.drift(&StateVec::from([0.0]), &[0.5]).unwrap_err();
+        match err {
+            CtmcError::InvalidRate { transition, rate } => {
+                assert_eq!(transition, "bad");
+                assert_eq!(rate, -1.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        let params = ParamSpace::single("r", 0.0, 1.0).unwrap();
+        assert!(PopulationModel::builder(1, params.clone()).build().is_err());
+        let wrong_dim = PopulationModel::builder(2, params.clone())
+            .transition(TransitionClass::new("t", [1.0], |_: &StateVec, _: &[f64]| 1.0))
+            .build();
+        assert!(wrong_dim.is_err());
+        let wrong_names = PopulationModel::builder(1, params)
+            .variable_names(vec!["a", "b"])
+            .transition(TransitionClass::new("t", [1.0], |_: &StateVec, _: &[f64]| 1.0))
+            .build();
+        assert!(wrong_names.is_err());
+    }
+
+    #[test]
+    fn ode_for_integrates_mean_field() {
+        let model = sir_model();
+        let ode = model.ode_for(vec![3.0]);
+        assert_eq!(ode.theta(), &[3.0]);
+        let x0 = StateVec::from([0.7, 0.3, 0.0]);
+        let traj = Dopri45::default().integrate(&ode, 0.0, x0, 5.0).unwrap();
+        let end = traj.last_state();
+        // mass conservation along the mean field
+        assert!((end.sum() - 1.0).abs() < 1e-6);
+        // all coordinates remain in [0, 1]
+        for &v in end.as_slice() {
+            assert!(v >= -1e-9 && v <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaling_check_accepts_sir_and_rejects_blowup() {
+        let model = sir_model();
+        let samples = vec![
+            StateVec::from([1.0, 0.0, 0.0]),
+            StateVec::from([0.3, 0.3, 0.4]),
+            StateVec::from([0.0, 0.0, 1.0]),
+        ];
+        assert!(model.check_scaling_assumptions(&samples, 100.0).is_ok());
+        assert!(model.check_scaling_assumptions(&samples, 1e-6).is_err());
+    }
+
+    #[test]
+    fn debug_shows_summary() {
+        let model = sir_model();
+        let text = format!("{model:?}");
+        assert!(text.contains("transitions"));
+        assert!(text.contains("3"));
+    }
+}

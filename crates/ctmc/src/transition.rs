@@ -1,0 +1,156 @@
+//! Density-dependent transition classes.
+//!
+//! Population processes are specified by *transition classes* (Section III-A
+//! of the paper): each class has a jump vector `ℓ` on the counting variables
+//! and a density-dependent rate `N·β(x, ϑ)`, where `x` is the normalised
+//! state (counts divided by the scale `N`) and `ϑ` the — possibly imprecise —
+//! parameter vector. The drift of the scaled process is then
+//! `f(x, ϑ) = Σ_classes ℓ·β(x, ϑ)`, independent of `N`, which is exactly the
+//! quantity whose set-valued closure drives the mean-field differential
+//! inclusion.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mfu_num::StateVec;
+
+/// Rate function type of a transition class: `β(x, ϑ)`.
+///
+/// The function receives the *normalised* state `x` and the parameter vector
+/// `ϑ`, and returns the rate density (the actual CTMC jump rate at population
+/// size `N` is `N·β(x, ϑ)`).
+pub type RateFn = dyn Fn(&StateVec, &[f64]) -> f64 + Send + Sync;
+
+/// A single transition class of a population model.
+///
+/// # Example
+///
+/// The infection transition of the SIR model of Section V: susceptible and
+/// infected meet at rate `ϑ·x_S·x_I`, plus an external infection source `a·x_S`.
+///
+/// ```
+/// use mfu_ctmc::transition::TransitionClass;
+/// use mfu_num::StateVec;
+///
+/// let a = 0.1;
+/// let infect = TransitionClass::new(
+///     "infection",
+///     [-1.0, 1.0, 0.0],
+///     move |x: &StateVec, theta: &[f64]| a * x[0] + theta[0] * x[0] * x[1],
+/// );
+/// let rate = infect.rate(&StateVec::from(vec![0.7, 0.3, 0.0]), &[2.0]);
+/// assert!((rate - (0.07 + 0.42)).abs() < 1e-12);
+/// ```
+#[derive(Clone)]
+pub struct TransitionClass {
+    name: String,
+    change: StateVec,
+    rate: Arc<RateFn>,
+}
+
+impl TransitionClass {
+    /// Creates a transition class.
+    ///
+    /// `change` is the jump vector on the *counting* variables (the
+    /// normalised state jumps by `change / N`); `rate` is the density
+    /// `β(x, ϑ)`.
+    pub fn new<C, F>(name: impl Into<String>, change: C, rate: F) -> Self
+    where
+        C: Into<StateVec>,
+        F: Fn(&StateVec, &[f64]) -> f64 + Send + Sync + 'static,
+    {
+        TransitionClass { name: name.into(), change: change.into(), rate: Arc::new(rate) }
+    }
+
+    /// Name of the transition class (used in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The jump vector on the counting variables.
+    pub fn change(&self) -> &StateVec {
+        &self.change
+    }
+
+    /// Dimension of the state space this class acts on.
+    pub fn dim(&self) -> usize {
+        self.change.dim()
+    }
+
+    /// Evaluates the rate density `β(x, ϑ)`.
+    pub fn rate(&self, x: &StateVec, theta: &[f64]) -> f64 {
+        (self.rate)(x, theta)
+    }
+
+    /// Adds `rate(x, ϑ) · change` into `acc` — one term of the drift sum.
+    pub fn accumulate_drift(&self, x: &StateVec, theta: &[f64], acc: &mut StateVec) {
+        let r = self.rate(x, theta);
+        if r != 0.0 {
+            acc.add_scaled(r, &self.change);
+        }
+    }
+}
+
+impl fmt::Debug for TransitionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransitionClass")
+            .field("name", &self.name)
+            .field("change", &self.change)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infection() -> TransitionClass {
+        TransitionClass::new("infection", [-1.0, 1.0], |x: &StateVec, theta: &[f64]| {
+            theta[0] * x[0] * x[1]
+        })
+    }
+
+    #[test]
+    fn rate_and_change_accessors() {
+        let t = infection();
+        assert_eq!(t.name(), "infection");
+        assert_eq!(t.dim(), 2);
+        assert_eq!(t.change().as_slice(), &[-1.0, 1.0]);
+        let x = StateVec::from([0.5, 0.2]);
+        assert!((t.rate(&x, &[3.0]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_drift_adds_scaled_change() {
+        let t = infection();
+        let x = StateVec::from([0.5, 0.2]);
+        let mut acc = StateVec::zeros(2);
+        t.accumulate_drift(&x, &[3.0], &mut acc);
+        assert!((acc[0] + 0.3).abs() < 1e-12);
+        assert!((acc[1] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_leaves_accumulator_untouched() {
+        let t = infection();
+        let x = StateVec::from([0.0, 0.2]);
+        let mut acc = StateVec::from([1.0, 1.0]);
+        t.accumulate_drift(&x, &[3.0], &mut acc);
+        assert_eq!(acc.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn clone_shares_rate_function() {
+        let t = infection();
+        let u = t.clone();
+        let x = StateVec::from([1.0, 1.0]);
+        assert_eq!(t.rate(&x, &[2.0]), u.rate(&x, &[2.0]));
+    }
+
+    #[test]
+    fn debug_output_mentions_name() {
+        let t = infection();
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("infection"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The single-station bike-sharing model of Sections II–III of the paper.
+//!
+//! A station with `N` racks; `X_B(t)` is the fraction of occupied racks.
+//! Customers pick up a bike at imprecise rate `ϑ_a(t)` (per rack, scaled by
+//! `N`), bikers return one at imprecise rate `ϑ_r(t)`, both only when the
+//! corresponding resource is available. This is the paper's running example
+//! for imprecise versus uncertain parameters.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the single-station bike-sharing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BikeStationModel {
+    /// Lower bound of the customer (pick-up) arrival rate `ϑ_a`.
+    pub pickup_min: f64,
+    /// Upper bound of the customer (pick-up) arrival rate `ϑ_a`.
+    pub pickup_max: f64,
+    /// Lower bound of the bike-return rate `ϑ_r`.
+    pub return_min: f64,
+    /// Upper bound of the bike-return rate `ϑ_r`.
+    pub return_max: f64,
+    /// Initial fraction of occupied racks.
+    pub initial_occupancy: f64,
+}
+
+impl BikeStationModel {
+    /// A representative configuration: both rates uncertain within ±50 % of 1,
+    /// the station starting half full.
+    pub fn symmetric() -> Self {
+        BikeStationModel {
+            pickup_min: 0.5,
+            pickup_max: 1.5,
+            return_min: 0.5,
+            return_max: 1.5,
+            initial_occupancy: 0.5,
+        }
+    }
+
+    /// The uncertainty set `Θ = [ϑ_a^min, ϑ_a^max] × [ϑ_r^min, ϑ_r^max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either interval is invalid.
+    pub fn param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![
+            ("pickup", Interval::new(self.pickup_min, self.pickup_max)?),
+            ("return", Interval::new(self.return_min, self.return_max)?),
+        ])
+    }
+
+    /// The one-dimensional population model on the occupancy fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameter bounds are invalid.
+    pub fn population_model(&self) -> Result<PopulationModel> {
+        let params = self.param_space()?;
+        PopulationModel::builder(1, params)
+            .variable_names(vec!["occupancy"])
+            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, theta: &[f64]| {
+                if x[0] > 0.0 {
+                    theta[0]
+                } else {
+                    0.0
+                }
+            }))
+            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, theta: &[f64]| {
+                if x[0] < 1.0 {
+                    theta[1]
+                } else {
+                    0.0
+                }
+            }))
+            .build()
+    }
+
+    /// The one-dimensional mean-field drift.
+    ///
+    /// The drift is discontinuous at the boundaries of `[0, 1]` (rates switch
+    /// off when the station is empty or full), exactly the situation covered
+    /// by the differential-inclusion limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured intervals are invalid (use
+    /// [`BikeStationModel::param_space`] to validate beforehand).
+    pub fn drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let params = self.param_space().expect("invalid rate intervals");
+        FnDrift::new(1, params, |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            let pickup = if x[0] > 0.0 { theta[0] } else { 0.0 };
+            let giveback = if x[0] < 1.0 { theta[1] } else { 0.0 };
+            dx[0] = giveback - pickup;
+        })
+    }
+
+    /// Initial occupancy as a one-dimensional state.
+    pub fn initial_state(&self) -> StateVec {
+        StateVec::from([self.initial_occupancy])
+    }
+
+    /// Integer initial counts (occupied racks) for a station with `scale` racks.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        vec![(self.initial_occupancy * scale as f64).round() as i64]
+    }
+}
+
+impl Default for BikeStationModel {
+    fn default() -> Self {
+        BikeStationModel::symmetric()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+
+    #[test]
+    fn symmetric_configuration() {
+        let bike = BikeStationModel::symmetric();
+        assert_eq!(bike.initial_state().as_slice(), &[0.5]);
+        assert_eq!(bike.initial_counts(40), vec![20]);
+        assert_eq!(BikeStationModel::default(), bike);
+        let space = bike.param_space().unwrap();
+        assert_eq!(space.dim(), 2);
+    }
+
+    #[test]
+    fn drift_balances_pickups_and_returns() {
+        let bike = BikeStationModel::symmetric();
+        let drift = bike.drift();
+        let interior = StateVec::from([0.4]);
+        assert!((drift.drift(&interior, &[1.0, 1.0])[0]).abs() < 1e-12);
+        assert!((drift.drift(&interior, &[0.5, 1.5])[0] - 1.0).abs() < 1e-12);
+        // boundary behaviour: empty station cannot lose bikes, full cannot gain
+        assert!(drift.drift(&StateVec::from([0.0]), &[1.5, 0.5])[0] > 0.0);
+        assert!(drift.drift(&StateVec::from([1.0]), &[0.5, 1.5])[0] < 0.0);
+    }
+
+    #[test]
+    fn population_model_matches_drift_in_the_interior() {
+        let bike = BikeStationModel::symmetric();
+        let model = bike.population_model().unwrap();
+        let drift = bike.drift();
+        let x = StateVec::from([0.3]);
+        for theta in [[0.5, 0.5], [1.5, 0.5], [1.0, 1.3]] {
+            let a = model.drift(&x, &theta).unwrap()[0];
+            let b = drift.drift(&x, &theta)[0];
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_intervals_are_reported() {
+        let bad = BikeStationModel { pickup_min: 2.0, pickup_max: 1.0, ..BikeStationModel::symmetric() };
+        assert!(bad.param_space().is_err());
+        assert!(bad.population_model().is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The closed generalized-processor-sharing (GPS) queueing network of
+//! Section VI of the paper.
+//!
+//! `N` applications per class (two classes) share one machine. Each
+//! application cycles between *thinking* and *having one job queued at the
+//! machine*; the machine splits its capacity between the queued jobs with GPS
+//! weights `φ_1, φ_2`. Job sizes of class `i` are exponential with mean
+//! `1/µ_i`. Job creation follows one of two scenarios:
+//!
+//! * **Poisson** — an application of class `i` waits an exponential time of
+//!   mean `1/λ'_i` and then submits a job;
+//! * **MAP** (Markov arrival process) — an application first waits an
+//!   exponential time of mean `1/a_i` to become *active*, then submits after
+//!   a further exponential time of mean `1/λ_i`.
+//!
+//! The job-creation rates `λ_i` (and the matched `λ'_i`) are *imprecise*,
+//! varying in `[λ_i^min, λ_i^max]`. The state is expressed in per-class
+//! fractions; the machine capacity is taken equal to the per-class population
+//! (one capacity unit per application of each class), which leaves the
+//! mean-field drift independent of `N`:
+//!
+//! ```text
+//! service_i(q) = µ_i · φ_i · q_i / (φ_1 q_1 + φ_2 q_2)
+//!
+//! Poisson:  q̇_i = λ'_i (1 - q_i) - service_i(q)
+//! MAP:      ḋ_i = a_i (1 - d_i - q_i) - λ_i d_i
+//!           q̇_i = λ_i d_i - service_i(q)
+//! ```
+//!
+//! The paper's configuration is `µ = (5, 1)`, `φ = (1, 1)`,
+//! `λ_1 ∈ [1, 7]`, `λ_2 ∈ [2, 3]`, `a = (1, 2)`, `Q_i(0) = 0.1`, with
+//! `λ'_i = 1/(1/a_i + 1/λ_i)` so that the mean submission intervals of the two
+//! scenarios match.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the two-class GPS model (Section VI of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsModel {
+    /// Service rates `µ_i` (inverse mean job sizes).
+    pub service_rates: [f64; 2],
+    /// GPS weights `φ_i`.
+    pub weights: [f64; 2],
+    /// Lower bounds of the imprecise job-creation rates `λ_i`.
+    pub lambda_min: [f64; 2],
+    /// Upper bounds of the imprecise job-creation rates `λ_i`.
+    pub lambda_max: [f64; 2],
+    /// Activation rates `a_i` of the MAP scenario.
+    pub activation_rates: [f64; 2],
+    /// Machine capacity per application of each class (`C / N_i`). The paper
+    /// does not report its value of `C`; `1.0` means the machine can serve
+    /// one mean-size class-`i` job per `1/µ_i` time units per application.
+    pub capacity: f64,
+    /// Initial queued fraction per class.
+    pub initial_queue: [f64; 2],
+}
+
+impl GpsModel {
+    /// The exact configuration of Section VI-C: `µ = (5, 1)`, `φ = (1, 1)`,
+    /// `λ_1 ∈ [1, 7]`, `λ_2 ∈ [2, 3]`, `a = (1, 2)`, `Q(0) = (0.1, 0.1)`.
+    pub fn paper() -> Self {
+        GpsModel {
+            service_rates: [5.0, 1.0],
+            weights: [1.0, 1.0],
+            lambda_min: [1.0, 2.0],
+            lambda_max: [7.0, 3.0],
+            activation_rates: [1.0, 2.0],
+            capacity: 1.0,
+            initial_queue: [0.1, 0.1],
+        }
+    }
+
+    /// The paper configuration with a different machine capacity per
+    /// application (`C / N_i`). Smaller capacities congest the machine and
+    /// make the GPS weights a genuine trade-off.
+    pub fn paper_with_capacity(capacity: f64) -> Self {
+        GpsModel { capacity, ..GpsModel::paper() }
+    }
+
+    /// The paper configuration with different GPS weights (used by the robust
+    /// tuning experiment, which sweeps `φ_1` with `φ_2 = 1`).
+    pub fn paper_with_weights(phi1: f64, phi2: f64) -> Self {
+        GpsModel { weights: [phi1, phi2], ..GpsModel::paper() }
+    }
+
+    /// Poisson-equivalent creation-rate bounds `λ'_i = 1/(1/a_i + 1/λ_i)`,
+    /// matching the mean submission interval of the MAP scenario.
+    pub fn poisson_rates(&self) -> ([f64; 2], [f64; 2]) {
+        let convert = |a: f64, lambda: f64| 1.0 / (1.0 / a + 1.0 / lambda);
+        (
+            [
+                convert(self.activation_rates[0], self.lambda_min[0]),
+                convert(self.activation_rates[1], self.lambda_min[1]),
+            ],
+            [
+                convert(self.activation_rates[0], self.lambda_max[0]),
+                convert(self.activation_rates[1], self.lambda_max[1]),
+            ],
+        )
+    }
+
+    /// GPS service term `service_i(q)` shared by both scenarios.
+    fn service(
+        weights: [f64; 2],
+        service_rates: [f64; 2],
+        capacity: f64,
+        q1: f64,
+        q2: f64,
+        class: usize,
+    ) -> f64 {
+        let denominator = weights[0] * q1.max(0.0) + weights[1] * q2.max(0.0);
+        if denominator <= 1e-12 {
+            return 0.0;
+        }
+        let q = if class == 0 { q1 } else { q2 };
+        capacity * service_rates[class] * weights[class] * q.max(0.0) / denominator
+    }
+
+    /// The parameter space of the Poisson scenario (`λ'_1`, `λ'_2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured rate bounds are not valid intervals.
+    pub fn poisson_param_space(&self) -> Result<ParamSpace> {
+        let (lo, hi) = self.poisson_rates();
+        ParamSpace::new(vec![
+            ("lambda1", Interval::new(lo[0], hi[0])?),
+            ("lambda2", Interval::new(lo[1], hi[1])?),
+        ])
+    }
+
+    /// The parameter space of the MAP scenario (`λ_1`, `λ_2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured rate bounds are not valid intervals.
+    pub fn map_param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![
+            ("lambda1", Interval::new(self.lambda_min[0], self.lambda_max[0])?),
+            ("lambda2", Interval::new(self.lambda_min[1], self.lambda_max[1])?),
+        ])
+    }
+
+    /// The two-dimensional mean-field drift of the Poisson scenario on
+    /// `(q_1, q_2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate bounds are invalid (use
+    /// [`GpsModel::poisson_param_space`] to validate beforehand).
+    pub fn poisson_drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let weights = self.weights;
+        let service_rates = self.service_rates;
+        let capacity = self.capacity;
+        let params = self.poisson_param_space().expect("invalid λ' intervals");
+        FnDrift::new(2, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            let (q1, q2) = (x[0], x[1]);
+            dx[0] = theta[0] * (1.0 - q1) - Self::service(weights, service_rates, capacity, q1, q2, 0);
+            dx[1] = theta[1] * (1.0 - q2) - Self::service(weights, service_rates, capacity, q1, q2, 1);
+        })
+    }
+
+    /// The four-dimensional mean-field drift of the MAP scenario on
+    /// `(d_1, q_1, d_2, q_2)` (the idle fractions are `1 - d_i - q_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured rate bounds are invalid (use
+    /// [`GpsModel::map_param_space`] to validate beforehand).
+    pub fn map_drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let weights = self.weights;
+        let service_rates = self.service_rates;
+        let capacity = self.capacity;
+        let activation = self.activation_rates;
+        let params = self.map_param_space().expect("invalid λ intervals");
+        FnDrift::new(4, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            let (d1, q1, d2, q2) = (x[0], x[1], x[2], x[3]);
+            let e1 = (1.0 - d1 - q1).max(0.0);
+            let e2 = (1.0 - d2 - q2).max(0.0);
+            let s1 = Self::service(weights, service_rates, capacity, q1, q2, 0);
+            let s2 = Self::service(weights, service_rates, capacity, q1, q2, 1);
+            dx[0] = activation[0] * e1 - theta[0] * d1;
+            dx[1] = theta[0] * d1 - s1;
+            dx[2] = activation[1] * e2 - theta[1] * d2;
+            dx[3] = theta[1] * d2 - s2;
+        })
+    }
+
+    /// Initial state of the Poisson scenario, `(q_1, q_2)`.
+    pub fn poisson_initial_state(&self) -> StateVec {
+        StateVec::from([self.initial_queue[0], self.initial_queue[1]])
+    }
+
+    /// Initial state of the MAP scenario, `(d_1, q_1, d_2, q_2)`; the
+    /// applications that are not queued initially are all active.
+    pub fn map_initial_state(&self) -> StateVec {
+        StateVec::from([
+            1.0 - self.initial_queue[0],
+            self.initial_queue[0],
+            1.0 - self.initial_queue[1],
+            self.initial_queue[1],
+        ])
+    }
+
+    /// The Poisson-scenario population model (per-class scale `N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rate bounds are invalid.
+    pub fn poisson_population_model(&self) -> Result<PopulationModel> {
+        let weights = self.weights;
+        let service_rates = self.service_rates;
+        let capacity = self.capacity;
+        let params = self.poisson_param_space()?;
+        PopulationModel::builder(2, params)
+            .variable_names(vec!["Q1", "Q2"])
+            .transition(TransitionClass::new("create1", [1.0, 0.0], |x: &StateVec, th: &[f64]| {
+                th[0] * (1.0 - x[0]).max(0.0)
+            }))
+            .transition(TransitionClass::new("create2", [0.0, 1.0], |x: &StateVec, th: &[f64]| {
+                th[1] * (1.0 - x[1]).max(0.0)
+            }))
+            .transition(TransitionClass::new("serve1", [-1.0, 0.0], move |x: &StateVec, _| {
+                Self::service(weights, service_rates, capacity, x[0], x[1], 0)
+            }))
+            .transition(TransitionClass::new("serve2", [0.0, -1.0], move |x: &StateVec, _| {
+                Self::service(weights, service_rates, capacity, x[0], x[1], 1)
+            }))
+            .build()
+    }
+
+    /// The MAP-scenario population model on `(D_1, Q_1, D_2, Q_2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rate bounds are invalid.
+    pub fn map_population_model(&self) -> Result<PopulationModel> {
+        let weights = self.weights;
+        let service_rates = self.service_rates;
+        let capacity = self.capacity;
+        let activation = self.activation_rates;
+        let params = self.map_param_space()?;
+        PopulationModel::builder(4, params)
+            .variable_names(vec!["D1", "Q1", "D2", "Q2"])
+            .transition(TransitionClass::new("activate1", [1.0, 0.0, 0.0, 0.0], move |x: &StateVec, _| {
+                activation[0] * (1.0 - x[0] - x[1]).max(0.0)
+            }))
+            .transition(TransitionClass::new("create1", [-1.0, 1.0, 0.0, 0.0], |x: &StateVec, th: &[f64]| {
+                th[0] * x[0].max(0.0)
+            }))
+            .transition(TransitionClass::new("serve1", [0.0, -1.0, 0.0, 0.0], move |x: &StateVec, _| {
+                Self::service(weights, service_rates, capacity, x[1], x[3], 0)
+            }))
+            .transition(TransitionClass::new("activate2", [0.0, 0.0, 1.0, 0.0], move |x: &StateVec, _| {
+                activation[1] * (1.0 - x[2] - x[3]).max(0.0)
+            }))
+            .transition(TransitionClass::new("create2", [0.0, 0.0, -1.0, 1.0], |x: &StateVec, th: &[f64]| {
+                th[1] * x[2].max(0.0)
+            }))
+            .transition(TransitionClass::new("serve2", [0.0, 0.0, 0.0, -1.0], move |x: &StateVec, _| {
+                Self::service(weights, service_rates, capacity, x[1], x[3], 1)
+            }))
+            .build()
+    }
+
+    /// Integer initial counts of the Poisson population model at per-class scale `scale`.
+    pub fn poisson_initial_counts(&self, scale: usize) -> Vec<i64> {
+        vec![
+            (self.initial_queue[0] * scale as f64).round() as i64,
+            (self.initial_queue[1] * scale as f64).round() as i64,
+        ]
+    }
+
+    /// Integer initial counts of the MAP population model at per-class scale `scale`.
+    pub fn map_initial_counts(&self, scale: usize) -> Vec<i64> {
+        let q1 = (self.initial_queue[0] * scale as f64).round() as i64;
+        let q2 = (self.initial_queue[1] * scale as f64).round() as i64;
+        vec![scale as i64 - q1, q1, scale as i64 - q2, q2]
+    }
+}
+
+impl Default for GpsModel {
+    fn default() -> Self {
+        GpsModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+
+    #[test]
+    fn paper_parameters_match_section_vi() {
+        let gps = GpsModel::paper();
+        assert_eq!(gps.service_rates, [5.0, 1.0]);
+        assert_eq!(gps.weights, [1.0, 1.0]);
+        assert_eq!(gps.lambda_min, [1.0, 2.0]);
+        assert_eq!(gps.lambda_max, [7.0, 3.0]);
+        assert_eq!(gps.activation_rates, [1.0, 2.0]);
+        assert_eq!(gps.capacity, 1.0);
+        assert_eq!(gps.initial_queue, [0.1, 0.1]);
+        assert_eq!(GpsModel::default(), gps);
+    }
+
+    #[test]
+    fn poisson_rates_match_mean_intervals() {
+        let gps = GpsModel::paper();
+        let (lo, hi) = gps.poisson_rates();
+        // λ'_1 bounds: 1/(1 + 1/1) = 0.5 and 1/(1 + 1/7) = 0.875
+        assert!((lo[0] - 0.5).abs() < 1e-12);
+        assert!((hi[0] - 0.875).abs() < 1e-12);
+        // λ'_2 bounds: 1/(0.5 + 0.5) = 1 and 1/(0.5 + 1/3) = 1.2
+        assert!((lo[1] - 1.0).abs() < 1e-12);
+        assert!((hi[1] - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_weights_are_applied() {
+        let gps = GpsModel::paper_with_weights(9.0, 1.0);
+        assert_eq!(gps.weights, [9.0, 1.0]);
+        // higher weight gives class 1 a larger share of the machine
+        let balanced = GpsModel::paper();
+        let x = StateVec::from([0.2, 0.2]);
+        let fast = gps.poisson_drift().drift(&x, &[0.875, 1.2]);
+        let fair = balanced.poisson_drift().drift(&x, &[0.875, 1.2]);
+        assert!(fast[0] < fair[0], "class 1 should drain faster with a larger weight");
+        assert!(fast[1] > fair[1], "class 2 should drain slower with a smaller share");
+    }
+
+    #[test]
+    fn service_conserves_capacity() {
+        // The total service rate weighted by mean job size (Σ service_i / µ_i)
+        // equals the machine capacity 1 whenever some job is queued.
+        let gps = GpsModel::paper();
+        for (q1, q2) in [(0.1, 0.1), (0.5, 0.01), (0.0, 0.4), (0.9, 0.9)] {
+            let s1 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, q1, q2, 0);
+            let s2 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, q1, q2, 1);
+            let used = s1 / gps.service_rates[0] + s2 / gps.service_rates[1];
+            assert!((used - gps.capacity).abs() < 1e-9, "capacity {used} at ({q1}, {q2})");
+        }
+        // no jobs, no service
+        assert_eq!(GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.0, 0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn poisson_drift_matches_population_model() {
+        let gps = GpsModel::paper();
+        let drift = gps.poisson_drift();
+        let model = gps.poisson_population_model().unwrap();
+        let x = StateVec::from([0.2, 0.3]);
+        for theta in [[0.5, 1.0], [0.875, 1.2], [0.7, 1.1]] {
+            let a = drift.drift(&x, &theta);
+            let b = model.drift(&x, &theta).unwrap();
+            for i in 0..2 {
+                assert!((a[i] - b[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn map_drift_matches_population_model() {
+        let gps = GpsModel::paper();
+        let drift = gps.map_drift();
+        let model = gps.map_population_model().unwrap();
+        let x = StateVec::from([0.5, 0.2, 0.4, 0.3]);
+        for theta in [[1.0, 2.0], [7.0, 3.0], [4.0, 2.5]] {
+            let a = drift.drift(&x, &theta);
+            let b = model.drift(&x, &theta).unwrap();
+            for i in 0..4 {
+                assert!((a[i] - b[i]).abs() < 1e-12, "coordinate {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_states_and_counts_are_consistent() {
+        let gps = GpsModel::paper();
+        assert_eq!(gps.poisson_initial_state().as_slice(), &[0.1, 0.1]);
+        assert_eq!(gps.map_initial_state().as_slice(), &[0.9, 0.1, 0.9, 0.1]);
+        assert_eq!(gps.poisson_initial_counts(100), vec![10, 10]);
+        assert_eq!(gps.map_initial_counts(100), vec![90, 10, 90, 10]);
+        // per-class totals conserved in the MAP counts
+        let counts = gps.map_initial_counts(50);
+        assert_eq!(counts[0] + counts[1], 50);
+        assert_eq!(counts[2] + counts[3], 50);
+    }
+
+    #[test]
+    fn map_dynamics_conserve_per_class_mass() {
+        // d_i + q_i + e_i = 1 is invariant: the drift of d_i + q_i must equal
+        // minus the drift of e_i, i.e. activation minus service.
+        let gps = GpsModel::paper();
+        let drift = gps.map_drift();
+        let x = StateVec::from([0.6, 0.2, 0.5, 0.3]);
+        let dx = drift.drift(&x, &[3.0, 2.5]);
+        let e1_change = -(dx[0] + dx[1]);
+        let expected_e1 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.2, 0.3, 0)
+            - gps.activation_rates[0] * (1.0 - 0.6 - 0.2);
+        assert!((e1_change - expected_e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_rate_bounds_are_reported() {
+        let bad = GpsModel { lambda_min: [8.0, 2.0], ..GpsModel::paper() };
+        assert!(bad.map_param_space().is_err());
+        assert!(bad.poisson_param_space().is_err());
+        assert!(bad.map_population_model().is_err());
+        assert!(bad.poisson_population_model().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Model library for the reproduction of Bortolussi & Gast (DSN 2016).
+//!
+//! Each model is provided in two synchronised forms:
+//!
+//! * a [`PopulationModel`](mfu_ctmc::population::PopulationModel) built from
+//!   transition classes — the finite-`N` stochastic system consumed by the
+//!   simulator and by the exact finite-chain expansion;
+//! * an [`ImpreciseDrift`](mfu_core::drift::ImpreciseDrift) in reduced
+//!   coordinates — the mean-field limit consumed by the differential-hull,
+//!   Pontryagin and Birkhoff analyses.
+//!
+//! The models are:
+//!
+//! * [`sir`] — the SIR epidemic of Section V with external infections,
+//!   recovery, loss of immunity and an imprecise contact rate;
+//! * [`bike`] — the single-station bike-sharing example of Sections II–III;
+//! * [`gps`] — the closed two-class generalized-processor-sharing queueing
+//!   network of Section VI, with Poisson and Markov-arrival-process (MAP)
+//!   job-creation scenarios;
+//! * [`sis`] and [`seir`] — additional epidemic variants used by the examples
+//!   and tests to exercise the library beyond the paper's two case studies.
+//!
+//! # Example
+//!
+//! Build the paper's SIR model and evaluate its reduced drift:
+//!
+//! ```
+//! use mfu_core::drift::ImpreciseDrift;
+//! use mfu_models::sir::SirModel;
+//! use mfu_num::StateVec;
+//!
+//! let sir = SirModel::paper();
+//! let drift = sir.reduced_drift();
+//! let x0 = sir.reduced_initial_state();
+//! let dx = drift.drift(&x0, &[2.0]);
+//! assert_eq!(dx.dim(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bike;
+pub mod gps;
+pub mod seir;
+pub mod sir;
+pub mod sis;

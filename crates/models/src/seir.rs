@@ -1,0 +1,210 @@
+//! A susceptible–exposed–infected–recovered (SEIR) epidemic with an imprecise
+//! contact rate.
+//!
+//! The SEIR model extends the paper's SIR case study with a latency
+//! compartment: newly infected nodes are first *exposed* (infected but not
+//! yet infectious) and become infectious at rate `σ`. It exercises the
+//! library on a three-dimensional reduced state, which matters for the
+//! differential-hull and Pontryagin analyses whose cost grows with the
+//! dimension.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SEIR model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeirModel {
+    /// External infection rate `a` (susceptible nodes exposed by the environment).
+    pub external_infection: f64,
+    /// Latency rate `σ` (exposed → infectious).
+    pub latency: f64,
+    /// Recovery rate `b`.
+    pub recovery: f64,
+    /// Immunity-loss rate `c`.
+    pub immunity_loss: f64,
+    /// Lower bound of the imprecise contact rate `ϑ`.
+    pub contact_min: f64,
+    /// Upper bound of the imprecise contact rate `ϑ`.
+    pub contact_max: f64,
+    /// Initial susceptible fraction.
+    pub initial_susceptible: f64,
+    /// Initial exposed fraction.
+    pub initial_exposed: f64,
+    /// Initial infected fraction.
+    pub initial_infected: f64,
+}
+
+impl SeirModel {
+    /// A configuration mirroring the paper's SIR parameters with a latency
+    /// stage of mean 1/2 time unit.
+    pub fn sir_like() -> Self {
+        SeirModel {
+            external_infection: 0.1,
+            latency: 2.0,
+            recovery: 5.0,
+            immunity_loss: 1.0,
+            contact_min: 1.0,
+            contact_max: 10.0,
+            initial_susceptible: 0.7,
+            initial_exposed: 0.0,
+            initial_infected: 0.3,
+        }
+    }
+
+    /// The uncertainty set `Θ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the contact bounds are not a valid interval.
+    pub fn param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+    }
+
+    /// The four-dimensional population model on `(x_S, x_E, x_I, x_R)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the contact bounds are invalid.
+    pub fn population_model(&self) -> Result<PopulationModel> {
+        let a = self.external_infection;
+        let sigma = self.latency;
+        let b = self.recovery;
+        let c = self.immunity_loss;
+        let params = self.param_space()?;
+        PopulationModel::builder(4, params)
+            .variable_names(vec!["S", "E", "I", "R"])
+            .transition(TransitionClass::new("expose", [-1.0, 1.0, 0.0, 0.0], move |x: &StateVec, th: &[f64]| {
+                (a + th[0] * x[2]).max(0.0) * x[0].max(0.0)
+            }))
+            .transition(TransitionClass::new("become_infectious", [0.0, -1.0, 1.0, 0.0], move |x: &StateVec, _| {
+                sigma * x[1].max(0.0)
+            }))
+            .transition(TransitionClass::new("recover", [0.0, 0.0, -1.0, 1.0], move |x: &StateVec, _| {
+                b * x[2].max(0.0)
+            }))
+            .transition(TransitionClass::new("lose_immunity", [1.0, 0.0, 0.0, -1.0], move |x: &StateVec, _| {
+                c * x[3].max(0.0)
+            }))
+            .build()
+    }
+
+    /// The reduced three-dimensional drift on `(x_S, x_E, x_I)` obtained by
+    /// substituting `x_R = 1 - x_S - x_E - x_I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contact bounds are invalid (use
+    /// [`SeirModel::param_space`] to validate beforehand).
+    pub fn reduced_drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let a = self.external_infection;
+        let sigma = self.latency;
+        let b = self.recovery;
+        let c = self.immunity_loss;
+        let params = self.param_space().expect("invalid contact interval");
+        FnDrift::new(3, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            let (s, e, i) = (x[0], x[1], x[2]);
+            let r = 1.0 - s - e - i;
+            dx[0] = c * r - (a + theta[0] * i) * s;
+            dx[1] = (a + theta[0] * i) * s - sigma * e;
+            dx[2] = sigma * e - b * i;
+        })
+    }
+
+    /// Initial condition in the reduced coordinates `(x_S, x_E, x_I)`.
+    pub fn reduced_initial_state(&self) -> StateVec {
+        StateVec::from([self.initial_susceptible, self.initial_exposed, self.initial_infected])
+    }
+
+    /// Initial condition on the full simplex `(x_S, x_E, x_I, x_R)`.
+    pub fn full_initial_state(&self) -> StateVec {
+        StateVec::from([
+            self.initial_susceptible,
+            self.initial_exposed,
+            self.initial_infected,
+            1.0 - self.initial_susceptible - self.initial_exposed - self.initial_infected,
+        ])
+    }
+
+    /// Integer initial counts at population size `scale`.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        let s = (self.initial_susceptible * scale as f64).round() as i64;
+        let e = (self.initial_exposed * scale as f64).round() as i64;
+        let i = (self.initial_infected * scale as f64).round() as i64;
+        vec![s, e, i, (scale as i64 - s - e - i).max(0)]
+    }
+}
+
+impl Default for SeirModel {
+    fn default() -> Self {
+        SeirModel::sir_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+
+    #[test]
+    fn population_drift_conserves_mass() {
+        let seir = SeirModel::sir_like();
+        let model = seir.population_model().unwrap();
+        let x = seir.full_initial_state();
+        for theta in [1.0, 5.0, 10.0] {
+            let drift = model.drift(&x, &[theta]).unwrap();
+            assert!(drift.sum().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduced_drift_matches_full_drift() {
+        let seir = SeirModel::sir_like();
+        let model = seir.population_model().unwrap();
+        let reduced = seir.reduced_drift();
+        for &(s, e, i) in &[(0.7, 0.0, 0.3), (0.5, 0.1, 0.2), (0.3, 0.2, 0.1)] {
+            let full_state = StateVec::from([s, e, i, 1.0 - s - e - i]);
+            let reduced_state = StateVec::from([s, e, i]);
+            for theta in [1.0, 4.0, 10.0] {
+                let full = model.drift(&full_state, &[theta]).unwrap();
+                let red = reduced.drift(&reduced_state, &[theta]);
+                for k in 0..3 {
+                    assert!((full[k] - red[k]).abs() < 1e-12, "coordinate {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_delays_the_infection_peak() {
+        // With a latency stage, new infections first pile up in E, so at the
+        // initial instant the infected fraction can only decrease (recovery
+        // dominates) while the exposed fraction grows.
+        let seir = SeirModel::sir_like();
+        let drift = seir.reduced_drift();
+        let dx = drift.drift(&seir.reduced_initial_state(), &[10.0]);
+        assert!(dx[1] > 0.0, "exposed fraction should grow initially");
+        assert!(dx[2] < 0.0, "infectious fraction should dip before the exposed convert");
+    }
+
+    #[test]
+    fn initial_counts_sum_to_scale() {
+        let seir = SeirModel::sir_like();
+        for scale in [10usize, 123, 1000] {
+            let counts = seir.initial_counts(scale);
+            assert_eq!(counts.iter().sum::<i64>(), scale as i64);
+        }
+        assert_eq!(SeirModel::default(), seir);
+    }
+
+    #[test]
+    fn invalid_interval_is_reported() {
+        let bad = SeirModel { contact_min: 3.0, contact_max: 1.0, ..SeirModel::sir_like() };
+        assert!(bad.param_space().is_err());
+        assert!(bad.population_model().is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! The SIR epidemic model of Section V of the paper.
+//!
+//! A population of `N` nodes, each susceptible (S), infected (I) or recovered
+//! (R). A susceptible node is infected from an external source at rate `a` or
+//! by meeting an infected node at imprecise contact rate `ϑ ∈ [ϑ^min, ϑ^max]`;
+//! an infected node recovers at rate `b`; a recovered node becomes
+//! susceptible again at rate `c`. The transitions of the scaled process are
+//!
+//! * `(X_S, X_I, X_R) → (X_S - 1/N, X_I + 1/N, X_R)` at rate `N(a X_S + ϑ X_S X_I)`
+//! * `(X_S, X_I, X_R) → (X_S, X_I - 1/N, X_R + 1/N)` at rate `N b X_I`
+//! * `(X_S, X_I, X_R) → (X_S + 1/N, X_I, X_R - 1/N)` at rate `N c X_R`
+//!
+//! Because `X_S + X_I + X_R = 1`, the mean-field limit is usually studied in
+//! the reduced coordinates `(x_S, x_I)` of Equation (11):
+//!
+//! ```text
+//! f_S = c - (a + c)·x_S - c·x_I - ϑ·x_S·x_I
+//! f_I = a·x_S + ϑ·x_S·x_I - b·x_I
+//! ```
+//!
+//! The paper's experiments use `a = 0.1`, `b = 5`, `c = 1`,
+//! `ϑ ∈ [1, 10]` and the initial condition `(0.7, 0.3, 0.0)`.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SIR model (Section V of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SirModel {
+    /// External infection rate `a`.
+    pub external_infection: f64,
+    /// Recovery rate `b`.
+    pub recovery: f64,
+    /// Immunity-loss rate `c`.
+    pub immunity_loss: f64,
+    /// Lower bound of the imprecise contact rate `ϑ`.
+    pub contact_min: f64,
+    /// Upper bound of the imprecise contact rate `ϑ`.
+    pub contact_max: f64,
+    /// Initial susceptible fraction.
+    pub initial_susceptible: f64,
+    /// Initial infected fraction.
+    pub initial_infected: f64,
+}
+
+impl SirModel {
+    /// The exact configuration of Section V: `a = 0.1`, `b = 5`, `c = 1`,
+    /// `ϑ ∈ [1, 10]`, `x(0) = (0.7, 0.3, 0)`.
+    pub fn paper() -> Self {
+        SirModel {
+            external_infection: 0.1,
+            recovery: 5.0,
+            immunity_loss: 1.0,
+            contact_min: 1.0,
+            contact_max: 10.0,
+            initial_susceptible: 0.7,
+            initial_infected: 0.3,
+        }
+    }
+
+    /// The paper's configuration with a different upper contact rate, as used
+    /// in the differential-hull comparison (Figures 4 and 5 sweep
+    /// `ϑ^max ∈ {2, …, 10}` with `ϑ^min = 1`).
+    pub fn paper_with_contact_max(contact_max: f64) -> Self {
+        SirModel { contact_max, ..SirModel::paper() }
+    }
+
+    /// The uncertainty set `Θ` (a single imprecise contact rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured bounds are not a valid interval.
+    pub fn param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+    }
+
+    /// The three-dimensional population model on `(X_S, X_I, X_R)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameter bounds are invalid.
+    pub fn population_model(&self) -> Result<PopulationModel> {
+        let a = self.external_infection;
+        let b = self.recovery;
+        let c = self.immunity_loss;
+        let params = self.param_space()?;
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["S", "I", "R"])
+            .transition(TransitionClass::new(
+                "infection",
+                [-1.0, 1.0, 0.0],
+                move |x: &StateVec, theta: &[f64]| (a + theta[0] * x[1]).max(0.0) * x[0].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "recovery",
+                [0.0, -1.0, 1.0],
+                move |x: &StateVec, _theta: &[f64]| b * x[1].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "immunity_loss",
+                [1.0, 0.0, -1.0],
+                move |x: &StateVec, _theta: &[f64]| c * x[2].max(0.0),
+            ))
+            .build()
+    }
+
+    /// The reduced two-dimensional drift `(f_S, f_I)` of Equation (11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured contact bounds do not form a valid interval
+    /// (use [`SirModel::param_space`] to validate beforehand).
+    pub fn reduced_drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let a = self.external_infection;
+        let b = self.recovery;
+        let c = self.immunity_loss;
+        let params = self.param_space().expect("invalid contact-rate interval");
+        FnDrift::new(2, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            let (s, i) = (x[0], x[1]);
+            dx[0] = c - (a + c) * s - c * i - theta[0] * s * i;
+            dx[1] = a * s + theta[0] * s * i - b * i;
+        })
+    }
+
+    /// Initial condition in the reduced coordinates `(x_S, x_I)`.
+    pub fn reduced_initial_state(&self) -> StateVec {
+        StateVec::from([self.initial_susceptible, self.initial_infected])
+    }
+
+    /// Initial condition on the full simplex `(x_S, x_I, x_R)`.
+    pub fn full_initial_state(&self) -> StateVec {
+        StateVec::from([
+            self.initial_susceptible,
+            self.initial_infected,
+            1.0 - self.initial_susceptible - self.initial_infected,
+        ])
+    }
+
+    /// Integer initial counts for a population of size `scale`, rounding the
+    /// susceptible and infected fractions and assigning the remainder to the
+    /// recovered compartment.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        let susceptible = (self.initial_susceptible * scale as f64).round() as i64;
+        let infected = (self.initial_infected * scale as f64).round() as i64;
+        let recovered = scale as i64 - susceptible - infected;
+        vec![susceptible, infected, recovered.max(0)]
+    }
+}
+
+impl Default for SirModel {
+    fn default() -> Self {
+        SirModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+
+    #[test]
+    fn paper_parameters_match_section_v() {
+        let sir = SirModel::paper();
+        assert_eq!(sir.external_infection, 0.1);
+        assert_eq!(sir.recovery, 5.0);
+        assert_eq!(sir.immunity_loss, 1.0);
+        assert_eq!(sir.contact_min, 1.0);
+        assert_eq!(sir.contact_max, 10.0);
+        assert_eq!(sir.reduced_initial_state().as_slice(), &[0.7, 0.3]);
+        let full = sir.full_initial_state();
+        assert_eq!(full.as_slice()[..2], [0.7, 0.3]);
+        assert!(full[2].abs() < 1e-12);
+        assert_eq!(SirModel::default(), SirModel::paper());
+    }
+
+    #[test]
+    fn contact_max_override() {
+        let sir = SirModel::paper_with_contact_max(5.0);
+        assert_eq!(sir.contact_max, 5.0);
+        assert_eq!(sir.contact_min, 1.0);
+        let space = sir.param_space().unwrap();
+        assert_eq!(space.upper(), vec![5.0]);
+    }
+
+    #[test]
+    fn population_drift_conserves_mass() {
+        let sir = SirModel::paper();
+        let model = sir.population_model().unwrap();
+        let x = sir.full_initial_state();
+        for theta in [1.0, 5.0, 10.0] {
+            let drift = model.drift(&x, &[theta]).unwrap();
+            assert!(drift.sum().abs() < 1e-12, "mass not conserved for ϑ = {theta}");
+        }
+    }
+
+    #[test]
+    fn reduced_drift_matches_full_drift() {
+        let sir = SirModel::paper();
+        let model = sir.population_model().unwrap();
+        let reduced = sir.reduced_drift();
+        // compare on several interior points of the simplex
+        for &(s, i) in &[(0.7, 0.3), (0.5, 0.2), (0.9, 0.05), (0.3, 0.1)] {
+            let full_state = StateVec::from([s, i, 1.0 - s - i]);
+            let reduced_state = StateVec::from([s, i]);
+            for theta in [1.0, 3.7, 10.0] {
+                let full = model.drift(&full_state, &[theta]).unwrap();
+                let red = reduced.drift(&reduced_state, &[theta]);
+                assert!((full[0] - red[0]).abs() < 1e-12, "f_S mismatch at ({s}, {i}), ϑ = {theta}");
+                assert!((full[1] - red[1]).abs() < 1e-12, "f_I mismatch at ({s}, {i}), ϑ = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_drift_matches_equation_11_by_hand() {
+        let sir = SirModel::paper();
+        let drift = sir.reduced_drift();
+        let x = StateVec::from([0.7, 0.3]);
+        let dx = drift.drift(&x, &[2.0]);
+        // f_S = 1 - 1.1*0.7 - 1*0.3 - 2*0.7*0.3 = 1 - 0.77 - 0.3 - 0.42 = -0.49
+        // f_I = 0.1*0.7 + 2*0.7*0.3 - 5*0.3 = 0.07 + 0.42 - 1.5 = -1.01
+        assert!((dx[0] + 0.49).abs() < 1e-12);
+        assert!((dx[1] + 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_counts_sum_to_scale() {
+        let sir = SirModel::paper();
+        for scale in [10usize, 100, 1000, 9999] {
+            let counts = sir.initial_counts(scale);
+            assert_eq!(counts.iter().sum::<i64>(), scale as i64);
+            assert!(counts.iter().all(|&c| c >= 0));
+        }
+    }
+
+    #[test]
+    fn infection_rate_is_increasing_in_theta() {
+        // The paper highlights that f_I is increasing in ϑ pointwise even
+        // though x_I(t) is not monotone in ϑ.
+        let sir = SirModel::paper();
+        let drift = sir.reduced_drift();
+        let x = StateVec::from([0.6, 0.2]);
+        let low = drift.drift(&x, &[1.0])[1];
+        let high = drift.drift(&x, &[10.0])[1];
+        assert!(high > low);
+    }
+
+    #[test]
+    fn invalid_contact_interval_is_reported() {
+        let sir = SirModel { contact_min: 5.0, contact_max: 1.0, ..SirModel::paper() };
+        assert!(sir.param_space().is_err());
+        assert!(sir.population_model().is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! A susceptible–infected–susceptible (SIS) epidemic with an imprecise
+//! contact rate.
+//!
+//! The SIS model is the one-dimensional cousin of the paper's SIR case study:
+//! infected nodes recover directly to the susceptible state, so the infected
+//! fraction `x_I` fully describes the system. It is used by the examples and
+//! tests as a model whose mean field has a closed-form fixed point
+//! `x_I^* = 1 - b/ϑ` (when `ϑ > b`), making analytic cross-checks easy.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SIS model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SisModel {
+    /// Recovery rate `b`.
+    pub recovery: f64,
+    /// Lower bound of the imprecise contact rate `ϑ`.
+    pub contact_min: f64,
+    /// Upper bound of the imprecise contact rate `ϑ`.
+    pub contact_max: f64,
+    /// Initial infected fraction.
+    pub initial_infected: f64,
+}
+
+impl SisModel {
+    /// A supercritical configuration (`ϑ > b` for every admissible `ϑ`), so
+    /// the epidemic persists whatever the environment does.
+    pub fn supercritical() -> Self {
+        SisModel { recovery: 1.0, contact_min: 2.0, contact_max: 4.0, initial_infected: 0.2 }
+    }
+
+    /// The uncertainty set `Θ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the contact bounds are not a valid interval.
+    pub fn param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+    }
+
+    /// The one-dimensional population model on the infected fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the contact bounds are invalid.
+    pub fn population_model(&self) -> Result<PopulationModel> {
+        let b = self.recovery;
+        let params = self.param_space()?;
+        PopulationModel::builder(1, params)
+            .variable_names(vec!["I"])
+            .transition(TransitionClass::new("infect", [1.0], |x: &StateVec, th: &[f64]| {
+                th[0] * x[0].max(0.0) * (1.0 - x[0]).max(0.0)
+            }))
+            .transition(TransitionClass::new("recover", [-1.0], move |x: &StateVec, _| {
+                b * x[0].max(0.0)
+            }))
+            .build()
+    }
+
+    /// The one-dimensional mean-field drift `ẋ_I = ϑ x_I (1 - x_I) - b x_I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contact bounds are invalid (use [`SisModel::param_space`]
+    /// to validate beforehand).
+    pub fn drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let b = self.recovery;
+        let params = self.param_space().expect("invalid contact interval");
+        FnDrift::new(1, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+            dx[0] = theta[0] * x[0] * (1.0 - x[0]) - b * x[0];
+        })
+    }
+
+    /// The endemic fixed point `1 - b/ϑ` for a fixed contact rate (clamped at 0).
+    pub fn endemic_level(&self, contact: f64) -> f64 {
+        (1.0 - self.recovery / contact).max(0.0)
+    }
+
+    /// Initial infected fraction as a state vector.
+    pub fn initial_state(&self) -> StateVec {
+        StateVec::from([self.initial_infected])
+    }
+
+    /// Integer initial counts (infected nodes) at population size `scale`.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        vec![(self.initial_infected * scale as f64).round() as i64]
+    }
+}
+
+impl Default for SisModel {
+    fn default() -> Self {
+        SisModel::supercritical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+    use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+    use mfu_num::ode::{equilibrium, EquilibriumOptions, FnSystem};
+
+    #[test]
+    fn drift_matches_population_model() {
+        let sis = SisModel::supercritical();
+        let drift = sis.drift();
+        let model = sis.population_model().unwrap();
+        let x = StateVec::from([0.3]);
+        for theta in [2.0, 3.0, 4.0] {
+            let a = drift.drift(&x, &[theta])[0];
+            let b = model.drift(&x, &[theta]).unwrap()[0];
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn endemic_level_matches_numerical_fixed_point() {
+        let sis = SisModel::supercritical();
+        for theta in [2.0, 3.0, 4.0] {
+            let drift = sis.drift();
+            let system = FnSystem::new(1, move |_t, x: &StateVec, dx: &mut StateVec| {
+                drift.drift_into(x, &[theta], dx);
+            });
+            let fp = equilibrium(&system, sis.initial_state(), &EquilibriumOptions::default()).unwrap();
+            assert!((fp[0] - sis.endemic_level(theta)).abs() < 1e-6, "ϑ = {theta}");
+        }
+    }
+
+    #[test]
+    fn subcritical_rate_gives_extinction_level_zero() {
+        let sis = SisModel { recovery: 2.0, contact_min: 0.5, contact_max: 1.0, initial_infected: 0.3 };
+        assert_eq!(sis.endemic_level(1.0), 0.0);
+    }
+
+    #[test]
+    fn imprecise_bounds_straddle_the_endemic_levels() {
+        // The reachable interval of x_I at a long horizon must contain the
+        // endemic levels of both extreme contact rates.
+        let sis = SisModel::supercritical();
+        let drift = sis.drift();
+        let solver = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 150,
+            ..Default::default()
+        });
+        let (lo, hi) = solver
+            .coordinate_extremes(&drift, &sis.initial_state(), 8.0, 0)
+            .unwrap();
+        assert!(lo <= sis.endemic_level(sis.contact_min) + 1e-3);
+        assert!(hi >= sis.endemic_level(sis.contact_max) - 1e-3);
+    }
+
+    #[test]
+    fn initial_counts_round_to_population() {
+        let sis = SisModel::supercritical();
+        assert_eq!(sis.initial_counts(100), vec![20]);
+        assert_eq!(SisModel::default(), sis);
+    }
+
+    #[test]
+    fn invalid_interval_is_reported() {
+        let bad = SisModel { contact_min: 5.0, contact_max: 1.0, ..SisModel::supercritical() };
+        assert!(bad.param_space().is_err());
+        assert!(bad.population_model().is_err());
+    }
+}

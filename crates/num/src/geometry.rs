@@ -1,0 +1,419 @@
+//! Planar computational geometry for reachable regions and Birkhoff centres.
+//!
+//! The steady-state analysis of the SIR case study (Section V-C of the paper)
+//! represents the Birkhoff centre of the mean-field differential inclusion as
+//! a region of the `(x_S, x_I)` plane delimited by trajectories. This module
+//! provides the polygon machinery needed for that construction: convex hulls,
+//! point-in-polygon queries, distances and areas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NumError, Result};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from(p: (f64, f64)) -> Self {
+        Point2::new(p.0, p.1)
+    }
+}
+
+/// Cross product of `(b - a)` and `(c - a)`; positive for a left turn.
+fn cross(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Distance from point `p` to the segment `[a, b]`.
+fn point_segment_distance(p: Point2, a: Point2, b: Point2) -> f64 {
+    let vx = b.x - a.x;
+    let vy = b.y - a.y;
+    let len2 = vx * vx + vy * vy;
+    if len2 == 0.0 {
+        return p.distance(&a);
+    }
+    let t = (((p.x - a.x) * vx + (p.y - a.y) * vy) / len2).clamp(0.0, 1.0);
+    let proj = Point2::new(a.x + t * vx, a.y + t * vy);
+    p.distance(&proj)
+}
+
+/// A simple polygon given by its vertices in order (closed implicitly).
+///
+/// The polygon is not required to be convex; point-in-polygon queries use the
+/// even–odd rule and therefore work for any simple (non-self-intersecting)
+/// boundary. Regions produced by the Birkhoff-centre construction are closed
+/// trajectory loops, which satisfy this.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::geometry::{Point2, Polygon};
+///
+/// let square = Polygon::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.0),
+///     Point2::new(0.0, 1.0),
+/// ])?;
+/// assert!(square.contains(Point2::new(0.5, 0.5)));
+/// assert!(!square.contains(Point2::new(1.5, 0.5)));
+/// assert!((square.area() - 1.0).abs() < 1e-12);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than three vertices are supplied or any
+    /// coordinate is non-finite.
+    pub fn new(vertices: Vec<Point2>) -> Result<Self> {
+        if vertices.len() < 3 {
+            return Err(NumError::invalid_argument("a polygon needs at least three vertices"));
+        }
+        if vertices.iter().any(|v| !v.is_finite()) {
+            return Err(NumError::non_finite("polygon vertex"));
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// The polygon's vertices, in order.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a constructed polygon has at least three vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Signed area (positive for counter-clockwise orientation).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid of the vertex set (arithmetic mean of the vertices).
+    pub fn vertex_centroid(&self) -> Point2 {
+        let n = self.vertices.len() as f64;
+        let (sx, sy) = self
+            .vertices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), v| (sx + v.x, sy + v.y));
+        Point2::new(sx / n, sy / n)
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point2, Point2) {
+        let mut lo = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in &self.vertices {
+            lo.x = lo.x.min(v.x);
+            lo.y = lo.y.min(v.y);
+            hi.x = hi.x.max(v.x);
+            hi.y = hi.y.max(v.y);
+        }
+        (lo, hi)
+    }
+
+    /// Even–odd point-in-polygon test (points on the boundary count as inside
+    /// up to floating-point tolerance).
+    pub fn contains(&self, p: Point2) -> bool {
+        if self.distance_to_boundary(p) < 1e-12 {
+            return true;
+        }
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            let intersects = ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x);
+            if intersects {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Distance from `p` to the polygon boundary (zero on the boundary).
+    pub fn distance_to_boundary(&self, p: Point2) -> f64 {
+        let n = self.vertices.len();
+        let mut best = f64::INFINITY;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            best = best.min(point_segment_distance(p, a, b));
+        }
+        best
+    }
+
+    /// Distance from `p` to the region enclosed by the polygon: zero when the
+    /// point is inside or on the boundary, boundary distance otherwise.
+    pub fn distance_to_region(&self, p: Point2) -> f64 {
+        if self.contains(p) {
+            0.0
+        } else {
+            self.distance_to_boundary(p)
+        }
+    }
+
+    /// Convex hull of the polygon's vertices.
+    pub fn convex_hull(&self) -> Polygon {
+        convex_hull(&self.vertices).expect("a valid polygon always has a hull")
+    }
+
+    /// Fraction of the given points lying inside the polygon (or on its
+    /// boundary). Useful for checking how much of an empirical stationary
+    /// distribution is captured by a Birkhoff centre.
+    pub fn containment_fraction<'a, I>(&self, points: I) -> f64
+    where
+        I: IntoIterator<Item = &'a Point2>,
+    {
+        let mut total = 0usize;
+        let mut inside = 0usize;
+        for p in points {
+            total += 1;
+            if self.contains(*p) {
+                inside += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        inside as f64 / total as f64
+    }
+}
+
+/// Computes the convex hull of a point set with Andrew's monotone chain.
+///
+/// The hull is returned in counter-clockwise order without the repeated
+/// closing vertex.
+///
+/// # Errors
+///
+/// Returns an error if fewer than three non-collinear points are supplied.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::geometry::{convex_hull, Point2};
+///
+/// let points = vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(2.0, 0.0),
+///     Point2::new(1.0, 0.5), // interior
+///     Point2::new(2.0, 2.0),
+///     Point2::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&points)?;
+/// assert_eq!(hull.len(), 4);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+pub fn convex_hull(points: &[Point2]) -> Result<Polygon> {
+    if points.len() < 3 {
+        return Err(NumError::invalid_argument("convex hull requires at least three points"));
+    }
+    if points.iter().any(|p| !p.is_finite()) {
+        return Err(NumError::non_finite("convex hull input"));
+    }
+    let mut sorted: Vec<Point2> = points.to_vec();
+    sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    sorted.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    if sorted.len() < 3 {
+        return Err(NumError::invalid_argument("convex hull requires at least three distinct points"));
+    }
+
+    let mut lower: Vec<Point2> = Vec::new();
+    for &p in &sorted {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0 {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point2> = Vec::new();
+    for &p in sorted.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0 {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        return Err(NumError::invalid_argument("points are collinear; hull is degenerate"));
+    }
+    Polygon::new(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn polygon_requires_three_vertices() {
+        assert!(Polygon::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)]).is_err());
+        assert!(Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, f64::NAN),
+            Point2::new(0.0, 1.0)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let square = unit_square();
+        assert!((square.area() - 1.0).abs() < 1e-12);
+        assert!(square.signed_area() > 0.0);
+        let clockwise = Polygon::new(square.vertices().iter().rev().copied().collect()).unwrap();
+        assert!(clockwise.signed_area() < 0.0);
+        assert!((clockwise.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_queries() {
+        let square = unit_square();
+        assert!(square.contains(Point2::new(0.5, 0.5)));
+        assert!(square.contains(Point2::new(0.0, 0.5))); // boundary
+        assert!(!square.contains(Point2::new(1.5, 0.5)));
+        assert!(!square.contains(Point2::new(-0.1, -0.1)));
+    }
+
+    #[test]
+    fn distances() {
+        let square = unit_square();
+        assert!((square.distance_to_boundary(Point2::new(2.0, 0.5)) - 1.0).abs() < 1e-12);
+        assert_eq!(square.distance_to_region(Point2::new(0.5, 0.5)), 0.0);
+        assert!((square.distance_to_region(Point2::new(0.5, 2.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_and_centroid() {
+        let square = unit_square();
+        let (lo, hi) = square.bounding_box();
+        assert_eq!((lo.x, lo.y, hi.x, hi.y), (0.0, 0.0, 1.0, 1.0));
+        let c = square.vertex_centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex_hull_drops_interior_points() {
+        let points = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 2.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.5, 0.5),
+        ];
+        let hull = convex_hull(&points).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!((hull.area() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex_hull_rejects_degenerate_input() {
+        assert!(convex_hull(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]).is_err());
+        let collinear = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)];
+        assert!(convex_hull(&collinear).is_err());
+        let duplicated = vec![Point2::new(0.0, 0.0); 5];
+        assert!(convex_hull(&duplicated).is_err());
+    }
+
+    #[test]
+    fn containment_fraction_counts_interior_points() {
+        let square = unit_square();
+        let points = vec![
+            Point2::new(0.5, 0.5),
+            Point2::new(0.25, 0.75),
+            Point2::new(2.0, 2.0),
+            Point2::new(-1.0, 0.5),
+        ];
+        let frac = square.containment_fraction(points.iter());
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_convex_polygon_containment() {
+        // L-shaped polygon
+        let ell = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(ell.contains(Point2::new(0.5, 1.5)));
+        assert!(!ell.contains(Point2::new(1.5, 1.5)));
+        assert!((ell.area() - 3.0).abs() < 1e-12);
+        // The convex hull fills in the notch.
+        assert!(ell.convex_hull().contains(Point2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn point_distance_helpers() {
+        let p = Point2::new(3.0, 4.0);
+        assert!((p.distance(&Point2::new(0.0, 0.0)) - 5.0).abs() < 1e-12);
+        assert!(Point2::from((1.0, 2.0)).is_finite());
+    }
+}

@@ -1,0 +1,294 @@
+//! Uniform time grids and piecewise-linear signals on them.
+//!
+//! The Pontryagin forward–backward sweep stores the state, costate and
+//! extremal control on a shared uniform time grid; this module provides that
+//! grid and a piecewise-linear [`GridSignal`] that can be sampled at
+//! arbitrary times during the opposite-direction pass.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NumError, Result, StateVec};
+
+/// A uniform time grid `t_k = t0 + k·h`, `k = 0..=n`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeGrid {
+    t0: f64,
+    t1: f64,
+    n: usize,
+}
+
+impl TimeGrid {
+    /// Creates a grid with `n` intervals spanning `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t1 <= t0`, `n == 0`, or the bounds are not finite.
+    pub fn new(t0: f64, t1: f64, n: usize) -> Result<Self> {
+        if !t0.is_finite() || !t1.is_finite() || t1 <= t0 {
+            return Err(NumError::invalid_argument(format!("invalid grid bounds [{t0}, {t1}]")));
+        }
+        if n == 0 {
+            return Err(NumError::invalid_argument("time grid requires at least one interval"));
+        }
+        Ok(TimeGrid { t0, t1, n })
+    }
+
+    /// Start of the grid.
+    pub fn start(&self) -> f64 {
+        self.t0
+    }
+
+    /// End of the grid.
+    pub fn end(&self) -> f64 {
+        self.t1
+    }
+
+    /// Number of intervals.
+    pub fn intervals(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nodes (`intervals + 1`).
+    pub fn nodes(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Grid spacing.
+    pub fn step(&self) -> f64 {
+        (self.t1 - self.t0) / self.n as f64
+    }
+
+    /// The `k`-th node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > intervals`.
+    pub fn node(&self, k: usize) -> f64 {
+        assert!(k <= self.n, "grid node index out of range");
+        if k == self.n {
+            self.t1
+        } else {
+            self.t0 + self.step() * k as f64
+        }
+    }
+
+    /// Iterates over all node times.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..=self.n).map(move |k| self.node(k))
+    }
+
+    /// Returns the index of the interval containing `t`, clamped to the grid.
+    pub fn interval_of(&self, t: f64) -> usize {
+        if t <= self.t0 {
+            return 0;
+        }
+        if t >= self.t1 {
+            return self.n - 1;
+        }
+        let idx = ((t - self.t0) / self.step()).floor() as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+/// A vector-valued signal stored on a [`TimeGrid`], interpolated linearly.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::grid::{GridSignal, TimeGrid};
+/// use mfu_num::StateVec;
+///
+/// let grid = TimeGrid::new(0.0, 1.0, 2)?;
+/// let values = vec![
+///     StateVec::from(vec![0.0]),
+///     StateVec::from(vec![1.0]),
+///     StateVec::from(vec![4.0]),
+/// ];
+/// let signal = GridSignal::new(grid, values)?;
+/// assert!((signal.at(0.25)[0] - 0.5).abs() < 1e-12);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSignal {
+    grid: TimeGrid,
+    values: Vec<StateVec>,
+}
+
+impl GridSignal {
+    /// Creates a signal from node values aligned with the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of values does not equal the number of
+    /// grid nodes, or if the values have inconsistent dimensions.
+    pub fn new(grid: TimeGrid, values: Vec<StateVec>) -> Result<Self> {
+        if values.len() != grid.nodes() {
+            return Err(NumError::DimensionMismatch { expected: grid.nodes(), found: values.len() });
+        }
+        let dim = values[0].dim();
+        if values.iter().any(|v| v.dim() != dim) {
+            return Err(NumError::invalid_argument("grid signal values have inconsistent dimensions"));
+        }
+        Ok(GridSignal { grid, values })
+    }
+
+    /// Creates a constant signal on the grid.
+    pub fn constant(grid: TimeGrid, value: StateVec) -> Self {
+        let values = vec![value; grid.nodes()];
+        GridSignal { grid, values }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &TimeGrid {
+        &self.grid
+    }
+
+    /// The node values.
+    pub fn values(&self) -> &[StateVec] {
+        &self.values
+    }
+
+    /// Mutable access to a node value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn value_mut(&mut self, k: usize) -> &mut StateVec {
+        &mut self.values[k]
+    }
+
+    /// Dimension of the signal values.
+    pub fn dim(&self) -> usize {
+        self.values[0].dim()
+    }
+
+    /// Linear interpolation at time `t` (clamped to the grid range).
+    pub fn at(&self, t: f64) -> StateVec {
+        if t <= self.grid.start() {
+            return self.values[0].clone();
+        }
+        if t >= self.grid.end() {
+            return self.values[self.grid.intervals()].clone();
+        }
+        let k = self.grid.interval_of(t);
+        let (t0, t1) = (self.grid.node(k), self.grid.node(k + 1));
+        let w = (t - t0) / (t1 - t0);
+        let mut out = self.values[k].clone();
+        out *= 1.0 - w;
+        out.add_scaled(w, &self.values[k + 1]);
+        out
+    }
+
+    /// Value held on the interval containing `t` (piecewise-constant,
+    /// left-continuous sampling — appropriate for bang-bang controls).
+    pub fn at_piecewise_constant(&self, t: f64) -> StateVec {
+        let k = self.grid.interval_of(t);
+        self.values[k].clone()
+    }
+
+    /// Largest sup-norm difference between the node values of two signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the signals live on grids of different sizes or
+    /// have different dimensions.
+    pub fn distance_inf(&self, other: &GridSignal) -> Result<f64> {
+        if self.values.len() != other.values.len() {
+            return Err(NumError::DimensionMismatch {
+                expected: self.values.len(),
+                found: other.values.len(),
+            });
+        }
+        if self.dim() != other.dim() {
+            return Err(NumError::DimensionMismatch { expected: self.dim(), found: other.dim() });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max(a.distance_inf(b))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_nodes_and_step() {
+        let grid = TimeGrid::new(0.0, 2.0, 4).unwrap();
+        assert_eq!(grid.nodes(), 5);
+        assert!((grid.step() - 0.5).abs() < 1e-15);
+        assert_eq!(grid.node(0), 0.0);
+        assert_eq!(grid.node(4), 2.0);
+        let times: Vec<f64> = grid.iter().collect();
+        assert_eq!(times.len(), 5);
+        assert!((times[2] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grid_rejects_degenerate_bounds() {
+        assert!(TimeGrid::new(1.0, 1.0, 4).is_err());
+        assert!(TimeGrid::new(0.0, -1.0, 4).is_err());
+        assert!(TimeGrid::new(0.0, 1.0, 0).is_err());
+        assert!(TimeGrid::new(f64::NAN, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn interval_of_clamps() {
+        let grid = TimeGrid::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(grid.interval_of(-1.0), 0);
+        assert_eq!(grid.interval_of(0.3), 1);
+        assert_eq!(grid.interval_of(2.0), 3);
+    }
+
+    #[test]
+    fn signal_interpolates_linearly() {
+        let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
+        let signal = GridSignal::new(
+            grid,
+            vec![StateVec::from([0.0]), StateVec::from([1.0]), StateVec::from([4.0])],
+        )
+        .unwrap();
+        assert!((signal.at(0.25)[0] - 0.5).abs() < 1e-12);
+        assert!((signal.at(0.75)[0] - 2.5).abs() < 1e-12);
+        assert_eq!(signal.at(-1.0)[0], 0.0);
+        assert_eq!(signal.at(2.0)[0], 4.0);
+    }
+
+    #[test]
+    fn piecewise_constant_sampling_uses_left_node() {
+        let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
+        let signal = GridSignal::new(
+            grid,
+            vec![StateVec::from([1.0]), StateVec::from([2.0]), StateVec::from([3.0])],
+        )
+        .unwrap();
+        assert_eq!(signal.at_piecewise_constant(0.25)[0], 1.0);
+        assert_eq!(signal.at_piecewise_constant(0.75)[0], 2.0);
+    }
+
+    #[test]
+    fn constant_signal_everywhere_equal() {
+        let grid = TimeGrid::new(0.0, 3.0, 3).unwrap();
+        let signal = GridSignal::constant(grid, StateVec::from([7.0]));
+        assert_eq!(signal.at(1.234)[0], 7.0);
+    }
+
+    #[test]
+    fn signal_validation() {
+        let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
+        assert!(GridSignal::new(grid.clone(), vec![StateVec::from([0.0])]).is_err());
+        let mixed = vec![StateVec::from([0.0]), StateVec::from([0.0, 1.0]), StateVec::from([0.0])];
+        assert!(GridSignal::new(grid, mixed).is_err());
+    }
+
+    #[test]
+    fn distance_between_signals() {
+        let grid = TimeGrid::new(0.0, 1.0, 1).unwrap();
+        let a = GridSignal::new(grid.clone(), vec![StateVec::from([0.0]), StateVec::from([1.0])])
+            .unwrap();
+        let b = GridSignal::new(grid, vec![StateVec::from([0.5]), StateVec::from([1.0])]).unwrap();
+        assert!((a.distance_inf(&b).unwrap() - 0.5).abs() < 1e-15);
+    }
+}

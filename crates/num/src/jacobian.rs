@@ -1,0 +1,231 @@
+//! Finite-difference Jacobians of vector fields.
+//!
+//! The Pontryagin costate equation `-ṗ = (∂f/∂x)ᵀ p` requires the Jacobian of
+//! the drift with respect to the state. Models in this workspace only expose
+//! the drift itself, so the Jacobian is approximated with central finite
+//! differences — accurate to second order in the perturbation size, which is
+//! ample given the smooth polynomial drifts of population models.
+
+use crate::{NumError, Result, StateVec};
+
+/// A dense row-major matrix of drift partial derivatives.
+///
+/// `entry(i, j)` is `∂f_i / ∂x_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jacobian {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Jacobian {
+    /// Creates a zero matrix with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Jacobian { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows (output dimension of the vector field).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (input dimension of the vector field).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns entry `(i, j) = ∂f_i/∂x_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "Jacobian index out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set_entry(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "Jacobian index out of range");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Computes `Jᵀ p`, the product of the transposed Jacobian with a vector.
+    ///
+    /// This is exactly the contraction appearing in the costate equation
+    /// `-ṗ = (∂f/∂x)ᵀ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p` does not have `rows` components.
+    pub fn transpose_mul(&self, p: &StateVec) -> Result<StateVec> {
+        if p.dim() != self.rows {
+            return Err(NumError::DimensionMismatch { expected: self.rows, found: p.dim() });
+        }
+        let mut out = StateVec::zeros(self.cols);
+        for i in 0..self.rows {
+            let pi = p[i];
+            if pi == 0.0 {
+                continue;
+            }
+            for j in 0..self.cols {
+                out[j] += self.data[i * self.cols + j] * pi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `J v`, the ordinary matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` does not have `cols` components.
+    pub fn mul(&self, v: &StateVec) -> Result<StateVec> {
+        if v.dim() != self.cols {
+            return Err(NumError::DimensionMismatch { expected: self.cols, found: v.dim() });
+        }
+        let mut out = StateVec::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self.data[i * self.cols + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+}
+
+/// Approximates the Jacobian of `f` at `x` by central finite differences.
+///
+/// `f` maps a [`StateVec`] of dimension `x.dim()` to a [`StateVec`] of
+/// dimension `output_dim`; `h` is the perturbation size (a good default is
+/// `1e-6`).
+///
+/// # Errors
+///
+/// Returns an error if `h` is not strictly positive, if `f` returns a vector
+/// of the wrong dimension, or if any evaluation is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::jacobian::finite_difference_jacobian;
+/// use mfu_num::StateVec;
+///
+/// // f(x, y) = (x*y, x + 2y)
+/// let f = |v: &StateVec| StateVec::from(vec![v[0] * v[1], v[0] + 2.0 * v[1]]);
+/// let jac = finite_difference_jacobian(&f, &StateVec::from(vec![2.0, 3.0]), 2, 1e-6)?;
+/// assert!((jac.entry(0, 0) - 3.0).abs() < 1e-6);
+/// assert!((jac.entry(0, 1) - 2.0).abs() < 1e-6);
+/// assert!((jac.entry(1, 0) - 1.0).abs() < 1e-6);
+/// assert!((jac.entry(1, 1) - 2.0).abs() < 1e-6);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+pub fn finite_difference_jacobian<F>(
+    f: &F,
+    x: &StateVec,
+    output_dim: usize,
+    h: f64,
+) -> Result<Jacobian>
+where
+    F: Fn(&StateVec) -> StateVec,
+{
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(NumError::invalid_argument("finite-difference step must be positive"));
+    }
+    let n = x.dim();
+    let mut jac = Jacobian::zeros(output_dim, n);
+    let mut x_plus = x.clone();
+    let mut x_minus = x.clone();
+    for j in 0..n {
+        x_plus.copy_from(x);
+        x_minus.copy_from(x);
+        x_plus[j] += h;
+        x_minus[j] -= h;
+        let f_plus = f(&x_plus);
+        let f_minus = f(&x_minus);
+        if f_plus.dim() != output_dim || f_minus.dim() != output_dim {
+            return Err(NumError::DimensionMismatch {
+                expected: output_dim,
+                found: f_plus.dim(),
+            });
+        }
+        for i in 0..output_dim {
+            let d = (f_plus[i] - f_minus[i]) / (2.0 * h);
+            if !d.is_finite() {
+                return Err(NumError::non_finite(format!("jacobian entry ({i}, {j})")));
+            }
+            jac.set_entry(i, j, d);
+        }
+    }
+    Ok(jac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(v: &StateVec) -> StateVec {
+        StateVec::from([v[0] * v[0] + v[1], 3.0 * v[0] * v[1]])
+    }
+
+    #[test]
+    fn central_differences_match_analytic_jacobian() {
+        let x = StateVec::from([1.5, -2.0]);
+        let jac = finite_difference_jacobian(&quadratic, &x, 2, 1e-6).unwrap();
+        assert!((jac.entry(0, 0) - 3.0).abs() < 1e-6); // 2*x0
+        assert!((jac.entry(0, 1) - 1.0).abs() < 1e-6);
+        assert!((jac.entry(1, 0) + 6.0).abs() < 1e-6); // 3*x1
+        assert!((jac.entry(1, 1) - 4.5).abs() < 1e-6); // 3*x0
+    }
+
+    #[test]
+    fn transpose_mul_matches_manual_computation() {
+        let x = StateVec::from([1.0, 2.0]);
+        let jac = finite_difference_jacobian(&quadratic, &x, 2, 1e-6).unwrap();
+        let p = StateVec::from([1.0, -1.0]);
+        let jt_p = jac.transpose_mul(&p).unwrap();
+        // J = [[2, 1], [6, 3]]; Jᵀ p = [2*1 + 6*(-1), 1*1 + 3*(-1)] = [-4, -2]
+        assert!((jt_p[0] + 4.0).abs() < 1e-5);
+        assert!((jt_p[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mul_matches_manual_computation() {
+        let mut jac = Jacobian::zeros(2, 2);
+        jac.set_entry(0, 0, 1.0);
+        jac.set_entry(0, 1, 2.0);
+        jac.set_entry(1, 0, -1.0);
+        jac.set_entry(1, 1, 0.5);
+        let v = StateVec::from([2.0, 4.0]);
+        let out = jac.mul(&v).unwrap();
+        assert_eq!(out.as_slice(), &[10.0, 0.0]);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported() {
+        let jac = Jacobian::zeros(2, 3);
+        assert!(jac.transpose_mul(&StateVec::zeros(3)).is_err());
+        assert!(jac.mul(&StateVec::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_step() {
+        let x = StateVec::from([0.0]);
+        let f = |v: &StateVec| v.clone();
+        assert!(finite_difference_jacobian(&f, &x, 1, 0.0).is_err());
+        assert!(finite_difference_jacobian(&f, &x, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_output_dimension() {
+        let x = StateVec::from([1.0]);
+        let f = |v: &StateVec| StateVec::from([v[0], v[0]]);
+        assert!(finite_difference_jacobian(&f, &x, 1, 1e-6).is_err());
+    }
+}

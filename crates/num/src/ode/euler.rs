@@ -1,0 +1,137 @@
+use crate::{NumError, Result, StateVec};
+
+use super::{check_inputs, Integrator, OdeSystem, Trajectory};
+
+/// Explicit Euler integrator with a fixed step size.
+///
+/// First-order accurate; it is provided as a baseline and for tests where the
+/// exact order of a scheme matters. Production analyses should prefer
+/// [`Rk4`](super::Rk4) or [`Dopri45`](super::Dopri45).
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::ode::{Euler, FnSystem, Integrator};
+/// use mfu_num::StateVec;
+///
+/// let decay = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = -x[0]);
+/// let end = Euler::with_step(1e-4).final_state(&decay, 0.0, StateVec::from(vec![1.0]), 1.0)?;
+/// assert!((end[0] - (-1.0f64).exp()).abs() < 1e-3);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Euler {
+    step: f64,
+}
+
+impl Euler {
+    /// Creates an Euler integrator with the given step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn with_step(step: f64) -> Self {
+        assert!(step > 0.0 && step.is_finite(), "Euler step must be positive and finite");
+        Euler { step }
+    }
+
+    /// The configured step size.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+}
+
+impl Default for Euler {
+    fn default() -> Self {
+        Euler::with_step(1e-3)
+    }
+}
+
+impl Integrator for Euler {
+    fn integrate(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        x0: StateVec,
+        t_end: f64,
+    ) -> Result<Trajectory> {
+        check_inputs(system, t0, &x0, t_end)?;
+        let dim = system.dim();
+        let span = t_end - t0;
+        let n_steps = (span / self.step).ceil().max(1.0) as usize;
+        let h = span / n_steps as f64;
+
+        let mut traj = Trajectory::with_capacity(dim, n_steps + 1);
+        let mut x = x0;
+        let mut dx = StateVec::zeros(dim);
+        traj.push(t0, x.clone())?;
+        if span == 0.0 {
+            return Ok(traj);
+        }
+        for k in 0..n_steps {
+            let t = t0 + h * k as f64;
+            system.rhs(t, &x, &mut dx);
+            x.add_scaled(h, &dx);
+            if !x.is_finite() {
+                return Err(NumError::non_finite(format!("Euler step at t = {t}")));
+            }
+            let t_next = if k + 1 == n_steps { t_end } else { t0 + h * (k + 1) as f64 };
+            traj.push(t_next, x.clone())?;
+        }
+        Ok(traj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::FnSystem;
+
+    #[test]
+    fn integrates_linear_growth_exactly() {
+        // ẋ = 2 has exact solution x(t) = x0 + 2t regardless of the scheme.
+        let sys = FnSystem::new(1, |_t, _x: &StateVec, dx: &mut StateVec| dx[0] = 2.0);
+        let end = Euler::with_step(0.1)
+            .final_state(&sys, 0.0, StateVec::from([1.0]), 3.0)
+            .unwrap();
+        assert!((end[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_convergence() {
+        // error should shrink roughly linearly with the step size
+        let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = -x[0]);
+        let exact = (-1.0f64).exp();
+        let err = |h: f64| {
+            let end = Euler::with_step(h)
+                .final_state(&sys, 0.0, StateVec::from([1.0]), 1.0)
+                .unwrap();
+            (end[0] - exact).abs()
+        };
+        let e1 = err(1e-2);
+        let e2 = err(1e-3);
+        let ratio = e1 / e2;
+        assert!(ratio > 5.0 && ratio < 20.0, "expected ~10x error reduction, got {ratio}");
+    }
+
+    #[test]
+    fn zero_span_returns_initial_state() {
+        let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = x[0]);
+        let traj = Euler::default().integrate(&sys, 2.0, StateVec::from([5.0]), 2.0).unwrap();
+        assert_eq!(traj.len(), 1);
+        assert_eq!(traj.last_state().as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn detects_divergence_to_non_finite() {
+        let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = x[0] * x[0]);
+        let res = Euler::with_step(0.5).integrate(&sys, 0.0, StateVec::from([1e200]), 10.0);
+        assert!(matches!(res, Err(NumError::NonFinite { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_panics() {
+        let _ = Euler::with_step(0.0);
+    }
+}

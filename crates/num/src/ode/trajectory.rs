@@ -1,0 +1,291 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{NumError, Result, StateVec};
+
+/// Dense output of an ODE integration: a time grid and the state at each node.
+///
+/// Trajectories support linear interpolation between stored nodes (accurate
+/// enough for plotting and for the fixed-grid resampling used by the
+/// Pontryagin sweep) and resampling onto uniform grids.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::ode::Trajectory;
+/// use mfu_num::StateVec;
+///
+/// let mut traj = Trajectory::new(2);
+/// traj.push(0.0, StateVec::from(vec![0.0, 1.0]))?;
+/// traj.push(1.0, StateVec::from(vec![1.0, 0.0]))?;
+/// let mid = traj.at(0.5)?;
+/// assert_eq!(mid.as_slice(), &[0.5, 0.5]);
+/// # Ok::<(), mfu_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    dim: usize,
+    times: Vec<f64>,
+    states: Vec<StateVec>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory for states of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Trajectory { dim, times: Vec::new(), states: Vec::new() }
+    }
+
+    /// Creates an empty trajectory with capacity for `capacity` nodes.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        Trajectory {
+            dim,
+            times: Vec::with_capacity(capacity),
+            states: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored nodes.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when no node has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The stored time grid.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The stored states, aligned with [`Trajectory::times`].
+    pub fn states(&self) -> &[StateVec] {
+        &self.states
+    }
+
+    /// Appends a node `(t, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong dimension or `t` is not strictly
+    /// larger than the last stored time (the grid must be increasing).
+    pub fn push(&mut self, t: f64, x: StateVec) -> Result<()> {
+        if x.dim() != self.dim {
+            return Err(NumError::DimensionMismatch { expected: self.dim, found: x.dim() });
+        }
+        if let Some(&last) = self.times.last() {
+            if t <= last {
+                return Err(NumError::invalid_argument(format!(
+                    "trajectory times must be strictly increasing ({t} after {last})"
+                )));
+            }
+        }
+        self.times.push(t);
+        self.states.push(x);
+        Ok(())
+    }
+
+    /// First stored time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn first_time(&self) -> f64 {
+        *self.times.first().expect("empty trajectory")
+    }
+
+    /// Last stored time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn last_time(&self) -> f64 {
+        *self.times.last().expect("empty trajectory")
+    }
+
+    /// Last stored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty.
+    pub fn last_state(&self) -> &StateVec {
+        self.states.last().expect("empty trajectory")
+    }
+
+    /// Iterates over `(time, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &StateVec)> {
+        self.times.iter().copied().zip(self.states.iter())
+    }
+
+    /// Linear interpolation of the state at time `t`.
+    ///
+    /// Times outside the stored range are clamped to the first / last node,
+    /// which is the behaviour expected when sampling a steady-state tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trajectory is empty or `t` is not finite.
+    pub fn at(&self, t: f64) -> Result<StateVec> {
+        if self.is_empty() {
+            return Err(NumError::invalid_argument("cannot interpolate an empty trajectory"));
+        }
+        if !t.is_finite() {
+            return Err(NumError::invalid_argument("interpolation time must be finite"));
+        }
+        if t <= self.first_time() {
+            return Ok(self.states[0].clone());
+        }
+        if t >= self.last_time() {
+            return Ok(self.last_state().clone());
+        }
+        // binary search for the bracketing interval
+        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+            Ok(i) => return Ok(self.states[i].clone()),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let w = (t - t0) / (t1 - t0);
+        let mut out = self.states[idx - 1].clone();
+        out *= 1.0 - w;
+        out.add_scaled(w, &self.states[idx]);
+        Ok(out)
+    }
+
+    /// Extracts the scalar time series of coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    pub fn coordinate(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.dim, "coordinate index out of range");
+        self.states.iter().map(|x| x[i]).collect()
+    }
+
+    /// Resamples the trajectory on `n + 1` uniformly spaced times spanning the
+    /// stored range.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trajectory is empty or `n == 0`.
+    pub fn resample(&self, n: usize) -> Result<Trajectory> {
+        if self.is_empty() {
+            return Err(NumError::invalid_argument("cannot resample an empty trajectory"));
+        }
+        if n == 0 {
+            return Err(NumError::invalid_argument("resample requires at least one interval"));
+        }
+        let (t0, t1) = (self.first_time(), self.last_time());
+        let mut out = Trajectory::with_capacity(self.dim, n + 1);
+        for k in 0..=n {
+            let t = t0 + (t1 - t0) * (k as f64) / (n as f64);
+            // Guard against duplicate times when t0 == t1.
+            let t = if k == n { t1 } else { t };
+            let x = self.at(t)?;
+            if out.times.last().map_or(true, |&last| t > last) {
+                out.times.push(t);
+                out.states.push(x);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum over stored nodes of coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty or `i >= dim`.
+    pub fn max_coordinate(&self, i: usize) -> f64 {
+        assert!(!self.is_empty(), "empty trajectory");
+        self.coordinate(i).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum over stored nodes of coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trajectory is empty or `i >= dim`.
+    pub fn min_coordinate(&self, i: usize) -> f64 {
+        assert!(!self.is_empty(), "empty trajectory");
+        self.coordinate(i).into_iter().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line() -> Trajectory {
+        let mut traj = Trajectory::new(2);
+        traj.push(0.0, StateVec::from([0.0, 2.0])).unwrap();
+        traj.push(1.0, StateVec::from([1.0, 1.0])).unwrap();
+        traj.push(2.0, StateVec::from([2.0, 0.0])).unwrap();
+        traj
+    }
+
+    #[test]
+    fn push_enforces_monotone_times_and_dimension() {
+        let mut traj = Trajectory::new(1);
+        traj.push(0.0, StateVec::from([1.0])).unwrap();
+        assert!(traj.push(0.0, StateVec::from([1.0])).is_err());
+        assert!(traj.push(-1.0, StateVec::from([1.0])).is_err());
+        assert!(traj.push(1.0, StateVec::from([1.0, 2.0])).is_err());
+        assert!(traj.push(1.0, StateVec::from([2.0])).is_ok());
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let traj = straight_line();
+        let x = traj.at(0.25).unwrap();
+        assert!((x[0] - 0.25).abs() < 1e-12);
+        assert!((x[1] - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_range() {
+        let traj = straight_line();
+        assert_eq!(traj.at(-5.0).unwrap().as_slice(), &[0.0, 2.0]);
+        assert_eq!(traj.at(5.0).unwrap().as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn interpolation_at_node_returns_node() {
+        let traj = straight_line();
+        assert_eq!(traj.at(1.0).unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_trajectory_interpolation_fails() {
+        let traj = Trajectory::new(1);
+        assert!(traj.at(0.0).is_err());
+        assert!(traj.resample(4).is_err());
+    }
+
+    #[test]
+    fn resample_produces_uniform_grid() {
+        let traj = straight_line();
+        let dense = traj.resample(4).unwrap();
+        assert_eq!(dense.len(), 5);
+        assert!((dense.times()[1] - 0.5).abs() < 1e-12);
+        assert!((dense.states()[1][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coordinate_extrema() {
+        let traj = straight_line();
+        assert_eq!(traj.max_coordinate(0), 2.0);
+        assert_eq!(traj.min_coordinate(1), 0.0);
+        assert_eq!(traj.coordinate(1), vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let traj = straight_line();
+        let collected: Vec<f64> = traj.iter().map(|(t, _)| t).collect();
+        assert_eq!(collected, vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,478 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A small dense state vector over `f64`.
+///
+/// [`StateVec`] is the workhorse value type of the workspace: population
+/// densities, drifts, costates and bounds are all represented as `StateVec`s.
+/// It wraps a `Vec<f64>` and provides element-wise arithmetic, norms and a few
+/// component-wise comparisons that the differential-hull construction needs.
+///
+/// Arithmetic between two vectors panics when dimensions differ; this is a
+/// programming error rather than a recoverable condition, mirroring the
+/// convention of dense linear-algebra libraries.
+///
+/// # Example
+///
+/// ```
+/// use mfu_num::StateVec;
+///
+/// let x = StateVec::from(vec![0.7, 0.3]);
+/// let y = StateVec::from(vec![0.1, 0.2]);
+/// let z = &x + &y;
+/// assert!((z[0] - 0.8).abs() < 1e-12 && (z[1] - 0.5).abs() < 1e-12);
+/// assert!((x.norm_inf() - 0.7).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateVec(Vec<f64>);
+
+impl StateVec {
+    /// Creates a zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        StateVec(vec![0.0; dim])
+    }
+
+    /// Creates a vector of dimension `dim` filled with `value`.
+    pub fn filled(dim: usize, value: f64) -> Self {
+        StateVec(vec![value; dim])
+    }
+
+    /// Returns the dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the vector has dimension zero.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the components as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Returns the components as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector and returns the underlying `Vec<f64>`.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Returns an iterator over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.0.iter()
+    }
+
+    /// Returns a mutable iterator over the components.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.0.iter_mut()
+    }
+
+    /// Sets every component to zero, keeping the dimension.
+    pub fn fill_zero(&mut self) {
+        self.0.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Copies the components of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn copy_from(&mut self, other: &StateVec) {
+        assert_eq!(self.dim(), other.dim(), "copy_from: dimension mismatch");
+        self.0.copy_from_slice(&other.0);
+    }
+
+    /// In-place `self += scale * other` (a fused "axpy" update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_scaled(&mut self, scale: f64, other: &StateVec) {
+        assert_eq!(self.dim(), other.dim(), "add_scaled: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Supremum (infinity) norm.
+    pub fn norm_inf(&self) -> f64 {
+        self.0.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// L1 norm.
+    pub fn norm1(&self) -> f64 {
+        self.0.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Dot product with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &StateVec) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dot: dimension mismatch");
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Supremum-norm distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn distance_inf(&self, other: &StateVec) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "distance_inf: dimension mismatch");
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Returns `true` when every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// Component-wise `self ≤ other` (used by differential hulls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn le(&self, other: &StateVec) -> bool {
+        assert_eq!(self.dim(), other.dim(), "le: dimension mismatch");
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+
+    /// Component-wise minimum of `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn component_min(&self, other: &StateVec) -> StateVec {
+        assert_eq!(self.dim(), other.dim(), "component_min: dimension mismatch");
+        StateVec(self.0.iter().zip(other.0.iter()).map(|(a, b)| a.min(*b)).collect())
+    }
+
+    /// Component-wise maximum of `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn component_max(&self, other: &StateVec) -> StateVec {
+        assert_eq!(self.dim(), other.dim(), "component_max: dimension mismatch");
+        StateVec(self.0.iter().zip(other.0.iter()).map(|(a, b)| a.max(*b)).collect())
+    }
+
+    /// Clamps every component into `[lo, hi]`.
+    pub fn clamp_scalar(&self, lo: f64, hi: f64) -> StateVec {
+        StateVec(self.0.iter().map(|v| v.clamp(lo, hi)).collect())
+    }
+
+    /// Sum of all components (useful for conservation checks).
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl From<Vec<f64>> for StateVec {
+    fn from(values: Vec<f64>) -> Self {
+        StateVec(values)
+    }
+}
+
+impl From<&[f64]> for StateVec {
+    fn from(values: &[f64]) -> Self {
+        StateVec(values.to_vec())
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for StateVec {
+    fn from(values: [f64; N]) -> Self {
+        StateVec(values.to_vec())
+    }
+}
+
+impl FromIterator<f64> for StateVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        StateVec(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for StateVec {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a StateVec {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for StateVec {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for StateVec {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.0[index]
+    }
+}
+
+impl fmt::Display for StateVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait<&StateVec> for &StateVec {
+            type Output = StateVec;
+            fn $method(self, rhs: &StateVec) -> StateVec {
+                assert_eq!(self.dim(), rhs.dim(), concat!(stringify!($method), ": dimension mismatch"));
+                StateVec(self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a $op b).collect())
+            }
+        }
+
+        impl $trait<StateVec> for StateVec {
+            type Output = StateVec;
+            fn $method(self, rhs: StateVec) -> StateVec {
+                (&self).$method(&rhs)
+            }
+        }
+
+        impl $trait<&StateVec> for StateVec {
+            type Output = StateVec;
+            fn $method(self, rhs: &StateVec) -> StateVec {
+                (&self).$method(rhs)
+            }
+        }
+
+        impl $trait<StateVec> for &StateVec {
+            type Output = StateVec;
+            fn $method(self, rhs: StateVec) -> StateVec {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+
+impl AddAssign<&StateVec> for StateVec {
+    fn add_assign(&mut self, rhs: &StateVec) {
+        assert_eq!(self.dim(), rhs.dim(), "add_assign: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&StateVec> for StateVec {
+    fn sub_assign(&mut self, rhs: &StateVec) {
+        assert_eq!(self.dim(), rhs.dim(), "sub_assign: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &StateVec {
+    type Output = StateVec;
+    fn mul(self, rhs: f64) -> StateVec {
+        StateVec(self.0.iter().map(|a| a * rhs).collect())
+    }
+}
+
+impl Mul<f64> for StateVec {
+    type Output = StateVec;
+    fn mul(self, rhs: f64) -> StateVec {
+        (&self).mul(rhs)
+    }
+}
+
+impl Mul<&StateVec> for f64 {
+    type Output = StateVec;
+    fn mul(self, rhs: &StateVec) -> StateVec {
+        rhs * self
+    }
+}
+
+impl Mul<StateVec> for f64 {
+    type Output = StateVec;
+    fn mul(self, rhs: StateVec) -> StateVec {
+        &rhs * self
+    }
+}
+
+impl MulAssign<f64> for StateVec {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.0.iter_mut().for_each(|a| *a *= rhs);
+    }
+}
+
+impl Div<f64> for &StateVec {
+    type Output = StateVec;
+    fn div(self, rhs: f64) -> StateVec {
+        StateVec(self.0.iter().map(|a| a / rhs).collect())
+    }
+}
+
+impl Div<f64> for StateVec {
+    type Output = StateVec;
+    fn div(self, rhs: f64) -> StateVec {
+        (&self).div(rhs)
+    }
+}
+
+impl DivAssign<f64> for StateVec {
+    fn div_assign(&mut self, rhs: f64) {
+        self.0.iter_mut().for_each(|a| *a /= rhs);
+    }
+}
+
+impl Neg for &StateVec {
+    type Output = StateVec;
+    fn neg(self) -> StateVec {
+        StateVec(self.0.iter().map(|a| -a).collect())
+    }
+}
+
+impl Neg for StateVec {
+    type Output = StateVec;
+    fn neg(self) -> StateVec {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = StateVec::zeros(3);
+        assert_eq!(z.dim(), 3);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+        let f = StateVec::filled(2, 1.5);
+        assert_eq!(f.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let x = StateVec::from([1.0, 2.0, 3.0]);
+        let y = StateVec::from([0.5, 0.5, 0.5]);
+        assert_eq!((&x + &y).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!((&x - &y).as_slice(), &[0.5, 1.5, 2.5]);
+        assert_eq!((&x * 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!((2.0 * &x).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!((&x / 2.0).as_slice(), &[0.5, 1.0, 1.5]);
+        assert_eq!((-&x).as_slice(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = StateVec::from([1.0, 2.0]);
+        x += &StateVec::from([1.0, 1.0]);
+        assert_eq!(x.as_slice(), &[2.0, 3.0]);
+        x -= &StateVec::from([0.5, 0.5]);
+        assert_eq!(x.as_slice(), &[1.5, 2.5]);
+        x *= 2.0;
+        assert_eq!(x.as_slice(), &[3.0, 5.0]);
+        x /= 2.0;
+        assert_eq!(x.as_slice(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut x = StateVec::from([1.0, 1.0]);
+        x.add_scaled(0.5, &StateVec::from([2.0, 4.0]));
+        assert_eq!(x.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let x = StateVec::from([3.0, -4.0]);
+        assert!((x.norm2() - 5.0).abs() < 1e-12);
+        assert!((x.norm1() - 7.0).abs() < 1e-12);
+        assert!((x.norm_inf() - 4.0).abs() < 1e-12);
+        let y = StateVec::from([1.0, 1.0]);
+        assert!((x.dot(&y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_and_comparisons() {
+        let x = StateVec::from([0.0, 1.0]);
+        let y = StateVec::from([0.5, 0.0]);
+        assert!((x.distance_inf(&y) - 1.0).abs() < 1e-12);
+        assert!(!x.le(&y));
+        assert_eq!(x.component_min(&y).as_slice(), &[0.0, 0.0]);
+        assert_eq!(x.component_max(&y).as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn clamp_and_sum() {
+        let x = StateVec::from([-1.0, 0.5, 2.0]);
+        assert_eq!(x.clamp_scalar(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+        assert!((x.sum() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut x = StateVec::from([1.0, 2.0]);
+        assert!(x.is_finite());
+        x[1] = f64::NAN;
+        assert!(!x.is_finite());
+    }
+
+    #[test]
+    fn display_formats_components() {
+        let x = StateVec::from([1.0, 2.0]);
+        assert_eq!(x.to_string(), "[1.000000, 2.000000]");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_add_panics() {
+        let _ = StateVec::from([1.0]) + StateVec::from([1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_iterator_and_into_iterator() {
+        let x: StateVec = (0..3).map(|i| i as f64).collect();
+        assert_eq!(x.as_slice(), &[0.0, 1.0, 2.0]);
+        let sum: f64 = (&x).into_iter().sum();
+        assert!((sum - 3.0).abs() < 1e-12);
+    }
+}

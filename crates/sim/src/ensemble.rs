@@ -1,0 +1,352 @@
+//! Parallel ensembles of stochastic simulations.
+//!
+//! Mean-field accuracy claims ("the stochastic system stays close to the
+//! deterministic limit as `N` grows") are checked against the *distribution*
+//! of the stochastic process, which requires many independent replications.
+//! This module runs replications across threads and summarises them on a
+//! common time grid.
+
+use std::sync::Mutex;
+
+use mfu_num::StateVec;
+
+use crate::gillespie::{SimulationOptions, Simulator};
+use crate::policy::ParameterPolicy;
+use crate::stats::RunningStats;
+use crate::{Result, SimError};
+
+/// Options controlling an ensemble of replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleOptions {
+    /// Number of independent replications.
+    pub replications: usize,
+    /// Seed of the first replication; replication `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Number of worker threads (`0` means one thread per available core).
+    pub threads: usize,
+    /// Number of intervals of the common time grid used for the summary.
+    pub grid_intervals: usize,
+}
+
+impl Default for EnsembleOptions {
+    fn default() -> Self {
+        EnsembleOptions { replications: 32, base_seed: 1, threads: 0, grid_intervals: 100 }
+    }
+}
+
+/// Per-time-point, per-coordinate summary of an ensemble of trajectories.
+#[derive(Debug, Clone)]
+pub struct EnsembleSummary {
+    times: Vec<f64>,
+    stats: Vec<Vec<RunningStats>>,
+    final_states: Vec<StateVec>,
+}
+
+impl EnsembleSummary {
+    /// The common time grid of the summary.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of replications that contributed.
+    pub fn replications(&self) -> usize {
+        self.final_states.len()
+    }
+
+    /// Mean state at grid index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn mean_at(&self, k: usize) -> StateVec {
+        self.stats[k].iter().map(RunningStats::mean).collect()
+    }
+
+    /// Per-coordinate standard deviation at grid index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn std_dev_at(&self, k: usize) -> StateVec {
+        self.stats[k].iter().map(RunningStats::std_dev).collect()
+    }
+
+    /// Per-coordinate statistics at grid index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn stats_at(&self, k: usize) -> &[RunningStats] {
+        &self.stats[k]
+    }
+
+    /// Final (horizon) states of every replication.
+    pub fn final_states(&self) -> &[StateVec] {
+        &self.final_states
+    }
+
+    /// Largest, over the grid, sup-norm distance between the ensemble mean and
+    /// a reference trajectory sampled at the same times.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `reference` yields vectors of the wrong dimension.
+    pub fn max_mean_distance<F>(&self, mut reference: F) -> Result<f64>
+    where
+        F: FnMut(f64) -> StateVec,
+    {
+        let mut worst = 0.0_f64;
+        for (k, &t) in self.times.iter().enumerate() {
+            let mean = self.mean_at(k);
+            let expected = reference(t);
+            if expected.dim() != mean.dim() {
+                return Err(SimError::invalid_input("reference trajectory has wrong dimension"));
+            }
+            worst = worst.max(mean.distance_inf(&expected));
+        }
+        Ok(worst)
+    }
+}
+
+/// Runs `options.replications` independent simulations and summarises them.
+///
+/// `make_policy` builds a fresh policy per replication (policies are stateful
+/// and must not be shared across replications). Replications are distributed
+/// over `options.threads` worker threads.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, or an invalid-input error
+/// when `options.replications == 0`.
+pub fn run_ensemble<F, P>(
+    simulator: &Simulator,
+    initial_counts: &[i64],
+    make_policy: F,
+    sim_options: &SimulationOptions,
+    options: &EnsembleOptions,
+) -> Result<EnsembleSummary>
+where
+    F: Fn() -> P + Sync,
+    P: ParameterPolicy,
+{
+    if options.replications == 0 {
+        return Err(SimError::invalid_input("ensemble needs at least one replication"));
+    }
+    if options.grid_intervals == 0 {
+        return Err(SimError::invalid_input("ensemble needs at least one grid interval"));
+    }
+
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        options.threads
+    };
+    let threads = threads.min(options.replications).max(1);
+
+    let dim = simulator.model().dim();
+    let grid_n = options.grid_intervals;
+    let times: Vec<f64> =
+        (0..=grid_n).map(|k| sim_options.t_end * k as f64 / grid_n as f64).collect();
+
+    // Shared accumulators guarded by a mutex: merging is cheap relative to
+    // simulation, so contention is negligible.
+    let accumulator: Mutex<(Vec<Vec<RunningStats>>, Vec<StateVec>, Option<SimError>)> =
+        Mutex::new((vec![vec![RunningStats::new(); dim]; grid_n + 1], Vec::new(), None));
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let accumulator = &accumulator;
+            let make_policy = &make_policy;
+            let times = &times;
+            scope.spawn(move || {
+                let mut local_stats = vec![vec![RunningStats::new(); dim]; grid_n + 1];
+                let mut local_finals = Vec::new();
+                let mut local_error: Option<SimError> = None;
+                let mut replication = worker;
+                while replication < options.replications {
+                    let seed = options.base_seed.wrapping_add(replication as u64);
+                    let mut policy = make_policy();
+                    match simulator.simulate(initial_counts, &mut policy, sim_options, seed) {
+                        Ok(run) => {
+                            let trajectory = run.trajectory();
+                            for (k, &t) in times.iter().enumerate() {
+                                if let Ok(state) = trajectory.at(t) {
+                                    for (i, &v) in state.as_slice().iter().enumerate() {
+                                        local_stats[k][i].push(v);
+                                    }
+                                }
+                            }
+                            if let Ok(last) = trajectory.at(sim_options.t_end) {
+                                local_finals.push(last);
+                            }
+                        }
+                        Err(err) => {
+                            local_error = Some(err);
+                            break;
+                        }
+                    }
+                    replication += threads;
+                }
+                let mut guard = accumulator.lock().expect("accumulator poisoned");
+                for (k, row) in local_stats.iter().enumerate() {
+                    for (i, cell) in row.iter().enumerate() {
+                        guard.0[k][i].merge(cell);
+                    }
+                }
+                guard.1.extend(local_finals);
+                if guard.2.is_none() {
+                    guard.2 = local_error;
+                }
+            });
+        }
+    });
+
+    let (stats, final_states, error) = accumulator.into_inner().expect("accumulator poisoned");
+    if let Some(err) = error {
+        return Err(err);
+    }
+    Ok(EnsembleSummary { times, stats, final_states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ConstantPolicy;
+    use mfu_ctmc::params::{Interval, ParamSpace};
+    use mfu_ctmc::population::PopulationModel;
+    use mfu_ctmc::transition::TransitionClass;
+    use mfu_num::ode::{Integrator, Rk4};
+
+    fn bike_model() -> PopulationModel {
+        let params = ParamSpace::new(vec![
+            ("arrival", Interval::new(0.5, 2.0).unwrap()),
+            ("return", Interval::new(0.5, 2.0).unwrap()),
+        ])
+        .unwrap();
+        PopulationModel::builder(1, params)
+            .variable_names(vec!["bikes"])
+            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
+                if x[0] > 0.0 {
+                    th[0]
+                } else {
+                    0.0
+                }
+            }))
+            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
+                if x[0] < 1.0 {
+                    th[1]
+                } else {
+                    0.0
+                }
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ensemble_summary_has_expected_shape() {
+        let sim = Simulator::new(bike_model(), 50).unwrap();
+        let options = EnsembleOptions { replications: 8, base_seed: 3, threads: 2, grid_intervals: 10 };
+        let summary = run_ensemble(
+            &sim,
+            &[25],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            &SimulationOptions::new(5.0),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(summary.times().len(), 11);
+        assert_eq!(summary.replications(), 8);
+        assert_eq!(summary.mean_at(0).dim(), 1);
+        assert_eq!(summary.stats_at(5).len(), 1);
+        // initial state is deterministic
+        assert!((summary.mean_at(0)[0] - 0.5).abs() < 1e-12);
+        assert_eq!(summary.std_dev_at(0)[0], 0.0);
+    }
+
+    #[test]
+    fn ensemble_mean_tracks_mean_field_ode() {
+        // With asymmetric rates the mean field settles where pickup and
+        // return balance; the ensemble mean at moderate N should be close.
+        let model = bike_model();
+        let sim = Simulator::new(model.clone(), 200).unwrap();
+        let summary = run_ensemble(
+            &sim,
+            &[100],
+            || ConstantPolicy::new(vec![1.5, 0.75]),
+            &SimulationOptions::new(8.0).record_stride(4),
+            &EnsembleOptions { replications: 16, base_seed: 11, threads: 4, grid_intervals: 20 },
+        )
+        .unwrap();
+        // The bike drift is discontinuous at the boundaries, so use a
+        // fixed-step solver for the reference (no step rejection on the
+        // sliding mode at x = 0).
+        let ode = model.ode_for(vec![1.5, 0.75]);
+        let reference = Rk4::with_step(1e-3)
+            .integrate(&ode, 0.0, StateVec::from([0.5]), 8.0)
+            .unwrap();
+        let distance = summary
+            .max_mean_distance(|t| reference.at(t).unwrap())
+            .unwrap();
+        assert!(distance < 0.12, "ensemble mean deviates from mean field by {distance}");
+    }
+
+    #[test]
+    fn ensemble_validates_options() {
+        let sim = Simulator::new(bike_model(), 10).unwrap();
+        let bad = EnsembleOptions { replications: 0, ..Default::default() };
+        assert!(run_ensemble(
+            &sim,
+            &[5],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            &SimulationOptions::new(1.0),
+            &bad
+        )
+        .is_err());
+        let bad = EnsembleOptions { grid_intervals: 0, replications: 2, ..Default::default() };
+        assert!(run_ensemble(
+            &sim,
+            &[5],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            &SimulationOptions::new(1.0),
+            &bad
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ensemble_propagates_simulation_errors() {
+        let sim = Simulator::new(bike_model(), 10).unwrap();
+        // policy outside the parameter box under strict checking
+        let res = run_ensemble(
+            &sim,
+            &[5],
+            || ConstantPolicy::new(vec![10.0, 1.0]),
+            &SimulationOptions::new(1.0),
+            &EnsembleOptions { replications: 4, threads: 2, ..Default::default() },
+        );
+        assert!(matches!(res, Err(SimError::PolicyOutOfRange { .. })));
+    }
+
+    #[test]
+    fn variance_shrinks_with_population_size() {
+        let make = |n: usize| {
+            let sim = Simulator::new(bike_model(), n).unwrap();
+            let summary = run_ensemble(
+                &sim,
+                &[n as i64 / 2],
+                || ConstantPolicy::new(vec![1.0, 1.0]),
+                &SimulationOptions::new(4.0).record_stride(2),
+                &EnsembleOptions { replications: 24, base_seed: 7, threads: 4, grid_intervals: 8 },
+            )
+            .unwrap();
+            summary.std_dev_at(8)[0]
+        };
+        let sd_small = make(20);
+        let sd_large = make(500);
+        assert!(
+            sd_large < sd_small,
+            "std dev should shrink with N: N=20 gives {sd_small}, N=500 gives {sd_large}"
+        );
+    }
+}

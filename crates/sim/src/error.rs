@@ -1,0 +1,103 @@
+use std::fmt;
+
+use mfu_ctmc::CtmcError;
+use mfu_num::NumError;
+
+/// Error type for the stochastic-simulation layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Simulation options or initial conditions were invalid.
+    InvalidInput {
+        /// Description of the offending input.
+        message: String,
+    },
+    /// A parameter policy produced a value outside the model's parameter space.
+    PolicyOutOfRange {
+        /// Time at which the violation occurred.
+        time: f64,
+    },
+    /// The event budget was exhausted before reaching the time horizon.
+    EventBudgetExhausted {
+        /// Number of events simulated before giving up.
+        events: usize,
+        /// Simulated time reached when the budget ran out.
+        reached: f64,
+    },
+    /// An error bubbled up from the modelling layer.
+    Model(CtmcError),
+    /// An error bubbled up from the numerical layer.
+    Numerical(NumError),
+}
+
+impl SimError {
+    /// Creates an [`SimError::InvalidInput`] from anything printable.
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        SimError::InvalidInput { message: message.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            SimError::PolicyOutOfRange { time } => {
+                write!(f, "parameter policy left the parameter space at t = {time}")
+            }
+            SimError::EventBudgetExhausted { events, reached } => {
+                write!(f, "event budget exhausted after {events} events at t = {reached}")
+            }
+            SimError::Model(err) => write!(f, "model error: {err}"),
+            SimError::Numerical(err) => write!(f, "numerical error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(err) => Some(err),
+            SimError::Numerical(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for SimError {
+    fn from(err: CtmcError) -> Self {
+        SimError::Model(err)
+    }
+}
+
+impl From<NumError> for SimError {
+    fn from(err: NumError) -> Self {
+        SimError::Numerical(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::invalid_input("bad scale").to_string().contains("bad scale"));
+        assert!(SimError::PolicyOutOfRange { time: 1.5 }.to_string().contains("1.5"));
+        let err = SimError::EventBudgetExhausted { events: 10, reached: 0.7 };
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: SimError = CtmcError::invalid_model("oops").into();
+        assert!(std::error::Error::source(&err).is_some());
+        let err: SimError = NumError::invalid_argument("oops").into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,454 @@
+//! Exact stochastic simulation (Gillespie / SSA) of population models.
+//!
+//! The simulator interprets a [`PopulationModel`] at a finite scale `N`: the
+//! state is the vector of integer counts, transition `k` fires at rate
+//! `N·β_k(x, ϑ)` where `x` is the normalised state, and the parameter signal
+//! `ϑ(t)` is produced by a [`ParameterPolicy`](crate::policy::ParameterPolicy)
+//! queried at every event. This is exactly the finite-`N` imprecise
+//! population process whose `N → ∞` behaviour the paper characterises.
+
+use mfu_ctmc::population::PopulationModel;
+use mfu_num::ode::Trajectory;
+use mfu_num::StateVec;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::policy::ParameterPolicy;
+use crate::{Result, SimError};
+
+/// Options controlling a single stochastic simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationOptions {
+    /// Time horizon of the simulation.
+    pub t_end: f64,
+    /// Hard cap on the number of simulated events.
+    pub max_events: usize,
+    /// Record one trajectory point every `record_stride` events (the initial
+    /// and final states are always recorded).
+    pub record_stride: usize,
+    /// When set, record at most one trajectory point per `record_interval`
+    /// time units (combined with `record_stride`, both conditions must hold).
+    /// This bounds memory usage for long runs at large `N`.
+    pub record_interval: Option<f64>,
+    /// When `true`, a policy value outside the model's parameter space is an
+    /// error; when `false` it is clamped into the space.
+    pub strict_policy: bool,
+}
+
+impl SimulationOptions {
+    /// Creates options for a run over `[0, t_end]` with default budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` is not positive and finite.
+    pub fn new(t_end: f64) -> Self {
+        assert!(t_end > 0.0 && t_end.is_finite(), "t_end must be positive and finite");
+        SimulationOptions {
+            t_end,
+            max_events: 50_000_000,
+            record_stride: 1,
+            record_interval: None,
+            strict_policy: true,
+        }
+    }
+
+    /// Sets the event budget.
+    #[must_use]
+    pub fn max_events(mut self, n: usize) -> Self {
+        self.max_events = n.max(1);
+        self
+    }
+
+    /// Sets the recording stride.
+    #[must_use]
+    pub fn record_stride(mut self, stride: usize) -> Self {
+        self.record_stride = stride.max(1);
+        self
+    }
+
+    /// Records at most one trajectory point per `interval` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive and finite.
+    #[must_use]
+    pub fn record_interval(mut self, interval: f64) -> Self {
+        assert!(interval > 0.0 && interval.is_finite(), "record interval must be positive");
+        self.record_interval = Some(interval);
+        self
+    }
+
+    /// Clamp out-of-range policy values instead of failing.
+    #[must_use]
+    pub fn lenient_policy(mut self) -> Self {
+        self.strict_policy = false;
+        self
+    }
+}
+
+/// The result of one stochastic simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationRun {
+    trajectory: Trajectory,
+    events: usize,
+    final_counts: Vec<i64>,
+}
+
+impl SimulationRun {
+    /// The recorded trajectory of *normalised* states.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// Number of CTMC events simulated.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Final integer counts.
+    pub fn final_counts(&self) -> &[i64] {
+        &self.final_counts
+    }
+
+    /// Consumes the run and returns its trajectory.
+    pub fn into_trajectory(self) -> Trajectory {
+        self.trajectory
+    }
+}
+
+/// Exact stochastic simulator for a population model at a fixed scale.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    model: PopulationModel,
+    scale: usize,
+    jumps: Vec<Vec<i64>>,
+}
+
+impl Simulator {
+    /// Creates a simulator for `model` at population scale `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `scale == 0`.
+    pub fn new(model: PopulationModel, scale: usize) -> Result<Self> {
+        if scale == 0 {
+            return Err(SimError::invalid_input("population scale must be positive"));
+        }
+        let jumps = model
+            .transitions()
+            .iter()
+            .map(|t| t.change().iter().map(|&v| v.round() as i64).collect())
+            .collect();
+        Ok(Simulator { model, scale, jumps })
+    }
+
+    /// The underlying population model.
+    pub fn model(&self) -> &PopulationModel {
+        &self.model
+    }
+
+    /// The population scale `N`.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// Runs one replication with a fresh RNG seeded by `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the initial counts have the wrong dimension or are
+    /// negative, if a rate is invalid, if the policy leaves the parameter
+    /// space under strict policy checking, or if the event budget is
+    /// exhausted before `t_end`.
+    pub fn simulate(
+        &self,
+        initial_counts: &[i64],
+        policy: &mut dyn ParameterPolicy,
+        options: &SimulationOptions,
+        seed: u64,
+    ) -> Result<SimulationRun> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.simulate_with_rng(initial_counts, policy, options, &mut rng)
+    }
+
+    /// Runs one replication with a caller-provided RNG.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::simulate`].
+    pub fn simulate_with_rng(
+        &self,
+        initial_counts: &[i64],
+        policy: &mut dyn ParameterPolicy,
+        options: &SimulationOptions,
+        rng: &mut StdRng,
+    ) -> Result<SimulationRun> {
+        if initial_counts.len() != self.model.dim() {
+            return Err(SimError::invalid_input(format!(
+                "expected {} initial counts, got {}",
+                self.model.dim(),
+                initial_counts.len()
+            )));
+        }
+        if initial_counts.iter().any(|&c| c < 0) {
+            return Err(SimError::invalid_input("initial counts must be non-negative"));
+        }
+        policy.reset();
+
+        let dim = self.model.dim();
+        let n_transitions = self.model.transitions().len();
+        let scale = self.scale as f64;
+
+        let mut counts = initial_counts.to_vec();
+        let mut x: StateVec = counts.iter().map(|&c| c as f64 / scale).collect();
+        let mut t = 0.0_f64;
+        let mut events = 0usize;
+        let mut rates = vec![0.0_f64; n_transitions];
+
+        let mut trajectory = Trajectory::new(dim);
+        trajectory.push(0.0, x.clone())?;
+        let mut next_record_time = options.record_interval.map_or(0.0, |dt| dt);
+
+        loop {
+            // Query the policy, validating or clamping its output.
+            let theta_raw = policy.value(t, &x, rng);
+            let theta = if self.model.params().contains(&theta_raw) {
+                theta_raw
+            } else if options.strict_policy {
+                return Err(SimError::PolicyOutOfRange { time: t });
+            } else {
+                self.model.params().clamp(&theta_raw)?
+            };
+
+            // Compute propensities.
+            let mut total = 0.0_f64;
+            for (k, class) in self.model.transitions().iter().enumerate() {
+                let density = class.rate(&x, &theta);
+                if !density.is_finite() || density < 0.0 {
+                    return Err(SimError::Model(mfu_ctmc::CtmcError::InvalidRate {
+                        transition: class.name().to_string(),
+                        rate: density,
+                    }));
+                }
+                rates[k] = density * scale;
+                total += rates[k];
+            }
+
+            if total <= 0.0 {
+                // Absorbing state: nothing will ever fire again.
+                break;
+            }
+
+            // Exponential waiting time.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let dt = -u.ln() / total;
+            if t + dt >= options.t_end {
+                break;
+            }
+            t += dt;
+
+            // Choose which transition fires.
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n_transitions - 1;
+            for (k, &r) in rates.iter().enumerate() {
+                if target < r {
+                    chosen = k;
+                    break;
+                }
+                target -= r;
+            }
+
+            // Apply the jump; a jump that would drive a count negative is
+            // dropped (it can only happen when a rate does not vanish exactly
+            // at the boundary due to floating-point noise).
+            let jump = &self.jumps[chosen];
+            if counts.iter().zip(jump.iter()).all(|(c, j)| c + j >= 0) {
+                for (c, j) in counts.iter_mut().zip(jump.iter()) {
+                    *c += j;
+                }
+                for (i, &c) in counts.iter().enumerate() {
+                    x[i] = c as f64 / scale;
+                }
+            }
+
+            events += 1;
+            let stride_ok = events % options.record_stride == 0;
+            let interval_ok = match options.record_interval {
+                None => true,
+                Some(dt) => {
+                    if t >= next_record_time {
+                        next_record_time += dt * ((t - next_record_time) / dt).floor().max(0.0) + dt;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if stride_ok && interval_ok {
+                trajectory.push(t, x.clone())?;
+            }
+            if events >= options.max_events {
+                return Err(SimError::EventBudgetExhausted { events, reached: t });
+            }
+        }
+
+        if options.t_end > trajectory.last_time() {
+            trajectory.push(options.t_end, x.clone())?;
+        }
+
+        Ok(SimulationRun { trajectory, events, final_counts: counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ConstantPolicy, HysteresisPolicy};
+    use mfu_ctmc::params::{Interval, ParamSpace};
+    use mfu_ctmc::transition::TransitionClass;
+
+    fn bike_model() -> PopulationModel {
+        let params = ParamSpace::new(vec![
+            ("arrival", Interval::new(0.5, 2.0).unwrap()),
+            ("return", Interval::new(0.5, 2.0).unwrap()),
+        ])
+        .unwrap();
+        PopulationModel::builder(1, params)
+            .variable_names(vec!["bikes"])
+            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
+                if x[0] > 0.0 {
+                    th[0]
+                } else {
+                    0.0
+                }
+            }))
+            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
+                if x[0] < 1.0 {
+                    th[1]
+                } else {
+                    0.0
+                }
+            }))
+            .build()
+            .unwrap()
+    }
+
+    /// A pure-death model that reaches an absorbing state.
+    fn death_model() -> PopulationModel {
+        let params = ParamSpace::single("rate", 1.0, 1.0).unwrap();
+        PopulationModel::builder(1, params)
+            .transition(TransitionClass::new("die", [-1.0], |x: &StateVec, th: &[f64]| th[0] * x[0]))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulation_respects_bounds_and_horizon() {
+        let sim = Simulator::new(bike_model(), 50).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        let run = sim.simulate(&[25], &mut policy, &SimulationOptions::new(20.0), 1).unwrap();
+        assert!(run.events() > 0);
+        assert!((run.trajectory().last_time() - 20.0).abs() < 1e-12);
+        for (_, state) in run.trajectory().iter() {
+            assert!(state[0] >= 0.0 && state[0] <= 1.0);
+        }
+        assert!(*run.final_counts().iter().max().unwrap() <= 50);
+    }
+
+    #[test]
+    fn absorbing_state_ends_simulation_early() {
+        let sim = Simulator::new(death_model(), 20).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0]);
+        let run = sim.simulate(&[20], &mut policy, &SimulationOptions::new(1_000.0), 3).unwrap();
+        assert_eq!(run.final_counts(), &[0]);
+        assert!(run.events() == 20);
+        assert!((run.trajectory().last_state()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = Simulator::new(bike_model(), 30).unwrap();
+        let options = SimulationOptions::new(5.0);
+        let mut p1 = ConstantPolicy::new(vec![1.5, 0.8]);
+        let mut p2 = ConstantPolicy::new(vec![1.5, 0.8]);
+        let a = sim.simulate(&[10], &mut p1, &options, 99).unwrap();
+        let b = sim.simulate(&[10], &mut p2, &options, 99).unwrap();
+        assert_eq!(a.final_counts(), b.final_counts());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn strict_policy_rejects_out_of_range_values() {
+        let sim = Simulator::new(bike_model(), 10).unwrap();
+        let mut policy = ConstantPolicy::new(vec![10.0, 1.0]); // outside [0.5, 2]
+        let err = sim.simulate(&[5], &mut policy, &SimulationOptions::new(1.0), 1).unwrap_err();
+        assert!(matches!(err, SimError::PolicyOutOfRange { .. }));
+        // lenient mode clamps instead
+        let run = sim
+            .simulate(&[5], &mut policy, &SimulationOptions::new(1.0).lenient_policy(), 1)
+            .unwrap();
+        assert!(run.events() > 0);
+    }
+
+    #[test]
+    fn input_validation() {
+        let sim = Simulator::new(bike_model(), 10).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        assert!(sim.simulate(&[1, 2], &mut policy, &SimulationOptions::new(1.0), 1).is_err());
+        assert!(sim.simulate(&[-1], &mut policy, &SimulationOptions::new(1.0), 1).is_err());
+        assert!(Simulator::new(bike_model(), 0).is_err());
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let sim = Simulator::new(bike_model(), 1000).unwrap();
+        let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
+        let options = SimulationOptions::new(100.0).max_events(50);
+        let err = sim.simulate(&[500], &mut policy, &options, 5).unwrap_err();
+        assert!(matches!(err, SimError::EventBudgetExhausted { events: 50, .. }));
+    }
+
+    #[test]
+    fn record_stride_reduces_trajectory_size() {
+        let sim = Simulator::new(bike_model(), 200).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        let dense =
+            sim.simulate(&[100], &mut policy, &SimulationOptions::new(5.0), 11).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        let sparse = sim
+            .simulate(&[100], &mut policy, &SimulationOptions::new(5.0).record_stride(10), 11)
+            .unwrap();
+        assert!(sparse.trajectory().len() < dense.trajectory().len());
+        assert_eq!(sparse.final_counts(), dense.final_counts());
+    }
+
+    #[test]
+    fn feedback_policy_observes_the_simulated_state() {
+        // A hysteresis policy on the bike model: pickups are fast while the
+        // station is full, slow while it is empty — occupancy should hover
+        // between the thresholds rather than drifting to a boundary.
+        let sim = Simulator::new(bike_model(), 200).unwrap();
+        let mut policy = HysteresisPolicy::new(vec![0.5, 1.0], 0, 0.5, 2.0, 0, 0.3, 0.7, true);
+        let run = sim.simulate(&[100], &mut policy, &SimulationOptions::new(50.0), 17).unwrap();
+        let occupancy = run.trajectory().last_state()[0];
+        assert!(occupancy > 0.05 && occupancy < 0.95, "occupancy {occupancy} drifted to a boundary");
+    }
+
+    #[test]
+    fn mean_of_many_runs_tracks_mean_field() {
+        // For the symmetric bike model the mean-field fixed point is 0.5; the
+        // empirical mean over replications at moderate N should be close.
+        let sim = Simulator::new(bike_model(), 100).unwrap();
+        let options = SimulationOptions::new(30.0).record_stride(64);
+        let mut sum = 0.0;
+        let replications = 20;
+        for seed in 0..replications {
+            let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+            let run = sim.simulate(&[100], &mut policy, &options, seed).unwrap();
+            sum += run.trajectory().last_state()[0];
+        }
+        let mean = sum / replications as f64;
+        assert!((mean - 0.5).abs() < 0.15, "empirical mean {mean} far from mean field 0.5");
+    }
+}

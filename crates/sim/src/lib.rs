@@ -1,0 +1,65 @@
+//! Stochastic simulation of (imprecise) population CTMCs.
+//!
+//! The mean-field theorems of Bortolussi & Gast (DSN 2016) are convergence
+//! statements about finite-`N` stochastic systems; this crate provides the
+//! finite-`N` side of the comparison. It contains
+//!
+//! * [`policy`] — *parameter policies* `ϑ(t)`: the adversarial/environmental
+//!   signals of the imprecise scenario, including the two policies used in
+//!   Figure 6 of the paper (a state-feedback hysteresis policy and a
+//!   random-jump policy) as well as constant and piecewise-constant signals;
+//! * [`gillespie`] — an exact stochastic simulation algorithm (SSA) for
+//!   population models at a finite scale `N`, driven by an arbitrary policy;
+//! * [`ensemble`] — parallel replication of simulations with summary
+//!   statistics on a common time grid;
+//! * [`stats`] — running statistics and empirical summaries;
+//! * [`steady`] — sampling of the stationary regime (burn-in plus thinning),
+//!   used to compare the empirical steady state against the Birkhoff centre.
+//!
+//! # Example
+//!
+//! Simulate the bike-sharing station under a constant parameter:
+//!
+//! ```
+//! use mfu_ctmc::params::{Interval, ParamSpace};
+//! use mfu_ctmc::population::PopulationModel;
+//! use mfu_ctmc::transition::TransitionClass;
+//! use mfu_num::StateVec;
+//! use mfu_sim::gillespie::{SimulationOptions, Simulator};
+//! use mfu_sim::policy::ConstantPolicy;
+//!
+//! let space = ParamSpace::new(vec![
+//!     ("arrival", Interval::new(0.5, 1.5)?),
+//!     ("return", Interval::new(0.5, 1.5)?),
+//! ])?;
+//! let model = PopulationModel::builder(1, space)
+//!     .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
+//!         if x[0] > 0.0 { th[0] } else { 0.0 }
+//!     }))
+//!     .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
+//!         if x[0] < 1.0 { th[1] } else { 0.0 }
+//!     }))
+//!     .build()?;
+//!
+//! let simulator = Simulator::new(model, 100)?;
+//! let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+//! let run = simulator.simulate(&[50], &mut policy, &SimulationOptions::new(10.0), 42)?;
+//! assert!(run.trajectory().last_state()[0] >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod ensemble;
+pub mod gillespie;
+pub mod policy;
+pub mod stats;
+pub mod steady;
+
+pub use error::SimError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

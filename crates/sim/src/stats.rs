@@ -1,0 +1,252 @@
+//! Running statistics and empirical summaries of simulation output.
+
+use serde::{Deserialize, Serialize};
+
+use mfu_num::StateVec;
+
+use crate::{Result, SimError};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use mfu_sim::stats::RunningStats;
+///
+/// let mut stats = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.count(), 4);
+/// assert!((stats.mean() - 2.5).abs() < 1e-12);
+/// assert!((stats.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (zero when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of an approximate 95 % confidence interval for the mean
+    /// (normal approximation, `1.96·σ/√n`; zero when fewer than two samples).
+    pub fn confidence_95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-coordinate statistics of a collection of state vectors.
+///
+/// # Errors
+///
+/// Returns an error if the collection is empty or the vectors have
+/// inconsistent dimensions.
+pub fn per_coordinate_stats(states: &[StateVec]) -> Result<Vec<RunningStats>> {
+    let first = states.first().ok_or_else(|| SimError::invalid_input("no states to summarise"))?;
+    let dim = first.dim();
+    let mut stats = vec![RunningStats::new(); dim];
+    for state in states {
+        if state.dim() != dim {
+            return Err(SimError::invalid_input("states have inconsistent dimensions"));
+        }
+        for (i, &v) in state.as_slice().iter().enumerate() {
+            stats[i].push(v);
+        }
+    }
+    Ok(stats)
+}
+
+/// Empirical quantile of a sample (linear interpolation between order statistics).
+///
+/// # Errors
+///
+/// Returns an error if the sample is empty or `q` is outside `[0, 1]`.
+pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
+    if sample.is_empty() {
+        return Err(SimError::invalid_input("cannot take a quantile of an empty sample"));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(SimError::invalid_input("quantile level must lie in [0, 1]"));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.len() == 1 {
+        return Ok(sorted[0]);
+    }
+    let position = q * (sorted.len() - 1) as f64;
+    let lower = position.floor() as usize;
+    let upper = position.ceil() as usize;
+    let weight = position - lower as f64;
+    Ok(sorted[lower] * (1.0 - weight) + sorted[upper] * weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_formulas() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut stats = RunningStats::new();
+        for &x in &data {
+            stats.push(x);
+        }
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-12);
+        let exact_var = data.iter().map(|x| (x - 5.0f64).powi(2)).sum::<f64>() / 7.0;
+        assert!((stats.variance() - exact_var).abs() < 1e-12);
+        assert_eq!(stats.min(), 2.0);
+        assert_eq!(stats.max(), 9.0);
+        assert!(stats.confidence_95() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = RunningStats::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.variance(), 0.0);
+        assert_eq!(stats.confidence_95(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut all = RunningStats::new();
+        data.iter().for_each(|&x| all.push(x));
+
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        data[..40].iter().for_each(|&x| left.push(x));
+        data[40..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn per_coordinate_statistics() {
+        let states = vec![
+            StateVec::from([0.0, 1.0]),
+            StateVec::from([1.0, 3.0]),
+            StateVec::from([2.0, 5.0]),
+        ];
+        let stats = per_coordinate_stats(&states).unwrap();
+        assert!((stats[0].mean() - 1.0).abs() < 1e-12);
+        assert!((stats[1].mean() - 3.0).abs() < 1e-12);
+        assert!(per_coordinate_stats(&[]).is_err());
+        let mixed = vec![StateVec::from([0.0]), StateVec::from([0.0, 1.0])];
+        assert!(per_coordinate_stats(&mixed).is_err());
+    }
+
+    #[test]
+    fn quantiles() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&sample, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&sample, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile(&sample, 0.5).unwrap(), 3.0);
+        assert!((quantile(&sample, 0.25).unwrap() - 2.0).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&sample, 1.5).is_err());
+        assert_eq!(quantile(&[7.0], 0.3).unwrap(), 7.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the stochastic simulator.
+
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_num::StateVec;
+use mfu_sim::gillespie::{SimulationOptions, Simulator};
+use mfu_sim::policy::{ConstantPolicy, ParameterPolicy, RandomJumpPolicy};
+use mfu_sim::stats::RunningStats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn occupancy_model() -> PopulationModel {
+    let params = ParamSpace::new(vec![
+        ("pickup", Interval::new(0.2, 2.0).unwrap()),
+        ("return", Interval::new(0.2, 2.0).unwrap()),
+    ])
+    .unwrap();
+    PopulationModel::builder(1, params)
+        .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
+            if x[0] > 0.0 {
+                th[0]
+            } else {
+                0.0
+            }
+        }))
+        .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
+            if x[0] < 1.0 {
+                th[1]
+            } else {
+                0.0
+            }
+        }))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Simulated occupancies always stay inside [0, 1], whatever the admissible
+    /// parameter value, seed or initial state.
+    #[test]
+    fn occupancy_stays_in_the_unit_interval(
+        scale in 5usize..60,
+        start in 0usize..60,
+        pickup in 0.2..2.0f64,
+        ret in 0.2..2.0f64,
+        seed in 0u64..1000,
+    ) {
+        let start = start.min(scale) as i64;
+        let simulator = Simulator::new(occupancy_model(), scale).unwrap();
+        let mut policy = ConstantPolicy::new(vec![pickup, ret]);
+        let run = simulator
+            .simulate(&[start], &mut policy, &SimulationOptions::new(5.0), seed)
+            .unwrap();
+        for (_, state) in run.trajectory().iter() {
+            prop_assert!(state[0] >= -1e-12 && state[0] <= 1.0 + 1e-12);
+        }
+        prop_assert!(run.final_counts()[0] >= 0 && run.final_counts()[0] <= scale as i64);
+    }
+
+    /// The same seed always reproduces the same run; different seeds are
+    /// allowed to differ (and typically do).
+    #[test]
+    fn runs_are_deterministic_in_the_seed(seed in 0u64..500) {
+        let simulator = Simulator::new(occupancy_model(), 30).unwrap();
+        let options = SimulationOptions::new(3.0);
+        let mut p1 = ConstantPolicy::new(vec![1.0, 1.0]);
+        let mut p2 = ConstantPolicy::new(vec![1.0, 1.0]);
+        let a = simulator.simulate(&[15], &mut p1, &options, seed).unwrap();
+        let b = simulator.simulate(&[15], &mut p2, &options, seed).unwrap();
+        prop_assert_eq!(a.final_counts(), b.final_counts());
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    /// A random-jump policy only ever emits values inside the parameter box.
+    #[test]
+    fn random_jump_policy_respects_the_box(seed in 0u64..500, rate in 0.5..20.0f64) {
+        let space = ParamSpace::new(vec![("theta", Interval::new(1.0, 10.0).unwrap())]).unwrap();
+        let mut policy = RandomJumpPolicy::new(space.clone(), vec![5.0], 0, 0, rate, 5.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in 1..100 {
+            let theta = policy.value(k as f64 * 0.05, &StateVec::from([0.5]), &mut rng);
+            prop_assert!(space.contains(&theta));
+        }
+    }
+
+    /// Welford statistics match the naive two-pass formulas on random samples.
+    #[test]
+    fn running_stats_match_two_pass(values in prop::collection::vec(-100.0..100.0f64, 2..50)) {
+        let mut stats = RunningStats::new();
+        values.iter().for_each(|&v| stats.push(v));
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-9);
+        prop_assert!((stats.variance() - variance).abs() < 1e-7);
+        prop_assert_eq!(stats.count(), values.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: bound an imprecise epidemic in a few lines.
+//!
+//! Builds the paper's SIR model, computes the mean-field bounds on the
+//! infected fraction under both the uncertain (constant unknown `ϑ`) and the
+//! imprecise (`ϑ(t)` free to vary) interpretations, and prints the result.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::core::uncertain::UncertainAnalysis;
+use mean_field_uncertain::models::sir::SirModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sir = SirModel::paper();
+    let drift = sir.reduced_drift();
+    let x0 = sir.reduced_initial_state();
+    let horizon = 3.0;
+
+    println!("SIR model of Bortolussi & Gast (DSN 2016), Section V");
+    println!(
+        "  a = {}, b = {}, c = {}, contact rate in [{}, {}], x0 = (S, I) = ({}, {})",
+        sir.external_infection,
+        sir.recovery,
+        sir.immunity_loss,
+        sir.contact_min,
+        sir.contact_max,
+        x0[0],
+        x0[1]
+    );
+    println!();
+
+    // Uncertain scenario: ϑ is an unknown constant — sweep a grid of values.
+    let uncertain = UncertainAnalysis { grid_per_axis: 30, time_intervals: 30, step: 2e-3 };
+    let envelope = uncertain.envelope(&drift, &x0, horizon)?;
+    let last = envelope.times().len() - 1;
+    println!(
+        "uncertain  (constant unknown ϑ): x_I({horizon}) ∈ [{:.4}, {:.4}]",
+        envelope.lower()[last][1],
+        envelope.upper()[last][1]
+    );
+
+    // Imprecise scenario: ϑ(t) may vary arbitrarily — Pontryagin bounds.
+    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 300, ..Default::default() });
+    let (lo, hi) = solver.coordinate_extremes(&drift, &x0, horizon, 1)?;
+    println!("imprecise  (time-varying ϑ):     x_I({horizon}) ∈ [{lo:.4}, {hi:.4}]");
+    println!();
+    println!(
+        "The imprecise interval strictly contains the uncertain one: the environment\n\
+         can drive the epidemic to levels no constant contact rate reaches."
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! The full SIR study of Section V of the paper in one binary.
+//!
+//! Reproduces, at reduced resolution, the four analyses of the SIR case
+//! study: transient bounds (Figure 1), extremal bang-bang trajectories
+//! (Figure 2), the steady-state Birkhoff centre (Figure 3), and the
+//! comparison with stochastic simulation (Figure 6). The full-resolution
+//! figure data is produced by the binaries of the `mfu-bench` crate.
+//!
+//! Run with `cargo run --release --example sir_epidemic`.
+
+use mean_field_uncertain::core::birkhoff::{birkhoff_centre_2d, BirkhoffOptions};
+use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::core::reachability::{reach_tube, ReachTubeOptions};
+use mean_field_uncertain::core::uncertain::UncertainAnalysis;
+use mean_field_uncertain::models::sir::SirModel;
+use mean_field_uncertain::sim::gillespie::Simulator;
+use mean_field_uncertain::sim::policy::HysteresisPolicy;
+use mean_field_uncertain::sim::steady::{sample_steady_state, SteadyStateOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sir = SirModel::paper();
+    let drift = sir.reduced_drift();
+    let x0 = sir.reduced_initial_state();
+
+    // ---------------------------------------------------------------- Fig. 1
+    println!("== Transient bounds on the infected fraction (cf. Figure 1) ==");
+    let tube_options = ReachTubeOptions {
+        time_points: 8,
+        pontryagin: PontryaginOptions { grid_intervals: 150, ..Default::default() },
+    };
+    let tube = reach_tube(&drift, &x0, 4.0, 1, &tube_options)?;
+    let uncertain = UncertainAnalysis { grid_per_axis: 20, time_intervals: 8, step: 2e-3 };
+    let envelope = uncertain.envelope(&drift, &x0, 4.0)?;
+    println!("  t     uncertain [lo, hi]      imprecise [lo, hi]");
+    for (k, (t, lo, hi)) in tube.rows().enumerate() {
+        println!(
+            "  {t:<5.2} [{:.4}, {:.4}]      [{lo:.4}, {hi:.4}]",
+            envelope.lower()[k + 1][1],
+            envelope.upper()[k + 1][1],
+        );
+    }
+    println!();
+
+    // ---------------------------------------------------------------- Fig. 2
+    println!("== Extremal trajectories for x_I(3) (cf. Figure 2) ==");
+    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 400, ..Default::default() });
+    let best = solver.maximize_coordinate(&drift, &x0, 3.0, 1)?;
+    let worst = solver.minimize_coordinate(&drift, &x0, 3.0, 1)?;
+    println!(
+        "  max x_I(3) = {:.4}, bang-bang switches at {:?}",
+        best.objective_value(),
+        best.switching_times(1e-6)
+    );
+    println!(
+        "  min x_I(3) = {:.4}, bang-bang switches at {:?}",
+        worst.objective_value(),
+        worst.switching_times(1e-6)
+    );
+    println!();
+
+    // ---------------------------------------------------------------- Fig. 3
+    println!("== Steady-state Birkhoff centre (cf. Figure 3) ==");
+    let options = BirkhoffOptions { settle_time: 25.0, boundary_samples: 80, ..Default::default() };
+    let centre = birkhoff_centre_2d(&drift, &x0, &options)?;
+    let (lo, hi) = centre.polygon().bounding_box();
+    println!(
+        "  region area {:.4}, bounding box S ∈ [{:.3}, {:.3}], I ∈ [{:.3}, {:.3}]",
+        centre.area(),
+        lo.x,
+        hi.x,
+        lo.y,
+        hi.y
+    );
+    println!();
+
+    // ---------------------------------------------------------------- Fig. 6
+    println!("== Stochastic simulation vs Birkhoff centre (cf. Figure 6) ==");
+    for scale in [100usize, 1000] {
+        let simulator = Simulator::new(sir.population_model()?, scale)?;
+        let mut policy = HysteresisPolicy::new(
+            vec![sir.contact_max],
+            0,
+            sir.contact_min,
+            sir.contact_max,
+            0, // observe X_S
+            0.5,
+            0.85,
+            true,
+        );
+        let steady = SteadyStateOptions::new(20.0, 0.25, 200);
+        let sample =
+            sample_steady_state(&simulator, &sir.initial_counts(scale), &mut policy, &steady, 7)?;
+        let points = sample.project(0, 1)?;
+        let fraction = centre.containment_fraction(&points);
+        println!("  N = {scale:<6} fraction of stationary samples inside the centre: {fraction:.2}");
+    }
+    println!();
+    println!("Containment improves with N, as Theorem 3 predicts.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Mean-field approximation of uncertain stochastic models.
+//!
+//! This is the umbrella crate of the workspace reproducing Bortolussi & Gast,
+//! *Mean Field Approximation of Uncertain Stochastic Models* (DSN 2016). It
+//! re-exports the individual crates under stable module names so that
+//! applications can depend on a single crate:
+//!
+//! * [`num`] — numerical substrate (state vectors, ODE solvers, root finding,
+//!   planar geometry);
+//! * [`ctmc`] — population-process and finite-CTMC substrate;
+//! * [`sim`] — stochastic simulation (Gillespie SSA, parameter policies,
+//!   ensembles);
+//! * [`core`] — the paper's contribution: differential-inclusion mean-field
+//!   limits, differential hulls, Pontryagin bounds, Birkhoff centres, robust
+//!   tuning;
+//! * [`models`] — the paper's case studies (SIR, bike sharing, GPS queueing)
+//!   plus SIS/SEIR variants.
+//!
+//! # Quick start
+//!
+//! Bound the infected fraction of the paper's SIR epidemic at time `T = 3`
+//! under an imprecise contact rate:
+//!
+//! ```
+//! use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+//! use mean_field_uncertain::models::sir::SirModel;
+//!
+//! let sir = SirModel::paper();
+//! let drift = sir.reduced_drift();
+//! let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 120, ..Default::default() });
+//! let (lo, hi) = solver.coordinate_extremes(&drift, &sir.reduced_initial_state(), 3.0, 1)?;
+//! assert!(0.0 <= lo && lo < hi && hi <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The runnable examples in `examples/` (`quickstart`, `sir_epidemic`,
+//! `gps_robust_tuning`, `bike_sharing`) walk through the full analyses of the
+//! paper's evaluation section.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mfu_core as core;
+pub use mfu_ctmc as ctmc;
+pub use mfu_models as models;
+pub use mfu_num as num;
+pub use mfu_sim as sim;

@@ -1,0 +1,94 @@
+//! Integration tests for the differential-hull versus Pontryagin comparison
+//! (Section IV / V-D, Figures 4 and 5 of the paper).
+
+use mean_field_uncertain::core::hull::{DifferentialHull, HullOptions};
+use mean_field_uncertain::core::inclusion::DifferentialInclusion;
+use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::core::signal::PiecewiseSignal;
+use mean_field_uncertain::models::sir::SirModel;
+use mean_field_uncertain::num::StateVec;
+
+fn hull_bounds(theta_max: f64, horizon: f64) -> (f64, f64) {
+    let sir = SirModel::paper_with_contact_max(theta_max);
+    let drift = sir.reduced_drift();
+    let hull = DifferentialHull::new(
+        &drift,
+        HullOptions { step: 5e-3, time_intervals: 20, ..Default::default() },
+    );
+    let bounds = hull.bounds(&sir.reduced_initial_state(), horizon).unwrap();
+    let (lo, hi) = bounds.final_bounds();
+    (lo[1], hi[1])
+}
+
+fn pontryagin_bounds(theta_max: f64, horizon: f64) -> (f64, f64) {
+    let sir = SirModel::paper_with_contact_max(theta_max);
+    let drift = sir.reduced_drift();
+    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 200, ..Default::default() });
+    solver
+        .coordinate_extremes(&drift, &sir.reduced_initial_state(), horizon, 1)
+        .unwrap()
+}
+
+/// The hull is a valid over-approximation of the imprecise bounds…
+#[test]
+fn figure4_hull_always_contains_the_exact_imprecise_bounds() {
+    for theta_max in [2.0, 5.0] {
+        let (hull_lo, hull_hi) = hull_bounds(theta_max, 4.0);
+        let (exact_lo, exact_hi) = pontryagin_bounds(theta_max, 4.0);
+        assert!(hull_lo <= exact_lo + 1e-3, "ϑmax = {theta_max}");
+        assert!(hull_hi >= exact_hi - 1e-3, "ϑmax = {theta_max}");
+    }
+}
+
+/// …that is accurate for a small parameter range and very loose for a larger
+/// one: the degradation is strongly non-linear in ϑ^max (Figures 4–5).
+#[test]
+fn figure4_hull_accuracy_degrades_with_parameter_range() {
+    let horizon = 4.0;
+    let width = |theta_max: f64| {
+        let (hull_lo, hull_hi) = hull_bounds(theta_max, horizon);
+        let (exact_lo, exact_hi) = pontryagin_bounds(theta_max, horizon);
+        (hull_hi - hull_lo) - (exact_hi - exact_lo)
+    };
+    let slack_small = width(2.0);
+    let slack_large = width(5.0);
+    assert!(slack_small < 0.08, "hull should be tight for ϑmax = 2, slack {slack_small}");
+    assert!(
+        slack_large > 4.0 * slack_small.max(1e-3),
+        "hull should be much looser for ϑmax = 5 ({slack_large} vs {slack_small})"
+    );
+}
+
+/// For ϑ^max = 6 and a long horizon the paper reports that the hull becomes
+/// trivial (the infected bound covers all of [0, 1]); the exact bounds do not.
+#[test]
+fn figure4_hull_becomes_trivial_for_large_ranges() {
+    let (hull_lo, hull_hi) = hull_bounds(6.0, 10.0);
+    assert!(hull_lo <= 1e-3, "hull lower bound should collapse to ~0, got {hull_lo}");
+    assert!(hull_hi >= 0.9, "hull upper bound should blow up towards ≥ 1, got {hull_hi}");
+    let (exact_lo, exact_hi) = pontryagin_bounds(6.0, 10.0);
+    assert!(exact_hi - exact_lo < 0.5, "exact bounds stay informative, got [{exact_lo}, {exact_hi}]");
+}
+
+/// Sanity check tying the two analyses to actual solutions of the inclusion:
+/// a switching selection must respect both the hull and the exact bounds.
+#[test]
+fn bounds_contain_a_concrete_switching_solution() {
+    let sir = SirModel::paper_with_contact_max(5.0);
+    let drift = sir.reduced_drift();
+    let x0 = sir.reduced_initial_state();
+    let horizon = 4.0;
+
+    let inclusion = DifferentialInclusion::new(&drift);
+    let signal = PiecewiseSignal::new(vec![1.0, 2.5], vec![vec![1.0], vec![5.0], vec![2.0]]);
+    let trajectory = inclusion
+        .solve_fixed_step(&signal, StateVec::from([0.7, 0.3]), horizon, 1e-3)
+        .unwrap();
+    let x_i_final = trajectory.last_state()[1];
+
+    let (hull_lo, hull_hi) = hull_bounds(5.0, horizon);
+    let (exact_lo, exact_hi) = pontryagin_bounds(5.0, horizon);
+    assert!(x_i_final >= exact_lo - 1e-3 && x_i_final <= exact_hi + 1e-3);
+    assert!(x_i_final >= hull_lo - 1e-3 && x_i_final <= hull_hi + 1e-3);
+    assert!((x0[0] - 0.7).abs() < 1e-12);
+}
