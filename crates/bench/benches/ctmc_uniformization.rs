@@ -31,7 +31,12 @@ fn bench_uniformization(c: &mut Criterion) {
             })
         });
         group.bench_function(format!("stationary_racks{racks}"), |b| {
-            b.iter(|| chain.generator().stationary_distribution(1e-10, 1_000_000).unwrap())
+            b.iter(|| {
+                chain
+                    .generator()
+                    .stationary_distribution(1e-10, 1_000_000)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -17,7 +17,11 @@ fn bench_hull(c: &mut Criterion) {
         let x0 = sir.reduced_initial_state();
         let hull = DifferentialHull::new(
             &drift,
-            HullOptions { step: 1e-2, time_intervals: 50, ..Default::default() },
+            HullOptions {
+                step: 1e-2,
+                time_intervals: 50,
+                ..Default::default()
+            },
         );
         b.iter(|| hull.bounds(black_box(&x0), 10.0).unwrap())
     });
@@ -28,7 +32,12 @@ fn bench_hull(c: &mut Criterion) {
         let x0 = gps.map_initial_state();
         let hull = DifferentialHull::new(
             &drift,
-            HullOptions { step: 1e-2, time_intervals: 50, clamp: Some((0.0, 1.0)), ..Default::default() },
+            HullOptions {
+                step: 1e-2,
+                time_intervals: 50,
+                clamp: Some((0.0, 1.0)),
+                ..Default::default()
+            },
         );
         b.iter(|| hull.bounds(black_box(&x0), 5.0).unwrap())
     });

@@ -1,0 +1,70 @@
+//! Cost of the DSL front-end (parse + validate + compile) and of the
+//! end-to-end DSL-scenario → Pontryagin-bound pipeline, so later PRs can
+//! track both the front-end throughput and the analysis hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mfu_lang::scenarios::{ScenarioRegistry, SIR_SOURCE};
+use std::hint::black_box;
+
+fn bench_dsl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsl_parse_compile");
+    group.sample_size(50);
+
+    group.bench_function("parse_sir", |b| {
+        b.iter(|| mfu_lang::parse(black_box(SIR_SOURCE)).unwrap())
+    });
+
+    group.bench_function("compile_sir", |b| {
+        b.iter(|| mfu_lang::compile(black_box(SIR_SOURCE)).unwrap())
+    });
+
+    group.bench_function("compile_all_builtin_scenarios", |b| {
+        let registry = ScenarioRegistry::with_builtins();
+        b.iter(|| {
+            for scenario in registry.iter() {
+                black_box(scenario.compile().unwrap());
+            }
+        })
+    });
+
+    group.bench_function("sir_drift_eval_1e4", |b| {
+        use mfu_core::drift::ImpreciseDrift;
+        let model = mfu_lang::compile(SIR_SOURCE).unwrap();
+        let drift = model.reduced_drift();
+        let x = model.reduced_initial_state();
+        b.iter(|| {
+            let mut out = mfu_num::StateVec::zeros(2);
+            for k in 0..10_000u32 {
+                let theta = [1.0 + (k % 10) as f64];
+                drift.drift_into(black_box(&x), &theta, &mut out);
+            }
+            out
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dsl_end_to_end");
+    group.sample_size(10);
+    group.bench_function("sir_source_to_pontryagin_bound_T3", |b| {
+        b.iter(|| {
+            let model = mfu_lang::compile(black_box(SIR_SOURCE)).unwrap();
+            let solver = PontryaginSolver::new(PontryaginOptions {
+                grid_intervals: 120,
+                ..Default::default()
+            });
+            solver
+                .coordinate_extremes(
+                    &model.reduced_drift(),
+                    &model.reduced_initial_state(),
+                    3.0,
+                    1,
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsl);
+criterion_main!(benches);

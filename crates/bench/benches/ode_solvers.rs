@@ -11,7 +11,9 @@ use std::hint::black_box;
 fn sir_system(theta: f64) -> FnSystem<impl Fn(f64, &StateVec, &mut StateVec)> {
     let sir = SirModel::paper();
     let drift = sir.reduced_drift();
-    FnSystem::new(2, move |_t, x: &StateVec, dx: &mut StateVec| drift.drift_into(x, &[theta], dx))
+    FnSystem::new(2, move |_t, x: &StateVec, dx: &mut StateVec| {
+        drift.drift_into(x, &[theta], dx)
+    })
 }
 
 fn bench_ode_solvers(c: &mut Criterion) {

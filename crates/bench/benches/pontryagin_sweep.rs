@@ -16,9 +16,15 @@ fn bench_pontryagin(c: &mut Criterion) {
             let sir = SirModel::paper();
             let drift = sir.reduced_drift();
             let x0 = sir.reduced_initial_state();
-            let solver =
-                PontryaginSolver::new(PontryaginOptions { grid_intervals: grid, ..Default::default() });
-            b.iter(|| solver.maximize_coordinate(&drift, black_box(&x0), 3.0, 1).unwrap())
+            let solver = PontryaginSolver::new(PontryaginOptions {
+                grid_intervals: grid,
+                ..Default::default()
+            });
+            b.iter(|| {
+                solver
+                    .maximize_coordinate(&drift, black_box(&x0), 3.0, 1)
+                    .unwrap()
+            })
         });
     }
 
@@ -26,9 +32,15 @@ fn bench_pontryagin(c: &mut Criterion) {
         let gps = GpsModel::paper();
         let drift = gps.map_drift();
         let x0 = gps.map_initial_state();
-        let solver =
-            PontryaginSolver::new(PontryaginOptions { grid_intervals: 150, ..Default::default() });
-        b.iter(|| solver.maximize_coordinate(&drift, black_box(&x0), 5.0, 3).unwrap())
+        let solver = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 150,
+            ..Default::default()
+        });
+        b.iter(|| {
+            solver
+                .maximize_coordinate(&drift, black_box(&x0), 5.0, 3)
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -20,7 +20,9 @@ fn bench_ssa(c: &mut Criterion) {
             let options = SimulationOptions::new(10.0).record_stride(64);
             b.iter(|| {
                 let mut policy = ConstantPolicy::new(vec![5.0]);
-                simulator.simulate(black_box(&counts), &mut policy, &options, 7).unwrap()
+                simulator
+                    .simulate(black_box(&counts), &mut policy, &options, 7)
+                    .unwrap()
             })
         });
     }
@@ -40,7 +42,9 @@ fn bench_ssa(c: &mut Criterion) {
                 0.85,
                 true,
             );
-            simulator.simulate(black_box(&counts), &mut policy, &options, 7).unwrap()
+            simulator
+                .simulate(black_box(&counts), &mut policy, &options, 7)
+                .unwrap()
         })
     });
     group.finish();

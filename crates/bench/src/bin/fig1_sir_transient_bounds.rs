@@ -22,21 +22,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let time_points = 40;
 
     // Uncertain: envelope of the constant-ϑ trajectories.
-    let uncertain = UncertainAnalysis { grid_per_axis: 40, time_intervals: time_points, step: 1e-3 };
+    let uncertain = UncertainAnalysis {
+        grid_per_axis: 40,
+        time_intervals: time_points,
+        step: 1e-3,
+    };
     let envelope = uncertain.envelope(&drift, &x0, horizon)?;
 
     // Imprecise: Pontryagin reach tube.
     let options = ReachTubeOptions {
         time_points,
-        pontryagin: PontryaginOptions { grid_intervals: 250, ..Default::default() },
+        pontryagin: PontryaginOptions {
+            grid_intervals: 250,
+            ..Default::default()
+        },
     };
     let tube = reach_tube(&drift, &x0, horizon, 1, &options)?;
 
     println!("# Figure 1: bounds on the proportion of infected nodes (SIR, theta in [1, 10])");
-    print_header(&["t", "xI_min_uncertain", "xI_max_uncertain", "xI_min_imprecise", "xI_max_imprecise"]);
+    print_header(&[
+        "t",
+        "xI_min_uncertain",
+        "xI_max_uncertain",
+        "xI_min_imprecise",
+        "xI_max_imprecise",
+    ]);
     for (k, (t, lo, hi)) in tube.rows().enumerate() {
         // envelope index k + 1 because the envelope grid includes t = 0
-        print_row(&[t, envelope.lower()[k + 1][1], envelope.upper()[k + 1][1], lo, hi]);
+        print_row(&[
+            t,
+            envelope.lower()[k + 1][1],
+            envelope.upper()[k + 1][1],
+            lo,
+            hi,
+        ]);
     }
 
     // Headline numbers used in EXPERIMENTS.md.

@@ -13,8 +13,14 @@ use mfu_core::pontryagin::{ExtremalSolution, PontryaginOptions, PontryaginSolver
 use mfu_models::sir::SirModel;
 
 fn describe(label: &str, solution: &ExtremalSolution) {
-    print_section(&format!("{label} (objective value {:.4})", solution.objective_value()));
-    println!("# bang-bang switching times: {:?}", solution.switching_times(1e-6));
+    print_section(&format!(
+        "{label} (objective value {:.4})",
+        solution.objective_value()
+    ));
+    println!(
+        "# bang-bang switching times: {:?}",
+        solution.switching_times(1e-6)
+    );
     print_header(&["t", "x_S", "x_I", "theta"]);
     let grid = solution.state().grid().clone();
     // subsample the sweep grid to ~60 reported rows
@@ -32,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x0 = sir.reduced_initial_state();
     let horizon = 3.0;
 
-    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 600, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 600,
+        ..Default::default()
+    });
     let maximal = solver.maximize_coordinate(&drift, &x0, horizon, 1)?;
     let minimal = solver.minimize_coordinate(&drift, &x0, horizon, 1)?;
 

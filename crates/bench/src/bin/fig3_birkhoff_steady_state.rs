@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# Figure 3: steady state of the SIR model (theta_max = 10 * theta_min)");
 
     // Uncertain: fixed points of the constant-ϑ mean field.
-    let analysis = UncertainAnalysis { grid_per_axis: 40, time_intervals: 10, step: 2e-3 };
+    let analysis = UncertainAnalysis {
+        grid_per_axis: 40,
+        time_intervals: 10,
+        step: 2e-3,
+    };
     let fixed_points = analysis.fixed_points(&drift, &x0)?;
     print_section("uncertain model: fixed-point curve (one row per constant theta)");
     print_header(&["theta", "x_S", "x_I"]);
@@ -32,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Imprecise: Birkhoff centre.
-    let options = BirkhoffOptions { settle_time: 30.0, boundary_samples: 160, ..Default::default() };
+    let options = BirkhoffOptions {
+        settle_time: 30.0,
+        boundary_samples: 160,
+        ..Default::default()
+    };
     let centre = birkhoff_centre_2d(&drift, &x0, &options)?;
     print_section("imprecise model: Birkhoff centre boundary (convex polygon vertices)");
     print_header(&["x_S", "x_I"]);
@@ -41,11 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Containment / strictness checks reported in EXPERIMENTS.md.
-    let all_inside = fixed_points
+    let all_inside = fixed_points.iter().all(|fp| {
+        centre
+            .polygon()
+            .distance_to_region(Point2::new(fp.state[0], fp.state[1]))
+            < 1e-3
+    });
+    let min_s_curve = fixed_points
         .iter()
-        .all(|fp| centre.polygon().distance_to_region(Point2::new(fp.state[0], fp.state[1])) < 1e-3);
-    let min_s_curve = fixed_points.iter().map(|fp| fp.state[0]).fold(f64::INFINITY, f64::min);
-    let max_i_curve = fixed_points.iter().map(|fp| fp.state[1]).fold(f64::NEG_INFINITY, f64::max);
+        .map(|fp| fp.state[0])
+        .fold(f64::INFINITY, f64::min);
+    let max_i_curve = fixed_points
+        .iter()
+        .map(|fp| fp.state[1])
+        .fold(f64::NEG_INFINITY, f64::max);
     let (bb_lo, bb_hi) = centre.polygon().bounding_box();
     println!();
     println!("# summary: uncertain fixed-point curve inside the Birkhoff centre: {all_inside}");
@@ -53,6 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "# summary: region reaches x_S as low as {:.3} (curve minimum {:.3}) and x_I as high as {:.3} (curve maximum {:.3})",
         bb_lo.x, min_s_curve, bb_hi.y, max_i_curve
     );
-    println!("# summary: region area {:.4}, expansions {}", centre.area(), centre.expansions());
+    println!(
+        "# summary: region area {:.4}, expansions {}",
+        centre.area(),
+        centre.expansions()
+    );
     Ok(())
 }

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = 10.0;
     let time_points = 20;
 
-    println!("# Figure 4: differential hull vs imprecise (Pontryagin) transient bounds, theta_min = 1");
+    println!(
+        "# Figure 4: differential hull vs imprecise (Pontryagin) transient bounds, theta_min = 1"
+    );
     for &theta_max in &[2.0, 5.0, 6.0] {
         let sir = SirModel::paper_with_contact_max(theta_max);
         let drift = sir.reduced_drift();
@@ -28,14 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // leave the simplex for large parameter ranges).
         let hull = DifferentialHull::new(
             &drift,
-            HullOptions { step: 2e-3, time_intervals: time_points, ..Default::default() },
+            HullOptions {
+                step: 2e-3,
+                time_intervals: time_points,
+                ..Default::default()
+            },
         );
         let hull_bounds = hull.bounds(&x0, horizon)?;
 
         // Exact imprecise bounds via Pontryagin reach tubes for S and I.
         let tube_options = ReachTubeOptions {
             time_points,
-            pontryagin: PontryaginOptions { grid_intervals: 250, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 250,
+                ..Default::default()
+            },
         };
         let tube_s = reach_tube(&drift, &x0, horizon, 0, &tube_options)?;
         let tube_i = reach_tube(&drift, &x0, horizon, 1, &tube_options)?;

@@ -38,10 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let x0 = sir.reduced_initial_state();
 
         // Uncertain: range spanned by the fixed points of the constant-ϑ model.
-        let analysis = UncertainAnalysis { grid_per_axis: 30, time_intervals: 10, step: 2e-3 };
+        let analysis = UncertainAnalysis {
+            grid_per_axis: 30,
+            time_intervals: 10,
+            step: 2e-3,
+        };
         let fixed_points = analysis.fixed_points(&drift, &x0)?;
-        let (mut s_lo, mut s_hi, mut i_lo, mut i_hi) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut s_lo, mut s_hi, mut i_lo, mut i_hi) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for fp in &fixed_points {
             s_lo = s_lo.min(fp.state[0]);
             s_hi = s_hi.max(fp.state[0]);
@@ -53,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let centre = birkhoff_centre_2d(
             &drift,
             &x0,
-            &BirkhoffOptions { settle_time: 30.0, boundary_samples: 120, ..Default::default() },
+            &BirkhoffOptions {
+                settle_time: 30.0,
+                boundary_samples: 120,
+                ..Default::default()
+            },
         )?;
         let (bb_lo, bb_hi) = centre.polygon().bounding_box();
 
@@ -62,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // as the probability interpretation demands).
         let hull = DifferentialHull::new(
             &drift,
-            HullOptions { step: 2e-3, time_intervals: 50, clamp: Some((0.0, 1.0)), ..Default::default() },
+            HullOptions {
+                step: 2e-3,
+                time_intervals: 50,
+                clamp: Some((0.0, 1.0)),
+                ..Default::default()
+            },
         );
         let bounds = hull.bounds(&x0, 30.0)?;
         let (hull_lo, hull_hi) = bounds.final_bounds();
@@ -76,6 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_section("reading guide");
     println!("# each row: steady-state ranges of x_S and x_I under the three analyses;");
     println!("# the uncertain range is inside the imprecise range, which is inside the hull box;");
-    println!("# the hull box degrades quickly as theta_max grows (trivial [0,1] from theta_max ~ 6).");
+    println!(
+        "# the hull box degrades quickly as theta_max grows (trivial [0,1] from theta_max ~ 6)."
+    );
     Ok(())
 }

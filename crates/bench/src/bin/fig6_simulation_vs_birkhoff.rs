@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let centre = birkhoff_centre_2d(
         &drift,
         &sir.reduced_initial_state(),
-        &BirkhoffOptions { settle_time: 30.0, boundary_samples: 160, ..Default::default() },
+        &BirkhoffOptions {
+            settle_time: 30.0,
+            boundary_samples: 160,
+            ..Default::default()
+        },
     )?;
 
     println!("# Figure 6: stationary SIR samples vs the Birkhoff centre");
@@ -81,7 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|p| centre.polygon().distance_to_region(*p))
                 .sum::<f64>()
                 / points.len() as f64;
-            print_row(&[scale as f64, if name.starts_with("theta1") { 1.0 } else { 2.0 }, fraction, mean_distance]);
+            print_row(&[
+                scale as f64,
+                if name.starts_with("theta1") { 1.0 } else { 2.0 },
+                fraction,
+                mean_distance,
+            ]);
             println!("# N = {scale}, policy {name}: {:.0}% of samples inside, mean distance {mean_distance:.4}", fraction * 100.0);
         }
     }

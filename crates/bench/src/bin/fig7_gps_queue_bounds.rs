@@ -26,12 +26,20 @@ fn report_scenario<D: ImpreciseDrift>(
     horizon: f64,
     time_points: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let uncertain = UncertainAnalysis { grid_per_axis: 6, time_intervals: time_points, step: 2e-3 };
+    let uncertain = UncertainAnalysis {
+        grid_per_axis: 6,
+        time_intervals: time_points,
+        step: 2e-3,
+    };
     let envelope = uncertain.envelope(drift, x0, horizon)?;
 
     let tube_options = ReachTubeOptions {
         time_points,
-        pontryagin: PontryaginOptions { grid_intervals: 200, multi_start: true, ..Default::default() },
+        pontryagin: PontryaginOptions {
+            grid_intervals: 200,
+            multi_start: true,
+            ..Default::default()
+        },
     };
     let tube_q1 = reach_tube(drift, x0, horizon, queue_coords[0], &tube_options)?;
     let tube_q2 = reach_tube(drift, x0, horizon, queue_coords[1], &tube_options)?;
@@ -101,8 +109,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!();
-    println!("# reading guide: in (a) the imprecise and uncertain maxima should (nearly) coincide;");
-    println!("# in (b) the imprecise maxima exceed every constant-rate maximum — the delay introduced");
+    println!(
+        "# reading guide: in (a) the imprecise and uncertain maxima should (nearly) coincide;"
+    );
+    println!(
+        "# in (b) the imprecise maxima exceed every constant-rate maximum — the delay introduced"
+    );
     println!("# by the activation stage lets a time-varying rate build up bursts.");
     Ok(())
 }

@@ -21,10 +21,17 @@ use mfu_models::gps::GpsModel;
 use mfu_num::StateVec;
 
 fn worst_case_backlog(phi1: f64, capacity: f64, horizon: f64) -> Result<f64, CoreError> {
-    let gps = GpsModel { weights: [phi1, 1.0], capacity, ..GpsModel::paper() };
+    let gps = GpsModel {
+        weights: [phi1, 1.0],
+        capacity,
+        ..GpsModel::paper()
+    };
     let drift = gps.map_drift();
-    let solver =
-        PontryaginSolver::new(PontryaginOptions { grid_intervals: 150, multi_start: true, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 150,
+        multi_start: true,
+        ..Default::default()
+    });
     let objective = LinearObjective::maximize(StateVec::from(vec![0.0, 1.0, 0.0, 1.0]));
     let solution = solver.solve(&drift, &gps.map_initial_state(), horizon, objective)?;
     Ok(solution.objective_value())
@@ -35,13 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# Section VI-C: robust tuning of the GPS weight phi1 (phi2 = 1, MAP scenario, T = {horizon})");
 
     for &capacity in &[1.0, 0.25] {
-        print_section(&format!("machine capacity per application C/N = {capacity}"));
+        print_section(&format!(
+            "machine capacity per application C/N = {capacity}"
+        ));
         print_header(&["phi1", "worst_case_total_queue"]);
         for &phi1 in &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 9.0, 10.0, 12.0, 16.0, 20.0] {
             let backlog = worst_case_backlog(phi1, capacity, horizon)?;
             print_row(&[phi1, backlog]);
         }
-        let robust = RobustOptions { coarse_grid: 12, design_tolerance: 0.05, ..Default::default() };
+        let robust = RobustOptions {
+            coarse_grid: 12,
+            design_tolerance: 0.05,
+            ..Default::default()
+        };
         let best = minimize_worst_case(1.0, 20.0, &robust, |phi1| {
             worst_case_backlog(phi1, capacity, horizon)
         })?;

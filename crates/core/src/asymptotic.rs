@@ -39,7 +39,10 @@ impl Default for AsymptoticOptions {
             growth_factor: 2.0,
             max_rounds: 6,
             tolerance: 1e-3,
-            pontryagin: PontryaginOptions { grid_intervals: 200, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 200,
+                ..Default::default()
+            },
         }
     }
 }
@@ -104,7 +107,11 @@ pub fn asymptotic_box<D: ImpreciseDrift>(
     x0: &StateVec,
     options: &AsymptoticOptions,
 ) -> Result<AsymptoticBox> {
-    if !(options.initial_horizon > 0.0) || !(options.growth_factor > 1.0) {
+    if options.initial_horizon.is_nan()
+        || options.initial_horizon <= 0.0
+        || options.growth_factor.is_nan()
+        || options.growth_factor <= 1.0
+    {
         return Err(CoreError::invalid_input(
             "asymptotic options need a positive initial horizon and a growth factor above 1",
         ));
@@ -140,7 +147,12 @@ pub fn asymptotic_box<D: ImpreciseDrift>(
         upper = new_upper;
         horizon *= options.growth_factor;
     }
-    Ok(AsymptoticBox { lower, upper, horizon, converged })
+    Ok(AsymptoticBox {
+        lower,
+        upper,
+        horizon,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -153,14 +165,19 @@ mod tests {
     /// [0.3, 0.7], which is exactly the asymptotic reachable set.
     fn relaxation_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let params = ParamSpace::single("target", 0.3, 0.7).unwrap();
-        FnDrift::new(1, params, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = th[0] - x[0])
+        FnDrift::new(1, params, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] - x[0]
+        })
     }
 
     fn fast_options() -> AsymptoticOptions {
         AsymptoticOptions {
             initial_horizon: 3.0,
             max_rounds: 5,
-            pontryagin: PontryaginOptions { grid_intervals: 80, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 80,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -170,8 +187,16 @@ mod tests {
         let drift = relaxation_drift();
         let result = asymptotic_box(&drift, &StateVec::from([0.0]), &fast_options()).unwrap();
         assert!(result.converged());
-        assert!((result.lower()[0] - 0.3).abs() < 0.02, "lower {:?}", result.lower());
-        assert!((result.upper()[0] - 0.7).abs() < 0.02, "upper {:?}", result.upper());
+        assert!(
+            (result.lower()[0] - 0.3).abs() < 0.02,
+            "lower {:?}",
+            result.lower()
+        );
+        assert!(
+            (result.upper()[0] - 0.7).abs() < 0.02,
+            "upper {:?}",
+            result.upper()
+        );
         assert!(result.contains(&StateVec::from([0.5]), 1e-9));
         assert!(!result.contains(&StateVec::from([0.9]), 1e-3));
         assert!(result.widths()[0] > 0.3);
@@ -189,9 +214,15 @@ mod tests {
     #[test]
     fn invalid_options_are_rejected() {
         let drift = relaxation_drift();
-        let bad = AsymptoticOptions { initial_horizon: 0.0, ..fast_options() };
+        let bad = AsymptoticOptions {
+            initial_horizon: 0.0,
+            ..fast_options()
+        };
         assert!(asymptotic_box(&drift, &StateVec::from([0.0]), &bad).is_err());
-        let bad = AsymptoticOptions { growth_factor: 1.0, ..fast_options() };
+        let bad = AsymptoticOptions {
+            growth_factor: 1.0,
+            ..fast_options()
+        };
         assert!(asymptotic_box(&drift, &StateVec::from([0.0]), &bad).is_err());
     }
 }

@@ -91,7 +91,11 @@ impl BirkhoffCentre {
     ///
     /// Panics if `state` does not have exactly two coordinates.
     pub fn contains_state(&self, state: &StateVec) -> bool {
-        assert_eq!(state.dim(), 2, "Birkhoff centre containment requires a 2-D state");
+        assert_eq!(
+            state.dim(),
+            2,
+            "Birkhoff centre containment requires a 2-D state"
+        );
         self.hull.contains(Point2::new(state[0], state[1]))
     }
 
@@ -124,7 +128,10 @@ pub fn birkhoff_centre_2d<D: ImpreciseDrift>(
     options: &BirkhoffOptions,
 ) -> Result<BirkhoffCentre> {
     if drift.dim() != 2 {
-        return Err(CoreError::UnsupportedDimension { required: 2, found: drift.dim() });
+        return Err(CoreError::UnsupportedDimension {
+            required: 2,
+            found: drift.dim(),
+        });
     }
     if seed.dim() != 2 {
         return Err(CoreError::invalid_input("seed must be two-dimensional"));
@@ -145,22 +152,30 @@ pub fn birkhoff_centre_2d<D: ImpreciseDrift>(
         drift_tolerance: 1e-9,
         ..EquilibriumOptions::default()
     };
-    let fp_max = equilibrium(&ode_for(theta_max.clone()), seed.clone(), &eq_options).map_err(|err| {
-        match err {
-            mfu_num::NumError::NoConvergence { iterations, residual, .. } => CoreError::NoConvergence {
+    let fp_max = equilibrium(&ode_for(theta_max.clone()), seed.clone(), &eq_options).map_err(
+        |err| match err {
+            mfu_num::NumError::NoConvergence {
+                iterations,
+                residual,
+                ..
+            } => CoreError::NoConvergence {
                 analysis: "birkhoff fixed point (theta_max)",
                 iterations,
                 residual,
             },
             other => CoreError::Numerical(other),
-        }
-    })?;
+        },
+    )?;
 
     // Step 2: seed the region with the ϑ^min arc from the ϑ^max fixed point
     // and the ϑ^max arc back.
     let mut cloud: Vec<Point2> = vec![Point2::new(fp_max[0], fp_max[1])];
-    let arc_min =
-        solver.integrate(&ode_for(theta_min.clone()), 0.0, fp_max.clone(), options.settle_time)?;
+    let arc_min = solver.integrate(
+        &ode_for(theta_min.clone()),
+        0.0,
+        fp_max.clone(),
+        options.settle_time,
+    )?;
     extend_cloud(&mut cloud, arc_min.states());
     let arc_max = solver.integrate(
         &ode_for(theta_max.clone()),
@@ -213,7 +228,11 @@ pub fn birkhoff_centre_2d<D: ImpreciseDrift>(
         expansions += 1;
     }
 
-    Ok(BirkhoffCentre { hull, cloud_size: cloud.len(), expansions })
+    Ok(BirkhoffCentre {
+        hull,
+        cloud_size: cloud.len(),
+        expansions,
+    })
 }
 
 fn extend_cloud(cloud: &mut Vec<Point2>, states: &[StateVec]) {
@@ -324,7 +343,10 @@ mod tests {
                 continue; // transient
             }
             assert!(
-                centre.polygon().distance_to_region(Point2::new(state[0], state[1])) < 0.05,
+                centre
+                    .polygon()
+                    .distance_to_region(Point2::new(state[0], state[1]))
+                    < 0.05,
                 "state at t = {t} escaped the region"
             );
         }
@@ -367,9 +389,14 @@ mod tests {
         let one_d = FnDrift::new(1, theta, |_x: &StateVec, _th: &[f64], dx: &mut StateVec| {
             dx[0] = 0.0;
         });
-        let err =
-            birkhoff_centre_2d(&one_d, &StateVec::from([0.0]), &fast_options()).unwrap_err();
-        assert!(matches!(err, CoreError::UnsupportedDimension { required: 2, found: 1 }));
+        let err = birkhoff_centre_2d(&one_d, &StateVec::from([0.0]), &fast_options()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::UnsupportedDimension {
+                required: 2,
+                found: 1
+            }
+        ));
         let drift = spiral_drift();
         assert!(birkhoff_centre_2d(&drift, &StateVec::from([0.0]), &fast_options()).is_err());
     }

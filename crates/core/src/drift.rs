@@ -54,7 +54,10 @@ pub trait ImpreciseDrift {
         let mut best_theta = self.params().midpoint();
         let mut best_value = f64::NEG_INFINITY;
         let mut buffer = StateVec::zeros(self.dim());
-        let consider = |theta: &[f64], buffer: &mut StateVec, best_value: &mut f64, best_theta: &mut Vec<f64>| {
+        let consider = |theta: &[f64],
+                        buffer: &mut StateVec,
+                        best_value: &mut f64,
+                        best_theta: &mut Vec<f64>| {
             self.drift_into(x, theta, buffer);
             let value = buffer.dot(direction);
             if value > *best_value {
@@ -138,7 +141,12 @@ where
 {
     /// Creates a drift from a closure writing `f(x, ϑ)` into its third argument.
     pub fn new(dim: usize, params: ParamSpace, f: F) -> Self {
-        FnDrift { dim, params, f, refinement: 0 }
+        FnDrift {
+            dim,
+            params,
+            f,
+            refinement: 0,
+        }
     }
 
     /// Enables grid refinement when optimising over `Θ` (for drifts that are
@@ -268,16 +276,23 @@ mod tests {
         // drift quadratic in ϑ with an interior maximum at ϑ = 0.5
         let params = ParamSpace::single("theta", 0.0, 1.0).unwrap();
         let make = |refinement: usize| {
-            FnDrift::new(1, params.clone(), |_x: &StateVec, th: &[f64], dx: &mut StateVec| {
-                dx[0] = th[0] * (1.0 - th[0]);
-            })
+            FnDrift::new(
+                1,
+                params.clone(),
+                |_x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                    dx[0] = th[0] * (1.0 - th[0]);
+                },
+            )
             .with_theta_refinement(refinement)
         };
         let x = StateVec::from([0.0]);
         let direction = StateVec::from([1.0]);
         let (_, vertex_only) = make(0).extremal_theta(&x, &direction);
         let (theta, refined) = make(20).extremal_theta(&x, &direction);
-        assert!(vertex_only.abs() < 1e-12, "vertices alone miss the interior optimum");
+        assert!(
+            vertex_only.abs() < 1e-12,
+            "vertices alone miss the interior optimum"
+        );
         assert!((refined - 0.25).abs() < 5e-3);
         assert!((theta[0] - 0.5).abs() < 0.1);
     }
@@ -286,7 +301,11 @@ mod tests {
     fn population_drift_delegates_to_model() {
         let params = ParamSpace::single("rate", 1.0, 2.0).unwrap();
         let model = PopulationModel::builder(1, params)
-            .transition(TransitionClass::new("grow", [1.0], |x: &StateVec, th: &[f64]| th[0] * x[0]))
+            .transition(TransitionClass::new(
+                "grow",
+                [1.0],
+                |x: &StateVec, th: &[f64]| th[0] * x[0],
+            ))
             .build()
             .unwrap();
         let drift = PopulationDrift::new(model);

@@ -38,7 +38,9 @@ pub enum CoreError {
 impl CoreError {
     /// Creates an [`CoreError::InvalidInput`] from anything printable.
     pub fn invalid_input(message: impl Into<String>) -> Self {
-        CoreError::InvalidInput { message: message.into() }
+        CoreError::InvalidInput {
+            message: message.into(),
+        }
     }
 }
 
@@ -87,10 +89,19 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CoreError::invalid_input("bad grid").to_string().contains("bad grid"));
-        let err = CoreError::NoConvergence { analysis: "pontryagin", iterations: 7, residual: 0.1 };
+        assert!(CoreError::invalid_input("bad grid")
+            .to_string()
+            .contains("bad grid"));
+        let err = CoreError::NoConvergence {
+            analysis: "pontryagin",
+            iterations: 7,
+            residual: 0.1,
+        };
         assert!(err.to_string().contains("pontryagin"));
-        let err = CoreError::UnsupportedDimension { required: 2, found: 4 };
+        let err = CoreError::UnsupportedDimension {
+            required: 2,
+            found: 4,
+        };
         assert!(err.to_string().contains("dimension 2"));
     }
 

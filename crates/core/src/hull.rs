@@ -73,7 +73,10 @@ impl HullBounds {
     ///
     /// Panics if the bounds are empty (cannot happen for constructed values).
     pub fn final_bounds(&self) -> (&StateVec, &StateVec) {
-        (self.lower.last().expect("non-empty"), self.upper.last().expect("non-empty"))
+        (
+            self.lower.last().expect("non-empty"),
+            self.upper.last().expect("non-empty"),
+        )
     }
 
     /// Returns `true` when `state` lies between the bounds at grid index `k`
@@ -106,7 +109,12 @@ pub struct HullOptions {
 
 impl Default for HullOptions {
     fn default() -> Self {
-        HullOptions { step: 1e-3, time_intervals: 100, refine_midpoints: true, clamp: None }
+        HullOptions {
+            step: 1e-3,
+            time_intervals: 100,
+            refine_midpoints: true,
+            clamp: None,
+        }
     }
 }
 
@@ -136,13 +144,21 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
     /// integration failure.
     pub fn bounds(&self, x0: &StateVec, t_end: f64) -> Result<HullBounds> {
         if x0.dim() != self.drift.dim() {
-            return Err(CoreError::invalid_input("initial condition dimension mismatch"));
+            return Err(CoreError::invalid_input(
+                "initial condition dimension mismatch",
+            ));
         }
-        if !(t_end > 0.0) || !t_end.is_finite() {
-            return Err(CoreError::invalid_input("time horizon must be positive and finite"));
+        if t_end <= 0.0 || !t_end.is_finite() {
+            return Err(CoreError::invalid_input(
+                "time horizon must be positive and finite",
+            ));
         }
         let dim = self.drift.dim();
-        let system = HullOde { drift: &self.drift, dim, refine_midpoints: self.options.refine_midpoints };
+        let system = HullOde {
+            drift: &self.drift,
+            dim,
+            refine_midpoints: self.options.refine_midpoints,
+        };
 
         // combined state: [lower | upper]
         let mut combined = StateVec::zeros(2 * dim);
@@ -187,7 +203,11 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
             lower.push(lo);
             upper.push(hi);
         }
-        Ok(HullBounds { times, lower, upper })
+        Ok(HullBounds {
+            times,
+            lower,
+            upper,
+        })
     }
 }
 
@@ -224,7 +244,11 @@ impl<D: ImpreciseDrift> HullOde<'_, D> {
             })
             .collect();
 
-        let mut best = if want_max { f64::NEG_INFINITY } else { f64::INFINITY };
+        let mut best = if want_max {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
         let mut point = lower.clone();
         point[pin] = pin_value;
 
@@ -283,7 +307,9 @@ mod tests {
 
     fn decay_drift(lo: f64, hi: f64) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("rate", lo, hi).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0]
+        })
     }
 
     #[test]
@@ -307,7 +333,9 @@ mod tests {
 
         let inclusion = DifferentialInclusion::new(&drift);
         let signal = PiecewiseSignal::new(vec![0.5, 1.2], vec![vec![3.0], vec![1.0], vec![2.0]]);
-        let traj = inclusion.solve_fixed_step(&signal, StateVec::from([1.0]), 2.0, 1e-3).unwrap();
+        let traj = inclusion
+            .solve_fixed_step(&signal, StateVec::from([1.0]), 2.0, 1e-3)
+            .unwrap();
         for (k, &t) in bounds.times().iter().enumerate() {
             let state = traj.at(t).unwrap();
             assert!(bounds.contains_at(k, &state, 1e-6), "violated at t = {t}");
@@ -360,7 +388,10 @@ mod tests {
     #[test]
     fn clamping_keeps_bounds_in_the_simplex() {
         let drift = decay_drift(1.0, 10.0);
-        let options = HullOptions { clamp: Some((0.0, 1.0)), ..HullOptions::default() };
+        let options = HullOptions {
+            clamp: Some((0.0, 1.0)),
+            ..HullOptions::default()
+        };
         let bounds = DifferentialHull::new(&drift, options)
             .bounds(&StateVec::from([1.0]), 5.0)
             .unwrap();

@@ -66,9 +66,17 @@ impl<D: ImpreciseDrift> DifferentialInclusion<D> {
     ///
     /// Returns an error if the initial condition has the wrong dimension, the
     /// signal leaves `Θ`, or integration fails.
-    pub fn solve<S: ParamSignal>(&self, signal: &S, x0: StateVec, t_end: f64) -> Result<Trajectory> {
+    pub fn solve<S: ParamSignal>(
+        &self,
+        signal: &S,
+        x0: StateVec,
+        t_end: f64,
+    ) -> Result<Trajectory> {
         self.check_x0(&x0)?;
-        let system = SelectionOde { drift: &self.drift, signal };
+        let system = SelectionOde {
+            drift: &self.drift,
+            signal,
+        };
         self.validate_signal(signal, t_end)?;
         Dopri45::default()
             .max_step((t_end / 200.0).max(1e-3))
@@ -93,12 +101,17 @@ impl<D: ImpreciseDrift> DifferentialInclusion<D> {
         step: f64,
     ) -> Result<Trajectory> {
         self.check_x0(&x0)?;
-        if !(step > 0.0) || !step.is_finite() {
+        if step <= 0.0 || !step.is_finite() {
             return Err(CoreError::invalid_input("step must be positive and finite"));
         }
         self.validate_signal(signal, t_end)?;
-        let system = SelectionOde { drift: &self.drift, signal };
-        Rk4::with_step(step).integrate(&system, 0.0, x0, t_end).map_err(CoreError::from)
+        let system = SelectionOde {
+            drift: &self.drift,
+            signal,
+        };
+        Rk4::with_step(step)
+            .integrate(&system, 0.0, x0, t_end)
+            .map_err(CoreError::from)
     }
 
     /// Integrates the constant selection `ϑ(t) ≡ theta` (the uncertain scenario).
@@ -169,33 +182,42 @@ mod tests {
 
     fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0]
+        })
     }
 
     #[test]
     fn constant_selection_matches_exponential() {
         let inclusion = DifferentialInclusion::new(decay_drift());
-        let traj = inclusion.solve_constant(&[1.5], StateVec::from([2.0]), 1.0).unwrap();
+        let traj = inclusion
+            .solve_constant(&[1.5], StateVec::from([2.0]), 1.0)
+            .unwrap();
         assert!((traj.last_state()[0] - 2.0 * (-1.5f64).exp()).abs() < 1e-6);
     }
 
     #[test]
     fn constant_selection_outside_theta_is_rejected() {
         let inclusion = DifferentialInclusion::new(decay_drift());
-        assert!(inclusion.solve_constant(&[5.0], StateVec::from([1.0]), 1.0).is_err());
+        assert!(inclusion
+            .solve_constant(&[5.0], StateVec::from([1.0]), 1.0)
+            .is_err());
     }
 
     #[test]
     fn piecewise_selection_composes_exponentials() {
         let inclusion = DifferentialInclusion::new(decay_drift());
         let signal = PiecewiseSignal::new(vec![0.5], vec![vec![2.0], vec![1.0]]);
-        let traj = inclusion.solve(&signal, StateVec::from([1.0]), 1.0).unwrap();
+        let traj = inclusion
+            .solve(&signal, StateVec::from([1.0]), 1.0)
+            .unwrap();
         let expected = (-1.0f64).exp() * (-0.5f64).exp();
         assert!((traj.last_state()[0] - expected).abs() < 1e-5);
         // fixed-step integration agrees (the switching instant falls inside a
         // step, so accuracy is limited by the step size there)
-        let traj2 =
-            inclusion.solve_fixed_step(&signal, StateVec::from([1.0]), 1.0, 1e-4).unwrap();
+        let traj2 = inclusion
+            .solve_fixed_step(&signal, StateVec::from([1.0]), 1.0, 1e-4)
+            .unwrap();
         assert!((traj2.last_state()[0] - expected).abs() < 1e-4);
     }
 
@@ -203,13 +225,17 @@ mod tests {
     fn signals_leaving_theta_are_rejected() {
         let inclusion = DifferentialInclusion::new(decay_drift());
         let signal = FnSignal::new(|t: f64| vec![1.0 + 5.0 * t]);
-        assert!(inclusion.solve(&signal, StateVec::from([1.0]), 1.0).is_err());
+        assert!(inclusion
+            .solve(&signal, StateVec::from([1.0]), 1.0)
+            .is_err());
     }
 
     #[test]
     fn initial_condition_dimension_is_checked() {
         let inclusion = DifferentialInclusion::new(decay_drift());
-        assert!(inclusion.solve_constant(&[1.0], StateVec::from([1.0, 2.0]), 1.0).is_err());
+        assert!(inclusion
+            .solve_constant(&[1.0], StateVec::from([1.0, 2.0]), 1.0)
+            .is_err());
         assert!(inclusion
             .solve_fixed_step(
                 &ConstantSignal::new(vec![1.0]),

@@ -37,12 +37,18 @@ pub struct LinearObjective {
 impl LinearObjective {
     /// Maximises `weights · x(T)`.
     pub fn maximize(weights: StateVec) -> Self {
-        LinearObjective { weights, maximize: true }
+        LinearObjective {
+            weights,
+            maximize: true,
+        }
     }
 
     /// Minimises `weights · x(T)`.
     pub fn minimize(weights: StateVec) -> Self {
-        LinearObjective { weights, maximize: false }
+        LinearObjective {
+            weights,
+            maximize: false,
+        }
     }
 
     /// Maximises coordinate `i` of `x(T)` in a `dim`-dimensional system.
@@ -232,7 +238,12 @@ impl PontryaginSolver {
         horizon: f64,
         coordinate: usize,
     ) -> Result<ExtremalSolution> {
-        self.solve(drift, x0, horizon, LinearObjective::maximize_coordinate(drift.dim(), coordinate))
+        self.solve(
+            drift,
+            x0,
+            horizon,
+            LinearObjective::maximize_coordinate(drift.dim(), coordinate),
+        )
     }
 
     /// Minimises coordinate `i` of `x(T)`.
@@ -247,7 +258,12 @@ impl PontryaginSolver {
         horizon: f64,
         coordinate: usize,
     ) -> Result<ExtremalSolution> {
-        self.solve(drift, x0, horizon, LinearObjective::minimize_coordinate(drift.dim(), coordinate))
+        self.solve(
+            drift,
+            x0,
+            horizon,
+            LinearObjective::minimize_coordinate(drift.dim(), coordinate),
+        )
     }
 
     /// Returns `(min, max)` of coordinate `i` of `x(T)` over the solution set.
@@ -295,7 +311,11 @@ impl PontryaginSolver {
             let better = match &best {
                 None => true,
                 Some(current) => {
-                    let sign = if objective.is_maximization() { 1.0 } else { -1.0 };
+                    let sign = if objective.is_maximization() {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     sign * candidate.objective_value() > sign * current.objective_value()
                 }
             };
@@ -317,13 +337,19 @@ impl PontryaginSolver {
     ) -> Result<ExtremalSolution> {
         let dim = drift.dim();
         if x0.dim() != dim {
-            return Err(CoreError::invalid_input("initial condition dimension mismatch"));
+            return Err(CoreError::invalid_input(
+                "initial condition dimension mismatch",
+            ));
         }
         if objective.weights().dim() != dim {
-            return Err(CoreError::invalid_input("objective weight dimension mismatch"));
+            return Err(CoreError::invalid_input(
+                "objective weight dimension mismatch",
+            ));
         }
-        if !(horizon > 0.0) || !horizon.is_finite() {
-            return Err(CoreError::invalid_input("horizon must be positive and finite"));
+        if horizon <= 0.0 || !horizon.is_finite() {
+            return Err(CoreError::invalid_input(
+                "horizon must be positive and finite",
+            ));
         }
         if !(self.options.relaxation > 0.0 && self.options.relaxation <= 1.0) {
             return Err(CoreError::invalid_input("relaxation must lie in (0, 1]"));
@@ -336,7 +362,9 @@ impl PontryaginSolver {
         let theta_dim = drift.params().dim();
 
         if initial_control.len() != theta_dim {
-            return Err(CoreError::invalid_input("initial control dimension mismatch"));
+            return Err(CoreError::invalid_input(
+                "initial control dimension mismatch",
+            ));
         }
         // control per interval (value at node k applies on [t_k, t_{k+1}))
         let mut control: Vec<Vec<f64>> = vec![initial_control; n + 1];
@@ -358,11 +386,7 @@ impl PontryaginSolver {
             let previous_state_end = state[n].clone();
             for k in 0..n {
                 let theta = &control[k];
-                state[k + 1] = rk4_step(
-                    &|x: &StateVec| drift.drift(x, theta),
-                    &state[k],
-                    h,
-                )?;
+                state[k + 1] = rk4_step(&|x: &StateVec| drift.drift(x, theta), &state[k], h)?;
             }
             let iterate_value = ascent.dot(&state[n]);
             if iterate_value > best_value {
@@ -388,7 +412,11 @@ impl PontryaginSolver {
                     )?;
                     Ok(jac.transpose_mul(p)?)
                 };
-                costate[k] = rk4_step(&|p: &StateVec| rhs(p).unwrap_or_else(|_| StateVec::zeros(dim)), &costate[k + 1], h)?;
+                costate[k] = rk4_step(
+                    &|p: &StateVec| rhs(p).unwrap_or_else(|_| StateVec::zeros(dim)),
+                    &costate[k + 1],
+                    h,
+                )?;
             }
 
             // ---- control update ----------------------------------------------
@@ -398,8 +426,8 @@ impl PontryaginSolver {
                 let (theta_star, _) = drift.extremal_theta(&state[k], &p_mid);
                 let mut updated = Vec::with_capacity(theta_dim);
                 for j in 0..theta_dim {
-                    let relaxed = control[k][j]
-                        + self.options.relaxation * (theta_star[j] - control[k][j]);
+                    let relaxed =
+                        control[k][j] + self.options.relaxation * (theta_star[j] - control[k][j]);
                     updated.push(drift.params().intervals()[j].clamp(relaxed));
                 }
                 let change = updated
@@ -412,7 +440,10 @@ impl PontryaginSolver {
             control[n] = control[n - 1].clone();
 
             let state_change = state[n].distance_inf(&previous_state_end);
-            if control_change < self.options.tolerance && state_change < self.options.tolerance && iteration > 0 {
+            if control_change < self.options.tolerance
+                && state_change < self.options.tolerance
+                && iteration > 0
+            {
                 converged = true;
                 break;
             }
@@ -433,8 +464,7 @@ impl PontryaginSolver {
         }
         let objective_value = objective.weights().dot(&state[n]);
 
-        let control_values: Vec<StateVec> =
-            control.into_iter().map(StateVec::from).collect();
+        let control_values: Vec<StateVec> = control.into_iter().map(StateVec::from).collect();
         Ok(ExtremalSolution {
             objective,
             objective_value,
@@ -462,7 +492,9 @@ where
     out.add_scaled(h / 3.0, &k3);
     out.add_scaled(h / 6.0, &k4);
     if !out.is_finite() {
-        return Err(CoreError::Numerical(mfu_num::NumError::non_finite("pontryagin RK4 step")));
+        return Err(CoreError::Numerical(mfu_num::NumError::non_finite(
+            "pontryagin RK4 step",
+        )));
     }
     Ok(out)
 }
@@ -475,11 +507,16 @@ mod tests {
 
     fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0]
+        })
     }
 
     fn solver() -> PontryaginSolver {
-        PontryaginSolver::new(PontryaginOptions { grid_intervals: 200, ..Default::default() })
+        PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 200,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -538,7 +575,12 @@ mod tests {
         });
         let x0 = StateVec::from([1.0, 1.0]);
         let solution = solver()
-            .solve(&drift, &x0, 1.0, LinearObjective::maximize(StateVec::from([1.0, 1.0])))
+            .solve(
+                &drift,
+                &x0,
+                1.0,
+                LinearObjective::maximize(StateVec::from([1.0, 1.0])),
+            )
             .unwrap();
         let expected = (-1.0f64).exp() + (-0.5f64).exp();
         assert!((solution.objective_value() - expected).abs() < 1e-4);
@@ -561,7 +603,12 @@ mod tests {
         let solution = solver().maximize_coordinate(&drift, &x0, 2.0, 1).unwrap();
         // value = -∫_0^2 x0(t) dt with x0(t) = -t  → value = ∫ t dt = 2
         assert!((solution.objective_value() - 2.0).abs() < 1e-3);
-        for value in solution.control().values().iter().take(solution.control().values().len() - 1) {
+        for value in solution
+            .control()
+            .values()
+            .iter()
+            .take(solution.control().values().len() - 1)
+        {
             assert!((value[0] + 1.0).abs() < 1e-9);
         }
     }
@@ -572,17 +619,25 @@ mod tests {
         // x0, but x1 also decays, so the best constant control is not optimal
         // in general. The sweep must do at least as well as every constant ϑ.
         let theta = ParamSpace::single("rate", 0.5, 3.0).unwrap();
-        let drift = FnDrift::new(2, theta.clone(), |x: &StateVec, th: &[f64], dx: &mut StateVec| {
-            dx[0] = th[0] * (1.0 - x[0]);
-            dx[1] = th[0] * x[0] - x[1];
-        });
+        let drift = FnDrift::new(
+            2,
+            theta.clone(),
+            |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                dx[0] = th[0] * (1.0 - x[0]);
+                dx[1] = th[0] * x[0] - x[1];
+            },
+        );
         let x0 = StateVec::from([0.0, 0.0]);
         let horizon = 2.0;
-        let solution = solver().maximize_coordinate(&drift, &x0, horizon, 1).unwrap();
+        let solution = solver()
+            .maximize_coordinate(&drift, &x0, horizon, 1)
+            .unwrap();
 
         let inclusion = crate::inclusion::DifferentialInclusion::new(&drift);
         for candidate in [0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
-            let traj = inclusion.solve_constant(&[candidate], x0.clone(), horizon).unwrap();
+            let traj = inclusion
+                .solve_constant(&[candidate], x0.clone(), horizon)
+                .unwrap();
             assert!(
                 solution.objective_value() >= traj.last_state()[1] - 1e-4,
                 "constant ϑ = {candidate} beats the sweep"
@@ -595,13 +650,37 @@ mod tests {
         let drift = decay_drift();
         let x0 = StateVec::from([1.0]);
         let s = solver();
-        assert!(s.solve(&drift, &StateVec::from([1.0, 2.0]), 1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
-        assert!(s.solve(&drift, &x0, -1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
         assert!(s
-            .solve(&drift, &x0, 1.0, LinearObjective::maximize(StateVec::from([1.0, 0.0])))
+            .solve(
+                &drift,
+                &StateVec::from([1.0, 2.0]),
+                1.0,
+                LinearObjective::maximize_coordinate(1, 0)
+            )
             .is_err());
-        let bad = PontryaginSolver::new(PontryaginOptions { relaxation: 0.0, ..Default::default() });
-        assert!(bad.solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0)).is_err());
+        assert!(s
+            .solve(
+                &drift,
+                &x0,
+                -1.0,
+                LinearObjective::maximize_coordinate(1, 0)
+            )
+            .is_err());
+        assert!(s
+            .solve(
+                &drift,
+                &x0,
+                1.0,
+                LinearObjective::maximize(StateVec::from([1.0, 0.0]))
+            )
+            .is_err());
+        let bad = PontryaginSolver::new(PontryaginOptions {
+            relaxation: 0.0,
+            ..Default::default()
+        });
+        assert!(bad
+            .solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0))
+            .is_err());
         assert_eq!(s.options().grid_intervals, 200);
     }
 

@@ -86,7 +86,10 @@ impl Default for ReachTubeOptions {
     fn default() -> Self {
         ReachTubeOptions {
             time_points: 40,
-            pontryagin: PontryaginOptions { grid_intervals: 200, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 200,
+                ..Default::default()
+            },
         }
     }
 }
@@ -111,10 +114,14 @@ pub fn reach_tube<D: ImpreciseDrift>(
         return Err(CoreError::invalid_input("coordinate out of range"));
     }
     if options.time_points == 0 {
-        return Err(CoreError::invalid_input("reach tube needs at least one time point"));
+        return Err(CoreError::invalid_input(
+            "reach tube needs at least one time point",
+        ));
     }
-    if !(horizon > 0.0) || !horizon.is_finite() {
-        return Err(CoreError::invalid_input("horizon must be positive and finite"));
+    if horizon <= 0.0 || !horizon.is_finite() {
+        return Err(CoreError::invalid_input(
+            "horizon must be positive and finite",
+        ));
     }
     let mut times = Vec::with_capacity(options.time_points);
     let mut lower = Vec::with_capacity(options.time_points);
@@ -123,9 +130,8 @@ pub fn reach_tube<D: ImpreciseDrift>(
         let t = horizon * k as f64 / options.time_points as f64;
         // Scale the sweep grid with the sub-horizon, with a floor so short
         // horizons are still resolved.
-        let grid_intervals = ((options.pontryagin.grid_intervals as f64)
-            * (t / horizon).max(0.2))
-        .round() as usize;
+        let grid_intervals =
+            ((options.pontryagin.grid_intervals as f64) * (t / horizon).max(0.2)).round() as usize;
         let solver = PontryaginSolver::new(PontryaginOptions {
             grid_intervals: grid_intervals.max(16),
             ..options.pontryagin
@@ -135,7 +141,12 @@ pub fn reach_tube<D: ImpreciseDrift>(
         lower.push(lo);
         upper.push(hi);
     }
-    Ok(ReachTube { coordinate, times, lower, upper })
+    Ok(ReachTube {
+        coordinate,
+        times,
+        lower,
+        upper,
+    })
 }
 
 #[cfg(test)]
@@ -148,21 +159,25 @@ mod tests {
 
     fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0]
+        })
     }
 
     fn fast_options() -> ReachTubeOptions {
         ReachTubeOptions {
             time_points: 8,
-            pontryagin: PontryaginOptions { grid_intervals: 80, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 80,
+                ..Default::default()
+            },
         }
     }
 
     #[test]
     fn tube_of_scalar_decay_matches_extreme_exponentials() {
         let drift = decay_drift();
-        let tube =
-            reach_tube(&drift, &StateVec::from([1.0]), 2.0, 0, &fast_options()).unwrap();
+        let tube = reach_tube(&drift, &StateVec::from([1.0]), 2.0, 0, &fast_options()).unwrap();
         assert_eq!(tube.coordinate(), 0);
         assert_eq!(tube.times().len(), 8);
         for (t, lo, hi) in tube.rows() {
@@ -179,7 +194,9 @@ mod tests {
         let tube = reach_tube(&drift, &StateVec::from([1.0]), 2.0, 0, &fast_options()).unwrap();
         let inclusion = DifferentialInclusion::new(&drift);
         let signal = PiecewiseSignal::new(vec![0.7], vec![vec![2.0], vec![1.0]]);
-        let traj = inclusion.solve_fixed_step(&signal, StateVec::from([1.0]), 2.0, 1e-3).unwrap();
+        let traj = inclusion
+            .solve_fixed_step(&signal, StateVec::from([1.0]), 2.0, 1e-3)
+            .unwrap();
         for (k, &t) in tube.times().iter().enumerate() {
             let value = traj.at(t).unwrap()[0];
             assert!(tube.contains_at(k, value, 1e-4), "violated at t = {t}");
@@ -201,7 +218,10 @@ mod tests {
         let x0 = StateVec::from([1.0]);
         assert!(reach_tube(&drift, &x0, 1.0, 3, &fast_options()).is_err());
         assert!(reach_tube(&drift, &x0, -1.0, 0, &fast_options()).is_err());
-        let zero_points = ReachTubeOptions { time_points: 0, ..fast_options() };
+        let zero_points = ReachTubeOptions {
+            time_points: 0,
+            ..fast_options()
+        };
         assert!(reach_tube(&drift, &x0, 1.0, 0, &zero_points).is_err());
     }
 }

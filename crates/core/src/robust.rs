@@ -5,7 +5,7 @@
 //! parameter signals, computed with the Pontryagin sweep — is minimised.
 //! This module provides that outer minimisation: the caller supplies a
 //! *worst-case objective* as a function of the scalar design parameter
-//! (typically wrapping [`PontryaginSolver`](crate::pontryagin::PontryaginSolver)
+//! (typically wrapping [`PontryaginSolver`]
 //! on a model rebuilt for each candidate design), and the optimiser searches
 //! the design range, optionally exploiting unimodality.
 
@@ -32,7 +32,12 @@ pub struct RobustOptions {
 
 impl Default for RobustOptions {
     fn default() -> Self {
-        RobustOptions { coarse_grid: 12, design_tolerance: 1e-3, max_iterations: 200, grid_only: false }
+        RobustOptions {
+            coarse_grid: 12,
+            design_tolerance: 1e-3,
+            max_iterations: 200,
+            grid_only: false,
+        }
     }
 }
 
@@ -78,10 +83,14 @@ where
     F: FnMut(f64) -> Result<f64>,
 {
     if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
-        return Err(CoreError::invalid_input(format!("invalid design range [{lo}, {hi}]")));
+        return Err(CoreError::invalid_input(format!(
+            "invalid design range [{lo}, {hi}]"
+        )));
     }
     if options.coarse_grid == 0 {
-        return Err(CoreError::invalid_input("coarse grid needs at least one interval"));
+        return Err(CoreError::invalid_input(
+            "coarse grid needs at least one interval",
+        ));
     }
 
     let mut evaluations = 0usize;
@@ -108,7 +117,11 @@ where
         return Err(err);
     }
     if options.grid_only {
-        return Ok(RobustDesign { design: coarse.0, worst_case: coarse.1, evaluations });
+        return Ok(RobustDesign {
+            design: coarse.0,
+            worst_case: coarse.1,
+            evaluations,
+        });
     }
 
     // Refine around the best grid point (one grid cell on each side).
@@ -142,9 +155,16 @@ where
     if let Some(err) = failure {
         return Err(err);
     }
-    let (design, worst_case) =
-        if refined.1 <= coarse.1 { refined } else { coarse };
-    Ok(RobustDesign { design, worst_case, evaluations })
+    let (design, worst_case) = if refined.1 <= coarse.1 {
+        refined
+    } else {
+        coarse
+    };
+    Ok(RobustDesign {
+        design,
+        worst_case,
+        evaluations,
+    })
 }
 
 /// Convenience wrapper: minimises, over a scalar design parameter, the
@@ -158,6 +178,7 @@ where
 /// # Errors
 ///
 /// Propagates errors from the inner sweeps and the outer search.
+#[allow(clippy::too_many_arguments)] // mirrors the problem statement: box, horizon, objective, two option sets
 pub fn robust_design_sweep<D, F>(
     lo: f64,
     hi: f64,
@@ -188,9 +209,10 @@ mod tests {
 
     #[test]
     fn minimizes_a_convex_objective() {
-        let result =
-            minimize_worst_case(0.0, 10.0, &RobustOptions::default(), |x| Ok((x - 7.0).powi(2) + 1.0))
-                .unwrap();
+        let result = minimize_worst_case(0.0, 10.0, &RobustOptions::default(), |x| {
+            Ok((x - 7.0).powi(2) + 1.0)
+        })
+        .unwrap();
         assert!((result.design - 7.0).abs() < 1e-2);
         assert!((result.worst_case - 1.0).abs() < 1e-3);
         assert!(result.evaluations > 10);
@@ -198,7 +220,11 @@ mod tests {
 
     #[test]
     fn grid_only_mode_skips_refinement() {
-        let options = RobustOptions { coarse_grid: 10, grid_only: true, ..Default::default() };
+        let options = RobustOptions {
+            coarse_grid: 10,
+            grid_only: true,
+            ..Default::default()
+        };
         let result = minimize_worst_case(0.0, 1.0, &options, |x| Ok((x - 0.33).abs())).unwrap();
         assert!((result.design - 0.3).abs() < 0.11);
         assert_eq!(result.evaluations, 11);
@@ -214,10 +240,13 @@ mod tests {
 
     #[test]
     fn validates_range() {
-        assert!(minimize_worst_case(1.0, 1.0, &RobustOptions::default(), |x| Ok(x)).is_err());
-        assert!(minimize_worst_case(f64::NAN, 1.0, &RobustOptions::default(), |x| Ok(x)).is_err());
-        let bad = RobustOptions { coarse_grid: 0, ..Default::default() };
-        assert!(minimize_worst_case(0.0, 1.0, &bad, |x| Ok(x)).is_err());
+        assert!(minimize_worst_case(1.0, 1.0, &RobustOptions::default(), Ok).is_err());
+        assert!(minimize_worst_case(f64::NAN, 1.0, &RobustOptions::default(), Ok).is_err());
+        let bad = RobustOptions {
+            coarse_grid: 0,
+            ..Default::default()
+        };
+        assert!(minimize_worst_case(0.0, 1.0, &bad, Ok).is_err());
     }
 
     #[test]
@@ -226,8 +255,15 @@ mod tests {
         // between two queues: queue 0 drains at rate w, queue 1 at rate 1 - w.
         // Arrivals are imprecise in [0.5, 1]. The worst-case total backlog at
         // T is minimised near w = 0.5 by symmetry.
-        let pontryagin = PontryaginOptions { grid_intervals: 60, ..Default::default() };
-        let robust = RobustOptions { coarse_grid: 8, design_tolerance: 1e-2, ..Default::default() };
+        let pontryagin = PontryaginOptions {
+            grid_intervals: 60,
+            ..Default::default()
+        };
+        let robust = RobustOptions {
+            coarse_grid: 8,
+            design_tolerance: 1e-2,
+            ..Default::default()
+        };
         let x0 = StateVec::from([0.5, 0.5]);
         let result = robust_design_sweep(
             0.1,
@@ -239,13 +275,21 @@ mod tests {
             &robust,
             |w| {
                 let theta = ParamSpace::single("arrival", 0.5, 1.0)?;
-                Ok(FnDrift::new(2, theta, move |x: &StateVec, th: &[f64], dx: &mut StateVec| {
-                    dx[0] = th[0] - w * x[0];
-                    dx[1] = th[0] - (1.0 - w) * x[1];
-                }))
+                Ok(FnDrift::new(
+                    2,
+                    theta,
+                    move |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                        dx[0] = th[0] - w * x[0];
+                        dx[1] = th[0] - (1.0 - w) * x[1];
+                    },
+                ))
             },
         )
         .unwrap();
-        assert!((result.design - 0.5).abs() < 0.1, "design {}", result.design);
+        assert!(
+            (result.design - 0.5).abs() < 0.1,
+            "design {}",
+            result.design
+        );
     }
 }

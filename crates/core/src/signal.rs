@@ -63,12 +63,19 @@ impl PiecewiseSignal {
     /// Panics if `values.len() != breakpoints.len() + 1` or the breakpoints
     /// are not strictly increasing.
     pub fn new(breakpoints: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
-        assert_eq!(values.len(), breakpoints.len() + 1, "need one more value than breakpoints");
+        assert_eq!(
+            values.len(),
+            breakpoints.len() + 1,
+            "need one more value than breakpoints"
+        );
         assert!(
             breakpoints.windows(2).all(|w| w[0] < w[1]),
             "breakpoints must be strictly increasing"
         );
-        PiecewiseSignal { breakpoints, values }
+        PiecewiseSignal {
+            breakpoints,
+            values,
+        }
     }
 }
 
@@ -165,7 +172,11 @@ mod tests {
         let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
         let gs = GridSignal::new(
             grid,
-            vec![StateVec::from([1.0]), StateVec::from([2.0]), StateVec::from([3.0])],
+            vec![
+                StateVec::from([1.0]),
+                StateVec::from([2.0]),
+                StateVec::from([3.0]),
+            ],
         )
         .unwrap();
         let s = GridParamSignal::new(gs);

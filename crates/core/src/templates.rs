@@ -126,10 +126,15 @@ pub fn reachable_polygon_2d<D: ImpreciseDrift>(
     options: &TemplateOptions,
 ) -> Result<ReachablePolygon> {
     if drift.dim() != 2 {
-        return Err(CoreError::UnsupportedDimension { required: 2, found: drift.dim() });
+        return Err(CoreError::UnsupportedDimension {
+            required: 2,
+            found: drift.dim(),
+        });
     }
     if options.directions < 3 {
-        return Err(CoreError::invalid_input("at least three template directions are required"));
+        return Err(CoreError::invalid_input(
+            "at least three template directions are required",
+        ));
     }
     let solver = PontryaginSolver::new(options.pontryagin);
 
@@ -163,7 +168,10 @@ pub fn reachable_polygon_2d<D: ImpreciseDrift>(
     let polygon = convex_hull(&vertices).or_else(|_| {
         // Degenerate reachable set (e.g. a precise model): fall back to a tiny
         // triangle around the unique reachable point so the polygon stays valid.
-        let centre = vertices.first().copied().unwrap_or(Point2::new(x0[0], x0[1]));
+        let centre = vertices
+            .first()
+            .copied()
+            .unwrap_or(Point2::new(x0[0], x0[1]));
         let eps = 1e-9;
         Polygon::new(vec![
             Point2::new(centre.x - eps, centre.y - eps),
@@ -173,7 +181,12 @@ pub fn reachable_polygon_2d<D: ImpreciseDrift>(
         .map_err(CoreError::from)
     })?;
 
-    Ok(ReachablePolygon { horizon, directions, support, polygon })
+    Ok(ReachablePolygon {
+        horizon,
+        directions,
+        support,
+        polygon,
+    })
 }
 
 #[cfg(test)]
@@ -196,7 +209,11 @@ mod tests {
     fn fast_options(directions: usize) -> TemplateOptions {
         TemplateOptions {
             directions,
-            pontryagin: PontryaginOptions { grid_intervals: 80, multi_start: true, ..Default::default() },
+            pontryagin: PontryaginOptions {
+                grid_intervals: 80,
+                multi_start: true,
+                ..Default::default()
+            },
         }
     }
 
@@ -211,7 +228,9 @@ mod tests {
 
         let inclusion = DifferentialInclusion::new(&drift);
         for theta in [0.5, 1.0, 1.5] {
-            let end = inclusion.solve_constant(&[theta], x0.clone(), horizon).unwrap();
+            let end = inclusion
+                .solve_constant(&[theta], x0.clone(), horizon)
+                .unwrap();
             assert!(
                 reachable.contains_state(end.last_state()),
                 "constant ϑ = {theta} escapes the template polygon"
@@ -221,7 +240,9 @@ mod tests {
         // boundary of the reachable set: containment holds up to the support
         // accuracy, which is limited by the sweep's time-grid resolution.
         let signal = PiecewiseSignal::new(vec![0.7], vec![vec![1.5], vec![0.5]]);
-        let end = inclusion.solve_fixed_step(&signal, x0, horizon, 1e-3).unwrap();
+        let end = inclusion
+            .solve_fixed_step(&signal, x0, horizon, 1e-3)
+            .unwrap();
         assert!(reachable.contains_state_within(end.last_state(), 5e-3));
     }
 
@@ -240,7 +261,10 @@ mod tests {
         let x0 = StateVec::from([1.0, 0.0]);
         let horizon = 1.0;
         let reachable = reachable_polygon_2d(&drift, &x0, horizon, &fast_options(16)).unwrap();
-        let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 80, ..Default::default() });
+        let solver = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 80,
+            ..Default::default()
+        });
         let (lo, hi) = solver.coordinate_extremes(&drift, &x0, horizon, 0).unwrap();
         let (bb_lo, bb_hi) = reachable.bounding_box();
         // with 16 directions the axis-aligned supports are included, so the
@@ -255,7 +279,11 @@ mod tests {
         let x0 = StateVec::from([1.0, 0.0]);
         assert!(reachable_polygon_2d(&drift, &x0, 1.0, &fast_options(2)).is_err());
         let params = ParamSpace::single("theta", 0.0, 1.0).unwrap();
-        let one_d = FnDrift::new(1, params, |_x: &StateVec, _th: &[f64], dx: &mut StateVec| dx[0] = 0.0);
+        let one_d = FnDrift::new(
+            1,
+            params,
+            |_x: &StateVec, _th: &[f64], dx: &mut StateVec| dx[0] = 0.0,
+        );
         assert!(matches!(
             reachable_polygon_2d(&one_d, &StateVec::from([0.0]), 1.0, &fast_options(8)),
             Err(CoreError::UnsupportedDimension { .. })

@@ -100,7 +100,11 @@ pub struct UncertainAnalysis {
 
 impl Default for UncertainAnalysis {
     fn default() -> Self {
-        UncertainAnalysis { grid_per_axis: 20, time_intervals: 100, step: 1e-3 }
+        UncertainAnalysis {
+            grid_per_axis: 20,
+            time_intervals: 100,
+            step: 1e-3,
+        }
     }
 }
 
@@ -119,10 +123,14 @@ impl UncertainAnalysis {
         t_end: f64,
     ) -> Result<Envelope> {
         if x0.dim() != drift.dim() {
-            return Err(CoreError::invalid_input("initial condition dimension mismatch"));
+            return Err(CoreError::invalid_input(
+                "initial condition dimension mismatch",
+            ));
         }
-        if !(t_end > 0.0) || !t_end.is_finite() {
-            return Err(CoreError::invalid_input("time horizon must be positive and finite"));
+        if t_end <= 0.0 || !t_end.is_finite() {
+            return Err(CoreError::invalid_input(
+                "time horizon must be positive and finite",
+            ));
         }
         let times: Vec<f64> = (0..=self.time_intervals)
             .map(|k| t_end * k as f64 / self.time_intervals as f64)
@@ -145,7 +153,11 @@ impl UncertainAnalysis {
                 }
             }
         }
-        Ok(Envelope { times, lower, upper })
+        Ok(Envelope {
+            times,
+            lower,
+            upper,
+        })
     }
 
     /// Computes the fixed point of the mean-field ODE for every parameter on
@@ -200,20 +212,30 @@ mod tests {
 
     fn decay_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("rate", 1.0, 2.0).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = -th[0] * x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = -th[0] * x[0]
+        })
     }
 
     /// Logistic-style drift whose fixed point depends on ϑ: ẋ = ϑ - x.
     fn affine_drift() -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let theta = ParamSpace::single("target", 0.25, 0.75).unwrap();
-        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = th[0] - x[0])
+        FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] - x[0]
+        })
     }
 
     #[test]
     fn envelope_brackets_the_extreme_exponentials() {
         let drift = decay_drift();
-        let analysis = UncertainAnalysis { grid_per_axis: 8, time_intervals: 20, step: 1e-3 };
-        let envelope = analysis.envelope(&drift, &StateVec::from([1.0]), 1.0).unwrap();
+        let analysis = UncertainAnalysis {
+            grid_per_axis: 8,
+            time_intervals: 20,
+            step: 1e-3,
+        };
+        let envelope = analysis
+            .envelope(&drift, &StateVec::from([1.0]), 1.0)
+            .unwrap();
         assert_eq!(envelope.times().len(), 21);
         let k = 20; // t = 1
         assert!((envelope.lower()[k][0] - (-2.0f64).exp()).abs() < 1e-4);
@@ -233,8 +255,14 @@ mod tests {
         let drift = FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
             dx[0] = -th[0] * x[0];
         });
-        let analysis = UncertainAnalysis { grid_per_axis: 4, time_intervals: 10, step: 1e-3 };
-        let envelope = analysis.envelope(&drift, &StateVec::from([1.0]), 1.0).unwrap();
+        let analysis = UncertainAnalysis {
+            grid_per_axis: 4,
+            time_intervals: 10,
+            step: 1e-3,
+        };
+        let envelope = analysis
+            .envelope(&drift, &StateVec::from([1.0]), 1.0)
+            .unwrap();
         for k in 0..envelope.times().len() {
             assert!(envelope.width(k, 0) < 1e-12);
         }
@@ -244,15 +272,25 @@ mod tests {
     fn envelope_validates_inputs() {
         let drift = decay_drift();
         let analysis = UncertainAnalysis::default();
-        assert!(analysis.envelope(&drift, &StateVec::from([1.0, 2.0]), 1.0).is_err());
-        assert!(analysis.envelope(&drift, &StateVec::from([1.0]), -1.0).is_err());
+        assert!(analysis
+            .envelope(&drift, &StateVec::from([1.0, 2.0]), 1.0)
+            .is_err());
+        assert!(analysis
+            .envelope(&drift, &StateVec::from([1.0]), -1.0)
+            .is_err());
     }
 
     #[test]
     fn fixed_points_trace_the_parameter_dependence() {
         let drift = affine_drift();
-        let analysis = UncertainAnalysis { grid_per_axis: 4, time_intervals: 10, step: 1e-2 };
-        let fps = analysis.fixed_points(&drift, &StateVec::from([0.0])).unwrap();
+        let analysis = UncertainAnalysis {
+            grid_per_axis: 4,
+            time_intervals: 10,
+            step: 1e-2,
+        };
+        let fps = analysis
+            .fixed_points(&drift, &StateVec::from([0.0]))
+            .unwrap();
         assert_eq!(fps.len(), 5);
         for fp in &fps {
             assert!((fp.state[0] - fp.theta[0]).abs() < 1e-5, "{fp:?}");
@@ -263,6 +301,8 @@ mod tests {
     fn fixed_points_validate_seed() {
         let drift = affine_drift();
         let analysis = UncertainAnalysis::default();
-        assert!(analysis.fixed_points(&drift, &StateVec::from([0.0, 0.0])).is_err());
+        assert!(analysis
+            .fixed_points(&drift, &StateVec::from([0.0, 0.0]))
+            .is_err());
     }
 }

@@ -15,12 +15,21 @@ use proptest::prelude::*;
 /// A random two-dimensional drift, affine in the parameter and globally
 /// contractive in the state (so trajectories stay bounded):
 /// `ẋ0 = θ (x1 - x0) + c0 - x0`, `ẋ1 = c1 - x1 + 0.5 θ x0`.
-fn coupled_drift(c0: f64, c1: f64, lo: f64, hi: f64) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+fn coupled_drift(
+    c0: f64,
+    c1: f64,
+    lo: f64,
+    hi: f64,
+) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
     let params = ParamSpace::new(vec![("theta", Interval::new(lo, hi).unwrap())]).unwrap();
-    FnDrift::new(2, params, move |x: &StateVec, th: &[f64], dx: &mut StateVec| {
-        dx[0] = th[0] * (x[1] - x[0]) + c0 - x[0];
-        dx[1] = c1 - x[1] + 0.5 * th[0] * x[0];
-    })
+    FnDrift::new(
+        2,
+        params,
+        move |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] * (x[1] - x[0]) + c0 - x[0];
+            dx[1] = c1 - x[1] + 0.5 * th[0] * x[0];
+        },
+    )
 }
 
 proptest! {

@@ -42,12 +42,16 @@ pub enum CtmcError {
 impl CtmcError {
     /// Creates an [`CtmcError::InvalidParameter`] from anything printable.
     pub fn invalid_parameter(message: impl Into<String>) -> Self {
-        CtmcError::InvalidParameter { message: message.into() }
+        CtmcError::InvalidParameter {
+            message: message.into(),
+        }
     }
 
     /// Creates an [`CtmcError::InvalidModel`] from anything printable.
     pub fn invalid_model(message: impl Into<String>) -> Self {
-        CtmcError::InvalidModel { message: message.into() }
+        CtmcError::InvalidModel {
+            message: message.into(),
+        }
     }
 }
 
@@ -60,10 +64,16 @@ impl fmt::Display for CtmcError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             CtmcError::InvalidRate { transition, rate } => {
-                write!(f, "transition '{transition}' produced an invalid rate {rate}")
+                write!(
+                    f,
+                    "transition '{transition}' produced an invalid rate {rate}"
+                )
             }
             CtmcError::StateSpaceTooLarge { limit } => {
-                write!(f, "state-space expansion exceeded the limit of {limit} states")
+                write!(
+                    f,
+                    "state-space expansion exceeded the limit of {limit} states"
+                )
             }
             CtmcError::Numerical(err) => write!(f, "numerical error: {err}"),
         }
@@ -91,11 +101,21 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CtmcError::invalid_parameter("bad box").to_string().contains("bad box"));
-        assert!(CtmcError::invalid_model("no transitions").to_string().contains("no transitions"));
-        let err = CtmcError::DimensionMismatch { expected: 2, found: 3 };
+        assert!(CtmcError::invalid_parameter("bad box")
+            .to_string()
+            .contains("bad box"));
+        assert!(CtmcError::invalid_model("no transitions")
+            .to_string()
+            .contains("no transitions"));
+        let err = CtmcError::DimensionMismatch {
+            expected: 2,
+            found: 3,
+        };
         assert!(err.to_string().contains("expected 2"));
-        let err = CtmcError::InvalidRate { transition: "infect".into(), rate: -1.0 };
+        let err = CtmcError::InvalidRate {
+            transition: "infect".into(),
+            rate: -1.0,
+        };
         assert!(err.to_string().contains("infect"));
         let err = CtmcError::StateSpaceTooLarge { limit: 10 };
         assert!(err.to_string().contains("10"));

@@ -28,7 +28,10 @@ pub struct ExpansionOptions {
 
 impl Default for ExpansionOptions {
     fn default() -> Self {
-        ExpansionOptions { max_states: 200_000, rate_cutoff: 1e-12 }
+        ExpansionOptions {
+            max_states: 200_000,
+            rate_cutoff: 1e-12,
+        }
     }
 }
 
@@ -62,7 +65,9 @@ impl FiniteChain {
         options: &ExpansionOptions,
     ) -> Result<Self> {
         if scale == 0 {
-            return Err(CtmcError::invalid_parameter("population scale must be positive"));
+            return Err(CtmcError::invalid_parameter(
+                "population scale must be positive",
+            ));
         }
         if initial_counts.len() != model.dim() {
             return Err(CtmcError::DimensionMismatch {
@@ -121,7 +126,9 @@ impl FiniteChain {
                     Some(&i) => i,
                     None => {
                         if states.len() >= options.max_states {
-                            return Err(CtmcError::StateSpaceTooLarge { limit: options.max_states });
+                            return Err(CtmcError::StateSpaceTooLarge {
+                                limit: options.max_states,
+                            });
                         }
                         let i = states.len();
                         index.insert(target.clone(), i);
@@ -141,7 +148,13 @@ impl FiniteChain {
             }
         }
 
-        Ok(FiniteChain { scale, states, index, generator, initial: 0 })
+        Ok(FiniteChain {
+            scale,
+            states,
+            index,
+            generator,
+            initial: 0,
+        })
     }
 
     /// The population scale `N` used for the expansion.
@@ -180,7 +193,10 @@ impl FiniteChain {
     ///
     /// Panics if `i` is out of range.
     pub fn normalized_state(&self, i: usize) -> StateVec {
-        self.states[i].iter().map(|&c| c as f64 / self.scale as f64).collect()
+        self.states[i]
+            .iter()
+            .map(|&c| c as f64 / self.scale as f64)
+            .collect()
     }
 
     /// The Dirac initial distribution concentrated on the expansion's seed state.
@@ -197,7 +213,10 @@ impl FiniteChain {
     /// Returns an error if the distribution length does not match the chain.
     pub fn mean_normalized(&self, distribution: &[f64]) -> Result<StateVec> {
         if distribution.len() != self.len() {
-            return Err(CtmcError::DimensionMismatch { expected: self.len(), found: distribution.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.len(),
+                found: distribution.len(),
+            });
         }
         let dim = self.states[0].len();
         let mut mean = StateVec::zeros(dim);
@@ -226,20 +245,28 @@ mod tests {
         .unwrap();
         PopulationModel::builder(1, params)
             .variable_names(vec!["bikes"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] > 0.0 {
-                    th[0]
-                } else {
-                    0.0
-                }
-            }))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] < 1.0 {
-                    th[1]
-                } else {
-                    0.0
-                }
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] > 0.0 {
+                        th[0]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] < 1.0 {
+                        th[1]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .build()
             .unwrap()
     }
@@ -247,8 +274,8 @@ mod tests {
     #[test]
     fn bike_station_expands_to_birth_death_chain() {
         let model = bike_model();
-        let chain =
-            FiniteChain::expand(&model, 5, &[2], &[1.0, 1.0], &ExpansionOptions::default()).unwrap();
+        let chain = FiniteChain::expand(&model, 5, &[2], &[1.0, 1.0], &ExpansionOptions::default())
+            .unwrap();
         // all levels 0..=5 are reachable
         assert_eq!(chain.len(), 6);
         assert_eq!(chain.scale(), 5);
@@ -256,7 +283,10 @@ mod tests {
         assert!(chain.index_of(&[5]).is_some());
         assert!(chain.index_of(&[6]).is_none());
         // symmetric rates => uniform stationary distribution
-        let pi = chain.generator().stationary_distribution(1e-12, 1_000_000).unwrap();
+        let pi = chain
+            .generator()
+            .stationary_distribution(1e-12, 1_000_000)
+            .unwrap();
         for &p in &pi {
             assert!((p - 1.0 / 6.0).abs() < 1e-8, "{pi:?}");
         }
@@ -266,9 +296,12 @@ mod tests {
     fn asymmetric_rates_give_geometric_occupancy() {
         let model = bike_model();
         // arrivals (pickups) twice as fast as returns => station drains
-        let chain =
-            FiniteChain::expand(&model, 4, &[2], &[2.0, 1.0], &ExpansionOptions::default()).unwrap();
-        let pi = chain.generator().stationary_distribution(1e-13, 1_000_000).unwrap();
+        let chain = FiniteChain::expand(&model, 4, &[2], &[2.0, 1.0], &ExpansionOptions::default())
+            .unwrap();
+        let pi = chain
+            .generator()
+            .stationary_distribution(1e-13, 1_000_000)
+            .unwrap();
         // birth-death chain with down-rate 2 and up-rate 1: π_k ∝ (1/2)^k
         let idx0 = chain.index_of(&[0]).unwrap();
         let idx1 = chain.index_of(&[1]).unwrap();
@@ -279,8 +312,8 @@ mod tests {
     #[test]
     fn mean_normalized_matches_hand_computation() {
         let model = bike_model();
-        let chain =
-            FiniteChain::expand(&model, 2, &[1], &[1.0, 1.0], &ExpansionOptions::default()).unwrap();
+        let chain = FiniteChain::expand(&model, 2, &[1], &[1.0, 1.0], &ExpansionOptions::default())
+            .unwrap();
         assert_eq!(chain.len(), 3);
         let uniform = vec![1.0 / 3.0; 3];
         let mean = chain.mean_normalized(&uniform).unwrap();
@@ -292,8 +325,8 @@ mod tests {
     #[test]
     fn initial_distribution_is_dirac() {
         let model = bike_model();
-        let chain =
-            FiniteChain::expand(&model, 3, &[1], &[1.0, 1.0], &ExpansionOptions::default()).unwrap();
+        let chain = FiniteChain::expand(&model, 3, &[1], &[1.0, 1.0], &ExpansionOptions::default())
+            .unwrap();
         let p0 = chain.initial_distribution();
         assert_eq!(p0.iter().filter(|&&v| v > 0.0).count(), 1);
         assert_eq!(p0[chain.index_of(&[1]).unwrap()], 1.0);
@@ -302,7 +335,10 @@ mod tests {
     #[test]
     fn expansion_respects_state_limit() {
         let model = bike_model();
-        let options = ExpansionOptions { max_states: 3, ..Default::default() };
+        let options = ExpansionOptions {
+            max_states: 3,
+            ..Default::default()
+        };
         let res = FiniteChain::expand(&model, 100, &[50], &[1.0, 1.0], &options);
         assert!(matches!(res, Err(CtmcError::StateSpaceTooLarge { .. })));
     }
@@ -319,8 +355,8 @@ mod tests {
     #[test]
     fn normalized_state_divides_by_scale() {
         let model = bike_model();
-        let chain =
-            FiniteChain::expand(&model, 4, &[2], &[1.0, 1.0], &ExpansionOptions::default()).unwrap();
+        let chain = FiniteChain::expand(&model, 4, &[2], &[1.0, 1.0], &ExpansionOptions::default())
+            .unwrap();
         let idx = chain.index_of(&[3]).unwrap();
         assert!((chain.normalized_state(idx)[0] - 0.75).abs() < 1e-12);
     }

@@ -48,7 +48,10 @@ impl GeneratorMatrix {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a CTMC needs at least one state");
-        GeneratorMatrix { n, rates: vec![0.0; n * n] }
+        GeneratorMatrix {
+            n,
+            rates: vec![0.0; n * n],
+        }
     }
 
     /// Number of states.
@@ -69,13 +72,21 @@ impl GeneratorMatrix {
     /// is negative or non-finite.
     pub fn set_rate(&mut self, from: usize, to: usize, rate: f64) -> Result<()> {
         if from >= self.n || to >= self.n {
-            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: from.max(to) + 1,
+            });
         }
         if from == to {
-            return Err(CtmcError::invalid_model("cannot set a diagonal rate directly"));
+            return Err(CtmcError::invalid_model(
+                "cannot set a diagonal rate directly",
+            ));
         }
         if !rate.is_finite() || rate < 0.0 {
-            return Err(CtmcError::InvalidRate { transition: format!("{from}->{to}"), rate });
+            return Err(CtmcError::InvalidRate {
+                transition: format!("{from}->{to}"),
+                rate,
+            });
         }
         let old = self.rates[from * self.n + to];
         self.rates[from * self.n + to] = rate;
@@ -92,10 +103,15 @@ impl GeneratorMatrix {
     /// Same conditions as [`GeneratorMatrix::set_rate`].
     pub fn add_rate(&mut self, from: usize, to: usize, rate: f64) -> Result<()> {
         if from >= self.n || to >= self.n {
-            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: from.max(to) + 1,
+            });
         }
         if from == to {
-            return Err(CtmcError::invalid_model("cannot add to a diagonal rate directly"));
+            return Err(CtmcError::invalid_model(
+                "cannot add to a diagonal rate directly",
+            ));
         }
         let current = self.rates[from * self.n + to];
         self.set_rate(from, to, current + rate)
@@ -133,14 +149,14 @@ impl GeneratorMatrix {
             if pi == 0.0 {
                 continue;
             }
-            for j in 0..self.n {
+            for (j, slot) in out.iter_mut().enumerate() {
                 let entry = if i == j {
                     1.0 + self.rates[i * self.n + j] / lambda
                 } else {
                     self.rates[i * self.n + j] / lambda
                 };
                 if entry != 0.0 {
-                    out[j] += pi * entry;
+                    *slot += pi * entry;
                 }
             }
         }
@@ -157,10 +173,17 @@ impl GeneratorMatrix {
     /// Returns an error if `initial` is not a probability distribution over
     /// the chain's states, or `t` is negative/non-finite, or `tolerance` is
     /// not in `(0, 1)`.
-    pub fn transient_distribution(&self, initial: &[f64], t: f64, tolerance: f64) -> Result<Vec<f64>> {
+    pub fn transient_distribution(
+        &self,
+        initial: &[f64],
+        t: f64,
+        tolerance: f64,
+    ) -> Result<Vec<f64>> {
         self.check_distribution(initial)?;
         if !t.is_finite() || t < 0.0 {
-            return Err(CtmcError::invalid_parameter("time horizon must be finite and non-negative"));
+            return Err(CtmcError::invalid_parameter(
+                "time horizon must be finite and non-negative",
+            ));
         }
         if !(tolerance > 0.0 && tolerance < 1.0) {
             return Err(CtmcError::invalid_parameter("tolerance must lie in (0, 1)"));
@@ -218,8 +241,12 @@ impl GeneratorMatrix {
     /// `max_iterations` (e.g. for periodic or reducible chains the
     /// uniformized DTMC still converges because of the self-loop, so failure
     /// here usually means `max_iterations` is too small).
-    pub fn stationary_distribution(&self, tolerance: f64, max_iterations: usize) -> Result<Vec<f64>> {
-        if !(tolerance > 0.0) {
+    pub fn stationary_distribution(
+        &self,
+        tolerance: f64,
+        max_iterations: usize,
+    ) -> Result<Vec<f64>> {
+        if tolerance.is_nan() || tolerance <= 0.0 {
             return Err(CtmcError::invalid_parameter("tolerance must be positive"));
         }
         let lambda = self.uniformization_rate();
@@ -265,15 +292,24 @@ impl GeneratorMatrix {
                 found: distribution.len().min(reward.len()),
             });
         }
-        Ok(distribution.iter().zip(reward.iter()).map(|(p, r)| p * r).sum())
+        Ok(distribution
+            .iter()
+            .zip(reward.iter())
+            .map(|(p, r)| p * r)
+            .sum())
     }
 
     fn check_distribution(&self, p: &[f64]) -> Result<()> {
         if p.len() != self.n {
-            return Err(CtmcError::DimensionMismatch { expected: self.n, found: p.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: p.len(),
+            });
         }
         if p.iter().any(|&v| v < -1e-12 || !v.is_finite()) {
-            return Err(CtmcError::invalid_parameter("distribution has negative or non-finite entries"));
+            return Err(CtmcError::invalid_parameter(
+                "distribution has negative or non-finite entries",
+            ));
         }
         let total: f64 = p.iter().sum();
         if (total - 1.0).abs() > 1e-6 {
@@ -340,7 +376,10 @@ mod tests {
         for &t in &[0.1, 0.5, 1.0, 3.0] {
             let p = q.transient_distribution(&[1.0, 0.0], t, 1e-10).unwrap();
             let expected = a / (a + b) * (1.0 - (-(a + b) * t).exp());
-            assert!((p[1] - expected).abs() < 1e-8, "t = {t}: {p:?} vs {expected}");
+            assert!(
+                (p[1] - expected).abs() < 1e-8,
+                "t = {t}: {p:?} vs {expected}"
+            );
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }
@@ -371,9 +410,9 @@ mod tests {
         let q = mm1k(lambda, mu, k);
         let pi = q.stationary_distribution(1e-13, 1_000_000).unwrap();
         let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
-        for i in 0..=k {
+        for (i, &p) in pi.iter().enumerate() {
             let expected = rho.powi(i as i32) / norm;
-            assert!((pi[i] - expected).abs() < 1e-8, "state {i}: {} vs {expected}", pi[i]);
+            assert!((p - expected).abs() < 1e-8, "state {i}: {p} vs {expected}");
         }
     }
 
@@ -389,7 +428,9 @@ mod tests {
     #[test]
     fn zero_generator_is_absorbing() {
         let q = GeneratorMatrix::new(3);
-        let p = q.transient_distribution(&[0.2, 0.3, 0.5], 10.0, 1e-9).unwrap();
+        let p = q
+            .transient_distribution(&[0.2, 0.3, 0.5], 10.0, 1e-9)
+            .unwrap();
         assert_eq!(p, vec![0.2, 0.3, 0.5]);
         let pi = q.stationary_distribution(1e-9, 100).unwrap();
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);

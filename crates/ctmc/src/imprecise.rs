@@ -51,7 +51,11 @@ impl IntervalGenerator {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "an imprecise CTMC needs at least one state");
-        IntervalGenerator { n, lo: vec![0.0; n * n], hi: vec![0.0; n * n] }
+        IntervalGenerator {
+            n,
+            lo: vec![0.0; n * n],
+            hi: vec![0.0; n * n],
+        }
     }
 
     /// Number of states.
@@ -72,10 +76,15 @@ impl IntervalGenerator {
     /// the bounds are not `0 ≤ lo ≤ hi < ∞`.
     pub fn set_rate_bounds(&mut self, from: usize, to: usize, lo: f64, hi: f64) -> Result<()> {
         if from >= self.n || to >= self.n {
-            return Err(CtmcError::DimensionMismatch { expected: self.n, found: from.max(to) + 1 });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: from.max(to) + 1,
+            });
         }
         if from == to {
-            return Err(CtmcError::invalid_model("cannot bound a diagonal rate directly"));
+            return Err(CtmcError::invalid_model(
+                "cannot bound a diagonal rate directly",
+            ));
         }
         if !(lo.is_finite() && hi.is_finite()) || lo < 0.0 || lo > hi {
             return Err(CtmcError::invalid_parameter(format!(
@@ -134,7 +143,8 @@ impl IntervalGenerator {
                 if i != j {
                     let mid = 0.5 * (self.rate_lo(i, j) + self.rate_hi(i, j));
                     if mid > 0.0 {
-                        q.set_rate(i, j, mid).expect("validated bounds produce valid rates");
+                        q.set_rate(i, j, mid)
+                            .expect("validated bounds produce valid rates");
                     }
                 }
             }
@@ -156,16 +166,28 @@ impl IntervalGenerator {
     ///
     /// Returns an error if `initial` is not a distribution over the chain's
     /// states, or `t`/`step` are not positive and finite.
-    pub fn transient_bounds(&self, initial: &[f64], t: f64, step: f64) -> Result<(Vec<f64>, Vec<f64>)> {
+    pub fn transient_bounds(
+        &self,
+        initial: &[f64],
+        t: f64,
+        step: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
         if initial.len() != self.n {
-            return Err(CtmcError::DimensionMismatch { expected: self.n, found: initial.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.n,
+                found: initial.len(),
+            });
         }
         let total: f64 = initial.iter().sum();
         if initial.iter().any(|&p| p < 0.0 || !p.is_finite()) || (total - 1.0).abs() > 1e-6 {
-            return Err(CtmcError::invalid_parameter("initial distribution is not a probability vector"));
+            return Err(CtmcError::invalid_parameter(
+                "initial distribution is not a probability vector",
+            ));
         }
-        if !(t >= 0.0 && t.is_finite()) || !(step > 0.0 && step.is_finite()) {
-            return Err(CtmcError::invalid_parameter("horizon and step must be positive and finite"));
+        if t < 0.0 || !t.is_finite() || step <= 0.0 || !step.is_finite() {
+            return Err(CtmcError::invalid_parameter(
+                "horizon and step must be positive and finite",
+            ));
         }
 
         let mut lower = initial.to_vec();
@@ -178,10 +200,20 @@ impl IntervalGenerator {
 
         // Pre-compute worst-case exit rates per state.
         let max_exit: Vec<f64> = (0..self.n)
-            .map(|i| (0..self.n).filter(|&j| j != i).map(|j| self.rate_hi(i, j)).sum())
+            .map(|i| {
+                (0..self.n)
+                    .filter(|&j| j != i)
+                    .map(|j| self.rate_hi(i, j))
+                    .sum()
+            })
             .collect();
         let min_exit: Vec<f64> = (0..self.n)
-            .map(|i| (0..self.n).filter(|&j| j != i).map(|j| self.rate_lo(i, j)).sum())
+            .map(|i| {
+                (0..self.n)
+                    .filter(|&j| j != i)
+                    .map(|j| self.rate_lo(i, j))
+                    .sum()
+            })
             .collect();
 
         let mut d_lower = vec![0.0; self.n];

@@ -27,7 +27,9 @@ impl Interval {
     /// Returns an error if the bounds are not finite or `lo > hi`.
     pub fn new(lo: f64, hi: f64) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() {
-            return Err(CtmcError::invalid_parameter("interval bounds must be finite"));
+            return Err(CtmcError::invalid_parameter(
+                "interval bounds must be finite",
+            ));
         }
         if lo > hi {
             return Err(CtmcError::invalid_parameter(format!(
@@ -87,7 +89,9 @@ impl Interval {
         if self.is_point() || n == 0 {
             return vec![self.lo];
         }
-        (0..=n).map(|k| self.lo + self.width() * (k as f64) / (n as f64)).collect()
+        (0..=n)
+            .map(|k| self.lo + self.width() * (k as f64) / (n as f64))
+            .collect()
     }
 }
 
@@ -121,14 +125,18 @@ impl ParamSpace {
     /// Returns an error if no parameters are given or names are duplicated.
     pub fn new<S: Into<String>>(params: Vec<(S, Interval)>) -> Result<Self> {
         if params.is_empty() {
-            return Err(CtmcError::invalid_parameter("parameter space must have at least one parameter"));
+            return Err(CtmcError::invalid_parameter(
+                "parameter space must have at least one parameter",
+            ));
         }
         let mut names = Vec::with_capacity(params.len());
         let mut intervals = Vec::with_capacity(params.len());
         for (name, interval) in params {
             let name = name.into();
             if names.contains(&name) {
-                return Err(CtmcError::invalid_parameter(format!("duplicate parameter name '{name}'")));
+                return Err(CtmcError::invalid_parameter(format!(
+                    "duplicate parameter name '{name}'"
+                )));
             }
             names.push(name);
             intervals.push(interval);
@@ -188,7 +196,11 @@ impl ParamSpace {
     /// Membership test for a parameter vector.
     pub fn contains(&self, theta: &[f64]) -> bool {
         theta.len() == self.dim()
-            && self.intervals.iter().zip(theta.iter()).all(|(i, v)| i.contains(*v))
+            && self
+                .intervals
+                .iter()
+                .zip(theta.iter())
+                .all(|(i, v)| i.contains(*v))
     }
 
     /// Clamps a parameter vector into the box.
@@ -198,9 +210,17 @@ impl ParamSpace {
     /// Returns an error if `theta` has the wrong dimension.
     pub fn clamp(&self, theta: &[f64]) -> Result<Vec<f64>> {
         if theta.len() != self.dim() {
-            return Err(CtmcError::DimensionMismatch { expected: self.dim(), found: theta.len() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.dim(),
+                found: theta.len(),
+            });
         }
-        Ok(self.intervals.iter().zip(theta.iter()).map(|(i, v)| i.clamp(*v)).collect())
+        Ok(self
+            .intervals
+            .iter()
+            .zip(theta.iter())
+            .map(|(i, v)| i.clamp(*v))
+            .collect())
     }
 
     /// Enumerates the vertices of the box.
@@ -211,8 +231,9 @@ impl ParamSpace {
     /// model in the paper — optimisation of a linear functional of the drift
     /// over `Θ` is attained at one of these vertices.
     pub fn vertices(&self) -> Vec<Vec<f64>> {
-        let free: Vec<usize> =
-            (0..self.dim()).filter(|&i| !self.intervals[i].is_point()).collect();
+        let free: Vec<usize> = (0..self.dim())
+            .filter(|&i| !self.intervals[i].is_point())
+            .collect();
         let count = 1usize << free.len();
         let mut out = Vec::with_capacity(count);
         for mask in 0..count {
@@ -225,9 +246,9 @@ impl ParamSpace {
                 };
             }
             // point intervals stay at their midpoint == exact value
-            for i in 0..self.dim() {
-                if self.intervals[i].is_point() {
-                    v[i] = self.intervals[i].lo();
+            for (value, interval) in v.iter_mut().zip(self.intervals.iter()) {
+                if interval.is_point() {
+                    *value = interval.lo();
                 }
             }
             out.push(v);
@@ -240,7 +261,11 @@ impl ParamSpace {
     ///
     /// Used by the uncertain-scenario parameter sweeps of Corollary 1.
     pub fn grid(&self, per_axis: usize) -> Vec<Vec<f64>> {
-        let axes: Vec<Vec<f64>> = self.intervals.iter().map(|i| i.linspace(per_axis)).collect();
+        let axes: Vec<Vec<f64>> = self
+            .intervals
+            .iter()
+            .map(|i| i.linspace(per_axis))
+            .collect();
         let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(self.dim())];
         for axis in axes {
             let mut next = Vec::with_capacity(out.len() * axis.len());
@@ -322,7 +347,10 @@ mod tests {
     fn param_space_basics() {
         let theta = sir_theta();
         assert_eq!(theta.dim(), 2);
-        assert_eq!(theta.names(), &["contact".to_string(), "recovery".to_string()]);
+        assert_eq!(
+            theta.names(),
+            &["contact".to_string(), "recovery".to_string()]
+        );
         assert_eq!(theta.index_of("recovery"), Some(1));
         assert_eq!(theta.index_of("missing"), None);
         assert_eq!(theta.lower(), vec![1.0, 5.0]);

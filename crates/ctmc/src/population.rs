@@ -78,7 +78,9 @@ impl PopulationModelBuilder {
     /// the dimension.
     pub fn build(self) -> Result<PopulationModel> {
         if self.transitions.is_empty() {
-            return Err(CtmcError::invalid_model("a population model needs at least one transition"));
+            return Err(CtmcError::invalid_model(
+                "a population model needs at least one transition",
+            ));
         }
         if self.names.len() != self.dim {
             return Err(CtmcError::invalid_model(format!(
@@ -89,7 +91,10 @@ impl PopulationModelBuilder {
         }
         for t in &self.transitions {
             if t.dim() != self.dim {
-                return Err(CtmcError::DimensionMismatch { expected: self.dim, found: t.dim() });
+                return Err(CtmcError::DimensionMismatch {
+                    expected: self.dim,
+                    found: t.dim(),
+                });
             }
         }
         Ok(PopulationModel {
@@ -145,7 +150,10 @@ impl PopulationModel {
         for t in &self.transitions {
             let r = t.rate(x, theta);
             if !r.is_finite() || r < 0.0 {
-                return Err(CtmcError::InvalidRate { transition: t.name().to_string(), rate: r });
+                return Err(CtmcError::InvalidRate {
+                    transition: t.name().to_string(),
+                    rate: r,
+                });
             }
             acc.add_scaled(r, t.change());
         }
@@ -175,7 +183,10 @@ impl PopulationModel {
         for t in &self.transitions {
             let r = t.rate(x, theta);
             if !r.is_finite() || r < 0.0 {
-                return Err(CtmcError::InvalidRate { transition: t.name().to_string(), rate: r });
+                return Err(CtmcError::InvalidRate {
+                    transition: t.name().to_string(),
+                    rate: r,
+                });
             }
             total += r;
         }
@@ -219,7 +230,10 @@ impl PopulationModel {
 
     fn check_dims(&self, x: &StateVec, theta: &[f64]) -> Result<()> {
         if x.dim() != self.dim {
-            return Err(CtmcError::DimensionMismatch { expected: self.dim, found: x.dim() });
+            return Err(CtmcError::DimensionMismatch {
+                expected: self.dim,
+                found: x.dim(),
+            });
         }
         if theta.len() != self.params.dim() {
             return Err(CtmcError::DimensionMismatch {
@@ -272,15 +286,21 @@ mod tests {
         let params = ParamSpace::new(vec![("contact", Interval::new(1.0, 10.0).unwrap())]).unwrap();
         PopulationModel::builder(3, params)
             .variable_names(vec!["S", "I", "R"])
-            .transition(TransitionClass::new("infect", [-1.0, 1.0, 0.0], move |x: &StateVec, th: &[f64]| {
-                a * x[0] + th[0] * x[0] * x[1]
-            }))
-            .transition(TransitionClass::new("recover", [0.0, -1.0, 1.0], move |x: &StateVec, _| {
-                b * x[1]
-            }))
-            .transition(TransitionClass::new("lose_immunity", [1.0, 0.0, -1.0], move |x: &StateVec, _| {
-                c * x[2]
-            }))
+            .transition(TransitionClass::new(
+                "infect",
+                [-1.0, 1.0, 0.0],
+                move |x: &StateVec, th: &[f64]| a * x[0] + th[0] * x[0] * x[1],
+            ))
+            .transition(TransitionClass::new(
+                "recover",
+                [0.0, -1.0, 1.0],
+                move |x: &StateVec, _| b * x[1],
+            ))
+            .transition(TransitionClass::new(
+                "lose_immunity",
+                [1.0, 0.0, -1.0],
+                move |x: &StateVec, _| c * x[2],
+            ))
             .build()
             .unwrap()
     }
@@ -311,14 +331,18 @@ mod tests {
     fn dimension_checks() {
         let model = sir_model();
         assert!(model.drift(&StateVec::from([0.5, 0.5]), &[2.0]).is_err());
-        assert!(model.drift(&StateVec::from([0.5, 0.5, 0.0]), &[2.0, 3.0]).is_err());
+        assert!(model
+            .drift(&StateVec::from([0.5, 0.5, 0.0]), &[2.0, 3.0])
+            .is_err());
     }
 
     #[test]
     fn negative_rate_is_reported_with_transition_name() {
         let params = ParamSpace::single("r", 0.0, 1.0).unwrap();
         let model = PopulationModel::builder(1, params)
-            .transition(TransitionClass::new("bad", [1.0], |x: &StateVec, _| -x[0] - 1.0))
+            .transition(TransitionClass::new("bad", [1.0], |x: &StateVec, _| {
+                -x[0] - 1.0
+            }))
             .build()
             .unwrap();
         let err = model.drift(&StateVec::from([0.0]), &[0.5]).unwrap_err();
@@ -336,12 +360,20 @@ mod tests {
         let params = ParamSpace::single("r", 0.0, 1.0).unwrap();
         assert!(PopulationModel::builder(1, params.clone()).build().is_err());
         let wrong_dim = PopulationModel::builder(2, params.clone())
-            .transition(TransitionClass::new("t", [1.0], |_: &StateVec, _: &[f64]| 1.0))
+            .transition(TransitionClass::new(
+                "t",
+                [1.0],
+                |_: &StateVec, _: &[f64]| 1.0,
+            ))
             .build();
         assert!(wrong_dim.is_err());
         let wrong_names = PopulationModel::builder(1, params)
             .variable_names(vec!["a", "b"])
-            .transition(TransitionClass::new("t", [1.0], |_: &StateVec, _: &[f64]| 1.0))
+            .transition(TransitionClass::new(
+                "t",
+                [1.0],
+                |_: &StateVec, _: &[f64]| 1.0,
+            ))
             .build();
         assert!(wrong_names.is_err());
     }
@@ -358,7 +390,7 @@ mod tests {
         assert!((end.sum() - 1.0).abs() < 1e-6);
         // all coordinates remain in [0, 1]
         for &v in end.as_slice() {
-            assert!(v >= -1e-9 && v <= 1.0 + 1e-9);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v));
         }
     }
 

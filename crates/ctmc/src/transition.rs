@@ -59,7 +59,11 @@ impl TransitionClass {
         C: Into<StateVec>,
         F: Fn(&StateVec, &[f64]) -> f64 + Send + Sync + 'static,
     {
-        TransitionClass { name: name.into(), change: change.into(), rate: Arc::new(rate) }
+        TransitionClass {
+            name: name.into(),
+            change: change.into(),
+            rate: Arc::new(rate),
+        }
     }
 
     /// Name of the transition class (used in diagnostics).

@@ -1,0 +1,142 @@
+//! Typed abstract syntax tree of the model language.
+//!
+//! Every node keeps the [`Span`] it was parsed from so that semantic
+//! validation can point back into the source. The AST is purely syntactic:
+//! identifier resolution (species vs. parameter vs. constant) happens in
+//! [`crate::validate`].
+
+use crate::diagnostics::Span;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+/// A parsed model file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAst {
+    /// The model name from the `model <name>;` header.
+    pub name: Ident,
+    /// `species` declarations, in source order.
+    pub species: Vec<Ident>,
+    /// `param <name> in [lo, hi];` declarations.
+    pub params: Vec<ParamDecl>,
+    /// `const <name> = <expr>;` declarations.
+    pub consts: Vec<ConstDecl>,
+    /// `rule` declarations.
+    pub rules: Vec<RuleDecl>,
+    /// `init` assignments (possibly spread over several `init` statements).
+    pub inits: Vec<InitAssign>,
+}
+
+/// `param <name> in [lo, hi];` — an interval-valued (imprecise) parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: Ident,
+    /// Lower-bound expression (must be constant).
+    pub lo: Expr,
+    /// Upper-bound expression (must be constant).
+    pub hi: Expr,
+    /// Span of the whole `[lo, hi]` interval literal.
+    pub interval_span: Span,
+}
+
+/// `const <name> = <expr>;` — a named constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDecl {
+    /// Constant name.
+    pub name: Ident,
+    /// Defining expression (must be constant; may reference earlier consts).
+    pub value: Expr,
+}
+
+/// One stoichiometric term: `3 S` or plain `S`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoichTerm {
+    /// Multiplicity (defaults to 1; validated to be a positive integer).
+    pub multiplicity: f64,
+    /// Span of the multiplicity literal (equals `species.span` if implicit).
+    pub multiplicity_span: Span,
+    /// The species this term counts.
+    pub species: Ident,
+}
+
+/// `rule <name>: <reactants> -> <products> @ <rate>;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDecl {
+    /// Rule name (used in diagnostics and transition names).
+    pub name: Ident,
+    /// Left-hand side (`0` for none).
+    pub reactants: Vec<StoichTerm>,
+    /// Right-hand side (`0` for none).
+    pub products: Vec<StoichTerm>,
+    /// Rate expression over species, params, consts and `N`.
+    pub rate: Expr,
+    /// Span of the whole rule (for stoichiometry diagnostics).
+    pub span: Span,
+}
+
+/// One `name = expr` assignment inside an `init` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitAssign {
+    /// The species being initialised.
+    pub species: Ident,
+    /// Initial fraction (must be a constant expression).
+    pub value: Expr,
+}
+
+/// An arithmetic expression with spans on every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The operator/operand at this node.
+    pub kind: ExprKind,
+    /// Source span of the whole subexpression.
+    pub span: Span,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Numeric literal.
+    Number(f64),
+    /// Identifier reference (species, param, const or the builtin `N`).
+    Ident(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Builtin function call, e.g. `max(0, S)`.
+    Call {
+        /// Function name.
+        func: Ident,
+        /// Arguments in source order.
+        args: Vec<Expr>,
+    },
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^` (right-associative power)
+    Pow,
+}

@@ -1,0 +1,366 @@
+//! Backend compilation: from a [`ResolvedModel`] to the two synchronized
+//! representations the rest of the workspace consumes.
+//!
+//! * [`CompiledModel::population_model`] — a finite-`N`
+//!   [`PopulationModel`] for the
+//!   Gillespie simulator (`mfu-sim`) and the explicit finite-chain
+//!   expansion (`mfu_ctmc::finite`);
+//! * [`CompiledModel::drift`] / [`CompiledModel::reduced_drift`] — an
+//!   [`ImpreciseDrift`] for the hull/Pontryagin/Birkhoff analyses of
+//!   `mfu-core`.
+//!
+//! The reduced drift eliminates the *last* declared species of a
+//! mass-conserving model by substituting
+//! `x_last = total − Σ_{i<last} x_i` — exactly the reduction the paper
+//! applies to the SIR model (Equation 11). For non-conservative models no
+//! coordinate can be eliminated and [`CompiledModel::reduced_drift`]
+//! returns the full-dimensional drift unchanged.
+
+use mfu_core::drift::ImpreciseDrift;
+use mfu_ctmc::params::ParamSpace;
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_num::StateVec;
+
+use crate::diagnostics::LangError;
+use crate::expr::CompiledExpr;
+use crate::validate::{ResolvedModel, ResolvedRule};
+
+/// A validated model compiled into evaluable form.
+///
+/// Obtained from [`crate::compile()`] or [`crate::Scenario::compile`];
+/// cheap to clone.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    resolved: ResolvedModel,
+    conservative: bool,
+    total: f64,
+}
+
+impl CompiledModel {
+    pub(crate) fn new(resolved: ResolvedModel) -> Self {
+        let conservative = resolved.is_conservative();
+        let total = resolved.init.iter().sum();
+        CompiledModel {
+            resolved,
+            conservative,
+            total,
+        }
+    }
+
+    /// The model name from the `model <name>;` header.
+    pub fn name(&self) -> &str {
+        &self.resolved.name
+    }
+
+    /// Species names in declaration (= state-coordinate) order.
+    pub fn species(&self) -> &[String] {
+        &self.resolved.species
+    }
+
+    /// State dimension (number of species).
+    pub fn dim(&self) -> usize {
+        self.resolved.species.len()
+    }
+
+    /// The uncertainty set `Θ`.
+    pub fn params(&self) -> &ParamSpace {
+        &self.resolved.param_space
+    }
+
+    /// Named constants with their folded values.
+    pub fn consts(&self) -> &[(String, f64)] {
+        &self.resolved.consts
+    }
+
+    /// `true` when every rule conserves the total population, enabling the
+    /// reduced-coordinate drift.
+    pub fn is_conservative(&self) -> bool {
+        self.conservative
+    }
+
+    /// Total initial mass `Σ_i init_i` (the conserved quantity of a
+    /// conservative model; `1` for fraction-normalised init blocks).
+    pub fn total_mass(&self) -> f64 {
+        self.total
+    }
+
+    /// Initial condition on the full state space.
+    pub fn initial_state(&self) -> StateVec {
+        StateVec::from(self.resolved.init.clone())
+    }
+
+    /// Initial condition in reduced coordinates (the last species dropped
+    /// when the model is conservative; identical to
+    /// [`CompiledModel::initial_state`] otherwise).
+    pub fn reduced_initial_state(&self) -> StateVec {
+        if self.conservative && self.dim() > 1 {
+            StateVec::from(self.resolved.init[..self.dim() - 1].to_vec())
+        } else {
+            self.initial_state()
+        }
+    }
+
+    /// Integer initial counts for a population of size `scale`: each
+    /// fraction is rounded as `init_i · scale` (so `counts / scale`
+    /// matches [`CompiledModel::initial_state`] as closely as possible);
+    /// for conservative models the rounding remainder is absorbed by the
+    /// last species so the counts sum to `total · scale`.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        let mut counts: Vec<i64> = self
+            .resolved
+            .init
+            .iter()
+            .map(|f| (f * scale as f64).round() as i64)
+            .collect();
+        if self.conservative {
+            let last = counts.len() - 1;
+            let assigned: i64 = counts[..last].iter().sum();
+            counts[last] = ((self.total * scale as f64).round() as i64 - assigned).max(0);
+        }
+        counts
+    }
+
+    /// Builds the finite-`N` population backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder failures from `mfu-ctmc` as
+    /// [`LangError::Backend`] (none are expected for a validated model).
+    pub fn population_model(&self) -> Result<PopulationModel, LangError> {
+        let mut builder = PopulationModel::builder(self.dim(), self.resolved.param_space.clone())
+            .variable_names(self.resolved.species.clone());
+        for rule in &self.resolved.rules {
+            let rate = rule.rate.clone();
+            builder = builder.transition(TransitionClass::new(
+                rule.name.clone(),
+                StateVec::from(rule.change.clone()),
+                move |x: &StateVec, theta: &[f64]| rate.eval(x, theta),
+            ));
+        }
+        Ok(builder.build()?)
+    }
+
+    /// The full-dimensional mean-field drift backend.
+    pub fn drift(&self) -> DslDrift {
+        DslDrift {
+            rules: self.resolved.rules.clone(),
+            dim: self.dim(),
+            model: self.clone(),
+            reduced: false,
+        }
+    }
+
+    /// The reduced mean-field drift: for conservative models the last
+    /// species is eliminated via `x_last = total − Σ x_i`; otherwise the
+    /// full drift is returned.
+    ///
+    /// The elimination happens at compile time: every rate expression has
+    /// its `x_last` references rewritten to `total − Σ_{i<last} x_i` and
+    /// the jump vectors are truncated, so reduced evaluation allocates
+    /// nothing per call.
+    pub fn reduced_drift(&self) -> DslDrift {
+        let full_dim = self.dim();
+        if !(self.conservative && full_dim > 1) {
+            let mut drift = self.drift();
+            drift.reduced = false;
+            return drift;
+        }
+        let last = full_dim - 1;
+        // total − (x_0 + x_1 + … + x_{last−1}), summed in declaration
+        // order so the arithmetic matches the full-state evaluation bit
+        // for bit.
+        let mut leading_sum = CompiledExpr::Species(0);
+        for i in 1..last {
+            leading_sum =
+                CompiledExpr::Add(Box::new(leading_sum), Box::new(CompiledExpr::Species(i)));
+        }
+        let replacement = CompiledExpr::Sub(
+            Box::new(CompiledExpr::Const(self.total)),
+            Box::new(leading_sum),
+        );
+        let rules = self
+            .resolved
+            .rules
+            .iter()
+            .map(|rule| ResolvedRule {
+                name: rule.name.clone(),
+                change: rule.change[..last].to_vec(),
+                rate: rule.rate.substitute_species(last, &replacement),
+            })
+            .collect();
+        DslDrift {
+            rules,
+            dim: last,
+            model: self.clone(),
+            reduced: true,
+        }
+    }
+}
+
+/// [`ImpreciseDrift`] implementation backed by compiled DSL rules.
+///
+/// Created by [`CompiledModel::drift`] or [`CompiledModel::reduced_drift`].
+#[derive(Debug, Clone)]
+pub struct DslDrift {
+    /// Rules specialised to this drift's coordinates (rates rewritten and
+    /// jump vectors truncated when reduced).
+    rules: Vec<ResolvedRule>,
+    dim: usize,
+    model: CompiledModel,
+    reduced: bool,
+}
+
+impl DslDrift {
+    /// Whether this drift runs in reduced (last species eliminated)
+    /// coordinates.
+    pub fn is_reduced(&self) -> bool {
+        self.reduced
+    }
+
+    /// The compiled model this drift evaluates.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+}
+
+impl ImpreciseDrift for DslDrift {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn params(&self) -> &ParamSpace {
+        &self.model.resolved.param_space
+    }
+
+    fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
+        out.fill_zero();
+        for rule in &self.rules {
+            let r = rule.rate.eval(x, theta);
+            if r != 0.0 {
+                for (o, c) in out.as_mut_slice().iter_mut().zip(rule.change.iter()) {
+                    *o += r * c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    const SIR: &str = "model sir;
+species S, I, R;
+param contact in [1, 10];
+const a = 0.1;
+const b = 5;
+const c = 1;
+rule infect: S -> I @ (a + contact * I) * S;
+rule recover: I -> R @ b * I;
+rule wane: R -> S @ c * R;
+init S = 0.7, I = 0.3, R = 0;
+";
+
+    #[test]
+    fn population_and_drift_backends_agree() {
+        let model = compile(SIR).unwrap();
+        let population = model.population_model().unwrap();
+        let drift = model.drift();
+        let x = StateVec::from([0.6, 0.3, 0.1]);
+        for theta in [1.0, 4.2, 10.0] {
+            let a = population.drift(&x, &[theta]).unwrap();
+            let b = drift.drift(&x, &[theta]);
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-15, "coordinate {k} at ϑ = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_drift_eliminates_the_last_species() {
+        let model = compile(SIR).unwrap();
+        assert!(model.is_conservative());
+        let full = model.drift();
+        let reduced = model.reduced_drift();
+        assert_eq!(full.dim(), 3);
+        assert_eq!(reduced.dim(), 2);
+        assert!(reduced.is_reduced());
+        let xr = StateVec::from([0.6, 0.3]);
+        let xf = StateVec::from([0.6, 0.3, 0.1]);
+        for theta in [1.0, 5.5, 10.0] {
+            let a = full.drift(&xf, &[theta]);
+            let b = reduced.drift(&xr, &[theta]);
+            assert!((a[0] - b[0]).abs() < 1e-15);
+            assert!((a[1] - b[1]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn nonconservative_models_keep_full_dimension() {
+        let model = compile(
+            "model open; species X; param r in [0.5, 2];
+             rule birth: 0 -> X @ r; rule death: X -> 0 @ X;
+             init X = 0.2;",
+        )
+        .unwrap();
+        assert!(!model.is_conservative());
+        let reduced = model.reduced_drift();
+        assert_eq!(reduced.dim(), 1);
+        assert!(!reduced.is_reduced());
+    }
+
+    #[test]
+    fn initial_conditions_and_counts() {
+        let model = compile(SIR).unwrap();
+        assert_eq!(model.initial_state().as_slice(), &[0.7, 0.3, 0.0]);
+        assert_eq!(model.reduced_initial_state().as_slice(), &[0.7, 0.3]);
+        assert!((model.total_mass() - 1.0).abs() < 1e-12);
+        for scale in [10usize, 100, 999] {
+            let counts = model.initial_counts(scale);
+            assert_eq!(counts.iter().sum::<i64>(), scale as i64, "scale {scale}");
+            assert!(counts.iter().all(|&c| c >= 0));
+        }
+    }
+
+    #[test]
+    fn initial_counts_track_fractions_for_nonconservative_models() {
+        // Regression: counts must normalise against `scale`, not against the
+        // model's total mass — otherwise a non-conservative model starting at
+        // x = 0.2 would be simulated from x = 1.0.
+        let model = compile(
+            "model open; species X; param r in [0.5, 2];
+             rule birth: 0 -> X @ r; rule death: X -> 0 @ X;
+             init X = 0.2;",
+        )
+        .unwrap();
+        assert_eq!(model.initial_counts(1000), vec![200]);
+    }
+
+    #[test]
+    fn initial_counts_respect_nonunit_total_mass() {
+        // A conservative model whose init block sums to 2: the last species
+        // absorbs the remainder against total · scale.
+        let model = compile(
+            "model pair; species X, Y; param r in [0.5, 2];
+             rule swap: X -> Y @ r * X; rule back: Y -> X @ Y;
+             init X = 0.5, Y = 1.5;",
+        )
+        .unwrap();
+        let counts = model.initial_counts(100);
+        assert_eq!(counts, vec![50, 150]);
+        assert_eq!(counts.iter().sum::<i64>(), 200);
+    }
+
+    #[test]
+    fn extremal_theta_matches_affine_structure() {
+        // ẋ_I is increasing in the contact rate at interior states, so the
+        // maximising vertex must be the upper bound.
+        let model = compile(SIR).unwrap();
+        let drift = model.reduced_drift();
+        let x = StateVec::from([0.6, 0.2]);
+        let (theta, _) = drift.extremal_theta(&x, &StateVec::from([0.0, 1.0]));
+        assert_eq!(theta, vec![10.0]);
+    }
+}

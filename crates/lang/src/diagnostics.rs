@@ -1,0 +1,213 @@
+//! Source spans and rendered diagnostics.
+//!
+//! Every token, AST node and semantic error carries a [`Span`] of byte
+//! offsets into the original source. A [`Diagnostic`] resolves the span back
+//! to a line/column position and renders the offending line with a caret
+//! underline, in the familiar compiler style:
+//!
+//! ```text
+//! error: unknown identifier `beta`
+//!  --> model.mfu:5:23
+//!   |
+//! 5 | rule infect: S -> I @ beta * S * I;
+//!   |                       ^^^^
+//! ```
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Returns `true` for a zero-length span (e.g. end-of-input).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A line/column position (1-based) resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in bytes from the line start).
+    pub col: usize,
+}
+
+/// Resolves the start of `span` to a line/column position in `source`.
+pub fn line_col(source: &str, span: Span) -> LineCol {
+    let upto = &source[..span.start.min(source.len())];
+    let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = upto
+        .rfind('\n')
+        .map_or(span.start + 1, |nl| span.start - nl);
+    LineCol { line, col }
+}
+
+/// A diagnostic message anchored to a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Resolved position of `span` (1-based line and column).
+    pub position: LineCol,
+    /// The full source line containing the span start.
+    pub source_line: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic, resolving `span` against `source`.
+    pub fn new(message: impl Into<String>, span: Span, source: &str) -> Self {
+        let position = line_col(source, span);
+        let source_line = source
+            .lines()
+            .nth(position.line - 1)
+            .unwrap_or_default()
+            .to_string();
+        Diagnostic {
+            message: message.into(),
+            span,
+            position,
+            source_line,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        writeln!(
+            f,
+            " --> model.mfu:{}:{}",
+            self.position.line, self.position.col
+        )?;
+        let gutter = self.position.line.to_string();
+        writeln!(f, "{:width$} |", "", width = gutter.len())?;
+        writeln!(f, "{gutter} | {}", self.source_line)?;
+        let underline_len = self.span.len().clamp(
+            1,
+            self.source_line
+                .len()
+                .saturating_sub(self.position.col - 1)
+                .max(1),
+        );
+        write!(
+            f,
+            "{:width$} | {:pad$}{}",
+            "",
+            "",
+            "^".repeat(underline_len),
+            width = gutter.len(),
+            pad = self.position.col - 1
+        )
+    }
+}
+
+/// Errors produced while parsing, validating or compiling a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LangError {
+    /// The lexer met a character or literal it cannot tokenise.
+    Lex(Diagnostic),
+    /// The token stream does not match the grammar.
+    Parse(Diagnostic),
+    /// The model is grammatically well-formed but semantically invalid
+    /// (unknown identifier, bad stoichiometry, inverted interval, …).
+    Validate(Diagnostic),
+    /// Lowering to the population/drift backends failed (propagated from
+    /// `mfu-ctmc`, e.g. an interval rejected by [`mfu_ctmc::params`]).
+    Backend(String),
+}
+
+impl LangError {
+    /// The diagnostic, when the error carries one.
+    pub fn diagnostic(&self) -> Option<&Diagnostic> {
+        match self {
+            LangError::Lex(d) | LangError::Parse(d) | LangError::Validate(d) => Some(d),
+            LangError::Backend(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex(d) | LangError::Parse(d) | LangError::Validate(d) => d.fmt(f),
+            LangError::Backend(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<mfu_ctmc::CtmcError> for LangError {
+    fn from(err: mfu_ctmc::CtmcError) -> Self {
+        LangError::Backend(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "model demo;\nspecies S, I;\nrule bad: S -> I @ beta * S;\n";
+
+    #[test]
+    fn spans_resolve_to_line_and_column() {
+        let offset = SOURCE.find("beta").unwrap();
+        let span = Span::new(offset, offset + 4);
+        let pos = line_col(SOURCE, span);
+        assert_eq!(pos.line, 3);
+        assert_eq!(pos.col, 20);
+    }
+
+    #[test]
+    fn diagnostics_render_with_caret() {
+        let offset = SOURCE.find("beta").unwrap();
+        let diag = Diagnostic::new(
+            "unknown identifier `beta`",
+            Span::new(offset, offset + 4),
+            SOURCE,
+        );
+        let text = diag.to_string();
+        assert!(text.contains("unknown identifier"));
+        assert!(text.contains("model.mfu:3:20"));
+        assert!(text.contains("^^^^"));
+        assert!(text.contains("rule bad"));
+    }
+
+    #[test]
+    fn span_union_and_emptiness() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert!(Span::new(5, 5).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! Compiled arithmetic expressions.
+//!
+//! [`crate::validate`] resolves every identifier of an AST expression to a
+//! species index, a parameter index or an inlined constant, producing a
+//! [`CompiledExpr`] that evaluates over `(state, params)` without any name
+//! lookup. The representation is a small tree of [`CompiledExpr`] nodes —
+//! cheap to clone into the `Send + Sync` rate closures of
+//! [`mfu_ctmc::transition::TransitionClass`].
+
+use mfu_num::StateVec;
+
+/// Builtin functions callable from rate expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `min(a, b)` — pointwise minimum.
+    Min,
+    /// `max(a, b)` — pointwise maximum.
+    Max,
+    /// `abs(x)` — absolute value.
+    Abs,
+    /// `exp(x)` — natural exponential.
+    Exp,
+    /// `log(x)` — natural logarithm.
+    Log,
+    /// `sqrt(x)` — square root.
+    Sqrt,
+    /// `pow(a, b)` — `a` raised to `b` (same as `a ^ b`).
+    Pow,
+}
+
+impl Builtin {
+    /// Looks a builtin up by its surface name.
+    pub fn by_name(name: &str) -> Option<(Builtin, usize)> {
+        match name {
+            "min" => Some((Builtin::Min, 2)),
+            "max" => Some((Builtin::Max, 2)),
+            "abs" => Some((Builtin::Abs, 1)),
+            "exp" => Some((Builtin::Exp, 1)),
+            "log" => Some((Builtin::Log, 1)),
+            "sqrt" => Some((Builtin::Sqrt, 1)),
+            "pow" => Some((Builtin::Pow, 2)),
+            _ => None,
+        }
+    }
+}
+
+/// A name-free expression over `(state, params)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// A literal or folded constant.
+    Const(f64),
+    /// The value of state coordinate `i` (a species fraction).
+    Species(usize),
+    /// The value of parameter coordinate `j`.
+    Param(usize),
+    /// Negation.
+    Neg(Box<CompiledExpr>),
+    /// Sum.
+    Add(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Difference.
+    Sub(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Product.
+    Mul(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Quotient.
+    Div(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Power.
+    Pow(Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Builtin call with one argument.
+    Call1(Builtin, Box<CompiledExpr>),
+    /// Builtin call with two arguments.
+    Call2(Builtin, Box<CompiledExpr>, Box<CompiledExpr>),
+}
+
+impl CompiledExpr {
+    /// Evaluates the expression at a state and parameter vector.
+    ///
+    /// Out-of-range indices cannot occur on expressions produced by
+    /// [`crate::validate`], whose symbol tables guarantee the invariant.
+    pub fn eval(&self, x: &StateVec, theta: &[f64]) -> f64 {
+        match self {
+            CompiledExpr::Const(v) => *v,
+            CompiledExpr::Species(i) => x[*i],
+            CompiledExpr::Param(j) => theta[*j],
+            CompiledExpr::Neg(e) => -e.eval(x, theta),
+            CompiledExpr::Add(a, b) => a.eval(x, theta) + b.eval(x, theta),
+            CompiledExpr::Sub(a, b) => a.eval(x, theta) - b.eval(x, theta),
+            CompiledExpr::Mul(a, b) => a.eval(x, theta) * b.eval(x, theta),
+            CompiledExpr::Div(a, b) => a.eval(x, theta) / b.eval(x, theta),
+            CompiledExpr::Pow(a, b) => a.eval(x, theta).powf(b.eval(x, theta)),
+            CompiledExpr::Call1(f, a) => {
+                let a = a.eval(x, theta);
+                match f {
+                    Builtin::Abs => a.abs(),
+                    Builtin::Exp => a.exp(),
+                    Builtin::Log => a.ln(),
+                    Builtin::Sqrt => a.sqrt(),
+                    // arity is fixed at resolution time
+                    Builtin::Min | Builtin::Max | Builtin::Pow => {
+                        unreachable!("binary builtin with one argument")
+                    }
+                }
+            }
+            CompiledExpr::Call2(f, a, b) => {
+                let a = a.eval(x, theta);
+                let b = b.eval(x, theta);
+                match f {
+                    Builtin::Min => a.min(b),
+                    Builtin::Max => a.max(b),
+                    Builtin::Pow => a.powf(b),
+                    Builtin::Abs | Builtin::Exp | Builtin::Log | Builtin::Sqrt => {
+                        unreachable!("unary builtin with two arguments")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the constant value when the expression references neither
+    /// species nor parameters.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            CompiledExpr::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of the expression with every reference to species
+    /// `index` replaced by `replacement`.
+    ///
+    /// Used by the reduced-drift compilation to eliminate the conserved
+    /// species at compile time (`x_last → total − Σ x_i`), so reduced
+    /// rates evaluate directly on the reduced state without reconstructing
+    /// the full state vector per call.
+    pub fn substitute_species(&self, index: usize, replacement: &CompiledExpr) -> CompiledExpr {
+        use CompiledExpr as E;
+        let sub = |e: &E| Box::new(e.substitute_species(index, replacement));
+        match self {
+            E::Species(i) if *i == index => replacement.clone(),
+            E::Const(_) | E::Species(_) | E::Param(_) => self.clone(),
+            E::Neg(a) => E::Neg(sub(a)),
+            E::Add(a, b) => E::Add(sub(a), sub(b)),
+            E::Sub(a, b) => E::Sub(sub(a), sub(b)),
+            E::Mul(a, b) => E::Mul(sub(a), sub(b)),
+            E::Div(a, b) => E::Div(sub(a), sub(b)),
+            E::Pow(a, b) => E::Pow(sub(a), sub(b)),
+            E::Call1(f, a) => E::Call1(*f, sub(a)),
+            E::Call2(f, a, b) => E::Call2(*f, sub(a), sub(b)),
+        }
+    }
+
+    /// Returns `true` when any node references a species coordinate.
+    pub fn references_species(&self) -> bool {
+        match self {
+            CompiledExpr::Species(_) => true,
+            CompiledExpr::Const(_) | CompiledExpr::Param(_) => false,
+            CompiledExpr::Neg(e) | CompiledExpr::Call1(_, e) => e.references_species(),
+            CompiledExpr::Add(a, b)
+            | CompiledExpr::Sub(a, b)
+            | CompiledExpr::Mul(a, b)
+            | CompiledExpr::Div(a, b)
+            | CompiledExpr::Pow(a, b)
+            | CompiledExpr::Call2(_, a, b) => a.references_species() || b.references_species(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> StateVec {
+        StateVec::from([0.7, 0.3])
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        // (a + theta0 * I) * S  with a = 0.1, at (S, I) = (0.7, 0.3), theta0 = 2
+        let expr = CompiledExpr::Mul(
+            Box::new(CompiledExpr::Add(
+                Box::new(CompiledExpr::Const(0.1)),
+                Box::new(CompiledExpr::Mul(
+                    Box::new(CompiledExpr::Param(0)),
+                    Box::new(CompiledExpr::Species(1)),
+                )),
+            )),
+            Box::new(CompiledExpr::Species(0)),
+        );
+        assert!((expr.eval(&x(), &[2.0]) - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluates_builtins_and_powers() {
+        let e = CompiledExpr::Call2(
+            Builtin::Max,
+            Box::new(CompiledExpr::Const(0.0)),
+            Box::new(CompiledExpr::Sub(
+                Box::new(CompiledExpr::Species(0)),
+                Box::new(CompiledExpr::Const(1.0)),
+            )),
+        );
+        assert_eq!(e.eval(&x(), &[]), 0.0);
+        let p = CompiledExpr::Pow(
+            Box::new(CompiledExpr::Species(1)),
+            Box::new(CompiledExpr::Const(2.0)),
+        );
+        assert!((p.eval(&x(), &[]) - 0.09).abs() < 1e-12);
+        let s = CompiledExpr::Call1(Builtin::Sqrt, Box::new(CompiledExpr::Const(9.0)));
+        assert_eq!(s.eval(&x(), &[]), 3.0);
+    }
+
+    #[test]
+    fn substitution_replaces_only_the_target_species() {
+        // (theta0 * S1) + S0  with S1 := 1 − S0
+        let expr = CompiledExpr::Add(
+            Box::new(CompiledExpr::Mul(
+                Box::new(CompiledExpr::Param(0)),
+                Box::new(CompiledExpr::Species(1)),
+            )),
+            Box::new(CompiledExpr::Species(0)),
+        );
+        let replacement = CompiledExpr::Sub(
+            Box::new(CompiledExpr::Const(1.0)),
+            Box::new(CompiledExpr::Species(0)),
+        );
+        let reduced = expr.substitute_species(1, &replacement);
+        let x_red = StateVec::from([0.7]);
+        // theta0 * (1 − 0.7) + 0.7 = 2 * 0.3 + 0.7
+        assert!((reduced.eval(&x_red, &[2.0]) - 1.3).abs() < 1e-12);
+        // the original is untouched
+        assert!((expr.eval(&StateVec::from([0.7, 0.3]), &[2.0]) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn species_reference_detection() {
+        assert!(CompiledExpr::Species(0).references_species());
+        assert!(!CompiledExpr::Param(0).references_species());
+        let nested = CompiledExpr::Neg(Box::new(CompiledExpr::Mul(
+            Box::new(CompiledExpr::Const(2.0)),
+            Box::new(CompiledExpr::Species(1)),
+        )));
+        assert!(nested.references_species());
+        assert_eq!(CompiledExpr::Const(4.0).as_const(), Some(4.0));
+        assert_eq!(CompiledExpr::Param(0).as_const(), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! Hand-written lexer for the model language.
+//!
+//! Whitespace separates tokens; `//` and `#` start line comments. Numbers
+//! are unsigned decimal literals with optional fraction and exponent (`12`,
+//! `0.5`, `1e-3`); a leading `-` is lexed as a separate [`TokenKind::Minus`]
+//! and handled by the expression parser as unary negation.
+
+use crate::diagnostics::{Diagnostic, LangError, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `source`, appending a synthetic [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on the first unrecognised character or
+/// malformed number literal, with a span pointing at it.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'#' => pos = skip_line(bytes, pos),
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => pos = skip_line(bytes, pos),
+            b'-' if bytes.get(pos + 1) == Some(&b'>') => {
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    span: Span::new(pos, pos + 2),
+                });
+                pos += 2;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let word = &source[start..pos];
+                let kind = match word {
+                    "model" => TokenKind::KwModel,
+                    "species" => TokenKind::KwSpecies,
+                    "param" => TokenKind::KwParam,
+                    "const" => TokenKind::KwConst,
+                    "rule" => TokenKind::KwRule,
+                    "init" => TokenKind::KwInit,
+                    "in" => TokenKind::KwIn,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(start, pos),
+                });
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                if pos < bytes.len() && bytes[pos] == b'.' {
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                if pos < bytes.len() && (bytes[pos] == b'e' || bytes[pos] == b'E') {
+                    let mut exp_end = pos + 1;
+                    if exp_end < bytes.len() && (bytes[exp_end] == b'+' || bytes[exp_end] == b'-') {
+                        exp_end += 1;
+                    }
+                    let digits_start = exp_end;
+                    while exp_end < bytes.len() && bytes[exp_end].is_ascii_digit() {
+                        exp_end += 1;
+                    }
+                    if exp_end > digits_start {
+                        pos = exp_end;
+                    }
+                }
+                let span = Span::new(start, pos);
+                let text = &source[start..pos];
+                let value: f64 = text.parse().map_err(|_| {
+                    LangError::Lex(Diagnostic::new(
+                        format!("malformed number literal `{text}`"),
+                        span,
+                        source,
+                    ))
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    span,
+                });
+            }
+            _ => {
+                let kind = match b {
+                    b';' => TokenKind::Semi,
+                    b':' => TokenKind::Colon,
+                    b',' => TokenKind::Comma,
+                    b'=' => TokenKind::Equals,
+                    b'@' => TokenKind::At,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'^' => TokenKind::Caret,
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    _ => {
+                        // decode the full (possibly multi-byte) character so
+                        // the message and span cover it exactly
+                        let ch = source[pos..]
+                            .chars()
+                            .next()
+                            .expect("pos is a char boundary");
+                        return Err(LangError::Lex(Diagnostic::new(
+                            format!("unexpected character `{ch}`"),
+                            Span::new(pos, pos + ch.len_utf8()),
+                            source,
+                        )));
+                    }
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(pos, pos + 1),
+                });
+                pos += 1;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(tokens)
+}
+
+fn skip_line(bytes: &[u8], mut pos: usize) -> usize {
+    while pos < bytes.len() && bytes[pos] != b'\n' {
+        pos += 1;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_punctuation_and_identifiers() {
+        let ks = kinds("model m; rule r: S + I -> 2 I @ beta * S;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwModel,
+                TokenKind::Ident("m".into()),
+                TokenKind::Semi,
+                TokenKind::KwRule,
+                TokenKind::Ident("r".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("S".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("I".into()),
+                TokenKind::Arrow,
+                TokenKind::Number(2.0),
+                TokenKind::Ident("I".into()),
+                TokenKind::At,
+                TokenKind::Ident("beta".into()),
+                TokenKind::Star,
+                TokenKind::Ident("S".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_fraction_and_exponent() {
+        assert_eq!(
+            kinds("0.5 12 1e-3 2.5E2"),
+            vec![
+                TokenKind::Number(0.5),
+                TokenKind::Number(12.0),
+                TokenKind::Number(1e-3),
+                TokenKind::Number(250.0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("# a comment\nconst a = 1; // trailing\nconst b = 2;");
+        assert_eq!(
+            ks.iter()
+                .filter(|k| matches!(k, TokenKind::KwConst))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let source = "param beta in [1, 10];";
+        let tokens = tokenize(source).unwrap();
+        let beta = &tokens[1];
+        assert_eq!(&source[beta.span.start..beta.span.end], "beta");
+    }
+
+    #[test]
+    fn unexpected_character_is_a_lex_error() {
+        let err = tokenize("species S?").unwrap_err();
+        match err {
+            LangError::Lex(d) => {
+                assert!(d.message.contains('?'));
+                assert_eq!(d.position.line, 1);
+                assert_eq!(d.position.col, 10);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ascii_character_is_reported_whole() {
+        let source = "rule g: X -> 0 @ β * X;";
+        let err = tokenize(source).unwrap_err();
+        match err {
+            LangError::Lex(d) => {
+                assert!(d.message.contains('β'), "message: {}", d.message);
+                assert_eq!(&source[d.span.start..d.span.end], "β");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minus_before_digit_stays_separate() {
+        assert_eq!(
+            kinds("-3"),
+            vec![TokenKind::Minus, TokenKind::Number(3.0), TokenKind::Eof]
+        );
+    }
+}

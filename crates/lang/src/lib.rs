@@ -1,0 +1,191 @@
+//! `mfu-lang`: a textual model language for imprecise population CTMCs.
+//!
+//! The rest of the workspace analyses models given as Rust values — a
+//! [`PopulationModel`](mfu_ctmc::population::PopulationModel) for the
+//! finite-`N` stochastic side and an
+//! [`ImpreciseDrift`](mfu_core::drift::ImpreciseDrift) for the mean-field
+//! side. This crate adds a compact, PRISM-flavoured *textual* front-end for
+//! both: declare species, interval-valued parameters, constants, transition
+//! rules and an initial condition, and [`compile()`] produces the two
+//! synchronized backends ready for every analysis in `mfu-core`, the
+//! Gillespie simulator in `mfu-sim` and the finite-chain expansion in
+//! `mfu-ctmc`.
+//!
+//! # Example
+//!
+//! The SIR epidemic of Section V of Bortolussi & Gast (DSN 2016), declared
+//! in nine lines and pushed through a Pontryagin transient bound:
+//!
+//! ```
+//! use mfu_core::drift::ImpreciseDrift;
+//! use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+//!
+//! let model = mfu_lang::compile(
+//!     "model sir;
+//!      species S, I, R;
+//!      param contact in [1, 10];
+//!      const a = 0.1;
+//!      rule infect:  S -> I @ (a + contact * I) * S;
+//!      rule recover: I -> R @ 5 * I;
+//!      rule wane:    R -> S @ 1 * R;
+//!      init S = 0.7, I = 0.3, R = 0;",
+//! )?;
+//!
+//! // Mean-field side: bound the infected fraction at T = 3.
+//! let drift = model.reduced_drift();
+//! let solver = PontryaginSolver::new(PontryaginOptions::default());
+//! let (lo, hi) = solver.coordinate_extremes(&drift, &model.reduced_initial_state(), 3.0, 1)?;
+//! assert!(0.0 <= lo && lo < hi && hi <= 1.0);
+//!
+//! // Stochastic side: the same source yields the finite-N population model.
+//! let population = model.population_model()?;
+//! assert_eq!(population.dim(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Ready-made models — the paper's case studies plus new ones — live in the
+//! [`scenarios`] registry:
+//!
+//! ```
+//! let registry = mfu_lang::scenarios::ScenarioRegistry::with_builtins();
+//! let botnet = registry.compile("botnet")?;
+//! assert_eq!(botnet.species(), ["S", "D", "A", "P"]);
+//! # Ok::<(), mfu_lang::LangError>(())
+//! ```
+//!
+//! # Grammar
+//!
+//! Comments run from `//` or `#` to the end of the line. Whitespace is
+//! insignificant. In EBNF:
+//!
+//! ```text
+//! model      = "model" ident ";" { item } ;
+//! item       = species | param | const | rule | init ;
+//!
+//! species    = "species" ident { "," ident } ";" ;
+//! param      = "param" ident "in" "[" expr "," expr "]" ";" ;
+//! const      = "const" ident "=" expr ";" ;
+//! rule       = "rule" ident ":" side "->" side "@" expr ";" ;
+//! init       = "init" ident "=" expr { "," ident "=" expr } ";" ;
+//!
+//! side       = "0" | term { "+" term } ;
+//! term       = [ integer ] ident ;
+//!
+//! expr       = mul { ("+" | "-") mul } ;
+//! mul        = unary { ("*" | "/") unary } ;
+//! unary      = "-" unary | power ;
+//! power      = atom [ "^" unary ] ;            (* right-associative *)
+//! atom       = number | ident | call | "(" expr ")" ;
+//! call       = ident "(" [ expr { "," expr } ] ")" ;
+//!
+//! ident      = letter-or-underscore { letter-or-digit-or-underscore } ;
+//! number     = unsigned decimal literal with optional fraction/exponent ;
+//! ```
+//!
+//! Semantics:
+//!
+//! * **species** name the state coordinates; their values are *normalised
+//!   fractions* (counts divided by the scale `N`).
+//! * **param** declares an imprecise parameter ranging over a closed
+//!   interval; a degenerate interval `[v, v]` declares a precisely known
+//!   rate. The bounds must be constant expressions with `lo <= hi`.
+//! * **const** names a scalar usable in any later expression; definitions
+//!   may reference earlier constants.
+//! * **rule** gives a transition class: the two sides are stoichiometric
+//!   sums (`S + I`, `2 I`, or `0` for nothing) and the rate is the density
+//!   `β(x, ϑ)` of the scaled process — any expression over species,
+//!   parameters, constants and the builtins `min`, `max`, `abs`, `exp`,
+//!   `log`, `sqrt`, `pow`. The builtin constant `N` equals `1` in these
+//!   normalised units, so count-style rates such as
+//!   `beta * S * I / N` stay valid verbatim.
+//! * **init** assigns every species its initial fraction.
+//!
+//! Validation rejects — with caret diagnostics pointing into the source —
+//! unknown identifiers, cross-namespace name clashes, non-integer or
+//! non-positive stoichiometries, rules with zero net effect, inverted or
+//! non-finite parameter intervals, constant expressions that reference
+//! state, and incomplete or duplicated `init` blocks.
+//!
+//! # Reduced coordinates
+//!
+//! When every rule conserves the total population (all jump vectors sum to
+//! zero), [`CompiledModel::reduced_drift`] eliminates the *last* declared
+//! species via `x_last = total − Σ_{i<last} x_i`, matching the paper's
+//! treatment of the SIR model (Equation 11). Order the species so the
+//! coordinate you care about least comes last.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod diagnostics;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod scenarios;
+pub mod token;
+pub mod validate;
+
+pub use compile::{CompiledModel, DslDrift};
+pub use diagnostics::{Diagnostic, LangError, Span};
+pub use scenarios::{Scenario, ScenarioRegistry};
+pub use validate::ResolvedModel;
+
+/// Parses model source into a syntactic AST (no name resolution).
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] with a span
+/// diagnostic.
+pub fn parse(source: &str) -> Result<ast::ModelAst, LangError> {
+    parser::parse(source)
+}
+
+/// Parses, validates and compiles model source in one step.
+///
+/// # Errors
+///
+/// Returns the first [`LangError`] from any pipeline stage; semantic
+/// errors carry a [`Diagnostic`] with the offending span.
+pub fn compile(source: &str) -> Result<CompiledModel, LangError> {
+    let ast = parser::parse(source)?;
+    let resolved = validate::validate(&ast, source)?;
+    Ok(CompiledModel::new(resolved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_pipeline_surfaces_each_stage() {
+        // lex error
+        assert!(matches!(compile("model m; ?"), Err(LangError::Lex(_))));
+        // parse error
+        assert!(matches!(
+            compile("model m; species"),
+            Err(LangError::Parse(_))
+        ));
+        // validation error
+        assert!(matches!(
+            compile("model m; species X; param r in [0,1]; rule g: X -> 0 @ y; init X = 1;"),
+            Err(LangError::Validate(_))
+        ));
+        // success
+        assert!(compile(
+            "model m; species X; param r in [0,1]; rule g: X -> 0 @ r * X; init X = 1;"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let err = compile("model m; species X; param r in [3, 1]; rule g: X -> 0 @ r; init X = 1;")
+            .unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("inverted"));
+        assert!(rendered.contains("^"));
+        assert!(err.diagnostic().is_some());
+    }
+}

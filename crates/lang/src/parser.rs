@@ -1,0 +1,506 @@
+//! Recursive-descent parser for the model language.
+//!
+//! The grammar (EBNF) is documented at the crate root. The parser is a
+//! straightforward LL(1) descent over the token stream with precedence
+//! climbing for expressions; every AST node records the span it was built
+//! from.
+
+use crate::ast::{
+    BinOp, ConstDecl, Expr, ExprKind, Ident, InitAssign, ModelAst, ParamDecl, RuleDecl, StoichTerm,
+};
+use crate::diagnostics::{Diagnostic, LangError, Span};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete model source into an AST.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] with a span
+/// diagnostic on the first offending token.
+pub fn parse(source: &str) -> Result<ModelAst, LangError> {
+    let tokens = tokenize(source)?;
+    Parser {
+        source,
+        tokens,
+        pos: 0,
+    }
+    .model()
+}
+
+struct Parser<'s> {
+    source: &'s str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> LangError {
+        LangError::Parse(Diagnostic::new(message, span, self.source))
+    }
+
+    fn expect(&mut self, kind: &TokenKind, context: &str) -> Result<Token, LangError> {
+        if &self.peek().kind == kind {
+            Ok(self.advance())
+        } else {
+            let found = self.peek();
+            Err(self.error(
+                format!(
+                    "expected {} {context}, found {}",
+                    kind.describe(),
+                    found.kind.describe()
+                ),
+                found.span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> Result<Ident, LangError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let token = self.advance();
+                let TokenKind::Ident(name) = token.kind else {
+                    unreachable!()
+                };
+                Ok(Ident {
+                    name,
+                    span: token.span,
+                })
+            }
+            other => {
+                let span = self.peek().span;
+                Err(self.error(
+                    format!("expected identifier {context}, found {}", other.describe()),
+                    span,
+                ))
+            }
+        }
+    }
+
+    fn model(mut self) -> Result<ModelAst, LangError> {
+        self.expect(&TokenKind::KwModel, "at the start of the file")?;
+        let name = self.expect_ident("after `model`")?;
+        self.expect(&TokenKind::Semi, "after the model name")?;
+
+        let mut ast = ModelAst {
+            name,
+            species: Vec::new(),
+            params: Vec::new(),
+            consts: Vec::new(),
+            rules: Vec::new(),
+            inits: Vec::new(),
+        };
+        loop {
+            match self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::KwSpecies => self.species_decl(&mut ast)?,
+                TokenKind::KwParam => self.param_decl(&mut ast)?,
+                TokenKind::KwConst => self.const_decl(&mut ast)?,
+                TokenKind::KwRule => self.rule_decl(&mut ast)?,
+                TokenKind::KwInit => self.init_decl(&mut ast)?,
+                _ => {
+                    let found = self.peek();
+                    return Err(self.error(
+                        format!(
+                            "expected `species`, `param`, `const`, `rule` or `init`, found {}",
+                            found.kind.describe()
+                        ),
+                        found.span,
+                    ));
+                }
+            }
+        }
+        Ok(ast)
+    }
+
+    fn species_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        self.advance(); // `species`
+        loop {
+            ast.species
+                .push(self.expect_ident("in a `species` declaration")?);
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&TokenKind::Semi, "after the species list")?;
+        Ok(())
+    }
+
+    fn param_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        self.advance(); // `param`
+        let name = self.expect_ident("after `param`")?;
+        self.expect(&TokenKind::KwIn, "after the parameter name")?;
+        let open = self.expect(&TokenKind::LBracket, "to open the parameter interval")?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma, "between the interval bounds")?;
+        let hi = self.expr()?;
+        let close = self.expect(&TokenKind::RBracket, "to close the parameter interval")?;
+        self.expect(&TokenKind::Semi, "after the parameter declaration")?;
+        ast.params.push(ParamDecl {
+            name,
+            lo,
+            hi,
+            interval_span: open.span.to(close.span),
+        });
+        Ok(())
+    }
+
+    fn const_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        self.advance(); // `const`
+        let name = self.expect_ident("after `const`")?;
+        self.expect(&TokenKind::Equals, "after the constant name")?;
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semi, "after the constant definition")?;
+        ast.consts.push(ConstDecl { name, value });
+        Ok(())
+    }
+
+    fn rule_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        let start = self.advance().span; // `rule`
+        let name = self.expect_ident("after `rule`")?;
+        self.expect(&TokenKind::Colon, "after the rule name")?;
+        let reactants = self.stoich_side("on the reactant side")?;
+        self.expect(&TokenKind::Arrow, "between reactants and products")?;
+        let products = self.stoich_side("on the product side")?;
+        self.expect(&TokenKind::At, "before the rate expression")?;
+        let rate = self.expr()?;
+        let end = self.expect(&TokenKind::Semi, "after the rate expression")?;
+        ast.rules.push(RuleDecl {
+            name,
+            reactants,
+            products,
+            rate,
+            span: start.to(end.span),
+        });
+        Ok(())
+    }
+
+    /// Parses one side of a rule: `0` (empty) or `term (+ term)*` with
+    /// `term := [INT] IDENT`.
+    fn stoich_side(&mut self, context: &str) -> Result<Vec<StoichTerm>, LangError> {
+        if let TokenKind::Number(value) = self.peek().kind {
+            if value == 0.0 {
+                // the explicit empty side `0`
+                self.advance();
+                return Ok(Vec::new());
+            }
+        }
+        let mut terms = Vec::new();
+        loop {
+            let (multiplicity, multiplicity_span) = match self.peek().kind {
+                TokenKind::Number(value) => {
+                    let token = self.advance();
+                    (value, token.span)
+                }
+                _ => (1.0, self.peek().span),
+            };
+            let species = self.expect_ident(context)?;
+            terms.push(StoichTerm {
+                multiplicity,
+                multiplicity_span,
+                species,
+            });
+            match self.peek().kind {
+                TokenKind::Plus => {
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        Ok(terms)
+    }
+
+    fn init_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        self.advance(); // `init`
+        loop {
+            let species = self.expect_ident("in an `init` assignment")?;
+            self.expect(&TokenKind::Equals, "after the species name in `init`")?;
+            let value = self.expr()?;
+            ast.inits.push(InitAssign { species, value });
+            match self.peek().kind {
+                TokenKind::Comma => {
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&TokenKind::Semi, "after the `init` assignments")?;
+        Ok(())
+    }
+
+    // ---- expressions: precedence climbing -------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        if self.peek().kind == TokenKind::Minus {
+            let minus = self.advance();
+            let operand = self.unary()?;
+            let span = minus.span.to(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::Neg(Box::new(operand)),
+                span,
+            });
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr, LangError> {
+        let base = self.atom()?;
+        if self.peek().kind == TokenKind::Caret {
+            self.advance();
+            // right-associative: recurse through unary so `2 ^ -1` works
+            let exponent = self.unary()?;
+            let span = base.span.to(exponent.span);
+            return Ok(Expr {
+                kind: ExprKind::Binary {
+                    op: BinOp::Pow,
+                    lhs: Box::new(base),
+                    rhs: Box::new(exponent),
+                },
+                span,
+            });
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(value) => {
+                let token = self.advance();
+                Ok(Expr {
+                    kind: ExprKind::Number(value),
+                    span: token.span,
+                })
+            }
+            TokenKind::Ident(name) => {
+                let token = self.advance();
+                let ident = Ident {
+                    name,
+                    span: token.span,
+                };
+                if self.peek().kind == TokenKind::LParen {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            match self.peek().kind {
+                                TokenKind::Comma => {
+                                    self.advance();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    let close = self.expect(&TokenKind::RParen, "to close the argument list")?;
+                    let span = ident.span.to(close.span);
+                    return Ok(Expr {
+                        kind: ExprKind::Call { func: ident, args },
+                        span,
+                    });
+                }
+                Ok(Expr {
+                    kind: ExprKind::Ident(ident.name),
+                    span: ident.span,
+                })
+            }
+            TokenKind::LParen => {
+                let open = self.advance();
+                let inner = self.expr()?;
+                let close =
+                    self.expect(&TokenKind::RParen, "to close the parenthesised expression")?;
+                Ok(Expr {
+                    kind: inner.kind,
+                    span: open.span.to(close.span),
+                })
+            }
+            other => {
+                let span = self.peek().span;
+                Err(self.error(
+                    format!("expected an expression, found {}", other.describe()),
+                    span,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIR: &str = "
+model sir;
+species S, I, R;
+param contact in [1, 10];
+const a = 0.1;
+rule infect: S -> I @ (a + contact * I) * S;
+rule recover: I -> R @ 5 * I;
+init S = 0.7, I = 0.3, R = 0;
+";
+
+    #[test]
+    fn parses_a_complete_model() {
+        let ast = parse(SIR).unwrap();
+        assert_eq!(ast.name.name, "sir");
+        assert_eq!(ast.species.len(), 3);
+        assert_eq!(ast.params.len(), 1);
+        assert_eq!(ast.consts.len(), 1);
+        assert_eq!(ast.rules.len(), 2);
+        assert_eq!(ast.inits.len(), 3);
+        assert_eq!(ast.rules[0].reactants[0].species.name, "S");
+        assert_eq!(ast.rules[0].products[0].species.name, "I");
+    }
+
+    #[test]
+    fn stoichiometric_multiplicities_and_empty_sides() {
+        let ast = parse(
+            "model m; species X; param r in [0, 1];
+             rule birth: 0 -> 2 X @ r;
+             rule death: X -> 0 @ r * X;
+             init X = 0.5;",
+        )
+        .unwrap();
+        assert!(ast.rules[0].reactants.is_empty());
+        assert_eq!(ast.rules[0].products[0].multiplicity, 2.0);
+        assert!(ast.rules[1].products.is_empty());
+    }
+
+    #[test]
+    fn expression_precedence_and_unary_minus() {
+        let ast = parse(
+            "model m; species X; param r in [0,1]; rule g: X -> 0 @ -r + 2 * X ^ 2; init X = 1;",
+        )
+        .unwrap();
+        // -r + (2 * (X^2)): top node is Add with Neg on the left
+        let rate = &ast.rules[0].rate;
+        match &rate.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
+                assert!(matches!(lhs.kind, ExprKind::Neg(_)));
+                match &rhs.kind {
+                    ExprKind::Binary {
+                        op: BinOp::Mul,
+                        rhs: pow,
+                        ..
+                    } => {
+                        assert!(matches!(pow.kind, ExprKind::Binary { op: BinOp::Pow, .. }));
+                    }
+                    other => panic!("unexpected rhs {other:?}"),
+                }
+            }
+            other => panic!("unexpected rate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_expressions_parse() {
+        let ast = parse(
+            "model m; species X; param r in [0,1]; rule g: X -> 0 @ max(0, r * X); init X = 1;",
+        )
+        .unwrap();
+        match &ast.rules[0].rate.kind {
+            ExprKind::Call { func, args } => {
+                assert_eq!(func.name, "max");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected rate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_has_a_span() {
+        let err = parse("model m; species X\nparam r in [0,1];").unwrap_err();
+        match err {
+            LangError::Parse(d) => {
+                assert!(d.message.contains("`;`"), "message: {}", d.message);
+                assert_eq!(d.position.line, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stray_token_after_header_is_rejected() {
+        let err = parse("model m; 42").unwrap_err();
+        match err {
+            LangError::Parse(d) => assert!(d.message.contains("expected `species`")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_span_covers_the_brackets() {
+        let source = "model m; species X; param r in [3, 7]; rule g: X -> 0 @ r; init X = 1;";
+        let ast = parse(source).unwrap();
+        let span = ast.params[0].interval_span;
+        assert_eq!(&source[span.start..span.end], "[3, 7]");
+    }
+}

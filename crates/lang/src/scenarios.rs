@@ -1,0 +1,358 @@
+//! Scenario registry: named, ready-to-compile DSL models.
+//!
+//! The registry ships the paper's epidemic case studies re-expressed in the
+//! DSL (SIR of Section V, plus the SIS/SEIR variants of `mfu-models`) and
+//! two scenarios that exist only here:
+//!
+//! * **botnet** — malware propagation in a machine fleet with an imprecise
+//!   scanning rate: susceptible machines are compromised by active bots,
+//!   dwell in a dormant state, get detected and patched, and patched
+//!   machines eventually re-enter the vulnerable pool;
+//! * **load_balancer** — a closed two-server system where an imprecise
+//!   routing fraction splits dispatched jobs between a fast and a slow
+//!   server.
+//!
+//! Each scenario records a recommended analysis horizon and an objective
+//! coordinate (in reduced coordinates), so examples, tests and benches can
+//! drive every scenario through the same pipeline.
+
+use std::collections::BTreeMap;
+
+use crate::compile::CompiledModel;
+use crate::diagnostics::LangError;
+
+/// A named DSL model with analysis defaults.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    name: String,
+    summary: String,
+    source: String,
+    horizon: f64,
+    objective: usize,
+}
+
+impl Scenario {
+    /// Creates a scenario from a DSL source.
+    ///
+    /// `objective` is the index (in *reduced* coordinates) of the state
+    /// variable that examples and benches bound by default; `horizon` the
+    /// recommended analysis horizon.
+    pub fn new(
+        name: impl Into<String>,
+        summary: impl Into<String>,
+        source: impl Into<String>,
+        horizon: f64,
+        objective: usize,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            summary: summary.into(),
+            source: source.into(),
+            horizon,
+            objective,
+        }
+    }
+
+    /// Registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// The DSL source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Recommended analysis horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Reduced-coordinate index of the default objective variable.
+    pub fn objective_coordinate(&self) -> usize {
+        self.objective
+    }
+
+    /// Parses, validates and compiles the scenario source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LangError`] from the pipeline.
+    pub fn compile(&self) -> Result<CompiledModel, LangError> {
+        crate::compile(&self.source)
+    }
+}
+
+/// A name-indexed collection of scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRegistry {
+    scenarios: BTreeMap<String, Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// A registry pre-populated with the built-in scenarios
+    /// (`sir`, `sis`, `seir`, `botnet`, `load_balancer`).
+    pub fn with_builtins() -> Self {
+        let mut registry = ScenarioRegistry::new();
+        for scenario in builtins() {
+            registry.register(scenario);
+        }
+        registry
+    }
+
+    /// Registers (or replaces) a scenario, returning the previous entry
+    /// under the same name, if any.
+    pub fn register(&mut self, scenario: Scenario) -> Option<Scenario> {
+        self.scenarios.insert(scenario.name.clone(), scenario)
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.get(name)
+    }
+
+    /// Compiles the named scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Backend`] for an unknown name, or any pipeline
+    /// error from the scenario source.
+    pub fn compile(&self, name: &str) -> Result<CompiledModel, LangError> {
+        self.get(name)
+            .ok_or_else(|| {
+                LangError::Backend(format!(
+                    "unknown scenario `{name}` (registered: {})",
+                    self.names().join(", ")
+                ))
+            })?
+            .compile()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.scenarios.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over scenarios in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.values()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// The SIR epidemic of Section V of the paper (`SirModel::paper()` in
+/// `mfu-models`): `a = 0.1`, `b = 5`, `c = 1`, `ϑ ∈ [1, 10]`,
+/// `x(0) = (0.7, 0.3, 0)`.
+pub const SIR_SOURCE: &str = "\
+model sir;
+// The SIR epidemic of Section V: external infections at rate a, imprecise
+// person-to-person contact rate, recovery and loss of immunity.
+species S, I, R;
+param contact in [1, 10];
+const a = 0.1;
+const b = 5;
+const c = 1;
+rule infect:  S -> I @ (a + contact * I) * S;
+rule recover: I -> R @ b * I;
+rule wane:    R -> S @ c * R;
+init S = 0.7, I = 0.3, R = 0;
+";
+
+/// The supercritical SIS variant (`SisModel::supercritical()`), written on
+/// `(I, S)` so the reduced drift lives on the infected fraction.
+pub const SIS_SOURCE: &str = "\
+model sis;
+// SIS epidemic: infected nodes recover straight back to susceptible. The
+// infected fraction is listed first so the reduced drift is 1-dimensional
+// on x_I with x_S = 1 - x_I.
+species I, S;
+param contact in [2, 4];
+const b = 1;
+rule infect:  S -> I @ contact * S * I;
+rule recover: I -> S @ b * I;
+init I = 0.2, S = 0.8;
+";
+
+/// The SEIR variant (`SeirModel::sir_like()`): SIR parameters plus a
+/// latency stage of rate `σ = 2`.
+pub const SEIR_SOURCE: &str = "\
+model seir;
+// SEIR epidemic: newly infected nodes are exposed (infected but not yet
+// infectious) and become infectious at rate sigma.
+species S, E, I, R;
+param contact in [1, 10];
+const a = 0.1;
+const sigma = 2;
+const b = 5;
+const c = 1;
+rule expose:     S -> E @ (a + contact * I) * S;
+rule infectious: E -> I @ sigma * E;
+rule recover:    I -> R @ b * I;
+rule wane:       R -> S @ c * R;
+init S = 0.7, E = 0, I = 0.3, R = 0;
+";
+
+/// Malware/botnet propagation with an imprecise scanning rate (not in the
+/// paper).
+pub const BOTNET_SOURCE: &str = "\
+model botnet;
+// Malware propagation in a machine fleet. Active bots (A) scan and
+// compromise susceptible machines (S) at an imprecise rate; compromised
+// machines dwell dormant (D) before activating, active bots are detected
+// and patched (P), susceptibles are proactively hardened, and patched
+// machines eventually re-enter the vulnerable pool (re-imaging, churn).
+species S, D, A, P;
+param scan in [0.5, 4];
+const wake = 2;        // dormant bots activate
+const detect = 1.5;    // active bots detected and cleaned
+const harden = 0.05;   // proactive patching of susceptible machines
+const churn = 0.8;     // patched machines return to the vulnerable pool
+rule infect:   S -> D @ scan * A * S;
+rule activate: D -> A @ wake * D;
+rule cleanup:  A -> P @ detect * A;
+rule patch:    S -> P @ harden * S;
+rule reimage:  P -> S @ churn * P;
+init S = 0.9, D = 0.05, A = 0.05, P = 0;
+";
+
+/// A closed two-server load balancer with an imprecise routing fraction
+/// (not in the paper).
+pub const LOAD_BALANCER_SOURCE: &str = "\
+model load_balancer;
+// A closed client-server system: idle clients submit jobs at rate lambda;
+// an imprecise fraction `route` of jobs goes to the fast server (queue
+// Q1, service rate mu1), the rest to the slow server (Q2, mu2). Service
+// completions return clients to the idle pool.
+species Idle, Q1, Q2;
+param route in [0.2, 0.8];
+const lambda = 2;
+const mu1 = 3;
+const mu2 = 2;
+rule dispatch_fast: Idle -> Q1 @ lambda * route * Idle;
+rule dispatch_slow: Idle -> Q2 @ lambda * (1 - route) * Idle;
+rule serve_fast:    Q1 -> Idle @ mu1 * Q1;
+rule serve_slow:    Q2 -> Idle @ mu2 * Q2;
+init Idle = 1, Q1 = 0, Q2 = 0;
+";
+
+fn builtins() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "sir",
+            "SIR epidemic of Section V with an imprecise contact rate",
+            SIR_SOURCE,
+            3.0,
+            1,
+        ),
+        Scenario::new(
+            "sis",
+            "supercritical SIS epidemic (1-dimensional reduced state)",
+            SIS_SOURCE,
+            8.0,
+            0,
+        ),
+        Scenario::new(
+            "seir",
+            "SEIR epidemic: SIR parameters plus a latency stage",
+            SEIR_SOURCE,
+            3.0,
+            2,
+        ),
+        Scenario::new(
+            "botnet",
+            "malware propagation with an imprecise scanning rate",
+            BOTNET_SOURCE,
+            5.0,
+            2,
+        ),
+        Scenario::new(
+            "load_balancer",
+            "closed two-server system with an imprecise routing fraction",
+            LOAD_BALANCER_SOURCE,
+            6.0,
+            1,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_register_and_compile() {
+        let registry = ScenarioRegistry::with_builtins();
+        assert_eq!(
+            registry.names(),
+            vec!["botnet", "load_balancer", "seir", "sir", "sis"]
+        );
+        assert_eq!(registry.len(), 5);
+        assert!(!registry.is_empty());
+        for scenario in registry.iter() {
+            let model = scenario.compile().unwrap_or_else(|e| {
+                panic!("scenario `{}` failed to compile:\n{e}", scenario.name())
+            });
+            assert_eq!(model.name(), scenario.name());
+            assert!(
+                scenario.objective_coordinate() < model.reduced_initial_state().dim(),
+                "objective out of range for `{}`",
+                scenario.name()
+            );
+            assert!(scenario.horizon() > 0.0);
+            assert!(!scenario.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn all_builtin_scenarios_are_conservative() {
+        let registry = ScenarioRegistry::with_builtins();
+        for scenario in registry.iter() {
+            let model = scenario.compile().unwrap();
+            assert!(
+                model.is_conservative(),
+                "`{}` should conserve mass",
+                scenario.name()
+            );
+            assert!((model.total_mass() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_reports_known_names() {
+        let registry = ScenarioRegistry::with_builtins();
+        let err = registry.compile("nope").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("unknown scenario"));
+        assert!(text.contains("sir"));
+    }
+
+    #[test]
+    fn registration_replaces_and_returns_previous() {
+        let mut registry = ScenarioRegistry::new();
+        assert!(registry
+            .register(Scenario::new("x", "first", SIR_SOURCE, 1.0, 0))
+            .is_none());
+        let previous = registry.register(Scenario::new("x", "second", SIS_SOURCE, 2.0, 0));
+        assert_eq!(previous.unwrap().summary(), "first");
+        assert_eq!(registry.get("x").unwrap().summary(), "second");
+    }
+}

@@ -1,0 +1,108 @@
+//! Tokens of the model language.
+
+use std::fmt;
+
+use crate::diagnostics::Span;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `model`
+    KwModel,
+    /// `species`
+    KwSpecies,
+    /// `param`
+    KwParam,
+    /// `const`
+    KwConst,
+    /// `rule`
+    KwRule,
+    /// `init`
+    KwInit,
+    /// `in`
+    KwIn,
+    /// An identifier (species, parameter, constant, rule or function name).
+    Ident(String),
+    /// A numeric literal (integer or decimal, optional exponent).
+    Number(f64),
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `@`
+    At,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// End of input (synthetic, always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::KwModel => "`model`".into(),
+            TokenKind::KwSpecies => "`species`".into(),
+            TokenKind::KwParam => "`param`".into(),
+            TokenKind::KwConst => "`const`".into(),
+            TokenKind::KwRule => "`rule`".into(),
+            TokenKind::KwInit => "`init`".into(),
+            TokenKind::KwIn => "`in`".into(),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Number(v) => format!("number `{v}`"),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Equals => "`=`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}

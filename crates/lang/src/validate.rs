@@ -1,0 +1,607 @@
+//! Semantic validation and identifier resolution.
+//!
+//! Turns a syntactic [`ModelAst`] into a [`ResolvedModel`]: all names bound
+//! to species/parameter indices or inlined constants, stoichiometry turned
+//! into jump vectors, intervals and initial conditions checked. Every
+//! rejection is a [`LangError::Validate`] carrying a [`Diagnostic`] whose
+//! span points at the offending source text.
+//!
+//! Checks performed:
+//!
+//! * duplicate or cross-namespace-clashing species/param/const/rule names;
+//! * at least one `species`, one `param`, one `rule` and a complete `init`;
+//! * `const` definitions and `param`/`init` bounds are constant expressions
+//!   (no species or parameter references) with finite values;
+//! * parameter intervals are not inverted (`lo <= hi`) and not NaN;
+//! * rule sides only mention declared species, with positive integer
+//!   multiplicities, and every rule has a non-zero net stoichiometry;
+//! * rate expressions reference only declared identifiers and call builtin
+//!   functions with the right arity;
+//! * initial fractions are non-negative and assigned exactly once per
+//!   species.
+
+use std::collections::HashMap;
+
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_num::StateVec;
+
+use crate::ast::{BinOp, Expr, ExprKind, ModelAst};
+use crate::diagnostics::{Diagnostic, LangError, Span};
+use crate::expr::{Builtin, CompiledExpr};
+
+/// Largest admissible stoichiometric multiplicity.
+const MAX_MULTIPLICITY: f64 = 1e6;
+
+/// A fully resolved, validated model ready for backend compilation.
+#[derive(Debug, Clone)]
+pub struct ResolvedModel {
+    /// Model name from the header.
+    pub name: String,
+    /// Species names, in declaration order (these index the state).
+    pub species: Vec<String>,
+    /// The uncertainty set `Θ` built from the `param` declarations.
+    pub param_space: ParamSpace,
+    /// Named constants with their folded values (for introspection).
+    pub consts: Vec<(String, f64)>,
+    /// Resolved transition rules.
+    pub rules: Vec<ResolvedRule>,
+    /// Initial fraction per species, in species order.
+    pub init: Vec<f64>,
+}
+
+/// One resolved rule: a jump vector plus a compiled rate.
+#[derive(Debug, Clone)]
+pub struct ResolvedRule {
+    /// Rule name, used for transition diagnostics.
+    pub name: String,
+    /// Net change per species (`products - reactants`).
+    pub change: Vec<f64>,
+    /// Compiled rate expression over `(state, params)`.
+    pub rate: CompiledExpr,
+}
+
+impl ResolvedModel {
+    /// `true` when every rule conserves the total population (all jump
+    /// vectors sum to zero), which enables the reduced-coordinate drift.
+    pub fn is_conservative(&self) -> bool {
+        self.rules
+            .iter()
+            .all(|r| r.change.iter().sum::<f64>().abs() < 1e-12)
+    }
+}
+
+enum Binding {
+    Species(usize),
+    Param(usize),
+    Const(f64),
+}
+
+struct SymbolTable<'v> {
+    bindings: &'v HashMap<String, Binding>,
+    /// `true` while resolving const/param/init expressions, where species
+    /// and parameter references are rejected.
+    constant_context: bool,
+    source: &'v str,
+}
+
+impl SymbolTable<'_> {
+    fn resolve(&self, expr: &Expr) -> Result<CompiledExpr, LangError> {
+        let compiled = self.resolve_inner(expr)?;
+        Ok(fold(compiled))
+    }
+
+    fn resolve_inner(&self, expr: &Expr) -> Result<CompiledExpr, LangError> {
+        match &expr.kind {
+            ExprKind::Number(v) => Ok(CompiledExpr::Const(*v)),
+            ExprKind::Ident(name) => match self.bindings.get(name) {
+                Some(Binding::Species(i)) if !self.constant_context => {
+                    Ok(CompiledExpr::Species(*i))
+                }
+                Some(Binding::Param(j)) if !self.constant_context => Ok(CompiledExpr::Param(*j)),
+                Some(Binding::Species(_)) => Err(self.error(
+                    format!("species `{name}` cannot appear in a constant expression"),
+                    expr.span,
+                )),
+                Some(Binding::Param(_)) => Err(self.error(
+                    format!("parameter `{name}` cannot appear in a constant expression"),
+                    expr.span,
+                )),
+                Some(Binding::Const(v)) => Ok(CompiledExpr::Const(*v)),
+                None if name == "N" => Ok(CompiledExpr::Const(1.0)),
+                None => Err(self.error(format!("unknown identifier `{name}`"), expr.span)),
+            },
+            ExprKind::Neg(inner) => Ok(CompiledExpr::Neg(Box::new(self.resolve_inner(inner)?))),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lhs = Box::new(self.resolve_inner(lhs)?);
+                let rhs = Box::new(self.resolve_inner(rhs)?);
+                Ok(match op {
+                    BinOp::Add => CompiledExpr::Add(lhs, rhs),
+                    BinOp::Sub => CompiledExpr::Sub(lhs, rhs),
+                    BinOp::Mul => CompiledExpr::Mul(lhs, rhs),
+                    BinOp::Div => CompiledExpr::Div(lhs, rhs),
+                    BinOp::Pow => CompiledExpr::Pow(lhs, rhs),
+                })
+            }
+            ExprKind::Call { func, args } => {
+                let Some((builtin, arity)) = Builtin::by_name(&func.name) else {
+                    return Err(self.error(
+                        format!(
+                            "unknown function `{}` (builtins: min, max, abs, exp, log, sqrt, pow)",
+                            func.name
+                        ),
+                        func.span,
+                    ));
+                };
+                if args.len() != arity {
+                    return Err(self.error(
+                        format!(
+                            "function `{}` takes {arity} argument(s), found {}",
+                            func.name,
+                            args.len()
+                        ),
+                        expr.span,
+                    ));
+                }
+                let mut resolved: Vec<CompiledExpr> = args
+                    .iter()
+                    .map(|a| self.resolve_inner(a))
+                    .collect::<Result<_, _>>()?;
+                if arity == 1 {
+                    Ok(CompiledExpr::Call1(builtin, Box::new(resolved.remove(0))))
+                } else {
+                    let second = resolved.remove(1);
+                    Ok(CompiledExpr::Call2(
+                        builtin,
+                        Box::new(resolved.remove(0)),
+                        Box::new(second),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn error(&self, message: String, span: Span) -> LangError {
+        LangError::Validate(Diagnostic::new(message, span, self.source))
+    }
+}
+
+/// Folds constant subtrees bottom-up, so rates pay no cost for named
+/// constants or arithmetic on literals.
+fn fold(expr: CompiledExpr) -> CompiledExpr {
+    use CompiledExpr as E;
+    let folded = match expr {
+        E::Neg(a) => E::Neg(Box::new(fold(*a))),
+        E::Add(a, b) => E::Add(Box::new(fold(*a)), Box::new(fold(*b))),
+        E::Sub(a, b) => E::Sub(Box::new(fold(*a)), Box::new(fold(*b))),
+        E::Mul(a, b) => E::Mul(Box::new(fold(*a)), Box::new(fold(*b))),
+        E::Div(a, b) => E::Div(Box::new(fold(*a)), Box::new(fold(*b))),
+        E::Pow(a, b) => E::Pow(Box::new(fold(*a)), Box::new(fold(*b))),
+        E::Call1(f, a) => E::Call1(f, Box::new(fold(*a))),
+        E::Call2(f, a, b) => E::Call2(f, Box::new(fold(*a)), Box::new(fold(*b))),
+        leaf => leaf,
+    };
+    let all_const = match &folded {
+        E::Const(_) => return folded,
+        E::Species(_) | E::Param(_) => false,
+        E::Neg(a) | E::Call1(_, a) => a.as_const().is_some(),
+        E::Add(a, b)
+        | E::Sub(a, b)
+        | E::Mul(a, b)
+        | E::Div(a, b)
+        | E::Pow(a, b)
+        | E::Call2(_, a, b) => a.as_const().is_some() && b.as_const().is_some(),
+    };
+    if all_const {
+        E::Const(folded.eval(&StateVec::zeros(0), &[]))
+    } else {
+        folded
+    }
+}
+
+/// Validates an AST and resolves it into a [`ResolvedModel`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Validate`] (with a source-span diagnostic) on the
+/// first semantic problem, or [`LangError::Backend`] if the parameter
+/// space is rejected by `mfu-ctmc`.
+pub fn validate(ast: &ModelAst, source: &str) -> Result<ResolvedModel, LangError> {
+    let err =
+        |message: String, span: Span| LangError::Validate(Diagnostic::new(message, span, source));
+
+    // --- declarations: uniqueness across namespaces ----------------------
+    let mut bindings: HashMap<String, Binding> = HashMap::new();
+    let claim = |bindings: &HashMap<String, Binding>, name: &str, span: Span, what: &str| {
+        if bindings.contains_key(name) {
+            Err(err(
+                format!("{what} `{name}` conflicts with an earlier declaration"),
+                span,
+            ))
+        } else {
+            Ok(())
+        }
+    };
+
+    if ast.species.is_empty() {
+        return Err(err(
+            "a model must declare at least one species".into(),
+            ast.name.span,
+        ));
+    }
+    for (i, sp) in ast.species.iter().enumerate() {
+        claim(&bindings, &sp.name, sp.span, "species")?;
+        bindings.insert(sp.name.clone(), Binding::Species(i));
+    }
+
+    // consts resolve in declaration order (earlier consts are usable)
+    let mut consts = Vec::with_capacity(ast.consts.len());
+    for c in &ast.consts {
+        claim(&bindings, &c.name.name, c.name.span, "constant")?;
+        let table = SymbolTable {
+            bindings: &bindings,
+            constant_context: true,
+            source,
+        };
+        let compiled = table.resolve(&c.value)?;
+        let value = compiled.as_const().ok_or_else(|| {
+            err(
+                format!("constant `{}` must be a constant expression", c.name.name),
+                c.value.span,
+            )
+        })?;
+        if !value.is_finite() {
+            return Err(err(
+                format!(
+                    "constant `{}` evaluates to the non-finite value {value}",
+                    c.name.name
+                ),
+                c.value.span,
+            ));
+        }
+        bindings.insert(c.name.name.clone(), Binding::Const(value));
+        consts.push((c.name.name.clone(), value));
+    }
+
+    // params: bounds are constant expressions; intervals must not be inverted
+    if ast.params.is_empty() {
+        return Err(err(
+            "a model must declare at least one `param` (use a degenerate interval `[v, v]` for a precise rate)"
+                .into(),
+            ast.name.span,
+        ));
+    }
+    let mut intervals = Vec::with_capacity(ast.params.len());
+    for (j, p) in ast.params.iter().enumerate() {
+        claim(&bindings, &p.name.name, p.name.span, "parameter")?;
+        let table = SymbolTable {
+            bindings: &bindings,
+            constant_context: true,
+            source,
+        };
+        let lo_expr = table.resolve(&p.lo)?;
+        let hi_expr = table.resolve(&p.hi)?;
+        let lo = lo_expr.as_const().ok_or_else(|| {
+            err(
+                format!(
+                    "lower bound of `{}` must be a constant expression",
+                    p.name.name
+                ),
+                p.lo.span,
+            )
+        })?;
+        let hi = hi_expr.as_const().ok_or_else(|| {
+            err(
+                format!(
+                    "upper bound of `{}` must be a constant expression",
+                    p.name.name
+                ),
+                p.hi.span,
+            )
+        })?;
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(err(
+                format!(
+                    "interval of `{}` has a non-finite bound [{lo}, {hi}]",
+                    p.name.name
+                ),
+                p.interval_span,
+            ));
+        }
+        if lo > hi {
+            return Err(err(
+                format!(
+                    "interval of `{}` is inverted: lower bound {lo} exceeds upper bound {hi}",
+                    p.name.name
+                ),
+                p.interval_span,
+            ));
+        }
+        bindings.insert(p.name.name.clone(), Binding::Param(j));
+        intervals.push((p.name.name.clone(), Interval::new(lo, hi)?));
+    }
+    let param_space = ParamSpace::new(intervals)?;
+
+    // --- rules -----------------------------------------------------------
+    if ast.rules.is_empty() {
+        return Err(err(
+            "a model must declare at least one rule".into(),
+            ast.name.span,
+        ));
+    }
+    let mut rule_names: HashMap<&str, ()> = HashMap::new();
+    let mut rules = Vec::with_capacity(ast.rules.len());
+    for rule in &ast.rules {
+        if rule_names.insert(rule.name.name.as_str(), ()).is_some() {
+            return Err(err(
+                format!("duplicate rule name `{}`", rule.name.name),
+                rule.name.span,
+            ));
+        }
+        let mut change = vec![0.0; ast.species.len()];
+        for (side, sign) in [(&rule.reactants, -1.0), (&rule.products, 1.0)] {
+            for term in side {
+                let Some(Binding::Species(index)) = bindings.get(&term.species.name) else {
+                    return Err(err(
+                        format!(
+                            "`{}` is not a declared species (rule sides may only mention species)",
+                            term.species.name
+                        ),
+                        term.species.span,
+                    ));
+                };
+                let m = term.multiplicity;
+                if m <= 0.0 || m.fract() != 0.0 || m > MAX_MULTIPLICITY {
+                    return Err(err(
+                        format!(
+                            "stoichiometric multiplicity must be a positive integer, found `{m}`"
+                        ),
+                        term.multiplicity_span,
+                    ));
+                }
+                change[*index] += sign * m;
+            }
+        }
+        if change.iter().all(|&c| c == 0.0) {
+            return Err(err(
+                format!(
+                    "rule `{}` has zero net stoichiometry: it would never change the state",
+                    rule.name.name
+                ),
+                rule.span,
+            ));
+        }
+        let table = SymbolTable {
+            bindings: &bindings,
+            constant_context: false,
+            source,
+        };
+        let rate = table.resolve(&rule.rate)?;
+        rules.push(ResolvedRule {
+            name: rule.name.name.clone(),
+            change,
+            rate,
+        });
+    }
+
+    // --- init ------------------------------------------------------------
+    if ast.inits.is_empty() {
+        return Err(err(
+            "a model must provide an `init` block".into(),
+            ast.name.span,
+        ));
+    }
+    let mut init: Vec<Option<f64>> = vec![None; ast.species.len()];
+    for assign in &ast.inits {
+        let Some(Binding::Species(index)) = bindings.get(&assign.species.name) else {
+            return Err(err(
+                format!("`{}` is not a declared species", assign.species.name),
+                assign.species.span,
+            ));
+        };
+        if init[*index].is_some() {
+            return Err(err(
+                format!("species `{}` is initialised twice", assign.species.name),
+                assign.species.span,
+            ));
+        }
+        let table = SymbolTable {
+            bindings: &bindings,
+            constant_context: true,
+            source,
+        };
+        let value_expr = table.resolve(&assign.value)?;
+        let value = value_expr.as_const().ok_or_else(|| {
+            err(
+                format!(
+                    "initial value of `{}` must be a constant expression",
+                    assign.species.name
+                ),
+                assign.value.span,
+            )
+        })?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(err(
+                format!(
+                    "initial value of `{}` must be finite and non-negative, found {value}",
+                    assign.species.name
+                ),
+                assign.value.span,
+            ));
+        }
+        init[*index] = Some(value);
+    }
+    for (i, slot) in init.iter().enumerate() {
+        if slot.is_none() {
+            return Err(err(
+                format!("species `{}` is never initialised", ast.species[i].name),
+                ast.species[i].span,
+            ));
+        }
+    }
+
+    Ok(ResolvedModel {
+        name: ast.name.name.clone(),
+        species: ast.species.iter().map(|s| s.name.clone()).collect(),
+        param_space,
+        consts,
+        rules,
+        init: init
+            .into_iter()
+            .map(|v| v.expect("checked above"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(source: &str) -> Result<ResolvedModel, LangError> {
+        validate(&parse(source).unwrap(), source)
+    }
+
+    fn validate_err(source: &str) -> Diagnostic {
+        match check(source).unwrap_err() {
+            LangError::Validate(d) => d,
+            other => panic!("expected a validation error, got {other:?}"),
+        }
+    }
+
+    const SIR: &str = "model sir;
+species S, I, R;
+param contact in [1, 10];
+const a = 0.1;
+const b = 5;
+const c = 1;
+rule infect: S -> I @ (a + contact * I) * S;
+rule recover: I -> R @ b * I;
+rule wane: R -> S @ c * R;
+init S = 0.7, I = 0.3, R = 0;
+";
+
+    #[test]
+    fn resolves_the_sir_model() {
+        let model = check(SIR).unwrap();
+        assert_eq!(model.species, vec!["S", "I", "R"]);
+        assert_eq!(model.param_space.names(), &["contact".to_string()]);
+        assert_eq!(model.rules.len(), 3);
+        assert_eq!(model.rules[0].change, vec![-1.0, 1.0, 0.0]);
+        assert_eq!(model.init, vec![0.7, 0.3, 0.0]);
+        assert!(model.is_conservative());
+        // rate at (0.7, 0.3, 0) with contact = 2: (0.1 + 0.6) * 0.7 = 0.49
+        let x = StateVec::from([0.7, 0.3, 0.0]);
+        assert!((model.rules[0].rate.eval(&x, &[2.0]) - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_folding_inlines_consts() {
+        let model = check(
+            "model m; species X; param r in [0, 1];
+             const k = 2 * 3;
+             rule g: X -> 0 @ k * r * X;
+             init X = 1;",
+        )
+        .unwrap();
+        assert_eq!(model.consts, vec![("k".to_string(), 6.0)]);
+        // the folded rate tree must contain the literal 6
+        let text = format!("{:?}", model.rules[0].rate);
+        assert!(text.contains("6.0"), "rate not folded: {text}");
+    }
+
+    #[test]
+    fn unknown_identifier_in_rate_has_a_span() {
+        let source = "model m; species X; param r in [0,1]; rule g: X -> 0 @ beta * X; init X = 1;";
+        let d = validate_err(source);
+        assert!(d.message.contains("unknown identifier `beta`"));
+        assert_eq!(&source[d.span.start..d.span.end], "beta");
+    }
+
+    #[test]
+    fn inverted_interval_is_rejected_with_span() {
+        let source = "model m; species X; param r in [2, 1]; rule g: X -> 0 @ r * X; init X = 1;";
+        let d = validate_err(source);
+        assert!(d.message.contains("inverted"));
+        assert_eq!(&source[d.span.start..d.span.end], "[2, 1]");
+    }
+
+    #[test]
+    fn unknown_species_in_rule_side_is_rejected() {
+        let d =
+            validate_err("model m; species X; param r in [0,1]; rule g: X -> Q @ r; init X = 1;");
+        assert!(d.message.contains("`Q` is not a declared species"));
+    }
+
+    #[test]
+    fn fractional_and_zero_multiplicities_are_rejected() {
+        let d = validate_err(
+            "model m; species X, Y; param r in [0,1]; rule g: X -> 1.5 Y @ r; init X = 1, Y = 0;",
+        );
+        assert!(d.message.contains("positive integer"));
+    }
+
+    #[test]
+    fn noop_rule_is_rejected() {
+        let d =
+            validate_err("model m; species X; param r in [0,1]; rule g: X -> X @ r; init X = 1;");
+        assert!(d.message.contains("zero net stoichiometry"));
+    }
+
+    #[test]
+    fn missing_init_names_the_species() {
+        let d = validate_err(
+            "model m; species X, Y; param r in [0,1]; rule g: X -> Y @ r; init X = 1;",
+        );
+        assert!(d.message.contains("`Y` is never initialised"));
+    }
+
+    #[test]
+    fn duplicate_names_across_namespaces_are_rejected() {
+        let d =
+            validate_err("model m; species X; param X in [0,1]; rule g: X -> 0 @ 1; init X = 1;");
+        assert!(d.message.contains("conflicts"));
+    }
+
+    #[test]
+    fn species_in_const_expression_is_rejected() {
+        let d = validate_err(
+            "model m; species X; param r in [0,1]; const k = X; rule g: X -> 0 @ r; init X = 1;",
+        );
+        assert!(d.message.contains("constant expression"));
+    }
+
+    #[test]
+    fn missing_param_suggests_degenerate_interval() {
+        let d = validate_err("model m; species X; rule g: X -> 0 @ X; init X = 1;");
+        assert!(d.message.contains("degenerate interval"));
+    }
+
+    #[test]
+    fn builtin_arity_is_checked() {
+        let d = validate_err(
+            "model m; species X; param r in [0,1]; rule g: X -> 0 @ max(X); init X = 1;",
+        );
+        assert!(d.message.contains("2 argument"));
+        let d = validate_err(
+            "model m; species X; param r in [0,1]; rule g: X -> 0 @ foo(X); init X = 1;",
+        );
+        assert!(d.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn n_is_a_builtin_scale_constant() {
+        let model =
+            check("model m; species X; param r in [0,1]; rule g: X -> 0 @ r * X / N; init X = 1;")
+                .unwrap();
+        let x = StateVec::from([0.5]);
+        assert!((model.rules[0].rate.eval(&x, &[1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonconservative_models_are_flagged() {
+        let model =
+            check("model m; species X; param r in [0,1]; rule birth: 0 -> X @ r; init X = 0.5;")
+                .unwrap();
+        assert!(!model.is_conservative());
+    }
+}

@@ -1,0 +1,109 @@
+//! Parser and validation error-case tests: each rejected source must
+//! produce a diagnostic whose span points at the exact offending text.
+
+use mfu_lang::{compile, LangError};
+
+/// Compiles expecting failure and returns (message, highlighted source slice,
+/// line, column).
+fn diag(source: &str) -> (String, String, usize, usize) {
+    let err = compile(source).expect_err("source should be rejected");
+    let d = err
+        .diagnostic()
+        .unwrap_or_else(|| panic!("error should carry a diagnostic, got {err:?}"))
+        .clone();
+    let highlighted = source[d.span.start..d.span.end.min(source.len())].to_string();
+    (d.message, highlighted, d.position.line, d.position.col)
+}
+
+#[test]
+fn unbound_identifier_in_rate_is_pinpointed() {
+    let source = "model m;\nspecies S, I;\nparam k in [1, 2];\nrule infect: S -> I @ beta * S * I;\ninit S = 0.5, I = 0.5;";
+    let (message, highlighted, line, col) = diag(source);
+    assert!(message.contains("unknown identifier `beta`"), "{message}");
+    assert_eq!(highlighted, "beta");
+    assert_eq!(line, 4);
+    assert_eq!(col, 23);
+}
+
+#[test]
+fn inverted_interval_is_pinpointed() {
+    let source =
+        "model m;\nspecies X;\nparam rate in [5, 2];\nrule decay: X -> 0 @ rate * X;\ninit X = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("inverted"), "{message}");
+    assert_eq!(highlighted, "[5, 2]");
+    assert_eq!(line, 3);
+}
+
+#[test]
+fn bad_stoichiometry_species_is_pinpointed() {
+    let source =
+        "model m;\nspecies X;\nparam r in [0, 1];\nrule grow: X -> X + Q @ r * X;\ninit X = 1;";
+    let (message, highlighted, line, col) = diag(source);
+    assert!(message.contains("not a declared species"), "{message}");
+    assert_eq!(highlighted, "Q");
+    assert_eq!(line, 4);
+    assert_eq!(col, 21);
+}
+
+#[test]
+fn fractional_multiplicity_is_pinpointed() {
+    let source = "model m;\nspecies X, Y;\nparam r in [0, 1];\nrule split: X -> 2.5 Y @ r * X;\ninit X = 1, Y = 0;";
+    let (message, highlighted, _, _) = diag(source);
+    assert!(message.contains("positive integer"), "{message}");
+    assert_eq!(highlighted, "2.5");
+}
+
+#[test]
+fn missing_semicolon_is_a_parse_error_at_the_next_token() {
+    let source = "model m;\nspecies X\nparam r in [0, 1];";
+    let err = compile(source).unwrap_err();
+    assert!(matches!(err, LangError::Parse(_)));
+    let d = err.diagnostic().unwrap();
+    assert_eq!(
+        d.position.line, 3,
+        "error should point at the token after the missing `;`"
+    );
+}
+
+#[test]
+fn rate_referencing_rule_name_is_unbound() {
+    // rule names live in their own namespace; using one as a value is an
+    // unknown-identifier error, not a silent binding.
+    let source = "model m;\nspecies X;\nparam r in [0, 1];\nrule decay: X -> 0 @ r * X;\nrule echo: X -> 0 @ decay * X;\ninit X = 1;";
+    let (message, highlighted, _, _) = diag(source);
+    assert!(message.contains("unknown identifier `decay`"), "{message}");
+    assert_eq!(highlighted, "decay");
+}
+
+#[test]
+fn rendered_diagnostic_contains_caret_under_the_span() {
+    let source = "model m;\nspecies X;\nparam r in [0, 1];\nrule g: X -> 0 @ nope;\ninit X = 1;";
+    let err = compile(source).unwrap_err();
+    let rendered = err.to_string();
+    let lines: Vec<&str> = rendered.lines().collect();
+    // the caret line must align under `nope` in the quoted source line
+    let quoted = lines
+        .iter()
+        .position(|l| l.contains("rule g"))
+        .expect("quoted source line");
+    let caret_line = lines[quoted + 1];
+    let source_line = lines[quoted];
+    let caret_at = caret_line.find('^').expect("caret");
+    assert_eq!(&source_line[caret_at..caret_at + 4], "nope");
+    assert!(caret_line.contains("^^^^"));
+}
+
+#[test]
+fn duplicate_init_and_missing_init_are_pinpointed() {
+    let twice = "model m;\nspecies X, Y;\nparam r in [0,1];\nrule g: X -> Y @ r;\ninit X = 1, Y = 0, X = 2;";
+    let (message, highlighted, _, _) = diag(twice);
+    assert!(message.contains("initialised twice"), "{message}");
+    assert_eq!(highlighted, "X");
+
+    let missing = "model m;\nspecies X, Y;\nparam r in [0,1];\nrule g: X -> Y @ r;\ninit X = 1;";
+    let (message, highlighted, line, _) = diag(missing);
+    assert!(message.contains("never initialised"), "{message}");
+    assert_eq!(highlighted, "Y");
+    assert_eq!(line, 2, "span should point at the declaration of Y");
+}

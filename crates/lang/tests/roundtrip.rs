@@ -1,0 +1,116 @@
+//! Round-trip property tests: models written in the DSL must agree with
+//! the hand-coded `mfu-models` versions — transition rates, full drifts
+//! and reduced drifts — on randomly sampled states and parameters.
+//!
+//! The DSL sources come from the `dsl_source()` cross-validation hooks on
+//! the hand-coded models, so the two representations are generated from
+//! the *same* configured parameters.
+
+use mfu_core::drift::ImpreciseDrift;
+use mfu_models::seir::SeirModel;
+use mfu_models::sir::SirModel;
+use mfu_models::sis::SisModel;
+use mfu_num::StateVec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DSL SIR == hand-coded SIR: full population drift, per-transition
+    /// rates and total exit rate, on simplex states and admissible ϑ.
+    #[test]
+    fn sir_population_model_round_trips(s in 0.0..1.0f64, i in 0.0..1.0f64, pick in 0.0..1.0f64) {
+        let i = i * (1.0 - s);
+        let sir = SirModel::paper();
+        let hand = sir.population_model().unwrap();
+        let dsl = mfu_lang::compile(&sir.dsl_source()).unwrap().population_model().unwrap();
+        let theta = [sir.contact_min + pick * (sir.contact_max - sir.contact_min)];
+        let x = StateVec::from([s, i, 1.0 - s - i]);
+
+        let a = hand.drift(&x, &theta).unwrap();
+        let b = dsl.drift(&x, &theta).unwrap();
+        for k in 0..3 {
+            prop_assert!((a[k] - b[k]).abs() < 1e-12, "drift coordinate {k}: {} vs {}", a[k], b[k]);
+        }
+        prop_assert!((hand.total_rate(&x, &theta).unwrap() - dsl.total_rate(&x, &theta).unwrap()).abs() < 1e-12);
+        for (ht, dt) in hand.transitions().iter().zip(dsl.transitions().iter()) {
+            prop_assert!((ht.rate(&x, &theta) - dt.rate(&x, &theta)).abs() < 1e-12, "transition {}", ht.name());
+            prop_assert_eq!(ht.change().as_slice(), dt.change().as_slice());
+        }
+    }
+
+    /// DSL SIR reduced drift == Equation (11) on the reduced simplex.
+    #[test]
+    fn sir_reduced_drift_round_trips(s in 0.0..1.0f64, i in 0.0..1.0f64, pick in 0.0..1.0f64) {
+        let i = i * (1.0 - s);
+        let sir = SirModel::paper();
+        let hand = sir.reduced_drift();
+        let dsl_model = mfu_lang::compile(&sir.dsl_source()).unwrap();
+        let dsl = dsl_model.reduced_drift();
+        prop_assert_eq!(dsl.dim(), 2);
+        let theta = [sir.contact_min + pick * (sir.contact_max - sir.contact_min)];
+        let x = StateVec::from([s, i]);
+        let a = hand.drift(&x, &theta);
+        let b = dsl.drift(&x, &theta);
+        prop_assert!((a[0] - b[0]).abs() < 1e-12, "f_S: {} vs {}", a[0], b[0]);
+        prop_assert!((a[1] - b[1]).abs() < 1e-12, "f_I: {} vs {}", a[1], b[1]);
+    }
+
+    /// DSL SIS reduced drift == the hand-coded one-dimensional drift.
+    #[test]
+    fn sis_drift_round_trips(i in 0.0..1.0f64, pick in 0.0..1.0f64) {
+        let sis = SisModel::supercritical();
+        let hand = sis.drift();
+        let dsl_model = mfu_lang::compile(&sis.dsl_source()).unwrap();
+        let dsl = dsl_model.reduced_drift();
+        prop_assert_eq!(dsl.dim(), 1);
+        let theta = [sis.contact_min + pick * (sis.contact_max - sis.contact_min)];
+        let x = StateVec::from([i]);
+        let a = hand.drift(&x, &theta)[0];
+        let b = dsl.drift(&x, &theta)[0];
+        prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    /// DSL SEIR == hand-coded SEIR, full and reduced.
+    #[test]
+    fn seir_drifts_round_trip(
+        s in 0.0..1.0f64,
+        e in 0.0..1.0f64,
+        i in 0.0..1.0f64,
+        pick in 0.0..1.0f64,
+    ) {
+        let e = e * (1.0 - s);
+        let i = i * (1.0 - s - e);
+        let seir = SeirModel::sir_like();
+        let theta = [seir.contact_min + pick * (seir.contact_max - seir.contact_min)];
+        let dsl_model = mfu_lang::compile(&seir.dsl_source()).unwrap();
+
+        let full_state = StateVec::from([s, e, i, 1.0 - s - e - i]);
+        let hand_full = seir.population_model().unwrap().drift(&full_state, &theta).unwrap();
+        let dsl_full = dsl_model.population_model().unwrap().drift(&full_state, &theta).unwrap();
+        for k in 0..4 {
+            prop_assert!((hand_full[k] - dsl_full[k]).abs() < 1e-12, "full coordinate {k}");
+        }
+
+        let reduced_state = StateVec::from([s, e, i]);
+        let hand_red = seir.reduced_drift().drift(&reduced_state, &theta);
+        let dsl_red = dsl_model.reduced_drift().drift(&reduced_state, &theta);
+        for k in 0..3 {
+            prop_assert!((hand_red[k] - dsl_red[k]).abs() < 1e-12, "reduced coordinate {k}");
+        }
+    }
+
+    /// The DSL initial conditions and counts match the hand-coded helpers
+    /// (the generated source snaps the ~1e-17 rounding residue of
+    /// `1 - S0 - I0` to an exact zero, hence the tolerance).
+    #[test]
+    fn sir_initial_conditions_round_trip(scale in 10usize..5000) {
+        let sir = SirModel::paper();
+        let dsl_model = mfu_lang::compile(&sir.dsl_source()).unwrap();
+        prop_assert!(dsl_model.initial_state().distance_inf(&sir.full_initial_state()) < 1e-12);
+        prop_assert!(
+            dsl_model.reduced_initial_state().distance_inf(&sir.reduced_initial_state()) < 1e-12
+        );
+        prop_assert_eq!(dsl_model.initial_counts(scale), sir.initial_counts(scale));
+    }
+}

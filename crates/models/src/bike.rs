@@ -63,20 +63,28 @@ impl BikeStationModel {
         let params = self.param_space()?;
         PopulationModel::builder(1, params)
             .variable_names(vec!["occupancy"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, theta: &[f64]| {
-                if x[0] > 0.0 {
-                    theta[0]
-                } else {
-                    0.0
-                }
-            }))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, theta: &[f64]| {
-                if x[0] < 1.0 {
-                    theta[1]
-                } else {
-                    0.0
-                }
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, theta: &[f64]| {
+                    if x[0] > 0.0 {
+                        theta[0]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, theta: &[f64]| {
+                    if x[0] < 1.0 {
+                        theta[1]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .build()
     }
 
@@ -92,11 +100,15 @@ impl BikeStationModel {
     /// [`BikeStationModel::param_space`] to validate beforehand).
     pub fn drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let params = self.param_space().expect("invalid rate intervals");
-        FnDrift::new(1, params, |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            let pickup = if x[0] > 0.0 { theta[0] } else { 0.0 };
-            let giveback = if x[0] < 1.0 { theta[1] } else { 0.0 };
-            dx[0] = giveback - pickup;
-        })
+        FnDrift::new(
+            1,
+            params,
+            |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let pickup = if x[0] > 0.0 { theta[0] } else { 0.0 };
+                let giveback = if x[0] < 1.0 { theta[1] } else { 0.0 };
+                dx[0] = giveback - pickup;
+            },
+        )
     }
 
     /// Initial occupancy as a one-dimensional state.
@@ -158,7 +170,11 @@ mod tests {
 
     #[test]
     fn invalid_intervals_are_reported() {
-        let bad = BikeStationModel { pickup_min: 2.0, pickup_max: 1.0, ..BikeStationModel::symmetric() };
+        let bad = BikeStationModel {
+            pickup_min: 2.0,
+            pickup_max: 1.0,
+            ..BikeStationModel::symmetric()
+        };
         assert!(bad.param_space().is_err());
         assert!(bad.population_model().is_err());
     }

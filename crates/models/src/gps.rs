@@ -80,13 +80,19 @@ impl GpsModel {
     /// application (`C / N_i`). Smaller capacities congest the machine and
     /// make the GPS weights a genuine trade-off.
     pub fn paper_with_capacity(capacity: f64) -> Self {
-        GpsModel { capacity, ..GpsModel::paper() }
+        GpsModel {
+            capacity,
+            ..GpsModel::paper()
+        }
     }
 
     /// The paper configuration with different GPS weights (used by the robust
     /// tuning experiment, which sweeps `φ_1` with `φ_2 = 1`).
     pub fn paper_with_weights(phi1: f64, phi2: f64) -> Self {
-        GpsModel { weights: [phi1, phi2], ..GpsModel::paper() }
+        GpsModel {
+            weights: [phi1, phi2],
+            ..GpsModel::paper()
+        }
     }
 
     /// Poisson-equivalent creation-rate bounds `λ'_i = 1/(1/a_i + 1/λ_i)`,
@@ -142,8 +148,14 @@ impl GpsModel {
     /// Returns an error if the configured rate bounds are not valid intervals.
     pub fn map_param_space(&self) -> Result<ParamSpace> {
         ParamSpace::new(vec![
-            ("lambda1", Interval::new(self.lambda_min[0], self.lambda_max[0])?),
-            ("lambda2", Interval::new(self.lambda_min[1], self.lambda_max[1])?),
+            (
+                "lambda1",
+                Interval::new(self.lambda_min[0], self.lambda_max[0])?,
+            ),
+            (
+                "lambda2",
+                Interval::new(self.lambda_min[1], self.lambda_max[1])?,
+            ),
         ])
     }
 
@@ -159,11 +171,17 @@ impl GpsModel {
         let service_rates = self.service_rates;
         let capacity = self.capacity;
         let params = self.poisson_param_space().expect("invalid λ' intervals");
-        FnDrift::new(2, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            let (q1, q2) = (x[0], x[1]);
-            dx[0] = theta[0] * (1.0 - q1) - Self::service(weights, service_rates, capacity, q1, q2, 0);
-            dx[1] = theta[1] * (1.0 - q2) - Self::service(weights, service_rates, capacity, q1, q2, 1);
-        })
+        FnDrift::new(
+            2,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let (q1, q2) = (x[0], x[1]);
+                dx[0] = theta[0] * (1.0 - q1)
+                    - Self::service(weights, service_rates, capacity, q1, q2, 0);
+                dx[1] = theta[1] * (1.0 - q2)
+                    - Self::service(weights, service_rates, capacity, q1, q2, 1);
+            },
+        )
     }
 
     /// The four-dimensional mean-field drift of the MAP scenario on
@@ -179,17 +197,21 @@ impl GpsModel {
         let capacity = self.capacity;
         let activation = self.activation_rates;
         let params = self.map_param_space().expect("invalid λ intervals");
-        FnDrift::new(4, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            let (d1, q1, d2, q2) = (x[0], x[1], x[2], x[3]);
-            let e1 = (1.0 - d1 - q1).max(0.0);
-            let e2 = (1.0 - d2 - q2).max(0.0);
-            let s1 = Self::service(weights, service_rates, capacity, q1, q2, 0);
-            let s2 = Self::service(weights, service_rates, capacity, q1, q2, 1);
-            dx[0] = activation[0] * e1 - theta[0] * d1;
-            dx[1] = theta[0] * d1 - s1;
-            dx[2] = activation[1] * e2 - theta[1] * d2;
-            dx[3] = theta[1] * d2 - s2;
-        })
+        FnDrift::new(
+            4,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let (d1, q1, d2, q2) = (x[0], x[1], x[2], x[3]);
+                let e1 = (1.0 - d1 - q1).max(0.0);
+                let e2 = (1.0 - d2 - q2).max(0.0);
+                let s1 = Self::service(weights, service_rates, capacity, q1, q2, 0);
+                let s2 = Self::service(weights, service_rates, capacity, q1, q2, 1);
+                dx[0] = activation[0] * e1 - theta[0] * d1;
+                dx[1] = theta[0] * d1 - s1;
+                dx[2] = activation[1] * e2 - theta[1] * d2;
+                dx[3] = theta[1] * d2 - s2;
+            },
+        )
     }
 
     /// Initial state of the Poisson scenario, `(q_1, q_2)`.
@@ -220,18 +242,30 @@ impl GpsModel {
         let params = self.poisson_param_space()?;
         PopulationModel::builder(2, params)
             .variable_names(vec!["Q1", "Q2"])
-            .transition(TransitionClass::new("create1", [1.0, 0.0], |x: &StateVec, th: &[f64]| {
-                th[0] * (1.0 - x[0]).max(0.0)
-            }))
-            .transition(TransitionClass::new("create2", [0.0, 1.0], |x: &StateVec, th: &[f64]| {
-                th[1] * (1.0 - x[1]).max(0.0)
-            }))
-            .transition(TransitionClass::new("serve1", [-1.0, 0.0], move |x: &StateVec, _| {
-                Self::service(weights, service_rates, capacity, x[0], x[1], 0)
-            }))
-            .transition(TransitionClass::new("serve2", [0.0, -1.0], move |x: &StateVec, _| {
-                Self::service(weights, service_rates, capacity, x[0], x[1], 1)
-            }))
+            .transition(TransitionClass::new(
+                "create1",
+                [1.0, 0.0],
+                |x: &StateVec, th: &[f64]| th[0] * (1.0 - x[0]).max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "create2",
+                [0.0, 1.0],
+                |x: &StateVec, th: &[f64]| th[1] * (1.0 - x[1]).max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "serve1",
+                [-1.0, 0.0],
+                move |x: &StateVec, _| {
+                    Self::service(weights, service_rates, capacity, x[0], x[1], 0)
+                },
+            ))
+            .transition(TransitionClass::new(
+                "serve2",
+                [0.0, -1.0],
+                move |x: &StateVec, _| {
+                    Self::service(weights, service_rates, capacity, x[0], x[1], 1)
+                },
+            ))
             .build()
     }
 
@@ -248,24 +282,40 @@ impl GpsModel {
         let params = self.map_param_space()?;
         PopulationModel::builder(4, params)
             .variable_names(vec!["D1", "Q1", "D2", "Q2"])
-            .transition(TransitionClass::new("activate1", [1.0, 0.0, 0.0, 0.0], move |x: &StateVec, _| {
-                activation[0] * (1.0 - x[0] - x[1]).max(0.0)
-            }))
-            .transition(TransitionClass::new("create1", [-1.0, 1.0, 0.0, 0.0], |x: &StateVec, th: &[f64]| {
-                th[0] * x[0].max(0.0)
-            }))
-            .transition(TransitionClass::new("serve1", [0.0, -1.0, 0.0, 0.0], move |x: &StateVec, _| {
-                Self::service(weights, service_rates, capacity, x[1], x[3], 0)
-            }))
-            .transition(TransitionClass::new("activate2", [0.0, 0.0, 1.0, 0.0], move |x: &StateVec, _| {
-                activation[1] * (1.0 - x[2] - x[3]).max(0.0)
-            }))
-            .transition(TransitionClass::new("create2", [0.0, 0.0, -1.0, 1.0], |x: &StateVec, th: &[f64]| {
-                th[1] * x[2].max(0.0)
-            }))
-            .transition(TransitionClass::new("serve2", [0.0, 0.0, 0.0, -1.0], move |x: &StateVec, _| {
-                Self::service(weights, service_rates, capacity, x[1], x[3], 1)
-            }))
+            .transition(TransitionClass::new(
+                "activate1",
+                [1.0, 0.0, 0.0, 0.0],
+                move |x: &StateVec, _| activation[0] * (1.0 - x[0] - x[1]).max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "create1",
+                [-1.0, 1.0, 0.0, 0.0],
+                |x: &StateVec, th: &[f64]| th[0] * x[0].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "serve1",
+                [0.0, -1.0, 0.0, 0.0],
+                move |x: &StateVec, _| {
+                    Self::service(weights, service_rates, capacity, x[1], x[3], 0)
+                },
+            ))
+            .transition(TransitionClass::new(
+                "activate2",
+                [0.0, 0.0, 1.0, 0.0],
+                move |x: &StateVec, _| activation[1] * (1.0 - x[2] - x[3]).max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "create2",
+                [0.0, 0.0, -1.0, 1.0],
+                |x: &StateVec, th: &[f64]| th[1] * x[2].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "serve2",
+                [0.0, 0.0, 0.0, -1.0],
+                move |x: &StateVec, _| {
+                    Self::service(weights, service_rates, capacity, x[1], x[3], 1)
+                },
+            ))
             .build()
     }
 
@@ -330,8 +380,14 @@ mod tests {
         let x = StateVec::from([0.2, 0.2]);
         let fast = gps.poisson_drift().drift(&x, &[0.875, 1.2]);
         let fair = balanced.poisson_drift().drift(&x, &[0.875, 1.2]);
-        assert!(fast[0] < fair[0], "class 1 should drain faster with a larger weight");
-        assert!(fast[1] > fair[1], "class 2 should drain slower with a smaller share");
+        assert!(
+            fast[0] < fair[0],
+            "class 1 should drain faster with a larger weight"
+        );
+        assert!(
+            fast[1] > fair[1],
+            "class 2 should drain slower with a smaller share"
+        );
     }
 
     #[test]
@@ -343,10 +399,16 @@ mod tests {
             let s1 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, q1, q2, 0);
             let s2 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, q1, q2, 1);
             let used = s1 / gps.service_rates[0] + s2 / gps.service_rates[1];
-            assert!((used - gps.capacity).abs() < 1e-9, "capacity {used} at ({q1}, {q2})");
+            assert!(
+                (used - gps.capacity).abs() < 1e-9,
+                "capacity {used} at ({q1}, {q2})"
+            );
         }
         // no jobs, no service
-        assert_eq!(GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.0, 0.0, 0), 0.0);
+        assert_eq!(
+            GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.0, 0.0, 0),
+            0.0
+        );
     }
 
     #[test]
@@ -401,14 +463,18 @@ mod tests {
         let x = StateVec::from([0.6, 0.2, 0.5, 0.3]);
         let dx = drift.drift(&x, &[3.0, 2.5]);
         let e1_change = -(dx[0] + dx[1]);
-        let expected_e1 = GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.2, 0.3, 0)
-            - gps.activation_rates[0] * (1.0 - 0.6 - 0.2);
+        let expected_e1 =
+            GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.2, 0.3, 0)
+                - gps.activation_rates[0] * (1.0 - 0.6 - 0.2);
         assert!((e1_change - expected_e1).abs() < 1e-12);
     }
 
     #[test]
     fn invalid_rate_bounds_are_reported() {
-        let bad = GpsModel { lambda_min: [8.0, 2.0], ..GpsModel::paper() };
+        let bad = GpsModel {
+            lambda_min: [8.0, 2.0],
+            ..GpsModel::paper()
+        };
         assert!(bad.map_param_space().is_err());
         assert!(bad.poisson_param_space().is_err());
         assert!(bad.map_population_model().is_err());

@@ -62,7 +62,10 @@ impl SeirModel {
     ///
     /// Returns an error if the contact bounds are not a valid interval.
     pub fn param_space(&self) -> Result<ParamSpace> {
-        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+        ParamSpace::new(vec![(
+            "contact",
+            Interval::new(self.contact_min, self.contact_max)?,
+        )])
     }
 
     /// The four-dimensional population model on `(x_S, x_E, x_I, x_R)`.
@@ -78,18 +81,26 @@ impl SeirModel {
         let params = self.param_space()?;
         PopulationModel::builder(4, params)
             .variable_names(vec!["S", "E", "I", "R"])
-            .transition(TransitionClass::new("expose", [-1.0, 1.0, 0.0, 0.0], move |x: &StateVec, th: &[f64]| {
-                (a + th[0] * x[2]).max(0.0) * x[0].max(0.0)
-            }))
-            .transition(TransitionClass::new("become_infectious", [0.0, -1.0, 1.0, 0.0], move |x: &StateVec, _| {
-                sigma * x[1].max(0.0)
-            }))
-            .transition(TransitionClass::new("recover", [0.0, 0.0, -1.0, 1.0], move |x: &StateVec, _| {
-                b * x[2].max(0.0)
-            }))
-            .transition(TransitionClass::new("lose_immunity", [1.0, 0.0, 0.0, -1.0], move |x: &StateVec, _| {
-                c * x[3].max(0.0)
-            }))
+            .transition(TransitionClass::new(
+                "expose",
+                [-1.0, 1.0, 0.0, 0.0],
+                move |x: &StateVec, th: &[f64]| (a + th[0] * x[2]).max(0.0) * x[0].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "become_infectious",
+                [0.0, -1.0, 1.0, 0.0],
+                move |x: &StateVec, _| sigma * x[1].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "recover",
+                [0.0, 0.0, -1.0, 1.0],
+                move |x: &StateVec, _| b * x[2].max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "lose_immunity",
+                [1.0, 0.0, 0.0, -1.0],
+                move |x: &StateVec, _| c * x[3].max(0.0),
+            ))
             .build()
     }
 
@@ -106,18 +117,60 @@ impl SeirModel {
         let b = self.recovery;
         let c = self.immunity_loss;
         let params = self.param_space().expect("invalid contact interval");
-        FnDrift::new(3, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            let (s, e, i) = (x[0], x[1], x[2]);
-            let r = 1.0 - s - e - i;
-            dx[0] = c * r - (a + theta[0] * i) * s;
-            dx[1] = (a + theta[0] * i) * s - sigma * e;
-            dx[2] = sigma * e - b * i;
-        })
+        FnDrift::new(
+            3,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let (s, e, i) = (x[0], x[1], x[2]);
+                let r = 1.0 - s - e - i;
+                dx[0] = c * r - (a + theta[0] * i) * s;
+                dx[1] = (a + theta[0] * i) * s - sigma * e;
+                dx[2] = sigma * e - b * i;
+            },
+        )
+    }
+
+    /// The same model expressed in the `mfu-lang` DSL.
+    ///
+    /// Cross-validation hook for the DSL round-trip tests: compiling the
+    /// returned source must reproduce [`SeirModel::population_model`] and
+    /// [`SeirModel::reduced_drift`] for the configured parameters.
+    pub fn dsl_source(&self) -> String {
+        format!(
+            "model seir;\n\
+             species S, E, I, R;\n\
+             param contact in [{}, {}];\n\
+             const a = {};\n\
+             const sigma = {};\n\
+             const b = {};\n\
+             const c = {};\n\
+             rule expose:     S -> E @ (a + contact * I) * S;\n\
+             rule infectious: E -> I @ sigma * E;\n\
+             rule recover:    I -> R @ b * I;\n\
+             rule wane:       R -> S @ c * R;\n\
+             init S = {}, E = {}, I = {}, R = {};\n",
+            self.contact_min,
+            self.contact_max,
+            self.external_infection,
+            self.latency,
+            self.recovery,
+            self.immunity_loss,
+            self.initial_susceptible,
+            self.initial_exposed,
+            self.initial_infected,
+            crate::sir::zero_snapped(
+                1.0 - self.initial_susceptible - self.initial_exposed - self.initial_infected,
+            ),
+        )
     }
 
     /// Initial condition in the reduced coordinates `(x_S, x_E, x_I)`.
     pub fn reduced_initial_state(&self) -> StateVec {
-        StateVec::from([self.initial_susceptible, self.initial_exposed, self.initial_infected])
+        StateVec::from([
+            self.initial_susceptible,
+            self.initial_exposed,
+            self.initial_infected,
+        ])
     }
 
     /// Initial condition on the full simplex `(x_S, x_E, x_I, x_R)`.
@@ -188,7 +241,10 @@ mod tests {
         let drift = seir.reduced_drift();
         let dx = drift.drift(&seir.reduced_initial_state(), &[10.0]);
         assert!(dx[1] > 0.0, "exposed fraction should grow initially");
-        assert!(dx[2] < 0.0, "infectious fraction should dip before the exposed convert");
+        assert!(
+            dx[2] < 0.0,
+            "infectious fraction should dip before the exposed convert"
+        );
     }
 
     #[test]
@@ -203,8 +259,19 @@ mod tests {
 
     #[test]
     fn invalid_interval_is_reported() {
-        let bad = SeirModel { contact_min: 3.0, contact_max: 1.0, ..SeirModel::sir_like() };
+        let bad = SeirModel {
+            contact_min: 3.0,
+            contact_max: 1.0,
+            ..SeirModel::sir_like()
+        };
         assert!(bad.param_space().is_err());
         assert!(bad.population_model().is_err());
+    }
+
+    #[test]
+    fn dsl_source_reflects_the_configuration() {
+        let source = SeirModel::sir_like().dsl_source();
+        assert!(source.contains("const sigma = 2;"));
+        assert!(source.contains("init S = 0.7, E = 0, I = 0.3, R = 0;"));
     }
 }

@@ -67,7 +67,10 @@ impl SirModel {
     /// in the differential-hull comparison (Figures 4 and 5 sweep
     /// `ϑ^max ∈ {2, …, 10}` with `ϑ^min = 1`).
     pub fn paper_with_contact_max(contact_max: f64) -> Self {
-        SirModel { contact_max, ..SirModel::paper() }
+        SirModel {
+            contact_max,
+            ..SirModel::paper()
+        }
     }
 
     /// The uncertainty set `Θ` (a single imprecise contact rate).
@@ -76,7 +79,10 @@ impl SirModel {
     ///
     /// Returns an error if the configured bounds are not a valid interval.
     pub fn param_space(&self) -> Result<ParamSpace> {
-        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+        ParamSpace::new(vec![(
+            "contact",
+            Interval::new(self.contact_min, self.contact_max)?,
+        )])
     }
 
     /// The three-dimensional population model on `(X_S, X_I, X_R)`.
@@ -120,11 +126,15 @@ impl SirModel {
         let b = self.recovery;
         let c = self.immunity_loss;
         let params = self.param_space().expect("invalid contact-rate interval");
-        FnDrift::new(2, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            let (s, i) = (x[0], x[1]);
-            dx[0] = c - (a + c) * s - c * i - theta[0] * s * i;
-            dx[1] = a * s + theta[0] * s * i - b * i;
-        })
+        FnDrift::new(
+            2,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let (s, i) = (x[0], x[1]);
+                dx[0] = c - (a + c) * s - c * i - theta[0] * s * i;
+                dx[1] = a * s + theta[0] * s * i - b * i;
+            },
+        )
     }
 
     /// Initial condition in the reduced coordinates `(x_S, x_I)`.
@@ -141,6 +151,36 @@ impl SirModel {
         ])
     }
 
+    /// The same model expressed in the `mfu-lang` DSL.
+    ///
+    /// This is the cross-validation hook used by the DSL round-trip tests:
+    /// compiling the returned source must reproduce
+    /// [`SirModel::population_model`] and [`SirModel::reduced_drift`]
+    /// exactly (up to floating-point rounding) for the configured
+    /// parameters.
+    pub fn dsl_source(&self) -> String {
+        format!(
+            "model sir;\n\
+             species S, I, R;\n\
+             param contact in [{}, {}];\n\
+             const a = {};\n\
+             const b = {};\n\
+             const c = {};\n\
+             rule infect:  S -> I @ (a + contact * I) * S;\n\
+             rule recover: I -> R @ b * I;\n\
+             rule wane:    R -> S @ c * R;\n\
+             init S = {}, I = {}, R = {};\n",
+            self.contact_min,
+            self.contact_max,
+            self.external_infection,
+            self.recovery,
+            self.immunity_loss,
+            self.initial_susceptible,
+            self.initial_infected,
+            zero_snapped(1.0 - self.initial_susceptible - self.initial_infected),
+        )
+    }
+
     /// Integer initial counts for a population of size `scale`, rounding the
     /// susceptible and infected fractions and assigning the remainder to the
     /// recovered compartment.
@@ -155,6 +195,17 @@ impl SirModel {
 impl Default for SirModel {
     fn default() -> Self {
         SirModel::paper()
+    }
+}
+
+/// Clamps a remainder fraction to `[0, ∞)` and snaps rounding residue
+/// (|v| < 1e-12) to an exact zero, so generated DSL sources stay readable.
+pub(crate) fn zero_snapped(v: f64) -> f64 {
+    let v = v.max(0.0);
+    if v < 1e-12 {
+        0.0
+    } else {
+        v
     }
 }
 
@@ -194,7 +245,10 @@ mod tests {
         let x = sir.full_initial_state();
         for theta in [1.0, 5.0, 10.0] {
             let drift = model.drift(&x, &[theta]).unwrap();
-            assert!(drift.sum().abs() < 1e-12, "mass not conserved for ϑ = {theta}");
+            assert!(
+                drift.sum().abs() < 1e-12,
+                "mass not conserved for ϑ = {theta}"
+            );
         }
     }
 
@@ -210,8 +264,14 @@ mod tests {
             for theta in [1.0, 3.7, 10.0] {
                 let full = model.drift(&full_state, &[theta]).unwrap();
                 let red = reduced.drift(&reduced_state, &[theta]);
-                assert!((full[0] - red[0]).abs() < 1e-12, "f_S mismatch at ({s}, {i}), ϑ = {theta}");
-                assert!((full[1] - red[1]).abs() < 1e-12, "f_I mismatch at ({s}, {i}), ϑ = {theta}");
+                assert!(
+                    (full[0] - red[0]).abs() < 1e-12,
+                    "f_S mismatch at ({s}, {i}), ϑ = {theta}"
+                );
+                assert!(
+                    (full[1] - red[1]).abs() < 1e-12,
+                    "f_I mismatch at ({s}, {i}), ϑ = {theta}"
+                );
             }
         }
     }
@@ -252,8 +312,22 @@ mod tests {
 
     #[test]
     fn invalid_contact_interval_is_reported() {
-        let sir = SirModel { contact_min: 5.0, contact_max: 1.0, ..SirModel::paper() };
+        let sir = SirModel {
+            contact_min: 5.0,
+            contact_max: 1.0,
+            ..SirModel::paper()
+        };
         assert!(sir.param_space().is_err());
         assert!(sir.population_model().is_err());
+    }
+
+    #[test]
+    fn dsl_source_reflects_the_configuration() {
+        let source = SirModel::paper().dsl_source();
+        assert!(source.contains("param contact in [1, 10];"));
+        assert!(source.contains("const b = 5;"));
+        assert!(source.contains("init S = 0.7, I = 0.3, R = 0;"));
+        let widened = SirModel::paper_with_contact_max(7.5).dsl_source();
+        assert!(widened.contains("param contact in [1, 7.5];"));
     }
 }

@@ -32,7 +32,12 @@ impl SisModel {
     /// A supercritical configuration (`ϑ > b` for every admissible `ϑ`), so
     /// the epidemic persists whatever the environment does.
     pub fn supercritical() -> Self {
-        SisModel { recovery: 1.0, contact_min: 2.0, contact_max: 4.0, initial_infected: 0.2 }
+        SisModel {
+            recovery: 1.0,
+            contact_min: 2.0,
+            contact_max: 4.0,
+            initial_infected: 0.2,
+        }
     }
 
     /// The uncertainty set `Θ`.
@@ -41,7 +46,10 @@ impl SisModel {
     ///
     /// Returns an error if the contact bounds are not a valid interval.
     pub fn param_space(&self) -> Result<ParamSpace> {
-        ParamSpace::new(vec![("contact", Interval::new(self.contact_min, self.contact_max)?)])
+        ParamSpace::new(vec![(
+            "contact",
+            Interval::new(self.contact_min, self.contact_max)?,
+        )])
     }
 
     /// The one-dimensional population model on the infected fraction.
@@ -54,12 +62,16 @@ impl SisModel {
         let params = self.param_space()?;
         PopulationModel::builder(1, params)
             .variable_names(vec!["I"])
-            .transition(TransitionClass::new("infect", [1.0], |x: &StateVec, th: &[f64]| {
-                th[0] * x[0].max(0.0) * (1.0 - x[0]).max(0.0)
-            }))
-            .transition(TransitionClass::new("recover", [-1.0], move |x: &StateVec, _| {
-                b * x[0].max(0.0)
-            }))
+            .transition(TransitionClass::new(
+                "infect",
+                [1.0],
+                |x: &StateVec, th: &[f64]| th[0] * x[0].max(0.0) * (1.0 - x[0]).max(0.0),
+            ))
+            .transition(TransitionClass::new(
+                "recover",
+                [-1.0],
+                move |x: &StateVec, _| b * x[0].max(0.0),
+            ))
             .build()
     }
 
@@ -72,14 +84,40 @@ impl SisModel {
     pub fn drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
         let b = self.recovery;
         let params = self.param_space().expect("invalid contact interval");
-        FnDrift::new(1, params, move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
-            dx[0] = theta[0] * x[0] * (1.0 - x[0]) - b * x[0];
-        })
+        FnDrift::new(
+            1,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                dx[0] = theta[0] * x[0] * (1.0 - x[0]) - b * x[0];
+            },
+        )
     }
 
     /// The endemic fixed point `1 - b/ϑ` for a fixed contact rate (clamped at 0).
     pub fn endemic_level(&self, contact: f64) -> f64 {
         (1.0 - self.recovery / contact).max(0.0)
+    }
+
+    /// The same model expressed in the `mfu-lang` DSL.
+    ///
+    /// The infected fraction is declared first so the DSL's reduced drift is
+    /// one-dimensional on `x_I` with `x_S = 1 − x_I`, matching
+    /// [`SisModel::drift`]. Cross-validated by the DSL round-trip tests.
+    pub fn dsl_source(&self) -> String {
+        format!(
+            "model sis;\n\
+             species I, S;\n\
+             param contact in [{}, {}];\n\
+             const b = {};\n\
+             rule infect:  S -> I @ contact * S * I;\n\
+             rule recover: I -> S @ b * I;\n\
+             init I = {}, S = {};\n",
+            self.contact_min,
+            self.contact_max,
+            self.recovery,
+            self.initial_infected,
+            crate::sir::zero_snapped(1.0 - self.initial_infected),
+        )
     }
 
     /// Initial infected fraction as a state vector.
@@ -127,14 +165,23 @@ mod tests {
             let system = FnSystem::new(1, move |_t, x: &StateVec, dx: &mut StateVec| {
                 drift.drift_into(x, &[theta], dx);
             });
-            let fp = equilibrium(&system, sis.initial_state(), &EquilibriumOptions::default()).unwrap();
-            assert!((fp[0] - sis.endemic_level(theta)).abs() < 1e-6, "ϑ = {theta}");
+            let fp =
+                equilibrium(&system, sis.initial_state(), &EquilibriumOptions::default()).unwrap();
+            assert!(
+                (fp[0] - sis.endemic_level(theta)).abs() < 1e-6,
+                "ϑ = {theta}"
+            );
         }
     }
 
     #[test]
     fn subcritical_rate_gives_extinction_level_zero() {
-        let sis = SisModel { recovery: 2.0, contact_min: 0.5, contact_max: 1.0, initial_infected: 0.3 };
+        let sis = SisModel {
+            recovery: 2.0,
+            contact_min: 0.5,
+            contact_max: 1.0,
+            initial_infected: 0.3,
+        };
         assert_eq!(sis.endemic_level(1.0), 0.0);
     }
 
@@ -164,8 +211,19 @@ mod tests {
 
     #[test]
     fn invalid_interval_is_reported() {
-        let bad = SisModel { contact_min: 5.0, contact_max: 1.0, ..SisModel::supercritical() };
+        let bad = SisModel {
+            contact_min: 5.0,
+            contact_max: 1.0,
+            ..SisModel::supercritical()
+        };
         assert!(bad.param_space().is_err());
         assert!(bad.population_model().is_err());
+    }
+
+    #[test]
+    fn dsl_source_reflects_the_configuration() {
+        let source = SisModel::supercritical().dsl_source();
+        assert!(source.contains("param contact in [2, 4];"));
+        assert!(source.contains("init I = 0.2, S = 0.8;"));
     }
 }

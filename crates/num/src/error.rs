@@ -46,12 +46,16 @@ pub enum NumError {
 impl NumError {
     /// Creates an [`NumError::InvalidArgument`] from anything printable.
     pub fn invalid_argument(message: impl Into<String>) -> Self {
-        NumError::InvalidArgument { message: message.into() }
+        NumError::InvalidArgument {
+            message: message.into(),
+        }
     }
 
     /// Creates a [`NumError::NonFinite`] from anything printable.
     pub fn non_finite(context: impl Into<String>) -> Self {
-        NumError::NonFinite { context: context.into() }
+        NumError::NonFinite {
+            context: context.into(),
+        }
     }
 }
 
@@ -62,7 +66,11 @@ impl fmt::Display for NumError {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
             NumError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
-            NumError::NoConvergence { method, iterations, residual } => write!(
+            NumError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "{method} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
@@ -84,7 +92,10 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let err = NumError::DimensionMismatch { expected: 3, found: 2 };
+        let err = NumError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
         assert_eq!(err.to_string(), "dimension mismatch: expected 3, found 2");
     }
 
@@ -96,7 +107,11 @@ mod tests {
 
     #[test]
     fn display_no_convergence_mentions_method() {
-        let err = NumError::NoConvergence { method: "brent", iterations: 40, residual: 1e-3 };
+        let err = NumError::NoConvergence {
+            method: "brent",
+            iterations: 40,
+            residual: 1e-3,
+        };
         let text = err.to_string();
         assert!(text.contains("brent"));
         assert!(text.contains("40"));
@@ -104,7 +119,10 @@ mod tests {
 
     #[test]
     fn display_step_underflow_and_non_finite() {
-        let err = NumError::StepSizeUnderflow { time: 1.5, step: 1e-16 };
+        let err = NumError::StepSizeUnderflow {
+            time: 1.5,
+            step: 1e-16,
+        };
         assert!(err.to_string().contains("underflow"));
         let err = NumError::non_finite("drift evaluation");
         assert!(err.to_string().contains("drift evaluation"));

@@ -97,7 +97,9 @@ impl Polygon {
     /// coordinate is non-finite.
     pub fn new(vertices: Vec<Point2>) -> Result<Self> {
         if vertices.len() < 3 {
-            return Err(NumError::invalid_argument("a polygon needs at least three vertices"));
+            return Err(NumError::invalid_argument(
+                "a polygon needs at least three vertices",
+            ));
         }
         if vertices.iter().any(|v| !v.is_finite()) {
             return Err(NumError::non_finite("polygon vertex"));
@@ -258,16 +260,24 @@ impl Polygon {
 /// ```
 pub fn convex_hull(points: &[Point2]) -> Result<Polygon> {
     if points.len() < 3 {
-        return Err(NumError::invalid_argument("convex hull requires at least three points"));
+        return Err(NumError::invalid_argument(
+            "convex hull requires at least three points",
+        ));
     }
     if points.iter().any(|p| !p.is_finite()) {
         return Err(NumError::non_finite("convex hull input"));
     }
     let mut sorted: Vec<Point2> = points.to_vec();
-    sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    sorted.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
     sorted.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     if sorted.len() < 3 {
-        return Err(NumError::invalid_argument("convex hull requires at least three distinct points"));
+        return Err(NumError::invalid_argument(
+            "convex hull requires at least three distinct points",
+        ));
     }
 
     let mut lower: Vec<Point2> = Vec::new();
@@ -288,7 +298,9 @@ pub fn convex_hull(points: &[Point2]) -> Result<Polygon> {
     upper.pop();
     lower.extend(upper);
     if lower.len() < 3 {
-        return Err(NumError::invalid_argument("points are collinear; hull is degenerate"));
+        return Err(NumError::invalid_argument(
+            "points are collinear; hull is degenerate",
+        ));
     }
     Polygon::new(lower)
 }
@@ -372,7 +384,11 @@ mod tests {
     #[test]
     fn convex_hull_rejects_degenerate_input() {
         assert!(convex_hull(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]).is_err());
-        let collinear = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), Point2::new(2.0, 2.0)];
+        let collinear = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 2.0),
+        ];
         assert!(convex_hull(&collinear).is_err());
         let duplicated = vec![Point2::new(0.0, 0.0); 5];
         assert!(convex_hull(&duplicated).is_err());
@@ -381,7 +397,7 @@ mod tests {
     #[test]
     fn containment_fraction_counts_interior_points() {
         let square = unit_square();
-        let points = vec![
+        let points = [
             Point2::new(0.5, 0.5),
             Point2::new(0.25, 0.75),
             Point2::new(2.0, 2.0),

@@ -25,10 +25,14 @@ impl TimeGrid {
     /// Returns an error if `t1 <= t0`, `n == 0`, or the bounds are not finite.
     pub fn new(t0: f64, t1: f64, n: usize) -> Result<Self> {
         if !t0.is_finite() || !t1.is_finite() || t1 <= t0 {
-            return Err(NumError::invalid_argument(format!("invalid grid bounds [{t0}, {t1}]")));
+            return Err(NumError::invalid_argument(format!(
+                "invalid grid bounds [{t0}, {t1}]"
+            )));
         }
         if n == 0 {
-            return Err(NumError::invalid_argument("time grid requires at least one interval"));
+            return Err(NumError::invalid_argument(
+                "time grid requires at least one interval",
+            ));
         }
         Ok(TimeGrid { t0, t1, n })
     }
@@ -123,11 +127,16 @@ impl GridSignal {
     /// grid nodes, or if the values have inconsistent dimensions.
     pub fn new(grid: TimeGrid, values: Vec<StateVec>) -> Result<Self> {
         if values.len() != grid.nodes() {
-            return Err(NumError::DimensionMismatch { expected: grid.nodes(), found: values.len() });
+            return Err(NumError::DimensionMismatch {
+                expected: grid.nodes(),
+                found: values.len(),
+            });
         }
         let dim = values[0].dim();
         if values.iter().any(|v| v.dim() != dim) {
-            return Err(NumError::invalid_argument("grid signal values have inconsistent dimensions"));
+            return Err(NumError::invalid_argument(
+                "grid signal values have inconsistent dimensions",
+            ));
         }
         Ok(GridSignal { grid, values })
     }
@@ -200,7 +209,10 @@ impl GridSignal {
             });
         }
         if self.dim() != other.dim() {
-            return Err(NumError::DimensionMismatch { expected: self.dim(), found: other.dim() });
+            return Err(NumError::DimensionMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
         }
         Ok(self
             .values
@@ -247,7 +259,11 @@ mod tests {
         let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
         let signal = GridSignal::new(
             grid,
-            vec![StateVec::from([0.0]), StateVec::from([1.0]), StateVec::from([4.0])],
+            vec![
+                StateVec::from([0.0]),
+                StateVec::from([1.0]),
+                StateVec::from([4.0]),
+            ],
         )
         .unwrap();
         assert!((signal.at(0.25)[0] - 0.5).abs() < 1e-12);
@@ -261,7 +277,11 @@ mod tests {
         let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
         let signal = GridSignal::new(
             grid,
-            vec![StateVec::from([1.0]), StateVec::from([2.0]), StateVec::from([3.0])],
+            vec![
+                StateVec::from([1.0]),
+                StateVec::from([2.0]),
+                StateVec::from([3.0]),
+            ],
         )
         .unwrap();
         assert_eq!(signal.at_piecewise_constant(0.25)[0], 1.0);
@@ -279,15 +299,22 @@ mod tests {
     fn signal_validation() {
         let grid = TimeGrid::new(0.0, 1.0, 2).unwrap();
         assert!(GridSignal::new(grid.clone(), vec![StateVec::from([0.0])]).is_err());
-        let mixed = vec![StateVec::from([0.0]), StateVec::from([0.0, 1.0]), StateVec::from([0.0])];
+        let mixed = vec![
+            StateVec::from([0.0]),
+            StateVec::from([0.0, 1.0]),
+            StateVec::from([0.0]),
+        ];
         assert!(GridSignal::new(grid, mixed).is_err());
     }
 
     #[test]
     fn distance_between_signals() {
         let grid = TimeGrid::new(0.0, 1.0, 1).unwrap();
-        let a = GridSignal::new(grid.clone(), vec![StateVec::from([0.0]), StateVec::from([1.0])])
-            .unwrap();
+        let a = GridSignal::new(
+            grid.clone(),
+            vec![StateVec::from([0.0]), StateVec::from([1.0])],
+        )
+        .unwrap();
         let b = GridSignal::new(grid, vec![StateVec::from([0.5]), StateVec::from([1.0])]).unwrap();
         assert!((a.distance_inf(&b).unwrap() - 0.5).abs() < 1e-15);
     }

@@ -21,7 +21,11 @@ pub struct Jacobian {
 impl Jacobian {
     /// Creates a zero matrix with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Jacobian { rows, cols, data: vec![0.0; rows * cols] }
+        Jacobian {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows (output dimension of the vector field).
@@ -40,7 +44,10 @@ impl Jacobian {
     ///
     /// Panics if the indices are out of range.
     pub fn entry(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "Jacobian index out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "Jacobian index out of range"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -50,7 +57,10 @@ impl Jacobian {
     ///
     /// Panics if the indices are out of range.
     pub fn set_entry(&mut self, i: usize, j: usize, value: f64) {
-        assert!(i < self.rows && j < self.cols, "Jacobian index out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "Jacobian index out of range"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -64,7 +74,10 @@ impl Jacobian {
     /// Returns an error if `p` does not have `rows` components.
     pub fn transpose_mul(&self, p: &StateVec) -> Result<StateVec> {
         if p.dim() != self.rows {
-            return Err(NumError::DimensionMismatch { expected: self.rows, found: p.dim() });
+            return Err(NumError::DimensionMismatch {
+                expected: self.rows,
+                found: p.dim(),
+            });
         }
         let mut out = StateVec::zeros(self.cols);
         for i in 0..self.rows {
@@ -86,7 +99,10 @@ impl Jacobian {
     /// Returns an error if `v` does not have `cols` components.
     pub fn mul(&self, v: &StateVec) -> Result<StateVec> {
         if v.dim() != self.cols {
-            return Err(NumError::DimensionMismatch { expected: self.cols, found: v.dim() });
+            return Err(NumError::DimensionMismatch {
+                expected: self.cols,
+                found: v.dim(),
+            });
         }
         let mut out = StateVec::zeros(self.rows);
         for i in 0..self.rows {
@@ -135,8 +151,10 @@ pub fn finite_difference_jacobian<F>(
 where
     F: Fn(&StateVec) -> StateVec,
 {
-    if !(h > 0.0) || !h.is_finite() {
-        return Err(NumError::invalid_argument("finite-difference step must be positive"));
+    if h <= 0.0 || !h.is_finite() {
+        return Err(NumError::invalid_argument(
+            "finite-difference step must be positive",
+        ));
     }
     let n = x.dim();
     let mut jac = Jacobian::zeros(output_dim, n);

@@ -31,7 +31,10 @@ impl Euler {
     ///
     /// Panics if `step` is not strictly positive.
     pub fn with_step(step: f64) -> Self {
-        assert!(step > 0.0 && step.is_finite(), "Euler step must be positive and finite");
+        assert!(
+            step > 0.0 && step.is_finite(),
+            "Euler step must be positive and finite"
+        );
         Euler { step }
     }
 
@@ -75,7 +78,11 @@ impl Integrator for Euler {
             if !x.is_finite() {
                 return Err(NumError::non_finite(format!("Euler step at t = {t}")));
             }
-            let t_next = if k + 1 == n_steps { t_end } else { t0 + h * (k + 1) as f64 };
+            let t_next = if k + 1 == n_steps {
+                t_end
+            } else {
+                t0 + h * (k + 1) as f64
+            };
             traj.push(t_next, x.clone())?;
         }
         Ok(traj)
@@ -111,13 +118,18 @@ mod tests {
         let e1 = err(1e-2);
         let e2 = err(1e-3);
         let ratio = e1 / e2;
-        assert!(ratio > 5.0 && ratio < 20.0, "expected ~10x error reduction, got {ratio}");
+        assert!(
+            ratio > 5.0 && ratio < 20.0,
+            "expected ~10x error reduction, got {ratio}"
+        );
     }
 
     #[test]
     fn zero_span_returns_initial_state() {
         let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = x[0]);
-        let traj = Euler::default().integrate(&sys, 2.0, StateVec::from([5.0]), 2.0).unwrap();
+        let traj = Euler::default()
+            .integrate(&sys, 2.0, StateVec::from([5.0]), 2.0)
+            .unwrap();
         assert_eq!(traj.len(), 1);
         assert_eq!(traj.last_state().as_slice(), &[5.0]);
     }

@@ -161,12 +161,22 @@ pub trait Integrator {
     }
 }
 
-pub(crate) fn check_inputs(system: &dyn OdeSystem, t0: f64, x0: &StateVec, t_end: f64) -> Result<()> {
+pub(crate) fn check_inputs(
+    system: &dyn OdeSystem,
+    t0: f64,
+    x0: &StateVec,
+    t_end: f64,
+) -> Result<()> {
     if x0.dim() != system.dim() {
-        return Err(crate::NumError::DimensionMismatch { expected: system.dim(), found: x0.dim() });
+        return Err(crate::NumError::DimensionMismatch {
+            expected: system.dim(),
+            found: x0.dim(),
+        });
     }
     if !t0.is_finite() || !t_end.is_finite() {
-        return Err(crate::NumError::invalid_argument("integration bounds must be finite"));
+        return Err(crate::NumError::invalid_argument(
+            "integration bounds must be finite",
+        ));
     }
     if t_end < t0 {
         return Err(crate::NumError::invalid_argument(format!(

@@ -31,7 +31,10 @@ impl Rk4 {
     ///
     /// Panics if `step` is not strictly positive.
     pub fn with_step(step: f64) -> Self {
-        assert!(step > 0.0 && step.is_finite(), "RK4 step must be positive and finite");
+        assert!(
+            step > 0.0 && step.is_finite(),
+            "RK4 step must be positive and finite"
+        );
         Rk4 { step }
     }
 
@@ -105,7 +108,11 @@ impl Integrator for Rk4 {
             if !x.is_finite() {
                 return Err(NumError::non_finite(format!("RK4 step at t = {t}")));
             }
-            let t_next = if k + 1 == n_steps { t_end } else { t0 + h * (k + 1) as f64 };
+            let t_next = if k + 1 == n_steps {
+                t_end
+            } else {
+                t0 + h * (k + 1) as f64
+            };
             traj.push(t_next, x.clone())?;
         }
         Ok(traj)
@@ -129,7 +136,9 @@ mod tests {
 
     #[test]
     fn order_of_convergence_is_about_four() {
-        let sys = FnSystem::new(1, |t, _x: &StateVec, dx: &mut StateVec| dx[0] = (t).cos() * (t).sin());
+        let sys = FnSystem::new(1, |t, _x: &StateVec, dx: &mut StateVec| {
+            dx[0] = (t).cos() * (t).sin()
+        });
         let exact = 0.5 * (1.0f64.sin()).powi(2);
         let err = |h: f64| {
             let end = Rk4::with_step(h)
@@ -151,7 +160,12 @@ mod tests {
             dx[1] = -x[0];
         });
         let traj = Rk4::with_step(1e-3)
-            .integrate(&sys, 0.0, StateVec::from([1.0, 0.0]), 2.0 * std::f64::consts::PI)
+            .integrate(
+                &sys,
+                0.0,
+                StateVec::from([1.0, 0.0]),
+                2.0 * std::f64::consts::PI,
+            )
             .unwrap();
         let end = traj.last_state();
         assert!((end[0] - 1.0).abs() < 1e-6);
@@ -161,7 +175,9 @@ mod tests {
     #[test]
     fn trajectory_times_cover_the_whole_interval() {
         let sys = FnSystem::new(1, |_t, _x: &StateVec, dx: &mut StateVec| dx[0] = 1.0);
-        let traj = Rk4::with_step(0.3).integrate(&sys, 0.0, StateVec::from([0.0]), 1.0).unwrap();
+        let traj = Rk4::with_step(0.3)
+            .integrate(&sys, 0.0, StateVec::from([0.0]), 1.0)
+            .unwrap();
         assert!((traj.first_time() - 0.0).abs() < 1e-15);
         assert!((traj.last_time() - 1.0).abs() < 1e-15);
         // end state equals elapsed time for ẋ = 1
@@ -171,6 +187,8 @@ mod tests {
     #[test]
     fn rejects_backwards_integration() {
         let sys = FnSystem::new(1, |_t, _x: &StateVec, dx: &mut StateVec| dx[0] = 1.0);
-        assert!(Rk4::default().integrate(&sys, 1.0, StateVec::from([0.0]), 0.0).is_err());
+        assert!(Rk4::default()
+            .integrate(&sys, 1.0, StateVec::from([0.0]), 0.0)
+            .is_err());
     }
 }

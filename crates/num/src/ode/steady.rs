@@ -17,7 +17,12 @@ pub struct EquilibriumOptions {
 
 impl Default for EquilibriumOptions {
     fn default() -> Self {
-        EquilibriumOptions { burst: 5.0, step: 1e-2, drift_tolerance: 1e-9, max_time: 10_000.0 }
+        EquilibriumOptions {
+            burst: 5.0,
+            step: 1e-2,
+            drift_tolerance: 1e-9,
+            max_time: 10_000.0,
+        }
     }
 }
 
@@ -89,7 +94,9 @@ mod tests {
 
     #[test]
     fn finds_logistic_fixed_point() {
-        let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| dx[0] = x[0] * (1.0 - x[0]));
+        let sys = FnSystem::new(1, |_t, x: &StateVec, dx: &mut StateVec| {
+            dx[0] = x[0] * (1.0 - x[0])
+        });
         let fp = equilibrium(&sys, StateVec::from([0.1]), &EquilibriumOptions::default()).unwrap();
         assert!((fp[0] - 1.0).abs() < 1e-6);
     }
@@ -100,7 +107,12 @@ mod tests {
             dx[0] = -x[0] + 0.5 * x[1];
             dx[1] = -2.0 * x[1];
         });
-        let fp = equilibrium(&sys, StateVec::from([3.0, -2.0]), &EquilibriumOptions::default()).unwrap();
+        let fp = equilibrium(
+            &sys,
+            StateVec::from([3.0, -2.0]),
+            &EquilibriumOptions::default(),
+        )
+        .unwrap();
         assert!(fp.norm_inf() < 1e-6);
     }
 
@@ -111,7 +123,10 @@ mod tests {
             dx[0] = x[1];
             dx[1] = -x[0];
         });
-        let options = EquilibriumOptions { max_time: 20.0, ..EquilibriumOptions::default() };
+        let options = EquilibriumOptions {
+            max_time: 20.0,
+            ..EquilibriumOptions::default()
+        };
         let res = equilibrium(&sys, StateVec::from([1.0, 0.0]), &options);
         assert!(matches!(res, Err(NumError::NoConvergence { .. })));
     }
@@ -119,7 +134,10 @@ mod tests {
     #[test]
     fn rejects_invalid_options() {
         let sys = FnSystem::new(1, |_t, _x: &StateVec, dx: &mut StateVec| dx[0] = 0.0);
-        let options = EquilibriumOptions { burst: -1.0, ..EquilibriumOptions::default() };
+        let options = EquilibriumOptions {
+            burst: -1.0,
+            ..EquilibriumOptions::default()
+        };
         assert!(equilibrium(&sys, StateVec::from([0.0]), &options).is_err());
     }
 

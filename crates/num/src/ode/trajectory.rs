@@ -31,7 +31,11 @@ pub struct Trajectory {
 impl Trajectory {
     /// Creates an empty trajectory for states of dimension `dim`.
     pub fn new(dim: usize) -> Self {
-        Trajectory { dim, times: Vec::new(), states: Vec::new() }
+        Trajectory {
+            dim,
+            times: Vec::new(),
+            states: Vec::new(),
+        }
     }
 
     /// Creates an empty trajectory with capacity for `capacity` nodes.
@@ -76,7 +80,10 @@ impl Trajectory {
     /// larger than the last stored time (the grid must be increasing).
     pub fn push(&mut self, t: f64, x: StateVec) -> Result<()> {
         if x.dim() != self.dim {
-            return Err(NumError::DimensionMismatch { expected: self.dim, found: x.dim() });
+            return Err(NumError::DimensionMismatch {
+                expected: self.dim,
+                found: x.dim(),
+            });
         }
         if let Some(&last) = self.times.last() {
             if t <= last {
@@ -132,10 +139,14 @@ impl Trajectory {
     /// Returns an error if the trajectory is empty or `t` is not finite.
     pub fn at(&self, t: f64) -> Result<StateVec> {
         if self.is_empty() {
-            return Err(NumError::invalid_argument("cannot interpolate an empty trajectory"));
+            return Err(NumError::invalid_argument(
+                "cannot interpolate an empty trajectory",
+            ));
         }
         if !t.is_finite() {
-            return Err(NumError::invalid_argument("interpolation time must be finite"));
+            return Err(NumError::invalid_argument(
+                "interpolation time must be finite",
+            ));
         }
         if t <= self.first_time() {
             return Ok(self.states[0].clone());
@@ -144,7 +155,10 @@ impl Trajectory {
             return Ok(self.last_state().clone());
         }
         // binary search for the bracketing interval
-        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
+        {
             Ok(i) => return Ok(self.states[i].clone()),
             Err(i) => i,
         };
@@ -174,10 +188,14 @@ impl Trajectory {
     /// Returns an error if the trajectory is empty or `n == 0`.
     pub fn resample(&self, n: usize) -> Result<Trajectory> {
         if self.is_empty() {
-            return Err(NumError::invalid_argument("cannot resample an empty trajectory"));
+            return Err(NumError::invalid_argument(
+                "cannot resample an empty trajectory",
+            ));
         }
         if n == 0 {
-            return Err(NumError::invalid_argument("resample requires at least one interval"));
+            return Err(NumError::invalid_argument(
+                "resample requires at least one interval",
+            ));
         }
         let (t0, t1) = (self.first_time(), self.last_time());
         let mut out = Trajectory::with_capacity(self.dim, n + 1);
@@ -186,7 +204,7 @@ impl Trajectory {
             // Guard against duplicate times when t0 == t1.
             let t = if k == n { t1 } else { t };
             let x = self.at(t)?;
-            if out.times.last().map_or(true, |&last| t > last) {
+            if out.times.last().is_none_or(|&last| t > last) {
                 out.times.push(t);
                 out.states.push(x);
             }
@@ -201,7 +219,9 @@ impl Trajectory {
     /// Panics if the trajectory is empty or `i >= dim`.
     pub fn max_coordinate(&self, i: usize) -> f64 {
         assert!(!self.is_empty(), "empty trajectory");
-        self.coordinate(i).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.coordinate(i)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum over stored nodes of coordinate `i`.

@@ -23,13 +23,19 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        SolverOptions { x_tolerance: 1e-10, f_tolerance: 1e-12, max_iterations: 200 }
+        SolverOptions {
+            x_tolerance: 1e-10,
+            f_tolerance: 1e-12,
+            max_iterations: 200,
+        }
     }
 }
 
 fn validate_bracket(a: f64, b: f64) -> Result<()> {
     if !a.is_finite() || !b.is_finite() || a >= b {
-        return Err(NumError::invalid_argument(format!("invalid bracket [{a}, {b}]")));
+        return Err(NumError::invalid_argument(format!(
+            "invalid bracket [{a}, {b}]"
+        )));
     }
     Ok(())
 }
@@ -51,7 +57,12 @@ fn validate_bracket(a: f64, b: f64) -> Result<()> {
 /// assert!((root - 2f64.sqrt()).abs() < 1e-9);
 /// # Ok::<(), mfu_num::NumError>(())
 /// ```
-pub fn bisection<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, options: &SolverOptions) -> Result<f64> {
+pub fn bisection<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    options: &SolverOptions,
+) -> Result<f64> {
     validate_bracket(a, b)?;
     let (mut lo, mut hi) = (a, b);
     let (mut f_lo, f_hi) = (f(lo), f(hi));
@@ -62,7 +73,9 @@ pub fn bisection<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, options: &Solve
         return Ok(hi);
     }
     if f_lo * f_hi > 0.0 {
-        return Err(NumError::invalid_argument("bisection requires a sign change over the bracket"));
+        return Err(NumError::invalid_argument(
+            "bisection requires a sign change over the bracket",
+        ));
     }
     for _ in 0..options.max_iterations {
         let mid = 0.5 * (lo + hi);
@@ -104,7 +117,12 @@ pub fn bisection<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, options: &Solve
 /// assert!((root - 0.7390851332151607).abs() < 1e-10);
 /// # Ok::<(), mfu_num::NumError>(())
 /// ```
-pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, options: &SolverOptions) -> Result<f64> {
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    options: &SolverOptions,
+) -> Result<f64> {
     validate_bracket(a, b)?;
     let (mut a, mut b) = (a, b);
     let (mut fa, mut fb) = (f(a), f(b));
@@ -115,7 +133,9 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, options: &SolverOpt
         return Ok(b);
     }
     if fa * fb > 0.0 {
-        return Err(NumError::invalid_argument("brent requires a sign change over the bracket"));
+        return Err(NumError::invalid_argument(
+            "brent requires a sign change over the bracket",
+        ));
     }
     if fa.abs() < fb.abs() {
         std::mem::swap(&mut a, &mut b);
@@ -253,7 +273,9 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(
 pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Result<(f64, f64)> {
     validate_bracket(a, b)?;
     if n == 0 {
-        return Err(NumError::invalid_argument("grid_min requires at least one interval"));
+        return Err(NumError::invalid_argument(
+            "grid_min requires at least one interval",
+        ));
     }
     let mut best = (a, f(a));
     for k in 1..=n {
@@ -308,24 +330,36 @@ mod tests {
 
     #[test]
     fn golden_section_finds_parabola_minimum() {
-        let (x, fx) =
-            golden_section_min(|x| (x - 3.0).powi(2) + 1.0, -10.0, 10.0, &SolverOptions::default())
-                .unwrap();
+        let (x, fx) = golden_section_min(
+            |x| (x - 3.0).powi(2) + 1.0,
+            -10.0,
+            10.0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         assert!((x - 3.0).abs() < 1e-6);
         assert!((fx - 1.0).abs() < 1e-10);
     }
 
     #[test]
     fn golden_section_on_asymmetric_function() {
-        let (x, _) =
-            golden_section_min(|x| (x - 0.25).abs() + 0.1 * x, 0.0, 1.0, &SolverOptions::default())
-                .unwrap();
+        let (x, _) = golden_section_min(
+            |x| (x - 0.25).abs() + 0.1 * x,
+            0.0,
+            1.0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         assert!((x - 0.25).abs() < 1e-6);
     }
 
     #[test]
     fn golden_section_reports_budget_exhaustion() {
-        let options = SolverOptions { max_iterations: 2, x_tolerance: 1e-12, ..Default::default() };
+        let options = SolverOptions {
+            max_iterations: 2,
+            x_tolerance: 1e-12,
+            ..Default::default()
+        };
         let res = golden_section_min(|x| x * x, -1.0, 1.0, &options);
         assert!(matches!(res, Err(NumError::NoConvergence { .. })));
     }

@@ -1,5 +1,7 @@
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -161,7 +163,13 @@ impl StateVec {
     /// Panics if dimensions differ.
     pub fn component_min(&self, other: &StateVec) -> StateVec {
         assert_eq!(self.dim(), other.dim(), "component_min: dimension mismatch");
-        StateVec(self.0.iter().zip(other.0.iter()).map(|(a, b)| a.min(*b)).collect())
+        StateVec(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+        )
     }
 
     /// Component-wise maximum of `self` and `other`.
@@ -171,7 +179,13 @@ impl StateVec {
     /// Panics if dimensions differ.
     pub fn component_max(&self, other: &StateVec) -> StateVec {
         assert_eq!(self.dim(), other.dim(), "component_max: dimension mismatch");
-        StateVec(self.0.iter().zip(other.0.iter()).map(|(a, b)| a.max(*b)).collect())
+        StateVec(
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        )
     }
 
     /// Clamps every component into `[lo, hi]`.

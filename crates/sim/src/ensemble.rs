@@ -30,7 +30,12 @@ pub struct EnsembleOptions {
 
 impl Default for EnsembleOptions {
     fn default() -> Self {
-        EnsembleOptions { replications: 32, base_seed: 1, threads: 0, grid_intervals: 100 }
+        EnsembleOptions {
+            replications: 32,
+            base_seed: 1,
+            threads: 0,
+            grid_intervals: 100,
+        }
     }
 }
 
@@ -100,13 +105,19 @@ impl EnsembleSummary {
             let mean = self.mean_at(k);
             let expected = reference(t);
             if expected.dim() != mean.dim() {
-                return Err(SimError::invalid_input("reference trajectory has wrong dimension"));
+                return Err(SimError::invalid_input(
+                    "reference trajectory has wrong dimension",
+                ));
             }
             worst = worst.max(mean.distance_inf(&expected));
         }
         Ok(worst)
     }
 }
+
+/// Accumulator shared by the ensemble workers: per-grid-point statistics,
+/// final states, and the first error observed (if any).
+type EnsembleAccumulator = (Vec<Vec<RunningStats>>, Vec<StateVec>, Option<SimError>);
 
 /// Runs `options.replications` independent simulations and summarises them.
 ///
@@ -130,14 +141,20 @@ where
     P: ParameterPolicy,
 {
     if options.replications == 0 {
-        return Err(SimError::invalid_input("ensemble needs at least one replication"));
+        return Err(SimError::invalid_input(
+            "ensemble needs at least one replication",
+        ));
     }
     if options.grid_intervals == 0 {
-        return Err(SimError::invalid_input("ensemble needs at least one grid interval"));
+        return Err(SimError::invalid_input(
+            "ensemble needs at least one grid interval",
+        ));
     }
 
     let threads = if options.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         options.threads
     };
@@ -145,13 +162,17 @@ where
 
     let dim = simulator.model().dim();
     let grid_n = options.grid_intervals;
-    let times: Vec<f64> =
-        (0..=grid_n).map(|k| sim_options.t_end * k as f64 / grid_n as f64).collect();
+    let times: Vec<f64> = (0..=grid_n)
+        .map(|k| sim_options.t_end * k as f64 / grid_n as f64)
+        .collect();
 
     // Shared accumulators guarded by a mutex: merging is cheap relative to
     // simulation, so contention is negligible.
-    let accumulator: Mutex<(Vec<Vec<RunningStats>>, Vec<StateVec>, Option<SimError>)> =
-        Mutex::new((vec![vec![RunningStats::new(); dim]; grid_n + 1], Vec::new(), None));
+    let accumulator: Mutex<EnsembleAccumulator> = Mutex::new((
+        vec![vec![RunningStats::new(); dim]; grid_n + 1],
+        Vec::new(),
+        None,
+    ));
 
     std::thread::scope(|scope| {
         for worker in 0..threads {
@@ -205,7 +226,11 @@ where
     if let Some(err) = error {
         return Err(err);
     }
-    Ok(EnsembleSummary { times, stats, final_states })
+    Ok(EnsembleSummary {
+        times,
+        stats,
+        final_states,
+    })
 }
 
 #[cfg(test)]
@@ -225,20 +250,28 @@ mod tests {
         .unwrap();
         PopulationModel::builder(1, params)
             .variable_names(vec!["bikes"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] > 0.0 {
-                    th[0]
-                } else {
-                    0.0
-                }
-            }))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] < 1.0 {
-                    th[1]
-                } else {
-                    0.0
-                }
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] > 0.0 {
+                        th[0]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] < 1.0 {
+                        th[1]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .build()
             .unwrap()
     }
@@ -246,7 +279,12 @@ mod tests {
     #[test]
     fn ensemble_summary_has_expected_shape() {
         let sim = Simulator::new(bike_model(), 50).unwrap();
-        let options = EnsembleOptions { replications: 8, base_seed: 3, threads: 2, grid_intervals: 10 };
+        let options = EnsembleOptions {
+            replications: 8,
+            base_seed: 3,
+            threads: 2,
+            grid_intervals: 10,
+        };
         let summary = run_ensemble(
             &sim,
             &[25],
@@ -275,7 +313,12 @@ mod tests {
             &[100],
             || ConstantPolicy::new(vec![1.5, 0.75]),
             &SimulationOptions::new(8.0).record_stride(4),
-            &EnsembleOptions { replications: 16, base_seed: 11, threads: 4, grid_intervals: 20 },
+            &EnsembleOptions {
+                replications: 16,
+                base_seed: 11,
+                threads: 4,
+                grid_intervals: 20,
+            },
         )
         .unwrap();
         // The bike drift is discontinuous at the boundaries, so use a
@@ -288,13 +331,19 @@ mod tests {
         let distance = summary
             .max_mean_distance(|t| reference.at(t).unwrap())
             .unwrap();
-        assert!(distance < 0.12, "ensemble mean deviates from mean field by {distance}");
+        assert!(
+            distance < 0.12,
+            "ensemble mean deviates from mean field by {distance}"
+        );
     }
 
     #[test]
     fn ensemble_validates_options() {
         let sim = Simulator::new(bike_model(), 10).unwrap();
-        let bad = EnsembleOptions { replications: 0, ..Default::default() };
+        let bad = EnsembleOptions {
+            replications: 0,
+            ..Default::default()
+        };
         assert!(run_ensemble(
             &sim,
             &[5],
@@ -303,7 +352,11 @@ mod tests {
             &bad
         )
         .is_err());
-        let bad = EnsembleOptions { grid_intervals: 0, replications: 2, ..Default::default() };
+        let bad = EnsembleOptions {
+            grid_intervals: 0,
+            replications: 2,
+            ..Default::default()
+        };
         assert!(run_ensemble(
             &sim,
             &[5],
@@ -323,7 +376,11 @@ mod tests {
             &[5],
             || ConstantPolicy::new(vec![10.0, 1.0]),
             &SimulationOptions::new(1.0),
-            &EnsembleOptions { replications: 4, threads: 2, ..Default::default() },
+            &EnsembleOptions {
+                replications: 4,
+                threads: 2,
+                ..Default::default()
+            },
         );
         assert!(matches!(res, Err(SimError::PolicyOutOfRange { .. })));
     }
@@ -337,7 +394,12 @@ mod tests {
                 &[n as i64 / 2],
                 || ConstantPolicy::new(vec![1.0, 1.0]),
                 &SimulationOptions::new(4.0).record_stride(2),
-                &EnsembleOptions { replications: 24, base_seed: 7, threads: 4, grid_intervals: 8 },
+                &EnsembleOptions {
+                    replications: 24,
+                    base_seed: 7,
+                    threads: 4,
+                    grid_intervals: 8,
+                },
             )
             .unwrap();
             summary.std_dev_at(8)[0]

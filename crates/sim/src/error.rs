@@ -33,7 +33,9 @@ pub enum SimError {
 impl SimError {
     /// Creates an [`SimError::InvalidInput`] from anything printable.
     pub fn invalid_input(message: impl Into<String>) -> Self {
-        SimError::InvalidInput { message: message.into() }
+        SimError::InvalidInput {
+            message: message.into(),
+        }
     }
 }
 
@@ -45,7 +47,10 @@ impl fmt::Display for SimError {
                 write!(f, "parameter policy left the parameter space at t = {time}")
             }
             SimError::EventBudgetExhausted { events, reached } => {
-                write!(f, "event budget exhausted after {events} events at t = {reached}")
+                write!(
+                    f,
+                    "event budget exhausted after {events} events at t = {reached}"
+                )
             }
             SimError::Model(err) => write!(f, "model error: {err}"),
             SimError::Numerical(err) => write!(f, "numerical error: {err}"),
@@ -81,9 +86,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::invalid_input("bad scale").to_string().contains("bad scale"));
-        assert!(SimError::PolicyOutOfRange { time: 1.5 }.to_string().contains("1.5"));
-        let err = SimError::EventBudgetExhausted { events: 10, reached: 0.7 };
+        assert!(SimError::invalid_input("bad scale")
+            .to_string()
+            .contains("bad scale"));
+        assert!(SimError::PolicyOutOfRange { time: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        let err = SimError::EventBudgetExhausted {
+            events: 10,
+            reached: 0.7,
+        };
         assert!(err.to_string().contains("10"));
     }
 

@@ -3,7 +3,7 @@
 //! The simulator interprets a [`PopulationModel`] at a finite scale `N`: the
 //! state is the vector of integer counts, transition `k` fires at rate
 //! `N·β_k(x, ϑ)` where `x` is the normalised state, and the parameter signal
-//! `ϑ(t)` is produced by a [`ParameterPolicy`](crate::policy::ParameterPolicy)
+//! `ϑ(t)` is produced by a [`ParameterPolicy`]
 //! queried at every event. This is exactly the finite-`N` imprecise
 //! population process whose `N → ∞` behaviour the paper characterises.
 
@@ -43,7 +43,10 @@ impl SimulationOptions {
     ///
     /// Panics if `t_end` is not positive and finite.
     pub fn new(t_end: f64) -> Self {
-        assert!(t_end > 0.0 && t_end.is_finite(), "t_end must be positive and finite");
+        assert!(
+            t_end > 0.0 && t_end.is_finite(),
+            "t_end must be positive and finite"
+        );
         SimulationOptions {
             t_end,
             max_events: 50_000_000,
@@ -74,7 +77,10 @@ impl SimulationOptions {
     /// Panics if `interval` is not positive and finite.
     #[must_use]
     pub fn record_interval(mut self, interval: f64) -> Self {
-        assert!(interval > 0.0 && interval.is_finite(), "record interval must be positive");
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "record interval must be positive"
+        );
         self.record_interval = Some(interval);
         self
     }
@@ -140,7 +146,11 @@ impl Simulator {
             .iter()
             .map(|t| t.change().iter().map(|&v| v.round() as i64).collect())
             .collect();
-        Ok(Simulator { model, scale, jumps })
+        Ok(Simulator {
+            model,
+            scale,
+            jumps,
+        })
     }
 
     /// The underlying population model.
@@ -192,7 +202,9 @@ impl Simulator {
             )));
         }
         if initial_counts.iter().any(|&c| c < 0) {
-            return Err(SimError::invalid_input("initial counts must be non-negative"));
+            return Err(SimError::invalid_input(
+                "initial counts must be non-negative",
+            ));
         }
         policy.reset();
 
@@ -273,12 +285,13 @@ impl Simulator {
             }
 
             events += 1;
-            let stride_ok = events % options.record_stride == 0;
+            let stride_ok = events.is_multiple_of(options.record_stride);
             let interval_ok = match options.record_interval {
                 None => true,
                 Some(dt) => {
                     if t >= next_record_time {
-                        next_record_time += dt * ((t - next_record_time) / dt).floor().max(0.0) + dt;
+                        next_record_time +=
+                            dt * ((t - next_record_time) / dt).floor().max(0.0) + dt;
                         true
                     } else {
                         false
@@ -297,7 +310,11 @@ impl Simulator {
             trajectory.push(options.t_end, x.clone())?;
         }
 
-        Ok(SimulationRun { trajectory, events, final_counts: counts })
+        Ok(SimulationRun {
+            trajectory,
+            events,
+            final_counts: counts,
+        })
     }
 }
 
@@ -316,20 +333,28 @@ mod tests {
         .unwrap();
         PopulationModel::builder(1, params)
             .variable_names(vec!["bikes"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] > 0.0 {
-                    th[0]
-                } else {
-                    0.0
-                }
-            }))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] < 1.0 {
-                    th[1]
-                } else {
-                    0.0
-                }
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] > 0.0 {
+                        th[0]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] < 1.0 {
+                        th[1]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .build()
             .unwrap()
     }
@@ -338,7 +363,11 @@ mod tests {
     fn death_model() -> PopulationModel {
         let params = ParamSpace::single("rate", 1.0, 1.0).unwrap();
         PopulationModel::builder(1, params)
-            .transition(TransitionClass::new("die", [-1.0], |x: &StateVec, th: &[f64]| th[0] * x[0]))
+            .transition(TransitionClass::new(
+                "die",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| th[0] * x[0],
+            ))
             .build()
             .unwrap()
     }
@@ -347,7 +376,9 @@ mod tests {
     fn simulation_respects_bounds_and_horizon() {
         let sim = Simulator::new(bike_model(), 50).unwrap();
         let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
-        let run = sim.simulate(&[25], &mut policy, &SimulationOptions::new(20.0), 1).unwrap();
+        let run = sim
+            .simulate(&[25], &mut policy, &SimulationOptions::new(20.0), 1)
+            .unwrap();
         assert!(run.events() > 0);
         assert!((run.trajectory().last_time() - 20.0).abs() < 1e-12);
         for (_, state) in run.trajectory().iter() {
@@ -360,7 +391,9 @@ mod tests {
     fn absorbing_state_ends_simulation_early() {
         let sim = Simulator::new(death_model(), 20).unwrap();
         let mut policy = ConstantPolicy::new(vec![1.0]);
-        let run = sim.simulate(&[20], &mut policy, &SimulationOptions::new(1_000.0), 3).unwrap();
+        let run = sim
+            .simulate(&[20], &mut policy, &SimulationOptions::new(1_000.0), 3)
+            .unwrap();
         assert_eq!(run.final_counts(), &[0]);
         assert!(run.events() == 20);
         assert!((run.trajectory().last_state()[0]).abs() < 1e-12);
@@ -382,11 +415,18 @@ mod tests {
     fn strict_policy_rejects_out_of_range_values() {
         let sim = Simulator::new(bike_model(), 10).unwrap();
         let mut policy = ConstantPolicy::new(vec![10.0, 1.0]); // outside [0.5, 2]
-        let err = sim.simulate(&[5], &mut policy, &SimulationOptions::new(1.0), 1).unwrap_err();
+        let err = sim
+            .simulate(&[5], &mut policy, &SimulationOptions::new(1.0), 1)
+            .unwrap_err();
         assert!(matches!(err, SimError::PolicyOutOfRange { .. }));
         // lenient mode clamps instead
         let run = sim
-            .simulate(&[5], &mut policy, &SimulationOptions::new(1.0).lenient_policy(), 1)
+            .simulate(
+                &[5],
+                &mut policy,
+                &SimulationOptions::new(1.0).lenient_policy(),
+                1,
+            )
             .unwrap();
         assert!(run.events() > 0);
     }
@@ -395,8 +435,12 @@ mod tests {
     fn input_validation() {
         let sim = Simulator::new(bike_model(), 10).unwrap();
         let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
-        assert!(sim.simulate(&[1, 2], &mut policy, &SimulationOptions::new(1.0), 1).is_err());
-        assert!(sim.simulate(&[-1], &mut policy, &SimulationOptions::new(1.0), 1).is_err());
+        assert!(sim
+            .simulate(&[1, 2], &mut policy, &SimulationOptions::new(1.0), 1)
+            .is_err());
+        assert!(sim
+            .simulate(&[-1], &mut policy, &SimulationOptions::new(1.0), 1)
+            .is_err());
         assert!(Simulator::new(bike_model(), 0).is_err());
     }
 
@@ -406,18 +450,27 @@ mod tests {
         let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
         let options = SimulationOptions::new(100.0).max_events(50);
         let err = sim.simulate(&[500], &mut policy, &options, 5).unwrap_err();
-        assert!(matches!(err, SimError::EventBudgetExhausted { events: 50, .. }));
+        assert!(matches!(
+            err,
+            SimError::EventBudgetExhausted { events: 50, .. }
+        ));
     }
 
     #[test]
     fn record_stride_reduces_trajectory_size() {
         let sim = Simulator::new(bike_model(), 200).unwrap();
         let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
-        let dense =
-            sim.simulate(&[100], &mut policy, &SimulationOptions::new(5.0), 11).unwrap();
+        let dense = sim
+            .simulate(&[100], &mut policy, &SimulationOptions::new(5.0), 11)
+            .unwrap();
         let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
         let sparse = sim
-            .simulate(&[100], &mut policy, &SimulationOptions::new(5.0).record_stride(10), 11)
+            .simulate(
+                &[100],
+                &mut policy,
+                &SimulationOptions::new(5.0).record_stride(10),
+                11,
+            )
             .unwrap();
         assert!(sparse.trajectory().len() < dense.trajectory().len());
         assert_eq!(sparse.final_counts(), dense.final_counts());
@@ -430,9 +483,14 @@ mod tests {
         // between the thresholds rather than drifting to a boundary.
         let sim = Simulator::new(bike_model(), 200).unwrap();
         let mut policy = HysteresisPolicy::new(vec![0.5, 1.0], 0, 0.5, 2.0, 0, 0.3, 0.7, true);
-        let run = sim.simulate(&[100], &mut policy, &SimulationOptions::new(50.0), 17).unwrap();
+        let run = sim
+            .simulate(&[100], &mut policy, &SimulationOptions::new(50.0), 17)
+            .unwrap();
         let occupancy = run.trajectory().last_state()[0];
-        assert!(occupancy > 0.05 && occupancy < 0.95, "occupancy {occupancy} drifted to a boundary");
+        assert!(
+            occupancy > 0.05 && occupancy < 0.95,
+            "occupancy {occupancy} drifted to a boundary"
+        );
     }
 
     #[test]
@@ -449,6 +507,9 @@ mod tests {
             sum += run.trajectory().last_state()[0];
         }
         let mean = sum / replications as f64;
-        assert!((mean - 0.5).abs() < 0.15, "empirical mean {mean} far from mean field 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.15,
+            "empirical mean {mean} far from mean field 0.5"
+        );
     }
 }

@@ -84,12 +84,19 @@ impl PiecewiseConstantPolicy {
     /// Panics if `values.len() != breakpoints.len() + 1` or the breakpoints
     /// are not strictly increasing.
     pub fn new(breakpoints: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
-        assert_eq!(values.len(), breakpoints.len() + 1, "need one more value than breakpoints");
+        assert_eq!(
+            values.len(),
+            breakpoints.len() + 1,
+            "need one more value than breakpoints"
+        );
         assert!(
             breakpoints.windows(2).all(|w| w[0] < w[1]),
             "breakpoints must be strictly increasing"
         );
-        PiecewiseConstantPolicy { breakpoints, values }
+        PiecewiseConstantPolicy {
+            breakpoints,
+            values,
+        }
     }
 }
 
@@ -116,7 +123,10 @@ where
 {
     /// Creates a policy from a function of time.
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        TimeFunctionPolicy { f, label: label.into() }
+        TimeFunctionPolicy {
+            f,
+            label: label.into(),
+        }
     }
 }
 
@@ -186,7 +196,10 @@ impl HysteresisPolicy {
         start_high: bool,
     ) -> Self {
         assert!(param_index < base.len(), "param_index out of range");
-        assert!(low_threshold <= high_threshold, "thresholds must be ordered");
+        assert!(
+            low_threshold <= high_threshold,
+            "thresholds must be ordered"
+        );
         HysteresisPolicy {
             base,
             param_index,
@@ -219,7 +232,11 @@ impl ParameterPolicy for HysteresisPolicy {
             self.currently_high = true;
         }
         let mut theta = self.base.clone();
-        theta[self.param_index] = if self.currently_high { self.high_value } else { self.low_value };
+        theta[self.param_index] = if self.currently_high {
+            self.high_value
+        } else {
+            self.low_value
+        };
         theta
     }
 
@@ -269,7 +286,10 @@ impl RandomJumpPolicy {
         initial: f64,
     ) -> Self {
         assert!(param_index < base.len(), "param_index out of range of base");
-        assert!(param_index < space.dim(), "param_index out of range of the parameter space");
+        assert!(
+            param_index < space.dim(),
+            "param_index out of range of the parameter space"
+        );
         RandomJumpPolicy {
             space,
             base,
@@ -337,10 +357,8 @@ mod tests {
 
     #[test]
     fn piecewise_constant_switches_at_breakpoints() {
-        let mut p = PiecewiseConstantPolicy::new(
-            vec![1.0, 2.0],
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-        );
+        let mut p =
+            PiecewiseConstantPolicy::new(vec![1.0, 2.0], vec![vec![0.0], vec![1.0], vec![2.0]]);
         let x = StateVec::from([0.0]);
         assert_eq!(p.value(0.5, &x, &mut rng()), vec![0.0]);
         assert_eq!(p.value(1.0, &x, &mut rng()), vec![1.0]);
@@ -393,7 +411,11 @@ mod tests {
             assert!(theta[0] >= 1.0 && theta[0] <= 10.0);
             distinct.insert((theta[0] * 1e9) as i64);
         }
-        assert!(distinct.len() > 3, "expected several jumps, got {}", distinct.len());
+        assert!(
+            distinct.len() > 3,
+            "expected several jumps, got {}",
+            distinct.len()
+        );
         p.reset();
         assert_eq!(p.current(), 5.0);
     }

@@ -33,7 +33,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -124,12 +130,16 @@ impl RunningStats {
 /// Returns an error if the collection is empty or the vectors have
 /// inconsistent dimensions.
 pub fn per_coordinate_stats(states: &[StateVec]) -> Result<Vec<RunningStats>> {
-    let first = states.first().ok_or_else(|| SimError::invalid_input("no states to summarise"))?;
+    let first = states
+        .first()
+        .ok_or_else(|| SimError::invalid_input("no states to summarise"))?;
     let dim = first.dim();
     let mut stats = vec![RunningStats::new(); dim];
     for state in states {
         if state.dim() != dim {
-            return Err(SimError::invalid_input("states have inconsistent dimensions"));
+            return Err(SimError::invalid_input(
+                "states have inconsistent dimensions",
+            ));
         }
         for (i, &v) in state.as_slice().iter().enumerate() {
             stats[i].push(v);
@@ -145,7 +155,9 @@ pub fn per_coordinate_stats(states: &[StateVec]) -> Result<Vec<RunningStats>> {
 /// Returns an error if the sample is empty or `q` is outside `[0, 1]`.
 pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
     if sample.is_empty() {
-        return Err(SimError::invalid_input("cannot take a quantile of an empty sample"));
+        return Err(SimError::invalid_input(
+            "cannot take a quantile of an empty sample",
+        ));
     }
     if !(0.0..=1.0).contains(&q) {
         return Err(SimError::invalid_input("quantile level must lie in [0, 1]"));

@@ -36,10 +36,21 @@ impl SteadyStateOptions {
     /// Panics if `burn_in` is negative, `sample_interval` is not positive, or
     /// `samples == 0`.
     pub fn new(burn_in: f64, sample_interval: f64, samples: usize) -> Self {
-        assert!(burn_in >= 0.0 && burn_in.is_finite(), "burn-in must be non-negative");
-        assert!(sample_interval > 0.0 && sample_interval.is_finite(), "sample interval must be positive");
+        assert!(
+            burn_in >= 0.0 && burn_in.is_finite(),
+            "burn-in must be non-negative"
+        );
+        assert!(
+            sample_interval > 0.0 && sample_interval.is_finite(),
+            "sample interval must be positive"
+        );
         assert!(samples > 0, "at least one sample is required");
-        SteadyStateOptions { burn_in, sample_interval, samples, max_events: 200_000_000 }
+        SteadyStateOptions {
+            burn_in,
+            sample_interval,
+            samples,
+            max_events: 200_000_000,
+        }
     }
 
     /// Total simulated time implied by these options.
@@ -85,10 +96,16 @@ impl SteadyStateSample {
     pub fn project(&self, coord_x: usize, coord_y: usize) -> Result<Vec<Point2>> {
         if let Some(first) = self.states.first() {
             if coord_x >= first.dim() || coord_y >= first.dim() {
-                return Err(SimError::invalid_input("projection coordinate out of range"));
+                return Err(SimError::invalid_input(
+                    "projection coordinate out of range",
+                ));
             }
         }
-        Ok(self.states.iter().map(|s| Point2::new(s[coord_x], s[coord_y])).collect())
+        Ok(self
+            .states
+            .iter()
+            .map(|s| Point2::new(s[coord_x], s[coord_y]))
+            .collect())
     }
 }
 
@@ -108,7 +125,12 @@ pub fn sample_steady_state(
     let horizon = options.horizon();
     let sim_options = SimulationOptions::new(horizon)
         .max_events(options.max_events)
-        .record_interval(options.sample_interval.min(options.burn_in.max(options.sample_interval)) / 2.0);
+        .record_interval(
+            options
+                .sample_interval
+                .min(options.burn_in.max(options.sample_interval))
+                / 2.0,
+        );
     let run = simulator.simulate(initial_counts, policy, &sim_options, seed)?;
     let trajectory = run.trajectory();
     if trajectory.last_time() < options.burn_in {
@@ -121,7 +143,10 @@ pub fn sample_steady_state(
         let t = options.burn_in + options.sample_interval * k as f64;
         states.push(trajectory.at(t.min(trajectory.last_time()))?);
     }
-    Ok(SteadyStateSample { states, events: run.events() })
+    Ok(SteadyStateSample {
+        states,
+        events: run.events(),
+    })
 }
 
 #[cfg(test)]
@@ -140,20 +165,28 @@ mod tests {
         .unwrap();
         PopulationModel::builder(1, params)
             .variable_names(vec!["bikes"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] > 0.0 {
-                    th[0]
-                } else {
-                    0.0
-                }
-            }))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-                if x[0] < 1.0 {
-                    th[1]
-                } else {
-                    0.0
-                }
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] > 0.0 {
+                        th[0]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, th: &[f64]| {
+                    if x[0] < 1.0 {
+                        th[1]
+                    } else {
+                        0.0
+                    }
+                },
+            ))
             .build()
             .unwrap()
     }
@@ -169,10 +202,16 @@ mod tests {
         .unwrap();
         PopulationModel::builder(1, params)
             .variable_names(vec!["occupancy"])
-            .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| th[0] * x[0]))
-            .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-                th[1] * (1.0 - x[0]).max(0.0)
-            }))
+            .transition(TransitionClass::new(
+                "pickup",
+                [-1.0],
+                |x: &StateVec, th: &[f64]| th[0] * x[0],
+            ))
+            .transition(TransitionClass::new(
+                "return",
+                [1.0],
+                |x: &StateVec, th: &[f64]| th[1] * (1.0 - x[0]).max(0.0),
+            ))
             .build()
             .unwrap()
     }
@@ -185,10 +224,12 @@ mod tests {
         let sample = sample_steady_state(&sim, &[20], &mut policy, &options, 13).unwrap();
         assert_eq!(sample.len(), 60);
         assert!(sample.events() > 0);
-        let mean: f64 =
-            sample.states().iter().map(|s| s[0]).sum::<f64>() / sample.len() as f64;
+        let mean: f64 = sample.states().iter().map(|s| s[0]).sum::<f64>() / sample.len() as f64;
         // strong mean reversion: occupancy fluctuates tightly around 1/2
-        assert!((mean - 0.5).abs() < 0.1, "stationary mean {mean} far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.1,
+            "stationary mean {mean} far from 0.5"
+        );
     }
 
     #[test]

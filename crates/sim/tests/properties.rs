@@ -18,20 +18,28 @@ fn occupancy_model() -> PopulationModel {
     ])
     .unwrap();
     PopulationModel::builder(1, params)
-        .transition(TransitionClass::new("pickup", [-1.0], |x: &StateVec, th: &[f64]| {
-            if x[0] > 0.0 {
-                th[0]
-            } else {
-                0.0
-            }
-        }))
-        .transition(TransitionClass::new("return", [1.0], |x: &StateVec, th: &[f64]| {
-            if x[0] < 1.0 {
-                th[1]
-            } else {
-                0.0
-            }
-        }))
+        .transition(TransitionClass::new(
+            "pickup",
+            [-1.0],
+            |x: &StateVec, th: &[f64]| {
+                if x[0] > 0.0 {
+                    th[0]
+                } else {
+                    0.0
+                }
+            },
+        ))
+        .transition(TransitionClass::new(
+            "return",
+            [1.0],
+            |x: &StateVec, th: &[f64]| {
+                if x[0] < 1.0 {
+                    th[1]
+                } else {
+                    0.0
+                }
+            },
+        ))
         .build()
         .unwrap()
 }

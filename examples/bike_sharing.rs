@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let racks = 20usize;
     let horizon = 5.0;
 
-    println!("Single-station bike sharing: {racks} racks, occupancy starts at {}", bike.initial_occupancy);
+    println!(
+        "Single-station bike sharing: {racks} racks, occupancy starts at {}",
+        bike.initial_occupancy
+    );
     println!();
 
     // Exact answer for a small station via uniformization.
@@ -32,9 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[1.0, 1.0],
         &ExpansionOptions::default(),
     )?;
-    let transient = chain.generator().transient_distribution(&chain.initial_distribution(), horizon, 1e-9)?;
+    let transient =
+        chain
+            .generator()
+            .transient_distribution(&chain.initial_distribution(), horizon, 1e-9)?;
     let exact_mean = chain.mean_normalized(&transient)?;
-    println!("exact (uniformization, ϑ = (1, 1)):   E[occupancy({horizon})] = {:.4}", exact_mean[0]);
+    println!(
+        "exact (uniformization, ϑ = (1, 1)):   E[occupancy({horizon})] = {:.4}",
+        exact_mean[0]
+    );
 
     // Stochastic simulation of the same chain.
     let simulator = Simulator::new(model.clone(), racks)?;
@@ -58,17 +67,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mean-field bounds when both rates are imprecise.
     let drift = bike.drift();
-    let hull = DifferentialHull::new(&drift, HullOptions { clamp: Some((0.0, 1.0)), ..Default::default() });
+    let hull = DifferentialHull::new(
+        &drift,
+        HullOptions {
+            clamp: Some((0.0, 1.0)),
+            ..Default::default()
+        },
+    );
     let bounds = hull.bounds(&bike.initial_state(), horizon)?;
     let (lo, hi) = bounds.final_bounds();
-    println!("differential hull (imprecise rates):  occupancy({horizon}) ∈ [{:.3}, {:.3}]", lo[0], hi[0]);
+    println!(
+        "differential hull (imprecise rates):  occupancy({horizon}) ∈ [{:.3}, {:.3}]",
+        lo[0], hi[0]
+    );
 
     // The extreme constant selections of the inclusion (drain-as-fast-as-possible
     // and fill-as-fast-as-possible) confirm that the hull bounds are attained.
     let inclusion = DifferentialInclusion::new(&drift);
     let drain = inclusion
         .solve_fixed_step(
-            &mean_field_uncertain::core::signal::ConstantSignal::new(vec![bike.pickup_max, bike.return_min]),
+            &mean_field_uncertain::core::signal::ConstantSignal::new(vec![
+                bike.pickup_max,
+                bike.return_min,
+            ]),
             bike.initial_state(),
             horizon,
             1e-3,
@@ -76,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .last_state()[0];
     let fill = inclusion
         .solve_fixed_step(
-            &mean_field_uncertain::core::signal::ConstantSignal::new(vec![bike.pickup_min, bike.return_max]),
+            &mean_field_uncertain::core::signal::ConstantSignal::new(vec![
+                bike.pickup_min,
+                bike.return_max,
+            ]),
             bike.initial_state(),
             horizon,
             1e-3,
@@ -96,25 +120,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small_chain = FiniteChain::expand(
         &model,
         small_racks,
-        &vec![small_racks as i64 / 2],
+        &[small_racks as i64 / 2],
         &[1.0, 1.0],
         &ExpansionOptions::default(),
     )?;
     let mut interval_generator = IntervalGenerator::new(small_chain.len());
     let scale = small_racks as f64;
     for bikes in 0..=small_racks as i64 {
-        let from = small_chain.index_of(&[bikes]).expect("all occupancy levels are reachable");
+        let from = small_chain
+            .index_of(&[bikes])
+            .expect("all occupancy levels are reachable");
         // a pick-up removes one bike, a return adds one — both with interval rates
         if bikes > 0 {
             let to = small_chain.index_of(&[bikes - 1]).expect("reachable");
-            interval_generator.set_rate_bounds(from, to, bike.pickup_min * scale, bike.pickup_max * scale)?;
+            interval_generator.set_rate_bounds(
+                from,
+                to,
+                bike.pickup_min * scale,
+                bike.pickup_max * scale,
+            )?;
         }
         if bikes < small_racks as i64 {
             let to = small_chain.index_of(&[bikes + 1]).expect("reachable");
-            interval_generator.set_rate_bounds(from, to, bike.return_min * scale, bike.return_max * scale)?;
+            interval_generator.set_rate_bounds(
+                from,
+                to,
+                bike.return_min * scale,
+                bike.return_max * scale,
+            )?;
         }
     }
-    let empty_index = small_chain.index_of(&[0]).expect("empty state is reachable");
+    let empty_index = small_chain
+        .index_of(&[0])
+        .expect("empty state is reachable");
     let (kolmogorov_lo, kolmogorov_hi) =
         interval_generator.transient_bounds(&small_chain.initial_distribution(), 0.2, 1e-4)?;
     println!(

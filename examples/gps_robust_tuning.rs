@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo run --release --example gps_robust_tuning`.
 
-use mean_field_uncertain::core::pontryagin::{LinearObjective, PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::core::pontryagin::{
+    LinearObjective, PontryaginOptions, PontryaginSolver,
+};
 use mean_field_uncertain::core::robust::{minimize_worst_case, RobustOptions};
 use mean_field_uncertain::models::gps::GpsModel;
 use mean_field_uncertain::num::StateVec;
@@ -19,8 +21,11 @@ use mean_field_uncertain::num::StateVec;
 fn worst_case_backlog(phi1: f64, horizon: f64) -> Result<f64, Box<dyn std::error::Error>> {
     let gps = GpsModel::paper_with_weights(phi1, 1.0);
     let drift = gps.map_drift();
-    let solver =
-        PontryaginSolver::new(PontryaginOptions { grid_intervals: 150, multi_start: true, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 150,
+        multi_start: true,
+        ..Default::default()
+    });
     // maximise Q_1 + Q_2 at the horizon (coordinates 1 and 3 of the MAP state)
     let objective = LinearObjective::maximize(StateVec::from(vec![0.0, 1.0, 0.0, 1.0]));
     let solution = solver.solve(&drift, &gps.map_initial_state(), horizon, objective)?;
@@ -38,11 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== Robust optimum ==");
-    let robust = RobustOptions { coarse_grid: 10, design_tolerance: 0.05, ..Default::default() };
+    let robust = RobustOptions {
+        coarse_grid: 10,
+        design_tolerance: 0.05,
+        ..Default::default()
+    };
     let best = minimize_worst_case(1.0, 16.0, &robust, |phi1| {
-        worst_case_backlog(phi1, horizon).map_err(|err| {
-            mean_field_uncertain::core::CoreError::invalid_input(err.to_string())
-        })
+        worst_case_backlog(phi1, horizon)
+            .map_err(|err| mean_field_uncertain::core::CoreError::invalid_input(err.to_string()))
     })?;
     println!(
         "  optimal φ1 ≈ {:.2} (worst-case backlog {:.4}, {} objective evaluations)",

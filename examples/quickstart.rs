@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     // Uncertain scenario: ϑ is an unknown constant — sweep a grid of values.
-    let uncertain = UncertainAnalysis { grid_per_axis: 30, time_intervals: 30, step: 2e-3 };
+    let uncertain = UncertainAnalysis {
+        grid_per_axis: 30,
+        time_intervals: 30,
+        step: 2e-3,
+    };
     let envelope = uncertain.envelope(&drift, &x0, horizon)?;
     let last = envelope.times().len() - 1;
     println!(
@@ -40,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Imprecise scenario: ϑ(t) may vary arbitrarily — Pontryagin bounds.
-    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 300, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 300,
+        ..Default::default()
+    });
     let (lo, hi) = solver.coordinate_extremes(&drift, &x0, horizon, 1)?;
     println!("imprecise  (time-varying ϑ):     x_I({horizon}) ∈ [{lo:.4}, {hi:.4}]");
     println!();

@@ -26,10 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Transient bounds on the infected fraction (cf. Figure 1) ==");
     let tube_options = ReachTubeOptions {
         time_points: 8,
-        pontryagin: PontryaginOptions { grid_intervals: 150, ..Default::default() },
+        pontryagin: PontryaginOptions {
+            grid_intervals: 150,
+            ..Default::default()
+        },
     };
     let tube = reach_tube(&drift, &x0, 4.0, 1, &tube_options)?;
-    let uncertain = UncertainAnalysis { grid_per_axis: 20, time_intervals: 8, step: 2e-3 };
+    let uncertain = UncertainAnalysis {
+        grid_per_axis: 20,
+        time_intervals: 8,
+        step: 2e-3,
+    };
     let envelope = uncertain.envelope(&drift, &x0, 4.0)?;
     println!("  t     uncertain [lo, hi]      imprecise [lo, hi]");
     for (k, (t, lo, hi)) in tube.rows().enumerate() {
@@ -43,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------------------------------------------------------------- Fig. 2
     println!("== Extremal trajectories for x_I(3) (cf. Figure 2) ==");
-    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 400, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 400,
+        ..Default::default()
+    });
     let best = solver.maximize_coordinate(&drift, &x0, 3.0, 1)?;
     let worst = solver.minimize_coordinate(&drift, &x0, 3.0, 1)?;
     println!(
@@ -60,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------------------------------------------------------------- Fig. 3
     println!("== Steady-state Birkhoff centre (cf. Figure 3) ==");
-    let options = BirkhoffOptions { settle_time: 25.0, boundary_samples: 80, ..Default::default() };
+    let options = BirkhoffOptions {
+        settle_time: 25.0,
+        boundary_samples: 80,
+        ..Default::default()
+    };
     let centre = birkhoff_centre_2d(&drift, &x0, &options)?;
     let (lo, hi) = centre.polygon().bounding_box();
     println!(
@@ -88,11 +102,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             true,
         );
         let steady = SteadyStateOptions::new(20.0, 0.25, 200);
-        let sample =
-            sample_steady_state(&simulator, &sir.initial_counts(scale), &mut policy, &steady, 7)?;
+        let sample = sample_steady_state(
+            &simulator,
+            &sir.initial_counts(scale),
+            &mut policy,
+            &steady,
+            7,
+        )?;
         let points = sample.project(0, 1)?;
         let fraction = centre.containment_fraction(&points);
-        println!("  N = {scale:<6} fraction of stationary samples inside the centre: {fraction:.2}");
+        println!(
+            "  N = {scale:<6} fraction of stationary samples inside the centre: {fraction:.2}"
+        );
     }
     println!();
     println!("Containment improves with N, as Theorem 3 predicts.");

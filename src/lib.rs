@@ -14,7 +14,10 @@
 //!   limits, differential hulls, Pontryagin bounds, Birkhoff centres, robust
 //!   tuning;
 //! * [`models`] — the paper's case studies (SIR, bike sharing, GPS queueing)
-//!   plus SIS/SEIR variants.
+//!   plus SIS/SEIR variants;
+//! * [`lang`] — a textual model DSL for imprecise population CTMCs with a
+//!   scenario registry, compiling to both the population and the drift
+//!   backends.
 //!
 //! # Quick start
 //!
@@ -33,15 +36,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! The runnable examples in `examples/` (`quickstart`, `sir_epidemic`,
-//! `gps_robust_tuning`, `bike_sharing`) walk through the full analyses of the
-//! paper's evaluation section.
+//! The runnable examples in `examples/` (`quickstart`, `dsl_quickstart`,
+//! `sir_epidemic`, `gps_robust_tuning`, `bike_sharing`) walk through the full
+//! analyses of the paper's evaluation section.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use mfu_core as core;
 pub use mfu_ctmc as ctmc;
+pub use mfu_lang as lang;
 pub use mfu_models as models;
 pub use mfu_num as num;
 pub use mfu_sim as sim;

@@ -1,0 +1,159 @@
+//! End-to-end acceptance tests for the `mfu-lang` DSL subsystem.
+//!
+//! * the SIR model written in the DSL must produce transient Pontryagin
+//!   bounds matching the hand-coded `SirModel::paper()` within 1e-8 on the
+//!   same grid;
+//! * the new non-paper scenarios (botnet, load balancer) must compile from
+//!   the registry, simulate via `mfu-sim` and be bounded via `mfu-core`,
+//!   with the stochastic runs falling inside the mean-field reach bounds.
+
+use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::core::reachability::{reach_tube, ReachTubeOptions};
+use mean_field_uncertain::lang::ScenarioRegistry;
+use mean_field_uncertain::models::sir::SirModel;
+use mean_field_uncertain::sim::gillespie::{SimulationOptions, Simulator};
+use mean_field_uncertain::sim::policy::ConstantPolicy;
+
+#[test]
+fn dsl_sir_pontryagin_bounds_match_hand_coded_model() {
+    let sir = SirModel::paper();
+    let dsl = mean_field_uncertain::lang::compile(&sir.dsl_source()).unwrap();
+
+    let hand_drift = sir.reduced_drift();
+    let dsl_drift = dsl.reduced_drift();
+    let x0 = sir.reduced_initial_state();
+
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 120,
+        ..Default::default()
+    });
+    for (horizon, coordinate) in [(1.0, 1), (3.0, 1), (3.0, 0)] {
+        let (hand_lo, hand_hi) = solver
+            .coordinate_extremes(&hand_drift, &x0, horizon, coordinate)
+            .unwrap();
+        let (dsl_lo, dsl_hi) = solver
+            .coordinate_extremes(
+                &dsl_drift,
+                &dsl.reduced_initial_state(),
+                horizon,
+                coordinate,
+            )
+            .unwrap();
+        assert!(
+            (hand_lo - dsl_lo).abs() < 1e-8,
+            "lower bound of x[{coordinate}]({horizon}): hand {hand_lo} vs dsl {dsl_lo}"
+        );
+        assert!(
+            (hand_hi - dsl_hi).abs() < 1e-8,
+            "upper bound of x[{coordinate}]({horizon}): hand {hand_hi} vs dsl {dsl_hi}"
+        );
+    }
+}
+
+#[test]
+fn registry_ships_at_least_two_non_paper_scenarios() {
+    let registry = ScenarioRegistry::with_builtins();
+    let names = registry.names();
+    for expected in ["sir", "sis", "seir", "botnet", "load_balancer"] {
+        assert!(names.contains(&expected), "missing scenario `{expected}`");
+    }
+}
+
+/// Drives one registry scenario end-to-end: compile, bound via Pontryagin
+/// reach tubes, simulate via Gillespie at the extreme constant parameters,
+/// and check the empirical endpoints against the mean-field bounds (with a
+/// finite-size allowance).
+fn scenario_end_to_end(name: &str) {
+    let registry = ScenarioRegistry::with_builtins();
+    let scenario = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` missing"));
+    let model = scenario.compile().unwrap();
+    let horizon = scenario.horizon();
+    let coordinate = scenario.objective_coordinate();
+
+    // mean-field bounds via mfu-core
+    let drift = model.reduced_drift();
+    let x0 = model.reduced_initial_state();
+    let tube = reach_tube(
+        &drift,
+        &x0,
+        horizon,
+        coordinate,
+        &ReachTubeOptions {
+            time_points: 8,
+            // multi-start: the single-start sweep can settle on a local
+            // extremal for the 3-dimensional reduced botnet drift
+            pontryagin: PontryaginOptions {
+                grid_intervals: 120,
+                multi_start: true,
+                ..Default::default()
+            },
+        },
+    )
+    .unwrap();
+    let last = tube.times().len() - 1;
+    let (lo, hi) = (tube.lower()[last], tube.upper()[last]);
+    assert!(lo <= hi, "`{name}`: inverted bounds [{lo}, {hi}]");
+    assert!(
+        lo >= -1e-6 && hi <= 1.0 + 1e-6,
+        "`{name}`: bounds escape [0, 1]: [{lo}, {hi}]"
+    );
+
+    // stochastic side via mfu-sim: constant policies at both vertices
+    let scale = 2000;
+    let simulator = Simulator::new(model.population_model().unwrap(), scale).unwrap();
+    for (seed, vertex) in model.params().vertices().into_iter().enumerate() {
+        let mut policy = ConstantPolicy::new(vertex.clone());
+        let run = simulator
+            .simulate(
+                &model.initial_counts(scale),
+                &mut policy,
+                &SimulationOptions::new(horizon),
+                41 + seed as u64,
+            )
+            .unwrap();
+        let end = run.trajectory().last_state()[coordinate];
+        // finite-N fluctuation allowance ~ O(1/sqrt(N))
+        let slack = 4.0 / (scale as f64).sqrt();
+        assert!(
+            end >= lo - slack && end <= hi + slack,
+            "`{name}` at ϑ = {vertex:?}: simulated endpoint {end} outside [{lo}, {hi}] ± {slack}"
+        );
+    }
+}
+
+#[test]
+fn botnet_scenario_simulates_and_is_bounded() {
+    scenario_end_to_end("botnet");
+}
+
+#[test]
+fn load_balancer_scenario_simulates_and_is_bounded() {
+    scenario_end_to_end("load_balancer");
+}
+
+#[test]
+fn dsl_scenarios_match_hand_coded_population_models_in_simulation() {
+    // Same seed + same model ⇒ identical Gillespie runs, even though one
+    // model came from text and the other from hand-written Rust.
+    let sir = SirModel::paper();
+    let dsl = mean_field_uncertain::lang::compile(&sir.dsl_source()).unwrap();
+    let scale = 300;
+
+    let hand_sim = Simulator::new(sir.population_model().unwrap(), scale).unwrap();
+    let dsl_sim = Simulator::new(dsl.population_model().unwrap(), scale).unwrap();
+    let options = SimulationOptions::new(2.0);
+
+    let mut hand_policy = ConstantPolicy::new(vec![4.0]);
+    let mut dsl_policy = ConstantPolicy::new(vec![4.0]);
+    let hand_run = hand_sim
+        .simulate(&sir.initial_counts(scale), &mut hand_policy, &options, 11)
+        .unwrap();
+    let dsl_run = dsl_sim
+        .simulate(&dsl.initial_counts(scale), &mut dsl_policy, &options, 11)
+        .unwrap();
+
+    assert_eq!(hand_run.final_counts(), dsl_run.final_counts());
+    assert_eq!(hand_run.events(), dsl_run.events());
+}

@@ -13,7 +13,11 @@ fn hull_bounds(theta_max: f64, horizon: f64) -> (f64, f64) {
     let drift = sir.reduced_drift();
     let hull = DifferentialHull::new(
         &drift,
-        HullOptions { step: 5e-3, time_intervals: 20, ..Default::default() },
+        HullOptions {
+            step: 5e-3,
+            time_intervals: 20,
+            ..Default::default()
+        },
     );
     let bounds = hull.bounds(&sir.reduced_initial_state(), horizon).unwrap();
     let (lo, hi) = bounds.final_bounds();
@@ -23,7 +27,10 @@ fn hull_bounds(theta_max: f64, horizon: f64) -> (f64, f64) {
 fn pontryagin_bounds(theta_max: f64, horizon: f64) -> (f64, f64) {
     let sir = SirModel::paper_with_contact_max(theta_max);
     let drift = sir.reduced_drift();
-    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 200, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 200,
+        ..Default::default()
+    });
     solver
         .coordinate_extremes(&drift, &sir.reduced_initial_state(), horizon, 1)
         .unwrap()
@@ -52,7 +59,10 @@ fn figure4_hull_accuracy_degrades_with_parameter_range() {
     };
     let slack_small = width(2.0);
     let slack_large = width(5.0);
-    assert!(slack_small < 0.08, "hull should be tight for ϑmax = 2, slack {slack_small}");
+    assert!(
+        slack_small < 0.08,
+        "hull should be tight for ϑmax = 2, slack {slack_small}"
+    );
     assert!(
         slack_large > 4.0 * slack_small.max(1e-3),
         "hull should be much looser for ϑmax = 5 ({slack_large} vs {slack_small})"
@@ -64,10 +74,19 @@ fn figure4_hull_accuracy_degrades_with_parameter_range() {
 #[test]
 fn figure4_hull_becomes_trivial_for_large_ranges() {
     let (hull_lo, hull_hi) = hull_bounds(6.0, 10.0);
-    assert!(hull_lo <= 1e-3, "hull lower bound should collapse to ~0, got {hull_lo}");
-    assert!(hull_hi >= 0.9, "hull upper bound should blow up towards ≥ 1, got {hull_hi}");
+    assert!(
+        hull_lo <= 1e-3,
+        "hull lower bound should collapse to ~0, got {hull_lo}"
+    );
+    assert!(
+        hull_hi >= 0.9,
+        "hull upper bound should blow up towards ≥ 1, got {hull_hi}"
+    );
     let (exact_lo, exact_hi) = pontryagin_bounds(6.0, 10.0);
-    assert!(exact_hi - exact_lo < 0.5, "exact bounds stay informative, got [{exact_lo}, {exact_hi}]");
+    assert!(
+        exact_hi - exact_lo < 0.5,
+        "exact bounds stay informative, got [{exact_lo}, {exact_hi}]"
+    );
 }
 
 /// Sanity check tying the two analyses to actual solutions of the inclusion:

@@ -74,7 +74,12 @@ fn sir_ensemble_mean_tracks_the_mean_field_ode() {
         &sir.initial_counts(scale),
         || ConstantPolicy::new(vec![theta]),
         &SimulationOptions::new(horizon).record_stride(16),
-        &EnsembleOptions { replications: 12, base_seed: 5, threads: 4, grid_intervals: 12 },
+        &EnsembleOptions {
+            replications: 12,
+            base_seed: 5,
+            threads: 4,
+            grid_intervals: 12,
+        },
     )
     .unwrap();
 
@@ -82,8 +87,13 @@ fn sir_ensemble_mean_tracks_the_mean_field_ode() {
     let reference = Rk4::with_step(1e-3)
         .integrate(&ode, 0.0, sir.full_initial_state(), horizon)
         .unwrap();
-    let distance = summary.max_mean_distance(|t| reference.at(t).unwrap()).unwrap();
-    assert!(distance < 0.05, "ensemble mean deviates from the mean field by {distance}");
+    let distance = summary
+        .max_mean_distance(|t| reference.at(t).unwrap())
+        .unwrap();
+    assert!(
+        distance < 0.05,
+        "ensemble mean deviates from the mean field by {distance}"
+    );
 }
 
 /// Theorem 3: stationary samples of the imprecise SIR system concentrate on
@@ -95,7 +105,12 @@ fn stationary_samples_concentrate_on_the_birkhoff_centre() {
     let centre = birkhoff_centre_2d(
         &drift,
         &sir.reduced_initial_state(),
-        &BirkhoffOptions { step: 2e-3, settle_time: 25.0, boundary_samples: 80, ..Default::default() },
+        &BirkhoffOptions {
+            step: 2e-3,
+            settle_time: 25.0,
+            boundary_samples: 80,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -133,5 +148,8 @@ fn stationary_samples_concentrate_on_the_birkhoff_centre() {
         distances[1] < distances[0],
         "mean distance to the Birkhoff centre should shrink with N: {distances:?}"
     );
-    assert!(distances[1] < 0.01, "at N = 2000 the samples should hug the centre: {distances:?}");
+    assert!(
+        distances[1] < 0.01,
+        "at N = 2000 the samples should hug the centre: {distances:?}"
+    );
 }

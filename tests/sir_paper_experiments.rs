@@ -8,7 +8,10 @@ use mean_field_uncertain::models::sir::SirModel;
 use mean_field_uncertain::num::geometry::Point2;
 
 fn solver() -> PontryaginSolver {
-    PontryaginSolver::new(PontryaginOptions { grid_intervals: 200, ..Default::default() })
+    PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 200,
+        ..Default::default()
+    })
 }
 
 /// Figure 1: the imprecise bounds contain the uncertain bounds, with a gap
@@ -19,17 +22,29 @@ fn figure1_imprecise_bounds_contain_uncertain_bounds() {
     let sir = SirModel::paper();
     let drift = sir.reduced_drift();
     let x0 = sir.reduced_initial_state();
-    let analysis = UncertainAnalysis { grid_per_axis: 12, time_intervals: 8, step: 2e-3 };
+    let analysis = UncertainAnalysis {
+        grid_per_axis: 12,
+        time_intervals: 8,
+        step: 2e-3,
+    };
 
     let mut previous_excess = 0.0;
     for (k, horizon) in [1.0, 2.0, 4.0].iter().enumerate() {
         let envelope = analysis.envelope(&drift, &x0, *horizon).unwrap();
         let last = envelope.times().len() - 1;
         let (unc_lo, unc_hi) = (envelope.lower()[last][1], envelope.upper()[last][1]);
-        let (imp_lo, imp_hi) = solver().coordinate_extremes(&drift, &x0, *horizon, 1).unwrap();
+        let (imp_lo, imp_hi) = solver()
+            .coordinate_extremes(&drift, &x0, *horizon, 1)
+            .unwrap();
 
-        assert!(imp_lo <= unc_lo + 1e-3, "horizon {horizon}: imprecise lower bound above uncertain");
-        assert!(imp_hi >= unc_hi - 1e-3, "horizon {horizon}: imprecise upper bound below uncertain");
+        assert!(
+            imp_lo <= unc_lo + 1e-3,
+            "horizon {horizon}: imprecise lower bound above uncertain"
+        );
+        assert!(
+            imp_hi >= unc_hi - 1e-3,
+            "horizon {horizon}: imprecise upper bound below uncertain"
+        );
         // all bounds stay in the simplex
         for v in [unc_lo, unc_hi, imp_lo, imp_hi] {
             assert!((-1e-6..=1.0 + 1e-6).contains(&v));
@@ -44,7 +59,10 @@ fn figure1_imprecise_bounds_contain_uncertain_bounds() {
         previous_excess = excess;
     }
     // At T = 4 the gap is substantial (the paper shows roughly 0.09 vs 0.15).
-    assert!(previous_excess > 0.02, "expected a clear gap at T = 4, got {previous_excess}");
+    assert!(
+        previous_excess > 0.02,
+        "expected a clear gap at T = 4, got {previous_excess}"
+    );
 }
 
 /// Figure 2: the extremal controls are bang-bang. The control maximising
@@ -55,11 +73,18 @@ fn figure2_extremal_controls_are_bang_bang() {
     let sir = SirModel::paper();
     let drift = sir.reduced_drift();
     let x0 = sir.reduced_initial_state();
-    let solver = PontryaginSolver::new(PontryaginOptions { grid_intervals: 400, ..Default::default() });
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 400,
+        ..Default::default()
+    });
 
     let maximal = solver.maximize_coordinate(&drift, &x0, 3.0, 1).unwrap();
     let switches = maximal.switching_times(1e-6);
-    assert_eq!(switches.len(), 1, "maximising control should switch exactly once, got {switches:?}");
+    assert_eq!(
+        switches.len(),
+        1,
+        "maximising control should switch exactly once, got {switches:?}"
+    );
     assert!(
         switches[0] > 1.8 && switches[0] < 2.8,
         "paper reports the switch near t = 2.25, got {switches:?}"
@@ -70,15 +95,26 @@ fn figure2_extremal_controls_are_bang_bang() {
         assert!((v - sir.contact_min).abs() < 1e-6 || (v - sir.contact_max).abs() < 1e-6);
     }
     // the extremal value beats every constant-ϑ trajectory
-    let analysis = UncertainAnalysis { grid_per_axis: 10, time_intervals: 4, step: 2e-3 };
+    let analysis = UncertainAnalysis {
+        grid_per_axis: 10,
+        time_intervals: 4,
+        step: 2e-3,
+    };
     let envelope = analysis.envelope(&drift, &x0, 3.0).unwrap();
     let unc_hi = envelope.upper()[4][1];
     assert!(maximal.objective_value() > unc_hi + 0.02);
 
     let minimal = solver.minimize_coordinate(&drift, &x0, 3.0, 1).unwrap();
     let switches = minimal.switching_times(1e-6);
-    assert_eq!(switches.len(), 2, "minimising control should switch twice, got {switches:?}");
-    assert!(switches[0] < 1.2 && switches[1] > 1.6, "paper reports switches near 0.7 and 2.2");
+    assert_eq!(
+        switches.len(),
+        2,
+        "minimising control should switch twice, got {switches:?}"
+    );
+    assert!(
+        switches[0] < 1.2 && switches[1] > 1.6,
+        "paper reports switches near 0.7 and 2.2"
+    );
     assert!(minimal.objective_value() < envelope.lower()[4][1] + 1e-3);
 }
 
@@ -91,7 +127,11 @@ fn figure3_birkhoff_centre_contains_fixed_point_curve() {
     let drift = sir.reduced_drift();
     let x0 = sir.reduced_initial_state();
 
-    let analysis = UncertainAnalysis { grid_per_axis: 12, time_intervals: 8, step: 2e-3 };
+    let analysis = UncertainAnalysis {
+        grid_per_axis: 12,
+        time_intervals: 8,
+        step: 2e-3,
+    };
     let fixed_points = analysis.fixed_points(&drift, &x0).unwrap();
     assert!(fixed_points.len() >= 10);
 
@@ -102,7 +142,10 @@ fn figure3_birkhoff_centre_contains_fixed_point_curve() {
         ..Default::default()
     };
     let centre = birkhoff_centre_2d(&drift, &x0, &options).unwrap();
-    assert!(centre.area() > 1e-3, "the imprecise steady state is a genuine region");
+    assert!(
+        centre.area() > 1e-3,
+        "the imprecise steady state is a genuine region"
+    );
 
     for fp in &fixed_points {
         let point = Point2::new(fp.state[0], fp.state[1]);
@@ -114,8 +157,14 @@ fn figure3_birkhoff_centre_contains_fixed_point_curve() {
     }
 
     // the centre reaches x_S below and x_I above every fixed point
-    let min_s_curve = fixed_points.iter().map(|fp| fp.state[0]).fold(f64::INFINITY, f64::min);
-    let max_i_curve = fixed_points.iter().map(|fp| fp.state[1]).fold(f64::NEG_INFINITY, f64::max);
+    let min_s_curve = fixed_points
+        .iter()
+        .map(|fp| fp.state[0])
+        .fold(f64::INFINITY, f64::min);
+    let max_i_curve = fixed_points
+        .iter()
+        .map(|fp| fp.state[1])
+        .fold(f64::NEG_INFINITY, f64::max);
     let (bb_lo, bb_hi) = centre.polygon().bounding_box();
     assert!(bb_lo.x < min_s_curve - 0.01);
     assert!(bb_hi.y > max_i_curve + 0.01);

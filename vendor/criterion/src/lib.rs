@@ -1,0 +1,184 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the `benches/` targets compiling and running: it implements
+//! [`Criterion::benchmark_group`]/[`Criterion::bench_function`],
+//! [`Bencher::iter`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros on top of plain [`std::time::Instant`] timing. Each benchmark is
+//! warmed up once, timed for `sample_size` samples, and reported to stdout
+//! as `name  …  median <t> (min <t> … max <t>)`. There is no statistical
+//! analysis, plotting or baseline comparison — swap the real criterion back
+//! in for that; the bench sources need no change.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the std implementation).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (a group of one, default sample size).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let name = name.into();
+        self.benchmark_group(name.clone()).run(&name, 10, f);
+        self.benches_run += 1;
+    }
+
+    /// Prints a closing line; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        println!("finished {} benchmark(s)", self.benches_run);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark of this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size;
+        self.run(&id, samples, f);
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups report eagerly).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&self, id: &str, samples: usize, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(samples),
+            budget: samples,
+        };
+        f(&mut bencher);
+        let mut timed = bencher.samples;
+        if timed.is_empty() {
+            println!("{id:<60} no samples recorded");
+            return;
+        }
+        timed.sort_unstable();
+        let median = timed[timed.len() / 2];
+        println!(
+            "{id:<60} median {} (min {} … max {}, {} samples)",
+            format_duration(median),
+            format_duration(timed[0]),
+            format_duration(*timed.last().expect("non-empty")),
+            timed.len(),
+        );
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn harness_runs_and_counts_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.benches_run, 2);
+        c.final_summary();
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(10)).ends_with("s"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access. This vendored crate keeps
+//! the workspace's property tests runnable by reimplementing the surface
+//! they use — the [`Strategy`] trait, range/tuple/`vec` strategies, the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros and
+//! [`ProptestConfig`] — as plain randomised testing:
+//!
+//! * cases are generated from a generator seeded with a hash of the test
+//!   name, so every run explores the same deterministic case set;
+//! * failures panic immediately with the ordinary `assert!` message — there
+//!   is **no shrinking**; the failing values are reported as sampled.
+//!
+//! Swapping the real proptest back in requires no change to the tests.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration. Only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic generator driving the sampled cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a hash), so each property
+    /// sees a reproducible case sequence independent of execution order.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    fn word(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of random values of an associated type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply samples.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start).max(1) as u64;
+                self.start + (rng.word() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.word() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Admissible sizes for a generated collection: `[min, max)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange {
+                min: range.start,
+                max: range.end.max(range.start + 1),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`]; `size` may be an exact `usize` or a
+    /// `Range<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min).max(1);
+            let len = self.size.min
+                + (Range {
+                    start: 0usize,
+                    end: span,
+                })
+                .sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace alias used inside property bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property; panics with the case values
+/// reported by the standard `assert!` message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn unit(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(0.0..1.0f64, dim)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Sampled ranges respect their bounds.
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..7.0f64, n in 2usize..9, flag in crate::bool::ANY) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((2..9).contains(&n));
+            let _ = flag;
+        }
+
+        /// Vec strategies produce the requested sizes.
+        #[test]
+        fn vec_sizes_are_in_range(v in prop::collection::vec(0.0..1.0f64, 2..10), w in unit(4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(v.iter().chain(w.iter()).all(|u| (0.0..1.0).contains(u)));
+        }
+
+        /// Tuple strategies sample componentwise.
+        #[test]
+        fn tuples_sample_componentwise(p in (0.0..1.0f64, 5.0..6.0f64)) {
+            prop_assert!((0.0..1.0).contains(&p.0) && (5.0..6.0).contains(&p.1));
+        }
+    }
+
+    #[test]
+    fn same_name_gives_same_cases() {
+        let mut a = crate::TestRng::deterministic("case");
+        let mut b = crate::TestRng::deterministic("case");
+        let s = 0.0..1.0f64;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a).to_bits(), s.sample(&mut b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde exclusively for `#[derive(Serialize,
+//! Deserialize)]` on plain-data model types; nothing is serialised at
+//! runtime. This crate provides the two marker traits and re-exports the
+//! no-op derive macros from the vendored [`serde_derive`] so that the
+//! original `use serde::{Deserialize, Serialize};` lines keep compiling
+//! without network access. Replacing the `vendor/` crates with the real
+//! serde requires no change to the rest of the workspace.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented by the no-op
+/// derive; present so bounds written against it still name a real trait).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (see [`Serialize`]).
+pub trait Deserialize<'de> {}

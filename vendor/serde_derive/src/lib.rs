@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this workspace has no access to crates.io, and
+//! the workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations — no code path actually serialises anything. These derives
+//! therefore expand to nothing; swapping the real `serde`/`serde_derive`
+//! back in requires no source change outside the vendored crates.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
