@@ -1,11 +1,22 @@
-//! Cost of the DSL front-end (parse + validate + compile) and of the
-//! end-to-end DSL-scenario → Pontryagin-bound pipeline, so later PRs can
-//! track both the front-end throughput and the analysis hot path.
+//! Cost of the DSL front-end (parse + validate + compile), of the two rate
+//! evaluation engines (interpreted expression tree vs flat bytecode VM),
+//! and of the end-to-end DSL-scenario → Pontryagin-bound pipeline, so later
+//! PRs can track front-end throughput, the rate hot path and the analysis
+//! pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
 use mfu_lang::scenarios::{ScenarioRegistry, SIR_SOURCE};
+use mfu_lang::vm::RateProgram;
+use mfu_num::StateVec;
 use std::hint::black_box;
+
+/// Rules of one model paired with a ring of ϑ points of the model's
+/// parameter dimension.
+type RuleGroup = (
+    Vec<Vec<f64>>,
+    Vec<(mfu_lang::expr::CompiledExpr, RateProgram)>,
+);
 
 fn bench_dsl(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsl_parse_compile");
@@ -40,6 +51,72 @@ fn bench_dsl(c: &mut Criterion) {
                 drift.drift_into(black_box(&x), &theta, &mut out);
             }
             out
+        })
+    });
+    group.finish();
+
+    // Interpreted tree vs flat bytecode VM over the same rate expressions:
+    // every rule of every builtin scenario, 10^4 evaluations per sample.
+    // The acceptance criterion of the rate-engine PR is bytecode ≥ 3×
+    // faster than the tree here (see BENCH_rate_engine.json).
+    let mut group = c.benchmark_group("rate_engine");
+    group.sample_size(30);
+    let registry = ScenarioRegistry::with_builtins();
+    // rules grouped per model, each group with a ring of ϑ points
+    // *dimensioned* to its own parameter space (values sweep 1..10
+    // regardless of the declared bounds; stays valid for future
+    // multi-parameter scenarios; the lookup is hoisted out of the
+    // per-rule loop)
+    let mut groups: Vec<RuleGroup> = Vec::new();
+    let mut max_dim = 0;
+    for scenario in registry.iter() {
+        let model = scenario.compile().unwrap();
+        max_dim = max_dim.max(model.dim());
+        let thetas: Vec<Vec<f64>> = (0..10usize)
+            .map(|k| {
+                (0..model.params().dim())
+                    .map(|d| 1.0 + ((k + d) % 10) as f64)
+                    .collect()
+            })
+            .collect();
+        let rules = model
+            .rules()
+            .iter()
+            .map(|rule| (rule.rate.clone(), RateProgram::compile(&rule.rate)))
+            .collect();
+        groups.push((thetas, rules));
+    }
+    let x: StateVec = (0..max_dim).map(|i| 0.1 + 0.07 * i as f64).collect();
+
+    group.bench_function("tree_eval_all_rules_1e4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0_f64;
+            for k in 0..10_000u32 {
+                let slot = (k % 10) as usize;
+                for (thetas, rules) in &groups {
+                    let theta = &thetas[slot];
+                    for (tree, _) in rules {
+                        acc += tree.eval(black_box(&x), theta);
+                    }
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("vm_eval_all_rules_1e4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0_f64;
+            for k in 0..10_000u32 {
+                let slot = (k % 10) as usize;
+                for (thetas, rules) in &groups {
+                    let theta = &thetas[slot];
+                    for (_, program) in rules {
+                        acc += program.eval(black_box(&x), theta);
+                    }
+                }
+            }
+            acc
         })
     });
     group.finish();

@@ -1,9 +1,14 @@
 //! Cost of exact stochastic simulation of the SIR population process as a
-//! function of the population size (the finite-`N` side of Figure 6).
+//! function of the population size (the finite-`N` side of Figure 6), plus
+//! the propensity-maintenance strategies (full rescan vs dependency graph
+//! vs incremental total) on models with enough transitions for selective
+//! updates to pay off.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mfu_bench::ring_model_source;
+use mfu_lang::scenarios::ScenarioRegistry;
 use mfu_models::sir::SirModel;
-use mfu_sim::gillespie::{SimulationOptions, Simulator};
+use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::{ConstantPolicy, HysteresisPolicy};
 use std::hint::black_box;
 
@@ -50,5 +55,53 @@ fn bench_ssa(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ssa);
+/// Full-rescan vs dependency-graph vs incremental-total per-step cost on
+/// the 5-transition botnet scenario and a 12-transition migration ring.
+fn bench_propensity_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_propensity");
+    group.sample_size(10);
+
+    let registry = ScenarioRegistry::with_builtins();
+    let strategies: [(&str, PropensityStrategy); 3] = [
+        ("full_rescan", PropensityStrategy::FullRescan),
+        ("dependency_graph", PropensityStrategy::DependencyGraph),
+        (
+            "incremental_total",
+            PropensityStrategy::IncrementalTotal { refresh_every: 256 },
+        ),
+    ];
+
+    let cases = [
+        (
+            "botnet5",
+            registry.get("botnet").unwrap().source().to_string(),
+            2000usize,
+            5.0,
+        ),
+        ("ring12", ring_model_source(12), 2400usize, 4.0),
+    ];
+    for (label, source, scale, t_end) in cases {
+        let model = mfu_lang::compile(&source).unwrap();
+        let population = model.population_model().unwrap();
+        let simulator = Simulator::new(population, scale).unwrap();
+        let counts = model.initial_counts(scale);
+        let theta = model.params().midpoint();
+        for (name, strategy) in strategies {
+            let options = SimulationOptions::new(t_end)
+                .record_stride(256)
+                .propensity_strategy(strategy);
+            group.bench_function(format!("{label}_{name}_N{scale}"), |b| {
+                b.iter(|| {
+                    let mut policy = ConstantPolicy::new(theta.clone());
+                    simulator
+                        .simulate(black_box(&counts), &mut policy, &options, 11)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssa, bench_propensity_strategies);
 criterion_main!(benches);

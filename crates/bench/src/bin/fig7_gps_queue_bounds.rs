@@ -18,7 +18,7 @@ use mfu_core::uncertain::UncertainAnalysis;
 use mfu_models::gps::GpsModel;
 use mfu_num::StateVec;
 
-fn report_scenario<D: ImpreciseDrift>(
+fn report_scenario<D: ImpreciseDrift + Sync>(
     label: &str,
     drift: &D,
     x0: &StateVec,

@@ -1,0 +1,235 @@
+//! Emits `BENCH_rate_engine.json`: the perf trajectory of the rate engine
+//! (interpreted tree vs bytecode VM) and of the Gillespie propensity
+//! strategies (full rescan vs dependency graph vs incremental total).
+//!
+//! Run from the repository root (ideally `--release`):
+//!
+//! ```text
+//! cargo run --release -p mfu-bench --bin rate_engine_report
+//! ```
+//!
+//! The numbers land in `BENCH_rate_engine.json` next to the manifest and on
+//! stdout; CI runs the binary so the report (and the code paths it times)
+//! cannot rot.
+
+use std::time::Instant;
+
+use mfu_bench::ring_model_source;
+use mfu_lang::scenarios::ScenarioRegistry;
+use mfu_lang::vm::RateProgram;
+use mfu_num::StateVec;
+use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
+use mfu_sim::policy::ConstantPolicy;
+use std::hint::black_box;
+
+/// Rules of one model paired with a ring of ϑ points of the model's
+/// parameter dimension.
+type RuleGroup = (
+    Vec<Vec<f64>>,
+    Vec<(mfu_lang::expr::CompiledExpr, RateProgram)>,
+);
+
+/// Median of `samples` timing runs of `f`, in nanoseconds.
+fn median_ns<F: FnMut() -> f64>(samples: usize, mut f: F) -> f64 {
+    black_box(f()); // warm-up
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    timings.sort_by(f64::total_cmp);
+    timings[timings.len() / 2]
+}
+
+/// Minimum of `samples` timing runs of `f`, in nanoseconds — the most
+/// noise-resistant estimator for tight evaluation loops (any scheduling or
+/// frequency hiccup only ever inflates a sample).
+fn min_ns<F: FnMut() -> f64>(samples: usize, mut f: F) -> f64 {
+    black_box(f()); // warm-up
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Ten parameter points of the given dimension for the evaluation loops
+/// (values sweep 1..10 independent of any declared parameter bounds).
+fn theta_ring(dim: usize) -> Vec<Vec<f64>> {
+    (0..10)
+        .map(|k| (0..dim).map(|d| 1.0 + ((k + d) % 10) as f64).collect())
+        .collect()
+}
+
+/// tree-ns/eval, vm-ns/eval, rule count and fast-path count over a set of
+/// per-model rule groups.
+fn measure_rate_set(groups: &[RuleGroup], x: &StateVec) -> (f64, f64, usize, usize) {
+    const EVALS: u32 = 20_000;
+    let n_rules: usize = groups.iter().map(|(_, rules)| rules.len()).sum();
+    let total_evals = (EVALS as usize * n_rules) as f64;
+    let tree_ns = min_ns(25, || {
+        let mut acc = 0.0;
+        for k in 0..EVALS {
+            let slot = (k % 10) as usize;
+            for (thetas, rules) in groups {
+                let theta = &thetas[slot];
+                for (tree, _) in rules {
+                    acc += tree.eval(black_box(x), theta);
+                }
+            }
+        }
+        acc
+    }) / total_evals;
+    let vm_ns = min_ns(25, || {
+        let mut acc = 0.0;
+        for k in 0..EVALS {
+            let slot = (k % 10) as usize;
+            for (thetas, rules) in groups {
+                let theta = &thetas[slot];
+                for (_, program) in rules {
+                    acc += program.eval(black_box(x), theta);
+                }
+            }
+        }
+        acc
+    }) / total_evals;
+    let fast_path = groups
+        .iter()
+        .flat_map(|(_, rules)| rules)
+        .filter(|(_, program)| program.is_fast_path())
+        .count();
+    (tree_ns, vm_ns, n_rules, fast_path)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- rate engine: tree vs VM over every builtin scenario rule --------
+    // Two measured sets: the full-coordinate scenario rules (exactly what
+    // the `dsl_parse_compile/rate_engine` bench group times — the PR's
+    // acceptance gauge) and the broader mix that additionally includes the
+    // reduced-coordinate rules of the hull/Pontryagin hot path, whose
+    // conservation substitution makes the trees deeper and less
+    // fast-path-friendly. Rules are grouped per model, each group carrying
+    // a ring of ϑ points *dimensioned* to its own parameter space (the
+    // values sweep 1..10 regardless of the declared bounds — rate
+    // evaluation does not clamp), so the loop stays valid if a
+    // multi-parameter scenario is ever registered; the ϑ lookup is hoisted
+    // out of the per-rule loop and the variation keeps the optimizer from
+    // hoisting the eval itself.
+    let registry = ScenarioRegistry::with_builtins();
+    let mut groups_full: Vec<RuleGroup> = Vec::new();
+    let mut groups_mix: Vec<RuleGroup> = Vec::new();
+    let mut max_dim = 0;
+    for scenario in registry.iter() {
+        let model = scenario.compile()?;
+        max_dim = max_dim.max(model.dim());
+        let thetas = theta_ring(model.params().dim());
+        let full: Vec<_> = model
+            .rules()
+            .iter()
+            .map(|rule| (rule.rate.clone(), RateProgram::compile(&rule.rate)))
+            .collect();
+        let mut mix = full.clone();
+        for rule in model.reduced_drift().rules() {
+            mix.push((rule.rate.clone(), RateProgram::compile(&rule.rate)));
+        }
+        groups_full.push((thetas.clone(), full));
+        groups_mix.push((thetas, mix));
+    }
+    let x: StateVec = (0..max_dim).map(|i| 0.1 + 0.07 * i as f64).collect();
+
+    let (tree_ns, vm_ns, n_rules, fast_path) = measure_rate_set(&groups_full, &x);
+    let (mix_tree_ns, mix_vm_ns, mix_rules, mix_fast_path) = measure_rate_set(&groups_mix, &x);
+
+    // ---- SSA: per-event cost under the propensity strategies -------------
+    let strategies = [
+        ("full_rescan", PropensityStrategy::FullRescan),
+        ("dependency_graph", PropensityStrategy::DependencyGraph),
+        (
+            "incremental_total",
+            PropensityStrategy::IncrementalTotal { refresh_every: 256 },
+        ),
+    ];
+    let cases = [
+        (
+            "botnet5",
+            registry
+                .get("botnet")
+                .expect("registered")
+                .source()
+                .to_string(),
+            4000usize,
+            5.0,
+        ),
+        ("ring12", ring_model_source(12), 4800usize, 4.0),
+    ];
+    let mut ssa_entries = Vec::new();
+    for (label, source, scale, t_end) in cases {
+        let model = mfu_lang::compile(&source)?;
+        let population = model.population_model()?;
+        let simulator = Simulator::new(population, scale)?;
+        let counts = model.initial_counts(scale);
+        let theta = model.params().midpoint();
+        let mut per_strategy = Vec::new();
+        for (name, strategy) in strategies {
+            let options = SimulationOptions::new(t_end)
+                .record_stride(4096)
+                .propensity_strategy(strategy);
+            let mut events = 0usize;
+            let wall_ns = median_ns(7, || {
+                let mut policy = ConstantPolicy::new(theta.clone());
+                let run = simulator
+                    .simulate(&counts, &mut policy, &options, 11)
+                    .expect("simulation failed");
+                events = run.events();
+                run.final_counts()[0] as f64
+            });
+            per_strategy.push((name, wall_ns / events.max(1) as f64, events));
+        }
+        ssa_entries.push((label, scale, per_strategy));
+    }
+
+    // ---- report ----------------------------------------------------------
+    let speedup = tree_ns / vm_ns;
+    let mix_speedup = mix_tree_ns / mix_vm_ns;
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"rate_engine\",\n");
+    json.push_str("  \"units\": {\"eval_ns\": \"ns/eval\", \"step_ns\": \"ns/event\"},\n");
+    json.push_str(&format!(
+        "  \"rate_eval\": {{\n    \"scope\": \"full-coordinate scenario rules (= dsl_parse_compile/rate_engine bench)\",\n    \"rules\": {n_rules},\n    \"fast_path_rules\": {fast_path},\n    \"tree_eval_ns\": {tree_ns:.2},\n    \"vm_eval_ns\": {vm_ns:.2},\n    \"speedup\": {speedup:.2}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"rate_eval_with_reduced\": {{\n    \"scope\": \"full + reduced-coordinate rules (hull/Pontryagin mix)\",\n    \"rules\": {mix_rules},\n    \"fast_path_rules\": {mix_fast_path},\n    \"tree_eval_ns\": {mix_tree_ns:.2},\n    \"vm_eval_ns\": {mix_vm_ns:.2},\n    \"speedup\": {mix_speedup:.2}\n  }},\n"
+    ));
+    let ssa_blocks: Vec<String> = ssa_entries
+        .iter()
+        .map(|(label, scale, per_strategy)| {
+            let full = per_strategy
+                .iter()
+                .find(|(name, _, _)| *name == "full_rescan")
+                .expect("full_rescan timed")
+                .1;
+            let lines: Vec<String> = std::iter::once(format!("      \"scale\": {scale}"))
+                .chain(per_strategy.iter().map(|(name, step_ns, events)| {
+                    format!(
+                        "      \"{name}\": {{\"step_ns\": {step_ns:.2}, \"events\": {events}, \"speedup_vs_full\": {:.2}}}",
+                        full / step_ns
+                    )
+                }))
+                .collect();
+            format!("    \"{label}\": {{\n{}\n    }}", lines.join(",\n"))
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"ssa\": {{\n{}\n  }}\n}}\n",
+        ssa_blocks.join(",\n")
+    ));
+
+    println!("{json}");
+    std::fs::write("BENCH_rate_engine.json", &json)?;
+    eprintln!("wrote BENCH_rate_engine.json");
+    Ok(())
+}

@@ -102,7 +102,7 @@ impl AsymptoticBox {
 /// Returns an error on invalid options or if a Pontryagin sweep fails. A
 /// failure to stabilise within the round budget is *not* an error; the
 /// returned box reports `converged() == false`.
-pub fn asymptotic_box<D: ImpreciseDrift>(
+pub fn asymptotic_box<D: ImpreciseDrift + Sync>(
     drift: &D,
     x0: &StateVec,
     options: &AsymptoticOptions,

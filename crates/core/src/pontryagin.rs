@@ -19,7 +19,7 @@
 //! paper calls *template* refinement of the reachable set.
 
 use mfu_num::grid::{GridSignal, TimeGrid};
-use mfu_num::jacobian::finite_difference_jacobian;
+use mfu_num::jacobian::{finite_difference_jacobian_into, Jacobian, JacobianScratch};
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
 
@@ -231,7 +231,7 @@ impl PontryaginSolver {
     /// # Errors
     ///
     /// Same conditions as [`PontryaginSolver::solve`].
-    pub fn maximize_coordinate<D: ImpreciseDrift>(
+    pub fn maximize_coordinate<D: ImpreciseDrift + Sync>(
         &self,
         drift: &D,
         x0: &StateVec,
@@ -251,7 +251,7 @@ impl PontryaginSolver {
     /// # Errors
     ///
     /// Same conditions as [`PontryaginSolver::solve`].
-    pub fn minimize_coordinate<D: ImpreciseDrift>(
+    pub fn minimize_coordinate<D: ImpreciseDrift + Sync>(
         &self,
         drift: &D,
         x0: &StateVec,
@@ -271,7 +271,7 @@ impl PontryaginSolver {
     /// # Errors
     ///
     /// Same conditions as [`PontryaginSolver::solve`].
-    pub fn coordinate_extremes<D: ImpreciseDrift>(
+    pub fn coordinate_extremes<D: ImpreciseDrift + Sync>(
         &self,
         drift: &D,
         x0: &StateVec,
@@ -286,7 +286,12 @@ impl PontryaginSolver {
     /// Runs the forward–backward sweep for an arbitrary linear objective.
     ///
     /// With [`PontryaginOptions::multi_start`] enabled the sweep is restarted
-    /// from every vertex of `Θ` and the best extremal is returned.
+    /// from every vertex of `Θ` and the best extremal is returned. The
+    /// restarts are independent, so they run in parallel across threads
+    /// (reusing the scoped-thread pattern of `mfu-sim`'s ensembles); the
+    /// result is selected in initialization order with strict improvement,
+    /// exactly as the sequential loop did, so the outcome is deterministic
+    /// regardless of thread scheduling.
     ///
     /// # Errors
     ///
@@ -294,7 +299,7 @@ impl PontryaginSolver {
     /// produces non-finite values. A sweep that merely fails to meet the
     /// convergence tolerance within the iteration budget is *not* an error;
     /// the returned solution reports `converged() == false`.
-    pub fn solve<D: ImpreciseDrift>(
+    pub fn solve<D: ImpreciseDrift + Sync>(
         &self,
         drift: &D,
         x0: &StateVec,
@@ -305,17 +310,75 @@ impl PontryaginSolver {
         if self.options.multi_start {
             initializations.extend(drift.params().vertices());
         }
+
+        let n = initializations.len();
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(n);
+        let mut outcomes: Vec<(usize, Result<ExtremalSolution>)> = if threads <= 1 {
+            initializations
+                .into_iter()
+                .enumerate()
+                .map(|(i, initial)| {
+                    (
+                        i,
+                        self.solve_from(drift, x0, horizon, objective.clone(), initial),
+                    )
+                })
+                .collect()
+        } else {
+            let initializations = &initializations;
+            let objective_ref = &objective;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut index = worker;
+                            while index < n {
+                                local.push((
+                                    index,
+                                    self.solve_from(
+                                        drift,
+                                        x0,
+                                        horizon,
+                                        objective_ref.clone(),
+                                        initializations[index].clone(),
+                                    ),
+                                ));
+                                index += threads;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| {
+                        // re-raise worker panics with their original payload
+                        handle
+                            .join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
+            })
+        };
+        outcomes.sort_by_key(|(index, _)| *index);
+
+        // Deterministic selection: walk candidates in initialization order,
+        // keeping the strictly better one — the sequential semantics.
+        let sign = if objective.is_maximization() {
+            1.0
+        } else {
+            -1.0
+        };
         let mut best: Option<ExtremalSolution> = None;
-        for initial in initializations {
-            let candidate = self.solve_from(drift, x0, horizon, objective.clone(), initial)?;
+        for (_, outcome) in outcomes {
+            let candidate = outcome?;
             let better = match &best {
                 None => true,
                 Some(current) => {
-                    let sign = if objective.is_maximization() {
-                        1.0
-                    } else {
-                        -1.0
-                    };
                     sign * candidate.objective_value() > sign * current.objective_value()
                 }
             };
@@ -371,6 +434,14 @@ impl PontryaginSolver {
         let mut state: Vec<StateVec> = vec![x0.clone(); n + 1];
         let mut costate: Vec<StateVec> = vec![StateVec::zeros(dim); n + 1];
 
+        // Preallocated work buffers, reused by every RK4 stage and every
+        // finite-difference Jacobian of the sweep: the inner loops below run
+        // thousands of times per solve and allocate nothing.
+        let mut rk4 = Rk4Scratch::new(dim);
+        let mut jac = Jacobian::zeros(dim, dim);
+        let mut jac_scratch = JacobianScratch::new(dim, dim);
+        let mut midpoint = StateVec::zeros(dim);
+
         let mut converged = false;
         let mut iterations = 0;
         // Best (in the ascent sense) control seen so far. The sweep can
@@ -386,7 +457,14 @@ impl PontryaginSolver {
             let previous_state_end = state[n].clone();
             for k in 0..n {
                 let theta = &control[k];
-                state[k + 1] = rk4_step(&|x: &StateVec| drift.drift(x, theta), &state[k], h)?;
+                let (head, tail) = state.split_at_mut(k + 1);
+                rk4_step_into(
+                    &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
+                    &head[k],
+                    h,
+                    &mut tail[0],
+                    &mut rk4,
+                )?;
             }
             let iterate_value = ascent.dot(&state[n]);
             if iterate_value > best_value {
@@ -397,33 +475,47 @@ impl PontryaginSolver {
             // ---- backward pass ------------------------------------------------
             costate[n] = ascent.clone();
             for k in (0..n).rev() {
-                let theta = control[k].clone();
+                let theta = &control[k];
                 // Costate dynamics: -ṗ = Jᵀ p. Integrating backwards in time
                 // with step -h is equivalent to integrating ṗ = Jᵀ p forward
-                // in the reversed time variable.
-                let x_mid = 0.5 * (&state[k] + &state[k + 1]);
-                let jac_step = self.options.jacobian_step;
-                let rhs = |p: &StateVec| -> Result<StateVec> {
-                    let jac = finite_difference_jacobian(
-                        &|x: &StateVec| drift.drift(x, &theta),
-                        &x_mid,
-                        dim,
-                        jac_step,
-                    )?;
-                    Ok(jac.transpose_mul(p)?)
-                };
-                costate[k] = rk4_step(
-                    &|p: &StateVec| rhs(p).unwrap_or_else(|_| StateVec::zeros(dim)),
-                    &costate[k + 1],
+                // in the reversed time variable. The Jacobian is frozen at
+                // the interval midpoint, so it is evaluated once per
+                // interval and shared by all four RK4 stages (the stages
+                // previously recomputed the identical matrix); a failed
+                // evaluation zeroes the matrix, preserving the historical
+                // "treat a bad Jacobian as no costate motion" behaviour.
+                half_sum_into(&state[k], &state[k + 1], &mut midpoint);
+                let jacobian_ok = finite_difference_jacobian_into(
+                    &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
+                    &midpoint,
+                    self.options.jacobian_step,
+                    &mut jac,
+                    &mut jac_scratch,
+                )
+                .is_ok();
+                if !jacobian_ok {
+                    jac.fill_zero();
+                }
+                let jac_ref = &jac;
+                let (head, tail) = costate.split_at_mut(k + 1);
+                rk4_step_into(
+                    &mut |p: &StateVec, dp: &mut StateVec| {
+                        if jac_ref.transpose_mul_into(p, dp).is_err() {
+                            dp.fill_zero();
+                        }
+                    },
+                    &tail[0],
                     h,
+                    &mut head[k],
+                    &mut rk4,
                 )?;
             }
 
             // ---- control update ----------------------------------------------
             let mut control_change = 0.0_f64;
             for k in 0..n {
-                let p_mid = 0.5 * (&costate[k] + &costate[k + 1]);
-                let (theta_star, _) = drift.extremal_theta(&state[k], &p_mid);
+                half_sum_into(&costate[k], &costate[k + 1], &mut midpoint);
+                let (theta_star, _) = drift.extremal_theta(&state[k], &midpoint);
                 let mut updated = Vec::with_capacity(theta_dim);
                 for j in 0..theta_dim {
                     let relaxed =
@@ -460,7 +552,14 @@ impl PontryaginSolver {
         }
         for k in 0..n {
             let theta = &control[k];
-            state[k + 1] = rk4_step(&|x: &StateVec| drift.drift(x, theta), &state[k], h)?;
+            let (head, tail) = state.split_at_mut(k + 1);
+            rk4_step_into(
+                &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
+                &head[k],
+                h,
+                &mut tail[0],
+                &mut rk4,
+            )?;
         }
         let objective_value = objective.weights().dot(&state[n]);
 
@@ -477,26 +576,73 @@ impl PontryaginSolver {
     }
 }
 
-/// One RK4 step of an autonomous vector field given as a closure.
-fn rk4_step<F>(f: &F, x: &StateVec, h: f64) -> Result<StateVec>
+/// Preallocated stage buffers of [`rk4_step_into`]: the four slopes plus
+/// the perturbed stage state. One instance serves every step of a sweep.
+#[derive(Debug, Clone)]
+struct Rk4Scratch {
+    k1: StateVec,
+    k2: StateVec,
+    k3: StateVec,
+    k4: StateVec,
+    stage: StateVec,
+}
+
+impl Rk4Scratch {
+    fn new(dim: usize) -> Self {
+        Rk4Scratch {
+            k1: StateVec::zeros(dim),
+            k2: StateVec::zeros(dim),
+            k3: StateVec::zeros(dim),
+            k4: StateVec::zeros(dim),
+            stage: StateVec::zeros(dim),
+        }
+    }
+}
+
+/// One RK4 step of an autonomous vector field writing into a caller buffer.
+///
+/// All temporaries live in `scratch`; the step allocates nothing. The
+/// arithmetic (stage states `x + c·h·k`, weighted final sum) reproduces the
+/// former allocating implementation operation for operation.
+fn rk4_step_into<F>(
+    f: &mut F,
+    x: &StateVec,
+    h: f64,
+    out: &mut StateVec,
+    scratch: &mut Rk4Scratch,
+) -> Result<()>
 where
-    F: Fn(&StateVec) -> StateVec,
+    F: FnMut(&StateVec, &mut StateVec),
 {
-    let k1 = f(x);
-    let k2 = f(&(x + &(&k1 * (0.5 * h))));
-    let k3 = f(&(x + &(&k2 * (0.5 * h))));
-    let k4 = f(&(x + &(&k3 * h)));
-    let mut out = x.clone();
-    out.add_scaled(h / 6.0, &k1);
-    out.add_scaled(h / 3.0, &k2);
-    out.add_scaled(h / 3.0, &k3);
-    out.add_scaled(h / 6.0, &k4);
+    f(x, &mut scratch.k1);
+    scratch.stage.copy_from(x);
+    scratch.stage.add_scaled(0.5 * h, &scratch.k1);
+    f(&scratch.stage, &mut scratch.k2);
+    scratch.stage.copy_from(x);
+    scratch.stage.add_scaled(0.5 * h, &scratch.k2);
+    f(&scratch.stage, &mut scratch.k3);
+    scratch.stage.copy_from(x);
+    scratch.stage.add_scaled(h, &scratch.k3);
+    f(&scratch.stage, &mut scratch.k4);
+    out.copy_from(x);
+    out.add_scaled(h / 6.0, &scratch.k1);
+    out.add_scaled(h / 3.0, &scratch.k2);
+    out.add_scaled(h / 3.0, &scratch.k3);
+    out.add_scaled(h / 6.0, &scratch.k4);
     if !out.is_finite() {
         return Err(CoreError::Numerical(mfu_num::NumError::non_finite(
             "pontryagin RK4 step",
         )));
     }
-    Ok(out)
+    Ok(())
+}
+
+/// `out[i] = 0.5 * (a[i] + b[i])`, the midpoint used by the costate sweep
+/// (same operation order as the former `0.5 * (&a + &b)` expression).
+fn half_sum_into(a: &StateVec, b: &StateVec, out: &mut StateVec) {
+    for ((o, &ai), &bi) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = 0.5 * (ai + bi);
+    }
 }
 
 #[cfg(test)]

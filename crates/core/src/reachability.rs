@@ -103,7 +103,7 @@ impl Default for ReachTubeOptions {
 /// # Errors
 ///
 /// Returns an error on inconsistent inputs or if any sweep fails.
-pub fn reach_tube<D: ImpreciseDrift>(
+pub fn reach_tube<D: ImpreciseDrift + Sync>(
     drift: &D,
     x0: &StateVec,
     horizon: f64,

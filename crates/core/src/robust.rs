@@ -190,7 +190,7 @@ pub fn robust_design_sweep<D, F>(
     mut make_drift: F,
 ) -> Result<RobustDesign>
 where
-    D: ImpreciseDrift,
+    D: ImpreciseDrift + Sync,
     F: FnMut(f64) -> Result<D>,
 {
     let solver = PontryaginSolver::new(*pontryagin);

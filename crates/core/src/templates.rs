@@ -119,7 +119,7 @@ impl ReachablePolygon {
 ///
 /// Returns [`CoreError::UnsupportedDimension`] for drifts that are not
 /// two-dimensional, and propagates sweep failures.
-pub fn reachable_polygon_2d<D: ImpreciseDrift>(
+pub fn reachable_polygon_2d<D: ImpreciseDrift + Sync>(
     drift: &D,
     x0: &StateVec,
     horizon: f64,

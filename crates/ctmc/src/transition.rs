@@ -8,18 +8,94 @@
 //! `f(x, ϑ) = Σ_classes ℓ·β(x, ϑ)`, independent of `N`, which is exactly the
 //! quantity whose set-valued closure drives the mean-field differential
 //! inclusion.
+//!
+//! Rates come in two flavours, unified by the [`RateFn`] enum:
+//!
+//! * **native closures** — arbitrary Rust functions, the historical
+//!   representation, created through [`TransitionClass::new`];
+//! * **compiled programs** — objects implementing [`CompiledRate`], such as
+//!   the flat bytecode programs the `mfu-lang` DSL lowers its rate
+//!   expressions to, created through [`TransitionClass::compiled`]. Compiled
+//!   rates additionally report which state coordinates they read
+//!   ([`CompiledRate::species_support`]), which lets the Gillespie simulator
+//!   build a transition dependency graph and skip propensity re-evaluations.
 
 use std::fmt;
 use std::sync::Arc;
 
 use mfu_num::StateVec;
 
-/// Rate function type of a transition class: `β(x, ϑ)`.
+/// Signature of a native rate closure: `β(x, ϑ)`.
 ///
 /// The function receives the *normalised* state `x` and the parameter vector
 /// `ϑ`, and returns the rate density (the actual CTMC jump rate at population
 /// size `N` is `N·β(x, ϑ)`).
-pub type RateFn = dyn Fn(&StateVec, &[f64]) -> f64 + Send + Sync;
+pub type NativeRateFn = dyn Fn(&StateVec, &[f64]) -> f64 + Send + Sync;
+
+/// An object-safe rate evaluator compiled to some flat, introspectable form.
+///
+/// Implemented by `mfu_lang::vm::RateProgram` (a register-based bytecode
+/// program); any representation that can evaluate `β(x, ϑ)` and report the
+/// state coordinates it reads qualifies.
+pub trait CompiledRate: Send + Sync {
+    /// Evaluates the rate density `β(x, ϑ)`.
+    fn eval(&self, x: &StateVec, theta: &[f64]) -> f64;
+
+    /// The state coordinates the rate reads, sorted and deduplicated.
+    ///
+    /// An empty slice means the rate is constant in the state.
+    fn species_support(&self) -> &[usize];
+}
+
+/// Rate function of a transition class: a native closure or a compiled
+/// program.
+#[derive(Clone)]
+pub enum RateFn {
+    /// An arbitrary Rust closure; its state dependencies are unknown.
+    Native(Arc<NativeRateFn>),
+    /// A compiled rate program with a known species support.
+    Compiled(Arc<dyn CompiledRate>),
+}
+
+impl RateFn {
+    /// Evaluates the rate density `β(x, ϑ)`.
+    #[inline]
+    pub fn eval(&self, x: &StateVec, theta: &[f64]) -> f64 {
+        match self {
+            RateFn::Native(f) => f(x, theta),
+            RateFn::Compiled(p) => p.eval(x, theta),
+        }
+    }
+
+    /// `true` when the rate is a compiled program.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, RateFn::Compiled(_))
+    }
+
+    /// The state coordinates the rate reads, when known.
+    ///
+    /// `None` means the dependencies are unknown (native closure without an
+    /// explicit annotation) and callers must conservatively assume the rate
+    /// reads every coordinate.
+    pub fn species_support(&self) -> Option<&[usize]> {
+        match self {
+            RateFn::Native(_) => None,
+            RateFn::Compiled(p) => Some(p.species_support()),
+        }
+    }
+}
+
+impl fmt::Debug for RateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateFn::Native(_) => f.write_str("RateFn::Native"),
+            RateFn::Compiled(p) => f
+                .debug_struct("RateFn::Compiled")
+                .field("species_support", &p.species_support())
+                .finish(),
+        }
+    }
+}
 
 /// A single transition class of a population model.
 ///
@@ -45,11 +121,15 @@ pub type RateFn = dyn Fn(&StateVec, &[f64]) -> f64 + Send + Sync;
 pub struct TransitionClass {
     name: String,
     change: StateVec,
-    rate: Arc<RateFn>,
+    rate: RateFn,
+    /// Explicit species support for native closures (see
+    /// [`TransitionClass::with_species_support`]); compiled rates carry their
+    /// own support.
+    support: Option<Vec<usize>>,
 }
 
 impl TransitionClass {
-    /// Creates a transition class.
+    /// Creates a transition class with a native rate closure.
     ///
     /// `change` is the jump vector on the *counting* variables (the
     /// normalised state jumps by `change / N`); `rate` is the density
@@ -62,8 +142,37 @@ impl TransitionClass {
         TransitionClass {
             name: name.into(),
             change: change.into(),
-            rate: Arc::new(rate),
+            rate: RateFn::Native(Arc::new(rate)),
+            support: None,
         }
+    }
+
+    /// Creates a transition class whose rate is a compiled program.
+    pub fn compiled<C>(name: impl Into<String>, change: C, rate: Arc<dyn CompiledRate>) -> Self
+    where
+        C: Into<StateVec>,
+    {
+        TransitionClass {
+            name: name.into(),
+            change: change.into(),
+            rate: RateFn::Compiled(rate),
+            support: None,
+        }
+    }
+
+    /// Declares the state coordinates a *native* rate closure reads, enabling
+    /// the dependency-graph Gillespie path for hand-coded models.
+    ///
+    /// The declaration is trusted: listing fewer coordinates than the closure
+    /// actually reads silently breaks the simulator's selective propensity
+    /// updates. Compiled rates ignore the annotation — their support is
+    /// derived from the program itself.
+    #[must_use]
+    pub fn with_species_support(mut self, mut support: Vec<usize>) -> Self {
+        support.sort_unstable();
+        support.dedup();
+        self.support = Some(support);
+        self
     }
 
     /// Name of the transition class (used in diagnostics).
@@ -81,9 +190,26 @@ impl TransitionClass {
         self.change.dim()
     }
 
+    /// The underlying rate function (closure or compiled program).
+    pub fn rate_fn(&self) -> &RateFn {
+        &self.rate
+    }
+
+    /// The state coordinates the rate reads, when known: the compiled
+    /// program's support, or the explicit
+    /// [`TransitionClass::with_species_support`] annotation for native
+    /// closures. `None` means "assume all coordinates".
+    pub fn species_support(&self) -> Option<&[usize]> {
+        match &self.rate {
+            RateFn::Compiled(p) => Some(p.species_support()),
+            RateFn::Native(_) => self.support.as_deref(),
+        }
+    }
+
     /// Evaluates the rate density `β(x, ϑ)`.
+    #[inline]
     pub fn rate(&self, x: &StateVec, theta: &[f64]) -> f64 {
-        (self.rate)(x, theta)
+        self.rate.eval(x, theta)
     }
 
     /// Adds `rate(x, ϑ) · change` into `acc` — one term of the drift sum.
@@ -100,6 +226,7 @@ impl fmt::Debug for TransitionClass {
         f.debug_struct("TransitionClass")
             .field("name", &self.name)
             .field("change", &self.change)
+            .field("rate", &self.rate)
             .finish_non_exhaustive()
     }
 }
@@ -112,6 +239,33 @@ mod tests {
         TransitionClass::new("infection", [-1.0, 1.0], |x: &StateVec, theta: &[f64]| {
             theta[0] * x[0] * x[1]
         })
+    }
+
+    /// A minimal compiled rate for the tests: `c · x_i`.
+    struct LinearRate {
+        c: f64,
+        i: usize,
+        support: Vec<usize>,
+    }
+
+    impl LinearRate {
+        fn new(c: f64, i: usize) -> Self {
+            LinearRate {
+                c,
+                i,
+                support: vec![i],
+            }
+        }
+    }
+
+    impl CompiledRate for LinearRate {
+        fn eval(&self, x: &StateVec, _theta: &[f64]) -> f64 {
+            self.c * x[self.i]
+        }
+
+        fn species_support(&self) -> &[usize] {
+            &self.support
+        }
     }
 
     #[test]
@@ -156,5 +310,38 @@ mod tests {
         let t = infection();
         let dbg = format!("{t:?}");
         assert!(dbg.contains("infection"));
+    }
+
+    #[test]
+    fn native_rates_have_unknown_support_unless_annotated() {
+        let t = infection();
+        assert!(!t.rate_fn().is_compiled());
+        assert!(t.species_support().is_none());
+        assert!(t.rate_fn().species_support().is_none());
+
+        let annotated = infection().with_species_support(vec![1, 0, 1]);
+        assert_eq!(annotated.species_support(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn compiled_rates_evaluate_and_report_support() {
+        let t = TransitionClass::compiled("decay", [-1.0, 0.0], Arc::new(LinearRate::new(2.0, 0)));
+        assert!(t.rate_fn().is_compiled());
+        assert_eq!(t.species_support(), Some(&[0][..]));
+        let x = StateVec::from([0.4, 0.9]);
+        assert!((t.rate(&x, &[]) - 0.8).abs() < 1e-12);
+        let mut acc = StateVec::zeros(2);
+        t.accumulate_drift(&x, &[], &mut acc);
+        assert!((acc[0] + 0.8).abs() < 1e-12);
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("Compiled"));
+    }
+
+    #[test]
+    fn explicit_support_is_ignored_for_compiled_rates() {
+        let t = TransitionClass::compiled("decay", [-1.0, 0.0], Arc::new(LinearRate::new(2.0, 0)))
+            .with_species_support(vec![0, 1]);
+        // the program's own support wins
+        assert_eq!(t.species_support(), Some(&[0][..]));
     }
 }

@@ -16,6 +16,8 @@
 //! coordinate can be eliminated and [`CompiledModel::reduced_drift`]
 //! returns the full-dimensional drift unchanged.
 
+use std::sync::Arc;
+
 use mfu_core::drift::ImpreciseDrift;
 use mfu_ctmc::params::ParamSpace;
 use mfu_ctmc::population::PopulationModel;
@@ -25,6 +27,7 @@ use mfu_num::StateVec;
 use crate::diagnostics::LangError;
 use crate::expr::CompiledExpr;
 use crate::validate::{ResolvedModel, ResolvedRule};
+use crate::vm::{ProgramSet, RateProgram};
 
 /// A validated model compiled into evaluable form.
 ///
@@ -121,7 +124,19 @@ impl CompiledModel {
         counts
     }
 
+    /// The resolved rules (name, jump vector, compiled rate expression), in
+    /// declaration order.
+    pub fn rules(&self) -> &[ResolvedRule] {
+        &self.resolved.rules
+    }
+
     /// Builds the finite-`N` population backend.
+    ///
+    /// Every rule's rate expression is lowered to a flat
+    /// [`RateProgram`], so the simulator evaluates
+    /// bytecode (or a mass-action fast path) instead of walking the
+    /// expression tree, and each transition reports its species support for
+    /// the dependency-graph Gillespie path.
     ///
     /// # Errors
     ///
@@ -131,11 +146,10 @@ impl CompiledModel {
         let mut builder = PopulationModel::builder(self.dim(), self.resolved.param_space.clone())
             .variable_names(self.resolved.species.clone());
         for rule in &self.resolved.rules {
-            let rate = rule.rate.clone();
-            builder = builder.transition(TransitionClass::new(
+            builder = builder.transition(TransitionClass::compiled(
                 rule.name.clone(),
                 StateVec::from(rule.change.clone()),
-                move |x: &StateVec, theta: &[f64]| rate.eval(x, theta),
+                Arc::new(RateProgram::compile(&rule.rate)),
             ));
         }
         Ok(builder.build()?)
@@ -143,12 +157,7 @@ impl CompiledModel {
 
     /// The full-dimensional mean-field drift backend.
     pub fn drift(&self) -> DslDrift {
-        DslDrift {
-            rules: self.resolved.rules.clone(),
-            dim: self.dim(),
-            model: self.clone(),
-            reduced: false,
-        }
+        DslDrift::assemble(self.resolved.rules.clone(), self.dim(), self.clone(), false)
     }
 
     /// The reduced mean-field drift: for conservative models the last
@@ -189,29 +198,45 @@ impl CompiledModel {
                 rate: rule.rate.substitute_species(last, &replacement),
             })
             .collect();
-        DslDrift {
-            rules,
-            dim: last,
-            model: self.clone(),
-            reduced: true,
-        }
+        DslDrift::assemble(rules, last, self.clone(), true)
     }
 }
 
 /// [`ImpreciseDrift`] implementation backed by compiled DSL rules.
 ///
 /// Created by [`CompiledModel::drift`] or [`CompiledModel::reduced_drift`].
+/// The rule rates are lowered once to a [`ProgramSet`]; every
+/// [`ImpreciseDrift::drift_into`] call evaluates all of them in a single VM
+/// pass over a shared scratch register file, with no per-call allocation.
 #[derive(Debug, Clone)]
 pub struct DslDrift {
     /// Rules specialised to this drift's coordinates (rates rewritten and
     /// jump vectors truncated when reduced).
     rules: Vec<ResolvedRule>,
+    /// The rule rates lowered to flat programs, in rule order.
+    programs: ProgramSet,
     dim: usize,
     model: CompiledModel,
     reduced: bool,
 }
 
 impl DslDrift {
+    fn assemble(rules: Vec<ResolvedRule>, dim: usize, model: CompiledModel, reduced: bool) -> Self {
+        let programs = ProgramSet::new(
+            rules
+                .iter()
+                .map(|r| RateProgram::compile(&r.rate))
+                .collect(),
+        );
+        DslDrift {
+            rules,
+            programs,
+            dim,
+            model,
+            reduced,
+        }
+    }
+
     /// Whether this drift runs in reduced (last species eliminated)
     /// coordinates.
     pub fn is_reduced(&self) -> bool {
@@ -221,6 +246,17 @@ impl DslDrift {
     /// The compiled model this drift evaluates.
     pub fn model(&self) -> &CompiledModel {
         &self.model
+    }
+
+    /// The lowered rate programs, in rule order.
+    pub fn programs(&self) -> &ProgramSet {
+        &self.programs
+    }
+
+    /// The rules this drift evaluates (rates rewritten and jump vectors
+    /// truncated when reduced), in declaration order.
+    pub fn rules(&self) -> &[ResolvedRule] {
+        &self.rules
     }
 }
 
@@ -235,14 +271,14 @@ impl ImpreciseDrift for DslDrift {
 
     fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
         out.fill_zero();
-        for rule in &self.rules {
-            let r = rule.rate.eval(x, theta);
+        let rules = &self.rules;
+        self.programs.eval_each(x, theta, |k, r| {
             if r != 0.0 {
-                for (o, c) in out.as_mut_slice().iter_mut().zip(rule.change.iter()) {
+                for (o, c) in out.as_mut_slice().iter_mut().zip(rules[k].change.iter()) {
                     *o += r * c;
                 }
             }
-        }
+        });
     }
 }
 

@@ -113,6 +113,21 @@
 //! species via `x_last = total − Σ_{i<last} x_i`, matching the paper's
 //! treatment of the SIR model (Equation 11). Order the species so the
 //! coordinate you care about least comes last.
+//!
+//! # Rate evaluation
+//!
+//! Validation produces [`expr::CompiledExpr`] trees, but nothing hot ever
+//! interprets them: backend compilation lowers every rate through the
+//! [`vm`] module to a flat [`RateProgram`] — a constant, a mass-action
+//! fast path (`c · ϑ? · x_i (· x_j)`), or a register-based bytecode
+//! program — preserving the tree's exact floating-point evaluation order.
+//! [`CompiledModel::population_model`] hands these programs to
+//! `mfu_ctmc::transition::TransitionClass` (whose species supports drive
+//! the dependency-graph Gillespie path in `mfu-sim`), and
+//! [`DslDrift`](compile::DslDrift) evaluates all rule rates in one VM pass
+//! over a shared scratch register file. Measured speedup over the tree
+//! interpreter: ≈4× per rate evaluation (see `BENCH_rate_engine.json` at
+//! the repository root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -126,11 +141,13 @@ pub mod parser;
 pub mod scenarios;
 pub mod token;
 pub mod validate;
+pub mod vm;
 
 pub use compile::{CompiledModel, DslDrift};
 pub use diagnostics::{Diagnostic, LangError, Span};
 pub use scenarios::{Scenario, ScenarioRegistry};
 pub use validate::ResolvedModel;
+pub use vm::{ProgramSet, RateProgram};
 
 /// Parses model source into a syntactic AST (no name resolution).
 ///

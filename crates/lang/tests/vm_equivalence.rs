@@ -1,0 +1,199 @@
+//! Property tests: the bytecode VM is observationally equivalent to the
+//! tree-walking interpreter.
+//!
+//! Two regimes are checked over randomly generated expressions:
+//!
+//! * expressions without `^` must evaluate **bit-identically** — the
+//!   lowering preserves the tree's exact operation order, and the whole
+//!   workspace relies on that for bit-exact DSL-vs-native trajectory
+//!   comparisons;
+//! * expressions with `^` may differ by an ulp where the power-by-constant
+//!   strength reduction (`x^2 → x·x`) replaces `powf`, so they are compared
+//!   with a tight relative tolerance.
+//!
+//! On top of the random sweep, every rule of every registry scenario must
+//! lower to a program that matches its tree bit for bit across random
+//! states and parameters, and the `DslDrift` one-pass VM evaluation must
+//! reproduce the rule-by-rule tree evaluation of the drift exactly.
+
+use mfu_core::drift::ImpreciseDrift;
+use mfu_lang::expr::{Builtin, CompiledExpr};
+use mfu_lang::scenarios::ScenarioRegistry;
+use mfu_lang::vm::RateProgram;
+use mfu_num::StateVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 3;
+const PARAMS: usize = 2;
+
+/// Draws a random expression of the given depth budget. `allow_pow` gates
+/// the `^` operator (whose strength reduction is allowed to differ from
+/// `powf` by an ulp).
+fn random_expr(rng: &mut StdRng, depth: usize, allow_pow: bool) -> CompiledExpr {
+    let leaf = depth == 0 || rng.gen::<u32>() % 4 == 0;
+    if leaf {
+        match rng.gen::<u32>() % 3 {
+            0 => CompiledExpr::Const(0.1 + 1.9 * rng.gen::<f64>()),
+            1 => CompiledExpr::Species((rng.gen::<u32>() as usize) % DIM),
+            _ => CompiledExpr::Param((rng.gen::<u32>() as usize) % PARAMS),
+        }
+    } else {
+        let kind = rng.gen::<u32>() % if allow_pow { 9 } else { 8 };
+        let a = Box::new(random_expr(rng, depth - 1, allow_pow));
+        let b = Box::new(random_expr(rng, depth.saturating_sub(2), allow_pow));
+        match kind {
+            0 => CompiledExpr::Add(a, b),
+            1 => CompiledExpr::Sub(a, b),
+            2 => CompiledExpr::Mul(a, b),
+            3 => CompiledExpr::Div(a, b),
+            4 => CompiledExpr::Neg(a),
+            5 => CompiledExpr::Call1(Builtin::Abs, a),
+            6 => CompiledExpr::Call2(Builtin::Max, a, b),
+            7 => CompiledExpr::Call2(Builtin::Min, a, b),
+            _ => {
+                // integer exponents hit the strength reduction, fractional
+                // ones keep powf
+                let exponent = if rng.gen::<bool>() {
+                    CompiledExpr::Const((rng.gen::<u32>() % 5) as f64)
+                } else {
+                    CompiledExpr::Const(0.25 + rng.gen::<f64>())
+                };
+                CompiledExpr::Pow(a, Box::new(exponent))
+            }
+        }
+    }
+}
+
+fn random_point(rng: &mut StdRng) -> (StateVec, Vec<f64>) {
+    let x: StateVec = (0..DIM).map(|_| 0.05 + rng.gen::<f64>()).collect();
+    let theta: Vec<f64> = (0..PARAMS).map(|_| 0.1 + 2.0 * rng.gen::<f64>()).collect();
+    (x, theta)
+}
+
+#[test]
+fn vm_matches_tree_bit_for_bit_without_pow() {
+    let mut rng = StdRng::seed_from_u64(0xB17C0DE);
+    for case in 0..300 {
+        let expr = random_expr(&mut rng, 6, false);
+        let program = RateProgram::compile(&expr);
+        for _ in 0..16 {
+            let (x, theta) = random_point(&mut rng);
+            let tree = expr.eval(&x, &theta);
+            let vm = program.eval(&x, &theta);
+            assert_eq!(
+                tree.to_bits(),
+                vm.to_bits(),
+                "case {case}: tree {tree} != vm {vm} for {expr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vm_matches_tree_within_ulps_with_pow() {
+    let mut rng = StdRng::seed_from_u64(0x9E37);
+    for case in 0..300 {
+        let expr = random_expr(&mut rng, 6, true);
+        let program = RateProgram::compile(&expr);
+        for _ in 0..16 {
+            let (x, theta) = random_point(&mut rng);
+            let tree = expr.eval(&x, &theta);
+            let vm = program.eval(&x, &theta);
+            if !tree.is_finite() {
+                assert!(
+                    !vm.is_finite(),
+                    "case {case}: tree non-finite but vm = {vm}"
+                );
+                continue;
+            }
+            let tolerance = 1e-12 * tree.abs().max(1.0);
+            assert!(
+                (tree - vm).abs() <= tolerance,
+                "case {case}: tree {tree} vs vm {vm} for {expr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vm_support_matches_tree_references() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..200 {
+        let expr = random_expr(&mut rng, 5, true);
+        let program = RateProgram::compile(&expr);
+        assert_eq!(
+            !program.species_support().is_empty(),
+            expr.references_species(),
+            "support/references mismatch for {expr:?}"
+        );
+        for &i in program.species_support() {
+            assert!(i < DIM);
+        }
+    }
+}
+
+#[test]
+fn every_scenario_rule_lowers_to_an_exact_program() {
+    let registry = ScenarioRegistry::with_builtins();
+    let mut rng = StdRng::seed_from_u64(7);
+    for scenario in registry.iter() {
+        let model = scenario.compile().unwrap();
+        let dim = model.dim();
+        let box_dim = model.params().dim();
+        for rule in model.rules() {
+            let program = RateProgram::compile(&rule.rate);
+            for _ in 0..64 {
+                let x: StateVec = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let theta: Vec<f64> = (0..box_dim).map(|_| 0.2 + 4.0 * rng.gen::<f64>()).collect();
+                let tree = rule.rate.eval(&x, &theta);
+                let vm = program.eval(&x, &theta);
+                assert_eq!(
+                    tree.to_bits(),
+                    vm.to_bits(),
+                    "scenario `{}`, rule `{}`",
+                    scenario.name(),
+                    rule.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_drift_one_pass_vm_matches_rule_by_rule_trees() {
+    let registry = ScenarioRegistry::with_builtins();
+    let mut rng = StdRng::seed_from_u64(99);
+    for scenario in registry.iter() {
+        let model = scenario.compile().unwrap();
+        for drift in [model.drift(), model.reduced_drift()] {
+            let dim = drift.dim();
+            let box_dim = model.params().dim();
+            let mut out = StateVec::zeros(dim);
+            for _ in 0..32 {
+                let x: StateVec = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let theta: Vec<f64> = (0..box_dim).map(|_| 0.2 + 4.0 * rng.gen::<f64>()).collect();
+                drift.drift_into(&x, &theta, &mut out);
+                // reference: accumulate rule-by-rule with the tree interpreter
+                let mut expected = StateVec::zeros(dim);
+                for rule in drift.rules() {
+                    let r = rule.rate.eval(&x, &theta);
+                    if r != 0.0 {
+                        for (o, c) in expected.as_mut_slice().iter_mut().zip(rule.change.iter()) {
+                            *o += r * c;
+                        }
+                    }
+                }
+                for k in 0..dim {
+                    assert_eq!(
+                        expected[k].to_bits(),
+                        out[k].to_bits(),
+                        "scenario `{}` (reduced: {}) coordinate {k}",
+                        scenario.name(),
+                        drift.is_reduced()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod bike;
 pub mod gps;
+pub mod parity;
 pub mod seir;
 pub mod sir;
 pub mod sis;

@@ -1,0 +1,162 @@
+//! Cross-backend parity checks between population models.
+//!
+//! The hand-coded models of this crate exist twice: as native Rust closures
+//! (this crate) and as DSL sources (`dsl_source()` hooks, compiled by
+//! `mfu-lang` to flat bytecode rate programs). The two representations must
+//! agree *exactly* — the acceptance suite simulates both with the same seed
+//! and compares trajectories bit for bit. This module provides the
+//! rate-level comparison those tests (and future backends) build on.
+
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::{CtmcError, Result};
+use mfu_num::StateVec;
+
+/// The largest absolute rate divergence between two population models over
+/// a set of sample states, evaluated transition by transition at every
+/// vertex of the (shared) parameter box.
+///
+/// Returns `0.0` exactly when every transition rate matches bit for bit on
+/// the sampled points — the expected outcome for a native model and its DSL
+/// twin, whose bytecode lowering preserves evaluation order.
+///
+/// # Errors
+///
+/// Returns an error if the models differ in dimension, number of
+/// transitions, transition names/jump vectors, or parameter-space shape.
+pub fn max_rate_divergence(
+    a: &PopulationModel,
+    b: &PopulationModel,
+    samples: &[StateVec],
+) -> Result<f64> {
+    if a.dim() != b.dim() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: a.dim(),
+            found: b.dim(),
+        });
+    }
+    if a.transitions().len() != b.transitions().len() {
+        return Err(CtmcError::invalid_model(format!(
+            "transition counts differ: {} vs {}",
+            a.transitions().len(),
+            b.transitions().len()
+        )));
+    }
+    if a.params().dim() != b.params().dim() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: a.params().dim(),
+            found: b.params().dim(),
+        });
+    }
+    for (ta, tb) in a.transitions().iter().zip(b.transitions()) {
+        if ta.change().as_slice() != tb.change().as_slice() {
+            return Err(CtmcError::invalid_model(format!(
+                "jump vectors differ for `{}`/`{}`",
+                ta.name(),
+                tb.name()
+            )));
+        }
+    }
+
+    let mut worst = 0.0_f64;
+    for x in samples {
+        if x.dim() != a.dim() {
+            return Err(CtmcError::DimensionMismatch {
+                expected: a.dim(),
+                found: x.dim(),
+            });
+        }
+        for theta in a.params().vertices() {
+            for (ta, tb) in a.transitions().iter().zip(b.transitions()) {
+                let ra = ta.rate(x, &theta);
+                let rb = tb.rate(x, &theta);
+                if !ra.is_finite() || !rb.is_finite() {
+                    return Err(CtmcError::InvalidRate {
+                        transition: ta.name().to_string(),
+                        rate: if ra.is_finite() { rb } else { ra },
+                    });
+                }
+                worst = worst.max((ra - rb).abs());
+            }
+        }
+    }
+    Ok(worst)
+}
+
+/// A deterministic low-discrepancy-ish sample of the simplex-ish cube
+/// `[0, 1]^dim` for parity sweeps: `points` states spread with a Weyl
+/// sequence (no RNG dependency).
+pub fn sample_states(dim: usize, points: usize) -> Vec<StateVec> {
+    const ALPHA: f64 = 0.618_033_988_749_894_9; // 1/φ
+    (0..points)
+        .map(|p| {
+            (0..dim)
+                .map(|i| ((p + 1) as f64 * ALPHA * (i + 1) as f64).fract())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sir::SirModel;
+
+    #[test]
+    fn a_model_is_parity_equal_to_itself() {
+        let model = SirModel::paper().population_model().unwrap();
+        let samples = sample_states(3, 16);
+        let divergence = max_rate_divergence(&model, &model, &samples).unwrap();
+        assert_eq!(divergence, 0.0);
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        let a = SirModel::paper().population_model().unwrap();
+        let b = SirModel {
+            recovery: 5.5,
+            ..SirModel::paper()
+        }
+        .population_model()
+        .unwrap();
+        let samples = sample_states(3, 16);
+        let divergence = max_rate_divergence(&a, &b, &samples).unwrap();
+        assert!(divergence > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let sir = SirModel::paper().population_model().unwrap();
+        let sis = crate::sis::SisModel::supercritical()
+            .population_model()
+            .unwrap();
+        assert!(max_rate_divergence(&sir, &sis, &sample_states(3, 4)).is_err());
+        // wrong sample dimension
+        assert!(max_rate_divergence(&sir, &sir, &sample_states(2, 4)).is_err());
+    }
+
+    #[test]
+    fn sample_states_cover_the_cube() {
+        let samples = sample_states(3, 64);
+        assert_eq!(samples.len(), 64);
+        for x in &samples {
+            assert_eq!(x.dim(), 3);
+            for &v in x.as_slice() {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn native_models_report_their_annotated_supports() {
+        let model = SirModel::paper().population_model().unwrap();
+        let supports: Vec<_> = model
+            .transitions()
+            .iter()
+            .map(|t| t.species_support().map(<[usize]>::to_vec))
+            .collect();
+        assert_eq!(
+            supports,
+            vec![Some(vec![0, 1]), Some(vec![1]), Some(vec![2])]
+        );
+    }
+}

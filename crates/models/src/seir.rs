@@ -81,26 +81,36 @@ impl SeirModel {
         let params = self.param_space()?;
         PopulationModel::builder(4, params)
             .variable_names(vec!["S", "E", "I", "R"])
-            .transition(TransitionClass::new(
-                "expose",
-                [-1.0, 1.0, 0.0, 0.0],
-                move |x: &StateVec, th: &[f64]| (a + th[0] * x[2]).max(0.0) * x[0].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "become_infectious",
-                [0.0, -1.0, 1.0, 0.0],
-                move |x: &StateVec, _| sigma * x[1].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "recover",
-                [0.0, 0.0, -1.0, 1.0],
-                move |x: &StateVec, _| b * x[2].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "lose_immunity",
-                [1.0, 0.0, 0.0, -1.0],
-                move |x: &StateVec, _| c * x[3].max(0.0),
-            ))
+            .transition(
+                TransitionClass::new(
+                    "expose",
+                    [-1.0, 1.0, 0.0, 0.0],
+                    move |x: &StateVec, th: &[f64]| (a + th[0] * x[2]).max(0.0) * x[0].max(0.0),
+                )
+                .with_species_support(vec![0, 2]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "become_infectious",
+                    [0.0, -1.0, 1.0, 0.0],
+                    move |x: &StateVec, _| sigma * x[1].max(0.0),
+                )
+                .with_species_support(vec![1]),
+            )
+            .transition(
+                TransitionClass::new("recover", [0.0, 0.0, -1.0, 1.0], move |x: &StateVec, _| {
+                    b * x[2].max(0.0)
+                })
+                .with_species_support(vec![2]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "lose_immunity",
+                    [1.0, 0.0, 0.0, -1.0],
+                    move |x: &StateVec, _| c * x[3].max(0.0),
+                )
+                .with_species_support(vec![3]),
+            )
             .build()
     }
 

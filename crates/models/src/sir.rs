@@ -97,21 +97,32 @@ impl SirModel {
         let params = self.param_space()?;
         PopulationModel::builder(3, params)
             .variable_names(vec!["S", "I", "R"])
-            .transition(TransitionClass::new(
-                "infection",
-                [-1.0, 1.0, 0.0],
-                move |x: &StateVec, theta: &[f64]| (a + theta[0] * x[1]).max(0.0) * x[0].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "recovery",
-                [0.0, -1.0, 1.0],
-                move |x: &StateVec, _theta: &[f64]| b * x[1].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "immunity_loss",
-                [1.0, 0.0, -1.0],
-                move |x: &StateVec, _theta: &[f64]| c * x[2].max(0.0),
-            ))
+            .transition(
+                TransitionClass::new(
+                    "infection",
+                    [-1.0, 1.0, 0.0],
+                    move |x: &StateVec, theta: &[f64]| {
+                        (a + theta[0] * x[1]).max(0.0) * x[0].max(0.0)
+                    },
+                )
+                .with_species_support(vec![0, 1]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "recovery",
+                    [0.0, -1.0, 1.0],
+                    move |x: &StateVec, _theta: &[f64]| b * x[1].max(0.0),
+                )
+                .with_species_support(vec![1]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "immunity_loss",
+                    [1.0, 0.0, -1.0],
+                    move |x: &StateVec, _theta: &[f64]| c * x[2].max(0.0),
+                )
+                .with_species_support(vec![2]),
+            )
             .build()
     }
 

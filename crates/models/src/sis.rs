@@ -62,16 +62,16 @@ impl SisModel {
         let params = self.param_space()?;
         PopulationModel::builder(1, params)
             .variable_names(vec!["I"])
-            .transition(TransitionClass::new(
-                "infect",
-                [1.0],
-                |x: &StateVec, th: &[f64]| th[0] * x[0].max(0.0) * (1.0 - x[0]).max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "recover",
-                [-1.0],
-                move |x: &StateVec, _| b * x[0].max(0.0),
-            ))
+            .transition(
+                TransitionClass::new("infect", [1.0], |x: &StateVec, th: &[f64]| {
+                    th[0] * x[0].max(0.0) * (1.0 - x[0]).max(0.0)
+                })
+                .with_species_support(vec![0]),
+            )
+            .transition(
+                TransitionClass::new("recover", [-1.0], move |x: &StateVec, _| b * x[0].max(0.0))
+                    .with_species_support(vec![0]),
+            )
             .build()
     }
 

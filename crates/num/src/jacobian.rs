@@ -64,6 +64,11 @@ impl Jacobian {
         self.data[i * self.cols + j] = value;
     }
 
+    /// Sets every entry to zero (reuse a matrix across evaluations).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
     /// Computes `Jᵀ p`, the product of the transposed Jacobian with a vector.
     ///
     /// This is exactly the contraction appearing in the costate equation
@@ -73,13 +78,32 @@ impl Jacobian {
     ///
     /// Returns an error if `p` does not have `rows` components.
     pub fn transpose_mul(&self, p: &StateVec) -> Result<StateVec> {
+        let mut out = StateVec::zeros(self.cols);
+        self.transpose_mul_into(p, &mut out)?;
+        Ok(out)
+    }
+
+    /// Computes `Jᵀ p` into a preallocated vector (the allocation-free
+    /// variant for inner loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `p` does not have `rows` components or `out` does
+    /// not have `cols` components.
+    pub fn transpose_mul_into(&self, p: &StateVec, out: &mut StateVec) -> Result<()> {
         if p.dim() != self.rows {
             return Err(NumError::DimensionMismatch {
                 expected: self.rows,
                 found: p.dim(),
             });
         }
-        let mut out = StateVec::zeros(self.cols);
+        if out.dim() != self.cols {
+            return Err(NumError::DimensionMismatch {
+                expected: self.cols,
+                found: out.dim(),
+            });
+        }
+        out.fill_zero();
         for i in 0..self.rows {
             let pi = p[i];
             if pi == 0.0 {
@@ -89,7 +113,7 @@ impl Jacobian {
                 out[j] += self.data[i * self.cols + j] * pi;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Computes `J v`, the ordinary matrix-vector product.
@@ -184,6 +208,95 @@ where
     Ok(jac)
 }
 
+/// Preallocated work buffers for
+/// [`finite_difference_jacobian_into`]: two perturbed states and two drift
+/// evaluations. Create once, reuse across every Jacobian of the same shape.
+#[derive(Debug, Clone)]
+pub struct JacobianScratch {
+    x_plus: StateVec,
+    x_minus: StateVec,
+    f_plus: StateVec,
+    f_minus: StateVec,
+}
+
+impl JacobianScratch {
+    /// Buffers for a vector field from dimension `input_dim` to
+    /// `output_dim`.
+    pub fn new(input_dim: usize, output_dim: usize) -> Self {
+        JacobianScratch {
+            x_plus: StateVec::zeros(input_dim),
+            x_minus: StateVec::zeros(input_dim),
+            f_plus: StateVec::zeros(output_dim),
+            f_minus: StateVec::zeros(output_dim),
+        }
+    }
+}
+
+/// Allocation-free central-difference Jacobian: the vector field writes into
+/// a caller buffer and the matrix plus all temporaries are preallocated.
+///
+/// This is the inner-loop variant of [`finite_difference_jacobian`] used by
+/// the Pontryagin costate sweep, which evaluates one Jacobian per grid
+/// interval per iteration.
+///
+/// # Errors
+///
+/// Returns an error if `h` is not strictly positive, if `jac`/`scratch`
+/// shapes do not match `x`, or if any evaluation is non-finite. On error the
+/// contents of `jac` are unspecified.
+pub fn finite_difference_jacobian_into<F>(
+    f: &mut F,
+    x: &StateVec,
+    h: f64,
+    jac: &mut Jacobian,
+    scratch: &mut JacobianScratch,
+) -> Result<()>
+where
+    F: FnMut(&StateVec, &mut StateVec),
+{
+    if h <= 0.0 || !h.is_finite() {
+        return Err(NumError::invalid_argument(
+            "finite-difference step must be positive",
+        ));
+    }
+    let n = x.dim();
+    let output_dim = jac.rows();
+    if jac.cols() != n {
+        return Err(NumError::DimensionMismatch {
+            expected: n,
+            found: jac.cols(),
+        });
+    }
+    if scratch.x_plus.dim() != n || scratch.x_minus.dim() != n {
+        return Err(NumError::DimensionMismatch {
+            expected: n,
+            found: scratch.x_plus.dim(),
+        });
+    }
+    if scratch.f_plus.dim() != output_dim || scratch.f_minus.dim() != output_dim {
+        return Err(NumError::DimensionMismatch {
+            expected: output_dim,
+            found: scratch.f_plus.dim(),
+        });
+    }
+    for j in 0..n {
+        scratch.x_plus.copy_from(x);
+        scratch.x_minus.copy_from(x);
+        scratch.x_plus[j] += h;
+        scratch.x_minus[j] -= h;
+        f(&scratch.x_plus, &mut scratch.f_plus);
+        f(&scratch.x_minus, &mut scratch.f_minus);
+        for i in 0..output_dim {
+            let d = (scratch.f_plus[i] - scratch.f_minus[i]) / (2.0 * h);
+            if !d.is_finite() {
+                return Err(NumError::non_finite(format!("jacobian entry ({i}, {j})")));
+            }
+            jac.set_entry(i, j, d);
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +358,63 @@ mod tests {
         let x = StateVec::from([1.0]);
         let f = |v: &StateVec| StateVec::from([v[0], v[0]]);
         assert!(finite_difference_jacobian(&f, &x, 1, 1e-6).is_err());
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant_bit_for_bit() {
+        let x = StateVec::from([1.5, -2.0]);
+        let reference = finite_difference_jacobian(&quadratic, &x, 2, 1e-6).unwrap();
+        let mut jac = Jacobian::zeros(2, 2);
+        let mut scratch = JacobianScratch::new(2, 2);
+        let mut f = |v: &StateVec, out: &mut StateVec| out.copy_from(&quadratic(v));
+        finite_difference_jacobian_into(&mut f, &x, 1e-6, &mut jac, &mut scratch).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(
+                    reference.entry(i, j).to_bits(),
+                    jac.entry(i, j).to_bits(),
+                    "entry ({i}, {j})"
+                );
+            }
+        }
+        // buffers are reusable across calls
+        finite_difference_jacobian_into(&mut f, &x, 1e-6, &mut jac, &mut scratch).unwrap();
+        assert_eq!(reference.entry(1, 0).to_bits(), jac.entry(1, 0).to_bits());
+    }
+
+    #[test]
+    fn into_variant_validates_shapes_and_step() {
+        let x = StateVec::from([1.0, 2.0]);
+        let mut f = |v: &StateVec, out: &mut StateVec| out.copy_from(&quadratic(v));
+        let mut scratch = JacobianScratch::new(2, 2);
+        let mut wrong_cols = Jacobian::zeros(2, 3);
+        assert!(
+            finite_difference_jacobian_into(&mut f, &x, 1e-6, &mut wrong_cols, &mut scratch)
+                .is_err()
+        );
+        let mut jac = Jacobian::zeros(2, 2);
+        assert!(finite_difference_jacobian_into(&mut f, &x, 0.0, &mut jac, &mut scratch).is_err());
+        let mut wrong_scratch = JacobianScratch::new(3, 2);
+        assert!(
+            finite_difference_jacobian_into(&mut f, &x, 1e-6, &mut jac, &mut wrong_scratch)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn transpose_mul_into_reuses_buffer_and_validates() {
+        let mut jac = Jacobian::zeros(2, 2);
+        jac.set_entry(0, 0, 2.0);
+        jac.set_entry(0, 1, 1.0);
+        jac.set_entry(1, 0, 6.0);
+        jac.set_entry(1, 1, 3.0);
+        let p = StateVec::from([1.0, -1.0]);
+        let mut out = StateVec::from([9.0, 9.0]); // stale contents must be overwritten
+        jac.transpose_mul_into(&p, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[-4.0, -2.0]);
+        let mut wrong = StateVec::zeros(3);
+        assert!(jac.transpose_mul_into(&p, &mut wrong).is_err());
+        jac.fill_zero();
+        assert_eq!(jac.entry(1, 0), 0.0);
     }
 }

@@ -6,6 +6,21 @@
 //! `ϑ(t)` is produced by a [`ParameterPolicy`]
 //! queried at every event. This is exactly the finite-`N` imprecise
 //! population process whose `N → ∞` behaviour the paper characterises.
+//!
+//! # Propensity maintenance
+//!
+//! The naive SSA loop re-evaluates all `K` transition rates after every
+//! event — `O(K)` rate evaluations where `O(affected)` suffice. The
+//! simulator therefore precomputes a *dependency graph* from the
+//! stoichiometry and the per-transition species supports (known for rates
+//! compiled by `mfu-lang`, or declared via
+//! [`TransitionClass::with_species_support`](mfu_ctmc::transition::TransitionClass::with_species_support)):
+//! after transition `k` fires, only the transitions whose rate reads a
+//! species changed by `k` are re-evaluated. [`PropensityStrategy`] selects
+//! between this hot path, an incremental-total variant, and the full-rescan
+//! reference implementation; the default [`PropensityStrategy::DependencyGraph`]
+//! is *bit-identical* to the reference for every model (checked across the
+//! scenario registry by `tests/ssa_dependency.rs`).
 
 use mfu_ctmc::population::PopulationModel;
 use mfu_num::ode::Trajectory;
@@ -16,6 +31,32 @@ use rand::SeedableRng;
 
 use crate::policy::ParameterPolicy;
 use crate::{Result, SimError};
+
+/// How the simulator maintains the propensity vector between events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PropensityStrategy {
+    /// Re-evaluate every transition rate after every event — the reference
+    /// implementation, kept for cross-checking the optimised paths.
+    FullRescan,
+    /// Re-evaluate only the transitions whose rate depends on a species
+    /// changed by the fired jump (all of them when the parameter signal
+    /// moved), then re-sum the propensity total over the full rate array.
+    /// The re-summation reproduces the reference's addition order, so this
+    /// strategy is bit-identical to [`PropensityStrategy::FullRescan`] while
+    /// skipping the expensive rate evaluations.
+    DependencyGraph,
+    /// Like [`PropensityStrategy::DependencyGraph`], but the propensity
+    /// total is maintained incrementally (`total += new − old`) instead of
+    /// re-summed, with a full re-summation every `refresh_every` events to
+    /// bound floating-point drift. Saves the `O(K)` additions per event on
+    /// models with many transitions, at the price of totals that can differ
+    /// from the reference by an ulp between refreshes.
+    IncrementalTotal {
+        /// Events between two full re-summations of the propensity total
+        /// (values below 1 are treated as 1).
+        refresh_every: usize,
+    },
+}
 
 /// Options controlling a single stochastic simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +75,9 @@ pub struct SimulationOptions {
     /// When `true`, a policy value outside the model's parameter space is an
     /// error; when `false` it is clamped into the space.
     pub strict_policy: bool,
+    /// How propensities are maintained between events (defaults to the
+    /// bit-identical [`PropensityStrategy::DependencyGraph`] hot path).
+    pub propensity: PropensityStrategy,
 }
 
 impl SimulationOptions {
@@ -53,7 +97,15 @@ impl SimulationOptions {
             record_stride: 1,
             record_interval: None,
             strict_policy: true,
+            propensity: PropensityStrategy::DependencyGraph,
         }
+    }
+
+    /// Selects the propensity-maintenance strategy.
+    #[must_use]
+    pub fn propensity_strategy(mut self, strategy: PropensityStrategy) -> Self {
+        self.propensity = strategy;
+        self
     }
 
     /// Sets the event budget.
@@ -129,6 +181,11 @@ pub struct Simulator {
     model: PopulationModel,
     scale: usize,
     jumps: Vec<Vec<i64>>,
+    /// `dependencies[k]` — sorted indices of the transitions whose rate may
+    /// change when transition `k` fires (those whose species support meets
+    /// the nonzero entries of `jumps[k]`; transitions with unknown support
+    /// are conservatively included everywhere).
+    dependencies: Vec<Vec<usize>>,
 }
 
 impl Simulator {
@@ -141,15 +198,17 @@ impl Simulator {
         if scale == 0 {
             return Err(SimError::invalid_input("population scale must be positive"));
         }
-        let jumps = model
+        let jumps: Vec<Vec<i64>> = model
             .transitions()
             .iter()
             .map(|t| t.change().iter().map(|&v| v.round() as i64).collect())
             .collect();
+        let dependencies = build_dependency_graph(&model, &jumps);
         Ok(Simulator {
             model,
             scale,
             jumps,
+            dependencies,
         })
     }
 
@@ -161,6 +220,21 @@ impl Simulator {
     /// The population scale `N`.
     pub fn scale(&self) -> usize {
         self.scale
+    }
+
+    /// The transition dependency graph: entry `k` lists the transitions
+    /// re-evaluated after transition `k` fires.
+    pub fn dependency_graph(&self) -> &[Vec<usize>] {
+        &self.dependencies
+    }
+
+    /// `true` when the dependency graph actually prunes work, i.e. at least
+    /// one transition affects a strict subset of the others. Models whose
+    /// rates all have unknown support degrade to full rescans regardless of
+    /// the selected [`PropensityStrategy`].
+    pub fn has_sparse_dependencies(&self) -> bool {
+        let n = self.model.transitions().len();
+        self.dependencies.iter().any(|d| d.len() < n)
     }
 
     /// Runs one replication with a fresh RNG seeded by `seed`.
@@ -222,6 +296,21 @@ impl Simulator {
         trajectory.push(0.0, x.clone())?;
         let mut next_record_time = options.record_interval.map_or(0.0, |dt| dt);
 
+        // Propensity bookkeeping for the dependency-graph strategies:
+        // `pending` is the set of transitions whose rate may be stale
+        // (`None` = all, e.g. on the first event or after a parameter move),
+        // `last_theta` detects parameter moves (NaN never compares equal, so
+        // the first iteration always rescans), `since_refresh` schedules the
+        // incremental-total re-summations.
+        let refresh_every = match options.propensity {
+            PropensityStrategy::IncrementalTotal { refresh_every } => refresh_every.max(1),
+            _ => usize::MAX,
+        };
+        let mut pending: Option<usize> = None;
+        let mut last_theta: Vec<f64> = vec![f64::NAN; self.model.params().dim()];
+        let mut since_refresh = 0usize;
+        let mut total = 0.0_f64;
+
         loop {
             // Query the policy, validating or clamping its output.
             let theta_raw = policy.value(t, &x, rng);
@@ -233,19 +322,49 @@ impl Simulator {
                 self.model.params().clamp(&theta_raw)?
             };
 
-            // Compute propensities.
-            let mut total = 0.0_f64;
-            for (k, class) in self.model.transitions().iter().enumerate() {
-                let density = class.rate(&x, &theta);
-                if !density.is_finite() || density < 0.0 {
-                    return Err(SimError::Model(mfu_ctmc::CtmcError::InvalidRate {
-                        transition: class.name().to_string(),
-                        rate: density,
-                    }));
+            // Maintain the propensities. The reference path rescans all
+            // rates; the dependency-graph paths only re-evaluate stale ones.
+            let theta_changed = theta != last_theta;
+            let rescan_all =
+                matches!(options.propensity, PropensityStrategy::FullRescan) || theta_changed;
+            if rescan_all {
+                total = 0.0;
+                for (k, rate) in rates.iter_mut().enumerate() {
+                    *rate = self.eval_rate(k, &x, &theta)?;
+                    total += *rate;
                 }
-                rates[k] = density * scale;
-                total += rates[k];
+                since_refresh = 0;
+            } else {
+                let mut delta = 0.0_f64;
+                if let Some(fired) = pending {
+                    for &m in &self.dependencies[fired] {
+                        let updated = self.eval_rate(m, &x, &theta)?;
+                        delta += updated - rates[m];
+                        rates[m] = updated;
+                    }
+                }
+                match options.propensity {
+                    PropensityStrategy::DependencyGraph => {
+                        // Re-sum in index order: the exact addition sequence
+                        // of the reference rescan, hence bit-identical.
+                        total = rates.iter().sum();
+                    }
+                    PropensityStrategy::IncrementalTotal { .. } => {
+                        total += delta;
+                        since_refresh += 1;
+                        if since_refresh >= refresh_every {
+                            total = rates.iter().sum();
+                            since_refresh = 0;
+                        }
+                    }
+                    PropensityStrategy::FullRescan => unreachable!("handled by rescan_all"),
+                }
             }
+            if theta_changed {
+                last_theta.clear();
+                last_theta.extend_from_slice(&theta);
+            }
+            pending = None;
 
             if total <= 0.0 {
                 // Absorbing state: nothing will ever fire again.
@@ -273,7 +392,8 @@ impl Simulator {
 
             // Apply the jump; a jump that would drive a count negative is
             // dropped (it can only happen when a rate does not vanish exactly
-            // at the boundary due to floating-point noise).
+            // at the boundary due to floating-point noise). A dropped jump
+            // leaves the state — and therefore every propensity — unchanged.
             let jump = &self.jumps[chosen];
             if counts.iter().zip(jump.iter()).all(|(c, j)| c + j >= 0) {
                 for (c, j) in counts.iter_mut().zip(jump.iter()) {
@@ -282,6 +402,7 @@ impl Simulator {
                 for (i, &c) in counts.iter().enumerate() {
                     x[i] = c as f64 / scale;
                 }
+                pending = Some(chosen);
             }
 
             events += 1;
@@ -316,6 +437,44 @@ impl Simulator {
             final_counts: counts,
         })
     }
+
+    /// Evaluates the scaled propensity of transition `k`, validating the
+    /// density.
+    #[inline]
+    fn eval_rate(&self, k: usize, x: &StateVec, theta: &[f64]) -> Result<f64> {
+        let class = &self.model.transitions()[k];
+        let density = class.rate(x, theta);
+        if !density.is_finite() || density < 0.0 {
+            return Err(SimError::Model(mfu_ctmc::CtmcError::InvalidRate {
+                transition: class.name().to_string(),
+                rate: density,
+            }));
+        }
+        Ok(density * self.scale as f64)
+    }
+}
+
+/// Builds the transition dependency graph: `result[k]` lists (sorted) the
+/// transitions whose rate reads at least one species with a nonzero entry in
+/// `jumps[k]`. Transitions with unknown species support (unannotated native
+/// closures) are included in every list, so the graph is always safe — just
+/// not sparse.
+fn build_dependency_graph(model: &PopulationModel, jumps: &[Vec<i64>]) -> Vec<Vec<usize>> {
+    let transitions = model.transitions();
+    let supports: Vec<Option<&[usize]>> = transitions.iter().map(|t| t.species_support()).collect();
+    jumps
+        .iter()
+        .map(|jump| {
+            (0..transitions.len())
+                .filter(|&m| match supports[m] {
+                    None => true,
+                    Some(support) => support
+                        .iter()
+                        .any(|&i| jump.get(i).is_some_and(|&j| j != 0)),
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -491,6 +650,103 @@ mod tests {
             occupancy > 0.05 && occupancy < 0.95,
             "occupancy {occupancy} drifted to a boundary"
         );
+    }
+
+    /// A cyclic 3-species migration model with annotated species supports,
+    /// so the dependency graph is genuinely sparse.
+    fn cycle_model() -> PopulationModel {
+        let params = ParamSpace::new(vec![("rate", Interval::new(0.5, 2.0).unwrap())]).unwrap();
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["A", "B", "C"])
+            .transition(
+                TransitionClass::new("ab", [-1.0, 1.0, 0.0], |x: &StateVec, th: &[f64]| {
+                    th[0] * x[0]
+                })
+                .with_species_support(vec![0]),
+            )
+            .transition(
+                TransitionClass::new("bc", [0.0, -1.0, 1.0], |x: &StateVec, _: &[f64]| 1.5 * x[1])
+                    .with_species_support(vec![1]),
+            )
+            .transition(
+                TransitionClass::new("ca", [1.0, 0.0, -1.0], |x: &StateVec, _: &[f64]| {
+                    0.75 * x[2]
+                })
+                .with_species_support(vec![2]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dependency_graph_reflects_stoichiometry_and_support() {
+        let sim = Simulator::new(cycle_model(), 100).unwrap();
+        assert!(sim.has_sparse_dependencies());
+        // firing `ab` changes A and B → re-evaluate `ab` (reads A) and `bc`
+        // (reads B) but not `ca` (reads C only)
+        assert_eq!(sim.dependency_graph()[0], vec![0, 1]);
+        assert_eq!(sim.dependency_graph()[1], vec![1, 2]);
+        assert_eq!(sim.dependency_graph()[2], vec![0, 2]);
+
+        // unannotated closures degrade to conservative full lists
+        let bike = Simulator::new(bike_model(), 100).unwrap();
+        assert!(!bike.has_sparse_dependencies());
+        assert_eq!(bike.dependency_graph()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn propensity_strategies_agree_bit_for_bit() {
+        let sim = Simulator::new(cycle_model(), 300).unwrap();
+        let base = SimulationOptions::new(25.0);
+        let run = |strategy: PropensityStrategy, seed: u64| {
+            let mut policy = ConstantPolicy::new(vec![1.25]);
+            sim.simulate(
+                &[150, 100, 50],
+                &mut policy,
+                &base.propensity_strategy(strategy),
+                seed,
+            )
+            .unwrap()
+        };
+        for seed in [1, 7, 42] {
+            let reference = run(PropensityStrategy::FullRescan, seed);
+            let graph = run(PropensityStrategy::DependencyGraph, seed);
+            let incremental = run(
+                PropensityStrategy::IncrementalTotal { refresh_every: 64 },
+                seed,
+            );
+            assert_eq!(reference.events(), graph.events(), "seed {seed}");
+            assert_eq!(reference.final_counts(), graph.final_counts());
+            for ((ta, sa), (tb, sb)) in reference.trajectory().iter().zip(graph.trajectory().iter())
+            {
+                assert_eq!(ta.to_bits(), tb.to_bits(), "seed {seed}: time diverged");
+                assert_eq!(sa.as_slice(), sb.as_slice(), "seed {seed}: state diverged");
+            }
+            assert_eq!(reference.events(), incremental.events(), "seed {seed}");
+            assert_eq!(reference.final_counts(), incremental.final_counts());
+        }
+    }
+
+    #[test]
+    fn strategies_agree_under_state_feedback_policies() {
+        // A hysteresis policy moves ϑ mid-run, exercising the
+        // theta-changed full-rescan branch of the dependency path.
+        let sim = Simulator::new(bike_model(), 150).unwrap();
+        let options = SimulationOptions::new(20.0);
+        let run = |strategy: PropensityStrategy| {
+            let mut policy = HysteresisPolicy::new(vec![0.5, 1.0], 0, 0.5, 2.0, 0, 0.3, 0.7, true);
+            sim.simulate(
+                &[75],
+                &mut policy,
+                &options.propensity_strategy(strategy),
+                23,
+            )
+            .unwrap()
+        };
+        let reference = run(PropensityStrategy::FullRescan);
+        let graph = run(PropensityStrategy::DependencyGraph);
+        assert_eq!(reference.events(), graph.events());
+        assert_eq!(reference.final_counts(), graph.final_counts());
     }
 
     #[test]

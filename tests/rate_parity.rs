@@ -1,0 +1,73 @@
+//! Native-closure vs DSL-bytecode rate parity.
+//!
+//! The hand-coded epidemic models and their `dsl_source()` twins must
+//! produce *identical* rates: the DSL pipeline lowers each rate expression
+//! to a flat bytecode/mass-action program whose evaluation order matches
+//! the original tree, and the trees mirror the native closures. The
+//! divergence measured by `mfu_models::parity` over a deterministic state
+//! sample must therefore be exactly zero — any ulp of drift here would
+//! desynchronise the bit-exact Gillespie cross-validation of
+//! `tests/dsl_scenarios.rs`.
+
+use mean_field_uncertain::ctmc::population::PopulationModel;
+use mean_field_uncertain::models::parity::{max_rate_divergence, sample_states};
+use mean_field_uncertain::models::seir::SeirModel;
+use mean_field_uncertain::models::sir::SirModel;
+
+fn assert_exact_parity(name: &str, native: &PopulationModel, source: &str) {
+    let dsl = mean_field_uncertain::lang::compile(source)
+        .unwrap_or_else(|e| panic!("`{name}` DSL source failed to compile:\n{e}"))
+        .population_model()
+        .expect("population backend");
+
+    // the two backends really are different engines…
+    assert!(
+        native
+            .transitions()
+            .iter()
+            .all(|t| !t.rate_fn().is_compiled()),
+        "`{name}`: native model unexpectedly uses compiled rates"
+    );
+    assert!(
+        dsl.transitions().iter().all(|t| t.rate_fn().is_compiled()),
+        "`{name}`: DSL model should lower rates to programs"
+    );
+    // …and the native annotations agree with the programs' derived supports.
+    for (a, b) in native.transitions().iter().zip(dsl.transitions()) {
+        assert_eq!(
+            a.species_support(),
+            b.species_support(),
+            "`{name}`: support mismatch on `{}`",
+            a.name()
+        );
+    }
+
+    let samples = sample_states(native.dim(), 64);
+    let divergence = max_rate_divergence(native, &dsl, &samples).expect("compatible models");
+    assert_eq!(
+        divergence, 0.0,
+        "`{name}`: native and DSL rates diverge by {divergence:e}"
+    );
+}
+
+#[test]
+fn sir_native_and_dsl_rates_are_identical() {
+    let sir = SirModel::paper();
+    assert_exact_parity("sir", &sir.population_model().unwrap(), &sir.dsl_source());
+}
+
+#[test]
+fn sir_parity_survives_parameter_changes() {
+    let sir = SirModel::paper_with_contact_max(7.5);
+    assert_exact_parity("sir", &sir.population_model().unwrap(), &sir.dsl_source());
+}
+
+#[test]
+fn seir_native_and_dsl_rates_are_identical() {
+    let seir = SeirModel::sir_like();
+    assert_exact_parity(
+        "seir",
+        &seir.population_model().unwrap(),
+        &seir.dsl_source(),
+    );
+}

@@ -1,0 +1,191 @@
+//! Acceptance: the dependency-graph Gillespie hot path is bit-identical to
+//! the full-rescan reference for every registered DSL scenario.
+//!
+//! Each scenario compiles to a population model whose rates are flat
+//! bytecode programs with known species supports, so the simulator's
+//! dependency graph is genuinely sparse. For the same RNG seed, the
+//! `DependencyGraph` strategy must reproduce the `FullRescan` trajectory —
+//! every event time and every recorded state, bit for bit — because it
+//! evaluates identical programs on identical states and re-sums the
+//! propensity total in the reference's addition order. The
+//! `IncrementalTotal` strategy maintains a running propensity total that is
+//! allowed to drift from the reference by ulps between refreshes, so it is
+//! held to a slightly weaker standard: the *event sequence* (every state,
+//! every final count) must match exactly, while event times may differ by a
+//! relative `1e-12`. The comparison is fully deterministic, so this cannot
+//! flake.
+
+use mean_field_uncertain::lang::ScenarioRegistry;
+use mean_field_uncertain::sim::gillespie::{
+    PropensityStrategy, SimulationOptions, SimulationRun, Simulator,
+};
+use mean_field_uncertain::sim::policy::ConstantPolicy;
+
+const SCALE: usize = 300;
+const SEEDS: [u64; 3] = [1, 17, 2026];
+
+fn run(
+    simulator: &Simulator,
+    counts: &[i64],
+    theta: &[f64],
+    strategy: PropensityStrategy,
+    seed: u64,
+) -> SimulationRun {
+    let mut policy = ConstantPolicy::new(theta.to_vec());
+    let options = SimulationOptions::new(4.0)
+        .max_events(400_000)
+        .propensity_strategy(strategy);
+    simulator
+        .simulate(counts, &mut policy, &options, seed)
+        .expect("simulation failed")
+}
+
+/// `time_tolerance` is the admissible relative deviation of event times
+/// (`0.0` demands bit-identity); states and final counts must always match
+/// exactly.
+fn assert_same_run(
+    name: &str,
+    seed: u64,
+    reference: &SimulationRun,
+    other: &SimulationRun,
+    time_tolerance: f64,
+) {
+    assert_eq!(
+        reference.events(),
+        other.events(),
+        "`{name}` seed {seed}: event counts diverged"
+    );
+    assert_eq!(
+        reference.final_counts(),
+        other.final_counts(),
+        "`{name}` seed {seed}: final counts diverged"
+    );
+    assert_eq!(
+        reference.trajectory().len(),
+        other.trajectory().len(),
+        "`{name}` seed {seed}: trajectory lengths diverged"
+    );
+    for (index, ((ta, sa), (tb, sb))) in reference
+        .trajectory()
+        .iter()
+        .zip(other.trajectory().iter())
+        .enumerate()
+    {
+        if time_tolerance == 0.0 {
+            assert_eq!(
+                ta.to_bits(),
+                tb.to_bits(),
+                "`{name}` seed {seed}: time diverged at point {index}"
+            );
+        } else {
+            assert!(
+                (ta - tb).abs() <= time_tolerance * ta.abs().max(1.0),
+                "`{name}` seed {seed}: time diverged at point {index}: {ta} vs {tb}"
+            );
+        }
+        for (i, (va, vb)) in sa.iter().zip(sb.iter()).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "`{name}` seed {seed}: coordinate {i} diverged at point {index}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
+    let registry = ScenarioRegistry::with_builtins();
+    assert_eq!(
+        registry.names(),
+        vec!["botnet", "load_balancer", "seir", "sir", "sis"]
+    );
+    for scenario in registry.iter() {
+        let model = scenario.compile().expect("scenario compiles");
+        let population = model.population_model().expect("population backend");
+        // DSL rates are compiled programs, so supports are known…
+        assert!(
+            population
+                .transitions()
+                .iter()
+                .all(|t| t.rate_fn().is_compiled()),
+            "`{}`: expected compiled rates",
+            scenario.name()
+        );
+        let simulator = Simulator::new(population, SCALE).expect("simulator");
+        // …and the dependency graph actually prunes work wherever the
+        // stoichiometry allows it (the 2-species SIS is legitimately dense:
+        // both rules read and write both species).
+        if matches!(scenario.name(), "botnet" | "seir" | "load_balancer" | "sir") {
+            assert!(
+                simulator.has_sparse_dependencies(),
+                "`{}`: dependency graph is dense",
+                scenario.name()
+            );
+        }
+
+        let counts = model.initial_counts(SCALE);
+        let theta = model.params().midpoint();
+        for seed in SEEDS {
+            let reference = run(
+                &simulator,
+                &counts,
+                &theta,
+                PropensityStrategy::FullRescan,
+                seed,
+            );
+            assert!(
+                reference.events() > 0,
+                "`{}` seed {seed}: no events simulated",
+                scenario.name()
+            );
+            let graph = run(
+                &simulator,
+                &counts,
+                &theta,
+                PropensityStrategy::DependencyGraph,
+                seed,
+            );
+            assert_same_run(scenario.name(), seed, &reference, &graph, 0.0);
+            let incremental = run(
+                &simulator,
+                &counts,
+                &theta,
+                PropensityStrategy::IncrementalTotal { refresh_every: 256 },
+                seed,
+            );
+            assert_same_run(scenario.name(), seed, &reference, &incremental, 1e-12);
+        }
+    }
+}
+
+#[test]
+fn dependency_graph_matches_under_vertex_parameters() {
+    // The extreme parameter choices drive some scenarios toward rate
+    // boundaries (dropped jumps, near-absorbing states) — the paths the
+    // dependency bookkeeping must also handle identically.
+    let registry = ScenarioRegistry::with_builtins();
+    for scenario in registry.iter() {
+        let model = scenario.compile().expect("scenario compiles");
+        let population = model.population_model().expect("population backend");
+        let simulator = Simulator::new(population, SCALE).expect("simulator");
+        let counts = model.initial_counts(SCALE);
+        for vertex in model.params().vertices() {
+            let reference = run(
+                &simulator,
+                &counts,
+                &vertex,
+                PropensityStrategy::FullRescan,
+                5,
+            );
+            let graph = run(
+                &simulator,
+                &counts,
+                &vertex,
+                PropensityStrategy::DependencyGraph,
+                5,
+            );
+            assert_same_run(scenario.name(), 5, &reference, &graph, 0.0);
+        }
+    }
+}
