@@ -1,0 +1,470 @@
+//! `mfu` — command-line front-end for the `mfu-lang` model DSL.
+//!
+//! Runs models without writing any Rust:
+//!
+//! ```text
+//! mfu list-scenarios                 # what the registry ships
+//! mfu check model.mfu                # compile + per-rule lowering report
+//! mfu run model.mfu --bound I@3      # Pontryagin bounds on a coordinate
+//! mfu run gps --simulate 2000        # registry scenario + one SSA run
+//! ```
+//!
+//! A target is a `.mfu` file (or any existing path) or the name of a
+//! built-in scenario from [`mfu_lang::scenarios::ScenarioRegistry`].
+//! Diagnostics from the compiler are printed verbatim, caret and all, and
+//! the exit code is `0` on success, `1` on model/analysis errors and `2`
+//! on usage errors.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mfu_lang::vm::RateProgram;
+use mfu_lang::{CompiledModel, ScenarioRegistry};
+use mfu_sim::gillespie::{SimulationOptions, Simulator};
+use mfu_sim::policy::ConstantPolicy;
+
+const USAGE: &str = "\
+mfu — imprecise population models from the command line
+
+USAGE:
+    mfu list-scenarios
+    mfu check <model.mfu | scenario>
+    mfu run   <model.mfu | scenario> [options]
+
+RUN OPTIONS:
+    --bound <coord>@<time>   coordinate (species name or index) and horizon
+                             to bound, e.g. `I@3` or `1@2.5`
+                             (default: the scenario's objective, or the
+                             first species at t = 3 for files)
+    --grid <n>               Pontryagin time-grid intervals (default 120)
+    --single-start           disable the multi-start extremal search
+    --simulate <scale>       also run one Gillespie simulation at population
+                             size <scale> under the midpoint parameters
+    --seed <n>               RNG seed for --simulate (default 42)
+
+A target that names an existing file (or ends in `.mfu`) is compiled from
+disk; anything else is looked up in the scenario registry.";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    /// `mfu list-scenarios`
+    ListScenarios,
+    /// `mfu check <target>`
+    Check { target: String },
+    /// `mfu run <target> [options]`
+    Run { target: String, options: RunOptions },
+}
+
+/// Options of `mfu run`.
+#[derive(Debug, Clone, PartialEq)]
+struct RunOptions {
+    /// `--bound coord@time`, parsed into (coordinate spec, horizon).
+    bound: Option<(String, f64)>,
+    /// `--grid n`.
+    grid: usize,
+    /// `--single-start` clears this.
+    multi_start: bool,
+    /// `--simulate scale`.
+    simulate: Option<usize>,
+    /// `--seed n`.
+    seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            bound: None,
+            grid: 120,
+            multi_start: true,
+            simulate: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Parses the argument vector (without the program name).
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| USAGE.to_string())?;
+    match sub.as_str() {
+        "list-scenarios" => {
+            if it.next().is_some() {
+                return Err("`list-scenarios` takes no arguments".into());
+            }
+            Ok(Command::ListScenarios)
+        }
+        "check" => {
+            let target = it
+                .next()
+                .ok_or("`check` needs a model file or scenario name")?
+                .clone();
+            if it.next().is_some() {
+                return Err("`check` takes exactly one argument".into());
+            }
+            Ok(Command::Check { target })
+        }
+        "run" => {
+            let target = it
+                .next()
+                .ok_or("`run` needs a model file or scenario name")?
+                .clone();
+            let mut options = RunOptions::default();
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |what: &str| it.next().ok_or(format!("`{flag}` needs {what}")).cloned();
+                match flag.as_str() {
+                    "--bound" => {
+                        let spec = value("a <coord>@<time> argument")?;
+                        let (coord, time) = spec
+                            .split_once('@')
+                            .ok_or(format!("`--bound {spec}`: expected <coord>@<time>"))?;
+                        let time: f64 = time
+                            .parse()
+                            .map_err(|_| format!("`--bound {spec}`: bad time `{time}`"))?;
+                        if !(time.is_finite() && time > 0.0) {
+                            return Err(format!("`--bound {spec}`: horizon must be positive"));
+                        }
+                        options.bound = Some((coord.to_string(), time));
+                    }
+                    "--grid" => {
+                        options.grid = value("an interval count")?
+                            .parse()
+                            .map_err(|e| format!("`--grid`: {e}"))?;
+                        if options.grid == 0 {
+                            return Err("`--grid` must be positive".into());
+                        }
+                    }
+                    "--single-start" => options.multi_start = false,
+                    "--simulate" => {
+                        options.simulate = Some(
+                            value("a population size")?
+                                .parse()
+                                .map_err(|e| format!("`--simulate`: {e}"))?,
+                        );
+                    }
+                    "--seed" => {
+                        options.seed = value("a seed")?
+                            .parse()
+                            .map_err(|e| format!("`--seed`: {e}"))?;
+                    }
+                    other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+                }
+            }
+            Ok(Command::Run { target, options })
+        }
+        "--help" | "-h" | "help" => Err(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// What a target resolved to.
+struct LoadedModel {
+    model: CompiledModel,
+    /// Scenario analysis defaults, when the target came from the registry.
+    defaults: Option<(f64, usize)>,
+}
+
+/// Loads a target: an existing file (or anything ending in `.mfu`) compiles
+/// from disk, everything else resolves through the scenario registry.
+/// `is_file` (not `exists`) so a stray *directory* named like a scenario
+/// cannot shadow the registry.
+fn load_model(target: &str) -> Result<LoadedModel, String> {
+    let path = Path::new(target);
+    if path.is_file() || target.ends_with(".mfu") {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{target}`: {e}"))?;
+        let model = mfu_lang::compile(&source).map_err(|e| e.to_string())?;
+        return Ok(LoadedModel {
+            model,
+            defaults: None,
+        });
+    }
+    let registry = ScenarioRegistry::with_builtins();
+    let scenario = registry.get(target).ok_or_else(|| {
+        format!(
+            "`{target}` is neither a file nor a known scenario \
+             (registered: {})",
+            registry.names().join(", ")
+        )
+    })?;
+    let defaults = Some((scenario.horizon(), scenario.objective_coordinate()));
+    let model = scenario.compile().map_err(|e| e.to_string())?;
+    Ok(LoadedModel { model, defaults })
+}
+
+/// One-line structural summary of a compiled model.
+fn summarize(model: &CompiledModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model `{}`: {} species ({}), {} rules, {}",
+        model.name(),
+        model.dim(),
+        model.species().join(", "),
+        model.rules().len(),
+        if model.is_conservative() {
+            "mass-conserving"
+        } else {
+            "non-conservative"
+        }
+    );
+    let params = model.params();
+    let bounds: Vec<String> = params
+        .names()
+        .iter()
+        .zip(params.lower().iter().zip(params.upper().iter()))
+        .map(|(name, (lo, hi))| format!("{name} in [{lo}, {hi}]"))
+        .collect();
+    let _ = writeln!(out, "params: {}", bounds.join(", "));
+    out
+}
+
+fn cmd_list_scenarios() -> Result<String, String> {
+    let registry = ScenarioRegistry::with_builtins();
+    let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for scenario in registry.iter() {
+        let _ = writeln!(
+            out,
+            "{:width$}  {} (horizon {}, objective x[{}])",
+            scenario.name(),
+            scenario.summary(),
+            scenario.horizon(),
+            scenario.objective_coordinate(),
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_check(target: &str) -> Result<String, String> {
+    let loaded = load_model(target)?;
+    let model = loaded.model;
+    let mut out = summarize(&model);
+    let name_width = model
+        .rules()
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(0);
+    for rule in model.rules() {
+        let program = RateProgram::compile(&rule.rate);
+        let shape = if program.is_fast_path() {
+            "fast path"
+        } else {
+            "bytecode"
+        };
+        let _ = writeln!(
+            out,
+            "  rule {:name_width$}  {:9}  reads {:?}",
+            rule.name,
+            shape,
+            program.species_support(),
+        );
+    }
+    let _ = writeln!(out, "ok");
+    Ok(out)
+}
+
+/// Resolves a `--bound` coordinate spec (species name or index) against the
+/// model's species list.
+fn resolve_coordinate(model: &CompiledModel, spec: &str) -> Result<usize, String> {
+    if let Some(index) = model.species().iter().position(|s| s == spec) {
+        return Ok(index);
+    }
+    if let Ok(index) = spec.parse::<usize>() {
+        if index < model.dim() {
+            return Ok(index);
+        }
+        return Err(format!(
+            "coordinate {index} out of range for a {}-species model",
+            model.dim()
+        ));
+    }
+    Err(format!(
+        "`{spec}` is neither a species of `{}` ({}) nor a coordinate index",
+        model.name(),
+        model.species().join(", ")
+    ))
+}
+
+fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
+    let loaded = load_model(target)?;
+    let model = loaded.model;
+    let mut out = summarize(&model);
+
+    let (coordinate, horizon) = match &options.bound {
+        Some((spec, time)) => (resolve_coordinate(&model, spec)?, *time),
+        None => match loaded.defaults {
+            Some((horizon, objective)) => (objective, horizon),
+            None => (0, 3.0),
+        },
+    };
+
+    // conservative models analyse in reduced coordinates, where the last
+    // declared species is eliminated; bounding that species needs the
+    // full-dimensional drift
+    let reduced_dim = model.reduced_initial_state().dim();
+    let (drift, x0) = if coordinate < reduced_dim {
+        (model.reduced_drift(), model.reduced_initial_state())
+    } else {
+        (model.drift(), model.initial_state())
+    };
+    let species = &model.species()[coordinate.min(model.dim() - 1)];
+
+    let solver = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: options.grid,
+        multi_start: options.multi_start,
+        ..Default::default()
+    });
+    let (lo, hi) = solver
+        .coordinate_extremes(&drift, &x0, horizon, coordinate)
+        .map_err(|e| format!("Pontryagin bound failed: {e}"))?;
+    let _ = writeln!(
+        out,
+        "imprecise bounds: {species}({horizon}) in [{lo:.6}, {hi:.6}]"
+    );
+
+    if let Some(scale) = options.simulate {
+        let population = model.population_model().map_err(|e| e.to_string())?;
+        let simulator = Simulator::new(population, scale).map_err(|e| e.to_string())?;
+        let mut policy = ConstantPolicy::new(model.params().midpoint());
+        let run = simulator
+            .simulate(
+                &model.initial_counts(scale),
+                &mut policy,
+                &SimulationOptions::new(horizon),
+                options.seed,
+            )
+            .map_err(|e| e.to_string())?;
+        let end = run.trajectory().last_state();
+        let _ = writeln!(
+            out,
+            "one N = {scale} Gillespie run at midpoint parameters \
+             (seed {}): {} events, {species}({horizon}) = {:.6}",
+            options.seed,
+            run.events(),
+            end[coordinate],
+        );
+    }
+    Ok(out)
+}
+
+fn dispatch(command: &Command) -> Result<String, String> {
+    match command {
+        Command::ListScenarios => cmd_list_scenarios(),
+        Command::Check { target } => cmd_check(target),
+        Command::Run { target, options } => cmd_run(target, options),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert_eq!(
+            parse_args(&args("list-scenarios")).unwrap(),
+            Command::ListScenarios
+        );
+        assert_eq!(
+            parse_args(&args("check model.mfu")).unwrap(),
+            Command::Check {
+                target: "model.mfu".into()
+            }
+        );
+        let Command::Run { target, options } = parse_args(&args(
+            "run gps --bound Q1@2.5 --grid 40 --simulate 500 --seed 7 --single-start",
+        ))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(target, "gps");
+        assert_eq!(options.bound, Some(("Q1".into(), 2.5)));
+        assert_eq!(options.grid, 40);
+        assert_eq!(options.simulate, Some(500));
+        assert_eq!(options.seed, 7);
+        assert!(!options.multi_start);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("run")).is_err());
+        assert!(parse_args(&args("run sir --bound I")).is_err());
+        assert!(parse_args(&args("run sir --bound I@abc")).is_err());
+        assert!(parse_args(&args("run sir --bound I@-1")).is_err());
+        assert!(parse_args(&args("run sir --grid 0")).is_err());
+        assert!(parse_args(&args("run sir --what")).is_err());
+        assert!(parse_args(&args("check")).is_err());
+        assert!(parse_args(&args("check a b")).is_err());
+    }
+
+    #[test]
+    fn unknown_targets_list_the_registry() {
+        let err = load_model("no_such_scenario").err().unwrap();
+        assert!(err.contains("sir"), "{err}");
+        assert!(err.contains("gps"), "{err}");
+    }
+
+    #[test]
+    fn coordinates_resolve_by_name_and_index() {
+        let model = load_model("sir").unwrap().model;
+        assert_eq!(resolve_coordinate(&model, "I").unwrap(), 1);
+        assert_eq!(resolve_coordinate(&model, "2").unwrap(), 2);
+        assert!(resolve_coordinate(&model, "9").is_err());
+        assert!(resolve_coordinate(&model, "Z").is_err());
+    }
+
+    #[test]
+    fn check_reports_lowering_shapes() {
+        let report = cmd_check("gps").unwrap();
+        assert!(report.contains("model `gps`"), "{report}");
+        assert!(report.contains("non-conservative"), "{report}");
+        assert!(report.contains("serve1"), "{report}");
+        assert!(report.contains("bytecode"), "{report}");
+        assert!(report.contains("reads [1, 3]"), "{report}");
+        assert!(report.ends_with("ok\n"), "{report}");
+
+        let report = cmd_check("sir").unwrap();
+        assert!(report.contains("mass-conserving"), "{report}");
+        assert!(report.contains("fast path"), "{report}");
+    }
+
+    #[test]
+    fn list_scenarios_names_everything() {
+        let listing = cmd_list_scenarios().unwrap();
+        for name in ["sir", "sis", "seir", "botnet", "load_balancer", "gps"] {
+            assert!(listing.contains(name), "missing `{name}` in {listing}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `mfu` binary: the acceptance criterion of the
+//! CLI is that at least the `sir` and `gps` scenarios run from the command
+//! line, plus `check` and `list-scenarios` round trips and the exit-code
+//! contract (0 ok / 1 model or analysis error / 2 usage error).
+
+use std::process::{Command, Output};
+
+fn mfu(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mfu"))
+        .args(args)
+        .output()
+        .expect("mfu binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn run_sir_bounds_the_infected_fraction() {
+    // small grid keeps the test quick; the bound itself is checked in the
+    // analysis suites — here we check the CLI plumbing end to end
+    let out = mfu(&["run", "sir", "--bound", "I@1", "--grid", "40"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model `sir`"), "{text}");
+    assert!(text.contains("imprecise bounds: I(1)"), "{text}");
+}
+
+#[test]
+fn run_gps_bounds_and_simulates_the_guarded_model() {
+    let out = mfu(&[
+        "run",
+        "gps",
+        "--bound",
+        "Q1@1",
+        "--grid",
+        "40",
+        "--simulate",
+        "400",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model `gps`"), "{text}");
+    assert!(text.contains("imprecise bounds: Q1(1)"), "{text}");
+    assert!(text.contains("Gillespie run"), "{text}");
+    assert!(text.contains("events"), "{text}");
+}
+
+#[test]
+fn check_compiles_a_model_file_from_disk() {
+    let dir = std::env::temp_dir().join("mfu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("decay.mfu");
+    std::fs::write(
+        &path,
+        "model decay;\nspecies X;\nparam r in [0.5, 2];\n\
+         rule die: X -> 0 @ when X > 0 { r * X } else { 0 };\ninit X = 1;\n",
+    )
+    .unwrap();
+    let out = mfu(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model `decay`"), "{text}");
+    assert!(text.contains("ok"), "{text}");
+}
+
+#[test]
+fn check_prints_caret_diagnostics_and_fails() {
+    let dir = std::env::temp_dir().join("mfu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.mfu");
+    std::fs::write(
+        &path,
+        "model broken;\nspecies X;\nparam r in [0.5, 2];\n\
+         rule die: X -> 0 @ oops * X;\ninit X = 1;\n",
+    )
+    .unwrap();
+    let out = mfu(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stderr(&out);
+    assert!(text.contains("unknown identifier `oops`"), "{text}");
+    assert!(text.contains('^'), "{text}");
+}
+
+#[test]
+fn list_scenarios_prints_the_registry() {
+    let out = mfu(&["list-scenarios"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in ["sir", "gps", "gps_poisson", "botnet", "load_balancer"] {
+        assert!(text.contains(name), "missing `{name}`:\n{text}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_with_2() {
+    assert_eq!(mfu(&[]).status.code(), Some(2));
+    assert_eq!(mfu(&["run"]).status.code(), Some(2));
+    assert_eq!(
+        mfu(&["run", "sir", "--bound", "nope"]).status.code(),
+        Some(2)
+    );
+    let out = mfu(&["run", "no_such_model"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("neither a file nor a known scenario"));
+}

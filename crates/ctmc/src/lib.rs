@@ -7,7 +7,15 @@
 //! * [`params`] — uncertainty sets `Θ` (boxes of parameter intervals, Section
 //!   I/II of the paper) with vertex enumeration and grid sampling;
 //! * [`transition`] — density-dependent transition classes, the standard way
-//!   of specifying population processes (Section III-A);
+//!   of specifying population processes (Section III-A). Rates are either
+//!   native Rust closures ([`TransitionClass::new`](transition::TransitionClass::new),
+//!   optionally annotated with
+//!   [`with_species_support`](transition::TransitionClass::with_species_support))
+//!   or compiled programs implementing
+//!   [`CompiledRate`](transition::CompiledRate) — e.g. the flat bytecode the
+//!   `mfu-lang` DSL lowers to, guards included — whose per-transition
+//!   species supports drive the dependency-graph Gillespie path in
+//!   `mfu-sim`;
 //! * [`population`] — [`PopulationModel`](population::PopulationModel): a set
 //!   of transition classes with a parameter space, its drift, and numerical
 //!   checks of the scaling assumptions of Definition 4;

@@ -27,6 +27,8 @@ pub struct ModelAst {
     pub params: Vec<ParamDecl>,
     /// `const <name> = <expr>;` declarations.
     pub consts: Vec<ConstDecl>,
+    /// `let <name> = <expr>;` declarations (shared rate subexpressions).
+    pub lets: Vec<LetDecl>,
     /// `rule` declarations.
     pub rules: Vec<RuleDecl>,
     /// `init` assignments (possibly spread over several `init` statements).
@@ -52,6 +54,21 @@ pub struct ConstDecl {
     /// Constant name.
     pub name: Ident,
     /// Defining expression (must be constant; may reference earlier consts).
+    pub value: Expr,
+}
+
+/// `let <name> = <expr>;` — a named subexpression shared between rules.
+///
+/// Unlike a [`ConstDecl`], the defining expression may reference species and
+/// parameters (and earlier `let`s); references are inlined during
+/// validation, so every rule mentioning the name evaluates the same
+/// expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetDecl {
+    /// Binding name.
+    pub name: Ident,
+    /// Defining expression (any rate-position expression, including
+    /// comparisons).
     pub value: Expr,
 }
 
@@ -124,6 +141,26 @@ pub enum ExprKind {
         /// Arguments in source order.
         args: Vec<Expr>,
     },
+    /// Comparison, e.g. `Q > 0`. Evaluates to a boolean (see
+    /// [`crate::validate`] for the num/bool typing discipline).
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Guarded (piecewise) expression:
+    /// `when <cond> { <then> } else { <else> }`.
+    When {
+        /// The boolean condition.
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise (possibly another `when` chain).
+        els: Box<Expr>,
+    },
 }
 
 /// Binary arithmetic operators.
@@ -139,4 +176,51 @@ pub enum BinOp {
     Div,
     /// `^` (right-associative power)
     Pow,
+}
+
+/// Comparison operators. A comparison evaluates to `1.0` (true) or `0.0`
+/// (false) at run time, but the validator types it as a *boolean*: it may
+/// only appear as a `when` condition or inside `indicator(...)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two floats (IEEE semantics: any comparison
+    /// with NaN except `!=` is false).
+    #[inline(always)]
+    pub fn holds(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The operator as written in the source.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
 }

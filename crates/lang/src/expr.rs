@@ -9,6 +9,8 @@
 
 use mfu_num::StateVec;
 
+use crate::ast::CmpOp;
+
 /// Builtin functions callable from rate expressions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Builtin {
@@ -69,6 +71,14 @@ pub enum CompiledExpr {
     Call1(Builtin, Box<CompiledExpr>),
     /// Builtin call with two arguments.
     Call2(Builtin, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Comparison: `1.0` when it holds, `0.0` otherwise.
+    Cmp(CmpOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Guarded selection `when cond { then } else { els }`: evaluates
+    /// `then` when the condition is non-zero, `els` otherwise. The tree
+    /// interpreter only evaluates the taken branch; the VM lowering
+    /// evaluates both and selects branch-free — the *selected* value is
+    /// identical either way.
+    Select(Box<CompiledExpr>, Box<CompiledExpr>, Box<CompiledExpr>),
 }
 
 impl CompiledExpr {
@@ -112,6 +122,20 @@ impl CompiledExpr {
                     }
                 }
             }
+            CompiledExpr::Cmp(op, a, b) => {
+                if op.holds(a.eval(x, theta), b.eval(x, theta)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CompiledExpr::Select(cond, then, els) => {
+                if cond.eval(x, theta) != 0.0 {
+                    then.eval(x, theta)
+                } else {
+                    els.eval(x, theta)
+                }
+            }
         }
     }
 
@@ -145,6 +169,8 @@ impl CompiledExpr {
             E::Pow(a, b) => E::Pow(sub(a), sub(b)),
             E::Call1(f, a) => E::Call1(*f, sub(a)),
             E::Call2(f, a, b) => E::Call2(*f, sub(a), sub(b)),
+            E::Cmp(op, a, b) => E::Cmp(*op, sub(a), sub(b)),
+            E::Select(c, t, e) => E::Select(sub(c), sub(t), sub(e)),
         }
     }
 
@@ -159,8 +185,94 @@ impl CompiledExpr {
             | CompiledExpr::Mul(a, b)
             | CompiledExpr::Div(a, b)
             | CompiledExpr::Pow(a, b)
+            | CompiledExpr::Cmp(_, a, b)
             | CompiledExpr::Call2(_, a, b) => a.references_species() || b.references_species(),
+            CompiledExpr::Select(c, t, e) => {
+                c.references_species() || t.references_species() || e.references_species()
+            }
         }
+    }
+}
+
+/// Folds constant subtrees bottom-up. Folding performs exactly the
+/// operation the interpreter would have executed at run time, so it never
+/// changes a result; a `Select` with a constant condition reduces to its
+/// taken branch, and a constant comparison reduces to its `0`/`1`
+/// indicator value.
+///
+/// This is the *single* folding implementation of the crate, shared by
+/// [`crate::validate`] (after name resolution) and by the VM lowering in
+/// [`crate::vm`] — one place to define guard/comparison semantics, so the
+/// two stages can never disagree and break the bit-exactness contract
+/// between the tree interpreter and the bytecode engine.
+pub(crate) fn fold_constants(expr: &CompiledExpr) -> CompiledExpr {
+    use CompiledExpr as E;
+    let both = |a: &E, b: &E| -> (E, E) { (fold_constants(a), fold_constants(b)) };
+    match expr {
+        E::Const(_) | E::Species(_) | E::Param(_) => expr.clone(),
+        E::Neg(a) => match fold_constants(a) {
+            E::Const(v) => E::Const(-v),
+            a => E::Neg(Box::new(a)),
+        },
+        E::Add(a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(a + b),
+            (a, b) => E::Add(Box::new(a), Box::new(b)),
+        },
+        E::Sub(a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(a - b),
+            (a, b) => E::Sub(Box::new(a), Box::new(b)),
+        },
+        E::Mul(a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(a * b),
+            (a, b) => E::Mul(Box::new(a), Box::new(b)),
+        },
+        E::Div(a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(a / b),
+            (a, b) => E::Div(Box::new(a), Box::new(b)),
+        },
+        E::Pow(a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(a.powf(b)),
+            (a, b) => E::Pow(Box::new(a), Box::new(b)),
+        },
+        E::Call1(f, a) => match fold_constants(a) {
+            E::Const(v) => E::Const(match f {
+                Builtin::Abs => v.abs(),
+                Builtin::Exp => v.exp(),
+                Builtin::Log => v.ln(),
+                Builtin::Sqrt => v.sqrt(),
+                _ => unreachable!("binary builtin with one argument"),
+            }),
+            a => E::Call1(*f, Box::new(a)),
+        },
+        E::Call2(f, a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(match f {
+                Builtin::Min => a.min(b),
+                Builtin::Max => a.max(b),
+                Builtin::Pow => a.powf(b),
+                _ => unreachable!("unary builtin with two arguments"),
+            }),
+            (a, b) => E::Call2(*f, Box::new(a), Box::new(b)),
+        },
+        E::Cmp(op, a, b) => match both(a, b) {
+            (E::Const(a), E::Const(b)) => E::Const(f64::from(op.holds(a, b))),
+            (a, b) => E::Cmp(*op, Box::new(a), Box::new(b)),
+        },
+        E::Select(c, t, e) => match fold_constants(c) {
+            // a constant condition picks its branch exactly as the
+            // interpreter would
+            E::Const(v) => {
+                if v != 0.0 {
+                    fold_constants(t)
+                } else {
+                    fold_constants(e)
+                }
+            }
+            c => E::Select(
+                Box::new(c),
+                Box::new(fold_constants(t)),
+                Box::new(fold_constants(e)),
+            ),
+        },
     }
 }
 
@@ -228,6 +340,61 @@ mod tests {
         assert!((reduced.eval(&x_red, &[2.0]) - 1.3).abs() < 1e-12);
         // the original is untouched
         assert!((expr.eval(&StateVec::from([0.7, 0.3]), &[2.0]) - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_evaluate_to_indicators() {
+        let gt = CompiledExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(CompiledExpr::Species(0)),
+            Box::new(CompiledExpr::Const(0.5)),
+        );
+        assert_eq!(gt.eval(&x(), &[]), 1.0); // 0.7 > 0.5
+        let le = CompiledExpr::Cmp(
+            CmpOp::Le,
+            Box::new(CompiledExpr::Species(1)),
+            Box::new(CompiledExpr::Const(0.1)),
+        );
+        assert_eq!(le.eval(&x(), &[]), 0.0); // 0.3 <= 0.1 fails
+        assert!(CmpOp::Ne.holds(f64::NAN, 1.0));
+        assert!(!CmpOp::Eq.holds(f64::NAN, f64::NAN));
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn select_takes_the_guarded_branch() {
+        // when S > 0 { 1 / S } else { 0 }
+        let guarded = |s: f64| {
+            let e = CompiledExpr::Select(
+                Box::new(CompiledExpr::Cmp(
+                    CmpOp::Gt,
+                    Box::new(CompiledExpr::Species(0)),
+                    Box::new(CompiledExpr::Const(0.0)),
+                )),
+                Box::new(CompiledExpr::Div(
+                    Box::new(CompiledExpr::Const(1.0)),
+                    Box::new(CompiledExpr::Species(0)),
+                )),
+                Box::new(CompiledExpr::Const(0.0)),
+            );
+            e.eval(&StateVec::from([s, 0.0]), &[])
+        };
+        assert_eq!(guarded(0.5), 2.0);
+        assert_eq!(guarded(0.0), 0.0); // no division by zero leaks out
+                                       // substitution and reference detection reach into all three slots
+        let sel = CompiledExpr::Select(
+            Box::new(CompiledExpr::Cmp(
+                CmpOp::Lt,
+                Box::new(CompiledExpr::Species(1)),
+                Box::new(CompiledExpr::Const(1.0)),
+            )),
+            Box::new(CompiledExpr::Param(0)),
+            Box::new(CompiledExpr::Const(0.0)),
+        );
+        assert!(sel.references_species());
+        let substituted = sel.substitute_species(1, &CompiledExpr::Const(2.0));
+        assert!(!substituted.references_species());
+        assert_eq!(substituted.eval(&x(), &[9.0]), 0.0); // 2.0 < 1.0 fails
     }
 
     #[test]

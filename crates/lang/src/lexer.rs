@@ -31,6 +31,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                 });
                 pos += 2;
             }
+            b'<' | b'>' | b'=' | b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                let kind = match b {
+                    b'<' => TokenKind::Le,
+                    b'>' => TokenKind::Ge,
+                    b'=' => TokenKind::EqEq,
+                    _ => TokenKind::Neq,
+                };
+                tokens.push(Token {
+                    kind,
+                    span: Span::new(pos, pos + 2),
+                });
+                pos += 2;
+            }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = pos;
                 while pos < bytes.len()
@@ -47,6 +60,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     "rule" => TokenKind::KwRule,
                     "init" => TokenKind::KwInit,
                     "in" => TokenKind::KwIn,
+                    "let" => TokenKind::KwLet,
+                    "when" => TokenKind::KwWhen,
+                    "else" => TokenKind::KwElse,
                     _ => TokenKind::Ident(word.to_string()),
                 };
                 tokens.push(Token {
@@ -108,6 +124,10 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, LangError> {
                     b')' => TokenKind::RParen,
                     b'[' => TokenKind::LBracket,
                     b']' => TokenKind::RBracket,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'<' => TokenKind::Lt,
+                    b'>' => TokenKind::Gt,
                     _ => {
                         // decode the full (possibly multi-byte) character so
                         // the message and span cover it exactly
@@ -239,6 +259,47 @@ mod tests {
                 assert!(d.message.contains('β'), "message: {}", d.message);
                 assert_eq!(&source[d.span.start..d.span.end], "β");
             }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_operators_and_braces() {
+        assert_eq!(
+            kinds("< <= > >= == != { }"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Neq,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn guard_keywords_are_lexed() {
+        assert_eq!(
+            kinds("when Q > 0 { 1 } else { 0 }")[..3],
+            [
+                TokenKind::KwWhen,
+                TokenKind::Ident("Q".into()),
+                TokenKind::Gt,
+            ]
+        );
+        assert_eq!(kinds("let x = 1;")[0], TokenKind::KwLet);
+        assert!(kinds("else").contains(&TokenKind::KwElse));
+    }
+
+    #[test]
+    fn bare_bang_is_a_lex_error() {
+        let err = tokenize("rule g: X -> 0 @ !X;").unwrap_err();
+        match err {
+            LangError::Lex(d) => assert!(d.message.contains('!')),
             other => panic!("unexpected error {other:?}"),
         }
     }

@@ -60,18 +60,22 @@
 //!
 //! ```text
 //! model      = "model" ident ";" { item } ;
-//! item       = species | param | const | rule | init ;
+//! item       = species | param | const | let | rule | init ;
 //!
 //! species    = "species" ident { "," ident } ";" ;
 //! param      = "param" ident "in" "[" expr "," expr "]" ";" ;
 //! const      = "const" ident "=" expr ";" ;
+//! let        = "let" ident "=" expr ";" ;
 //! rule       = "rule" ident ":" side "->" side "@" expr ";" ;
 //! init       = "init" ident "=" expr { "," ident "=" expr } ";" ;
 //!
 //! side       = "0" | term { "+" term } ;
 //! term       = [ integer ] ident ;
 //!
-//! expr       = mul { ("+" | "-") mul } ;
+//! expr       = when | cmp ;
+//! when       = "when" expr "{" expr "}" "else" ( when | "{" expr "}" ) ;
+//! cmp        = add [ ("<" | "<=" | ">" | ">=" | "==" | "!=") add ] ;
+//! add        = mul { ("+" | "-") mul } ;
 //! mul        = unary { ("*" | "/") unary } ;
 //! unary      = "-" unary | power ;
 //! power      = atom [ "^" unary ] ;            (* right-associative *)
@@ -91,20 +95,35 @@
 //!   rate. The bounds must be constant expressions with `lo <= hi`.
 //! * **const** names a scalar usable in any later expression; definitions
 //!   may reference earlier constants.
+//! * **let** names a *shared subexpression* usable in any rule rate.
+//!   Unlike a constant it may reference species, parameters, earlier
+//!   `let`s and comparisons; references are inlined during validation, so
+//!   rules sharing a `let` evaluate the same expression tree (the GPS
+//!   model shares its service-denominator `load` this way).
 //! * **rule** gives a transition class: the two sides are stoichiometric
 //!   sums (`S + I`, `2 I`, or `0` for nothing) and the rate is the density
 //!   `β(x, ϑ)` of the scaled process — any expression over species,
-//!   parameters, constants and the builtins `min`, `max`, `abs`, `exp`,
-//!   `log`, `sqrt`, `pow`. The builtin constant `N` equals `1` in these
-//!   normalised units, so count-style rates such as
+//!   parameters, constants, `let`s and the builtins `min`, `max`, `abs`,
+//!   `exp`, `log`, `sqrt`, `pow`, `indicator`. The builtin constant `N`
+//!   equals `1` in these normalised units, so count-style rates such as
 //!   `beta * S * I / N` stay valid verbatim.
+//! * **guards** make rates piecewise: `when <cond> { e1 } else { e2 }`
+//!   evaluates `e1` where the condition holds and `e2` elsewhere
+//!   (`else when` chains give multi-piece definitions), e.g. the
+//!   empty-queue guard of a processor-sharing service rate
+//!   `when Q1 + Q2 > 0 { mu * Q1 / (Q1 + Q2) } else { 0 }`. Conditions
+//!   are single comparisons (`<`, `<=`, `>`, `>=`, `==`, `!=`); they type
+//!   as *booleans*, so using one as a number requires `indicator(cond)`
+//!   (which is `1` where the condition holds, `0` elsewhere) and using a
+//!   number as a condition is a type error with a source span.
 //! * **init** assigns every species its initial fraction.
 //!
 //! Validation rejects — with caret diagnostics pointing into the source —
 //! unknown identifiers, cross-namespace name clashes, non-integer or
 //! non-positive stoichiometries, rules with zero net effect, inverted or
 //! non-finite parameter intervals, constant expressions that reference
-//! state, and incomplete or duplicated `init` blocks.
+//! state, num/bool type errors around comparisons and guards, and
+//! incomplete or duplicated `init` blocks.
 //!
 //! # Reduced coordinates
 //!
@@ -121,10 +140,14 @@
 //! [`vm`] module to a flat [`RateProgram`] — a constant, a mass-action
 //! fast path (`c · ϑ? · x_i (· x_j)`), or a register-based bytecode
 //! program — preserving the tree's exact floating-point evaluation order.
+//! Guarded rates lower to straight-line compare/select bytecode: both
+//! branches evaluate and a branch-free select (a conditional move, not a
+//! jump) picks the live one, so piecewise rates keep the linear dispatch
+//! profile of the bytecode engine.
 //! [`CompiledModel::population_model`] hands these programs to
 //! `mfu_ctmc::transition::TransitionClass` (whose species supports drive
 //! the dependency-graph Gillespie path in `mfu-sim`), and
-//! [`DslDrift`](compile::DslDrift) evaluates all rule rates in one VM pass
+//! [`DslDrift`] evaluates all rule rates in one VM pass
 //! over a shared scratch register file. Measured speedup over the tree
 //! interpreter: ≈4× per rate evaluation (see `BENCH_rate_engine.json` at
 //! the repository root).

@@ -6,7 +6,8 @@
 //! from.
 
 use crate::ast::{
-    BinOp, ConstDecl, Expr, ExprKind, Ident, InitAssign, ModelAst, ParamDecl, RuleDecl, StoichTerm,
+    BinOp, CmpOp, ConstDecl, Expr, ExprKind, Ident, InitAssign, LetDecl, ModelAst, ParamDecl,
+    RuleDecl, StoichTerm,
 };
 use crate::diagnostics::{Diagnostic, LangError, Span};
 use crate::lexer::tokenize;
@@ -99,6 +100,7 @@ impl Parser<'_> {
             species: Vec::new(),
             params: Vec::new(),
             consts: Vec::new(),
+            lets: Vec::new(),
             rules: Vec::new(),
             inits: Vec::new(),
         };
@@ -108,13 +110,14 @@ impl Parser<'_> {
                 TokenKind::KwSpecies => self.species_decl(&mut ast)?,
                 TokenKind::KwParam => self.param_decl(&mut ast)?,
                 TokenKind::KwConst => self.const_decl(&mut ast)?,
+                TokenKind::KwLet => self.let_decl(&mut ast)?,
                 TokenKind::KwRule => self.rule_decl(&mut ast)?,
                 TokenKind::KwInit => self.init_decl(&mut ast)?,
                 _ => {
                     let found = self.peek();
                     return Err(self.error(
                         format!(
-                            "expected `species`, `param`, `const`, `rule` or `init`, found {}",
+                            "expected `species`, `param`, `const`, `let`, `rule` or `init`, found {}",
                             found.kind.describe()
                         ),
                         found.span,
@@ -167,6 +170,16 @@ impl Parser<'_> {
         let value = self.expr()?;
         self.expect(&TokenKind::Semi, "after the constant definition")?;
         ast.consts.push(ConstDecl { name, value });
+        Ok(())
+    }
+
+    fn let_decl(&mut self, ast: &mut ModelAst) -> Result<(), LangError> {
+        self.advance(); // `let`
+        let name = self.expect_ident("after `let`")?;
+        self.expect(&TokenKind::Equals, "after the `let` binding name")?;
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semi, "after the `let` definition")?;
+        ast.lets.push(LetDecl { name, value });
         Ok(())
     }
 
@@ -246,7 +259,77 @@ impl Parser<'_> {
     // ---- expressions: precedence climbing -------------------------------
 
     fn expr(&mut self) -> Result<Expr, LangError> {
-        self.additive()
+        if self.peek().kind == TokenKind::KwWhen {
+            return self.when_expr();
+        }
+        self.comparison()
+    }
+
+    /// `when <cond> { <expr> } else ( when … | { <expr> } )` — a guarded
+    /// expression; `else when` chains give piecewise definitions.
+    fn when_expr(&mut self) -> Result<Expr, LangError> {
+        let start = self.advance().span; // `when`
+        let cond = self.expr()?;
+        self.expect(&TokenKind::LBrace, "to open the `when` branch")?;
+        let then = self.expr()?;
+        self.expect(&TokenKind::RBrace, "to close the `when` branch")?;
+        self.expect(&TokenKind::KwElse, "after the `when` branch")?;
+        let (els, end) = if self.peek().kind == TokenKind::KwWhen {
+            let chained = self.when_expr()?;
+            let end = chained.span;
+            (chained, end)
+        } else {
+            self.expect(&TokenKind::LBrace, "to open the `else` branch")?;
+            let els = self.expr()?;
+            let close = self.expect(&TokenKind::RBrace, "to close the `else` branch")?;
+            (els, close.span)
+        };
+        Ok(Expr {
+            kind: ExprKind::When {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            },
+            span: start.to(end),
+        })
+    }
+
+    fn comparison_op(&self) -> Option<CmpOp> {
+        match self.peek().kind {
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            TokenKind::EqEq => Some(CmpOp::Eq),
+            TokenKind::Neq => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+
+    /// Non-associative comparison layer: `additive [ cmpop additive ]`.
+    fn comparison(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.additive()?;
+        let Some(op) = self.comparison_op() else {
+            return Ok(lhs);
+        };
+        self.advance();
+        let rhs = self.additive()?;
+        if self.comparison_op().is_some() {
+            let found = self.peek();
+            return Err(self.error(
+                "comparisons cannot be chained; split them into separate `when` guards",
+                found.span,
+            ));
+        }
+        let span = lhs.span.to(rhs.span);
+        Ok(Expr {
+            kind: ExprKind::Compare {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+            span,
+        })
     }
 
     fn additive(&mut self) -> Result<Expr, LangError> {
@@ -473,6 +556,109 @@ init S = 0.7, I = 0.3, R = 0;
             }
             other => panic!("unexpected rate {other:?}"),
         }
+    }
+
+    #[test]
+    fn when_else_guards_parse_with_spans() {
+        let source = "model m; species Q; param r in [0,1];
+             rule serve: Q -> 0 @ when Q > 0 { r / Q } else { 0 };
+             init Q = 1;";
+        let ast = parse(source).unwrap();
+        let rate = &ast.rules[0].rate;
+        let ExprKind::When { cond, then, els } = &rate.kind else {
+            panic!("expected a when expression, got {rate:?}");
+        };
+        assert!(matches!(cond.kind, ExprKind::Compare { op: CmpOp::Gt, .. }));
+        assert!(matches!(then.kind, ExprKind::Binary { op: BinOp::Div, .. }));
+        assert!(matches!(els.kind, ExprKind::Number(v) if v == 0.0));
+        let text = &source[rate.span.start..rate.span.end];
+        assert!(text.starts_with("when") && text.ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn else_when_chains_parse() {
+        let ast = parse(
+            "model m; species Q; param r in [0,1];
+             rule g: Q -> 0 @ when Q > 0.5 { 2 } else when Q > 0 { 1 } else { 0 };
+             init Q = 1;",
+        )
+        .unwrap();
+        let ExprKind::When { els, .. } = &ast.rules[0].rate.kind else {
+            panic!("expected when");
+        };
+        assert!(matches!(els.kind, ExprKind::When { .. }));
+    }
+
+    #[test]
+    fn comparison_operators_parse_at_lowest_precedence() {
+        let ast = parse(
+            "model m; species X; param r in [0,1];
+             rule g: X -> 0 @ when r * X + 1 <= 2 * X { 1 } else { 0 };
+             init X = 1;",
+        )
+        .unwrap();
+        let ExprKind::When { cond, .. } = &ast.rules[0].rate.kind else {
+            panic!("expected when");
+        };
+        // `r * X + 1 <= 2 * X` must group as `(r*X + 1) <= (2*X)`
+        let ExprKind::Compare { op, lhs, rhs } = &cond.kind else {
+            panic!("expected comparison, got {cond:?}");
+        };
+        assert_eq!(*op, CmpOp::Le);
+        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn chained_comparisons_are_rejected() {
+        let err = parse(
+            "model m; species X; param r in [0,1];
+             rule g: X -> 0 @ when 0 < X < 1 { 1 } else { 0 };
+             init X = 1;",
+        )
+        .unwrap_err();
+        match err {
+            LangError::Parse(d) => assert!(d.message.contains("chained"), "{}", d.message),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_when_branch_is_pinpointed() {
+        let err = parse(
+            "model m; species X; param r in [0,1];
+             rule g: X -> 0 @ when X > 0 { r * X ;
+             init X = 1;",
+        )
+        .unwrap_err();
+        match err {
+            LangError::Parse(d) => {
+                assert!(d.message.contains("`}`"), "{}", d.message);
+                assert!(
+                    d.message.contains("close the `when` branch"),
+                    "{}",
+                    d.message
+                );
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_declarations_parse() {
+        let ast = parse(
+            "model m; species X, Y; param r in [0,1];
+             let total = X + Y;
+             rule g: X -> Y @ r * total;
+             init X = 1, Y = 0;",
+        )
+        .unwrap();
+        assert_eq!(ast.lets.len(), 1);
+        assert_eq!(ast.lets[0].name.name, "total");
+        assert!(matches!(
+            ast.lets[0].value.kind,
+            ExprKind::Binary { op: BinOp::Add, .. }
+        ));
     }
 
     #[test]

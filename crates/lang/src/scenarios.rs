@@ -1,8 +1,10 @@
 //! Scenario registry: named, ready-to-compile DSL models.
 //!
-//! The registry ships the paper's epidemic case studies re-expressed in the
-//! DSL (SIR of Section V, plus the SIS/SEIR variants of `mfu-models`) and
-//! two scenarios that exist only here:
+//! The registry ships the paper's case studies re-expressed in the DSL —
+//! the SIR epidemic of Section V, the GPS/MAP queueing network of Section
+//! VI (guarded service rates, MAP phase species and a shared `let`
+//! subexpression), plus the SIS/SEIR variants of `mfu-models` — and two
+//! scenarios that exist only here:
 //!
 //! * **botnet** — malware propagation in a machine fleet with an imprecise
 //!   scanning rate: susceptible machines are compromised by active bots,
@@ -101,7 +103,8 @@ impl ScenarioRegistry {
     }
 
     /// A registry pre-populated with the built-in scenarios
-    /// (`sir`, `sis`, `seir`, `botnet`, `load_balancer`).
+    /// (`botnet`, `gps`, `gps_poisson`, `load_balancer`, `seir`, `sir`,
+    /// `sis`).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
         for scenario in builtins() {
@@ -211,6 +214,68 @@ rule wane:       R -> S @ c * R;
 init S = 0.7, E = 0, I = 0.3, R = 0;
 ";
 
+/// The two-class closed GPS queueing network of Section VI with MAP job
+/// creation (`GpsModel::paper()` in `mfu-models`): each class has per-class
+/// fractions of *dormant-active* applications (`D_i`, the MAP phase that
+/// has not yet submitted) and *queued* jobs (`Q_i`); thinking applications
+/// (`1 - D_i - Q_i`) are implicit, so the model is intentionally
+/// non-conservative on `(D1, Q1, D2, Q2)`. The machine splits its capacity
+/// between the queues by GPS weights through the shared `load`
+/// subexpression, and the service rates carry the empty-queue guard
+/// `when load > eps { … } else { 0 }` — the construct this scenario exists
+/// to exercise.
+pub const GPS_SOURCE: &str = "\
+model gps;
+// Closed two-class GPS queue with MAP arrivals (Section VI of the paper).
+// D_i: fraction of class-i applications in the active MAP phase (waiting
+// to submit); Q_i: fraction queued at the machine. Thinking fractions
+// 1 - D_i - Q_i stay implicit.
+species D1, Q1, D2, Q2;
+param lambda1 in [1, 7];
+param lambda2 in [2, 3];
+const a1 = 1;        // class-1 MAP activation rate
+const a2 = 2;        // class-2 MAP activation rate
+const mu1 = 5;       // class-1 service rate
+const mu2 = 1;       // class-2 service rate
+const phi1 = 1;      // GPS weight of class 1
+const phi2 = 1;      // GPS weight of class 2
+const cap = 1;       // machine capacity per application
+const eps = 1e-12;   // empty-queue guard threshold
+// GPS load: the weighted backlog every service rate divides by.
+let load = phi1 * max(Q1, 0) + phi2 * max(Q2, 0);
+rule activate1: 0 -> D1  @ a1 * max(1 - D1 - Q1, 0);
+rule create1:   D1 -> Q1 @ lambda1 * max(D1, 0);
+rule serve1:    Q1 -> 0  @ when load > eps { cap * mu1 * phi1 * max(Q1, 0) / load } else { 0 };
+rule activate2: 0 -> D2  @ a2 * max(1 - D2 - Q2, 0);
+rule create2:   D2 -> Q2 @ lambda2 * max(D2, 0);
+rule serve2:    Q2 -> 0  @ when load > eps { cap * mu2 * phi2 * max(Q2, 0) / load } else { 0 };
+init D1 = 0.9, Q1 = 0.1, D2 = 0.9, Q2 = 0.1;
+";
+
+/// The Poisson-arrival variant of the GPS queue on `(Q1, Q2)` with the
+/// mean-matched creation rates `λ'_i = 1/(1/a_i + 1/λ_i)` of the paper
+/// (`GpsModel::poisson_*` in `mfu-models`).
+pub const GPS_POISSON_SOURCE: &str = "\
+model gps_poisson;
+// Poisson-arrival GPS queue: applications submit directly at the
+// mean-matched rates lambda'_i of Section VI.
+species Q1, Q2;
+param lambda1 in [0.5, 0.875];
+param lambda2 in [1, 1.2];
+const mu1 = 5;
+const mu2 = 1;
+const phi1 = 1;
+const phi2 = 1;
+const cap = 1;
+const eps = 1e-12;
+let load = phi1 * max(Q1, 0) + phi2 * max(Q2, 0);
+rule create1: 0 -> Q1 @ lambda1 * max(1 - Q1, 0);
+rule create2: 0 -> Q2 @ lambda2 * max(1 - Q2, 0);
+rule serve1:  Q1 -> 0 @ when load > eps { cap * mu1 * phi1 * max(Q1, 0) / load } else { 0 };
+rule serve2:  Q2 -> 0 @ when load > eps { cap * mu2 * phi2 * max(Q2, 0) / load } else { 0 };
+init Q1 = 0.1, Q2 = 0.1;
+";
+
 /// Malware/botnet propagation with an imprecise scanning rate (not in the
 /// paper).
 pub const BOTNET_SOURCE: &str = "\
@@ -277,6 +342,24 @@ fn builtins() -> Vec<Scenario> {
             3.0,
             2,
         ),
+        // The GPS objectives follow the Figure 7 experiments
+        // (tests/gps_experiments.rs): the MAP panel bounds Q1 (index 1 of
+        // (D1, Q1, D2, Q2)), the Poisson panel bounds Q2 (index 1 of
+        // (Q1, Q2)) — coincidentally the same index over different species.
+        Scenario::new(
+            "gps",
+            "closed two-class GPS queue with MAP arrivals and guarded service rates (Section VI)",
+            GPS_SOURCE,
+            3.0,
+            1,
+        ),
+        Scenario::new(
+            "gps_poisson",
+            "Poisson-arrival GPS queue with mean-matched creation rates (Section VI)",
+            GPS_POISSON_SOURCE,
+            3.0,
+            1,
+        ),
         Scenario::new(
             "botnet",
             "malware propagation with an imprecise scanning rate",
@@ -303,9 +386,17 @@ mod tests {
         let registry = ScenarioRegistry::with_builtins();
         assert_eq!(
             registry.names(),
-            vec!["botnet", "load_balancer", "seir", "sir", "sis"]
+            vec![
+                "botnet",
+                "gps",
+                "gps_poisson",
+                "load_balancer",
+                "seir",
+                "sir",
+                "sis"
+            ]
         );
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 7);
         assert!(!registry.is_empty());
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap_or_else(|e| {
@@ -323,16 +414,54 @@ mod tests {
     }
 
     #[test]
-    fn all_builtin_scenarios_are_conservative() {
+    fn scenario_conservativeness_matches_their_modelling() {
+        // The epidemic and load-balancer scenarios are closed systems; the
+        // GPS scenarios keep their thinking populations implicit (the
+        // paper's Section VI formulation), so they are deliberately
+        // non-conservative and analyse in full coordinates.
         let registry = ScenarioRegistry::with_builtins();
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap();
-            assert!(
+            let conservative = !scenario.name().starts_with("gps");
+            assert_eq!(
                 model.is_conservative(),
-                "`{}` should conserve mass",
+                conservative,
+                "`{}`: unexpected conservativeness",
                 scenario.name()
             );
-            assert!((model.total_mass() - 1.0).abs() < 1e-12);
+            if conservative {
+                assert!((model.total_mass() - 1.0).abs() < 1e-12);
+                assert!(model.reduced_initial_state().dim() < model.dim());
+            } else {
+                assert_eq!(model.reduced_initial_state().dim(), model.dim());
+            }
+        }
+    }
+
+    #[test]
+    fn gps_scenarios_guard_the_empty_queue() {
+        use mfu_core::drift::ImpreciseDrift;
+        use mfu_num::StateVec;
+        for name in ["gps", "gps_poisson"] {
+            let model = ScenarioRegistry::with_builtins().compile(name).unwrap();
+            let drift = model.drift();
+            let dim = model.dim();
+            // with no jobs queued, the service rates must be exactly zero
+            // (and finite) instead of 0/0
+            let empty = StateVec::zeros(dim);
+            let dx = drift.drift(&empty, &model.params().midpoint());
+            for k in 0..dim {
+                assert!(dx[k].is_finite(), "`{name}` coordinate {k} at empty queues");
+            }
+            let population = model.population_model().unwrap();
+            for t in population.transitions() {
+                let rate = t.rate(&empty, &model.params().midpoint());
+                assert!(
+                    rate.is_finite() && rate >= 0.0,
+                    "`{name}`: rate `{}` = {rate} at empty queues",
+                    t.name()
+                );
+            }
         }
     }
 

@@ -21,6 +21,12 @@ pub enum TokenKind {
     KwInit,
     /// `in`
     KwIn,
+    /// `let`
+    KwLet,
+    /// `when`
+    KwWhen,
+    /// `else`
+    KwElse,
     /// An identifier (species, parameter, constant, rule or function name).
     Ident(String),
     /// A numeric literal (integer or decimal, optional exponent).
@@ -55,6 +61,22 @@ pub enum TokenKind {
     LBracket,
     /// `]`
     RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
     /// End of input (synthetic, always the last token).
     Eof,
 }
@@ -70,6 +92,9 @@ impl TokenKind {
             TokenKind::KwRule => "`rule`".into(),
             TokenKind::KwInit => "`init`".into(),
             TokenKind::KwIn => "`in`".into(),
+            TokenKind::KwLet => "`let`".into(),
+            TokenKind::KwWhen => "`when`".into(),
+            TokenKind::KwElse => "`else`".into(),
             TokenKind::Ident(name) => format!("identifier `{name}`"),
             TokenKind::Number(v) => format!("number `{v}`"),
             TokenKind::Semi => "`;`".into(),
@@ -87,6 +112,14 @@ impl TokenKind {
             TokenKind::RParen => "`)`".into(),
             TokenKind::LBracket => "`[`".into(),
             TokenKind::RBracket => "`]`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Neq => "`!=`".into(),
             TokenKind::Eof => "end of input".into(),
         }
     }

@@ -17,17 +17,23 @@
 //!   multiplicities, and every rule has a non-zero net stoichiometry;
 //! * rate expressions reference only declared identifiers and call builtin
 //!   functions with the right arity;
+//! * expressions are well-typed under the num/bool discipline: comparisons
+//!   produce booleans, which only `when` conditions and `indicator(...)`
+//!   may consume (so `when Q { … }` and `(Q > 0) * r` are rejected with
+//!   spans, the latter with a hint to use `indicator`);
+//! * `let` bindings resolve in declaration order and are inlined at every
+//!   reference; a `let` that reads state or parameters is rejected in
+//!   constant contexts (`const`, `param` bounds, `init`);
 //! * initial fractions are non-negative and assigned exactly once per
 //!   species.
 
 use std::collections::HashMap;
 
 use mfu_ctmc::params::{Interval, ParamSpace};
-use mfu_num::StateVec;
 
 use crate::ast::{BinOp, Expr, ExprKind, ModelAst};
 use crate::diagnostics::{Diagnostic, LangError, Span};
-use crate::expr::{Builtin, CompiledExpr};
+use crate::expr::{fold_constants, Builtin, CompiledExpr};
 
 /// Largest admissible stoichiometric multiplicity.
 const MAX_MULTIPLICITY: f64 = 1e6;
@@ -74,6 +80,30 @@ enum Binding {
     Species(usize),
     Param(usize),
     Const(f64),
+    /// A `let` binding: the resolved (already folded) expression and its
+    /// type. References are inlined, so every use evaluates the same tree.
+    Let(CompiledExpr, Ty),
+}
+
+/// The two expression types of the language. Comparisons produce booleans;
+/// everything else is numeric. A boolean may only be consumed by a `when`
+/// condition or by `indicator(...)` (which converts it to `0`/`1`), and
+/// only numbers may be negated, combined arithmetically or compared —
+/// which is what makes `when Q { … }` or `(Q > 0) * r` *type errors*
+/// instead of silently treated as numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Num,
+    Bool,
+}
+
+impl Ty {
+    fn describe(self) -> &'static str {
+        match self {
+            Ty::Num => "a number",
+            Ty::Bool => "a boolean (comparison)",
+        }
+    }
 }
 
 struct SymbolTable<'v> {
@@ -85,19 +115,55 @@ struct SymbolTable<'v> {
 }
 
 impl SymbolTable<'_> {
+    /// Resolves an expression that must be numeric (rates, constants,
+    /// bounds, initial values).
     fn resolve(&self, expr: &Expr) -> Result<CompiledExpr, LangError> {
-        let compiled = self.resolve_inner(expr)?;
-        Ok(fold(compiled))
+        let (compiled, ty) = self.resolve_typed(expr)?;
+        self.require(Ty::Num, ty, expr.span)?;
+        Ok(fold_constants(&compiled))
     }
 
-    fn resolve_inner(&self, expr: &Expr) -> Result<CompiledExpr, LangError> {
+    /// Resolves an expression of either type (used for `let` bindings,
+    /// which may name a shared condition as well as a shared subterm).
+    fn resolve_any(&self, expr: &Expr) -> Result<(CompiledExpr, Ty), LangError> {
+        let (compiled, ty) = self.resolve_typed(expr)?;
+        Ok((fold_constants(&compiled), ty))
+    }
+
+    fn require(&self, expected: Ty, found: Ty, span: Span) -> Result<(), LangError> {
+        if expected == found {
+            return Ok(());
+        }
+        let hint = match expected {
+            Ty::Num => " (wrap a comparison in `indicator(...)` to use it as 0/1)",
+            Ty::Bool => " (conditions must be comparisons, e.g. `Q > 0`)",
+        };
+        Err(self.error(
+            format!(
+                "type error: expected {}, found {}{hint}",
+                expected.describe(),
+                found.describe()
+            ),
+            span,
+        ))
+    }
+
+    fn resolve_num(&self, expr: &Expr) -> Result<CompiledExpr, LangError> {
+        let (compiled, ty) = self.resolve_typed(expr)?;
+        self.require(Ty::Num, ty, expr.span)?;
+        Ok(compiled)
+    }
+
+    fn resolve_typed(&self, expr: &Expr) -> Result<(CompiledExpr, Ty), LangError> {
         match &expr.kind {
-            ExprKind::Number(v) => Ok(CompiledExpr::Const(*v)),
+            ExprKind::Number(v) => Ok((CompiledExpr::Const(*v), Ty::Num)),
             ExprKind::Ident(name) => match self.bindings.get(name) {
                 Some(Binding::Species(i)) if !self.constant_context => {
-                    Ok(CompiledExpr::Species(*i))
+                    Ok((CompiledExpr::Species(*i), Ty::Num))
                 }
-                Some(Binding::Param(j)) if !self.constant_context => Ok(CompiledExpr::Param(*j)),
+                Some(Binding::Param(j)) if !self.constant_context => {
+                    Ok((CompiledExpr::Param(*j), Ty::Num))
+                }
                 Some(Binding::Species(_)) => Err(self.error(
                     format!("species `{name}` cannot appear in a constant expression"),
                     expr.span,
@@ -106,27 +172,75 @@ impl SymbolTable<'_> {
                     format!("parameter `{name}` cannot appear in a constant expression"),
                     expr.span,
                 )),
-                Some(Binding::Const(v)) => Ok(CompiledExpr::Const(*v)),
-                None if name == "N" => Ok(CompiledExpr::Const(1.0)),
+                Some(Binding::Const(v)) => Ok((CompiledExpr::Const(*v), Ty::Num)),
+                Some(Binding::Let(compiled, ty)) => {
+                    if self.constant_context && compiled.as_const().is_none() {
+                        return Err(self.error(
+                            format!(
+                                "`let {name}` references state or parameters and cannot appear \
+                                 in a constant expression"
+                            ),
+                            expr.span,
+                        ));
+                    }
+                    Ok((compiled.clone(), *ty))
+                }
+                None if name == "N" => Ok((CompiledExpr::Const(1.0), Ty::Num)),
                 None => Err(self.error(format!("unknown identifier `{name}`"), expr.span)),
             },
-            ExprKind::Neg(inner) => Ok(CompiledExpr::Neg(Box::new(self.resolve_inner(inner)?))),
+            ExprKind::Neg(inner) => Ok((
+                CompiledExpr::Neg(Box::new(self.resolve_num(inner)?)),
+                Ty::Num,
+            )),
             ExprKind::Binary { op, lhs, rhs } => {
-                let lhs = Box::new(self.resolve_inner(lhs)?);
-                let rhs = Box::new(self.resolve_inner(rhs)?);
-                Ok(match op {
+                let lhs = Box::new(self.resolve_num(lhs)?);
+                let rhs = Box::new(self.resolve_num(rhs)?);
+                let compiled = match op {
                     BinOp::Add => CompiledExpr::Add(lhs, rhs),
                     BinOp::Sub => CompiledExpr::Sub(lhs, rhs),
                     BinOp::Mul => CompiledExpr::Mul(lhs, rhs),
                     BinOp::Div => CompiledExpr::Div(lhs, rhs),
                     BinOp::Pow => CompiledExpr::Pow(lhs, rhs),
-                })
+                };
+                Ok((compiled, Ty::Num))
+            }
+            ExprKind::Compare { op, lhs, rhs } => {
+                let lhs = Box::new(self.resolve_num(lhs)?);
+                let rhs = Box::new(self.resolve_num(rhs)?);
+                Ok((CompiledExpr::Cmp(*op, lhs, rhs), Ty::Bool))
+            }
+            ExprKind::When { cond, then, els } => {
+                let (cond_compiled, cond_ty) = self.resolve_typed(cond)?;
+                self.require(Ty::Bool, cond_ty, cond.span)?;
+                let then = Box::new(self.resolve_num(then)?);
+                let els = Box::new(self.resolve_num(els)?);
+                Ok((
+                    CompiledExpr::Select(Box::new(cond_compiled), then, els),
+                    Ty::Num,
+                ))
             }
             ExprKind::Call { func, args } => {
+                if func.name == "indicator" {
+                    if args.len() != 1 {
+                        return Err(self.error(
+                            format!(
+                                "function `indicator` takes 1 argument, found {}",
+                                args.len()
+                            ),
+                            expr.span,
+                        ));
+                    }
+                    let (compiled, ty) = self.resolve_typed(&args[0])?;
+                    self.require(Ty::Bool, ty, args[0].span)?;
+                    // comparisons already evaluate to 0/1, so the
+                    // conversion is a no-op at run time
+                    return Ok((compiled, Ty::Num));
+                }
                 let Some((builtin, arity)) = Builtin::by_name(&func.name) else {
                     return Err(self.error(
                         format!(
-                            "unknown function `{}` (builtins: min, max, abs, exp, log, sqrt, pow)",
+                            "unknown function `{}` (builtins: min, max, abs, exp, log, sqrt, \
+                             pow, indicator)",
                             func.name
                         ),
                         func.span,
@@ -144,57 +258,21 @@ impl SymbolTable<'_> {
                 }
                 let mut resolved: Vec<CompiledExpr> = args
                     .iter()
-                    .map(|a| self.resolve_inner(a))
+                    .map(|a| self.resolve_num(a))
                     .collect::<Result<_, _>>()?;
-                if arity == 1 {
-                    Ok(CompiledExpr::Call1(builtin, Box::new(resolved.remove(0))))
+                let compiled = if arity == 1 {
+                    CompiledExpr::Call1(builtin, Box::new(resolved.remove(0)))
                 } else {
                     let second = resolved.remove(1);
-                    Ok(CompiledExpr::Call2(
-                        builtin,
-                        Box::new(resolved.remove(0)),
-                        Box::new(second),
-                    ))
-                }
+                    CompiledExpr::Call2(builtin, Box::new(resolved.remove(0)), Box::new(second))
+                };
+                Ok((compiled, Ty::Num))
             }
         }
     }
 
     fn error(&self, message: String, span: Span) -> LangError {
         LangError::Validate(Diagnostic::new(message, span, self.source))
-    }
-}
-
-/// Folds constant subtrees bottom-up, so rates pay no cost for named
-/// constants or arithmetic on literals.
-fn fold(expr: CompiledExpr) -> CompiledExpr {
-    use CompiledExpr as E;
-    let folded = match expr {
-        E::Neg(a) => E::Neg(Box::new(fold(*a))),
-        E::Add(a, b) => E::Add(Box::new(fold(*a)), Box::new(fold(*b))),
-        E::Sub(a, b) => E::Sub(Box::new(fold(*a)), Box::new(fold(*b))),
-        E::Mul(a, b) => E::Mul(Box::new(fold(*a)), Box::new(fold(*b))),
-        E::Div(a, b) => E::Div(Box::new(fold(*a)), Box::new(fold(*b))),
-        E::Pow(a, b) => E::Pow(Box::new(fold(*a)), Box::new(fold(*b))),
-        E::Call1(f, a) => E::Call1(f, Box::new(fold(*a))),
-        E::Call2(f, a, b) => E::Call2(f, Box::new(fold(*a)), Box::new(fold(*b))),
-        leaf => leaf,
-    };
-    let all_const = match &folded {
-        E::Const(_) => return folded,
-        E::Species(_) | E::Param(_) => false,
-        E::Neg(a) | E::Call1(_, a) => a.as_const().is_some(),
-        E::Add(a, b)
-        | E::Sub(a, b)
-        | E::Mul(a, b)
-        | E::Div(a, b)
-        | E::Pow(a, b)
-        | E::Call2(_, a, b) => a.as_const().is_some() && b.as_const().is_some(),
-    };
-    if all_const {
-        E::Const(folded.eval(&StateVec::zeros(0), &[]))
-    } else {
-        folded
     }
 }
 
@@ -320,6 +398,21 @@ pub fn validate(ast: &ModelAst, source: &str) -> Result<ResolvedModel, LangError
         intervals.push((p.name.name.clone(), Interval::new(lo, hi)?));
     }
     let param_space = ParamSpace::new(intervals)?;
+
+    // --- lets: shared subexpressions over species/params/consts ----------
+    // Resolved in declaration order (earlier lets are usable) and inlined
+    // at every reference, so all rules sharing a `let` evaluate the same
+    // expression tree.
+    for l in &ast.lets {
+        claim(&bindings, &l.name.name, l.name.span, "let binding")?;
+        let table = SymbolTable {
+            bindings: &bindings,
+            constant_context: false,
+            source,
+        };
+        let (compiled, ty) = table.resolve_any(&l.value)?;
+        bindings.insert(l.name.name.clone(), Binding::Let(compiled, ty));
+    }
 
     // --- rules -----------------------------------------------------------
     if ast.rules.is_empty() {
@@ -456,6 +549,7 @@ pub fn validate(ast: &ModelAst, source: &str) -> Result<ResolvedModel, LangError
 mod tests {
     use super::*;
     use crate::parser::parse;
+    use mfu_num::StateVec;
 
     fn check(source: &str) -> Result<ResolvedModel, LangError> {
         validate(&parse(source).unwrap(), source)
@@ -586,6 +680,141 @@ init S = 0.7, I = 0.3, R = 0;
             "model m; species X; param r in [0,1]; rule g: X -> 0 @ foo(X); init X = 1;",
         );
         assert!(d.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn guarded_rates_resolve_and_evaluate_piecewise() {
+        let model = check(
+            "model m; species Q; param mu in [1, 2];
+             rule serve: Q -> 0 @ when Q > 0 { mu / Q } else { 0 };
+             init Q = 0.5;",
+        )
+        .unwrap();
+        let rate = &model.rules[0].rate;
+        assert!((rate.eval(&StateVec::from([0.5]), &[2.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(rate.eval(&StateVec::from([0.0]), &[2.0]), 0.0);
+        assert_eq!(rate.eval(&StateVec::from([-1.0]), &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn indicator_turns_comparisons_into_factors() {
+        let model = check(
+            "model m; species Q; param mu in [1, 2];
+             rule serve: Q -> 0 @ indicator(Q > 0) * mu * Q;
+             init Q = 0.5;",
+        )
+        .unwrap();
+        let rate = &model.rules[0].rate;
+        assert!((rate.eval(&StateVec::from([0.5]), &[2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(rate.eval(&StateVec::from([-0.5]), &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn numeric_when_condition_is_a_type_error() {
+        let source = "model m; species Q; param mu in [1,2];
+rule g: Q -> 0 @ when Q { mu } else { 0 };
+init Q = 1;";
+        let d = validate_err(source);
+        assert!(d.message.contains("type error"), "{}", d.message);
+        assert!(d.message.contains("comparison"), "{}", d.message);
+        assert_eq!(&source[d.span.start..d.span.end], "Q");
+    }
+
+    #[test]
+    fn comparison_in_arithmetic_is_a_type_error_with_hint() {
+        let source = "model m; species Q; param mu in [1,2];
+rule g: Q -> 0 @ (Q > 0) * mu;
+init Q = 1;";
+        let d = validate_err(source);
+        assert!(d.message.contains("type error"), "{}", d.message);
+        assert!(d.message.contains("indicator"), "{}", d.message);
+        assert_eq!(&source[d.span.start..d.span.end], "(Q > 0)");
+    }
+
+    #[test]
+    fn bare_comparison_as_a_rate_is_a_type_error() {
+        let d = validate_err(
+            "model m; species Q; param mu in [1,2]; rule g: Q -> 0 @ Q > 0; init Q = 1;",
+        );
+        assert!(d.message.contains("type error"), "{}", d.message);
+    }
+
+    #[test]
+    fn indicator_of_a_number_is_a_type_error() {
+        let d = validate_err(
+            "model m; species Q; param mu in [1,2]; rule g: Q -> 0 @ indicator(Q); init Q = 1;",
+        );
+        assert!(d.message.contains("expected a boolean"), "{}", d.message);
+    }
+
+    #[test]
+    fn lets_are_shared_and_inlined() {
+        let model = check(
+            "model m; species A, B; param r in [1, 2];
+             let total = A + B;
+             let busy = total > 0.5;
+             rule ga: A -> B @ when busy { r * A / total } else { 0 };
+             rule gb: B -> A @ when busy { r * B / total } else { 0 };
+             init A = 0.4, B = 0.6;",
+        )
+        .unwrap();
+        let x = StateVec::from([0.4, 0.6]);
+        assert!((model.rules[0].rate.eval(&x, &[2.0]) - 0.8).abs() < 1e-12);
+        assert!((model.rules[1].rate.eval(&x, &[2.0]) - 1.2).abs() < 1e-12);
+        let idle = StateVec::from([0.1, 0.1]);
+        assert_eq!(model.rules[0].rate.eval(&idle, &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn let_referencing_state_is_rejected_in_constant_context() {
+        let source = "model m; species A; param r in [1,2];
+let total = A + 1;
+rule g: A -> 0 @ r * A;
+init A = total;";
+        let d = validate_err(source);
+        assert!(
+            d.message.contains("cannot appear in a constant expression"),
+            "{}",
+            d.message
+        );
+        assert_eq!(&source[d.span.start..d.span.end], "total");
+    }
+
+    #[test]
+    fn constant_lets_are_usable_in_constant_context() {
+        // lets elaborate after consts and params, so a *constant* let is
+        // usable in later constant contexts such as `init`
+        let model = check(
+            "model m; species A; param r in [1,2];
+             let half = 1 / 2;
+             rule g: A -> 0 @ r * half * A;
+             init A = half;",
+        )
+        .unwrap();
+        assert_eq!(model.init, vec![0.5]);
+    }
+
+    #[test]
+    fn duplicate_let_names_are_rejected() {
+        let d = validate_err(
+            "model m; species A; param r in [1,2]; let r2 = r; let r2 = r * 2;
+             rule g: A -> 0 @ r2 * A; init A = 1;",
+        );
+        assert!(d.message.contains("conflicts"), "{}", d.message);
+    }
+
+    #[test]
+    fn constant_guard_conditions_fold_to_the_taken_branch() {
+        let model = check(
+            "model m; species A; param r in [1,2];
+             rule g: A -> 0 @ when 1 > 2 { 100 * A } else { r * A };
+             init A = 1;",
+        )
+        .unwrap();
+        // the dead branch must be folded away entirely
+        let text = format!("{:?}", model.rules[0].rate);
+        assert!(!text.contains("Select"), "not folded: {text}");
+        assert!(!text.contains("100"), "dead branch kept: {text}");
     }
 
     #[test]

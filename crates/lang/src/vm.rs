@@ -42,7 +42,8 @@
 use mfu_ctmc::transition::CompiledRate;
 use mfu_num::StateVec;
 
-use crate::expr::{Builtin, CompiledExpr};
+use crate::ast::CmpOp;
+use crate::expr::{fold_constants, Builtin, CompiledExpr};
 
 /// Registers kept on the stack by the allocation-free evaluation entry
 /// points; programs needing more (expression depth > 32) fall back to a
@@ -114,6 +115,17 @@ pub enum Op {
         b_idx: u16,
         dst: u16,
     },
+    /// `r[dst] = if cmp(r[a], r[b]) { 1.0 } else { 0.0 }` — comparison to an
+    /// indicator value.
+    Cmp { op: CmpOp, dst: u16, a: u16, b: u16 },
+    /// `r[dst] = if r[cond] != 0.0 { r[a] } else { r[b] }` — guarded
+    /// selection. Both operand registers are already computed when this
+    /// executes (the lowering emits condition, then-branch and else-branch
+    /// as straight-line code), so the instruction is a *branch-free* select
+    /// (a conditional move, not a jump): the interpreter loop stays linear
+    /// and the PR 2 dispatch characteristics are preserved even for guarded
+    /// rates.
+    Select { dst: u16, cond: u16, a: u16, b: u16 },
 }
 
 /// Arithmetic operator of the fused [`Op::BinLeaf`]/[`Op::BinLeafLeaf`]
@@ -253,6 +265,18 @@ impl ByteProgram {
                     let b = self.load(leaf_b, b_idx, x, theta);
                     regs[dst as usize & MASK] = op.apply(a, b);
                 }
+                Op::Cmp { op, dst, a, b } => {
+                    regs[dst as usize & MASK] =
+                        f64::from(op.holds(regs[a as usize & MASK], regs[b as usize & MASK]))
+                }
+                Op::Select { dst, cond, a, b } => {
+                    // both values are loaded unconditionally so the branch
+                    // lowers to a conditional move, not a jump
+                    let take = regs[cond as usize & MASK] != 0.0;
+                    let va = regs[a as usize & MASK];
+                    let vb = regs[b as usize & MASK];
+                    regs[dst as usize & MASK] = if take { va } else { vb };
+                }
             }
         }
         regs[0]
@@ -342,7 +366,7 @@ pub struct RateProgram {
 impl RateProgram {
     /// Lowers a compiled expression tree to a flat program.
     pub fn compile(expr: &CompiledExpr) -> RateProgram {
-        let expr = fold(expr);
+        let expr = fold_constants(expr);
         let mut support: Vec<usize> = Vec::new();
         collect_support(&expr, &mut support);
         support.sort_unstable();
@@ -643,6 +667,30 @@ impl Lowering {
                 };
                 self.emit_binary(a, b, dst, make);
             }
+            CompiledExpr::Cmp(op, a, b) => {
+                let op = *op;
+                self.emit(a, dst);
+                self.emit(b, dst + 1);
+                self.ops.push(Op::Cmp {
+                    op,
+                    dst,
+                    a: dst,
+                    b: dst + 1,
+                });
+            }
+            CompiledExpr::Select(cond, then, els) => {
+                // straight-line lowering: condition, then-branch and
+                // else-branch all evaluate, the select picks branch-free
+                self.emit(cond, dst);
+                self.emit(then, dst + 1);
+                self.emit(els, dst + 2);
+                self.ops.push(Op::Select {
+                    dst,
+                    cond: dst,
+                    a: dst + 1,
+                    b: dst + 2,
+                });
+            }
         }
     }
 
@@ -759,7 +807,9 @@ fn fuse_leaf_operands(ops: Vec<Op>) -> Vec<Op> {
             | Op::Div { a, b, .. }
             | Op::Pow { a, b, .. }
             | Op::Min { a, b, .. }
-            | Op::Max { a, b, .. } => a == r || b == r,
+            | Op::Max { a, b, .. }
+            | Op::Cmp { a, b, .. } => a == r || b == r,
+            Op::Select { cond, a, b, .. } => cond == r || a == r || b == r,
         }
     }
 
@@ -783,7 +833,9 @@ fn fuse_leaf_operands(ops: Vec<Op>) -> Vec<Op> {
             | Op::Log { dst, .. }
             | Op::Sqrt { dst, .. }
             | Op::BinLeaf { dst, .. }
-            | Op::BinLeafLeaf { dst, .. } => dst,
+            | Op::BinLeafLeaf { dst, .. }
+            | Op::Cmp { dst, .. }
+            | Op::Select { dst, .. } => dst,
         }
     }
 
@@ -874,65 +926,20 @@ fn collect_support(expr: &CompiledExpr, out: &mut Vec<usize>) {
         | CompiledExpr::Mul(a, b)
         | CompiledExpr::Div(a, b)
         | CompiledExpr::Pow(a, b)
+        | CompiledExpr::Cmp(_, a, b)
         | CompiledExpr::Call2(_, a, b) => {
             collect_support(a, out);
             collect_support(b, out);
         }
-    }
-}
-
-/// Constant folding over the tree. Folding computes exactly the operation
-/// the interpreter would have performed at run time, so it never changes the
-/// result; expressions from [`crate::validate`] arrive pre-folded and pass
-/// through unchanged.
-fn fold(expr: &CompiledExpr) -> CompiledExpr {
-    use CompiledExpr as E;
-    let both = |a: &E, b: &E| -> (E, E) { (fold(a), fold(b)) };
-    match expr {
-        E::Const(_) | E::Species(_) | E::Param(_) => expr.clone(),
-        E::Neg(a) => match fold(a) {
-            E::Const(v) => E::Const(-v),
-            a => E::Neg(Box::new(a)),
-        },
-        E::Add(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a + b),
-            (a, b) => E::Add(Box::new(a), Box::new(b)),
-        },
-        E::Sub(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a - b),
-            (a, b) => E::Sub(Box::new(a), Box::new(b)),
-        },
-        E::Mul(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a * b),
-            (a, b) => E::Mul(Box::new(a), Box::new(b)),
-        },
-        E::Div(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a / b),
-            (a, b) => E::Div(Box::new(a), Box::new(b)),
-        },
-        E::Pow(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a.powf(b)),
-            (a, b) => E::Pow(Box::new(a), Box::new(b)),
-        },
-        E::Call1(f, a) => match fold(a) {
-            E::Const(v) => E::Const(match f {
-                Builtin::Abs => v.abs(),
-                Builtin::Exp => v.exp(),
-                Builtin::Log => v.ln(),
-                Builtin::Sqrt => v.sqrt(),
-                _ => unreachable!("binary builtin with one argument"),
-            }),
-            a => E::Call1(*f, Box::new(a)),
-        },
-        E::Call2(f, a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(match f {
-                Builtin::Min => a.min(b),
-                Builtin::Max => a.max(b),
-                Builtin::Pow => a.powf(b),
-                _ => unreachable!("unary builtin with two arguments"),
-            }),
-            (a, b) => E::Call2(*f, Box::new(a), Box::new(b)),
-        },
+        CompiledExpr::Select(c, t, e) => {
+            // the VM evaluates both branches, and even the tree interpreter
+            // can switch branches whenever a condition species changes —
+            // so a guarded rate depends on every coordinate either side
+            // (or the condition) reads
+            collect_support(c, out);
+            collect_support(t, out);
+            collect_support(e, out);
+        }
     }
 }
 
@@ -1229,6 +1236,80 @@ mod tests {
             other => panic!("expected bytecode, got {other:?}"),
         }
         assert_eq!(frac.eval(&x(), &[]).to_bits(), 0.7f64.powf(0.5).to_bits());
+    }
+
+    #[test]
+    fn guarded_rates_lower_to_branch_free_selects() {
+        use crate::ast::CmpOp;
+        // when (Q1 + Q2 > 1e-12) { 5 * Q1 / (Q1 + Q2) } else { 0 } — the
+        // GPS service shape
+        let load = || Box::new(CompiledExpr::Add(s(0), s(1)));
+        let expr = CompiledExpr::Select(
+            Box::new(CompiledExpr::Cmp(CmpOp::Gt, load(), c(1e-12))),
+            Box::new(CompiledExpr::Div(mul(c(5.0), s(0)), load())),
+            c(0.0),
+        );
+        let program = RateProgram::compile(&expr);
+        let ProgramKind::Bytecode(p) = program.kind() else {
+            panic!(
+                "guarded rate should lower to bytecode, got {:?}",
+                program.kind()
+            );
+        };
+        assert!(p.ops().iter().any(|op| matches!(op, Op::Cmp { .. })));
+        assert!(p.ops().iter().any(|op| matches!(op, Op::Select { .. })));
+        assert_eq!(program.species_support(), &[0, 1]);
+
+        // busy and idle states, bit-identical to the tree
+        for state in [[0.7, 0.3, 0.0], [0.0, 0.0, 0.0], [0.0, 0.4, 0.0]] {
+            let x = StateVec::from(state);
+            let tree = expr.eval(&x, &[]);
+            let vm = program.eval(&x, &[]);
+            assert_eq!(tree.to_bits(), vm.to_bits(), "state {state:?}");
+            assert!(vm.is_finite(), "guard must mask the 0/0 branch");
+        }
+    }
+
+    #[test]
+    fn comparison_programs_yield_indicators() {
+        use crate::ast::CmpOp;
+        for (op, expect) in [
+            (CmpOp::Lt, 0.0),
+            (CmpOp::Le, 0.0),
+            (CmpOp::Gt, 1.0),
+            (CmpOp::Ge, 1.0),
+            (CmpOp::Eq, 0.0),
+            (CmpOp::Ne, 1.0),
+        ] {
+            // S(0) = 0.7 vs 0.3
+            let expr = CompiledExpr::Cmp(CmpOp::Eq, s(0), s(0));
+            assert_eq!(RateProgram::compile(&expr).eval(&x(), &[]), 1.0);
+            let expr = CompiledExpr::Cmp(op, s(0), s(1));
+            let program = RateProgram::compile(&expr);
+            assert_eq!(program.eval(&x(), &[]), expect, "{op:?}");
+            assert_eq!(
+                expr.eval(&x(), &[]).to_bits(),
+                program.eval(&x(), &[]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_guard_conditions_fold_before_lowering() {
+        use crate::ast::CmpOp;
+        // when 1 > 2 { S/0 } else { 2 * S } — dead branch disappears
+        let expr = CompiledExpr::Select(
+            Box::new(CompiledExpr::Cmp(CmpOp::Gt, c(1.0), c(2.0))),
+            Box::new(CompiledExpr::Div(s(0), c(0.0))),
+            mul(c(2.0), s(0)),
+        );
+        let program = RateProgram::compile(&expr);
+        assert!(
+            matches!(program.kind(), ProgramKind::MassAction { .. }),
+            "folded guard should reach the mass-action fast path, got {:?}",
+            program.kind()
+        );
+        assert_eq!(program.eval(&x(), &[]), 1.4);
     }
 
     #[test]

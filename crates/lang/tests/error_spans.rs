@@ -95,6 +95,75 @@ fn rendered_diagnostic_contains_caret_under_the_span() {
 }
 
 #[test]
+fn unclosed_when_branch_points_at_the_stray_token() {
+    // the missing `}` is detected at the `;` that ends the rule
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ when Q > 0 { mu / Q ;\ninit Q = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("`}`"), "{message}");
+    assert!(message.contains("close the `when` branch"), "{message}");
+    assert_eq!(highlighted, ";");
+    assert_eq!(line, 4);
+}
+
+#[test]
+fn when_without_else_is_pinpointed() {
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ when Q > 0 { mu / Q };\ninit Q = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("`else`"), "{message}");
+    assert_eq!(highlighted, ";");
+    assert_eq!(line, 4);
+}
+
+#[test]
+fn numeric_condition_type_error_is_pinpointed() {
+    // `when Q { … }`: the condition is a number, not a comparison
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ when Q { mu } else { 0 };\ninit Q = 1;";
+    let (message, highlighted, line, col) = diag(source);
+    assert!(message.contains("type error"), "{message}");
+    assert!(message.contains("comparison"), "{message}");
+    assert_eq!(highlighted, "Q");
+    assert_eq!(line, 4);
+    assert_eq!(col, 27);
+}
+
+#[test]
+fn comparison_outside_a_guard_is_pinpointed_with_indicator_hint() {
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ (Q > 0) * mu;\ninit Q = 1;";
+    let (message, highlighted, _, _) = diag(source);
+    assert!(message.contains("type error"), "{message}");
+    assert!(message.contains("indicator"), "{message}");
+    assert_eq!(highlighted, "(Q > 0)");
+}
+
+#[test]
+fn chained_comparison_is_pinpointed_at_the_second_operator() {
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ when 0 < Q < 1 { mu } else { 0 };\ninit Q = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("chained"), "{message}");
+    assert_eq!(highlighted, "<");
+    assert_eq!(line, 4);
+}
+
+#[test]
+fn unknown_identifier_inside_a_guard_branch_is_pinpointed() {
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nrule serve: Q -> 0 @ when Q > 0 { mu * rho } else { 0 };\ninit Q = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("unknown identifier `rho`"), "{message}");
+    assert_eq!(highlighted, "rho");
+    assert_eq!(line, 4);
+}
+
+#[test]
+fn let_cycle_free_unknown_reference_is_pinpointed() {
+    // a let referencing a later let is simply unknown at resolution time
+    let source = "model m;\nspecies Q;\nparam mu in [1, 2];\nlet a = b + 1;\nlet b = Q;\nrule g: Q -> 0 @ mu * a;\ninit Q = 1;";
+    let (message, highlighted, line, _) = diag(source);
+    assert!(message.contains("unknown identifier `b`"), "{message}");
+    assert_eq!(highlighted, "b");
+    assert_eq!(line, 4);
+}
+
+#[test]
 fn duplicate_init_and_missing_init_are_pinpointed() {
     let twice = "model m;\nspecies X, Y;\nparam r in [0,1];\nrule g: X -> Y @ r;\ninit X = 1, Y = 0, X = 2;";
     let (message, highlighted, _, _) = diag(twice);

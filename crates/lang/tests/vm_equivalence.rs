@@ -6,7 +6,10 @@
 //! * expressions without `^` must evaluate **bit-identically** — the
 //!   lowering preserves the tree's exact operation order, and the whole
 //!   workspace relies on that for bit-exact DSL-vs-native trajectory
-//!   comparisons;
+//!   comparisons; this regime includes the PR 3 comparison and guarded
+//!   `Select` shapes (the VM evaluates both branches and selects
+//!   branch-free, the tree only the taken branch — the selected value is
+//!   identical);
 //! * expressions with `^` may differ by an ulp where the power-by-constant
 //!   strength reduction (`x^2 → x·x`) replaces `powf`, so they are compared
 //!   with a tight relative tolerance.
@@ -17,6 +20,7 @@
 //! reproduce the rule-by-rule tree evaluation of the drift exactly.
 
 use mfu_core::drift::ImpreciseDrift;
+use mfu_lang::ast::CmpOp;
 use mfu_lang::expr::{Builtin, CompiledExpr};
 use mfu_lang::scenarios::ScenarioRegistry;
 use mfu_lang::vm::RateProgram;
@@ -39,7 +43,7 @@ fn random_expr(rng: &mut StdRng, depth: usize, allow_pow: bool) -> CompiledExpr 
             _ => CompiledExpr::Param((rng.gen::<u32>() as usize) % PARAMS),
         }
     } else {
-        let kind = rng.gen::<u32>() % if allow_pow { 9 } else { 8 };
+        let kind = rng.gen::<u32>() % if allow_pow { 11 } else { 10 };
         let a = Box::new(random_expr(rng, depth - 1, allow_pow));
         let b = Box::new(random_expr(rng, depth.saturating_sub(2), allow_pow));
         match kind {
@@ -51,6 +55,17 @@ fn random_expr(rng: &mut StdRng, depth: usize, allow_pow: bool) -> CompiledExpr 
             5 => CompiledExpr::Call1(Builtin::Abs, a),
             6 => CompiledExpr::Call2(Builtin::Max, a, b),
             7 => CompiledExpr::Call2(Builtin::Min, a, b),
+            8 => CompiledExpr::Cmp(random_cmp(rng), a, b),
+            9 => {
+                // a guarded selection whose condition is itself a random
+                // comparison — the PR 3 `when … { } else { }` shape
+                let cond = Box::new(CompiledExpr::Cmp(
+                    random_cmp(rng),
+                    Box::new(random_expr(rng, depth.saturating_sub(2), allow_pow)),
+                    Box::new(random_expr(rng, depth.saturating_sub(2), allow_pow)),
+                ));
+                CompiledExpr::Select(cond, a, b)
+            }
             _ => {
                 // integer exponents hit the strength reduction, fractional
                 // ones keep powf
@@ -62,6 +77,17 @@ fn random_expr(rng: &mut StdRng, depth: usize, allow_pow: bool) -> CompiledExpr 
                 CompiledExpr::Pow(a, Box::new(exponent))
             }
         }
+    }
+}
+
+fn random_cmp(rng: &mut StdRng) -> CmpOp {
+    match rng.gen::<u32>() % 6 {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        _ => CmpOp::Ne,
     }
 }
 

@@ -242,30 +242,30 @@ impl GpsModel {
         let params = self.poisson_param_space()?;
         PopulationModel::builder(2, params)
             .variable_names(vec!["Q1", "Q2"])
-            .transition(TransitionClass::new(
-                "create1",
-                [1.0, 0.0],
-                |x: &StateVec, th: &[f64]| th[0] * (1.0 - x[0]).max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "create2",
-                [0.0, 1.0],
-                |x: &StateVec, th: &[f64]| th[1] * (1.0 - x[1]).max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "serve1",
-                [-1.0, 0.0],
-                move |x: &StateVec, _| {
+            .transition(
+                TransitionClass::new("create1", [1.0, 0.0], |x: &StateVec, th: &[f64]| {
+                    th[0] * (1.0 - x[0]).max(0.0)
+                })
+                .with_species_support(vec![0]),
+            )
+            .transition(
+                TransitionClass::new("create2", [0.0, 1.0], |x: &StateVec, th: &[f64]| {
+                    th[1] * (1.0 - x[1]).max(0.0)
+                })
+                .with_species_support(vec![1]),
+            )
+            .transition(
+                TransitionClass::new("serve1", [-1.0, 0.0], move |x: &StateVec, _| {
                     Self::service(weights, service_rates, capacity, x[0], x[1], 0)
-                },
-            ))
-            .transition(TransitionClass::new(
-                "serve2",
-                [0.0, -1.0],
-                move |x: &StateVec, _| {
+                })
+                .with_species_support(vec![0, 1]),
+            )
+            .transition(
+                TransitionClass::new("serve2", [0.0, -1.0], move |x: &StateVec, _| {
                     Self::service(weights, service_rates, capacity, x[0], x[1], 1)
-                },
-            ))
+                })
+                .with_species_support(vec![0, 1]),
+            )
             .build()
     }
 
@@ -282,41 +282,139 @@ impl GpsModel {
         let params = self.map_param_space()?;
         PopulationModel::builder(4, params)
             .variable_names(vec!["D1", "Q1", "D2", "Q2"])
-            .transition(TransitionClass::new(
-                "activate1",
-                [1.0, 0.0, 0.0, 0.0],
-                move |x: &StateVec, _| activation[0] * (1.0 - x[0] - x[1]).max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "create1",
-                [-1.0, 1.0, 0.0, 0.0],
-                |x: &StateVec, th: &[f64]| th[0] * x[0].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "serve1",
-                [0.0, -1.0, 0.0, 0.0],
-                move |x: &StateVec, _| {
+            .transition(
+                TransitionClass::new("activate1", [1.0, 0.0, 0.0, 0.0], move |x: &StateVec, _| {
+                    activation[0] * (1.0 - x[0] - x[1]).max(0.0)
+                })
+                .with_species_support(vec![0, 1]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "create1",
+                    [-1.0, 1.0, 0.0, 0.0],
+                    |x: &StateVec, th: &[f64]| th[0] * x[0].max(0.0),
+                )
+                .with_species_support(vec![0]),
+            )
+            .transition(
+                TransitionClass::new("serve1", [0.0, -1.0, 0.0, 0.0], move |x: &StateVec, _| {
                     Self::service(weights, service_rates, capacity, x[1], x[3], 0)
-                },
-            ))
-            .transition(TransitionClass::new(
-                "activate2",
-                [0.0, 0.0, 1.0, 0.0],
-                move |x: &StateVec, _| activation[1] * (1.0 - x[2] - x[3]).max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "create2",
-                [0.0, 0.0, -1.0, 1.0],
-                |x: &StateVec, th: &[f64]| th[1] * x[2].max(0.0),
-            ))
-            .transition(TransitionClass::new(
-                "serve2",
-                [0.0, 0.0, 0.0, -1.0],
-                move |x: &StateVec, _| {
+                })
+                .with_species_support(vec![1, 3]),
+            )
+            .transition(
+                TransitionClass::new("activate2", [0.0, 0.0, 1.0, 0.0], move |x: &StateVec, _| {
+                    activation[1] * (1.0 - x[2] - x[3]).max(0.0)
+                })
+                .with_species_support(vec![2, 3]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "create2",
+                    [0.0, 0.0, -1.0, 1.0],
+                    |x: &StateVec, th: &[f64]| th[1] * x[2].max(0.0),
+                )
+                .with_species_support(vec![2]),
+            )
+            .transition(
+                TransitionClass::new("serve2", [0.0, 0.0, 0.0, -1.0], move |x: &StateVec, _| {
                     Self::service(weights, service_rates, capacity, x[1], x[3], 1)
-                },
-            ))
+                })
+                .with_species_support(vec![1, 3]),
+            )
             .build()
+    }
+
+    /// The MAP scenario expressed in the `mfu-lang` DSL.
+    ///
+    /// Cross-validation hook for the DSL parity tests: compiling the
+    /// returned source must reproduce [`GpsModel::map_population_model`]
+    /// and [`GpsModel::map_drift`] *exactly* (rates bit-identical) for the
+    /// configured parameters. The source leans on the PR 3 language
+    /// additions: the shared `let load` subexpression and the
+    /// `when load > eps { … } else { 0 }` empty-queue guard mirror the
+    /// private `GpsModel::service` helper operation for operation, and the
+    /// MAP phases
+    /// are ordinary species (`D1`, `D2`) with the thinking populations
+    /// implicit — which is why the model is intentionally
+    /// non-conservative.
+    pub fn dsl_source(&self) -> String {
+        format!(
+            "model gps;\n\
+             species D1, Q1, D2, Q2;\n\
+             param lambda1 in [{l1_lo}, {l1_hi}];\n\
+             param lambda2 in [{l2_lo}, {l2_hi}];\n\
+             const a1 = {a1};\n\
+             const a2 = {a2};\n\
+             const mu1 = {mu1};\n\
+             const mu2 = {mu2};\n\
+             const phi1 = {phi1};\n\
+             const phi2 = {phi2};\n\
+             const cap = {cap};\n\
+             const eps = 1e-12;\n\
+             let load = phi1 * max(Q1, 0) + phi2 * max(Q2, 0);\n\
+             rule activate1: 0 -> D1  @ a1 * max(1 - D1 - Q1, 0);\n\
+             rule create1:   D1 -> Q1 @ lambda1 * max(D1, 0);\n\
+             rule serve1:    Q1 -> 0  @ when load > eps {{ cap * mu1 * phi1 * max(Q1, 0) / load }} else {{ 0 }};\n\
+             rule activate2: 0 -> D2  @ a2 * max(1 - D2 - Q2, 0);\n\
+             rule create2:   D2 -> Q2 @ lambda2 * max(D2, 0);\n\
+             rule serve2:    Q2 -> 0  @ when load > eps {{ cap * mu2 * phi2 * max(Q2, 0) / load }} else {{ 0 }};\n\
+             init D1 = {d1}, Q1 = {q1}, D2 = {d2}, Q2 = {q2};\n",
+            l1_lo = self.lambda_min[0],
+            l1_hi = self.lambda_max[0],
+            l2_lo = self.lambda_min[1],
+            l2_hi = self.lambda_max[1],
+            a1 = self.activation_rates[0],
+            a2 = self.activation_rates[1],
+            mu1 = self.service_rates[0],
+            mu2 = self.service_rates[1],
+            phi1 = self.weights[0],
+            phi2 = self.weights[1],
+            cap = self.capacity,
+            d1 = 1.0 - self.initial_queue[0],
+            q1 = self.initial_queue[0],
+            d2 = 1.0 - self.initial_queue[1],
+            q2 = self.initial_queue[1],
+        )
+    }
+
+    /// The Poisson scenario expressed in the `mfu-lang` DSL (on `(Q1, Q2)`,
+    /// with the mean-matched creation-rate intervals of
+    /// [`GpsModel::poisson_rates`]).
+    ///
+    /// Same contract as [`GpsModel::dsl_source`] against
+    /// [`GpsModel::poisson_population_model`] / [`GpsModel::poisson_drift`].
+    pub fn poisson_dsl_source(&self) -> String {
+        let (lo, hi) = self.poisson_rates();
+        format!(
+            "model gps_poisson;\n\
+             species Q1, Q2;\n\
+             param lambda1 in [{l1_lo}, {l1_hi}];\n\
+             param lambda2 in [{l2_lo}, {l2_hi}];\n\
+             const mu1 = {mu1};\n\
+             const mu2 = {mu2};\n\
+             const phi1 = {phi1};\n\
+             const phi2 = {phi2};\n\
+             const cap = {cap};\n\
+             const eps = 1e-12;\n\
+             let load = phi1 * max(Q1, 0) + phi2 * max(Q2, 0);\n\
+             rule create1: 0 -> Q1 @ lambda1 * max(1 - Q1, 0);\n\
+             rule create2: 0 -> Q2 @ lambda2 * max(1 - Q2, 0);\n\
+             rule serve1:  Q1 -> 0 @ when load > eps {{ cap * mu1 * phi1 * max(Q1, 0) / load }} else {{ 0 }};\n\
+             rule serve2:  Q2 -> 0 @ when load > eps {{ cap * mu2 * phi2 * max(Q2, 0) / load }} else {{ 0 }};\n\
+             init Q1 = {q1}, Q2 = {q2};\n",
+            l1_lo = lo[0],
+            l1_hi = hi[0],
+            l2_lo = lo[1],
+            l2_hi = hi[1],
+            mu1 = self.service_rates[0],
+            mu2 = self.service_rates[1],
+            phi1 = self.weights[0],
+            phi2 = self.weights[1],
+            cap = self.capacity,
+            q1 = self.initial_queue[0],
+            q2 = self.initial_queue[1],
+        )
     }
 
     /// Integer initial counts of the Poisson population model at per-class scale `scale`.
@@ -467,6 +565,63 @@ mod tests {
             GpsModel::service(gps.weights, gps.service_rates, gps.capacity, 0.2, 0.3, 0)
                 - gps.activation_rates[0] * (1.0 - 0.6 - 0.2);
         assert!((e1_change - expected_e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dsl_sources_reflect_the_configuration() {
+        let source = GpsModel::paper().dsl_source();
+        assert!(source.contains("param lambda1 in [1, 7];"));
+        assert!(source.contains("param lambda2 in [2, 3];"));
+        assert!(source.contains("const mu1 = 5;"));
+        assert!(source.contains("let load = phi1 * max(Q1, 0) + phi2 * max(Q2, 0);"));
+        assert!(source.contains("when load > eps"));
+        assert!(source.contains("init D1 = 0.9, Q1 = 0.1, D2 = 0.9, Q2 = 0.1;"));
+
+        let weighted = GpsModel::paper_with_weights(9.0, 1.0).dsl_source();
+        assert!(weighted.contains("const phi1 = 9;"));
+
+        let poisson = GpsModel::paper().poisson_dsl_source();
+        // the mean-matched λ' bounds print exactly as computed
+        let (lo, hi) = GpsModel::paper().poisson_rates();
+        assert!(poisson.contains(&format!("param lambda1 in [{}, {}];", lo[0], hi[0])));
+        assert!(poisson.contains(&format!("param lambda2 in [{}, {}];", lo[1], hi[1])));
+        assert!(poisson.contains("rule create1: 0 -> Q1 @ lambda1 * max(1 - Q1, 0);"));
+    }
+
+    #[test]
+    fn native_transitions_annotate_their_supports() {
+        let map = GpsModel::paper().map_population_model().unwrap();
+        let supports: Vec<_> = map
+            .transitions()
+            .iter()
+            .map(|t| t.species_support().map(<[usize]>::to_vec))
+            .collect();
+        assert_eq!(
+            supports,
+            vec![
+                Some(vec![0, 1]),
+                Some(vec![0]),
+                Some(vec![1, 3]),
+                Some(vec![2, 3]),
+                Some(vec![2]),
+                Some(vec![1, 3]),
+            ]
+        );
+        let poisson = GpsModel::paper().poisson_population_model().unwrap();
+        let supports: Vec<_> = poisson
+            .transitions()
+            .iter()
+            .map(|t| t.species_support().map(<[usize]>::to_vec))
+            .collect();
+        assert_eq!(
+            supports,
+            vec![
+                Some(vec![0]),
+                Some(vec![1]),
+                Some(vec![0, 1]),
+                Some(vec![0, 1]),
+            ]
+        );
     }
 
     #[test]

@@ -9,7 +9,14 @@
 //!   Figure 6 of the paper (a state-feedback hysteresis policy and a
 //!   random-jump policy) as well as constant and piecewise-constant signals;
 //! * [`gillespie`] — an exact stochastic simulation algorithm (SSA) for
-//!   population models at a finite scale `N`, driven by an arbitrary policy;
+//!   population models at a finite scale `N`, driven by an arbitrary
+//!   policy. When transitions report their species supports (compiled DSL
+//!   rates always do, including guarded/piecewise ones; native closures
+//!   via `with_species_support`), the simulator precomputes a transition
+//!   dependency graph and only re-evaluates the propensities an event can
+//!   have changed — select the behaviour with
+//!   [`PropensityStrategy`](gillespie::PropensityStrategy) (the default
+//!   `DependencyGraph` is bit-identical to the `FullRescan` reference);
 //! * [`ensemble`] — parallel replication of simulations with summary
 //!   statistics on a common time grid;
 //! * [`stats`] — running statistics and empirical summaries;

@@ -3,9 +3,11 @@
 //! Declares the paper's SIR epidemic in the `mfu-lang` DSL, checks it
 //! against the hand-coded model, bounds the infected fraction with the
 //! Pontryagin sweep, and then walks the scenario registry: every built-in
-//! scenario — including the botnet and load-balancer models that exist only
-//! in the DSL — is compiled, bounded via `mfu-core` and simulated via
-//! `mfu-sim` from the same source text.
+//! scenario — the GPS/MAP queue of Section VI with its guarded service
+//! rates, the botnet and load-balancer models that exist only in the DSL,
+//! and the epidemic family — is compiled, bounded via `mfu-core` and
+//! simulated via `mfu-sim` from the same source text. (The `mfu` CLI does
+//! the same from the command line: `mfu run gps --simulate 500`.)
 //!
 //! Run with `cargo run --release --example dsl_quickstart`.
 

@@ -17,7 +17,12 @@
 //!   plus SIS/SEIR variants;
 //! * [`lang`] — a textual model DSL for imprecise population CTMCs with a
 //!   scenario registry, compiling to both the population and the drift
-//!   backends.
+//!   backends (guarded/piecewise rates, shared `let` subexpressions, a
+//!   bytecode rate engine — see `docs/mfu-lang.md`).
+//!
+//! The `mfu` command-line front-end (`crates/cli`, not re-exported here)
+//! runs, checks and lists models without writing Rust:
+//! `mfu run gps --bound Q1@3 --simulate 2000`.
 //!
 //! # Quick start
 //!

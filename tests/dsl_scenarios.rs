@@ -51,11 +51,47 @@ fn dsl_sir_pontryagin_bounds_match_hand_coded_model() {
 }
 
 #[test]
-fn registry_ships_at_least_two_non_paper_scenarios() {
+fn registry_ships_the_paper_case_studies_and_extras() {
     let registry = ScenarioRegistry::with_builtins();
     let names = registry.names();
-    for expected in ["sir", "sis", "seir", "botnet", "load_balancer"] {
+    for expected in [
+        "sir",
+        "sis",
+        "seir",
+        "botnet",
+        "load_balancer",
+        "gps",
+        "gps_poisson",
+    ] {
         assert!(names.contains(&expected), "missing scenario `{expected}`");
+    }
+}
+
+#[test]
+fn dsl_gps_matches_hand_coded_model_in_simulation() {
+    // The Section VI GPS/MAP model: same seed + same counts ⇒ identical
+    // Gillespie runs for the guarded DSL rates and the hand-coded closures.
+    use mean_field_uncertain::models::gps::GpsModel;
+    let gps = GpsModel::paper();
+    let dsl = mean_field_uncertain::lang::compile(&gps.dsl_source()).unwrap();
+    let scale = 400;
+    let counts = dsl.initial_counts(scale);
+
+    let hand_sim = Simulator::new(gps.map_population_model().unwrap(), scale).unwrap();
+    let dsl_sim = Simulator::new(dsl.population_model().unwrap(), scale).unwrap();
+    let options = SimulationOptions::new(2.0);
+
+    for theta in [[1.0, 2.0], [7.0, 3.0], [4.0, 2.5]] {
+        let mut hand_policy = ConstantPolicy::new(theta.to_vec());
+        let mut dsl_policy = ConstantPolicy::new(theta.to_vec());
+        let hand_run = hand_sim
+            .simulate(&counts, &mut hand_policy, &options, 23)
+            .unwrap();
+        let dsl_run = dsl_sim
+            .simulate(&counts, &mut dsl_policy, &options, 23)
+            .unwrap();
+        assert_eq!(hand_run.final_counts(), dsl_run.final_counts());
+        assert_eq!(hand_run.events(), dsl_run.events());
     }
 }
 

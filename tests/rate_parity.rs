@@ -10,6 +10,7 @@
 //! `tests/dsl_scenarios.rs`.
 
 use mean_field_uncertain::ctmc::population::PopulationModel;
+use mean_field_uncertain::models::gps::GpsModel;
 use mean_field_uncertain::models::parity::{max_rate_divergence, sample_states};
 use mean_field_uncertain::models::seir::SeirModel;
 use mean_field_uncertain::models::sir::SirModel;
@@ -70,4 +71,162 @@ fn seir_native_and_dsl_rates_are_identical() {
         &seir.population_model().unwrap(),
         &seir.dsl_source(),
     );
+}
+
+#[test]
+fn gps_map_native_and_dsl_rates_are_identical() {
+    // The Section VI case study: MAP phase species, a shared `let load`
+    // subexpression and guarded (`when load > eps`) service rates — the
+    // constructs PR 3 added to the language. Exact parity means the guard
+    // and both service branches mirror `GpsModel::service` bit for bit.
+    let gps = GpsModel::paper();
+    assert_exact_parity(
+        "gps_map",
+        &gps.map_population_model().unwrap(),
+        &gps.dsl_source(),
+    );
+}
+
+#[test]
+fn gps_poisson_native_and_dsl_rates_are_identical() {
+    let gps = GpsModel::paper();
+    assert_exact_parity(
+        "gps_poisson",
+        &gps.poisson_population_model().unwrap(),
+        &gps.poisson_dsl_source(),
+    );
+}
+
+#[test]
+fn gps_parity_survives_weight_and_capacity_changes() {
+    // The guarded service rate folds `cap * mu_i * phi_i` at compile time;
+    // folding must track the configured values exactly.
+    for gps in [
+        GpsModel::paper_with_weights(9.0, 1.0),
+        GpsModel::paper_with_weights(0.25, 4.0),
+        GpsModel::paper_with_capacity(0.5),
+    ] {
+        assert_exact_parity(
+            "gps_map",
+            &gps.map_population_model().unwrap(),
+            &gps.dsl_source(),
+        );
+        assert_exact_parity(
+            "gps_poisson",
+            &gps.poisson_population_model().unwrap(),
+            &gps.poisson_dsl_source(),
+        );
+    }
+}
+
+#[test]
+fn gps_registry_scenario_matches_the_hand_coded_model() {
+    // The registry's `gps` scenario is the paper configuration written out
+    // as literals; it must agree with the generated `dsl_source()` and with
+    // the native model on every transition rate.
+    let registry = mean_field_uncertain::lang::ScenarioRegistry::with_builtins();
+    let scenario = registry
+        .compile("gps")
+        .expect("gps scenario compiles")
+        .population_model()
+        .expect("population backend");
+    let native = GpsModel::paper().map_population_model().unwrap();
+    let samples = sample_states(4, 64);
+    let divergence = max_rate_divergence(&native, &scenario, &samples).expect("compatible models");
+    assert_eq!(divergence, 0.0, "registry gps diverges by {divergence:e}");
+
+    let poisson = registry
+        .compile("gps_poisson")
+        .expect("gps_poisson scenario compiles")
+        .population_model()
+        .expect("population backend");
+    let native = GpsModel::paper().poisson_population_model().unwrap();
+    let samples = sample_states(2, 64);
+    let divergence = max_rate_divergence(&native, &poisson, &samples).expect("compatible models");
+    // the registry's λ' literals are the paper's rounded decimals, but the
+    // transition rates themselves take ϑ as an argument, so they still
+    // match exactly on shared points
+    assert_eq!(
+        divergence, 0.0,
+        "registry gps_poisson diverges by {divergence:e}"
+    );
+}
+
+#[test]
+fn gps_drifts_agree_between_native_and_dsl() {
+    // The mean-field side of the case study: the DSL drift (one VM pass
+    // over the guarded programs) must reproduce the hand-coded closure
+    // drift on both scenarios, across states and parameter vertices.
+    use mean_field_uncertain::core::drift::ImpreciseDrift;
+    let gps = GpsModel::paper();
+
+    let native = gps.map_drift();
+    let dsl_model = mean_field_uncertain::lang::compile(&gps.dsl_source()).unwrap();
+    let dsl = dsl_model.drift();
+    for x in sample_states(4, 32) {
+        for theta in native.params().vertices() {
+            let a = native.drift(&x, &theta);
+            let b = dsl.drift(&x, &theta);
+            for k in 0..4 {
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-12,
+                    "map drift coordinate {k} at {x:?}, ϑ = {theta:?}: {} vs {}",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+    }
+
+    let native = gps.poisson_drift();
+    let dsl_model = mean_field_uncertain::lang::compile(&gps.poisson_dsl_source()).unwrap();
+    let dsl = dsl_model.drift();
+    for x in sample_states(2, 32) {
+        for theta in native.params().vertices() {
+            let a = native.drift(&x, &theta);
+            let b = dsl.drift(&x, &theta);
+            for k in 0..2 {
+                assert!(
+                    (a[k] - b[k]).abs() < 1e-12,
+                    "poisson drift coordinate {k} at {x:?}: {} vs {}",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+    }
+    // keep the helper honest: the DSL initial states mirror the natives
+    assert!(
+        dsl_model
+            .initial_state()
+            .distance_inf(&gps.poisson_initial_state())
+            < 1e-12
+    );
+}
+
+#[test]
+fn gps_rates_stay_guarded_at_the_empty_queue_corner() {
+    // The whole point of the `when` guard: the service rates are 0, not
+    // NaN, when both queues are empty — in both representations.
+    use mean_field_uncertain::num::StateVec;
+    let gps = GpsModel::paper();
+    let native = gps.map_population_model().unwrap();
+    let dsl = mean_field_uncertain::lang::compile(&gps.dsl_source())
+        .unwrap()
+        .population_model()
+        .unwrap();
+    let empty = StateVec::from([0.5, 0.0, 0.5, 0.0]);
+    for model in [&native, &dsl] {
+        for t in model.transitions() {
+            let rate = t.rate(&empty, &[4.0, 2.5]);
+            assert!(
+                rate.is_finite() && rate >= 0.0,
+                "`{}` = {rate} at empty queues",
+                t.name()
+            );
+            if t.name().starts_with("serve") {
+                assert_eq!(rate, 0.0, "`{}` should be masked", t.name());
+            }
+        }
+    }
 }

@@ -98,7 +98,15 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
     let registry = ScenarioRegistry::with_builtins();
     assert_eq!(
         registry.names(),
-        vec!["botnet", "load_balancer", "seir", "sir", "sis"]
+        vec![
+            "botnet",
+            "gps",
+            "gps_poisson",
+            "load_balancer",
+            "seir",
+            "sir",
+            "sis"
+        ]
     );
     for scenario in registry.iter() {
         let model = scenario.compile().expect("scenario compiles");
@@ -115,8 +123,14 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
         let simulator = Simulator::new(population, SCALE).expect("simulator");
         // …and the dependency graph actually prunes work wherever the
         // stoichiometry allows it (the 2-species SIS is legitimately dense:
-        // both rules read and write both species).
-        if matches!(scenario.name(), "botnet" | "seir" | "load_balancer" | "sir") {
+        // both rules read and write both species). The guarded GPS rates
+        // still report sparse supports — the guard condition and both
+        // branches contribute, but e.g. `create1` only reads its own MAP
+        // phase.
+        if matches!(
+            scenario.name(),
+            "botnet" | "seir" | "load_balancer" | "sir" | "gps" | "gps_poisson"
+        ) {
             assert!(
                 simulator.has_sparse_dependencies(),
                 "`{}`: dependency graph is dense",
