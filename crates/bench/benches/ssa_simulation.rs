@@ -5,11 +5,11 @@
 //! updates to pay off.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mfu_bench::ring_model_source;
-use mfu_lang::scenarios::ScenarioRegistry;
+use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_models::sir::SirModel;
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::{ConstantPolicy, HysteresisPolicy};
+use mfu_sim::selection::SelectionStrategy;
 use std::hint::black_box;
 
 fn bench_ssa(c: &mut Criterion) {
@@ -78,7 +78,7 @@ fn bench_propensity_strategies(c: &mut Criterion) {
             2000usize,
             5.0,
         ),
-        ("ring12", ring_model_source(12), 2400usize, 4.0),
+        ("ring12", ring_source(12), 2400usize, 4.0),
     ];
     for (label, source, scale, t_end) in cases {
         let model = mfu_lang::compile(&source).unwrap();
@@ -103,5 +103,63 @@ fn bench_propensity_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ssa, bench_propensity_strategies);
+/// Linear-scan vs sum-tree vs composition-rejection transition selection
+/// at K ∈ {5, 48, 200} transitions. Propensity maintenance is pinned to
+/// `IncrementalTotal` so the `O(K)` reference re-summation does not mask
+/// the selection cost being measured.
+fn bench_selection_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_selection");
+    group.sample_size(10);
+
+    let registry = ScenarioRegistry::with_builtins();
+    let selections: [(&str, SelectionStrategy); 3] = [
+        ("linear", SelectionStrategy::LinearScan),
+        ("tree", SelectionStrategy::SumTree),
+        ("cr", SelectionStrategy::CompositionRejection),
+    ];
+    let cases = [
+        (
+            "botnet_K5",
+            registry.get("botnet").unwrap().source().to_string(),
+            2000usize,
+            5.0,
+        ),
+        (
+            "ring_K48",
+            registry.get("ring_48").unwrap().source().to_string(),
+            2400usize,
+            4.0,
+        ),
+        ("ring_K200", ring_source(200), 2400usize, 4.0),
+    ];
+    for (label, source, scale, t_end) in cases {
+        let model = mfu_lang::compile(&source).unwrap();
+        let population = model.population_model().unwrap();
+        let simulator = Simulator::new(population, scale).unwrap();
+        let counts = model.initial_counts(scale);
+        let theta = model.params().midpoint();
+        for (name, selection) in selections {
+            let options = SimulationOptions::new(t_end)
+                .record_stride(256)
+                .propensity_strategy(PropensityStrategy::IncrementalTotal { refresh_every: 256 })
+                .selection_strategy(selection);
+            group.bench_function(format!("{label}_{name}_N{scale}"), |b| {
+                b.iter(|| {
+                    let mut policy = ConstantPolicy::new(theta.clone());
+                    simulator
+                        .simulate(black_box(&counts), &mut policy, &options, 11)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ssa,
+    bench_propensity_strategies,
+    bench_selection_strategies
+);
 criterion_main!(benches);

@@ -14,12 +14,12 @@
 
 use std::time::Instant;
 
-use mfu_bench::ring_model_source;
-use mfu_lang::scenarios::ScenarioRegistry;
+use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_lang::vm::RateProgram;
 use mfu_num::StateVec;
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
+use mfu_sim::selection::SelectionStrategy;
 use std::hint::black_box;
 
 /// Rules of one model paired with a ring of ϑ points of the model's
@@ -164,7 +164,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             4000usize,
             5.0,
         ),
-        ("ring12", ring_model_source(12), 4800usize, 4.0),
+        ("ring12", ring_source(12), 4800usize, 4.0),
     ];
     let mut ssa_entries = Vec::new();
     for (label, source, scale, t_end) in cases {
@@ -190,6 +190,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             per_strategy.push((name, wall_ns / events.max(1) as f64, events));
         }
         ssa_entries.push((label, scale, per_strategy));
+    }
+
+    // ---- SSA: per-event cost of the transition-selection strategies ------
+    // Propensity maintenance is pinned to IncrementalTotal so the O(K)
+    // reference re-summation does not mask the selection cost; K spans the
+    // paper-sized botnet (5 rules) and the generated ring family (48 and
+    // 200 rules).
+    let selections = [
+        ("linear", SelectionStrategy::LinearScan),
+        ("tree", SelectionStrategy::SumTree),
+        (
+            "composition_rejection",
+            SelectionStrategy::CompositionRejection,
+        ),
+    ];
+    let selection_cases = [
+        (
+            "botnet_K5",
+            registry
+                .get("botnet")
+                .expect("registered")
+                .source()
+                .to_string(),
+            4000usize,
+            5.0,
+        ),
+        (
+            "ring_K48",
+            registry
+                .get("ring_48")
+                .expect("registered")
+                .source()
+                .to_string(),
+            4800usize,
+            4.0,
+        ),
+        ("ring_K200", ring_source(200), 4800usize, 4.0),
+    ];
+    let mut selection_entries = Vec::new();
+    for (label, source, scale, t_end) in selection_cases {
+        let model = mfu_lang::compile(&source)?;
+        let population = model.population_model()?;
+        let n_transitions = population.transitions().len();
+        let simulator = Simulator::new(population, scale)?;
+        let counts = model.initial_counts(scale);
+        let theta = model.params().midpoint();
+        let mut per_selection = Vec::new();
+        for (name, selection) in selections {
+            let options = SimulationOptions::new(t_end)
+                .record_stride(4096)
+                .propensity_strategy(PropensityStrategy::IncrementalTotal { refresh_every: 256 })
+                .selection_strategy(selection);
+            let mut events = 0usize;
+            let wall_ns = median_ns(7, || {
+                let mut policy = ConstantPolicy::new(theta.clone());
+                let run = simulator
+                    .simulate(&counts, &mut policy, &options, 11)
+                    .expect("simulation failed");
+                events = run.events();
+                run.final_counts()[0] as f64
+            });
+            per_selection.push((name, wall_ns / events.max(1) as f64, events));
+        }
+        selection_entries.push((label, n_transitions, scale, per_selection));
     }
 
     // ---- report ----------------------------------------------------------
@@ -224,8 +288,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     json.push_str(&format!(
-        "  \"ssa\": {{\n{}\n  }}\n}}\n",
+        "  \"ssa\": {{\n{}\n  }},\n",
         ssa_blocks.join(",\n")
+    ));
+    let selection_blocks: Vec<String> = selection_entries
+        .iter()
+        .map(|(label, n_transitions, scale, per_selection)| {
+            let linear = per_selection
+                .iter()
+                .find(|(name, _, _)| *name == "linear")
+                .expect("linear timed")
+                .1;
+            let lines: Vec<String> = std::iter::once(format!(
+                "      \"transitions\": {n_transitions},\n      \"scale\": {scale}"
+            ))
+            .chain(per_selection.iter().map(|(name, step_ns, events)| {
+                format!(
+                    "      \"{name}\": {{\"step_ns\": {step_ns:.2}, \"events\": {events}, \"speedup_vs_linear\": {:.2}}}",
+                    linear / step_ns
+                )
+            }))
+            .collect();
+            format!("    \"{label}\": {{\n{}\n    }}", lines.join(",\n"))
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"ssa_selection\": {{\n{}\n  }}\n}}\n",
+        selection_blocks.join(",\n")
     ));
 
     println!("{json}");

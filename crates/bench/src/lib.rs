@@ -26,47 +26,6 @@ pub fn print_section(title: &str) {
     println!("## {title}");
 }
 
-/// DSL source of a closed `sites`-species migration ring: species `X0…Xn`,
-/// one mass-action rule per edge (`Xi -> Xi+1 @ rate · Xi`, with the first
-/// edge driven by an imprecise parameter). With many sites, firing one edge
-/// only perturbs two propensities, which makes the ring the canonical
-/// workload for the dependency-graph SSA path.
-///
-/// # Panics
-///
-/// Panics if `sites < 2`.
-pub fn ring_model_source(sites: usize) -> String {
-    assert!(sites >= 2, "a ring needs at least two sites");
-    let mut source = String::from("model ring;\nspecies ");
-    for i in 0..sites {
-        if i > 0 {
-            source.push_str(", ");
-        }
-        source.push_str(&format!("X{i}"));
-    }
-    source.push_str(";\nparam drive in [0.5, 2];\n");
-    for i in 0..sites {
-        let next = (i + 1) % sites;
-        let rate = if i == 0 {
-            format!("drive * X{i}")
-        } else {
-            // deterministic per-edge rates keep the ring mildly heterogeneous
-            format!("{} * X{i}", 1.0 + 0.1 * (i % 5) as f64)
-        };
-        source.push_str(&format!("rule hop{i}: X{i} -> X{next} @ {rate};\n"));
-    }
-    source.push_str("init ");
-    let share = 1.0 / sites as f64;
-    for i in 0..sites {
-        if i > 0 {
-            source.push_str(", ");
-        }
-        source.push_str(&format!("X{i} = {share}"));
-    }
-    source.push_str(";\n");
-    source
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,17 +38,15 @@ mod tests {
     }
 
     #[test]
-    fn ring_model_compiles_with_sparse_dependencies() {
-        let model = mfu_lang::compile(&ring_model_source(12)).unwrap();
-        assert_eq!(model.dim(), 12);
-        assert!(model.is_conservative());
-        let population = model.population_model().unwrap();
-        assert_eq!(population.transitions().len(), 12);
-        let simulator = mfu_sim::gillespie::Simulator::new(population, 1200).unwrap();
+    fn generated_ring_has_sparse_dependencies() {
+        // the generator itself lives in `mfu_lang::scenarios` (it is a
+        // registry citizen now); what matters to the benches is that the
+        // simulator sees a genuinely sparse dependency graph
+        let model = mfu_lang::compile(&mfu_lang::scenarios::ring_source(12)).unwrap();
+        let simulator =
+            mfu_sim::gillespie::Simulator::new(model.population_model().unwrap(), 1200).unwrap();
         assert!(simulator.has_sparse_dependencies());
         // firing one hop perturbs exactly two propensities
         assert_eq!(simulator.dependency_graph()[3], vec![3, 4]);
-        let counts = model.initial_counts(1200);
-        assert_eq!(counts.iter().sum::<i64>(), 1200);
     }
 }

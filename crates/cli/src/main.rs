@@ -22,8 +22,9 @@ use std::process::ExitCode;
 use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
 use mfu_lang::vm::RateProgram;
 use mfu_lang::{CompiledModel, ScenarioRegistry};
-use mfu_sim::gillespie::{SimulationOptions, Simulator};
+use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
+use mfu_sim::selection::SelectionStrategy;
 
 const USAGE: &str = "\
 mfu — imprecise population models from the command line
@@ -41,8 +42,15 @@ RUN OPTIONS:
     --grid <n>               Pontryagin time-grid intervals (default 120)
     --single-start           disable the multi-start extremal search
     --simulate <scale>       also run one Gillespie simulation at population
-                             size <scale> under the midpoint parameters
+                             size <scale> (at least 1) under the midpoint
+                             parameters
     --seed <n>               RNG seed for --simulate (default 42)
+    --propensity <strategy>  propensity maintenance for --simulate:
+                             full-rescan | dependency-graph |
+                             incremental[:refresh] (default dependency-graph)
+    --selection <strategy>   transition selection for --simulate:
+                             auto | linear | tree | cr (default auto, which
+                             picks by the model's transition count)
 
 A target that names an existing file (or ends in `.mfu`) is compiled from
 disk; anything else is looked up in the scenario registry.";
@@ -71,6 +79,10 @@ struct RunOptions {
     simulate: Option<usize>,
     /// `--seed n`.
     seed: u64,
+    /// `--propensity strategy`.
+    propensity: PropensityStrategy,
+    /// `--selection strategy`.
+    selection: SelectionStrategy,
 }
 
 impl Default for RunOptions {
@@ -81,7 +93,50 @@ impl Default for RunOptions {
             multi_start: true,
             simulate: None,
             seed: 42,
+            propensity: PropensityStrategy::DependencyGraph,
+            selection: SelectionStrategy::Auto,
         }
+    }
+}
+
+/// Parses a `--propensity` value: `full-rescan`, `dependency-graph` or
+/// `incremental[:refresh_every]` (default refresh 256).
+fn parse_propensity(spec: &str) -> Result<PropensityStrategy, String> {
+    match spec {
+        "full-rescan" | "full" => Ok(PropensityStrategy::FullRescan),
+        "dependency-graph" | "graph" => Ok(PropensityStrategy::DependencyGraph),
+        "incremental" => Ok(PropensityStrategy::IncrementalTotal { refresh_every: 256 }),
+        other => {
+            if let Some(refresh) = other.strip_prefix("incremental:") {
+                let refresh_every: usize = refresh.parse().map_err(|_| {
+                    format!("`--propensity {other}`: bad refresh interval `{refresh}`")
+                })?;
+                if refresh_every == 0 {
+                    return Err(format!(
+                        "`--propensity {other}`: refresh interval must be at least 1"
+                    ));
+                }
+                return Ok(PropensityStrategy::IncrementalTotal { refresh_every });
+            }
+            Err(format!(
+                "`--propensity {other}`: expected full-rescan, dependency-graph \
+                 or incremental[:refresh]"
+            ))
+        }
+    }
+}
+
+/// Parses a `--selection` value: `auto`, `linear`, `tree` or
+/// `cr`/`composition-rejection`.
+fn parse_selection(spec: &str) -> Result<SelectionStrategy, String> {
+    match spec {
+        "auto" => Ok(SelectionStrategy::Auto),
+        "linear" => Ok(SelectionStrategy::LinearScan),
+        "tree" => Ok(SelectionStrategy::SumTree),
+        "cr" | "composition-rejection" => Ok(SelectionStrategy::CompositionRejection),
+        other => Err(format!(
+            "`--selection {other}`: expected auto, linear, tree or cr"
+        )),
     }
 }
 
@@ -139,11 +194,21 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--single-start" => options.multi_start = false,
                     "--simulate" => {
-                        options.simulate = Some(
-                            value("a population size")?
-                                .parse()
-                                .map_err(|e| format!("`--simulate`: {e}"))?,
-                        );
+                        let scale: usize = value("a population size")?
+                            .parse()
+                            .map_err(|e| format!("`--simulate`: {e}"))?;
+                        if scale == 0 {
+                            return Err(
+                                "`--simulate`: population size must be at least 1 (got 0)".into()
+                            );
+                        }
+                        options.simulate = Some(scale);
+                    }
+                    "--propensity" => {
+                        options.propensity = parse_propensity(&value("a strategy")?)?;
+                    }
+                    "--selection" => {
+                        options.selection = parse_selection(&value("a strategy")?)?;
                     }
                     "--seed" => {
                         options.seed = value("a seed")?
@@ -329,13 +394,17 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
 
     if let Some(scale) = options.simulate {
         let population = model.population_model().map_err(|e| e.to_string())?;
+        let n_transitions = population.transitions().len();
         let simulator = Simulator::new(population, scale).map_err(|e| e.to_string())?;
         let mut policy = ConstantPolicy::new(model.params().midpoint());
+        let sim_options = SimulationOptions::new(horizon)
+            .propensity_strategy(options.propensity)
+            .selection_strategy(options.selection);
         let run = simulator
             .simulate(
                 &model.initial_counts(scale),
                 &mut policy,
-                &SimulationOptions::new(horizon),
+                &sim_options,
                 options.seed,
             )
             .map_err(|e| e.to_string())?;
@@ -343,8 +412,11 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
         let _ = writeln!(
             out,
             "one N = {scale} Gillespie run at midpoint parameters \
-             (seed {}): {} events, {species}({horizon}) = {:.6}",
+             (seed {}, propensity {}, selection {}): {} events, \
+             {species}({horizon}) = {:.6}",
             options.seed,
+            options.propensity,
+            options.selection.resolve(n_transitions),
             run.events(),
             end[coordinate],
         );
@@ -402,7 +474,8 @@ mod tests {
             }
         );
         let Command::Run { target, options } = parse_args(&args(
-            "run gps --bound Q1@2.5 --grid 40 --simulate 500 --seed 7 --single-start",
+            "run gps --bound Q1@2.5 --grid 40 --simulate 500 --seed 7 --single-start \
+             --propensity incremental:64 --selection tree",
         ))
         .unwrap() else {
             panic!("expected run");
@@ -413,6 +486,41 @@ mod tests {
         assert_eq!(options.simulate, Some(500));
         assert_eq!(options.seed, 7);
         assert!(!options.multi_start);
+        assert_eq!(
+            options.propensity,
+            PropensityStrategy::IncrementalTotal { refresh_every: 64 }
+        );
+        assert_eq!(options.selection, SelectionStrategy::SumTree);
+    }
+
+    #[test]
+    fn parses_strategy_flags() {
+        assert_eq!(
+            parse_propensity("full-rescan").unwrap(),
+            PropensityStrategy::FullRescan
+        );
+        assert_eq!(
+            parse_propensity("dependency-graph").unwrap(),
+            PropensityStrategy::DependencyGraph
+        );
+        assert_eq!(
+            parse_propensity("incremental").unwrap(),
+            PropensityStrategy::IncrementalTotal { refresh_every: 256 }
+        );
+        assert!(parse_propensity("incremental:0").is_err());
+        assert!(parse_propensity("incremental:x").is_err());
+        assert!(parse_propensity("sideways").is_err());
+        assert_eq!(parse_selection("auto").unwrap(), SelectionStrategy::Auto);
+        assert_eq!(
+            parse_selection("linear").unwrap(),
+            SelectionStrategy::LinearScan
+        );
+        assert_eq!(parse_selection("tree").unwrap(), SelectionStrategy::SumTree);
+        assert_eq!(
+            parse_selection("cr").unwrap(),
+            SelectionStrategy::CompositionRejection
+        );
+        assert!(parse_selection("roulette").is_err());
     }
 
     #[test]
@@ -425,8 +533,19 @@ mod tests {
         assert!(parse_args(&args("run sir --bound I@-1")).is_err());
         assert!(parse_args(&args("run sir --grid 0")).is_err());
         assert!(parse_args(&args("run sir --what")).is_err());
+        assert!(parse_args(&args("run sir --propensity sideways")).is_err());
+        assert!(parse_args(&args("run sir --selection roulette")).is_err());
         assert!(parse_args(&args("check")).is_err());
         assert!(parse_args(&args("check a b")).is_err());
+    }
+
+    #[test]
+    fn simulate_zero_is_a_parse_time_usage_error_naming_the_flag() {
+        // regression: `--simulate 0` used to pass parsing and only fail
+        // deep inside Simulator::new with the analysis exit code 1
+        let err = parse_args(&args("run sir --simulate 0")).unwrap_err();
+        assert!(err.contains("--simulate"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

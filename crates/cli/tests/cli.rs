@@ -107,7 +107,47 @@ fn usage_errors_exit_with_2() {
         mfu(&["run", "sir", "--bound", "nope"]).status.code(),
         Some(2)
     );
+    assert_eq!(
+        mfu(&["run", "sir", "--selection", "roulette"])
+            .status
+            .code(),
+        Some(2)
+    );
     let out = mfu(&["run", "no_such_model"]);
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("neither a file nor a known scenario"));
+}
+
+#[test]
+fn simulate_zero_is_rejected_at_parse_time_with_exit_2() {
+    // regression: used to exit 1 from deep inside Simulator::new
+    let out = mfu(&["run", "sir", "--simulate", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stderr(&out);
+    assert!(text.contains("--simulate"), "{text}");
+    assert!(text.contains("at least 1"), "{text}");
+}
+
+#[test]
+fn run_simulates_with_explicit_strategies() {
+    // exercise the --propensity/--selection plumbing end to end on a small
+    // scenario (cheap Pontryagin grid keeps the test fast)
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "300",
+        "--propensity",
+        "incremental:128",
+        "--selection",
+        "tree",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("propensity incremental:128"), "{text}");
+    assert!(text.contains("selection tree"), "{text}");
 }

@@ -17,6 +17,19 @@
 //! Each scenario records a recommended analysis horizon and an objective
 //! coordinate (in reduced coordinates), so examples, tests and benches can
 //! drive every scenario through the same pipeline.
+//!
+//! # Generated scenario families
+//!
+//! Beyond the hand-written sources, [`ring_source`] and [`grid_source`]
+//! generate parametric migration networks — a closed cycle of `sites`
+//! species and a `width × height` lattice with bidirectional hops — that
+//! lower to tens or hundreds of mass-action rules. They exist to exercise
+//! the simulator's large-`K` machinery (sparse dependency graphs,
+//! tree-based and composition-rejection transition selection) at sizes the
+//! paper's case studies never reach; [`ring_scenario`] / [`grid_scenario`]
+//! wrap them with analysis defaults, and `ring_48` / `grid_6x6` instances
+//! ship in [`ScenarioRegistry::with_builtins`] so every registry-driven
+//! suite and bench covers them.
 
 use std::collections::BTreeMap;
 
@@ -103,8 +116,8 @@ impl ScenarioRegistry {
     }
 
     /// A registry pre-populated with the built-in scenarios
-    /// (`botnet`, `gps`, `gps_poisson`, `load_balancer`, `seir`, `sir`,
-    /// `sis`).
+    /// (`botnet`, `gps`, `gps_poisson`, `grid_6x6`, `load_balancer`,
+    /// `ring_48`, `seir`, `sir`, `sis`).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
         for scenario in builtins() {
@@ -319,6 +332,149 @@ rule serve_slow:    Q2 -> Idle @ mu2 * Q2;
 init Idle = 1, Q1 = 0, Q2 = 0;
 ";
 
+/// DSL source of a closed `sites`-species migration ring: species
+/// `X0…X{sites-1}`, one mass-action rule per edge
+/// (`Xi -> Xi+1 @ rate · Xi`, the first edge driven by the imprecise
+/// `drive` parameter, the rest mildly heterogeneous deterministic rates).
+/// Firing one hop perturbs exactly two propensities, which makes the ring
+/// the canonical workload for the dependency-graph SSA path and for
+/// sub-linear transition selection at `K = sites` rules.
+///
+/// # Panics
+///
+/// Panics if `sites < 2`.
+pub fn ring_source(sites: usize) -> String {
+    assert!(sites >= 2, "a ring needs at least two sites");
+    let mut source = format!("model ring_{sites};\nspecies ");
+    for i in 0..sites {
+        if i > 0 {
+            source.push_str(", ");
+        }
+        source.push_str(&format!("X{i}"));
+    }
+    source.push_str(";\nparam drive in [0.5, 2];\n");
+    for i in 0..sites {
+        let next = (i + 1) % sites;
+        let rate = if i == 0 {
+            format!("drive * X{i}")
+        } else {
+            // deterministic per-edge rates keep the ring mildly heterogeneous
+            format!("{} * X{i}", 1.0 + 0.1 * (i % 5) as f64)
+        };
+        source.push_str(&format!("rule hop{i}: X{i} -> X{next} @ {rate};\n"));
+    }
+    source.push_str("init ");
+    let share = 1.0 / sites as f64;
+    for i in 0..sites {
+        if i > 0 {
+            source.push_str(", ");
+        }
+        source.push_str(&format!("X{i} = {share}"));
+    }
+    source.push_str(";\n");
+    source
+}
+
+/// A registry-ready ring scenario named `ring_<sites>` with a 4-time-unit
+/// horizon and the first site as objective.
+///
+/// # Panics
+///
+/// Panics if `sites < 2` (see [`ring_source`]).
+pub fn ring_scenario(sites: usize) -> Scenario {
+    Scenario::new(
+        format!("ring_{sites}"),
+        format!("generated {sites}-site migration ring ({sites} mass-action rules)"),
+        ring_source(sites),
+        4.0,
+        0,
+    )
+}
+
+/// DSL source of a closed `width × height` migration lattice: one species
+/// `S{row}_{col}` per cell and two mass-action hop rules (one per
+/// direction) across every horizontal and vertical edge —
+/// `2·((width−1)·height + width·(height−1))` rules in total. The very
+/// first rule is driven by the imprecise `drive` parameter; the remaining
+/// edges carry mildly heterogeneous deterministic rates. Each rule reads a
+/// single species, so the dependency graph is genuinely sparse while the
+/// rule count grows quadratically with the side length.
+///
+/// # Panics
+///
+/// Panics if either side is zero or the lattice has fewer than two cells.
+pub fn grid_source(width: usize, height: usize) -> String {
+    assert!(
+        width >= 1 && height >= 1 && width * height >= 2,
+        "a grid needs at least two cells"
+    );
+    let species = |r: usize, c: usize| format!("S{r}_{c}");
+    let mut source = format!("model grid_{width}x{height};\nspecies ");
+    for r in 0..height {
+        for c in 0..width {
+            if r + c > 0 {
+                source.push_str(", ");
+            }
+            source.push_str(&species(r, c));
+        }
+    }
+    source.push_str(";\nparam drive in [0.5, 2];\n");
+    let mut edge = 0usize;
+    let mut push_rule = |source: &mut String, from: String, to: String| {
+        let rate = if edge == 0 {
+            format!("drive * {from}")
+        } else {
+            format!("{} * {from}", 1.0 + 0.1 * (edge % 7) as f64)
+        };
+        source.push_str(&format!("rule hop{edge}: {from} -> {to} @ {rate};\n"));
+        edge += 1;
+    };
+    for r in 0..height {
+        for c in 0..width {
+            if c + 1 < width {
+                push_rule(&mut source, species(r, c), species(r, c + 1));
+                push_rule(&mut source, species(r, c + 1), species(r, c));
+            }
+            if r + 1 < height {
+                push_rule(&mut source, species(r, c), species(r + 1, c));
+                push_rule(&mut source, species(r + 1, c), species(r, c));
+            }
+        }
+    }
+    source.push_str("init ");
+    let share = 1.0 / (width * height) as f64;
+    for r in 0..height {
+        for c in 0..width {
+            if r + c > 0 {
+                source.push_str(", ");
+            }
+            source.push_str(&format!("{} = {share}", species(r, c)));
+        }
+    }
+    source.push_str(";\n");
+    source
+}
+
+/// A registry-ready grid scenario named `grid_<width>x<height>` with a
+/// 4-time-unit horizon and the first cell as objective.
+///
+/// # Panics
+///
+/// Panics if the lattice has fewer than two cells (see [`grid_source`]).
+pub fn grid_scenario(width: usize, height: usize) -> Scenario {
+    // generate first: grid_source validates the sizes, so the rule-count
+    // arithmetic below cannot underflow on a zero side
+    let source = grid_source(width, height);
+    let rules = 2 * ((width - 1) * height + width * (height - 1));
+    Scenario::new(
+        format!("grid_{width}x{height}"),
+        format!("generated {width}x{height} migration lattice ({rules} mass-action rules)"),
+        source,
+        4.0,
+        0,
+    )
+}
+
 fn builtins() -> Vec<Scenario> {
     vec![
         Scenario::new(
@@ -374,6 +530,10 @@ fn builtins() -> Vec<Scenario> {
             6.0,
             1,
         ),
+        // generated large-K scenarios: exercise sparse dependency graphs
+        // and sub-linear transition selection across the registry suites
+        ring_scenario(48),
+        grid_scenario(6, 6),
     ]
 }
 
@@ -390,13 +550,15 @@ mod tests {
                 "botnet",
                 "gps",
                 "gps_poisson",
+                "grid_6x6",
                 "load_balancer",
+                "ring_48",
                 "seir",
                 "sir",
                 "sis"
             ]
         );
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 9);
         assert!(!registry.is_empty());
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap_or_else(|e| {
@@ -463,6 +625,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn generated_ring_compiles_with_expected_shape() {
+        let model = crate::compile(&ring_source(12)).unwrap();
+        assert_eq!(model.name(), "ring_12");
+        assert_eq!(model.dim(), 12);
+        assert!(model.is_conservative());
+        let population = model.population_model().unwrap();
+        assert_eq!(population.transitions().len(), 12);
+        // every hop is a compiled mass-action rate reading one species
+        for (k, t) in population.transitions().iter().enumerate() {
+            assert!(t.rate_fn().is_compiled());
+            assert_eq!(t.rate_fn().species_support(), Some(&[k][..]));
+        }
+        let counts = model.initial_counts(1200);
+        assert_eq!(counts.iter().sum::<i64>(), 1200);
+    }
+
+    #[test]
+    fn generated_grid_compiles_with_expected_shape() {
+        let (w, h) = (4, 3);
+        let model = crate::compile(&grid_source(w, h)).unwrap();
+        assert_eq!(model.name(), "grid_4x3");
+        assert_eq!(model.dim(), w * h);
+        assert!(model.is_conservative());
+        let expected_rules = 2 * ((w - 1) * h + w * (h - 1));
+        let population = model.population_model().unwrap();
+        assert_eq!(population.transitions().len(), expected_rules);
+        // hops read exactly one species each, and every hop has a reverse
+        // partner (the lattice is bidirectional)
+        let mut net_change = vec![0i64; w * h];
+        for t in population.transitions() {
+            assert_eq!(t.rate_fn().species_support().map(<[usize]>::len), Some(1));
+            for (i, &c) in t.change().iter().enumerate() {
+                net_change[i] += c.round() as i64;
+            }
+        }
+        assert!(net_change.iter().all(|&c| c == 0), "{net_change:?}");
+        let counts = model.initial_counts(w * h * 100);
+        assert_eq!(counts.iter().sum::<i64>(), (w * h * 100) as i64);
+    }
+
+    #[test]
+    fn generated_scenarios_validate_their_sizes() {
+        assert!(std::panic::catch_unwind(|| ring_source(1)).is_err());
+        assert!(std::panic::catch_unwind(|| grid_source(1, 1)).is_err());
+        assert!(std::panic::catch_unwind(|| grid_source(0, 3)).is_err());
+        // a 1×n strip is a valid degenerate lattice
+        let strip = crate::compile(&grid_source(1, 3)).unwrap();
+        assert_eq!(strip.population_model().unwrap().transitions().len(), 4);
     }
 
     #[test]

@@ -20,7 +20,9 @@ use crate::{Result, SimError};
 pub struct EnsembleOptions {
     /// Number of independent replications.
     pub replications: usize,
-    /// Seed of the first replication; replication `k` uses `base_seed + k`.
+    /// Seed of the first replication; replication `k` uses
+    /// `base_seed.wrapping_add(k)`, so seeds near `u64::MAX` wrap instead
+    /// of overflowing.
     pub base_seed: u64,
     /// Number of worker threads (`0` means one thread per available core).
     pub threads: usize,
@@ -335,6 +337,30 @@ mod tests {
             distance < 0.12,
             "ensemble mean deviates from mean field by {distance}"
         );
+    }
+
+    #[test]
+    fn seeding_wraps_at_the_u64_boundary() {
+        // replication seeds are base_seed.wrapping_add(k): a base near
+        // u64::MAX must wrap around instead of panicking (debug builds
+        // abort on overflowing `+`), and distinct replications must still
+        // get distinct streams
+        let sim = Simulator::new(bike_model(), 30).unwrap();
+        let summary = run_ensemble(
+            &sim,
+            &[15],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            &SimulationOptions::new(2.0),
+            &EnsembleOptions {
+                replications: 4,
+                base_seed: u64::MAX - 1,
+                threads: 2,
+                grid_intervals: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.replications(), 4);
+        assert!(summary.std_dev_at(4)[0] >= 0.0);
     }
 
     #[test]

@@ -21,6 +21,19 @@
 //! reference implementation; the default [`PropensityStrategy::DependencyGraph`]
 //! is *bit-identical* to the reference for every model (checked across the
 //! scenario registry by `tests/ssa_dependency.rs`).
+//!
+//! # Event selection
+//!
+//! Orthogonally to propensity *maintenance*, the per-event transition
+//! *selection* is controlled by a
+//! [`SelectionStrategy`]: the `O(K)`
+//! roulette scan (the bit-exact reference), an `O(log K)` partial-sum
+//! tree, or `O(1)`-expected composition-rejection — see the
+//! [`selection`](crate::selection) module for the data structures and the
+//! ulp policy. The default picks by transition count. Constant parameter
+//! policies additionally declare themselves via
+//! [`ParameterPolicy::is_constant`], letting the simulator query ϑ once
+//! per run instead of once per event.
 
 use mfu_ctmc::population::PopulationModel;
 use mfu_num::ode::Trajectory;
@@ -30,6 +43,7 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::policy::ParameterPolicy;
+use crate::selection::{SelectionStrategy, Selector};
 use crate::{Result, SimError};
 
 /// How the simulator maintains the propensity vector between events.
@@ -58,6 +72,18 @@ pub enum PropensityStrategy {
     },
 }
 
+impl std::fmt::Display for PropensityStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropensityStrategy::FullRescan => f.write_str("full-rescan"),
+            PropensityStrategy::DependencyGraph => f.write_str("dependency-graph"),
+            PropensityStrategy::IncrementalTotal { refresh_every } => {
+                write!(f, "incremental:{refresh_every}")
+            }
+        }
+    }
+}
+
 /// Options controlling a single stochastic simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulationOptions {
@@ -78,6 +104,10 @@ pub struct SimulationOptions {
     /// How propensities are maintained between events (defaults to the
     /// bit-identical [`PropensityStrategy::DependencyGraph`] hot path).
     pub propensity: PropensityStrategy,
+    /// How the firing transition is selected among the candidates
+    /// (defaults to [`SelectionStrategy::Auto`], which picks by transition
+    /// count).
+    pub selection: SelectionStrategy,
 }
 
 impl SimulationOptions {
@@ -98,6 +128,7 @@ impl SimulationOptions {
             record_interval: None,
             strict_policy: true,
             propensity: PropensityStrategy::DependencyGraph,
+            selection: SelectionStrategy::Auto,
         }
     }
 
@@ -105,6 +136,13 @@ impl SimulationOptions {
     #[must_use]
     pub fn propensity_strategy(mut self, strategy: PropensityStrategy) -> Self {
         self.propensity = strategy;
+        self
+    }
+
+    /// Selects the transition-selection strategy.
+    #[must_use]
+    pub fn selection_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.selection = strategy;
         self
     }
 
@@ -180,10 +218,14 @@ impl SimulationRun {
 pub struct Simulator {
     model: PopulationModel,
     scale: usize,
-    jumps: Vec<Vec<i64>>,
+    /// `sparse_jumps[k]` — the nonzero entries of transition `k`'s integer
+    /// jump vector as `(species, change)` pairs, so applying an event costs
+    /// `O(species changed)` instead of `O(dim)` (a real cost on generated
+    /// models with hundreds of species).
+    sparse_jumps: Vec<Vec<(usize, i64)>>,
     /// `dependencies[k]` — sorted indices of the transitions whose rate may
     /// change when transition `k` fires (those whose species support meets
-    /// the nonzero entries of `jumps[k]`; transitions with unknown support
+    /// the species listed in `sparse_jumps[k]`; transitions with unknown support
     /// are conservatively included everywhere).
     dependencies: Vec<Vec<usize>>,
 }
@@ -203,11 +245,21 @@ impl Simulator {
             .iter()
             .map(|t| t.change().iter().map(|&v| v.round() as i64).collect())
             .collect();
+        let sparse_jumps: Vec<Vec<(usize, i64)>> = jumps
+            .iter()
+            .map(|jump| {
+                jump.iter()
+                    .enumerate()
+                    .filter(|&(_, &j)| j != 0)
+                    .map(|(i, &j)| (i, j))
+                    .collect()
+            })
+            .collect();
         let dependencies = build_dependency_graph(&model, &jumps);
         Ok(Simulator {
             model,
             scale,
-            jumps,
+            sparse_jumps,
             dependencies,
         })
     }
@@ -311,20 +363,35 @@ impl Simulator {
         let mut since_refresh = 0usize;
         let mut total = 0.0_f64;
 
+        // Transition selection: resolve the strategy against the model
+        // size and keep the selector's structures in lockstep with `rates`.
+        let mut selector = Selector::new(options.selection.resolve(n_transitions), n_transitions);
+
+        // Constant policies are queried once (first iteration); everything
+        // else is queried at every event, as before.
+        let policy_constant = policy.is_constant();
+        let mut theta: Vec<f64> = Vec::new();
+        let mut theta_known = false;
+
         loop {
             // Query the policy, validating or clamping its output.
-            let theta_raw = policy.value(t, &x, rng);
-            let theta = if self.model.params().contains(&theta_raw) {
-                theta_raw
-            } else if options.strict_policy {
-                return Err(SimError::PolicyOutOfRange { time: t });
+            let theta_changed = if theta_known && policy_constant {
+                false
             } else {
-                self.model.params().clamp(&theta_raw)?
+                let theta_raw = policy.value(t, &x, rng);
+                theta = if self.model.params().contains(&theta_raw) {
+                    theta_raw
+                } else if options.strict_policy {
+                    return Err(SimError::PolicyOutOfRange { time: t });
+                } else {
+                    self.model.params().clamp(&theta_raw)?
+                };
+                theta_known = true;
+                theta != last_theta
             };
 
             // Maintain the propensities. The reference path rescans all
             // rates; the dependency-graph paths only re-evaluate stale ones.
-            let theta_changed = theta != last_theta;
             let rescan_all =
                 matches!(options.propensity, PropensityStrategy::FullRescan) || theta_changed;
             if rescan_all {
@@ -333,6 +400,7 @@ impl Simulator {
                     *rate = self.eval_rate(k, &x, &theta)?;
                     total += *rate;
                 }
+                selector.rebuild(&rates);
                 since_refresh = 0;
             } else {
                 let mut delta = 0.0_f64;
@@ -341,6 +409,7 @@ impl Simulator {
                         let updated = self.eval_rate(m, &x, &theta)?;
                         delta += updated - rates[m];
                         rates[m] = updated;
+                        selector.update(m, updated);
                     }
                 }
                 match options.propensity {
@@ -379,28 +448,28 @@ impl Simulator {
             }
             t += dt;
 
-            // Choose which transition fires.
-            let mut target = rng.gen::<f64>() * total;
-            let mut chosen = n_transitions - 1;
-            for (k, &r) in rates.iter().enumerate() {
-                if target < r {
-                    chosen = k;
-                    break;
-                }
-                target -= r;
-            }
+            // Choose which transition fires. `None` means no transition has
+            // a positive rate even though the bookkept `total` is positive —
+            // only possible when an incrementally maintained total drifted
+            // above the true (zero) rate sum — so the state is absorbing.
+            // The historical code fell through to `n_transitions - 1` here,
+            // which could fire a rate-0.0 (impossible) transition.
+            let Some(chosen) = selector.choose(&rates, total, rng) else {
+                break;
+            };
 
             // Apply the jump; a jump that would drive a count negative is
             // dropped (it can only happen when a rate does not vanish exactly
             // at the boundary due to floating-point noise). A dropped jump
             // leaves the state — and therefore every propensity — unchanged.
-            let jump = &self.jumps[chosen];
-            if counts.iter().zip(jump.iter()).all(|(c, j)| c + j >= 0) {
-                for (c, j) in counts.iter_mut().zip(jump.iter()) {
-                    *c += j;
-                }
-                for (i, &c) in counts.iter().enumerate() {
-                    x[i] = c as f64 / scale;
+            // Only the touched coordinates are visited, so an event costs
+            // `O(species changed)` rather than `O(dim)`; the untouched
+            // normalised coordinates keep their bit-identical values.
+            let jump = &self.sparse_jumps[chosen];
+            if jump.iter().all(|&(i, j)| counts[i] + j >= 0) {
+                for &(i, j) in jump {
+                    counts[i] += j;
+                    x[i] = counts[i] as f64 / scale;
                 }
                 pending = Some(chosen);
             }
@@ -728,6 +797,65 @@ mod tests {
     }
 
     #[test]
+    fn selection_strategies_agree_on_the_cycle_model() {
+        let sim = Simulator::new(cycle_model(), 300).unwrap();
+        let base = SimulationOptions::new(25.0);
+        let run = |selection: SelectionStrategy, seed: u64| {
+            let mut policy = ConstantPolicy::new(vec![1.25]);
+            sim.simulate(
+                &[150, 100, 50],
+                &mut policy,
+                &base.selection_strategy(selection),
+                seed,
+            )
+            .unwrap()
+        };
+        for seed in [1, 7, 42] {
+            // the tree consumes the same single uniform draw per event as
+            // the scan; disagreement is confined to ulp-wide windows none
+            // of these seeds hit, so the runs match exactly
+            let linear = run(SelectionStrategy::LinearScan, seed);
+            let tree = run(SelectionStrategy::SumTree, seed);
+            assert_eq!(linear.events(), tree.events(), "seed {seed}");
+            assert_eq!(linear.final_counts(), tree.final_counts(), "seed {seed}");
+            // composition-rejection draws differently, so only determinism
+            // and model invariants are checked per seed
+            let cr1 = run(SelectionStrategy::CompositionRejection, seed);
+            let cr2 = run(SelectionStrategy::CompositionRejection, seed);
+            assert_eq!(cr1.events(), cr2.events(), "seed {seed}");
+            assert_eq!(cr1.final_counts(), cr2.final_counts(), "seed {seed}");
+            assert!(cr1.events() > 0);
+            assert_eq!(cr1.final_counts().iter().sum::<i64>(), 300, "conservation");
+            assert!(cr1.final_counts().iter().all(|&c| c >= 0));
+        }
+    }
+
+    #[test]
+    fn constant_policy_short_circuit_matches_per_event_queries() {
+        // `is_constant` lets the simulator query the policy once; the run
+        // must be bit-identical to a policy returning the same constant
+        // without the promise (queried every event, consuming no RNG).
+        let sim = Simulator::new(cycle_model(), 200).unwrap();
+        let options = SimulationOptions::new(15.0);
+        let mut constant = ConstantPolicy::new(vec![1.5]);
+        assert!(constant.is_constant());
+        let mut queried = crate::policy::TimeFunctionPolicy::new("const", |_| vec![1.5]);
+        assert!(!queried.is_constant());
+        let a = sim
+            .simulate(&[100, 60, 40], &mut constant, &options, 31)
+            .unwrap();
+        let b = sim
+            .simulate(&[100, 60, 40], &mut queried, &options, 31)
+            .unwrap();
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.final_counts(), b.final_counts());
+        for ((ta, sa), (tb, sb)) in a.trajectory().iter().zip(b.trajectory().iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+    }
+
+    #[test]
     fn strategies_agree_under_state_feedback_policies() {
         // A hysteresis policy moves ϑ mid-run, exercising the
         // theta-changed full-rescan branch of the dependency path.
@@ -747,6 +875,79 @@ mod tests {
         let graph = run(PropensityStrategy::DependencyGraph);
         assert_eq!(reference.events(), graph.events());
         assert_eq!(reference.final_counts(), graph.final_counts());
+    }
+
+    /// A model built to wreck the `IncrementalTotal` running total: a rate
+    /// that spikes between ~4e15 and 0 makes `total += delta` cancel
+    /// catastrophically. While the total is huge its representable grid is
+    /// 0.5 wide, so the arm rate 0.6 is recorded as 0.5 on the way up and
+    /// the small remainder 0.4 as 0.5 on the way back — after each spike
+    /// the running total sits ~0.1 *above* the true rate sum, putting ~10%
+    /// of roulette targets beyond every positive rate. The last transition
+    /// ("impossible") always has rate exactly 0.0 and bumps a witness
+    /// species nothing else touches.
+    fn drifting_total_model() -> PopulationModel {
+        let params = ParamSpace::single("unused", 1.0, 1.0).unwrap();
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["X", "Y", "Z"])
+            .transition(TransitionClass::new(
+                "arm",
+                [1.0, 0.0, 0.0],
+                |x: &StateVec, _: &[f64]| if x[0] < 0.5 { 0.6 } else { 0.0 },
+            ))
+            .transition(TransitionClass::new(
+                "spike",
+                [-1.0, 0.0, 0.0],
+                |x: &StateVec, _: &[f64]| if x[0] > 0.5 { 3.7e15 } else { 0.0 },
+            ))
+            .transition(TransitionClass::new(
+                "cycle_up",
+                [0.0, 1.0, 0.0],
+                |x: &StateVec, _: &[f64]| if x[1] < 0.5 { 0.3 } else { 0.0 },
+            ))
+            .transition(TransitionClass::new(
+                "cycle_down",
+                [0.0, -1.0, 0.0],
+                |x: &StateVec, _: &[f64]| if x[1] > 0.5 { 0.7 } else { 0.0 },
+            ))
+            .transition(TransitionClass::new(
+                "impossible",
+                [0.0, 0.0, 1.0],
+                |_: &StateVec, _: &[f64]| 0.0,
+            ))
+            .build()
+            .unwrap()
+    }
+
+    /// Regression for the zero-rate selection fallthrough: when the drifted
+    /// incremental total exceeds the true rate sum, the roulette target can
+    /// overshoot every positive rate; the selection must then fall back to
+    /// the last *positive-rate* transition instead of firing the final
+    /// array entry (here a rate-0.0 "impossible" transition that would bump
+    /// the witness species Z).
+    #[test]
+    fn drifted_incremental_total_never_fires_a_zero_rate_transition() {
+        let sim = Simulator::new(drifting_total_model(), 1).unwrap();
+        // record_stride: spike-phase waiting times (total ~ 4e15) round
+        // below one ulp of t, so per-event recording would collide with the
+        // trajectory's strictly-increasing time guard
+        let options = SimulationOptions::new(400.0)
+            .record_stride(1 << 30)
+            .propensity_strategy(PropensityStrategy::IncrementalTotal {
+                refresh_every: usize::MAX,
+            });
+        for seed in 0..20 {
+            let mut policy = ConstantPolicy::new(vec![1.0]);
+            let run = sim
+                .simulate(&[0, 0, 0], &mut policy, &options, seed)
+                .unwrap();
+            assert_eq!(
+                run.final_counts()[2],
+                0,
+                "seed {seed}: impossible (rate 0.0) transition fired {} times",
+                run.final_counts()[2]
+            );
+        }
     }
 
     #[test]

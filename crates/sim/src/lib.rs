@@ -17,6 +17,11 @@
 //!   have changed — select the behaviour with
 //!   [`PropensityStrategy`](gillespie::PropensityStrategy) (the default
 //!   `DependencyGraph` is bit-identical to the `FullRescan` reference);
+//! * [`selection`] — sub-linear transition selection for models with many
+//!   transitions: a binary partial-sum tree (`O(log K)`) and a
+//!   composition-rejection sampler (`O(1)` expected), selectable via
+//!   [`SelectionStrategy`](selection::SelectionStrategy) next to the
+//!   `O(K)` roulette-scan reference;
 //! * [`ensemble`] — parallel replication of simulations with summary
 //!   statistics on a common time grid;
 //! * [`stats`] — running statistics and empirical summaries;
@@ -63,6 +68,7 @@ mod error;
 pub mod ensemble;
 pub mod gillespie;
 pub mod policy;
+pub mod selection;
 pub mod stats;
 pub mod steady;
 

@@ -37,6 +37,21 @@ pub trait ParameterPolicy {
     /// Returns the parameter vector in effect at time `t` and state `x`.
     fn value(&mut self, t: f64, x: &StateVec, rng: &mut dyn RngCore) -> Vec<f64>;
 
+    /// Change-detection contract: `true` promises that
+    /// [`ParameterPolicy::value`] returns the same vector at every query of
+    /// a replication, independent of `(t, x)`, *and* never consumes
+    /// randomness from `rng`.
+    ///
+    /// The simulator uses the promise to query the policy once per run
+    /// instead of once per event, skipping both the per-event allocation
+    /// and the ϑ-changed comparison on the hot path. A policy that answers
+    /// `true` while varying its value silently simulates the *first*
+    /// returned value — the default is therefore `false`, and only
+    /// genuinely constant policies (such as [`ConstantPolicy`]) opt in.
+    fn is_constant(&self) -> bool {
+        false
+    }
+
     /// Human-readable name used in reports and figures.
     fn name(&self) -> &str {
         "policy"
@@ -59,6 +74,10 @@ impl ConstantPolicy {
 impl ParameterPolicy for ConstantPolicy {
     fn value(&mut self, _t: f64, _x: &StateVec, _rng: &mut dyn RngCore) -> Vec<f64> {
         self.theta.clone()
+    }
+
+    fn is_constant(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &str {
@@ -104,6 +123,11 @@ impl ParameterPolicy for PiecewiseConstantPolicy {
     fn value(&mut self, t: f64, _x: &StateVec, _rng: &mut dyn RngCore) -> Vec<f64> {
         let idx = self.breakpoints.iter().take_while(|&&b| t >= b).count();
         self.values[idx].clone()
+    }
+
+    /// A schedule with no breakpoints is a constant.
+    fn is_constant(&self) -> bool {
+        self.breakpoints.is_empty()
     }
 
     fn name(&self) -> &str {

@@ -14,12 +14,25 @@
 //! every final count) must match exactly, while event times may differ by a
 //! relative `1e-12`. The comparison is fully deterministic, so this cannot
 //! flake.
+//!
+//! The selection subsystem is held to the same contract per strategy:
+//! within a fixed `SelectionStrategy`, `FullRescan` and `DependencyGraph`
+//! propensity maintenance see identical rates and totals, so their runs
+//! must agree bit for bit for *every* selection strategy (tree descent and
+//! composition-rejection groups are pure functions of the rate array and
+//! the RNG stream). Across selection strategies, `FullRescan + LinearScan`
+//! is the bit-exact reference; the tree consumes the same single uniform
+//! per event and only disagrees on ulp-wide target windows (none of the
+//! tested seeds hit one), while composition-rejection consumes a different
+//! draw sequence and is checked for determinism and model invariants.
 
+use mean_field_uncertain::lang::scenarios::ring_source;
 use mean_field_uncertain::lang::ScenarioRegistry;
 use mean_field_uncertain::sim::gillespie::{
     PropensityStrategy, SimulationOptions, SimulationRun, Simulator,
 };
 use mean_field_uncertain::sim::policy::ConstantPolicy;
+use mean_field_uncertain::sim::selection::SelectionStrategy;
 
 const SCALE: usize = 300;
 const SEEDS: [u64; 3] = [1, 17, 2026];
@@ -31,10 +44,29 @@ fn run(
     strategy: PropensityStrategy,
     seed: u64,
 ) -> SimulationRun {
+    run_with_selection(
+        simulator,
+        counts,
+        theta,
+        strategy,
+        SelectionStrategy::LinearScan,
+        seed,
+    )
+}
+
+fn run_with_selection(
+    simulator: &Simulator,
+    counts: &[i64],
+    theta: &[f64],
+    strategy: PropensityStrategy,
+    selection: SelectionStrategy,
+    seed: u64,
+) -> SimulationRun {
     let mut policy = ConstantPolicy::new(theta.to_vec());
     let options = SimulationOptions::new(4.0)
         .max_events(400_000)
-        .propensity_strategy(strategy);
+        .propensity_strategy(strategy)
+        .selection_strategy(selection);
     simulator
         .simulate(counts, &mut policy, &options, seed)
         .expect("simulation failed")
@@ -102,7 +134,9 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
             "botnet",
             "gps",
             "gps_poisson",
+            "grid_6x6",
             "load_balancer",
+            "ring_48",
             "seir",
             "sir",
             "sis"
@@ -129,7 +163,14 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
         // phase.
         if matches!(
             scenario.name(),
-            "botnet" | "seir" | "load_balancer" | "sir" | "gps" | "gps_poisson"
+            "botnet"
+                | "seir"
+                | "load_balancer"
+                | "sir"
+                | "gps"
+                | "gps_poisson"
+                | "ring_48"
+                | "grid_6x6"
         ) {
             assert!(
                 simulator.has_sparse_dependencies(),
@@ -169,6 +210,219 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
                 seed,
             );
             assert_same_run(scenario.name(), seed, &reference, &incremental, 1e-12);
+        }
+    }
+}
+
+/// A 2-rule guarded model that walks to an absorbing boundary: once X is
+/// exhausted both guards hold the rates at exactly 0.0 and the simulation
+/// must stop without firing anything further.
+const GUARDED_ABSORBING_SOURCE: &str = "\
+model guarded_absorbing;
+species X, Y;
+param r in [1, 2];
+rule decay:   X -> Y @ when X > 0 { r * X } else { 0 };
+rule degrade: Y -> 0 @ when X > 0 { 0.5 * Y } else { 0 };
+init X = 0.4, Y = 0.6;
+";
+
+const SELECTIONS: [SelectionStrategy; 3] = [
+    SelectionStrategy::LinearScan,
+    SelectionStrategy::SumTree,
+    SelectionStrategy::CompositionRejection,
+];
+
+#[test]
+fn selection_and_propensity_combinations_agree_on_generated_scenarios() {
+    let registry = ScenarioRegistry::with_builtins();
+    for name in ["ring_48", "grid_6x6"] {
+        let model = registry.compile(name).expect("scenario compiles");
+        let population = model.population_model().expect("population backend");
+        let simulator = Simulator::new(population, SCALE).expect("simulator");
+        let counts = model.initial_counts(SCALE);
+        let theta = model.params().midpoint();
+        for seed in SEEDS {
+            let reference = run_with_selection(
+                &simulator,
+                &counts,
+                &theta,
+                PropensityStrategy::FullRescan,
+                SelectionStrategy::LinearScan,
+                seed,
+            );
+            assert!(reference.events() > 0, "`{name}` seed {seed}: no events");
+            for selection in SELECTIONS {
+                let full = run_with_selection(
+                    &simulator,
+                    &counts,
+                    &theta,
+                    PropensityStrategy::FullRescan,
+                    selection,
+                    seed,
+                );
+                let graph = run_with_selection(
+                    &simulator,
+                    &counts,
+                    &theta,
+                    PropensityStrategy::DependencyGraph,
+                    selection,
+                    seed,
+                );
+                let incremental = run_with_selection(
+                    &simulator,
+                    &counts,
+                    &theta,
+                    PropensityStrategy::IncrementalTotal { refresh_every: 256 },
+                    selection,
+                    seed,
+                );
+                if selection == SelectionStrategy::CompositionRejection {
+                    // CR group membership order is update-history dependent
+                    // (fresh rebuild vs swap-remove churn), so propensity
+                    // strategies legitimately diverge; the contract is
+                    // determinism per configuration plus model invariants
+                    let again = run_with_selection(
+                        &simulator,
+                        &counts,
+                        &theta,
+                        PropensityStrategy::DependencyGraph,
+                        selection,
+                        seed,
+                    );
+                    assert_same_run(name, seed, &graph, &again, 0.0);
+                    assert!(incremental.events() > 0);
+                } else {
+                    // within linear/tree selection, every propensity
+                    // strategy sees the same rates: FullRescan vs
+                    // DependencyGraph must be bit-identical,
+                    // IncrementalTotal ulp-close in time
+                    assert_same_run(name, seed, &full, &graph, 0.0);
+                    assert_same_run(name, seed, &full, &incremental, 1e-12);
+                }
+                // model invariants hold regardless of the draw sequence
+                for run in [&full, &graph, &incremental] {
+                    assert_eq!(
+                        run.final_counts().iter().sum::<i64>(),
+                        SCALE as i64,
+                        "`{name}` {selection}: migration network lost mass"
+                    );
+                    assert!(run.final_counts().iter().all(|&c| c >= 0));
+                }
+                // cross-selection: the tree consumes the same uniform draw
+                // per event as the scan, so these seeds match it exactly
+                if selection == SelectionStrategy::SumTree {
+                    assert_eq!(reference.events(), full.events(), "`{name}` seed {seed}");
+                    assert_eq!(reference.final_counts(), full.final_counts());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn guarded_model_at_an_absorbing_boundary_stops_under_every_combination() {
+    let model = mean_field_uncertain::lang::compile(GUARDED_ABSORBING_SOURCE).unwrap();
+    let population = model.population_model().unwrap();
+    let simulator = Simulator::new(population, 100).unwrap();
+    let theta = model.params().midpoint();
+    let propensities = [
+        PropensityStrategy::FullRescan,
+        PropensityStrategy::DependencyGraph,
+        PropensityStrategy::IncrementalTotal { refresh_every: 16 },
+    ];
+    // a horizon long enough for the decay chain to exhaust X almost surely
+    let absorb = |counts: &[i64], propensity, selection| {
+        let mut policy = ConstantPolicy::new(theta.clone());
+        let options = SimulationOptions::new(200.0)
+            .propensity_strategy(propensity)
+            .selection_strategy(selection);
+        simulator
+            .simulate(counts, &mut policy, &options, 7)
+            .expect("simulation failed")
+    };
+    for propensity in propensities {
+        for selection in SELECTIONS {
+            // started away from the boundary: the run must absorb with X
+            // exhausted and never fire a guarded-off rule afterwards
+            let run = absorb(&[40, 60], propensity, selection);
+            assert_eq!(
+                run.final_counts()[0],
+                0,
+                "{propensity}/{selection}: did not absorb"
+            );
+            assert!(run.final_counts()[1] >= 0);
+            assert!(
+                run.events() >= 40,
+                "{propensity}/{selection}: too few events"
+            );
+            // started exactly on the boundary: all rates are exactly 0.0,
+            // so nothing may ever fire
+            let parked = absorb(&[0, 60], propensity, selection);
+            assert_eq!(
+                parked.events(),
+                0,
+                "{propensity}/{selection}: fired at boundary"
+            );
+            assert_eq!(parked.final_counts(), &[0, 60]);
+        }
+    }
+}
+
+#[test]
+fn large_k_ring_parity_holds_at_200_rules() {
+    // the acceptance-scale generated scenario: 200 mass-action rules, the
+    // size where sub-linear selection pays off; parity must not degrade
+    // 10 molecules per site: small enough to stay fast, large enough for
+    // the uniform init to round exactly (SCALE = 300 would leave the last
+    // site negative after rounding 199 sites of 1.5 up to 2)
+    let scale = 2000usize;
+    let model = mean_field_uncertain::lang::compile(&ring_source(200)).unwrap();
+    let population = model.population_model().unwrap();
+    assert_eq!(population.transitions().len(), 200);
+    let simulator = Simulator::new(population, scale).unwrap();
+    assert!(simulator.has_sparse_dependencies());
+    let counts = model.initial_counts(scale);
+    assert_eq!(counts.iter().sum::<i64>(), scale as i64);
+    let theta = model.params().midpoint();
+    let seed = 1;
+    let reference = run_with_selection(
+        &simulator,
+        &counts,
+        &theta,
+        PropensityStrategy::FullRescan,
+        SelectionStrategy::LinearScan,
+        seed,
+    );
+    assert!(reference.events() > 0);
+    for selection in SELECTIONS {
+        let full = run_with_selection(
+            &simulator,
+            &counts,
+            &theta,
+            PropensityStrategy::FullRescan,
+            selection,
+            seed,
+        );
+        let graph = run_with_selection(
+            &simulator,
+            &counts,
+            &theta,
+            PropensityStrategy::DependencyGraph,
+            selection,
+            seed,
+        );
+        if selection != SelectionStrategy::CompositionRejection {
+            // CR group-member ordering differs between a per-event rebuild
+            // and incremental churn, so cross-propensity bit-parity only
+            // binds the linear and tree selectors
+            assert_same_run("ring_200", seed, &full, &graph, 0.0);
+        }
+        assert!(full.events() > 0 && graph.events() > 0);
+        assert_eq!(full.final_counts().iter().sum::<i64>(), scale as i64);
+        assert_eq!(graph.final_counts().iter().sum::<i64>(), scale as i64);
+        if selection == SelectionStrategy::SumTree {
+            assert_eq!(reference.events(), full.events());
+            assert_eq!(reference.final_counts(), full.final_counts());
         }
     }
 }
