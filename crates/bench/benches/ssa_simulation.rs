@@ -10,6 +10,7 @@ use mfu_models::sir::SirModel;
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::{ConstantPolicy, HysteresisPolicy};
 use mfu_sim::selection::SelectionStrategy;
+use mfu_sim::tauleap::TauLeapOptions;
 use std::hint::black_box;
 
 fn bench_ssa(c: &mut Criterion) {
@@ -156,10 +157,51 @@ fn bench_selection_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Exact SSA vs adaptive τ-leaping on the registry SIR scenario across
+/// population scales. The exact engine's cost grows linearly with `N`
+/// while the leap engine's stays near constant, so the ratio is the
+/// large-`N` speedup the τ-leap subsystem exists for (the
+/// `rate_engine_report` binary records the same comparison, including
+/// `N = 10⁶` and the mean-trajectory error, in `BENCH_rate_engine.json`).
+fn bench_tauleap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_tauleap");
+    group.sample_size(10);
+
+    let registry = ScenarioRegistry::with_builtins();
+    let model = mfu_lang::compile(registry.get("sir").unwrap().source()).unwrap();
+    let population = model.population_model().unwrap();
+    let theta = model.params().midpoint();
+    let horizon = 3.0;
+    for &scale in &[1_000usize, 100_000] {
+        let simulator = Simulator::new(population.clone(), scale).unwrap();
+        let counts = model.initial_counts(scale);
+        let exact = SimulationOptions::new(horizon).record_stride(4096);
+        group.bench_function(format!("sir_exact_N{scale}"), |b| {
+            b.iter(|| {
+                let mut policy = ConstantPolicy::new(theta.clone());
+                simulator
+                    .simulate(black_box(&counts), &mut policy, &exact, 11)
+                    .unwrap()
+            })
+        });
+        let leap = SimulationOptions::new(horizon).tau_leap(TauLeapOptions::new(0.03));
+        group.bench_function(format!("sir_tauleap_eps0.03_N{scale}"), |b| {
+            b.iter(|| {
+                let mut policy = ConstantPolicy::new(theta.clone());
+                simulator
+                    .simulate(black_box(&counts), &mut policy, &leap, 11)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ssa,
     bench_propensity_strategies,
-    bench_selection_strategies
+    bench_selection_strategies,
+    bench_tauleap
 );
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Emits `BENCH_rate_engine.json`: the perf trajectory of the rate engine
-//! (interpreted tree vs bytecode VM) and of the Gillespie propensity
-//! strategies (full rescan vs dependency graph vs incremental total).
+//! (interpreted tree vs bytecode VM), of the Gillespie propensity and
+//! selection strategies, and of the τ-leap engine vs the exact SSA at
+//! large population scales.
 //!
 //! Run from the repository root (ideally `--release`):
 //!
@@ -11,15 +12,31 @@
 //! The numbers land in `BENCH_rate_engine.json` next to the manifest and on
 //! stdout; CI runs the binary so the report (and the code paths it times)
 //! cannot rot.
+//!
+//! # Bench-regression guard
+//!
+//! ```text
+//! rate_engine_report --check <baseline.json> [--tolerance 0.25] [--current <report.json>]
+//! ```
+//!
+//! compares the timing metrics (every `*_ns` leaf) of a freshly written
+//! report against a committed baseline and exits non-zero when any shared
+//! metric regressed by more than the tolerance (default 25%). CI copies
+//! the committed `BENCH_rate_engine.json` aside, regenerates the report,
+//! then runs the check — so a perf regression fails the build instead of
+//! silently rewriting the baseline.
 
 use std::time::Instant;
 
+use mfu_bench::regression;
 use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_lang::vm::RateProgram;
+use mfu_num::ode::{Integrator, Rk4};
 use mfu_num::StateVec;
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
 use mfu_sim::selection::SelectionStrategy;
+use mfu_sim::tauleap::TauLeapOptions;
 use std::hint::black_box;
 
 /// Rules of one model paired with a ring of ϑ points of the model's
@@ -105,7 +122,108 @@ fn measure_rate_set(groups: &[RuleGroup], x: &StateVec) -> (f64, f64, usize, usi
     (tree_ns, vm_ns, n_rules, fast_path)
 }
 
+/// `--check` mode: compare two already-written reports, print a verdict
+/// table, and return whether the guard passed.
+fn run_check(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+    let current = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read current report `{current_path}`: {e}"))?;
+    let comparison = regression::compare(&baseline, &current, tolerance)?;
+    println!(
+        "bench-regression guard: {} shared timing metrics within {:.0}% of `{baseline_path}`",
+        comparison.passed,
+        tolerance * 100.0
+    );
+    for path in &comparison.unmatched {
+        println!("  (unmatched, ignored) {path}");
+    }
+    for regression in &comparison.regressions {
+        println!(
+            "  REGRESSION {}: {:.2} ns -> {:.2} ns ({:+.0}%)",
+            regression.path,
+            regression.baseline,
+            regression.current,
+            (regression.current / regression.baseline - 1.0) * 100.0
+        );
+    }
+    Ok(comparison.regressions.is_empty())
+}
+
+/// Parsed command line: measurement mode (default) or check mode.
+enum Mode {
+    Measure,
+    Check {
+        baseline: String,
+        current: String,
+        tolerance: f64,
+    },
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    let mut baseline = None;
+    let mut current = "BENCH_rate_engine.json".to_string();
+    let mut tolerance: f64 = 0.25;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("`{flag}` needs {what}"))
+                .cloned()
+        };
+        match flag.as_str() {
+            "--check" => baseline = Some(value("a baseline path")?),
+            "--current" => current = value("a report path")?,
+            "--tolerance" => {
+                tolerance = value("a relative tolerance")?
+                    .parse()
+                    .map_err(|e| format!("`--tolerance`: {e}"))?;
+                if !(tolerance >= 0.0 && tolerance.is_finite()) {
+                    return Err("`--tolerance` must be a non-negative number".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown option `{other}` (expected --check <baseline.json> \
+                     [--tolerance <rel>] [--current <report.json>])"
+                ))
+            }
+        }
+    }
+    match baseline {
+        Some(baseline) => Ok(Mode::Check {
+            baseline,
+            current,
+            tolerance,
+        }),
+        // without --check the binary measures and OVERWRITES the report,
+        // so stray check-only flags must not be silently ignored
+        None if !args.is_empty() => {
+            Err("`--tolerance`/`--current` only apply to --check mode; add \
+             `--check <baseline.json>` or drop them"
+                .into())
+        }
+        None => Ok(Mode::Measure),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args)? {
+        Mode::Check {
+            baseline,
+            current,
+            tolerance,
+        } => {
+            if run_check(&baseline, &current, tolerance)? {
+                return Ok(());
+            }
+            eprintln!("bench-regression guard failed");
+            std::process::exit(1);
+        }
+        Mode::Measure => {}
+    }
+
     // ---- rate engine: tree vs VM over every builtin scenario rule --------
     // Two measured sets: the full-coordinate scenario rules (exactly what
     // the `dsl_parse_compile/rate_engine` bench group times — the PR's
@@ -256,12 +374,84 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         selection_entries.push((label, n_transitions, scale, per_selection));
     }
 
+    // ---- SSA: tau-leap vs exact cost per unit simulated time -------------
+    // The τ-leap acceptance gauge: on the paper's SIR scenario the exact
+    // SSA pays O(N) events per unit time while the leap engine pays a
+    // near-constant number of leaps, so the per-unit-time cost gap must
+    // widen linearly with N (≥ 10× at N = 10⁶ is the PR 5 acceptance
+    // floor; the measured gap is far larger). Each leap run also records
+    // its sup-norm distance from the mean-field drift at the midpoint
+    // parameters — the mean-trajectory error the Cao–Gillespie bound
+    // controls (at small N this figure is dominated by the O(1/√N)
+    // stochastic fluctuations, not the leap bias).
+    let epsilon = 0.03;
+    let sir = mfu_lang::compile(registry.get("sir").expect("registered").source())?;
+    let sir_population = sir.population_model()?;
+    let sir_horizon = 3.0;
+    let sir_theta = sir.params().midpoint();
+    let sir_reference = Rk4::with_step(1e-3).integrate(
+        &sir_population.ode_for(sir_theta.clone()),
+        0.0,
+        sir.initial_state(),
+        sir_horizon,
+    )?;
+    let tau_cases: [(&str, usize, usize); 3] = [
+        ("sir_N1e3", 1_000, 7),
+        ("sir_N1e5", 100_000, 5),
+        ("sir_N1e6", 1_000_000, 3),
+    ];
+    let mut tauleap_entries = Vec::new();
+    for (label, scale, samples) in tau_cases {
+        let simulator = Simulator::new(sir_population.clone(), scale)?;
+        let counts = sir.initial_counts(scale);
+        let exact_options = SimulationOptions::new(sir_horizon).record_stride(1 << 20);
+        let mut exact_events = 0usize;
+        let exact_wall = median_ns(samples, || {
+            let mut policy = ConstantPolicy::new(sir_theta.clone());
+            let run = simulator
+                .simulate(&counts, &mut policy, &exact_options, 11)
+                .expect("exact simulation failed");
+            exact_events = run.events();
+            run.final_counts()[0] as f64
+        });
+        let leap_options =
+            SimulationOptions::new(sir_horizon).tau_leap(TauLeapOptions::new(epsilon));
+        let mut leap_steps = 0usize;
+        let leap_wall = median_ns(samples.max(5), || {
+            let mut policy = ConstantPolicy::new(sir_theta.clone());
+            let run = simulator
+                .simulate(&counts, &mut policy, &leap_options, 11)
+                .expect("tau-leap simulation failed");
+            leap_steps = run.events();
+            run.final_counts()[0] as f64
+        });
+        let mut policy = ConstantPolicy::new(sir_theta.clone());
+        let leap_run = simulator.simulate(&counts, &mut policy, &leap_options, 11)?;
+        let sup_error = leap_run
+            .trajectory()
+            .iter()
+            .map(|(t, state)| state.distance_inf(&sir_reference.at(t).expect("reference sampled")))
+            .fold(0.0_f64, f64::max);
+        tauleap_entries.push((
+            label,
+            scale,
+            exact_wall / sir_horizon,
+            exact_events,
+            leap_wall / sir_horizon,
+            leap_steps,
+            sup_error,
+        ));
+    }
+
     // ---- report ----------------------------------------------------------
     let speedup = tree_ns / vm_ns;
     let mix_speedup = mix_tree_ns / mix_vm_ns;
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"rate_engine\",\n");
-    json.push_str("  \"units\": {\"eval_ns\": \"ns/eval\", \"step_ns\": \"ns/event\"},\n");
+    json.push_str(
+        "  \"units\": {\"eval_ns\": \"ns/eval\", \"step_ns\": \"ns/event\", \
+         \"per_unit_time_ns\": \"ns per simulated time unit\"},\n",
+    );
     json.push_str(&format!(
         "  \"rate_eval\": {{\n    \"scope\": \"full-coordinate scenario rules (= dsl_parse_compile/rate_engine bench)\",\n    \"rules\": {n_rules},\n    \"fast_path_rules\": {fast_path},\n    \"tree_eval_ns\": {tree_ns:.2},\n    \"vm_eval_ns\": {vm_ns:.2},\n    \"speedup\": {speedup:.2}\n  }},\n"
     ));
@@ -313,8 +503,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     json.push_str(&format!(
-        "  \"ssa_selection\": {{\n{}\n  }}\n}}\n",
+        "  \"ssa_selection\": {{\n{}\n  }},\n",
         selection_blocks.join(",\n")
+    ));
+    let tauleap_blocks: Vec<String> = tauleap_entries
+        .iter()
+        .map(
+            |(label, scale, exact_unit, exact_events, leap_unit, leap_steps, sup_error)| {
+                format!(
+                    "    \"{label}\": {{\n      \"scale\": {scale},\n      \
+                     \"exact\": {{\"per_unit_time_ns\": {exact_unit:.0}, \"events\": {exact_events}}},\n      \
+                     \"tau_leap\": {{\"per_unit_time_ns\": {leap_unit:.0}, \"steps\": {leap_steps}, \
+                     \"speedup_vs_exact\": {:.1}, \"sup_error_vs_drift\": {sup_error:.5}}}\n    }}",
+                    exact_unit / leap_unit
+                )
+            },
+        )
+        .collect();
+    json.push_str(&format!(
+        "  \"ssa_tauleap\": {{\n    \"epsilon\": {epsilon},\n    \"horizon\": {sir_horizon},\n{}\n  }}\n}}\n",
+        tauleap_blocks.join(",\n")
     ));
 
     println!("{json}");

@@ -26,6 +26,313 @@ pub fn print_section(title: &str) {
     println!("## {title}");
 }
 
+/// Bench-regression guard: parse `BENCH_*.json` reports and compare their
+/// timing metrics against a committed baseline.
+///
+/// The vendored `serde` is a no-op stub (no `serde_json`), so this module
+/// carries a deliberately small recursive-descent JSON reader — enough for
+/// the reports this workspace emits (objects, arrays, numbers, strings,
+/// booleans, null) — plus the comparison rule CI enforces: every metric
+/// key ending in `_ns` present in *both* reports may grow by at most the
+/// given relative tolerance.
+pub mod regression {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value (numbers as `f64`, objects in key order).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string (escape sequences decoded).
+        String(String),
+        /// An array.
+        Array(Vec<Json>),
+        /// An object, preserving declaration order is not needed for the
+        /// guard, so keys are sorted.
+        Object(BTreeMap<String, Json>),
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn error(&self, message: &str) -> String {
+            format!("JSON parse error at byte {}: {message}", self.pos)
+        }
+
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.bytes.get(self.pos) == Some(&byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.error(&format!("expected `{}`", byte as char)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::String(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(_) => self.number(),
+                None => Err(self.error("unexpected end of input")),
+            }
+        }
+
+        fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                Ok(value)
+            } else {
+                Err(self.error(&format!("expected `{text}`")))
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut entries = BTreeMap::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b'}') {
+                self.pos += 1;
+                return Ok(Json::Object(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                entries.insert(key, self.value()?);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Object(entries));
+                    }
+                    _ => return Err(self.error("expected `,` or `}`")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b']') {
+                self.pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bytes.get(self.pos) {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(self.error("expected `,` or `]`")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let escaped = *self
+                            .bytes
+                            .get(self.pos)
+                            .ok_or_else(|| self.error("dangling escape"))?;
+                        self.pos += 1;
+                        match escaped {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            other => {
+                                return Err(self
+                                    .error(&format!("unsupported escape `\\{}`", other as char)))
+                            }
+                        }
+                    }
+                    Some(&b) => {
+                        out.push(b as char);
+                        self.pos += 1;
+                    }
+                    None => return Err(self.error("unterminated string")),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|text| text.parse::<f64>().ok())
+                .map(Json::Number)
+                .ok_or_else(|| self.error("malformed number"))
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-positioned message on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing garbage after document"));
+        }
+        Ok(value)
+    }
+
+    /// Flattens every numeric leaf into a `dotted.path → value` map
+    /// (array indices become path segments).
+    pub fn numeric_leaves(json: &Json) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        collect(json, String::new(), &mut out);
+        out
+    }
+
+    fn collect(json: &Json, path: String, out: &mut BTreeMap<String, f64>) {
+        match json {
+            Json::Number(value) => {
+                out.insert(path, *value);
+            }
+            Json::Object(entries) => {
+                for (key, value) in entries {
+                    let child = if path.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    collect(value, child, out);
+                }
+            }
+            Json::Array(items) => {
+                for (index, value) in items.iter().enumerate() {
+                    collect(value, format!("{path}.{index}"), out);
+                }
+            }
+            Json::Null | Json::Bool(_) | Json::String(_) => {}
+        }
+    }
+
+    /// One metric that regressed beyond the tolerance.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// Dotted path of the metric inside the report.
+        pub path: String,
+        /// Baseline value (nanoseconds).
+        pub baseline: f64,
+        /// Current value (nanoseconds).
+        pub current: f64,
+    }
+
+    /// Outcome of a baseline comparison.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Comparison {
+        /// Metrics present in both reports and within tolerance.
+        pub passed: usize,
+        /// Metrics that regressed beyond the tolerance, worst first.
+        pub regressions: Vec<Regression>,
+        /// Metric paths present in only one of the two reports (new or
+        /// retired sections — informational, never a failure).
+        pub unmatched: Vec<String>,
+    }
+
+    /// Compares the timing metrics (keys ending `_ns` — per-event and
+    /// per-eval costs) of `current` against `baseline`: a metric fails
+    /// when it exceeds `baseline · (1 + tolerance)`. Metrics present in
+    /// only one report are listed as unmatched so a report gaining a
+    /// section cannot fail the guard retroactively.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if either document is malformed.
+    pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Comparison, String> {
+        let base = numeric_leaves(&parse(baseline)?);
+        let cur = numeric_leaves(&parse(current)?);
+        let is_timing = |path: &str| {
+            path.rsplit('.')
+                .next()
+                .is_some_and(|leaf| leaf.ends_with("_ns"))
+        };
+        let mut comparison = Comparison {
+            passed: 0,
+            regressions: Vec::new(),
+            unmatched: Vec::new(),
+        };
+        for (path, &base_value) in base.iter().filter(|(p, _)| is_timing(p)) {
+            match cur.get(path) {
+                Some(&cur_value) => {
+                    if cur_value > base_value * (1.0 + tolerance) {
+                        comparison.regressions.push(Regression {
+                            path: path.clone(),
+                            baseline: base_value,
+                            current: cur_value,
+                        });
+                    } else {
+                        comparison.passed += 1;
+                    }
+                }
+                None => comparison.unmatched.push(path.clone()),
+            }
+        }
+        for path in cur.keys().filter(|p| is_timing(p)) {
+            if !base.contains_key(path) {
+                comparison.unmatched.push(path.clone());
+            }
+        }
+        comparison
+            .regressions
+            .sort_by(|a, b| (b.current / b.baseline).total_cmp(&(a.current / a.baseline)));
+        Ok(comparison)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,6 +342,67 @@ mod tests {
         print_header(&["t", "lower", "upper"]);
         print_row(&[0.0, 1.0, 2.0]);
         print_section("part (a)");
+    }
+
+    #[test]
+    fn json_round_trip_and_leaf_flattening() {
+        use super::regression::{numeric_leaves, parse, Json};
+        let doc = r#"{
+          "benchmark": "rate_engine",
+          "units": {"eval_ns": "ns/eval"},
+          "ssa": {"ring": {"scale": 4800, "linear": {"step_ns": 1.5e2, "events": 22543}}},
+          "list": [1, 2.5, {"x_ns": -3e-1}],
+          "flags": {"ok": true, "nothing": null}
+        }"#;
+        let parsed = parse(doc).unwrap();
+        assert!(matches!(parsed, Json::Object(_)));
+        let leaves = numeric_leaves(&parsed);
+        assert_eq!(leaves["ssa.ring.scale"], 4800.0);
+        assert_eq!(leaves["ssa.ring.linear.step_ns"], 150.0);
+        assert_eq!(leaves["ssa.ring.linear.events"], 22543.0);
+        assert_eq!(leaves["list.0"], 1.0);
+        assert_eq!(leaves["list.2.x_ns"], -0.3);
+        assert!(!leaves.contains_key("benchmark"));
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn regression_guard_compares_only_shared_timing_keys() {
+        use super::regression::compare;
+        let baseline = r#"{"ssa": {"a": {"step_ns": 100.0, "events": 10},
+                                    "gone": {"step_ns": 50.0}},
+                           "rate_eval": {"vm_eval_ns": 4.0, "speedup": 3.0}}"#;
+        // step_ns +20% (within 25%), vm_eval_ns +50% (regressed);
+        // `events` and `speedup` are not timing keys and never compared;
+        // a section may disappear or appear without failing the guard
+        let current = r#"{"ssa": {"a": {"step_ns": 120.0, "events": 99},
+                                   "new": {"step_ns": 1000.0}},
+                          "rate_eval": {"vm_eval_ns": 6.0, "speedup": 0.1}}"#;
+        let report = compare(baseline, current, 0.25).unwrap();
+        assert_eq!(report.passed, 1);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].path, "rate_eval.vm_eval_ns");
+        assert_eq!(report.unmatched.len(), 2, "{:?}", report.unmatched);
+        // a faster current run passes trivially
+        let report = compare(baseline, baseline, 0.0).unwrap();
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.passed, 3);
+    }
+
+    #[test]
+    fn the_committed_baseline_parses_and_carries_timing_metrics() {
+        // the CI guard is only as good as the committed baseline: it must
+        // stay parseable by this reader and keep its `_ns` leaves
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rate_engine.json");
+        let text = std::fs::read_to_string(path).expect("baseline readable");
+        let leaves = super::regression::numeric_leaves(&super::regression::parse(&text).unwrap());
+        let timing = leaves.keys().filter(|k| k.ends_with("_ns")).count();
+        assert!(timing >= 10, "only {timing} timing metrics in the baseline");
+        let report = super::regression::compare(&text, &text, 0.25).unwrap();
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.passed, timing);
     }
 
     #[test]

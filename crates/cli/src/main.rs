@@ -22,9 +22,10 @@ use std::process::ExitCode;
 use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
 use mfu_lang::vm::RateProgram;
 use mfu_lang::{CompiledModel, ScenarioRegistry};
-use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
+use mfu_sim::gillespie::{PropensityStrategy, SimulationAlgorithm, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
 use mfu_sim::selection::SelectionStrategy;
+use mfu_sim::tauleap::TauLeapOptions;
 
 const USAGE: &str = "\
 mfu — imprecise population models from the command line
@@ -41,10 +42,18 @@ RUN OPTIONS:
                              first species at t = 3 for files)
     --grid <n>               Pontryagin time-grid intervals (default 120)
     --single-start           disable the multi-start extremal search
-    --simulate <scale>       also run one Gillespie simulation at population
+    --simulate <scale>       also run one stochastic simulation at population
                              size <scale> (at least 1) under the midpoint
-                             parameters
-    --seed <n>               RNG seed for --simulate (default 42)
+                             parameters; scenarios that declare a default
+                             scale (e.g. sir_1e6) simulate at it when the
+                             flag is omitted
+    --algorithm <algo>       simulation algorithm: exact (event-by-event
+                             Gillespie SSA; the default for --simulate) or
+                             tau-leap[:<epsilon>] (approximate adaptive
+                             τ-leaping for large populations; epsilon in
+                             (0, 1), default 0.03; the default when a
+                             scenario's declared scale triggers the run)
+    --seed <n>               RNG seed for the simulation (default 42)
     --propensity <strategy>  propensity maintenance for --simulate:
                              full-rescan | dependency-graph |
                              incremental[:refresh] (default dependency-graph)
@@ -77,6 +86,10 @@ struct RunOptions {
     multi_start: bool,
     /// `--simulate scale`.
     simulate: Option<usize>,
+    /// `--algorithm exact|tau-leap[:eps]` (`None` until given: explicit
+    /// `--simulate` runs default to exact, scenario-default-scale runs to
+    /// τ-leaping).
+    algorithm: Option<SimulationAlgorithm>,
     /// `--seed n`.
     seed: u64,
     /// `--propensity strategy`.
@@ -92,6 +105,7 @@ impl Default for RunOptions {
             grid: 120,
             multi_start: true,
             simulate: None,
+            algorithm: None,
             seed: 42,
             propensity: PropensityStrategy::DependencyGraph,
             selection: SelectionStrategy::Auto,
@@ -121,6 +135,32 @@ fn parse_propensity(spec: &str) -> Result<PropensityStrategy, String> {
             Err(format!(
                 "`--propensity {other}`: expected full-rescan, dependency-graph \
                  or incremental[:refresh]"
+            ))
+        }
+    }
+}
+
+/// Parses an `--algorithm` value: `exact` or `tau-leap[:<epsilon>]`
+/// (`tauleap` is accepted as a spelling).
+fn parse_algorithm(spec: &str) -> Result<SimulationAlgorithm, String> {
+    match spec {
+        "exact" => Ok(SimulationAlgorithm::Exact),
+        "tau-leap" | "tauleap" => Ok(SimulationAlgorithm::TauLeap(TauLeapOptions::default())),
+        other => {
+            let eps = other
+                .strip_prefix("tau-leap:")
+                .or_else(|| other.strip_prefix("tauleap:"));
+            if let Some(eps) = eps {
+                let epsilon: f64 = eps
+                    .parse()
+                    .map_err(|_| format!("`--algorithm {other}`: bad epsilon `{eps}`"))?;
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(format!("`--algorithm {other}`: epsilon must lie in (0, 1)"));
+                }
+                return Ok(SimulationAlgorithm::TauLeap(TauLeapOptions::new(epsilon)));
+            }
+            Err(format!(
+                "`--algorithm {other}`: expected exact or tau-leap[:<epsilon>]"
             ))
         }
     }
@@ -207,6 +247,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--propensity" => {
                         options.propensity = parse_propensity(&value("a strategy")?)?;
                     }
+                    "--algorithm" => {
+                        options.algorithm = Some(parse_algorithm(&value("an algorithm")?)?);
+                    }
                     "--selection" => {
                         options.selection = parse_selection(&value("a strategy")?)?;
                     }
@@ -230,6 +273,9 @@ struct LoadedModel {
     model: CompiledModel,
     /// Scenario analysis defaults, when the target came from the registry.
     defaults: Option<(f64, usize)>,
+    /// Scenario-declared simulation scale (e.g. `sir_1e6`), used when
+    /// `--simulate` is omitted.
+    default_scale: Option<usize>,
 }
 
 /// Loads a target: an existing file (or anything ending in `.mfu`) compiles
@@ -245,6 +291,7 @@ fn load_model(target: &str) -> Result<LoadedModel, String> {
         return Ok(LoadedModel {
             model,
             defaults: None,
+            default_scale: None,
         });
     }
     let registry = ScenarioRegistry::with_builtins();
@@ -256,8 +303,13 @@ fn load_model(target: &str) -> Result<LoadedModel, String> {
         )
     })?;
     let defaults = Some((scenario.horizon(), scenario.objective_coordinate()));
+    let default_scale = scenario.default_scale();
     let model = scenario.compile().map_err(|e| e.to_string())?;
-    Ok(LoadedModel { model, defaults })
+    Ok(LoadedModel {
+        model,
+        defaults,
+        default_scale,
+    })
 }
 
 /// One-line structural summary of a compiled model.
@@ -357,6 +409,7 @@ fn resolve_coordinate(model: &CompiledModel, spec: &str) -> Result<usize, String
 
 fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
     let loaded = load_model(target)?;
+    let default_scale = loaded.default_scale;
     let model = loaded.model;
     let mut out = summarize(&model);
 
@@ -392,14 +445,26 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
         "imprecise bounds: {species}({horizon}) in [{lo:.6}, {hi:.6}]"
     );
 
-    if let Some(scale) = options.simulate {
+    // `--simulate` wins; a scenario-declared default scale (the
+    // `sir_1e6`-style large-N scenarios) kicks in when the flag is absent.
+    // A run triggered by the scenario's own scale defaults to τ-leaping —
+    // those scales exist because the exact SSA is wall-clock prohibitive
+    // there — while explicit `--simulate` keeps the exact default; an
+    // explicit `--algorithm` always wins.
+    if let Some(scale) = options.simulate.or(default_scale) {
+        let algorithm = options.algorithm.unwrap_or(if options.simulate.is_some() {
+            SimulationAlgorithm::Exact
+        } else {
+            SimulationAlgorithm::TauLeap(TauLeapOptions::default())
+        });
         let population = model.population_model().map_err(|e| e.to_string())?;
         let n_transitions = population.transitions().len();
         let simulator = Simulator::new(population, scale).map_err(|e| e.to_string())?;
         let mut policy = ConstantPolicy::new(model.params().midpoint());
         let sim_options = SimulationOptions::new(horizon)
             .propensity_strategy(options.propensity)
-            .selection_strategy(options.selection);
+            .selection_strategy(options.selection)
+            .algorithm(algorithm);
         let run = simulator
             .simulate(
                 &model.initial_counts(scale),
@@ -409,12 +474,17 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
             )
             .map_err(|e| e.to_string())?;
         let end = run.trajectory().last_state();
+        let engine = match algorithm {
+            SimulationAlgorithm::Exact => "Gillespie",
+            SimulationAlgorithm::TauLeap(_) => "tau-leap",
+        };
         let _ = writeln!(
             out,
-            "one N = {scale} Gillespie run at midpoint parameters \
-             (seed {}, propensity {}, selection {}): {} events, \
+            "one N = {scale} {engine} run at midpoint parameters \
+             (seed {}, algorithm {}, propensity {}, selection {}): {} events, \
              {species}({horizon}) = {:.6}",
             options.seed,
+            algorithm,
             options.propensity,
             options.selection.resolve(n_transitions),
             run.events(),
@@ -524,6 +594,53 @@ mod tests {
     }
 
     #[test]
+    fn parses_algorithm_flags() {
+        assert_eq!(
+            parse_algorithm("exact").unwrap(),
+            SimulationAlgorithm::Exact
+        );
+        assert_eq!(
+            parse_algorithm("tau-leap").unwrap(),
+            SimulationAlgorithm::TauLeap(TauLeapOptions::default())
+        );
+        assert_eq!(
+            parse_algorithm("tau-leap:0.1").unwrap(),
+            SimulationAlgorithm::TauLeap(TauLeapOptions::new(0.1))
+        );
+        assert_eq!(
+            parse_algorithm("tauleap:0.05").unwrap(),
+            SimulationAlgorithm::TauLeap(TauLeapOptions::new(0.05))
+        );
+        // every rejection names the flag so the error is actionable
+        for bad in [
+            "warp",
+            "tau-leap:0",
+            "tau-leap:1",
+            "tau-leap:-0.2",
+            "tau-leap:x",
+        ] {
+            let err = parse_algorithm(bad).unwrap_err();
+            assert!(err.contains("--algorithm"), "`{bad}`: {err}");
+        }
+        let Command::Run { options, .. } =
+            parse_args(&args("run sir --simulate 100 --algorithm tau-leap:0.2")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(
+            options.algorithm,
+            Some(SimulationAlgorithm::TauLeap(TauLeapOptions::new(0.2)))
+        );
+        assert_eq!(
+            parse_args(&args("run sir")).map(|command| match command {
+                Command::Run { options, .. } => options.algorithm,
+                _ => unreachable!(),
+            }),
+            Ok(None)
+        );
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(parse_args(&[]).is_err());
         assert!(parse_args(&args("frobnicate")).is_err());
@@ -535,6 +652,7 @@ mod tests {
         assert!(parse_args(&args("run sir --what")).is_err());
         assert!(parse_args(&args("run sir --propensity sideways")).is_err());
         assert!(parse_args(&args("run sir --selection roulette")).is_err());
+        assert!(parse_args(&args("run sir --algorithm warp")).is_err());
         assert!(parse_args(&args("check")).is_err());
         assert!(parse_args(&args("check a b")).is_err());
     }

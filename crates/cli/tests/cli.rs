@@ -129,6 +129,56 @@ fn simulate_zero_is_rejected_at_parse_time_with_exit_2() {
 }
 
 #[test]
+fn algorithm_parse_errors_exit_2_naming_the_flag() {
+    for bad in ["warp", "tau-leap:0", "tau-leap:2", "tau-leap:x"] {
+        let out = mfu(&["run", "sir", "--algorithm", bad, "--simulate", "50"]);
+        assert_eq!(out.status.code(), Some(2), "`{bad}` accepted");
+        let text = stderr(&out);
+        assert!(text.contains("--algorithm"), "`{bad}`: {text}");
+    }
+    // missing value is also a usage error naming the flag
+    let out = mfu(&["run", "sir", "--algorithm"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--algorithm"));
+}
+
+#[test]
+fn run_simulates_with_tau_leaping() {
+    // the sir_1e6 scenario declares its scale; --simulate overrides it so
+    // the debug-mode test stays fast, and τ-leaping is echoed in the run
+    // line
+    let out = mfu(&[
+        "run",
+        "sir_1e6",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--algorithm",
+        "tau-leap:0.05",
+        "--simulate",
+        "5000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model `sir_1e6`"), "{text}");
+    assert!(text.contains("tau-leap run"), "{text}");
+    assert!(text.contains("algorithm tau-leap:0.05"), "{text}");
+}
+
+#[test]
+fn scenario_declared_scale_defaults_to_tau_leaping() {
+    // without --simulate, sir_1e6 simulates at its declared N = 10⁶ —
+    // which must default to the τ-leap engine (an exact run at that scale
+    // is exactly what the scenario exists to avoid)
+    let out = mfu(&["run", "sir_1e6", "--bound", "I@1", "--grid", "30"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("N = 1000000 tau-leap run"), "{text}");
+    assert!(text.contains("algorithm tau-leap:0.03"), "{text}");
+}
+
+#[test]
 fn run_simulates_with_explicit_strategies() {
     // exercise the --propensity/--selection plumbing end to end on a small
     // scenario (cheap Pontryagin grid keeps the test fast)

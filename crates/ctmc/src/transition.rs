@@ -219,6 +219,57 @@ impl TransitionClass {
             acc.add_scaled(r, &self.change);
         }
     }
+
+    /// The nonzero entries of the integer jump vector as sorted
+    /// `(species, change)` pairs — the sparse form simulators apply per
+    /// firing, so one event costs `O(species changed)` instead of
+    /// `O(dim)`. Fractional jump entries are rounded to the nearest
+    /// integer (population jumps are integral by construction).
+    pub fn sparse_integer_changes(&self) -> Vec<(usize, i64)> {
+        self.change
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.round() as i64))
+            .filter(|&(_, j)| j != 0)
+            .collect()
+    }
+}
+
+/// Applies `firings` simultaneous firings of one sparse integer jump to the
+/// counting state: `counts[i] += change · firings` for every `(i, change)`
+/// pair. Returns `false` — leaving `counts` untouched — if any coordinate
+/// would go negative, which is how simulators reject boundary-crossing
+/// events (`firings = 1`, floating-point noise in a guard rate) and
+/// τ-leaps whose Poisson firing counts overshoot a population.
+///
+/// # Panics
+///
+/// Panics if a species index is out of range for `counts`.
+pub fn apply_firings(counts: &mut [i64], jump: &[(usize, i64)], firings: i64) -> bool {
+    if jump.iter().any(|&(i, j)| counts[i] + j * firings < 0) {
+        return false;
+    }
+    for &(i, j) in jump {
+        counts[i] += j * firings;
+    }
+    true
+}
+
+/// Accumulates `firings` firings of one sparse integer jump into a dense
+/// per-species delta buffer (`delta[i] += change · firings`), without any
+/// negativity check. τ-leaping uses this to aggregate the net effect of
+/// *all* transition classes of a leap before accepting or rejecting the
+/// whole leap at once — per-transition checks ([`apply_firings`]) would
+/// wrongly reject leaps whose intermediate, but not net, state dips
+/// negative.
+///
+/// # Panics
+///
+/// Panics if a species index is out of range for `delta`.
+pub fn accumulate_firings(delta: &mut [i64], jump: &[(usize, i64)], firings: i64) {
+    for &(i, j) in jump {
+        delta[i] += j * firings;
+    }
 }
 
 impl fmt::Debug for TransitionClass {
@@ -335,6 +386,36 @@ mod tests {
         assert!((acc[0] + 0.8).abs() < 1e-12);
         let dbg = format!("{t:?}");
         assert!(dbg.contains("Compiled"));
+    }
+
+    #[test]
+    fn sparse_integer_changes_round_and_skip_zeros() {
+        let t = TransitionClass::new("hop", [-1.0, 0.0, 2.0], |_: &StateVec, _: &[f64]| 1.0);
+        assert_eq!(t.sparse_integer_changes(), vec![(0, -1), (2, 2)]);
+    }
+
+    #[test]
+    fn apply_firings_is_all_or_nothing() {
+        let jump = [(0usize, -2i64), (1, 1)];
+        let mut counts = vec![10i64, 0, 7];
+        assert!(apply_firings(&mut counts, &jump, 3));
+        assert_eq!(counts, vec![4, 3, 7]);
+        // a fourth triple firing would drive species 0 to -2: rejected,
+        // counts untouched
+        assert!(!apply_firings(&mut counts, &jump, 3));
+        assert_eq!(counts, vec![4, 3, 7]);
+        assert!(apply_firings(&mut counts, &jump, 2));
+        assert_eq!(counts, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn accumulate_firings_aggregates_without_checking() {
+        let mut delta = vec![0i64; 3];
+        accumulate_firings(&mut delta, &[(0, -1), (1, 1)], 5);
+        accumulate_firings(&mut delta, &[(1, -1), (2, 1)], 8);
+        // species 1 transiently looks negative in isolation; the aggregate
+        // is what a τ-leap accepts or rejects
+        assert_eq!(delta, vec![-5, -3, 8]);
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub struct Scenario {
     source: String,
     horizon: f64,
     objective: usize,
+    /// Recommended simulation scale `N` (None for scale-free scenarios).
+    default_scale: Option<usize>,
 }
 
 impl Scenario {
@@ -65,7 +67,24 @@ impl Scenario {
             source: source.into(),
             horizon,
             objective,
+            default_scale: None,
         }
+    }
+
+    /// Records a recommended simulation scale `N` — the population size
+    /// the scenario is meant to be simulated at. Consumers that simulate
+    /// without an explicit scale (e.g. `mfu run` without `--simulate`)
+    /// use it as their default; analysis paths ignore it (the mean-field
+    /// machinery is scale free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    #[must_use]
+    pub fn with_default_scale(mut self, scale: usize) -> Self {
+        assert!(scale > 0, "a default scale must be positive");
+        self.default_scale = Some(scale);
+        self
     }
 
     /// Registry key.
@@ -93,6 +112,13 @@ impl Scenario {
         self.objective
     }
 
+    /// Recommended simulation scale `N`, when the scenario declares one
+    /// (the `sir_scaled` / `gps_scaled` families do; the classic
+    /// scenarios are scale free).
+    pub fn default_scale(&self) -> Option<usize> {
+        self.default_scale
+    }
+
     /// Parses, validates and compiles the scenario source.
     ///
     /// # Errors
@@ -117,7 +143,7 @@ impl ScenarioRegistry {
 
     /// A registry pre-populated with the built-in scenarios
     /// (`botnet`, `gps`, `gps_poisson`, `grid_6x6`, `load_balancer`,
-    /// `ring_48`, `seir`, `sir`, `sis`).
+    /// `ring_48`, `seir`, `sir`, `sir_1e6`, `sis`).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
         for scenario in builtins() {
@@ -475,6 +501,62 @@ pub fn grid_scenario(width: usize, height: usize) -> Scenario {
     )
 }
 
+/// Compact suffix for a scale: powers of ten at or above 1000 print in
+/// scientific shorthand (`1e6`), everything else decimally.
+fn scale_suffix(scale: usize) -> String {
+    let power_of_ten = scale > 0 && 10usize.pow(scale.ilog10()) == scale;
+    if scale >= 1000 && power_of_ten {
+        format!("1e{}", scale.ilog10())
+    } else {
+        scale.to_string()
+    }
+}
+
+/// The SIR epidemic pinned to a recommended simulation scale `N`: the
+/// scenario named `sir_1e6` (for `n = 1_000_000`; other scales print
+/// decimally, e.g. `sir_2500`) shares [`SIR_SOURCE`] — density-dependent
+/// models are scale free — but records `n` as its default simulation
+/// size, which `mfu run` uses when `--simulate` gives no explicit scale.
+/// These scenarios exist for the τ-leap engine: at `N ≈ 10⁵–10⁶` the
+/// exact SSA pays millions of events per run while a leap run costs a few
+/// hundred steps, and the paper's mean-field bounds are tightest exactly
+/// there.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sir_scaled(n: usize) -> Scenario {
+    let name = format!("sir_{}", scale_suffix(n));
+    let source = SIR_SOURCE.replacen("model sir;", &format!("model {name};"), 1);
+    Scenario::new(
+        name,
+        format!("SIR epidemic of Section V at simulation scale N = {n} (τ-leap territory)"),
+        source,
+        3.0,
+        1,
+    )
+    .with_default_scale(n)
+}
+
+/// The GPS/MAP queueing scenario pinned to a recommended simulation scale
+/// `N` (see [`sir_scaled`] for the naming and intent).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gps_scaled(n: usize) -> Scenario {
+    let name = format!("gps_{}", scale_suffix(n));
+    let source = GPS_SOURCE.replacen("model gps;", &format!("model {name};"), 1);
+    Scenario::new(
+        name,
+        format!("closed two-class GPS queue (Section VI) at simulation scale N = {n}"),
+        source,
+        3.0,
+        1,
+    )
+    .with_default_scale(n)
+}
+
 fn builtins() -> Vec<Scenario> {
     vec![
         Scenario::new(
@@ -534,6 +616,9 @@ fn builtins() -> Vec<Scenario> {
         // and sub-linear transition selection across the registry suites
         ring_scenario(48),
         grid_scenario(6, 6),
+        // large-N scenario: the τ-leap engine's home turf (the CI smoke
+        // test and the ssa_tauleap bench group drive it)
+        sir_scaled(1_000_000),
     ]
 }
 
@@ -555,10 +640,11 @@ mod tests {
                 "ring_48",
                 "seir",
                 "sir",
+                "sir_1e6",
                 "sis"
             ]
         );
-        assert_eq!(registry.len(), 9);
+        assert_eq!(registry.len(), 10);
         assert!(!registry.is_empty());
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap_or_else(|e| {
@@ -676,6 +762,38 @@ mod tests {
         // a 1×n strip is a valid degenerate lattice
         let strip = crate::compile(&grid_source(1, 3)).unwrap();
         assert_eq!(strip.population_model().unwrap().transitions().len(), 4);
+    }
+
+    #[test]
+    fn scaled_scenarios_rename_and_carry_their_scale() {
+        let sir = sir_scaled(1_000_000);
+        assert_eq!(sir.name(), "sir_1e6");
+        assert_eq!(sir.default_scale(), Some(1_000_000));
+        let model = sir.compile().unwrap();
+        assert_eq!(model.name(), "sir_1e6");
+        // same rules as the classic sir, just renamed and scale-tagged
+        let classic = ScenarioRegistry::with_builtins().compile("sir").unwrap();
+        assert_eq!(model.rules().len(), classic.rules().len());
+        assert_eq!(model.species(), classic.species());
+        // count splitting honours the declared default scale
+        let counts = model.initial_counts(sir.default_scale().unwrap());
+        assert_eq!(counts.iter().sum::<i64>(), 1_000_000);
+
+        let gps = gps_scaled(100_000);
+        assert_eq!(gps.name(), "gps_1e5");
+        assert_eq!(gps.default_scale(), Some(100_000));
+        assert_eq!(gps.compile().unwrap().name(), "gps_1e5");
+
+        // non-power-of-ten scales print decimally
+        assert_eq!(sir_scaled(2500).name(), "sir_2500");
+        // the classic scenarios stay scale free
+        let registry = ScenarioRegistry::with_builtins();
+        assert_eq!(registry.get("sir").unwrap().default_scale(), None);
+        assert_eq!(
+            registry.get("sir_1e6").unwrap().default_scale(),
+            Some(1_000_000)
+        );
+        assert!(std::panic::catch_unwind(|| sir_scaled(0)).is_err());
     }
 
     #[test]

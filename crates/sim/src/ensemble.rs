@@ -87,6 +87,20 @@ impl EnsembleSummary {
         &self.stats[k]
     }
 
+    /// Number of replications that contributed a sample at grid index `k`.
+    ///
+    /// Grid sampling is all-or-error (a replication that cannot be sampled
+    /// at some grid time fails the whole ensemble), so this always equals
+    /// [`EnsembleSummary::replications`] — the accessor exists so tests can
+    /// pin that invariant against the historical silent-drop bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn samples_at(&self, k: usize) -> usize {
+        self.stats[k].first().map_or(0, RunningStats::count)
+    }
+
     /// Final (horizon) states of every replication.
     pub fn final_states(&self) -> &[StateVec] {
         &self.final_states
@@ -189,24 +203,26 @@ where
                 while replication < options.replications {
                     let seed = options.base_seed.wrapping_add(replication as u64);
                     let mut policy = make_policy();
-                    match simulator.simulate(initial_counts, &mut policy, sim_options, seed) {
-                        Ok(run) => {
-                            let trajectory = run.trajectory();
-                            for (k, &t) in times.iter().enumerate() {
-                                if let Ok(state) = trajectory.at(t) {
-                                    for (i, &v) in state.as_slice().iter().enumerate() {
-                                        local_stats[k][i].push(v);
-                                    }
-                                }
-                            }
-                            if let Ok(last) = trajectory.at(sim_options.t_end) {
-                                local_finals.push(last);
+                    // A failed grid sample is an error, not a skip: silently
+                    // dropping it would leave this grid point with fewer
+                    // observations than its neighbours and skew the summary
+                    // (the historical `if let Ok` bug).
+                    let mut sample = || -> Result<()> {
+                        let run =
+                            simulator.simulate(initial_counts, &mut policy, sim_options, seed)?;
+                        let trajectory = run.trajectory();
+                        for (k, &t) in times.iter().enumerate() {
+                            let state = trajectory.at(t)?;
+                            for (i, &v) in state.as_slice().iter().enumerate() {
+                                local_stats[k][i].push(v);
                             }
                         }
-                        Err(err) => {
-                            local_error = Some(err);
-                            break;
-                        }
+                        local_finals.push(trajectory.at(sim_options.t_end)?);
+                        Ok(())
+                    };
+                    if let Err(err) = sample() {
+                        local_error = Some(err);
+                        break;
                     }
                     replication += threads;
                 }
@@ -337,6 +353,40 @@ mod tests {
             distance < 0.12,
             "ensemble mean deviates from mean field by {distance}"
         );
+    }
+
+    #[test]
+    fn every_grid_point_sees_every_replication() {
+        // Regression for the silent sample drop: `trajectory.at(t)` errors
+        // used to be swallowed by an `if let Ok`, so a failing grid sample
+        // would shrink that point's observation count without any
+        // indication. Sampling is now all-or-error, so every grid point
+        // must carry exactly `replications` observations.
+        let sim = Simulator::new(bike_model(), 40).unwrap();
+        let options = EnsembleOptions {
+            replications: 12,
+            base_seed: 5,
+            threads: 3,
+            grid_intervals: 16,
+        };
+        let summary = run_ensemble(
+            &sim,
+            &[20],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            // record sparsely so grid sampling has to interpolate (the
+            // regime where a dropped sample would have gone unnoticed)
+            &SimulationOptions::new(6.0).record_stride(32),
+            &options,
+        )
+        .unwrap();
+        assert_eq!(summary.final_states().len(), 12);
+        for k in 0..summary.times().len() {
+            assert_eq!(
+                summary.samples_at(k),
+                12,
+                "grid point {k} lost samples silently"
+            );
+        }
     }
 
     #[test]

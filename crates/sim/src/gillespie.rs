@@ -36,6 +36,7 @@
 //! per run instead of once per event.
 
 use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::apply_firings;
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
 use rand::rngs::StdRng;
@@ -44,7 +45,35 @@ use rand::SeedableRng;
 
 use crate::policy::ParameterPolicy;
 use crate::selection::{SelectionStrategy, Selector};
+use crate::tauleap::TauLeapOptions;
 use crate::{Result, SimError};
+
+/// Which stochastic simulation algorithm a run uses.
+///
+/// [`SimulationAlgorithm::Exact`] is the event-by-event Gillespie SSA —
+/// statistically exact at any scale, but `O(N)` events per unit time.
+/// [`SimulationAlgorithm::TauLeap`] is the explicit τ-leaping
+/// approximation of the [`tauleap`](crate::tauleap) module: many firings
+/// per step under the Cao–Gillespie step-size bound, making the large-`N`
+/// regime (where the paper's mean-field guarantees bite) affordable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimulationAlgorithm {
+    /// Event-by-event exact SSA (the default).
+    Exact,
+    /// Explicit τ-leaping with adaptive step selection.
+    TauLeap(TauLeapOptions),
+}
+
+impl std::fmt::Display for SimulationAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationAlgorithm::Exact => f.write_str("exact"),
+            SimulationAlgorithm::TauLeap(options) => {
+                write!(f, "tau-leap:{}", options.epsilon)
+            }
+        }
+    }
+}
 
 /// How the simulator maintains the propensity vector between events.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,6 +137,10 @@ pub struct SimulationOptions {
     /// (defaults to [`SelectionStrategy::Auto`], which picks by transition
     /// count).
     pub selection: SelectionStrategy,
+    /// Which simulation algorithm the run uses (defaults to the exact
+    /// event-by-event SSA; see [`SimulationAlgorithm::TauLeap`] for the
+    /// approximate large-`N` engine).
+    pub algorithm: SimulationAlgorithm,
 }
 
 impl SimulationOptions {
@@ -129,7 +162,21 @@ impl SimulationOptions {
             strict_policy: true,
             propensity: PropensityStrategy::DependencyGraph,
             selection: SelectionStrategy::Auto,
+            algorithm: SimulationAlgorithm::Exact,
         }
+    }
+
+    /// Selects the simulation algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: SimulationAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Shorthand for selecting τ-leaping with the given options.
+    #[must_use]
+    pub fn tau_leap(self, options: TauLeapOptions) -> Self {
+        self.algorithm(SimulationAlgorithm::TauLeap(options))
     }
 
     /// Selects the propensity-maintenance strategy.
@@ -183,6 +230,43 @@ impl SimulationOptions {
     }
 }
 
+/// Recording policy shared by the exact and τ-leap engines: a trajectory
+/// point is pushed after a step when both the stride and the (optional)
+/// minimum-interval condition hold. Keeping the logic in one place is
+/// what makes the two engines' recording behaviour identical by
+/// construction.
+pub(crate) struct Recorder {
+    stride: usize,
+    interval: Option<f64>,
+    next_time: f64,
+}
+
+impl Recorder {
+    pub(crate) fn new(options: &SimulationOptions) -> Self {
+        Recorder {
+            stride: options.record_stride,
+            interval: options.record_interval,
+            next_time: options.record_interval.map_or(0.0, |dt| dt),
+        }
+    }
+
+    pub(crate) fn should_record(&mut self, steps: usize, t: f64) -> bool {
+        let stride_ok = steps.is_multiple_of(self.stride);
+        let interval_ok = match self.interval {
+            None => true,
+            Some(dt) => {
+                if t >= self.next_time {
+                    self.next_time += dt * ((t - self.next_time) / dt).floor().max(0.0) + dt;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        stride_ok && interval_ok
+    }
+}
+
 /// The result of one stochastic simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationRun {
@@ -192,6 +276,20 @@ pub struct SimulationRun {
 }
 
 impl SimulationRun {
+    /// Assembles a run from its parts (used by the exact engine here and
+    /// the τ-leap engine in [`tauleap`](crate::tauleap)).
+    pub(crate) fn from_parts(
+        trajectory: Trajectory,
+        events: usize,
+        final_counts: Vec<i64>,
+    ) -> Self {
+        SimulationRun {
+            trajectory,
+            events,
+            final_counts,
+        }
+    }
+
     /// The recorded trajectory of *normalised* states.
     pub fn trajectory(&self) -> &Trajectory {
         &self.trajectory
@@ -245,15 +343,10 @@ impl Simulator {
             .iter()
             .map(|t| t.change().iter().map(|&v| v.round() as i64).collect())
             .collect();
-        let sparse_jumps: Vec<Vec<(usize, i64)>> = jumps
+        let sparse_jumps: Vec<Vec<(usize, i64)>> = model
+            .transitions()
             .iter()
-            .map(|jump| {
-                jump.iter()
-                    .enumerate()
-                    .filter(|&(_, &j)| j != 0)
-                    .map(|(i, &j)| (i, j))
-                    .collect()
-            })
+            .map(mfu_ctmc::transition::TransitionClass::sparse_integer_changes)
             .collect();
         let dependencies = build_dependency_graph(&model, &jumps);
         Ok(Simulator {
@@ -278,6 +371,13 @@ impl Simulator {
     /// re-evaluated after transition `k` fires.
     pub fn dependency_graph(&self) -> &[Vec<usize>] {
         &self.dependencies
+    }
+
+    /// The precomputed sparse `(species, change)` jump lists, one per
+    /// transition (shared with the τ-leap engine, which scales them by
+    /// Poisson firing counts).
+    pub(crate) fn sparse_jumps(&self) -> &[Vec<(usize, i64)>] {
+        &self.sparse_jumps
     }
 
     /// `true` when the dependency graph actually prunes work, i.e. at least
@@ -332,6 +432,16 @@ impl Simulator {
                 "initial counts must be non-negative",
             ));
         }
+        if let SimulationAlgorithm::TauLeap(leap) = options.algorithm {
+            return crate::tauleap::simulate_tau_leap(
+                self,
+                initial_counts,
+                policy,
+                options,
+                &leap,
+                rng,
+            );
+        }
         policy.reset();
 
         let dim = self.model.dim();
@@ -346,7 +456,7 @@ impl Simulator {
 
         let mut trajectory = Trajectory::new(dim);
         trajectory.push(0.0, x.clone())?;
-        let mut next_record_time = options.record_interval.map_or(0.0, |dt| dt);
+        let mut recorder = Recorder::new(options);
 
         // Propensity bookkeeping for the dependency-graph strategies:
         // `pending` is the set of transitions whose rate may be stale
@@ -466,29 +576,15 @@ impl Simulator {
             // `O(species changed)` rather than `O(dim)`; the untouched
             // normalised coordinates keep their bit-identical values.
             let jump = &self.sparse_jumps[chosen];
-            if jump.iter().all(|&(i, j)| counts[i] + j >= 0) {
-                for &(i, j) in jump {
-                    counts[i] += j;
+            if apply_firings(&mut counts, jump, 1) {
+                for &(i, _) in jump {
                     x[i] = counts[i] as f64 / scale;
                 }
                 pending = Some(chosen);
             }
 
             events += 1;
-            let stride_ok = events.is_multiple_of(options.record_stride);
-            let interval_ok = match options.record_interval {
-                None => true,
-                Some(dt) => {
-                    if t >= next_record_time {
-                        next_record_time +=
-                            dt * ((t - next_record_time) / dt).floor().max(0.0) + dt;
-                        true
-                    } else {
-                        false
-                    }
-                }
-            };
-            if stride_ok && interval_ok {
+            if recorder.should_record(events, t) {
                 trajectory.push(t, x.clone())?;
             }
             if events >= options.max_events {
@@ -510,7 +606,7 @@ impl Simulator {
     /// Evaluates the scaled propensity of transition `k`, validating the
     /// density.
     #[inline]
-    fn eval_rate(&self, k: usize, x: &StateVec, theta: &[f64]) -> Result<f64> {
+    pub(crate) fn eval_rate(&self, k: usize, x: &StateVec, theta: &[f64]) -> Result<f64> {
         let class = &self.model.transitions()[k];
         let density = class.rate(x, theta);
         if !density.is_finite() || density < 0.0 {

@@ -22,6 +22,12 @@
 //!   composition-rejection sampler (`O(1)` expected), selectable via
 //!   [`SelectionStrategy`](selection::SelectionStrategy) next to the
 //!   `O(K)` roulette-scan reference;
+//! * [`tauleap`] — approximate explicit τ-leaping for the large-`N`
+//!   regime: adaptive Cao–Gillespie step selection, Poisson firing
+//!   counts, a negative-population guard and an exact-SSA fallback,
+//!   selected per run via
+//!   [`SimulationAlgorithm`](gillespie::SimulationAlgorithm) on
+//!   [`SimulationOptions`](gillespie::SimulationOptions);
 //! * [`ensemble`] — parallel replication of simulations with summary
 //!   statistics on a common time grid;
 //! * [`stats`] — running statistics and empirical summaries;
@@ -71,6 +77,7 @@ pub mod policy;
 pub mod selection;
 pub mod stats;
 pub mod steady;
+pub mod tauleap;
 
 pub use error::SimError;
 

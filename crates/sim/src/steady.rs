@@ -11,7 +11,7 @@
 use mfu_num::geometry::Point2;
 use mfu_num::StateVec;
 
-use crate::gillespie::{SimulationOptions, Simulator};
+use crate::gillespie::{SimulationAlgorithm, SimulationOptions, Simulator};
 use crate::policy::ParameterPolicy;
 use crate::{Result, SimError};
 
@@ -26,6 +26,10 @@ pub struct SteadyStateOptions {
     pub samples: usize,
     /// Event budget forwarded to the simulator.
     pub max_events: usize,
+    /// Simulation algorithm forwarded to the simulator (τ-leaping makes
+    /// long stationary runs at large `N` affordable; defaults to the
+    /// exact SSA).
+    pub algorithm: SimulationAlgorithm,
 }
 
 impl SteadyStateOptions {
@@ -50,7 +54,15 @@ impl SteadyStateOptions {
             sample_interval,
             samples,
             max_events: 200_000_000,
+            algorithm: SimulationAlgorithm::Exact,
         }
+    }
+
+    /// Selects the simulation algorithm for the underlying long run.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: SimulationAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
     }
 
     /// Total simulated time implied by these options.
@@ -125,6 +137,7 @@ pub fn sample_steady_state(
     let horizon = options.horizon();
     let sim_options = SimulationOptions::new(horizon)
         .max_events(options.max_events)
+        .algorithm(options.algorithm)
         .record_interval(
             options
                 .sample_interval
@@ -248,6 +261,26 @@ mod tests {
     fn options_accessors() {
         let options = SteadyStateOptions::new(10.0, 0.5, 20);
         assert!((options.horizon() - 20.0).abs() < 1e-12);
+        assert_eq!(options.algorithm, SimulationAlgorithm::Exact);
+    }
+
+    #[test]
+    fn tau_leap_steady_samples_concentrate_like_the_exact_ones() {
+        use crate::tauleap::TauLeapOptions;
+        let sim = Simulator::new(mean_reverting_model(), 2000).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        let options = SteadyStateOptions::new(20.0, 0.5, 60)
+            .algorithm(SimulationAlgorithm::TauLeap(TauLeapOptions::default()));
+        let sample = sample_steady_state(&sim, &[200], &mut policy, &options, 13).unwrap();
+        assert_eq!(sample.len(), 60);
+        let mean: f64 = sample.states().iter().map(|s| s[0]).sum::<f64>() / sample.len() as f64;
+        assert!(
+            (mean - 0.5).abs() < 0.1,
+            "tau-leap stationary mean {mean} far from 0.5"
+        );
+        // leaping makes the long run cheap: far fewer steps than the
+        // ~2000-events-per-unit-time exact run would need
+        assert!(sample.events() < 20_000, "{} steps", sample.events());
     }
 
     #[test]

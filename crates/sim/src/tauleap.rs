@@ -1,0 +1,595 @@
+//! Explicit τ-leaping: approximate stochastic simulation for large `N`.
+//!
+//! The exact Gillespie SSA pays one event per CTMC jump, so the cost of a
+//! run grows linearly with the population scale `N` — exactly wrong for
+//! validating the paper's mean-field bounds, which are statements about
+//! `N → ∞` and only get tight around `N ≈ 10⁵–10⁶`. τ-leaping (Gillespie
+//! 2001) freezes the propensities over a step of length `τ` and fires
+//! every transition class a Poisson-distributed number of times at once:
+//!
+//! > `K_k ~ Poisson(a_k(x) · τ)`, `x ← x + Σ_k ν_k · K_k / N`
+//!
+//! turning millions of per-event updates into a few hundred per-leap
+//! updates whose cost is independent of `N`.
+//!
+//! # Step-size selection
+//!
+//! `τ` is chosen per leap with the Cao–Gillespie bound (*Efficient step
+//! size selection for the tau-leaping simulation method*, J. Chem. Phys.
+//! 124, 2006): for each species `i`, the net drift `μ_i = Σ_k ν_ik a_k`
+//! and spread `σ²_i = Σ_k ν²_ik a_k` of its count must not move it by more
+//! than `max(ε·c_i/g_i, 1)` within one leap, where `c_i` is the current
+//! count, `ε` the accuracy knob ([`TauLeapOptions::epsilon`]) and `g_i`
+//! the highest order of any reaction consuming species `i` — this bounds
+//! the *relative change of every propensity* by roughly `ε`. Reaction
+//! orders are taken from the rates' species supports (the support size,
+//! clamped to `[1, 3]`, bounds the polynomial order of the mass-action
+//! and affine-product rates the DSL lowers; rates with unknown support
+//! get the conservative order 3).
+//!
+//! # Exactness guards
+//!
+//! Two mechanisms keep the approximation honest near boundaries:
+//!
+//! * **negative-population guard** — a leap whose aggregated firing
+//!   counts would drive any count negative is rejected wholesale and
+//!   retried with `τ/2` (fresh Poisson draws, so the retry is unbiased);
+//! * **exact fallback** — whenever `τ` falls below
+//!   [`TauLeapOptions::ssa_threshold`] multiples of the mean waiting time
+//!   `1/Σa_k` (because the system is small, stiff, or parked on a
+//!   boundary), leaping is not worth its bias and the engine executes a
+//!   burst of [`TauLeapOptions::ssa_burst`] exact SSA steps instead, then
+//!   resumes leaping. A model that never leaves the guarded regime
+//!   therefore degrades to the exact algorithm rather than mis-simulating.
+//!
+//! Runs are deterministic in the seed (one RNG stream drives policy
+//! queries, Poisson draws and fallback steps alike), but the stream
+//! consumption differs from the exact engine's, so a τ-leap run is *not*
+//! event-comparable to an exact run at the same seed — only
+//! distributionally close (`O(ε)` bias on the means). Select the engine
+//! via [`SimulationOptions::algorithm`] /
+//! [`SimulationAlgorithm::TauLeap`](crate::gillespie::SimulationAlgorithm);
+//! `ensemble`, `steady` and the `mfu run --algorithm tau-leap` CLI all
+//! thread it through.
+
+use mfu_ctmc::transition::accumulate_firings;
+use mfu_num::ode::Trajectory;
+use mfu_num::StateVec;
+use rand::poisson;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::gillespie::{Recorder, SimulationOptions, SimulationRun, Simulator};
+use crate::policy::ParameterPolicy;
+use crate::selection::linear_select;
+use crate::{Result, SimError};
+
+/// Tuning knobs of the explicit τ-leap engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauLeapOptions {
+    /// Relative propensity-change budget per leap (the `ε` of the
+    /// Cao–Gillespie step-size bound). Smaller is more accurate and
+    /// slower; `0.03` is the literature's default operating point.
+    pub epsilon: f64,
+    /// Exact-fallback threshold, in multiples of the mean waiting time
+    /// `1/Σa_k`: when the selected (or guard-halved) `τ` drops below
+    /// `ssa_threshold / Σa_k`, the engine runs exact SSA steps instead of
+    /// leaping. The literature suggests a small multiple of 1; 10 is
+    /// conservative.
+    pub ssa_threshold: f64,
+    /// Number of exact SSA steps executed per fallback burst before
+    /// τ-selection is retried.
+    pub ssa_burst: usize,
+}
+
+impl TauLeapOptions {
+    /// Creates options with the given `epsilon` and default guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "tau-leap epsilon must lie in (0, 1)"
+        );
+        TauLeapOptions {
+            epsilon,
+            ssa_threshold: 10.0,
+            ssa_burst: 100,
+        }
+    }
+
+    /// Sets the exact-fallback threshold (multiples of `1/Σa_k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive and finite.
+    #[must_use]
+    pub fn ssa_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "ssa threshold must be positive"
+        );
+        self.ssa_threshold = threshold;
+        self
+    }
+
+    /// Sets the exact-burst length (values below 1 are treated as 1).
+    #[must_use]
+    pub fn ssa_burst(mut self, steps: usize) -> Self {
+        self.ssa_burst = steps.max(1);
+        self
+    }
+}
+
+impl Default for TauLeapOptions {
+    /// The literature's default operating point: `ε = 0.03`, fallback
+    /// below `10/Σa_k`, 100-step exact bursts.
+    fn default() -> Self {
+        TauLeapOptions::new(0.03)
+    }
+}
+
+/// Highest order of any reaction *consuming* each species, bounded via
+/// the rates' species supports (see the module docs); species nothing
+/// consumes keep the neutral order 1.
+fn reactant_orders(simulator: &Simulator) -> Vec<f64> {
+    let mut orders = vec![1.0_f64; simulator.model().dim()];
+    for (k, class) in simulator.model().transitions().iter().enumerate() {
+        let order = class
+            .species_support()
+            .map_or(3.0, |support| support.len().clamp(1, 3) as f64);
+        for &(i, j) in &simulator.sparse_jumps()[k] {
+            if j < 0 {
+                orders[i] = orders[i].max(order);
+            }
+        }
+    }
+    orders
+}
+
+/// The Cao–Gillespie step size: the largest `τ` keeping every species'
+/// expected move and spread within `max(ε·c_i/g_i, 1)` counts. Returns
+/// `f64::INFINITY` when no propensity can change the state (the caller's
+/// horizon then caps the step).
+fn select_tau(
+    epsilon: f64,
+    counts: &[i64],
+    rates: &[f64],
+    sparse_jumps: &[Vec<(usize, i64)>],
+    orders: &[f64],
+    mu: &mut [f64],
+    sigma2: &mut [f64],
+) -> f64 {
+    mu.fill(0.0);
+    sigma2.fill(0.0);
+    for (jump, &rate) in sparse_jumps.iter().zip(rates) {
+        if rate > 0.0 {
+            for &(i, j) in jump {
+                let j = j as f64;
+                mu[i] += j * rate;
+                sigma2[i] += j * j * rate;
+            }
+        }
+    }
+    let mut tau = f64::INFINITY;
+    for (i, (&s2, &m)) in sigma2.iter().zip(mu.iter()).enumerate() {
+        if s2 <= 0.0 {
+            continue;
+        }
+        let bound = (epsilon * counts[i] as f64 / orders[i]).max(1.0);
+        let by_mean = if m == 0.0 {
+            f64::INFINITY
+        } else {
+            bound / m.abs()
+        };
+        tau = tau.min(by_mean.min(bound * bound / s2));
+    }
+    tau
+}
+
+/// Queries the parameter policy at `(t, x)` and validates or clamps its
+/// output against the model's parameter space — the same contract the
+/// exact engine applies at every event.
+fn query_theta(
+    simulator: &Simulator,
+    policy: &mut dyn ParameterPolicy,
+    options: &SimulationOptions,
+    t: f64,
+    x: &StateVec,
+    rng: &mut StdRng,
+) -> Result<Vec<f64>> {
+    let theta_raw = policy.value(t, x, rng);
+    if simulator.model().params().contains(&theta_raw) {
+        Ok(theta_raw)
+    } else if options.strict_policy {
+        Err(SimError::PolicyOutOfRange { time: t })
+    } else {
+        Ok(simulator.model().params().clamp(&theta_raw)?)
+    }
+}
+
+/// Runs one τ-leap replication. Called by
+/// [`Simulator::simulate_with_rng`] after input validation when
+/// [`SimulationOptions::algorithm`] selects
+/// [`SimulationAlgorithm::TauLeap`](crate::gillespie::SimulationAlgorithm).
+pub(crate) fn simulate_tau_leap(
+    simulator: &Simulator,
+    initial_counts: &[i64],
+    policy: &mut dyn ParameterPolicy,
+    options: &SimulationOptions,
+    leap: &TauLeapOptions,
+    rng: &mut StdRng,
+) -> Result<SimulationRun> {
+    policy.reset();
+
+    let model = simulator.model();
+    let dim = model.dim();
+    let n_transitions = model.transitions().len();
+    let scale = simulator.scale() as f64;
+    let sparse_jumps = simulator.sparse_jumps();
+    let orders = reactant_orders(simulator);
+
+    let mut counts = initial_counts.to_vec();
+    let mut x: StateVec = counts.iter().map(|&c| c as f64 / scale).collect();
+    let mut t = 0.0_f64;
+    let mut steps = 0usize;
+
+    let mut rates = vec![0.0_f64; n_transitions];
+    let mut mu = vec![0.0_f64; dim];
+    let mut sigma2 = vec![0.0_f64; dim];
+    let mut firings = vec![0_i64; n_transitions];
+    let mut delta = vec![0_i64; dim];
+
+    let mut trajectory = Trajectory::new(dim);
+    trajectory.push(0.0, x.clone())?;
+    let mut recorder = Recorder::new(options);
+
+    // Constant policies are queried once, like in the exact engine.
+    let policy_constant = policy.is_constant();
+    let mut theta: Vec<f64> = Vec::new();
+    let mut theta_known = false;
+
+    'run: loop {
+        // Query the policy at the leap's start instant.
+        if !(theta_known && policy_constant) {
+            theta = query_theta(simulator, policy, options, t, &x, rng)?;
+            theta_known = true;
+        }
+
+        // Propensities are always fully rescanned: a leap is O(K) anyway.
+        let mut total = 0.0_f64;
+        for (k, rate) in rates.iter_mut().enumerate() {
+            *rate = simulator.eval_rate(k, &x, &theta)?;
+            total += *rate;
+        }
+        if total <= 0.0 {
+            break 'run;
+        }
+
+        let mut tau = select_tau(
+            leap.epsilon,
+            &counts,
+            &rates,
+            sparse_jumps,
+            &orders,
+            &mut mu,
+            &mut sigma2,
+        )
+        .min(options.t_end - t);
+        let threshold = leap.ssa_threshold / total;
+
+        // Guarded leap: reject-and-halve on negative populations, exact
+        // burst once τ is no longer worth its bias.
+        loop {
+            if tau < threshold.min(options.t_end - t) {
+                // ---- exact fallback burst -------------------------------
+                for burst_step in 0..leap.ssa_burst {
+                    // Non-constant policies are re-queried per exact step
+                    // (matching the exact engine's event-level resolution);
+                    // the leap start already queried for step 0.
+                    if burst_step > 0 && !policy_constant {
+                        theta = query_theta(simulator, policy, options, t, &x, rng)?;
+                    }
+                    let mut burst_total = 0.0_f64;
+                    for (k, rate) in rates.iter_mut().enumerate() {
+                        *rate = simulator.eval_rate(k, &x, &theta)?;
+                        burst_total += *rate;
+                    }
+                    if burst_total <= 0.0 {
+                        break 'run;
+                    }
+                    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                    let dt = -u.ln() / burst_total;
+                    if t + dt >= options.t_end {
+                        break 'run;
+                    }
+                    t += dt;
+                    let Some(chosen) = linear_select(&rates, rng.gen::<f64>() * burst_total) else {
+                        break 'run;
+                    };
+                    if mfu_ctmc::transition::apply_firings(&mut counts, &sparse_jumps[chosen], 1) {
+                        for &(i, _) in &sparse_jumps[chosen] {
+                            x[i] = counts[i] as f64 / scale;
+                        }
+                    }
+                    steps += 1;
+                    if recorder.should_record(steps, t) {
+                        trajectory.push(t, x.clone())?;
+                    }
+                    if steps >= options.max_events {
+                        return Err(SimError::EventBudgetExhausted {
+                            events: steps,
+                            reached: t,
+                        });
+                    }
+                }
+                break; // burst done: reselect τ from the new state
+            }
+
+            // ---- attempt one leap of length τ ---------------------------
+            for (k, firing) in firings.iter_mut().enumerate() {
+                *firing = if rates[k] > 0.0 {
+                    poisson::sample(rng, rates[k] * tau) as i64
+                } else {
+                    0
+                };
+            }
+            delta.fill(0);
+            for (jump, &firing) in sparse_jumps.iter().zip(firings.iter()) {
+                if firing > 0 {
+                    accumulate_firings(&mut delta, jump, firing);
+                }
+            }
+            if counts.iter().zip(delta.iter()).any(|(&c, &d)| c + d < 0) {
+                // negative-population guard: reject wholesale, halve τ
+                tau /= 2.0;
+                continue;
+            }
+            for (i, &d) in delta.iter().enumerate() {
+                if d != 0 {
+                    counts[i] += d;
+                    x[i] = counts[i] as f64 / scale;
+                }
+            }
+            t += tau;
+            steps += 1;
+            if recorder.should_record(steps, t) {
+                trajectory.push(t, x.clone())?;
+            }
+            if steps >= options.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    events: steps,
+                    reached: t,
+                });
+            }
+            if t >= options.t_end {
+                break 'run;
+            }
+            break; // leap accepted: back to τ selection
+        }
+    }
+
+    if options.t_end > trajectory.last_time() {
+        trajectory.push(options.t_end, x.clone())?;
+    }
+
+    Ok(SimulationRun::from_parts(trajectory, steps, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gillespie::{SimulationAlgorithm, SimulationOptions, Simulator};
+    use crate::policy::ConstantPolicy;
+    use mfu_ctmc::params::{Interval, ParamSpace};
+    use mfu_ctmc::population::PopulationModel;
+    use mfu_ctmc::transition::TransitionClass;
+
+    /// SIR with annotated supports so the reactant orders are sharp.
+    fn sir_model() -> PopulationModel {
+        let params = ParamSpace::new(vec![("contact", Interval::new(1.0, 10.0).unwrap())]).unwrap();
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["S", "I", "R"])
+            .transition(
+                TransitionClass::new("infect", [-1.0, 1.0, 0.0], |x: &StateVec, th: &[f64]| {
+                    (0.1 + th[0] * x[1]) * x[0]
+                })
+                .with_species_support(vec![0, 1]),
+            )
+            .transition(
+                TransitionClass::new("recover", [0.0, -1.0, 1.0], |x: &StateVec, _: &[f64]| {
+                    5.0 * x[1]
+                })
+                .with_species_support(vec![1]),
+            )
+            .transition(
+                TransitionClass::new("wane", [1.0, 0.0, -1.0], |x: &StateVec, _: &[f64]| {
+                    1.0 * x[2]
+                })
+                .with_species_support(vec![2]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn death_model() -> PopulationModel {
+        let params = ParamSpace::single("rate", 1.0, 1.0).unwrap();
+        PopulationModel::builder(1, params)
+            .transition(
+                TransitionClass::new("die", [-1.0], |x: &StateVec, th: &[f64]| th[0] * x[0])
+                    .with_species_support(vec![0]),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn leap_options(t_end: f64, epsilon: f64) -> SimulationOptions {
+        SimulationOptions::new(t_end).tau_leap(TauLeapOptions::new(epsilon))
+    }
+
+    #[test]
+    fn options_validate_and_default() {
+        let defaults = TauLeapOptions::default();
+        assert_eq!(defaults.epsilon, 0.03);
+        assert!(defaults.ssa_threshold > 0.0);
+        assert!(defaults.ssa_burst >= 1);
+        assert_eq!(TauLeapOptions::new(0.1).ssa_burst(0).ssa_burst, 1);
+        assert!(std::panic::catch_unwind(|| TauLeapOptions::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| TauLeapOptions::new(1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| TauLeapOptions::new(0.1).ssa_threshold(0.0)).is_err());
+    }
+
+    #[test]
+    fn algorithm_knob_displays_and_defaults_to_exact() {
+        let options = SimulationOptions::new(1.0);
+        assert_eq!(options.algorithm, SimulationAlgorithm::Exact);
+        assert_eq!(SimulationAlgorithm::Exact.to_string(), "exact");
+        assert_eq!(
+            SimulationAlgorithm::TauLeap(TauLeapOptions::new(0.03)).to_string(),
+            "tau-leap:0.03"
+        );
+    }
+
+    #[test]
+    fn reactant_orders_follow_supports() {
+        let simulator = Simulator::new(sir_model(), 100).unwrap();
+        // S is consumed by the order-2 infection, I by the order-1
+        // recovery, R by the order-1 waning
+        assert_eq!(reactant_orders(&simulator), vec![2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn tau_shrinks_with_epsilon_and_grows_with_population() {
+        let tau_at = |scale: usize, counts: &[i64], epsilon: f64| {
+            let simulator = Simulator::new(sir_model(), scale).unwrap();
+            let theta = [5.0];
+            let x: StateVec = counts.iter().map(|&c| c as f64 / scale as f64).collect();
+            let rates: Vec<f64> = (0..3)
+                .map(|k| simulator.eval_rate(k, &x, &theta).unwrap())
+                .collect();
+            let mut mu = vec![0.0; 3];
+            let mut sigma2 = vec![0.0; 3];
+            select_tau(
+                epsilon,
+                counts,
+                &rates,
+                simulator.sparse_jumps(),
+                &reactant_orders(&simulator),
+                &mut mu,
+                &mut sigma2,
+            )
+        };
+        // all compartments populated, so no species sits on the ±1-count
+        // floor of the bound and ε actually steers the step
+        let coarse = tau_at(1000, &[600, 300, 100], 0.1);
+        let fine = tau_at(1000, &[600, 300, 100], 0.01);
+        assert!(fine < coarse, "eps 0.01 gave {fine}, eps 0.1 gave {coarse}");
+        // same densities at 10× the scale: the relative bound is scale
+        // free, so τ must not degrade as the population grows (that is the
+        // whole point of leaping)
+        let large = tau_at(10_000, &[6000, 3000, 1000], 0.1);
+        assert!(
+            large >= coarse * 0.5,
+            "τ degraded at scale: {large} vs {coarse}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_horizon_reached() {
+        let simulator = Simulator::new(sir_model(), 50_000).unwrap();
+        let options = leap_options(2.0, 0.05);
+        let run = |seed: u64| {
+            let mut policy = ConstantPolicy::new(vec![5.0]);
+            simulator
+                .simulate(&[35_000, 15_000, 0], &mut policy, &options, seed)
+                .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.final_counts(), b.final_counts());
+        for ((ta, sa), (tb, sb)) in a.trajectory().iter().zip(b.trajectory().iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+        assert!((a.trajectory().last_time() - 2.0).abs() < 1e-12);
+        // a leap run is far cheaper than one event per jump: the exact
+        // run at this scale would take hundreds of thousands of events
+        assert!(a.events() < 20_000, "{} steps", a.events());
+        let c = run(10);
+        assert_ne!(a.final_counts(), c.final_counts());
+    }
+
+    #[test]
+    fn counts_stay_non_negative_and_absorb_at_extinction() {
+        // pure death from a small population with a coarse epsilon: the
+        // Poisson draws overshoot constantly, so this exercises both the
+        // halving guard and the exact fallback at the boundary
+        let simulator = Simulator::new(death_model(), 50).unwrap();
+        let options = SimulationOptions::new(1_000.0)
+            .tau_leap(TauLeapOptions::new(0.5).ssa_threshold(5.0).ssa_burst(10));
+        for seed in 0..10 {
+            let mut policy = ConstantPolicy::new(vec![1.0]);
+            let run = simulator
+                .simulate(&[50], &mut policy, &options, seed)
+                .unwrap();
+            assert_eq!(run.final_counts(), &[0], "seed {seed}");
+            for (_, state) in run.trajectory().iter() {
+                assert!(state[0] >= 0.0, "seed {seed}: negative population");
+            }
+            assert!((run.trajectory().last_time() - 1_000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conservation_holds_across_leaps() {
+        let simulator = Simulator::new(sir_model(), 100_000).unwrap();
+        let options = leap_options(3.0, 0.03);
+        let mut policy = ConstantPolicy::new(vec![5.0]);
+        let run = simulator
+            .simulate(&[70_000, 30_000, 0], &mut policy, &options, 4)
+            .unwrap();
+        assert_eq!(run.final_counts().iter().sum::<i64>(), 100_000);
+        assert!(run.final_counts().iter().all(|&c| c >= 0));
+    }
+
+    #[test]
+    fn strict_policy_and_budget_contracts_match_the_exact_engine() {
+        let simulator = Simulator::new(sir_model(), 1000).unwrap();
+        let mut policy = ConstantPolicy::new(vec![99.0]); // outside [1, 10]
+        let err = simulator
+            .simulate(&[700, 300, 0], &mut policy, &leap_options(1.0, 0.03), 1)
+            .unwrap_err();
+        assert!(matches!(err, SimError::PolicyOutOfRange { .. }));
+        let mut policy = ConstantPolicy::new(vec![5.0]);
+        let err = simulator
+            .simulate(
+                &[700, 300, 0],
+                &mut policy,
+                &leap_options(1.0, 0.03).max_events(3),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::EventBudgetExhausted { events: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn record_interval_bounds_trajectory_growth() {
+        let simulator = Simulator::new(sir_model(), 100_000).unwrap();
+        let options = leap_options(3.0, 0.01).record_interval(0.5);
+        let mut policy = ConstantPolicy::new(vec![5.0]);
+        let run = simulator
+            .simulate(&[70_000, 30_000, 0], &mut policy, &options, 8)
+            .unwrap();
+        assert!(
+            run.trajectory().len() <= 10,
+            "{} points recorded",
+            run.trajectory().len()
+        );
+    }
+}

@@ -139,6 +139,7 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
             "ring_48",
             "seir",
             "sir",
+            "sir_1e6",
             "sis"
         ]
     );
@@ -167,6 +168,7 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
                 | "seir"
                 | "load_balancer"
                 | "sir"
+                | "sir_1e6"
                 | "gps"
                 | "gps_poisson"
                 | "ring_48"
