@@ -1,0 +1,166 @@
+//! `json_check` — minimal JSON validator for CI smoke tests.
+//!
+//! The vendored `serde` is a stub (no `serde_json`), so CI validates the
+//! machine-readable outputs of this workspace — `mfu run --metrics=json`
+//! snapshots, `--trace` JSONL files, `BENCH_*.json` reports — with the same
+//! hand-rolled reader the bench-regression guard uses:
+//!
+//! ```text
+//! json_check <file> [--require <dotted.path>]... [--jsonl]
+//! ```
+//!
+//! Without `--jsonl` the file must be one JSON document; every `--require`
+//! path must resolve to a numeric leaf (array indices are path segments,
+//! e.g. `counters.sim_events_fired`). With `--jsonl` every non-empty line
+//! must parse as a JSON document and each `--require` path must resolve in
+//! at least one line. Exit code 0 when everything holds, 1 otherwise, 2 on
+//! usage errors.
+
+use std::process::ExitCode;
+
+use mfu_bench::regression::{numeric_leaves, parse};
+
+struct Args {
+    file: String,
+    requires: Vec<String>,
+    jsonl: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut it = args.iter();
+    let file = it
+        .next()
+        .ok_or("usage: json_check <file> [--require <dotted.path>]... [--jsonl]")?
+        .clone();
+    if file.starts_with("--") {
+        return Err(format!("expected a file path first, got `{file}`"));
+    }
+    let mut requires = Vec::new();
+    let mut jsonl = false;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--require" => {
+                let path = it.next().ok_or("`--require` needs a dotted path")?;
+                requires.push(path.clone());
+            }
+            "--jsonl" => jsonl = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Args {
+        file,
+        requires,
+        jsonl,
+    })
+}
+
+fn check(args: &Args, text: &str) -> Result<(), String> {
+    if args.jsonl {
+        let mut satisfied = vec![false; args.requires.len()];
+        let mut lines = 0usize;
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            lines += 1;
+            let value = parse(line).map_err(|e| format!("line {}: {e}", number + 1))?;
+            let leaves = numeric_leaves(&value);
+            for (slot, path) in args.requires.iter().enumerate() {
+                if leaves.contains_key(path) {
+                    satisfied[slot] = true;
+                }
+            }
+        }
+        if lines == 0 {
+            return Err("no JSON lines in the file".into());
+        }
+        for (slot, path) in args.requires.iter().enumerate() {
+            if !satisfied[slot] {
+                return Err(format!(
+                    "`{path}` is not a numeric leaf of any of the {lines} lines"
+                ));
+            }
+        }
+        println!("{}: {lines} JSON lines ok", args.file);
+    } else {
+        let leaves = numeric_leaves(&parse(text)?);
+        for path in &args.requires {
+            if !leaves.contains_key(path) {
+                return Err(format!("`{path}` is not a numeric leaf of the document"));
+            }
+        }
+        println!("{}: valid JSON, {} numeric leaves", args.file, leaves.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&args, &text) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{}: {message}", args.file);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let parsed = parse_args(&args("m.json --require a.b --require c --jsonl")).unwrap();
+        assert_eq!(parsed.file, "m.json");
+        assert_eq!(parsed.requires, vec!["a.b".to_string(), "c".to_string()]);
+        assert!(parsed.jsonl);
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args("--require x")).is_err());
+        assert!(parse_args(&args("m.json --require")).is_err());
+        assert!(parse_args(&args("m.json --what")).is_err());
+    }
+
+    #[test]
+    fn single_document_checks() {
+        let parsed = parse_args(&args("m.json --require counters.sim_events_fired")).unwrap();
+        assert!(check(&parsed, r#"{"counters": {"sim_events_fired": 12}}"#).is_ok());
+        assert!(check(&parsed, r#"{"counters": {}}"#).is_err());
+        assert!(check(&parsed, "{nope").is_err());
+    }
+
+    #[test]
+    fn jsonl_checks_every_line_and_any_line_satisfies_requires() {
+        let parsed = parse_args(&args("t.jsonl --jsonl --require t_ns")).unwrap();
+        assert!(check(
+            &parsed,
+            "{\"ev\":\"a\",\"t_ns\":1}\n{\"ev\":\"b\",\"t_ns\":2}\n"
+        )
+        .is_ok());
+        // one malformed line fails the whole file
+        assert!(check(&parsed, "{\"ev\":\"a\",\"t_ns\":1}\nnot json\n").is_err());
+        // a required leaf missing from every line fails
+        let parsed = parse_args(&args("t.jsonl --jsonl --require missing")).unwrap();
+        assert!(check(&parsed, "{\"t_ns\":1}\n").is_err());
+        // an empty file fails
+        assert!(check(&parsed, "\n\n").is_err());
+    }
+}

@@ -33,6 +33,7 @@ use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_lang::vm::RateProgram;
 use mfu_num::ode::{Integrator, Rk4};
 use mfu_num::StateVec;
+use mfu_obs::Obs;
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
 use mfu_sim::selection::SelectionStrategy;
@@ -152,7 +153,11 @@ fn run_check(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<
 
 /// Parsed command line: measurement mode (default) or check mode.
 enum Mode {
-    Measure,
+    Measure {
+        /// `--assert-overhead <factor>`: fail when the metrics-enabled
+        /// per-event cost exceeds `factor ×` the disabled cost.
+        assert_overhead: Option<f64>,
+    },
     Check {
         baseline: String,
         current: String,
@@ -164,6 +169,7 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
     let mut baseline = None;
     let mut current = "BENCH_rate_engine.json".to_string();
     let mut tolerance: f64 = 0.25;
+    let mut assert_overhead = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -182,34 +188,51 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
                     return Err("`--tolerance` must be a non-negative number".into());
                 }
             }
+            "--assert-overhead" => {
+                let factor: f64 = value("a ratio cap")?
+                    .parse()
+                    .map_err(|e| format!("`--assert-overhead`: {e}"))?;
+                if !(factor >= 1.0 && factor.is_finite()) {
+                    return Err("`--assert-overhead` must be a finite ratio >= 1".into());
+                }
+                assert_overhead = Some(factor);
+            }
             other => {
                 return Err(format!(
                     "unknown option `{other}` (expected --check <baseline.json> \
-                     [--tolerance <rel>] [--current <report.json>])"
+                     [--tolerance <rel>] [--current <report.json>] or \
+                     [--assert-overhead <factor>])"
                 ))
             }
         }
     }
     match baseline {
-        Some(baseline) => Ok(Mode::Check {
-            baseline,
-            current,
-            tolerance,
-        }),
+        Some(baseline) => {
+            if assert_overhead.is_some() {
+                return Err("`--assert-overhead` only applies to measure mode; \
+                     drop `--check` or the overhead assertion"
+                    .into());
+            }
+            Ok(Mode::Check {
+                baseline,
+                current,
+                tolerance,
+            })
+        }
         // without --check the binary measures and OVERWRITES the report,
         // so stray check-only flags must not be silently ignored
-        None if !args.is_empty() => {
+        None if tolerance != 0.25 || current != "BENCH_rate_engine.json" => {
             Err("`--tolerance`/`--current` only apply to --check mode; add \
              `--check <baseline.json>` or drop them"
                 .into())
         }
-        None => Ok(Mode::Measure),
+        None => Ok(Mode::Measure { assert_overhead }),
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args)? {
+    let assert_overhead = match parse_args(&args)? {
         Mode::Check {
             baseline,
             current,
@@ -221,8 +244,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("bench-regression guard failed");
             std::process::exit(1);
         }
-        Mode::Measure => {}
-    }
+        Mode::Measure { assert_overhead } => assert_overhead,
+    };
 
     // ---- rate engine: tree vs VM over every builtin scenario rule --------
     // Two measured sets: the full-coordinate scenario rules (exactly what
@@ -443,6 +466,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
 
+    // ---- engine counters: run accounting + metrics overhead --------------
+    // The observability counters are maintained in plain run-locals, so for
+    // a fixed seed they are exactly reproducible — unlike wall-clock they
+    // can be regression-gated tightly. Three gauges matter: how many
+    // propensity re-evaluations the dependency graph pays per event on the
+    // sparse ring, how often the composition–rejection sampler rejects, and
+    // whether the τ-leap step selection ever trips the halving guard on the
+    // well-conditioned SIR (it must not).
+    let ring200 = mfu_lang::compile(&ring_source(200))?;
+    let ring_population = ring200.population_model()?;
+    let ring_counts = ring200.initial_counts(4800);
+    let ring_theta = ring200.params().midpoint();
+    let ring_options = SimulationOptions::new(4.0)
+        .record_stride(4096)
+        .propensity_strategy(PropensityStrategy::DependencyGraph)
+        .selection_strategy(SelectionStrategy::CompositionRejection);
+    let counted = Simulator::new(ring_population.clone(), 4800)?.with_obs(Obs::with_metrics());
+    let mut policy = ConstantPolicy::new(ring_theta.clone());
+    let ring_run = counted.simulate(&ring_counts, &mut policy, &ring_options, 11)?;
+    let rc = ring_run.counters();
+    let ring_events = rc.events_fired.max(1) as f64;
+    let propensity_evals_per_event = rc.propensity_evals as f64 / ring_events;
+    let propensity_skips_per_event = rc.propensity_skips as f64 / ring_events;
+    let cr_rejection_rate = rc.selection_rejections as f64 / ring_events;
+
+    let tau_counted =
+        Simulator::new(sir_population.clone(), 100_000)?.with_obs(Obs::with_metrics());
+    let tau_options = SimulationOptions::new(sir_horizon).tau_leap(TauLeapOptions::new(epsilon));
+    let mut policy = ConstantPolicy::new(sir_theta.clone());
+    let tau_run =
+        tau_counted.simulate(&sir.initial_counts(100_000), &mut policy, &tau_options, 11)?;
+    let tc = tau_run.counters();
+    let tau_halvings_rate = tc.tau_halvings as f64 / tc.tau_leap_steps.max(1) as f64;
+
+    // Metrics must be free when attached: time the ring_K200 hot path with
+    // the bundle off and on (identical seed and options; the trajectories
+    // are bit-identical, so any delta is pure instrumentation cost).
+    let plain = Simulator::new(ring_population.clone(), 4800)?;
+    let mut off_events = 0usize;
+    let off_wall = min_ns(9, || {
+        let mut policy = ConstantPolicy::new(ring_theta.clone());
+        let run = plain
+            .simulate(&ring_counts, &mut policy, &ring_options, 11)
+            .expect("simulation failed");
+        off_events = run.events();
+        run.final_counts()[0] as f64
+    });
+    let instrumented = Simulator::new(ring_population.clone(), 4800)?.with_obs(Obs::with_metrics());
+    let mut on_events = 0usize;
+    let on_wall = min_ns(9, || {
+        let mut policy = ConstantPolicy::new(ring_theta.clone());
+        let run = instrumented
+            .simulate(&ring_counts, &mut policy, &ring_options, 11)
+            .expect("simulation failed");
+        on_events = run.events();
+        run.final_counts()[0] as f64
+    });
+    assert_eq!(off_events, on_events, "observability changed the run");
+    let metrics_off_step_ns = off_wall / off_events.max(1) as f64;
+    let metrics_on_step_ns = on_wall / on_events.max(1) as f64;
+    let overhead_ratio = metrics_on_step_ns / metrics_off_step_ns;
+
     // ---- report ----------------------------------------------------------
     let speedup = tree_ns / vm_ns;
     let mix_speedup = mix_tree_ns / mix_vm_ns;
@@ -521,12 +606,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .collect();
     json.push_str(&format!(
-        "  \"ssa_tauleap\": {{\n    \"epsilon\": {epsilon},\n    \"horizon\": {sir_horizon},\n{}\n  }}\n}}\n",
+        "  \"ssa_tauleap\": {{\n    \"epsilon\": {epsilon},\n    \"horizon\": {sir_horizon},\n{}\n  }},\n",
         tauleap_blocks.join(",\n")
+    ));
+    json.push_str(&format!(
+        "  \"counters\": {{\n    \
+         \"ring_K200_cr\": {{\"scale\": 4800, \"seed\": 11, \"events\": {}, \
+         \"propensity_evals_per_event\": {propensity_evals_per_event:.3}, \
+         \"propensity_skips_per_event\": {propensity_skips_per_event:.3}, \
+         \"cr_rejection_rate\": {cr_rejection_rate:.4}}},\n    \
+         \"sir_tauleap_N1e5\": {{\"seed\": 11, \"leap_steps\": {}, \
+         \"fallback_steps\": {}, \"poisson_draws\": {}, \
+         \"tau_halvings\": {}, \"tau_halvings_rate\": {tau_halvings_rate:.4}}},\n    \
+         \"metrics_overhead_ring_K200\": {{\"metrics_off_step_ns\": {metrics_off_step_ns:.2}, \
+         \"metrics_on_step_ns\": {metrics_on_step_ns:.2}, \
+         \"overhead_ratio\": {overhead_ratio:.3}}}\n  }}\n}}\n",
+        rc.events_fired,
+        tc.tau_leap_steps,
+        tc.tau_fallback_steps,
+        tc.poisson_draws,
+        tc.tau_halvings
     ));
 
     println!("{json}");
     std::fs::write("BENCH_rate_engine.json", &json)?;
     eprintln!("wrote BENCH_rate_engine.json");
+    if let Some(cap) = assert_overhead {
+        if overhead_ratio > cap {
+            eprintln!(
+                "metrics overhead assertion failed: enabled/disabled per-event \
+                 ratio {overhead_ratio:.3} exceeds the cap {cap}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("metrics overhead {overhead_ratio:.3} within the {cap} cap");
+    }
     Ok(())
 }

@@ -283,11 +283,14 @@ pub mod regression {
         pub unmatched: Vec<String>,
     }
 
-    /// Compares the timing metrics (keys ending `_ns` — per-event and
-    /// per-eval costs) of `current` against `baseline`: a metric fails
-    /// when it exceeds `baseline · (1 + tolerance)`. Metrics present in
-    /// only one report are listed as unmatched so a report gaining a
-    /// section cannot fail the guard retroactively.
+    /// Compares the gated metrics of `current` against `baseline`: a metric
+    /// fails when it exceeds `baseline · (1 + tolerance)`. Gated leaves are
+    /// the timing keys (ending `_ns` — per-event and per-eval costs) and
+    /// the derived engine-counter keys (ending `_per_event`, `_rate` or
+    /// `_ratio` — e.g. propensity re-evaluations per event, the
+    /// composition–rejection rejection rate, the metrics-on/off overhead
+    /// ratio). Metrics present in only one report are listed as unmatched
+    /// so a report gaining a section cannot fail the guard retroactively.
     ///
     /// # Errors
     ///
@@ -296,9 +299,12 @@ pub mod regression {
         let base = numeric_leaves(&parse(baseline)?);
         let cur = numeric_leaves(&parse(current)?);
         let is_timing = |path: &str| {
-            path.rsplit('.')
-                .next()
-                .is_some_and(|leaf| leaf.ends_with("_ns"))
+            path.rsplit('.').next().is_some_and(|leaf| {
+                leaf.ends_with("_ns")
+                    || leaf.ends_with("_per_event")
+                    || leaf.ends_with("_rate")
+                    || leaf.ends_with("_ratio")
+            })
         };
         let mut comparison = Comparison {
             passed: 0,
@@ -392,6 +398,38 @@ mod tests {
     }
 
     #[test]
+    fn regression_guard_gates_derived_counter_ratios() {
+        use super::regression::compare;
+        let baseline = r#"{"counters": {"ring": {
+            "propensity_evals_per_event": 3.0,
+            "cr_rejection_rate": 0.10,
+            "overhead_ratio": 1.00,
+            "tau_halvings_rate": 0.0,
+            "events": 1000}}}"#;
+        // evals/event +10% passes at 25%, rejection rate +100% fails, a
+        // zero baseline fails on ANY increase (the τ-halvings invariant),
+        // and plain counts (`events`) are never gated
+        let current = r#"{"counters": {"ring": {
+            "propensity_evals_per_event": 3.3,
+            "cr_rejection_rate": 0.20,
+            "overhead_ratio": 1.02,
+            "tau_halvings_rate": 0.001,
+            "events": 999999}}}"#;
+        let report = compare(baseline, current, 0.25).unwrap();
+        assert_eq!(report.passed, 2);
+        let failed: Vec<&str> = report.regressions.iter().map(|r| r.path.as_str()).collect();
+        assert!(
+            failed.contains(&"counters.ring.cr_rejection_rate"),
+            "{failed:?}"
+        );
+        assert!(
+            failed.contains(&"counters.ring.tau_halvings_rate"),
+            "{failed:?}"
+        );
+        assert_eq!(report.regressions.len(), 2);
+    }
+
+    #[test]
     fn the_committed_baseline_parses_and_carries_timing_metrics() {
         // the CI guard is only as good as the committed baseline: it must
         // stay parseable by this reader and keep its `_ns` leaves
@@ -400,9 +438,22 @@ mod tests {
         let leaves = super::regression::numeric_leaves(&super::regression::parse(&text).unwrap());
         let timing = leaves.keys().filter(|k| k.ends_with("_ns")).count();
         assert!(timing >= 10, "only {timing} timing metrics in the baseline");
+        let gated = leaves
+            .keys()
+            .filter(|k| {
+                k.ends_with("_ns")
+                    || k.ends_with("_per_event")
+                    || k.ends_with("_rate")
+                    || k.ends_with("_ratio")
+            })
+            .count();
+        assert!(
+            gated > timing,
+            "the counters section must contribute gated ratio metrics"
+        );
         let report = super::regression::compare(&text, &text, 0.25).unwrap();
         assert!(report.regressions.is_empty());
-        assert_eq!(report.passed, timing);
+        assert_eq!(report.passed, gated);
     }
 
     #[test]

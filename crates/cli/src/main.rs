@@ -16,12 +16,14 @@
 //! on usage errors.
 
 use std::fmt::Write as _;
+use std::io::BufWriter;
 use std::path::Path;
 use std::process::ExitCode;
 
 use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
 use mfu_lang::vm::RateProgram;
 use mfu_lang::{CompiledModel, ScenarioRegistry};
+use mfu_obs::{Metrics, Obs, Timer, Tracer};
 use mfu_sim::gillespie::{PropensityStrategy, SimulationAlgorithm, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
 use mfu_sim::selection::SelectionStrategy;
@@ -60,6 +62,14 @@ RUN OPTIONS:
     --selection <strategy>   transition selection for --simulate:
                              auto | linear | tree | cr (default auto, which
                              picks by the model's transition count)
+    --metrics[=<format>]     collect engine counters and stage timings and
+                             report them after the run: `pretty` (the
+                             default; human-readable, to stderr) or `json`
+                             (one machine-readable line, printed last on
+                             stdout)
+    --trace <file.jsonl>     write structured run events (rule lowering,
+                             simulation summaries, tau-leap adaptations,
+                             Pontryagin solves) as JSON Lines to <file>
 
 A target that names an existing file (or ends in `.mfu`) is compiled from
 disk; anything else is looked up in the scenario registry.";
@@ -73,6 +83,17 @@ enum Command {
     Check { target: String },
     /// `mfu run <target> [options]`
     Run { target: String, options: RunOptions },
+}
+
+/// `--metrics` reporting format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    /// No metrics collection (the default).
+    Off,
+    /// Human-readable report on stderr.
+    Pretty,
+    /// One JSON line, printed last on stdout.
+    Json,
 }
 
 /// Options of `mfu run`.
@@ -96,6 +117,10 @@ struct RunOptions {
     propensity: PropensityStrategy,
     /// `--selection strategy`.
     selection: SelectionStrategy,
+    /// `--metrics[=pretty|json]`.
+    metrics: MetricsMode,
+    /// `--trace file.jsonl`.
+    trace: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -109,7 +134,18 @@ impl Default for RunOptions {
             seed: 42,
             propensity: PropensityStrategy::DependencyGraph,
             selection: SelectionStrategy::Auto,
+            metrics: MetricsMode::Off,
+            trace: None,
         }
+    }
+}
+
+/// Parses a `--metrics` format: bare `--metrics` means `pretty`.
+fn parse_metrics_mode(spec: &str) -> Result<MetricsMode, String> {
+    match spec {
+        "pretty" => Ok(MetricsMode::Pretty),
+        "json" => Ok(MetricsMode::Json),
+        other => Err(format!("`--metrics={other}`: expected pretty or json")),
     }
 }
 
@@ -258,7 +294,23 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("`--seed`: {e}"))?;
                     }
-                    other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+                    "--metrics" => options.metrics = MetricsMode::Pretty,
+                    "--trace" => {
+                        let path = value("an output path for the JSONL trace")?;
+                        if path.is_empty() || path.starts_with("--") {
+                            return Err(format!(
+                                "`--trace`: expected an output path, got `{path}`"
+                            ));
+                        }
+                        options.trace = Some(path);
+                    }
+                    other => {
+                        if let Some(mode) = other.strip_prefix("--metrics=") {
+                            options.metrics = parse_metrics_mode(mode)?;
+                        } else {
+                            return Err(format!("unknown option `{other}`\n\n{USAGE}"));
+                        }
+                    }
                 }
             }
             Ok(Command::Run { target, options })
@@ -281,13 +333,14 @@ struct LoadedModel {
 /// Loads a target: an existing file (or anything ending in `.mfu`) compiles
 /// from disk, everything else resolves through the scenario registry.
 /// `is_file` (not `exists`) so a stray *directory* named like a scenario
-/// cannot shadow the registry.
-fn load_model(target: &str) -> Result<LoadedModel, String> {
+/// cannot shadow the registry. Compilation reports stage timings and rule
+/// lowering through `obs` when the bundle is enabled.
+fn load_model(target: &str, obs: &Obs) -> Result<LoadedModel, String> {
     let path = Path::new(target);
     if path.is_file() || target.ends_with(".mfu") {
         let source =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{target}`: {e}"))?;
-        let model = mfu_lang::compile(&source).map_err(|e| e.to_string())?;
+        let model = mfu_lang::compile_observed(&source, obs).map_err(|e| e.to_string())?;
         return Ok(LoadedModel {
             model,
             defaults: None,
@@ -304,7 +357,7 @@ fn load_model(target: &str) -> Result<LoadedModel, String> {
     })?;
     let defaults = Some((scenario.horizon(), scenario.objective_coordinate()));
     let default_scale = scenario.default_scale();
-    let model = scenario.compile().map_err(|e| e.to_string())?;
+    let model = mfu_lang::compile_observed(scenario.source(), obs).map_err(|e| e.to_string())?;
     Ok(LoadedModel {
         model,
         defaults,
@@ -357,7 +410,7 @@ fn cmd_list_scenarios() -> Result<String, String> {
 }
 
 fn cmd_check(target: &str) -> Result<String, String> {
-    let loaded = load_model(target)?;
+    let loaded = load_model(target, &Obs::none())?;
     let model = loaded.model;
     let mut out = summarize(&model);
     let name_width = model
@@ -407,11 +460,32 @@ fn resolve_coordinate(model: &CompiledModel, spec: &str) -> Result<usize, String
     ))
 }
 
+/// Builds the observability bundle requested by `--metrics`/`--trace`.
+fn build_obs(options: &RunOptions) -> Result<Obs, String> {
+    let metrics = if options.metrics == MetricsMode::Off && options.trace.is_none() {
+        Metrics::disabled()
+    } else {
+        Metrics::enabled()
+    };
+    let tracer = match &options.trace {
+        None => Tracer::disabled(),
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("`--trace`: cannot create `{path}`: {e}"))?;
+            Tracer::to_writer(Box::new(BufWriter::new(file)))
+        }
+    };
+    Ok(Obs { metrics, tracer })
+}
+
 fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
-    let loaded = load_model(target)?;
+    let obs = build_obs(options)?;
+    let loaded = load_model(target, &obs)?;
     let default_scale = loaded.default_scale;
     let model = loaded.model;
     let mut out = summarize(&model);
+    obs.metrics.set_label("target", target);
+    obs.metrics.set_label("model", model.name());
 
     let (coordinate, horizon) = match &options.bound {
         Some((spec, time)) => (resolve_coordinate(&model, spec)?, *time),
@@ -436,9 +510,13 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
         grid_intervals: options.grid,
         multi_start: options.multi_start,
         ..Default::default()
-    });
-    let (lo, hi) = solver
-        .coordinate_extremes(&drift, &x0, horizon, coordinate)
+    })
+    .with_obs(obs.clone());
+    let (lo, hi) = obs
+        .metrics
+        .time(Timer::CoreBound, || {
+            solver.coordinate_extremes(&drift, &x0, horizon, coordinate)
+        })
         .map_err(|e| format!("Pontryagin bound failed: {e}"))?;
     let _ = writeln!(
         out,
@@ -458,26 +536,39 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
             SimulationAlgorithm::TauLeap(TauLeapOptions::default())
         });
         let population = model.population_model().map_err(|e| e.to_string())?;
-        let n_transitions = population.transitions().len();
-        let simulator = Simulator::new(population, scale).map_err(|e| e.to_string())?;
+        let simulator = Simulator::new(population, scale)
+            .map_err(|e| e.to_string())?
+            .with_obs(obs.clone());
         let mut policy = ConstantPolicy::new(model.params().midpoint());
         let sim_options = SimulationOptions::new(horizon)
             .propensity_strategy(options.propensity)
             .selection_strategy(options.selection)
             .algorithm(algorithm);
-        let run = simulator
-            .simulate(
-                &model.initial_counts(scale),
-                &mut policy,
-                &sim_options,
-                options.seed,
-            )
+        let run = obs
+            .metrics
+            .time(Timer::SimSimulate, || {
+                simulator.simulate(
+                    &model.initial_counts(scale),
+                    &mut policy,
+                    &sim_options,
+                    options.seed,
+                )
+            })
             .map_err(|e| e.to_string())?;
         let end = run.trajectory().last_state();
         let engine = match algorithm {
             SimulationAlgorithm::Exact => "Gillespie",
             SimulationAlgorithm::TauLeap(_) => "tau-leap",
         };
+        // The run reports what `Auto` actually resolved to, so the echo
+        // names the concrete engine configuration, not the request.
+        let resolved_selection = run.resolved_selection();
+        let resolved_propensity = run.resolved_propensity();
+        obs.metrics.set_label("algorithm", engine);
+        obs.metrics
+            .set_label("selection", resolved_selection.to_string());
+        obs.metrics
+            .set_label("propensity", resolved_propensity.to_string());
         let _ = writeln!(
             out,
             "one N = {scale} {engine} run at midpoint parameters \
@@ -485,11 +576,26 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
              {species}({horizon}) = {:.6}",
             options.seed,
             algorithm,
-            options.propensity,
-            options.selection.resolve(n_transitions),
+            resolved_propensity,
+            resolved_selection,
             run.events(),
             end[coordinate],
         );
+    }
+
+    obs.tracer.flush();
+    match options.metrics {
+        MetricsMode::Off => {}
+        MetricsMode::Pretty => {
+            if let Some(snapshot) = obs.metrics.snapshot() {
+                eprint!("{}", snapshot.render_pretty());
+            }
+        }
+        MetricsMode::Json => {
+            if let Some(snapshot) = obs.metrics.snapshot() {
+                let _ = writeln!(out, "{}", snapshot.render_json());
+            }
+        }
     }
     Ok(out)
 }
@@ -658,6 +764,46 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_and_trace_flags() {
+        let Command::Run { options, .. } = parse_args(&args("run sir")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(options.metrics, MetricsMode::Off);
+        assert_eq!(options.trace, None);
+
+        let Command::Run { options, .. } = parse_args(&args("run sir --metrics")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(options.metrics, MetricsMode::Pretty);
+
+        let Command::Run { options, .. } =
+            parse_args(&args("run sir --metrics=json --trace out.jsonl")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(options.metrics, MetricsMode::Json);
+        assert_eq!(options.trace.as_deref(), Some("out.jsonl"));
+
+        assert_eq!(parse_metrics_mode("pretty").unwrap(), MetricsMode::Pretty);
+        assert_eq!(parse_metrics_mode("json").unwrap(), MetricsMode::Json);
+    }
+
+    #[test]
+    fn metrics_and_trace_errors_name_the_flag() {
+        // usage errors (exit 2) must name the offending flag
+        let err = parse_args(&args("run sir --metrics=csv")).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
+        assert!(err.contains("pretty or json"), "{err}");
+
+        let err = parse_args(&args("run sir --trace")).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+
+        // `--trace --metrics` swallows no flag: the value is rejected
+        let err = parse_args(&args("run sir --trace --metrics")).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+    }
+
+    #[test]
     fn simulate_zero_is_a_parse_time_usage_error_naming_the_flag() {
         // regression: `--simulate 0` used to pass parsing and only fail
         // deep inside Simulator::new with the analysis exit code 1
@@ -668,14 +814,14 @@ mod tests {
 
     #[test]
     fn unknown_targets_list_the_registry() {
-        let err = load_model("no_such_scenario").err().unwrap();
+        let err = load_model("no_such_scenario", &Obs::none()).err().unwrap();
         assert!(err.contains("sir"), "{err}");
         assert!(err.contains("gps"), "{err}");
     }
 
     #[test]
     fn coordinates_resolve_by_name_and_index() {
-        let model = load_model("sir").unwrap().model;
+        let model = load_model("sir", &Obs::none()).unwrap().model;
         assert_eq!(resolve_coordinate(&model, "I").unwrap(), 1);
         assert_eq!(resolve_coordinate(&model, "2").unwrap(), 2);
         assert!(resolve_coordinate(&model, "9").is_err());

@@ -179,6 +179,116 @@ fn scenario_declared_scale_defaults_to_tau_leaping() {
 }
 
 #[test]
+fn auto_strategies_echo_what_they_resolved_to() {
+    // `--selection auto` on the 3-transition SIR resolves to the linear
+    // scan; the echo line must name the resolved engine, not `auto`
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "200",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("selection linear"), "{text}");
+    assert!(!text.contains("selection auto"), "{text}");
+}
+
+#[test]
+fn metrics_json_prints_a_machine_readable_last_line() {
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "200",
+        "--metrics=json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let last = text.lines().last().unwrap();
+    assert!(last.starts_with("{\"counters\":"), "{last}");
+    assert!(last.contains("\"sim_events_fired\":"), "{last}");
+    assert!(last.contains("\"sim_runs\":1"), "{last}");
+    assert!(last.contains("\"core_rk4_steps\":"), "{last}");
+    assert!(last.contains("\"lang_rules_lowered\":3"), "{last}");
+    assert!(last.contains("\"sim_simulate_ns\":"), "{last}");
+    assert!(last.contains("\"selection\":\"linear\""), "{last}");
+    assert!(last.contains("\"model\":\"sir\""), "{last}");
+}
+
+#[test]
+fn metrics_pretty_reports_on_stderr_and_keeps_stdout_clean() {
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "100",
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("sim_events_fired"), "{err}");
+    assert!(err.contains("core_rk4_steps"), "{err}");
+    let text = stdout(&out);
+    assert!(!text.contains("sim_events_fired"), "{text}");
+}
+
+#[test]
+fn trace_writes_structured_jsonl_events() {
+    let dir = std::env::temp_dir().join("mfu-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run-trace.jsonl");
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "200",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let trace = std::fs::read_to_string(&path).unwrap();
+    for line in trace.lines() {
+        assert!(line.starts_with("{\"ev\":\""), "not an event line: {line}");
+        assert!(line.ends_with('}'), "truncated line: {line}");
+    }
+    assert!(trace.contains("\"ev\":\"rule_lowered\""), "{trace}");
+    assert!(trace.contains("\"ev\":\"model_compiled\""), "{trace}");
+    assert!(trace.contains("\"ev\":\"pontryagin_solve\""), "{trace}");
+    assert!(trace.contains("\"ev\":\"sim_run\""), "{trace}");
+    assert!(trace.contains("\"algorithm\":\"exact\""), "{trace}");
+}
+
+#[test]
+fn metrics_and_trace_usage_errors_exit_2_naming_the_flag() {
+    let out = mfu(&["run", "sir", "--metrics=csv"]);
+    assert_eq!(out.status.code(), Some(2));
+    let text = stderr(&out);
+    assert!(text.contains("--metrics"), "{text}");
+    assert!(text.contains("pretty or json"), "{text}");
+
+    let out = mfu(&["run", "sir", "--trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace"));
+}
+
+#[test]
 fn run_simulates_with_explicit_strategies() {
     // exercise the --propensity/--selection plumbing end to end on a small
     // scenario (cheap Pontryagin grid keeps the test fast)

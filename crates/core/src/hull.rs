@@ -19,8 +19,11 @@
 //! becomes very loose — eventually trivial — as the range grows, which is
 //! exactly the behaviour reproduced by the benchmarks.
 
+use std::cell::Cell;
+
 use mfu_num::ode::{Integrator, OdeSystem, Rk4};
 use mfu_num::StateVec;
+use mfu_obs::{Counter, Field, Obs};
 
 use crate::drift::ImpreciseDrift;
 use crate::{CoreError, Result};
@@ -122,12 +125,25 @@ impl Default for HullOptions {
 pub struct DifferentialHull<D> {
     drift: D,
     options: HullOptions,
+    obs: Obs,
 }
 
 impl<D: ImpreciseDrift> DifferentialHull<D> {
     /// Creates the analysis with the given options.
     pub fn new(drift: D, options: HullOptions) -> Self {
-        DifferentialHull { drift, options }
+        DifferentialHull {
+            drift,
+            options,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches an observability bundle; [`DifferentialHull::bounds`] then
+    /// reports how many rectangle-vertex drift evaluations it performed.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The options in use.
@@ -158,6 +174,7 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
             drift: &self.drift,
             dim,
             refine_midpoints: self.options.refine_midpoints,
+            vertex_evals: Cell::new(0),
         };
 
         // combined state: [lower | upper]
@@ -203,6 +220,21 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
             lower.push(lo);
             upper.push(hi);
         }
+        let vertex_evals = system.vertex_evals.get();
+        self.obs
+            .metrics
+            .add(Counter::CoreHullVertexEvals, vertex_evals);
+        if self.obs.tracer.is_enabled() {
+            self.obs.tracer.event(
+                "hull_bounds",
+                &[
+                    ("dim", Field::U64(dim as u64)),
+                    ("t_end", Field::F64(t_end)),
+                    ("intervals", Field::U64(intervals as u64)),
+                    ("vertex_evals", Field::U64(vertex_evals)),
+                ],
+            );
+        }
         Ok(HullBounds {
             times,
             lower,
@@ -216,6 +248,9 @@ struct HullOde<'a, D> {
     drift: &'a D,
     dim: usize,
     refine_midpoints: bool,
+    // `OdeSystem::rhs` takes `&self`, so the eval tally lives in a `Cell`;
+    // the hull ODE is integrated on one thread, making this sound and free.
+    vertex_evals: Cell<u64>,
 }
 
 impl<D: ImpreciseDrift> HullOde<'_, D> {
@@ -258,6 +293,7 @@ impl<D: ImpreciseDrift> HullOde<'_, D> {
             for (slot, &coord) in free.iter().enumerate() {
                 point[coord] = candidates[slot][indices[slot]];
             }
+            self.vertex_evals.set(self.vertex_evals.get() + 1);
             let (lo, hi) = self.drift.coordinate_range(&point, pin);
             let value = if want_max { hi } else { lo };
             if (want_max && value > best) || (!want_max && value < best) {
@@ -406,6 +442,29 @@ mod tests {
         assert!(hull.bounds(&StateVec::from([1.0, 2.0]), 1.0).is_err());
         assert!(hull.bounds(&StateVec::from([1.0]), 0.0).is_err());
         assert_eq!(hull.options().time_intervals, 100);
+    }
+
+    #[test]
+    fn vertex_evaluations_are_counted_and_deterministic() {
+        let obs = Obs::with_metrics();
+        let hull = DifferentialHull::new(decay_drift(1.0, 2.0), HullOptions::default())
+            .with_obs(obs.clone());
+        hull.bounds(&StateVec::from([1.0]), 1.0).unwrap();
+        let first = obs
+            .metrics
+            .snapshot()
+            .unwrap()
+            .counter(Counter::CoreHullVertexEvals);
+        assert!(first > 0);
+        // the enumeration is deterministic: a second identical integration
+        // performs exactly the same number of vertex evaluations
+        hull.bounds(&StateVec::from([1.0]), 1.0).unwrap();
+        let second = obs
+            .metrics
+            .snapshot()
+            .unwrap()
+            .counter(Counter::CoreHullVertexEvals);
+        assert_eq!(second, 2 * first);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use mfu_num::grid::{GridSignal, TimeGrid};
 use mfu_num::jacobian::{finite_difference_jacobian_into, Jacobian, JacobianScratch};
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
+use mfu_obs::{Counter, Field, Gauge, Obs};
 
 use crate::drift::ImpreciseDrift;
 use crate::signal::GridParamSignal;
@@ -210,15 +211,31 @@ impl ExtremalSolution {
 
 /// Forward–backward sweep solver for extremal values of the mean-field
 /// differential inclusion.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PontryaginSolver {
     options: PontryaginOptions,
+    obs: Obs,
 }
 
 impl PontryaginSolver {
     /// Creates a solver with the given options.
     pub fn new(options: PontryaginOptions) -> Self {
-        PontryaginSolver { options }
+        PontryaginSolver {
+            options,
+            obs: Obs::none(),
+        }
+    }
+
+    /// Attaches an observability bundle: every solve flushes its RK4-step,
+    /// Jacobian-evaluation, sweep-iteration and restart counts into
+    /// `obs.metrics` (multi-start restarts run on scoped threads and share
+    /// the handle's atomics), records which restart won as a gauge, and
+    /// emits a `pontryagin_solve` trace event per solve. Results are
+    /// unaffected — counters are flushed after the numerics finish.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The options in use.
@@ -374,7 +391,8 @@ impl PontryaginSolver {
             -1.0
         };
         let mut best: Option<ExtremalSolution> = None;
-        for (_, outcome) in outcomes {
+        let mut best_index = 0usize;
+        for (index, outcome) in outcomes {
             let candidate = outcome?;
             let better = match &best {
                 None => true,
@@ -384,9 +402,31 @@ impl PontryaginSolver {
             };
             if better {
                 best = Some(candidate);
+                best_index = index;
             }
         }
-        Ok(best.expect("at least one initialization is always attempted"))
+        let best = best.expect("at least one initialization is always attempted");
+
+        self.obs
+            .metrics
+            .add(Counter::CorePontryaginRestarts, n as u64);
+        self.obs
+            .metrics
+            .set_gauge(Gauge::CorePontryaginWinningRestart, best_index as u64);
+        if self.obs.tracer.is_enabled() {
+            self.obs.tracer.event(
+                "pontryagin_solve",
+                &[
+                    ("restarts", Field::U64(n as u64)),
+                    ("winner", Field::U64(best_index as u64)),
+                    ("objective_value", Field::F64(best.objective_value())),
+                    ("converged", Field::Bool(best.converged())),
+                    ("iterations", Field::U64(best.iterations() as u64)),
+                    ("maximize", Field::Bool(objective.is_maximization())),
+                ],
+            );
+        }
+        Ok(best)
     }
 
     /// One forward–backward sweep started from a constant control `initial`.
@@ -444,6 +484,11 @@ impl PontryaginSolver {
 
         let mut converged = false;
         let mut iterations = 0;
+        // Observability tallies, accumulated in plain locals and flushed
+        // once per solve (multi-start sweeps run on scoped threads; the
+        // metrics handle's atomics make the flush thread-safe).
+        let mut rk4_steps = 0u64;
+        let mut jacobian_evals = 0u64;
         // Best (in the ascent sense) control seen so far. The sweep can
         // oscillate before converging; every iterate is a feasible selection
         // of the inclusion, so keeping the best one makes the reported bound
@@ -466,6 +511,7 @@ impl PontryaginSolver {
                     &mut rk4,
                 )?;
             }
+            rk4_steps += n as u64;
             let iterate_value = ascent.dot(&state[n]);
             if iterate_value > best_value {
                 best_value = iterate_value;
@@ -510,6 +556,8 @@ impl PontryaginSolver {
                     &mut rk4,
                 )?;
             }
+            rk4_steps += n as u64;
+            jacobian_evals += n as u64;
 
             // ---- control update ----------------------------------------------
             let mut control_change = 0.0_f64;
@@ -561,7 +609,15 @@ impl PontryaginSolver {
                 &mut rk4,
             )?;
         }
+        rk4_steps += n as u64;
         let objective_value = objective.weights().dot(&state[n]);
+
+        let metrics = &self.obs.metrics;
+        if metrics.is_enabled() {
+            metrics.add(Counter::CoreRk4Steps, rk4_steps);
+            metrics.add(Counter::CoreJacobianEvals, jacobian_evals);
+            metrics.add(Counter::CorePontryaginSweeps, iterations as u64);
+        }
 
         let control_values: Vec<StateVec> = control.into_iter().map(StateVec::from).collect();
         Ok(ExtremalSolution {
@@ -828,6 +884,42 @@ mod tests {
             .solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0))
             .is_err());
         assert_eq!(s.options().grid_intervals, 200);
+    }
+
+    #[test]
+    fn solve_counters_satisfy_the_sweep_accounting() {
+        // Per solve_from call over a grid of n intervals: every sweep does a
+        // forward RK4 pass (n steps), n Jacobian evaluations and a backward
+        // RK4 pass (n steps); the final replay adds one more forward pass.
+        // Hence jacobian_evals == sweeps·n and
+        // rk4_steps == 2·jacobian_evals + restarts·n.
+        let drift = decay_drift();
+        let x0 = StateVec::from([1.0]);
+        let obs = Obs::with_metrics();
+        let solver = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 200,
+            multi_start: true,
+            ..Default::default()
+        })
+        .with_obs(obs.clone());
+        solver
+            .solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0))
+            .unwrap();
+
+        let snapshot = obs.metrics.snapshot().unwrap();
+        let restarts = snapshot.counter(Counter::CorePontryaginRestarts);
+        let sweeps = snapshot.counter(Counter::CorePontryaginSweeps);
+        let jacobians = snapshot.counter(Counter::CoreJacobianEvals);
+        let rk4 = snapshot.counter(Counter::CoreRk4Steps);
+        // midpoint + both vertices of the single interval
+        assert_eq!(restarts, 3);
+        assert!(sweeps >= restarts, "each restart sweeps at least once");
+        assert_eq!(jacobians, sweeps * 200);
+        assert_eq!(rk4, 2 * jacobians + restarts * 200);
+        let winner = snapshot
+            .gauge(Gauge::CorePontryaginWinningRestart)
+            .expect("winner gauge set");
+        assert!(winner < restarts);
     }
 
     #[test]

@@ -189,9 +189,72 @@ pub fn parse(source: &str) -> Result<ast::ModelAst, LangError> {
 /// Returns the first [`LangError`] from any pipeline stage; semantic
 /// errors carry a [`Diagnostic`] with the offending span.
 pub fn compile(source: &str) -> Result<CompiledModel, LangError> {
-    let ast = parser::parse(source)?;
-    let resolved = validate::validate(&ast, source)?;
-    Ok(CompiledModel::new(resolved))
+    compile_observed(source, &mfu_obs::Obs::none())
+}
+
+/// [`compile()`] with an observability bundle attached.
+///
+/// With metrics enabled the three pipeline stages are timed
+/// ([`Timer::LangParse`](mfu_obs::Timer::LangParse),
+/// [`Timer::LangValidate`](mfu_obs::Timer::LangValidate),
+/// [`Timer::LangLower`](mfu_obs::Timer::LangLower)), every rule rate is
+/// lowered once to report its [`RateProgram`] shape (counted under
+/// [`Counter::LangRulesLowered`](mfu_obs::Counter::LangRulesLowered)), and
+/// the tracer receives one `rule_lowered` event per rule plus a
+/// `model_compiled` summary. With the bundle disabled this is exactly
+/// [`compile()`] — no clocks are read and no extra lowering runs.
+///
+/// # Errors
+///
+/// Same as [`compile()`].
+pub fn compile_observed(source: &str, obs: &mfu_obs::Obs) -> Result<CompiledModel, LangError> {
+    use mfu_obs::{Counter, Field, Timer};
+
+    let metrics = &obs.metrics;
+    let ast = metrics.time(Timer::LangParse, || parser::parse(source))?;
+    let resolved = metrics.time(Timer::LangValidate, || validate::validate(&ast, source))?;
+    let model = CompiledModel::new(resolved);
+
+    // Backends lower rule rates lazily; with observability on, run the
+    // lowering once here (compile-time cost only) so the per-rule program
+    // shapes land in the metrics and trace.
+    if obs.is_enabled() {
+        metrics.time(Timer::LangLower, || {
+            for rule in model.rules() {
+                let program = vm::RateProgram::compile(&rule.rate);
+                metrics.add(Counter::LangRulesLowered, 1);
+                if obs.tracer.is_enabled() {
+                    let kind = match program.kind() {
+                        vm::ProgramKind::Const(_) => "const",
+                        vm::ProgramKind::MassAction { .. } => "mass_action",
+                        vm::ProgramKind::AffineProduct { .. } => "affine_product",
+                        vm::ProgramKind::Bytecode(_) => "bytecode",
+                    };
+                    obs.tracer.event(
+                        "rule_lowered",
+                        &[
+                            ("rule", Field::Str(&rule.name)),
+                            ("kind", Field::Str(kind)),
+                            ("registers", Field::U64(program.registers() as u64)),
+                            ("fast_path", Field::Bool(program.is_fast_path())),
+                        ],
+                    );
+                }
+            }
+        });
+        if obs.tracer.is_enabled() {
+            obs.tracer.event(
+                "model_compiled",
+                &[
+                    ("model", Field::Str(model.name())),
+                    ("species", Field::U64(model.dim() as u64)),
+                    ("rules", Field::U64(model.rules().len() as u64)),
+                    ("params", Field::U64(model.params().dim() as u64)),
+                ],
+            );
+        }
+    }
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -217,6 +280,45 @@ mod tests {
             "model m; species X; param r in [0,1]; rule g: X -> 0 @ r * X; init X = 1;"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn observed_compile_reports_stages_and_rule_shapes() {
+        let source = "model sir;
+             species S, I, R;
+             param contact in [1, 10];
+             const a = 0.1;
+             rule infect:  S -> I @ (a + contact * I) * S;
+             rule recover: I -> R @ 5 * I;
+             rule wane:    R -> S @ 1 * R;
+             init S = 0.7, I = 0.3, R = 0;";
+
+        let obs = mfu_obs::Obs::with_metrics();
+        let (tracer, sink) = mfu_obs::Tracer::to_buffer();
+        let obs = mfu_obs::Obs {
+            tracer,
+            ..obs.clone()
+        };
+        let model = compile_observed(source, &obs).unwrap();
+        assert_eq!(model.rules().len(), 3);
+
+        let snapshot = obs.metrics.snapshot().unwrap();
+        assert_eq!(snapshot.counter(mfu_obs::Counter::LangRulesLowered), 3);
+        // stage timers tick (lowering three tiny rules may round to 0 ns,
+        // but the parse of an eight-line model must not)
+        assert!(snapshot.timer_ns(mfu_obs::Timer::LangParse) > 0);
+
+        let trace = sink.contents();
+        assert_eq!(trace.matches("\"ev\":\"rule_lowered\"").count(), 3);
+        assert!(trace.contains("\"rule\":\"infect\""));
+        assert!(trace.contains("\"kind\":\"affine_product\""));
+        assert!(trace.contains("\"kind\":\"mass_action\""));
+        assert!(trace.contains("\"ev\":\"model_compiled\""));
+
+        // identical result through the plain entry point
+        let plain = compile(source).unwrap();
+        assert_eq!(plain.species(), model.species());
+        assert_eq!(plain.rules().len(), model.rules().len());
     }
 
     #[test]

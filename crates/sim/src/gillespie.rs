@@ -39,6 +39,7 @@ use mfu_ctmc::population::PopulationModel;
 use mfu_ctmc::transition::apply_firings;
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
+use mfu_obs::{Counter, Field, Metrics, Obs};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -267,12 +268,69 @@ impl Recorder {
     }
 }
 
+/// Per-run internals counted by the engines.
+///
+/// Both engines accumulate these in plain run-local `u64`s
+/// *unconditionally* — register increments cost nothing measurable next
+/// to a rate evaluation — and flush them into an enabled
+/// [`Metrics`] handle once per run. The counters are
+/// therefore (a) deterministic in the seed, (b) available on every
+/// [`SimulationRun`] even with observability off, and (c) incapable of
+/// perturbing the simulation: nothing here touches the RNG or any float.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Transition firings (exact jumps, or τ-leap steps plus fallback SSA
+    /// steps) — equals [`SimulationRun::events`].
+    pub events_fired: u64,
+    /// Individual rate evaluations (exact-engine maintenance, τ-leap
+    /// rescans and fallback-burst rescans alike).
+    pub propensity_evals: u64,
+    /// Rate evaluations avoided by the dependency graph (transitions left
+    /// untouched after a firing).
+    pub propensity_skips: u64,
+    /// Rejected candidate draws inside composition–rejection selection.
+    pub selection_rejections: u64,
+    /// Accepted τ-leap steps.
+    pub tau_leap_steps: u64,
+    /// τ-halvings forced by the negative-population guard.
+    pub tau_halvings: u64,
+    /// Exact-SSA fallback bursts entered by the τ-leap engine.
+    pub tau_fallback_bursts: u64,
+    /// Individual exact-SSA steps taken inside fallback bursts.
+    pub tau_fallback_steps: u64,
+    /// Poisson firing-count draws made by the τ-leap engine.
+    pub poisson_draws: u64,
+}
+
+impl SimCounters {
+    /// Adds every counter into an enabled metrics handle (no-op when the
+    /// handle is disabled) and bumps the run count.
+    pub fn flush_to(&self, metrics: &Metrics) {
+        if !metrics.is_enabled() {
+            return;
+        }
+        metrics.add(Counter::SimEventsFired, self.events_fired);
+        metrics.add(Counter::SimPropensityEvals, self.propensity_evals);
+        metrics.add(Counter::SimPropensitySkips, self.propensity_skips);
+        metrics.add(Counter::SimSelectionRejections, self.selection_rejections);
+        metrics.add(Counter::SimTauLeapSteps, self.tau_leap_steps);
+        metrics.add(Counter::SimTauHalvings, self.tau_halvings);
+        metrics.add(Counter::SimTauFallbackBursts, self.tau_fallback_bursts);
+        metrics.add(Counter::SimTauFallbackSteps, self.tau_fallback_steps);
+        metrics.add(Counter::SimPoissonDraws, self.poisson_draws);
+        metrics.add(Counter::SimRuns, 1);
+    }
+}
+
 /// The result of one stochastic simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationRun {
     trajectory: Trajectory,
     events: usize,
     final_counts: Vec<i64>,
+    counters: SimCounters,
+    resolved_selection: SelectionStrategy,
+    resolved_propensity: PropensityStrategy,
 }
 
 impl SimulationRun {
@@ -282,11 +340,17 @@ impl SimulationRun {
         trajectory: Trajectory,
         events: usize,
         final_counts: Vec<i64>,
+        counters: SimCounters,
+        resolved_selection: SelectionStrategy,
+        resolved_propensity: PropensityStrategy,
     ) -> Self {
         SimulationRun {
             trajectory,
             events,
             final_counts,
+            counters,
+            resolved_selection,
+            resolved_propensity,
         }
     }
 
@@ -303,6 +367,25 @@ impl SimulationRun {
     /// Final integer counts.
     pub fn final_counts(&self) -> &[i64] {
         &self.final_counts
+    }
+
+    /// The run's internal counters (always populated, observability on or
+    /// off — see [`SimCounters`]).
+    pub fn counters(&self) -> &SimCounters {
+        &self.counters
+    }
+
+    /// The selection strategy the run actually used: `Auto` resolved
+    /// against the transition count for the exact engine, always
+    /// [`SelectionStrategy::LinearScan`] for τ-leap fallback bursts.
+    pub fn resolved_selection(&self) -> SelectionStrategy {
+        self.resolved_selection
+    }
+
+    /// The propensity-maintenance strategy the run actually used (the
+    /// τ-leap engine always rescans fully — a leap is `O(K)` anyway).
+    pub fn resolved_propensity(&self) -> PropensityStrategy {
+        self.resolved_propensity
     }
 
     /// Consumes the run and returns its trajectory.
@@ -326,6 +409,10 @@ pub struct Simulator {
     /// the species listed in `sparse_jumps[k]`; transitions with unknown support
     /// are conservatively included everywhere).
     dependencies: Vec<Vec<usize>>,
+    /// Observability handle; defaults to disabled ([`Obs::none`]). Runs
+    /// flush their [`SimCounters`] into it and emit run-summary trace
+    /// events — never per-event records.
+    obs: Obs,
 }
 
 impl Simulator {
@@ -354,7 +441,24 @@ impl Simulator {
             scale,
             sparse_jumps,
             dependencies,
+            obs: Obs::none(),
         })
+    }
+
+    /// Attaches an observability bundle: run counters flush into
+    /// `obs.metrics` and run summaries (plus τ-leap guard events) go to
+    /// `obs.tracer`. Simulation results are bit-identical with any `obs`,
+    /// enabled or not — the engines count into plain locals and only
+    /// flush after the trajectory is complete.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability bundle (shared with the τ-leap engine).
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The underlying population model.
@@ -453,6 +557,10 @@ impl Simulator {
         let mut t = 0.0_f64;
         let mut events = 0usize;
         let mut rates = vec![0.0_f64; n_transitions];
+        // Run-local observability counters, maintained unconditionally
+        // (see `SimCounters`): nothing here reads the obs handle, so the
+        // numerical path is byte-for-byte the same with metrics on or off.
+        let mut tally = SimCounters::default();
 
         let mut trajectory = Trajectory::new(dim);
         trajectory.push(0.0, x.clone())?;
@@ -510,17 +618,21 @@ impl Simulator {
                     *rate = self.eval_rate(k, &x, &theta)?;
                     total += *rate;
                 }
+                tally.propensity_evals += n_transitions as u64;
                 selector.rebuild(&rates);
                 since_refresh = 0;
             } else {
                 let mut delta = 0.0_f64;
                 if let Some(fired) = pending {
-                    for &m in &self.dependencies[fired] {
+                    let touched = &self.dependencies[fired];
+                    for &m in touched {
                         let updated = self.eval_rate(m, &x, &theta)?;
                         delta += updated - rates[m];
                         rates[m] = updated;
                         selector.update(m, updated);
                     }
+                    tally.propensity_evals += touched.len() as u64;
+                    tally.propensity_skips += (n_transitions - touched.len()) as u64;
                 }
                 match options.propensity {
                     PropensityStrategy::DependencyGraph => {
@@ -564,7 +676,9 @@ impl Simulator {
             // above the true (zero) rate sum — so the state is absorbing.
             // The historical code fell through to `n_transitions - 1` here,
             // which could fire a rate-0.0 (impossible) transition.
-            let Some(chosen) = selector.choose(&rates, total, rng) else {
+            let Some(chosen) =
+                selector.choose_counting(&rates, total, rng, &mut tally.selection_rejections)
+            else {
                 break;
             };
 
@@ -596,11 +710,36 @@ impl Simulator {
             trajectory.push(options.t_end, x.clone())?;
         }
 
-        Ok(SimulationRun {
+        tally.events_fired = events as u64;
+        let resolved_selection = options.selection.resolve(n_transitions);
+        tally.flush_to(&self.obs.metrics);
+        if self.obs.tracer.is_enabled() {
+            self.obs.tracer.event(
+                "sim_run",
+                &[
+                    ("algorithm", Field::Str("exact")),
+                    ("t_end", Field::F64(options.t_end)),
+                    ("events", Field::U64(tally.events_fired)),
+                    ("propensity_evals", Field::U64(tally.propensity_evals)),
+                    ("propensity_skips", Field::U64(tally.propensity_skips)),
+                    (
+                        "selection_rejections",
+                        Field::U64(tally.selection_rejections),
+                    ),
+                    ("selection", Field::Str(&resolved_selection.to_string())),
+                    ("propensity", Field::Str(&options.propensity.to_string())),
+                ],
+            );
+        }
+
+        Ok(SimulationRun::from_parts(
             trajectory,
             events,
-            final_counts: counts,
-        })
+            counts,
+            tally,
+            resolved_selection,
+            options.propensity,
+        ))
     }
 
     /// Evaluates the scaled propensity of transition `k`, validating the
@@ -1044,6 +1183,97 @@ mod tests {
                 run.final_counts()[2]
             );
         }
+    }
+
+    #[test]
+    fn run_counters_track_engine_internals() {
+        let sim = Simulator::new(cycle_model(), 300).unwrap();
+        let base = SimulationOptions::new(25.0);
+        let run = |strategy: PropensityStrategy| {
+            let mut policy = ConstantPolicy::new(vec![1.25]);
+            sim.simulate(
+                &[150, 100, 50],
+                &mut policy,
+                &base.propensity_strategy(strategy),
+                7,
+            )
+            .unwrap()
+        };
+        let full = run(PropensityStrategy::FullRescan);
+        let f = full.counters();
+        assert_eq!(f.events_fired, full.events() as u64);
+        // every loop iteration (events + the final break check) rescans
+        // all three rates
+        assert_eq!(f.propensity_evals, (full.events() as u64 + 1) * 3);
+        assert_eq!(f.propensity_skips, 0);
+        assert_eq!(f.selection_rejections, 0, "linear scan never rejects");
+        assert_eq!(f.tau_leap_steps, 0, "exact run took tau-leap steps");
+
+        let graph = run(PropensityStrategy::DependencyGraph);
+        let g = graph.counters();
+        assert_eq!(g.events_fired, f.events_fired);
+        assert!(
+            g.propensity_evals < f.propensity_evals,
+            "graph never skipped"
+        );
+        assert!(g.propensity_skips > 0);
+        // the cycle model's rates vanish exactly on the boundary, so no
+        // jump is ever dropped and the two strategies see the same number
+        // of maintenance rounds
+        assert_eq!(g.propensity_evals + g.propensity_skips, f.propensity_evals);
+    }
+
+    #[test]
+    fn runs_report_their_resolved_strategies() {
+        let sim = Simulator::new(cycle_model(), 300).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.25]);
+        let run = sim
+            .simulate(
+                &[150, 100, 50],
+                &mut policy,
+                &SimulationOptions::new(5.0),
+                1,
+            )
+            .unwrap();
+        // 3 transitions: Auto resolves to the linear scan
+        assert_eq!(run.resolved_selection(), SelectionStrategy::LinearScan);
+        assert_eq!(
+            run.resolved_propensity(),
+            PropensityStrategy::DependencyGraph
+        );
+    }
+
+    #[test]
+    fn metrics_flush_matches_run_counters_and_leaves_run_bit_identical() {
+        use mfu_obs::Counter;
+
+        let plain = Simulator::new(cycle_model(), 300).unwrap();
+        let observed = plain.clone().with_obs(Obs::with_metrics());
+        let options = SimulationOptions::new(15.0);
+        let run_with = |sim: &Simulator| {
+            let mut policy = ConstantPolicy::new(vec![1.25]);
+            sim.simulate(&[150, 100, 50], &mut policy, &options, 13)
+                .unwrap()
+        };
+        let a = run_with(&plain);
+        let b = run_with(&observed);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.final_counts(), b.final_counts());
+        for ((ta, sa), (tb, sb)) in a.trajectory().iter().zip(b.trajectory().iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+        assert_eq!(a.counters(), b.counters());
+        let snap = observed.obs().metrics.snapshot().unwrap();
+        assert_eq!(
+            snap.counter(Counter::SimEventsFired),
+            b.counters().events_fired
+        );
+        assert_eq!(
+            snap.counter(Counter::SimPropensityEvals),
+            b.counters().propensity_evals
+        );
+        assert_eq!(snap.counter(Counter::SimRuns), 1);
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //! * [`steady`] — sampling of the stationary regime (burn-in plus thinning),
 //!   used to compare the empirical steady state against the Birkhoff centre.
 //!
+//! Both engines carry an optional observability bundle
+//! ([`Simulator::with_obs`](gillespie::Simulator::with_obs)): per-run
+//! [`SimCounters`](gillespie::SimCounters) — propensity re-evaluations vs.
+//! dependency-graph skips, composition–rejection rejections, τ-halvings,
+//! fallback bursts, Poisson draws — flush into `mfu-obs` metrics, and run
+//! summaries go to its JSONL tracer. The counters are maintained in plain
+//! run-locals, so trajectories are bit-identical with observability on or
+//! off, and every [`SimulationRun`](gillespie::SimulationRun) exposes them
+//! (plus the `Auto`-resolved strategies) even when observability is
+//! disabled.
+//!
 //! # Example
 //!
 //! Simulate the bike-sharing station under a constant parameter:

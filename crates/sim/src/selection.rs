@@ -434,6 +434,19 @@ impl CompositionRejection {
     /// consuming as many uniform draws as the rejection loop needs.
     /// Returns `None` when every rate is zero.
     pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let mut rejections = 0u64;
+        self.sample_counting(rng, &mut rejections)
+    }
+
+    /// Like [`CompositionRejection::sample`], additionally adding the
+    /// number of rejected candidate draws to `rejections` (the per-run
+    /// rejection-rate counter of the observability layer). The RNG stream
+    /// consumption is identical to `sample`'s.
+    pub fn sample_counting<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        rejections: &mut u64,
+    ) -> Option<usize> {
         let total = self.total();
         if total <= 0.0 {
             return None;
@@ -462,6 +475,7 @@ impl CompositionRejection {
             if rng.gen::<f64>() * bound < self.rates[candidate] {
                 return Some(candidate);
             }
+            *rejections += 1;
         }
         // pathological drift: exact in-group roulette as a deterministic
         // fallback (members are all positive-rate, so this cannot miss)
@@ -537,10 +551,25 @@ impl Selector {
         total: f64,
         rng: &mut R,
     ) -> Option<usize> {
+        let mut rejections = 0u64;
+        self.choose_counting(rates, total, rng, &mut rejections)
+    }
+
+    /// Like [`Selector::choose`], additionally adding the number of
+    /// rejected composition-rejection draws to `rejections` (the linear
+    /// and tree paths never reject). Identical RNG stream consumption.
+    #[inline]
+    pub fn choose_counting<R: RngCore + ?Sized>(
+        &self,
+        rates: &[f64],
+        total: f64,
+        rng: &mut R,
+        rejections: &mut u64,
+    ) -> Option<usize> {
         match self {
             Selector::Linear => linear_select(rates, rng.gen::<f64>() * total),
             Selector::Tree(tree) => tree.sample(rng.gen::<f64>() * total),
-            Selector::Cr(cr) => cr.sample(rng),
+            Selector::Cr(cr) => cr.sample_counting(rng, rejections),
         }
     }
 }
@@ -723,6 +752,26 @@ mod tests {
             cr.total()
         );
         assert!((reference.total() - exact).abs() <= 1e-12 * exact.max(1.0));
+    }
+
+    #[test]
+    fn rejection_counting_matches_the_plain_sample_stream() {
+        // `sample_counting` must consume the RNG identically to `sample`
+        // (the observability layer may not perturb runs) and must report
+        // rejections on rate spreads wide enough to miss sometimes.
+        let rates = [8.0, 0.5, 0.0, 2.0, 0.25, 4.0];
+        let mut cr = CompositionRejection::new(rates.len());
+        cr.rebuild(&rates);
+        let mut plain_rng = StdRng::seed_from_u64(17);
+        let mut counting_rng = StdRng::seed_from_u64(17);
+        let mut rejections = 0u64;
+        for _ in 0..5_000 {
+            assert_eq!(
+                cr.sample(&mut plain_rng),
+                cr.sample_counting(&mut counting_rng, &mut rejections)
+            );
+        }
+        assert!(rejections > 0, "wide rate spread never rejected");
     }
 
     #[test]

@@ -59,9 +59,13 @@ use rand::poisson;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::gillespie::{Recorder, SimulationOptions, SimulationRun, Simulator};
+use mfu_obs::Field;
+
+use crate::gillespie::{
+    PropensityStrategy, Recorder, SimCounters, SimulationOptions, SimulationRun, Simulator,
+};
 use crate::policy::ParameterPolicy;
-use crate::selection::linear_select;
+use crate::selection::{linear_select, SelectionStrategy};
 use crate::{Result, SimError};
 
 /// Tuning knobs of the explicit τ-leap engine.
@@ -235,6 +239,11 @@ pub(crate) fn simulate_tau_leap(
     let mut x: StateVec = counts.iter().map(|&c| c as f64 / scale).collect();
     let mut t = 0.0_f64;
     let mut steps = 0usize;
+    // Run-local observability counters (see `SimCounters`): maintained
+    // unconditionally, flushed once after the run, never touching the RNG
+    // or any float — the run is bit-identical with observability on or off.
+    let mut tally = SimCounters::default();
+    let tracer = simulator.obs().tracer.clone();
 
     let mut rates = vec![0.0_f64; n_transitions];
     let mut mu = vec![0.0_f64; dim];
@@ -264,6 +273,7 @@ pub(crate) fn simulate_tau_leap(
             *rate = simulator.eval_rate(k, &x, &theta)?;
             total += *rate;
         }
+        tally.propensity_evals += n_transitions as u64;
         if total <= 0.0 {
             break 'run;
         }
@@ -285,6 +295,18 @@ pub(crate) fn simulate_tau_leap(
         loop {
             if tau < threshold.min(options.t_end - t) {
                 // ---- exact fallback burst -------------------------------
+                tally.tau_fallback_bursts += 1;
+                if tracer.is_enabled() {
+                    tracer.event(
+                        "tau_fallback_burst",
+                        &[
+                            ("t", Field::F64(t)),
+                            ("tau", Field::F64(tau)),
+                            ("threshold", Field::F64(threshold)),
+                            ("burst", Field::U64(leap.ssa_burst as u64)),
+                        ],
+                    );
+                }
                 for burst_step in 0..leap.ssa_burst {
                     // Non-constant policies are re-queried per exact step
                     // (matching the exact engine's event-level resolution);
@@ -297,6 +319,7 @@ pub(crate) fn simulate_tau_leap(
                         *rate = simulator.eval_rate(k, &x, &theta)?;
                         burst_total += *rate;
                     }
+                    tally.propensity_evals += n_transitions as u64;
                     if burst_total <= 0.0 {
                         break 'run;
                     }
@@ -315,6 +338,7 @@ pub(crate) fn simulate_tau_leap(
                         }
                     }
                     steps += 1;
+                    tally.tau_fallback_steps += 1;
                     if recorder.should_record(steps, t) {
                         trajectory.push(t, x.clone())?;
                     }
@@ -331,6 +355,7 @@ pub(crate) fn simulate_tau_leap(
             // ---- attempt one leap of length τ ---------------------------
             for (k, firing) in firings.iter_mut().enumerate() {
                 *firing = if rates[k] > 0.0 {
+                    tally.poisson_draws += 1;
                     poisson::sample(rng, rates[k] * tau) as i64
                 } else {
                     0
@@ -344,6 +369,13 @@ pub(crate) fn simulate_tau_leap(
             }
             if counts.iter().zip(delta.iter()).any(|(&c, &d)| c + d < 0) {
                 // negative-population guard: reject wholesale, halve τ
+                tally.tau_halvings += 1;
+                if tracer.is_enabled() {
+                    tracer.event(
+                        "tau_halved",
+                        &[("t", Field::F64(t)), ("tau", Field::F64(tau / 2.0))],
+                    );
+                }
                 tau /= 2.0;
                 continue;
             }
@@ -355,6 +387,7 @@ pub(crate) fn simulate_tau_leap(
             }
             t += tau;
             steps += 1;
+            tally.tau_leap_steps += 1;
             if recorder.should_record(steps, t) {
                 trajectory.push(t, x.clone())?;
             }
@@ -375,7 +408,35 @@ pub(crate) fn simulate_tau_leap(
         trajectory.push(options.t_end, x.clone())?;
     }
 
-    Ok(SimulationRun::from_parts(trajectory, steps, counts))
+    tally.events_fired = steps as u64;
+    tally.flush_to(&simulator.obs().metrics);
+    if tracer.is_enabled() {
+        tracer.event(
+            "sim_run",
+            &[
+                ("algorithm", Field::Str("tau-leap")),
+                ("epsilon", Field::F64(leap.epsilon)),
+                ("t_end", Field::F64(options.t_end)),
+                ("events", Field::U64(tally.events_fired)),
+                ("tau_leap_steps", Field::U64(tally.tau_leap_steps)),
+                ("tau_halvings", Field::U64(tally.tau_halvings)),
+                ("tau_fallback_bursts", Field::U64(tally.tau_fallback_bursts)),
+                ("tau_fallback_steps", Field::U64(tally.tau_fallback_steps)),
+                ("poisson_draws", Field::U64(tally.poisson_draws)),
+            ],
+        );
+    }
+
+    // τ-leap ignores the configured selection/propensity strategies: it
+    // rescans fully per leap and linear-selects inside fallback bursts.
+    Ok(SimulationRun::from_parts(
+        trajectory,
+        steps,
+        counts,
+        tally,
+        SelectionStrategy::LinearScan,
+        PropensityStrategy::FullRescan,
+    ))
 }
 
 #[cfg(test)]
@@ -553,6 +614,48 @@ mod tests {
             .unwrap();
         assert_eq!(run.final_counts().iter().sum::<i64>(), 100_000);
         assert!(run.final_counts().iter().all(|&c| c >= 0));
+    }
+
+    #[test]
+    fn run_counters_track_leap_internals() {
+        use crate::gillespie::PropensityStrategy;
+        use crate::selection::SelectionStrategy;
+
+        // Well-conditioned SIR at large scale: every step is a clean leap.
+        let simulator = Simulator::new(sir_model(), 100_000).unwrap();
+        let mut policy = ConstantPolicy::new(vec![5.0]);
+        let run = simulator
+            .simulate(
+                &[70_000, 30_000, 0],
+                &mut policy,
+                &leap_options(3.0, 0.03),
+                4,
+            )
+            .unwrap();
+        let c = run.counters();
+        assert_eq!(c.events_fired, run.events() as u64);
+        assert_eq!(c.tau_leap_steps + c.tau_fallback_steps, c.events_fired);
+        assert!(
+            c.poisson_draws >= c.tau_leap_steps,
+            "draws per accepted leap"
+        );
+        assert_eq!(c.tau_halvings, 0, "well-conditioned SIR halved tau");
+        assert_eq!(c.propensity_skips, 0);
+        assert_eq!(run.resolved_selection(), SelectionStrategy::LinearScan);
+        assert_eq!(run.resolved_propensity(), PropensityStrategy::FullRescan);
+
+        // Boundary-parked pure death: the exact fallback must engage.
+        let death = Simulator::new(death_model(), 50).unwrap();
+        let options = SimulationOptions::new(1_000.0)
+            .tau_leap(TauLeapOptions::new(0.5).ssa_threshold(5.0).ssa_burst(10));
+        let mut policy = ConstantPolicy::new(vec![1.0]);
+        let run = death.simulate(&[50], &mut policy, &options, 0).unwrap();
+        let c = run.counters();
+        assert!(
+            c.tau_fallback_bursts > 0,
+            "no fallback burst at the boundary"
+        );
+        assert!(c.tau_fallback_steps > 0);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!
 //! * [`num`] — numerical substrate (state vectors, ODE solvers, root finding,
 //!   planar geometry);
+//! * [`obs`] — observability (zero-cost-when-off metrics counters/timers
+//!   and a line-delimited JSON run tracer);
 //! * [`ctmc`] — population-process and finite-CTMC substrate;
 //! * [`sim`] — stochastic simulation (Gillespie SSA, parameter policies,
 //!   ensembles);
@@ -53,4 +55,5 @@ pub use mfu_ctmc as ctmc;
 pub use mfu_lang as lang;
 pub use mfu_models as models;
 pub use mfu_num as num;
+pub use mfu_obs as obs;
 pub use mfu_sim as sim;
