@@ -528,6 +528,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics_on_step_ns = on_wall / on_events.max(1) as f64;
     let overhead_ratio = metrics_on_step_ns / metrics_off_step_ns;
 
+    // The same zero-cost-when-off contract for the run budget: arm every cap
+    // generously enough that none trips (identical seed and options, so the
+    // trajectories are bit-identical) and time the delta against the
+    // unbudgeted hot path. The tracker's amortised wall-clock check and the
+    // event-count comparison are all the guarded loop pays.
+    let guarded_options = ring_options.budget(
+        mfu_guard::RunBudget::unlimited()
+            .wall_clock(std::time::Duration::from_secs(3600))
+            .max_events(u64::MAX)
+            .max_leap_steps(u64::MAX)
+            .max_tau_halvings(u64::MAX),
+    );
+    let mut guarded_events = 0usize;
+    let guarded_wall = min_ns(9, || {
+        let mut policy = ConstantPolicy::new(ring_theta.clone());
+        let run = plain
+            .simulate(&ring_counts, &mut policy, &guarded_options, 11)
+            .expect("simulation failed");
+        guarded_events = run.events();
+        run.final_counts()[0] as f64
+    });
+    assert_eq!(
+        off_events, guarded_events,
+        "an armed budget changed the run"
+    );
+    let budget_on_step_ns = guarded_wall / guarded_events.max(1) as f64;
+    let guard_overhead_ratio = budget_on_step_ns / metrics_off_step_ns;
+
     // ---- report ----------------------------------------------------------
     let speedup = tree_ns / vm_ns;
     let mix_speedup = mix_tree_ns / mix_vm_ns;
@@ -620,7 +648,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"tau_halvings\": {}, \"tau_halvings_rate\": {tau_halvings_rate:.4}}},\n    \
          \"metrics_overhead_ring_K200\": {{\"metrics_off_step_ns\": {metrics_off_step_ns:.2}, \
          \"metrics_on_step_ns\": {metrics_on_step_ns:.2}, \
-         \"overhead_ratio\": {overhead_ratio:.3}}}\n  }}\n}}\n",
+         \"overhead_ratio\": {overhead_ratio:.3}}},\n    \
+         \"guard_overhead_ring_K200\": {{\"budget_off_step_ns\": {metrics_off_step_ns:.2}, \
+         \"budget_on_step_ns\": {budget_on_step_ns:.2}, \
+         \"overhead_ratio\": {guard_overhead_ratio:.3}}}\n  }}\n}}\n",
         rc.events_fired,
         tc.tau_leap_steps,
         tc.tau_fallback_steps,
@@ -640,6 +671,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(1);
         }
         eprintln!("metrics overhead {overhead_ratio:.3} within the {cap} cap");
+        if guard_overhead_ratio > cap {
+            eprintln!(
+                "budget-guard overhead assertion failed: armed/unarmed per-event \
+                 ratio {guard_overhead_ratio:.3} exceeds the cap {cap}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("budget-guard overhead {guard_overhead_ratio:.3} within the {cap} cap");
     }
     Ok(())
 }

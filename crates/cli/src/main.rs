@@ -21,6 +21,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use mfu_core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mfu_guard::RunBudget;
 use mfu_lang::vm::RateProgram;
 use mfu_lang::{CompiledModel, ScenarioRegistry};
 use mfu_obs::{Metrics, Obs, Timer, Tracer};
@@ -70,6 +71,14 @@ RUN OPTIONS:
     --trace <file.jsonl>     write structured run events (rule lowering,
                              simulation summaries, tau-leap adaptations,
                              Pontryagin solves) as JSON Lines to <file>
+    --timeout <secs>         wall-clock budget (positive seconds, fractions
+                             allowed) for the Pontryagin sweep and the
+                             simulation; a run that trips it reports the
+                             prefix computed so far, notes the truncation on
+                             stderr and still exits 0
+    --max-events <n>         event budget (at least 1) for --simulate; a
+                             truncated run reports its prefix, notes the
+                             truncation on stderr and still exits 0
 
 A target that names an existing file (or ends in `.mfu`) is compiled from
 disk; anything else is looked up in the scenario registry.";
@@ -121,6 +130,10 @@ struct RunOptions {
     metrics: MetricsMode,
     /// `--trace file.jsonl`.
     trace: Option<String>,
+    /// `--timeout secs`: wall-clock budget for the analysis and simulation.
+    timeout: Option<f64>,
+    /// `--max-events n`: event budget for the simulation.
+    max_events: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -136,6 +149,8 @@ impl Default for RunOptions {
             selection: SelectionStrategy::Auto,
             metrics: MetricsMode::Off,
             trace: None,
+            timeout: None,
+            max_events: None,
         }
     }
 }
@@ -294,6 +309,30 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|e| format!("`--seed`: {e}"))?;
                     }
+                    "--timeout" => {
+                        let spec = value("a duration in seconds")?;
+                        let secs: f64 = spec
+                            .parse()
+                            .map_err(|_| format!("`--timeout`: bad duration `{spec}`"))?;
+                        if !(secs.is_finite() && secs > 0.0) {
+                            return Err(format!(
+                                "`--timeout {spec}`: duration must be positive and finite"
+                            ));
+                        }
+                        options.timeout = Some(secs);
+                    }
+                    "--max-events" => {
+                        let spec = value("an event count")?;
+                        let cap: u64 = spec
+                            .parse()
+                            .map_err(|_| format!("`--max-events`: bad event count `{spec}`"))?;
+                        if cap == 0 {
+                            return Err(
+                                "`--max-events`: event count must be at least 1 (got 0)".into()
+                            );
+                        }
+                        options.max_events = Some(cap);
+                    }
                     "--metrics" => options.metrics = MetricsMode::Pretty,
                     "--trace" => {
                         let path = value("an output path for the JSONL trace")?;
@@ -419,6 +458,12 @@ fn cmd_check(target: &str) -> Result<String, String> {
         .map(|r| r.name.len())
         .max()
         .unwrap_or(0);
+    // Probe every rate at the initial state under the midpoint parameters:
+    // the same numeric-health contract (finite, non-negative) the simulation
+    // engines enforce at the rate-program boundary during a run.
+    let x0 = model.initial_state();
+    let theta = model.params().midpoint();
+    let mut unhealthy = Vec::new();
     for rule in model.rules() {
         let program = RateProgram::compile(&rule.rate);
         let shape = if program.is_fast_path() {
@@ -426,13 +471,26 @@ fn cmd_check(target: &str) -> Result<String, String> {
         } else {
             "bytecode"
         };
+        let health = match program.probe_health(&x0, &theta) {
+            None => String::new(),
+            Some(value) => {
+                unhealthy.push(format!("rule `{}` evaluates to {value}", rule.name));
+                format!("  UNHEALTHY ({value})")
+            }
+        };
         let _ = writeln!(
             out,
-            "  rule {:name_width$}  {:9}  reads {:?}",
+            "  rule {:name_width$}  {:9}  reads {:?}{health}",
             rule.name,
             shape,
             program.species_support(),
         );
+    }
+    if !unhealthy.is_empty() {
+        return Err(format!(
+            "{out}unhealthy rates at the initial state under midpoint parameters: {}",
+            unhealthy.join("; ")
+        ));
     }
     let _ = writeln!(out, "ok");
     Ok(out)
@@ -506,9 +564,23 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
     };
     let species = &model.species()[coordinate.min(model.dim() - 1)];
 
+    // `--timeout`/`--max-events` map onto one RunBudget; the Pontryagin
+    // sweep only honours the wall clock (it fires no events).
+    let mut budget = RunBudget::unlimited();
+    if let Some(secs) = options.timeout {
+        budget = budget.wall_clock(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(cap) = options.max_events {
+        budget = budget.max_events(cap);
+    }
+
     let solver = PontryaginSolver::new(PontryaginOptions {
         grid_intervals: options.grid,
         multi_start: options.multi_start,
+        budget: RunBudget {
+            wall_clock: budget.wall_clock,
+            ..RunBudget::unlimited()
+        },
         ..Default::default()
     })
     .with_obs(obs.clone());
@@ -543,7 +615,8 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
         let sim_options = SimulationOptions::new(horizon)
             .propensity_strategy(options.propensity)
             .selection_strategy(options.selection)
-            .algorithm(algorithm);
+            .algorithm(algorithm)
+            .budget(budget);
         let run = obs
             .metrics
             .time(Timer::SimSimulate, || {
@@ -555,6 +628,14 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
                 )
             })
             .map_err(|e| e.to_string())?;
+        // A tripped budget is not an error: the prefix is reported as usual,
+        // the truncation is echoed on stderr, and the exit code stays 0.
+        if let mfu_guard::Outcome::Truncated { reason, reached_t } = run.outcome() {
+            eprintln!(
+                "warning: simulation truncated ({reason}) at t = {reached_t:.6}; \
+                 reporting the prefix"
+            );
+        }
         let end = run.trajectory().last_state();
         let engine = match algorithm {
             SimulationAlgorithm::Exact => "Gillespie",
@@ -744,6 +825,38 @@ mod tests {
             }),
             Ok(None)
         );
+    }
+
+    #[test]
+    fn budget_flags_parse_and_reject_bad_values_naming_the_flag() {
+        let Command::Run { options, .. } =
+            parse_args(&args("run sir --timeout 1.5 --max-events 5000")).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(options.timeout, Some(1.5));
+        assert_eq!(options.max_events, Some(5000));
+
+        for bad in [
+            "--timeout 0",
+            "--timeout -1",
+            "--timeout nan",
+            "--timeout x",
+        ] {
+            let err = parse_args(&args(&format!("run sir {bad}"))).unwrap_err();
+            assert!(err.contains("--timeout"), "`{bad}`: {err}");
+        }
+        for bad in ["--max-events 0", "--max-events -3", "--max-events x"] {
+            let err = parse_args(&args(&format!("run sir {bad}"))).unwrap_err();
+            assert!(err.contains("--max-events"), "`{bad}`: {err}");
+        }
+        // missing values also name the flag
+        assert!(parse_args(&args("run sir --timeout"))
+            .unwrap_err()
+            .contains("--timeout"));
+        assert!(parse_args(&args("run sir --max-events"))
+            .unwrap_err()
+            .contains("--max-events"));
     }
 
     #[test]

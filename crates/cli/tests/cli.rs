@@ -289,6 +289,79 @@ fn metrics_and_trace_usage_errors_exit_2_naming_the_flag() {
 }
 
 #[test]
+fn budget_flag_usage_errors_exit_2_naming_the_flag() {
+    for bad in [
+        ["--timeout", "0"],
+        ["--timeout", "-2"],
+        ["--timeout", "soon"],
+        ["--max-events", "0"],
+        ["--max-events", "many"],
+    ] {
+        let out = mfu(&["run", "sir", bad[0], bad[1]]);
+        assert_eq!(out.status.code(), Some(2), "`{bad:?}` accepted");
+        assert!(stderr(&out).contains(bad[0]), "`{bad:?}`: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn truncated_run_exits_0_and_echoes_the_reason_on_stderr() {
+    let out = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "300",
+        "--max-events",
+        "50",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("50 events"), "{text}");
+    let err = stderr(&out);
+    assert!(err.contains("truncated"), "{err}");
+    assert!(err.contains("event budget exhausted"), "{err}");
+}
+
+#[test]
+fn generous_budgets_leave_the_run_untouched() {
+    let base = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "200",
+    ]);
+    let budgeted = mfu(&[
+        "run",
+        "sir",
+        "--bound",
+        "I@1",
+        "--grid",
+        "30",
+        "--simulate",
+        "200",
+        "--timeout",
+        "3600",
+        "--max-events",
+        "100000000",
+    ]);
+    assert!(base.status.success());
+    assert!(budgeted.status.success(), "stderr: {}", stderr(&budgeted));
+    assert_eq!(stdout(&base), stdout(&budgeted));
+    assert!(
+        !stderr(&budgeted).contains("truncated"),
+        "{}",
+        stderr(&budgeted)
+    );
+}
+
+#[test]
 fn run_simulates_with_explicit_strategies() {
     // exercise the --propensity/--selection plumbing end to end on a small
     // scenario (cheap Pontryagin grid keeps the test fast)

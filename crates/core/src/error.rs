@@ -21,6 +21,18 @@ pub enum CoreError {
         /// Residual at the last iterate.
         residual: f64,
     },
+    /// An ODE sweep left the numerically meaningful range (NaN, infinity,
+    /// or magnitudes beyond [`mfu_guard::DIVERGENCE_CAP`]).
+    ///
+    /// Reported with the analysis name and the integration time at which
+    /// divergence was detected, so the caller can diagnose the sweep
+    /// instead of receiving poisoned bounds.
+    Diverged {
+        /// Name of the analysis whose sweep diverged.
+        analysis: &'static str,
+        /// Integration time at which divergence was detected.
+        time: f64,
+    },
     /// The analysis is only available for a specific state dimension
     /// (e.g. the Birkhoff-centre construction is two-dimensional).
     UnsupportedDimension {
@@ -52,6 +64,9 @@ impl fmt::Display for CoreError {
                 f,
                 "{analysis} did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
+            CoreError::Diverged { analysis, time } => {
+                write!(f, "{analysis} diverged at t = {time}")
+            }
             CoreError::UnsupportedDimension { required, found } => {
                 write!(f, "analysis requires dimension {required}, model has dimension {found}")
             }
@@ -98,6 +113,11 @@ mod tests {
             residual: 0.1,
         };
         assert!(err.to_string().contains("pontryagin"));
+        let err = CoreError::Diverged {
+            analysis: "differential hull",
+            time: 0.25,
+        };
+        assert!(err.to_string().contains("differential hull") && err.to_string().contains("0.25"));
         let err = CoreError::UnsupportedDimension {
             required: 2,
             found: 4,

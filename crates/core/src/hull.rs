@@ -21,6 +21,7 @@
 
 use std::cell::Cell;
 
+use mfu_guard::{BudgetTracker, RunBudget, DIVERGENCE_CAP};
 use mfu_num::ode::{Integrator, OdeSystem, Rk4};
 use mfu_num::StateVec;
 use mfu_obs::{Counter, Field, Obs};
@@ -34,12 +35,22 @@ pub struct HullBounds {
     times: Vec<f64>,
     lower: Vec<StateVec>,
     upper: Vec<StateVec>,
+    truncated_at: Option<f64>,
 }
 
 impl HullBounds {
     /// The time grid.
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// When the wall-clock budget tripped mid-integration, the time up to
+    /// which the bounds are valid; `None` for a completed integration.
+    ///
+    /// Truncated bounds still over-approximate the inclusion on the grid
+    /// they cover — they just stop short of the requested horizon.
+    pub fn truncated_at(&self) -> Option<f64> {
+        self.truncated_at
     }
 
     /// Lower bounds aligned with [`HullBounds::times`].
@@ -108,6 +119,11 @@ pub struct HullOptions {
     /// Optional clamp applied to both bounds after every report interval
     /// (e.g. `[0, 1]` for densities); `None` leaves the bounds unclamped.
     pub clamp: Option<(f64, f64)>,
+    /// Run budget; only the wall-clock cap applies to the hull integration,
+    /// checked once per report interval. A tripped deadline returns the
+    /// bounds accumulated so far with
+    /// [`HullBounds::truncated_at`] set instead of discarding them.
+    pub budget: RunBudget,
 }
 
 impl Default for HullOptions {
@@ -117,6 +133,7 @@ impl Default for HullOptions {
             time_intervals: 100,
             refine_midpoints: true,
             clamp: None,
+            budget: RunBudget::unlimited(),
         }
     }
 }
@@ -201,8 +218,20 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
         lower.push(lo0);
         upper.push(hi0);
 
+        let mut tracker = BudgetTracker::start(&self.options.budget);
+        let mut truncated_at = None;
         for k in 1..=intervals {
+            if tracker.expired_now() {
+                truncated_at = times.last().copied();
+                break;
+            }
             combined = solver.final_state(&system, 0.0, combined, dt)?;
+            if mfu_guard::state_diverged(combined.as_slice(), DIVERGENCE_CAP) {
+                return Err(CoreError::Diverged {
+                    analysis: "differential hull",
+                    time: dt * k as f64,
+                });
+            }
             if let Some((clamp_lo, clamp_hi)) = self.options.clamp {
                 combined = combined.clamp_scalar(clamp_lo, clamp_hi);
             }
@@ -239,6 +268,7 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
             times,
             lower,
             upper,
+            truncated_at,
         })
     }
 }
@@ -465,6 +495,49 @@ mod tests {
             .unwrap()
             .counter(Counter::CoreHullVertexEvals);
         assert_eq!(second, 2 * first);
+    }
+
+    #[test]
+    fn expired_deadline_returns_partial_bounds_instead_of_discarding_them() {
+        let options = HullOptions {
+            budget: RunBudget::unlimited().wall_clock(std::time::Duration::ZERO),
+            ..HullOptions::default()
+        };
+        let hull = DifferentialHull::new(decay_drift(1.0, 2.0), options);
+        let bounds = hull.bounds(&StateVec::from([1.0]), 1.0).unwrap();
+        // the deadline was already expired, so only the initial node survives
+        assert_eq!(bounds.truncated_at(), Some(0.0));
+        assert_eq!(bounds.times(), &[0.0]);
+        assert_eq!(bounds.lower().len(), 1);
+
+        let unbudgeted = DifferentialHull::new(decay_drift(1.0, 2.0), HullOptions::default())
+            .bounds(&StateVec::from([1.0]), 1.0)
+            .unwrap();
+        assert_eq!(unbudgeted.truncated_at(), None);
+    }
+
+    #[test]
+    fn divergent_integration_is_diagnosed_with_a_time() {
+        // ẋ = ϑx with ϑ ∈ [200, 300] blows past the divergence cap well
+        // before the horizon while every intermediate value is still finite.
+        let theta = ParamSpace::single("rate", 200.0, 300.0).unwrap();
+        let drift = FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] * x[0]
+        });
+        let options = HullOptions {
+            step: 0.02,
+            ..HullOptions::default()
+        };
+        let err = DifferentialHull::new(drift, options)
+            .bounds(&StateVec::from([1.0]), 2.0)
+            .unwrap_err();
+        match err {
+            CoreError::Diverged { analysis, time } => {
+                assert_eq!(analysis, "differential hull");
+                assert!(time > 0.0 && time <= 2.0);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
     }
 
     #[test]

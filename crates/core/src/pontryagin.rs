@@ -18,6 +18,7 @@
 //! Arbitrary linear functionals `α·x(T)` are supported, which is what the
 //! paper calls *template* refinement of the reachable set.
 
+use mfu_guard::{BudgetTracker, RunBudget, DIVERGENCE_CAP};
 use mfu_num::grid::{GridSignal, TimeGrid};
 use mfu_num::jacobian::{finite_difference_jacobian_into, Jacobian, JacobianScratch};
 use mfu_num::ode::Trajectory;
@@ -108,6 +109,20 @@ pub struct PontryaginOptions {
     /// local extremals on higher-dimensional models (e.g. the 4-D GPS MAP
     /// drift) at a cost proportional to the number of vertices.
     pub multi_start: bool,
+    /// When `true` (the default) and `multi_start` is off, the solver probes
+    /// every vertex of `Θ` with a cheap constant-control forward integration
+    /// after the single-start sweep. If any constant control beats the sweep's
+    /// extremal — a sure sign the sweep settled on a local extremal — the
+    /// solver escalates automatically: it reruns the sweep from every vertex
+    /// and keeps the best result, exactly as `multi_start` would have.
+    pub auto_escalate: bool,
+    /// Run budget for the sweep. `max_sweeps` caps the iterations of each
+    /// restart (on top of `max_iterations`); `wall_clock` is checked once per
+    /// sweep iteration, per restart. A tripped budget ends the sweep early
+    /// with `converged() == false` instead of erroring — every iterate is a
+    /// feasible selection of the inclusion, so the bound so far is valid,
+    /// merely not extremal.
+    pub budget: RunBudget,
 }
 
 impl Default for PontryaginOptions {
@@ -119,6 +134,8 @@ impl Default for PontryaginOptions {
             relaxation: 1.0,
             jacobian_step: 1e-6,
             multi_start: false,
+            auto_escalate: true,
+            budget: RunBudget::unlimited(),
         }
     }
 }
@@ -327,7 +344,101 @@ impl PontryaginSolver {
         if self.options.multi_start {
             initializations.extend(drift.params().vertices());
         }
+        let outcomes = self.sweep_all(drift, x0, horizon, &objective, initializations);
 
+        // Deterministic selection: walk candidates in initialization order,
+        // keeping the strictly better one — the sequential semantics.
+        let sign = if objective.is_maximization() {
+            1.0
+        } else {
+            -1.0
+        };
+        let mut restarts = 0u64;
+        let mut best: Option<ExtremalSolution> = None;
+        let mut best_index = 0usize;
+        for (index, outcome) in outcomes {
+            restarts += 1;
+            let candidate = outcome?;
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    sign * candidate.objective_value() > sign * current.objective_value()
+                }
+            };
+            if better {
+                best = Some(candidate);
+                best_index = index;
+            }
+        }
+        let mut best = best.expect("at least one initialization is always attempted");
+
+        // ---- escalation ladder ---------------------------------------------
+        // Pontryagin's principle is only necessary: a single-start sweep can
+        // settle on a local extremal. Probe every vertex of Θ with a cheap
+        // constant-control forward integration; any probe beating the sweep's
+        // extremal proves the sweep is not globally extremal, so escalate to
+        // the full multi-start procedure and keep the best result.
+        let mut escalated = false;
+        if !self.options.multi_start && self.options.auto_escalate {
+            let ascent = objective.ascent_weights();
+            let margin = 10.0 * self.options.tolerance;
+            let mut probe_steps = 0u64;
+            let suspicious = drift.params().vertices().into_iter().any(|vertex| {
+                probe_steps += self.options.grid_intervals.max(1) as u64;
+                self.probe_constant_control(drift, x0, horizon, &vertex, &ascent)
+                    .is_ok_and(|value| value > sign * best.objective_value() + margin)
+            });
+            self.obs.metrics.add(Counter::CoreRk4Steps, probe_steps);
+            if suspicious {
+                let offset = usize::try_from(restarts).unwrap_or(usize::MAX);
+                let vertex_outcomes =
+                    self.sweep_all(drift, x0, horizon, &objective, drift.params().vertices());
+                for (index, outcome) in vertex_outcomes {
+                    restarts += 1;
+                    let candidate = outcome?;
+                    if sign * candidate.objective_value() > sign * best.objective_value() {
+                        best = candidate;
+                        best_index = offset + index;
+                    }
+                }
+                escalated = true;
+                self.obs.metrics.add(Counter::CorePontryaginEscalations, 1);
+            }
+        }
+
+        self.obs
+            .metrics
+            .add(Counter::CorePontryaginRestarts, restarts);
+        self.obs
+            .metrics
+            .set_gauge(Gauge::CorePontryaginWinningRestart, best_index as u64);
+        if self.obs.tracer.is_enabled() {
+            self.obs.tracer.event(
+                "pontryagin_solve",
+                &[
+                    ("restarts", Field::U64(restarts)),
+                    ("winner", Field::U64(best_index as u64)),
+                    ("escalated", Field::Bool(escalated)),
+                    ("objective_value", Field::F64(best.objective_value())),
+                    ("converged", Field::Bool(best.converged())),
+                    ("iterations", Field::U64(best.iterations() as u64)),
+                    ("maximize", Field::Bool(objective.is_maximization())),
+                ],
+            );
+        }
+        Ok(best)
+    }
+
+    /// Runs one sweep per initialization (in parallel when possible) and
+    /// returns the outcomes sorted by initialization index.
+    fn sweep_all<D: ImpreciseDrift + Sync>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        objective: &LinearObjective,
+        initializations: Vec<Vec<f64>>,
+    ) -> Vec<(usize, Result<ExtremalSolution>)> {
         let n = initializations.len();
         let threads = std::thread::available_parallelism()
             .map(|t| t.get())
@@ -346,7 +457,7 @@ impl PontryaginSolver {
                 .collect()
         } else {
             let initializations = &initializations;
-            let objective_ref = &objective;
+            let objective_ref = objective;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
@@ -382,51 +493,37 @@ impl PontryaginSolver {
             })
         };
         outcomes.sort_by_key(|(index, _)| *index);
+        outcomes
+    }
 
-        // Deterministic selection: walk candidates in initialization order,
-        // keeping the strictly better one — the sequential semantics.
-        let sign = if objective.is_maximization() {
-            1.0
-        } else {
-            -1.0
-        };
-        let mut best: Option<ExtremalSolution> = None;
-        let mut best_index = 0usize;
-        for (index, outcome) in outcomes {
-            let candidate = outcome?;
-            let better = match &best {
-                None => true,
-                Some(current) => {
-                    sign * candidate.objective_value() > sign * current.objective_value()
-                }
-            };
-            if better {
-                best = Some(candidate);
-                best_index = index;
-            }
+    /// Terminal ascent value of the constant-control trajectory `ϑ ≡ theta`,
+    /// the cheap feasibility probe of the escalation ladder. Every constant
+    /// control is a feasible selection of the inclusion, so its terminal
+    /// value is a certified lower bound on the (ascent) extremal value.
+    fn probe_constant_control<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        theta: &[f64],
+        ascent: &StateVec,
+    ) -> Result<f64> {
+        let grid = TimeGrid::new(0.0, horizon, self.options.grid_intervals.max(1))?;
+        let h = grid.step();
+        let mut rk4 = Rk4Scratch::new(drift.dim());
+        let mut x = x0.clone();
+        let mut next = StateVec::zeros(drift.dim());
+        for _ in 0..grid.intervals() {
+            rk4_step_into(
+                &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
+                &x,
+                h,
+                &mut next,
+                &mut rk4,
+            )?;
+            std::mem::swap(&mut x, &mut next);
         }
-        let best = best.expect("at least one initialization is always attempted");
-
-        self.obs
-            .metrics
-            .add(Counter::CorePontryaginRestarts, n as u64);
-        self.obs
-            .metrics
-            .set_gauge(Gauge::CorePontryaginWinningRestart, best_index as u64);
-        if self.obs.tracer.is_enabled() {
-            self.obs.tracer.event(
-                "pontryagin_solve",
-                &[
-                    ("restarts", Field::U64(n as u64)),
-                    ("winner", Field::U64(best_index as u64)),
-                    ("objective_value", Field::F64(best.objective_value())),
-                    ("converged", Field::Bool(best.converged())),
-                    ("iterations", Field::U64(best.iterations() as u64)),
-                    ("maximize", Field::Bool(objective.is_maximization())),
-                ],
-            );
-        }
-        Ok(best)
+        Ok(ascent.dot(&x))
     }
 
     /// One forward–backward sweep started from a constant control `initial`.
@@ -496,7 +593,21 @@ impl PontryaginSolver {
         let mut best_value = f64::NEG_INFINITY;
         let mut best_control: Option<Vec<Vec<f64>>> = None;
 
-        for iteration in 0..self.options.max_iterations {
+        let max_iterations = match self.options.budget.max_sweeps {
+            Some(cap) => self
+                .options
+                .max_iterations
+                .min(usize::try_from(cap).unwrap_or(usize::MAX)),
+            None => self.options.max_iterations,
+        };
+        let mut tracker = BudgetTracker::start(&self.options.budget);
+        for iteration in 0..max_iterations {
+            // A tripped deadline ends the sweep gracefully: every iterate is a
+            // feasible selection, so the best control so far is still a valid
+            // (if not extremal) bound, reported with `converged() == false`.
+            if tracker.expired_now() {
+                break;
+            }
             iterations = iteration + 1;
             // ---- forward pass -------------------------------------------------
             let previous_state_end = state[n].clone();
@@ -512,6 +623,12 @@ impl PontryaginSolver {
                 )?;
             }
             rk4_steps += n as u64;
+            if mfu_guard::state_diverged(state[n].as_slice(), DIVERGENCE_CAP) {
+                return Err(CoreError::Diverged {
+                    analysis: "pontryagin sweep",
+                    time: horizon,
+                });
+            }
             let iterate_value = ascent.dot(&state[n]);
             if iterate_value > best_value {
                 best_value = iterate_value;
@@ -610,6 +727,12 @@ impl PontryaginSolver {
             )?;
         }
         rk4_steps += n as u64;
+        if mfu_guard::state_diverged(state[n].as_slice(), DIVERGENCE_CAP) {
+            return Err(CoreError::Diverged {
+                analysis: "pontryagin sweep",
+                time: horizon,
+            });
+        }
         let objective_value = objective.weights().dot(&state[n]);
 
         let metrics = &self.obs.metrics;
@@ -920,6 +1043,115 @@ mod tests {
             .gauge(Gauge::CorePontryaginWinningRestart)
             .expect("winner gauge set");
         assert!(winner < restarts);
+    }
+
+    #[test]
+    fn single_start_escalates_to_multi_start_on_suspicious_convergence() {
+        // A deliberately stunted sweep (one iteration, heavy damping) stays
+        // near the midpoint control ϑ ≈ 0 and reports x(1) ≈ 0; the vertex
+        // probe ϑ ≡ 1 reaches 1.0, exposing the local extremal and forcing
+        // the ladder to escalate to the multi-start procedure.
+        let theta = ParamSpace::single("u", -1.0, 1.0).unwrap();
+        let drift = FnDrift::new(1, theta, |_x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0]
+        });
+        let x0 = StateVec::from([0.0]);
+        let obs = Obs::with_metrics();
+        let stunted = PontryaginOptions {
+            grid_intervals: 50,
+            max_iterations: 1,
+            relaxation: 0.01,
+            ..Default::default()
+        };
+        let solution = PontryaginSolver::new(stunted)
+            .with_obs(obs.clone())
+            .maximize_coordinate(&drift, &x0, 1.0, 0)
+            .unwrap();
+        assert!((solution.objective_value() - 1.0).abs() < 1e-9);
+        let snapshot = obs.metrics.snapshot().unwrap();
+        assert_eq!(snapshot.counter(Counter::CorePontryaginEscalations), 1);
+        // midpoint start plus the two escalated vertex restarts
+        assert_eq!(snapshot.counter(Counter::CorePontryaginRestarts), 3);
+
+        // with the ladder disabled the stunted sweep keeps its local value
+        let disabled = PontryaginSolver::new(PontryaginOptions {
+            auto_escalate: false,
+            ..stunted
+        });
+        let stuck = disabled.maximize_coordinate(&drift, &x0, 1.0, 0).unwrap();
+        assert!(stuck.objective_value() < 0.5);
+    }
+
+    #[test]
+    fn healthy_single_start_does_not_escalate() {
+        let drift = decay_drift();
+        let obs = Obs::with_metrics();
+        let solution = solver()
+            .with_obs(obs.clone())
+            .maximize_coordinate(&drift, &StateVec::from([1.0]), 1.0, 0)
+            .unwrap();
+        assert!((solution.objective_value() - (-1.0f64).exp()).abs() < 1e-4);
+        let snapshot = obs.metrics.snapshot().unwrap();
+        assert_eq!(snapshot.counter(Counter::CorePontryaginEscalations), 0);
+        assert_eq!(snapshot.counter(Counter::CorePontryaginRestarts), 1);
+    }
+
+    #[test]
+    fn sweep_budget_caps_iterations_gracefully() {
+        let drift = decay_drift();
+        let s = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 50,
+            budget: RunBudget::unlimited().max_sweeps(1),
+            auto_escalate: false,
+            ..Default::default()
+        });
+        let solution = s
+            .maximize_coordinate(&drift, &StateVec::from([1.0]), 1.0, 0)
+            .unwrap();
+        assert_eq!(solution.iterations(), 1);
+        assert!(!solution.converged());
+        assert!(solution.objective_value().is_finite());
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_feasible_bound() {
+        let drift = decay_drift();
+        let s = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 50,
+            budget: RunBudget::unlimited().wall_clock(std::time::Duration::ZERO),
+            auto_escalate: false,
+            ..Default::default()
+        });
+        let solution = s
+            .maximize_coordinate(&drift, &StateVec::from([1.0]), 1.0, 0)
+            .unwrap();
+        // no sweep ran, so the replayed midpoint control ϑ ≡ 1.5 is reported
+        assert_eq!(solution.iterations(), 0);
+        assert!(!solution.converged());
+        assert!((solution.objective_value() - (-1.5f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn divergent_forward_sweep_reports_a_typed_diagnosis() {
+        let theta = ParamSpace::single("rate", 200.0, 300.0).unwrap();
+        let drift = FnDrift::new(1, theta, |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+            dx[0] = th[0] * x[0]
+        });
+        let s = PontryaginSolver::new(PontryaginOptions {
+            grid_intervals: 50,
+            auto_escalate: false,
+            ..Default::default()
+        });
+        let err = s
+            .maximize_coordinate(&drift, &StateVec::from([1.0]), 3.0, 0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Diverged {
+                analysis: "pontryagin sweep",
+                ..
+            }
+        ));
     }
 
     #[test]

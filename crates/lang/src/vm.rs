@@ -475,6 +475,19 @@ impl RateProgram {
             ProgramKind::Bytecode(p) => p.eval_with(x, theta, regs),
         }
     }
+
+    /// Probes the program at `(x, theta)` against the numeric-health
+    /// contract the simulation engines enforce at this same boundary
+    /// ([`mfu_guard::rate_is_healthy`]): a rate must be finite and
+    /// non-negative. Returns the offending value, or `None` when healthy.
+    pub fn probe_health(&self, x: &StateVec, theta: &[f64]) -> Option<f64> {
+        let rate = self.eval(x, theta);
+        if mfu_guard::rate_is_healthy(rate) {
+            None
+        } else {
+            Some(rate)
+        }
+    }
 }
 
 impl CompiledRate for RateProgram {
@@ -575,6 +588,16 @@ impl ProgramSet {
     pub fn eval_into(&self, x: &StateVec, theta: &[f64], out: &mut [f64]) {
         assert!(out.len() >= self.programs.len(), "output slice too short");
         self.eval_each(x, theta, |k, r| out[k] = r);
+    }
+
+    /// Probes every program at `(x, theta)` and returns the first unhealthy
+    /// one as `(program index, offending value)`; `None` when all rates are
+    /// finite and non-negative. See [`RateProgram::probe_health`].
+    pub fn first_unhealthy(&self, x: &StateVec, theta: &[f64]) -> Option<(usize, f64)> {
+        self.programs
+            .iter()
+            .enumerate()
+            .find_map(|(k, program)| program.probe_health(x, theta).map(|value| (k, value)))
     }
 }
 
@@ -1357,5 +1380,23 @@ mod tests {
         assert!(class.rate_fn().is_compiled());
         assert_eq!(class.species_support(), Some(&[0, 1][..]));
         assert!((class.rate(&x(), &[2.0]) - 0.42).abs() < 1e-15);
+    }
+
+    #[test]
+    fn health_probes_flag_nan_and_negative_rates() {
+        // θ₀ · x₀ is healthy at positive inputs and negative at θ₀ < 0
+        let program = RateProgram::compile(&mul(p(0), s(0)));
+        assert_eq!(program.probe_health(&x(), &[2.0]), None);
+        assert_eq!(program.probe_health(&x(), &[-2.0]), Some(-1.4));
+        assert!(program
+            .probe_health(&x(), &[f64::NAN])
+            .is_some_and(f64::is_nan));
+
+        let set = ProgramSet::new(vec![
+            RateProgram::compile(&c(1.0)),
+            RateProgram::compile(&mul(p(0), s(0))),
+        ]);
+        assert_eq!(set.first_unhealthy(&x(), &[1.0]), None);
+        assert_eq!(set.first_unhealthy(&x(), &[-2.0]), Some((1, -1.4)));
     }
 }

@@ -40,6 +40,10 @@ pub enum Counter {
     SimTauFallbackSteps,
     /// Poisson firing-count draws made by the τ-leap engine.
     SimPoissonDraws,
+    /// Genuine (non-amortised) wall-clock reads made by budget trackers.
+    SimBudgetChecks,
+    /// τ-leap runs demoted to exact SSA after repeated halvings.
+    SimTauDemotions,
     /// Completed simulation runs flushed into this recorder.
     SimRuns,
     /// RK4 integration steps taken by the Pontryagin solver.
@@ -50,6 +54,9 @@ pub enum Counter {
     CorePontryaginSweeps,
     /// Pontryagin multi-start restarts launched.
     CorePontryaginRestarts,
+    /// Single-start Pontryagin solves escalated to multi-start after a
+    /// suspicious-convergence probe.
+    CorePontryaginEscalations,
     /// Drift evaluations at hull box corners/midpoints.
     CoreHullVertexEvals,
     /// DSL rules lowered to rate programs under observation.
@@ -58,7 +65,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in snapshot rendering order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::SimEventsFired,
         Counter::SimPropensityEvals,
         Counter::SimPropensitySkips,
@@ -68,11 +75,14 @@ impl Counter {
         Counter::SimTauFallbackBursts,
         Counter::SimTauFallbackSteps,
         Counter::SimPoissonDraws,
+        Counter::SimBudgetChecks,
+        Counter::SimTauDemotions,
         Counter::SimRuns,
         Counter::CoreRk4Steps,
         Counter::CoreJacobianEvals,
         Counter::CorePontryaginSweeps,
         Counter::CorePontryaginRestarts,
+        Counter::CorePontryaginEscalations,
         Counter::CoreHullVertexEvals,
         Counter::LangRulesLowered,
     ];
@@ -90,11 +100,14 @@ impl Counter {
             Counter::SimTauFallbackBursts => "sim_tau_fallback_bursts",
             Counter::SimTauFallbackSteps => "sim_tau_fallback_steps",
             Counter::SimPoissonDraws => "sim_poisson_draws",
+            Counter::SimBudgetChecks => "sim_budget_checks",
+            Counter::SimTauDemotions => "sim_tau_demotions",
             Counter::SimRuns => "sim_runs",
             Counter::CoreRk4Steps => "core_rk4_steps",
             Counter::CoreJacobianEvals => "core_jacobian_evals",
             Counter::CorePontryaginSweeps => "core_pontryagin_sweeps",
             Counter::CorePontryaginRestarts => "core_pontryagin_restarts",
+            Counter::CorePontryaginEscalations => "core_pontryagin_escalations",
             Counter::CoreHullVertexEvals => "core_hull_vertex_evals",
             Counter::LangRulesLowered => "lang_rules_lowered",
         }

@@ -210,6 +210,24 @@ where
                     let mut sample = || -> Result<()> {
                         let run =
                             simulator.simulate(initial_counts, &mut policy, sim_options, seed)?;
+                        // Grid sampling needs the full horizon: a prefix is
+                        // not a meaningful ensemble member, so a truncated
+                        // replication converts back into a typed error.
+                        if let mfu_guard::Outcome::Truncated { reason, reached_t } = run.outcome() {
+                            return Err(match reason {
+                                mfu_guard::TruncationReason::MaxEvents => {
+                                    SimError::EventBudgetExhausted {
+                                        events: run.events(),
+                                        reached: reached_t,
+                                    }
+                                }
+                                _ => SimError::Truncated {
+                                    reason,
+                                    events: run.events(),
+                                    reached: reached_t,
+                                },
+                            });
+                        }
                         let trajectory = run.trajectory();
                         for (k, &t) in times.iter().enumerate() {
                             let state = trajectory.at(t)?;
@@ -226,7 +244,12 @@ where
                     }
                     replication += threads;
                 }
-                let mut guard = accumulator.lock().expect("accumulator poisoned");
+                // A worker that panicked while holding the lock only leaves
+                // behind merged partial statistics — recover the data
+                // instead of propagating the poison as a second panic.
+                let mut guard = accumulator
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 for (k, row) in local_stats.iter().enumerate() {
                     for (i, cell) in row.iter().enumerate() {
                         guard.0[k][i].merge(cell);
@@ -240,7 +263,9 @@ where
         }
     });
 
-    let (stats, final_states, error) = accumulator.into_inner().expect("accumulator poisoned");
+    let (stats, final_states, error) = accumulator
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(err) = error {
         return Err(err);
     }

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use mfu_ctmc::CtmcError;
+use mfu_guard::TruncationReason;
 use mfu_num::NumError;
 
 /// Error type for the stochastic-simulation layer.
@@ -18,11 +19,39 @@ pub enum SimError {
         time: f64,
     },
     /// The event budget was exhausted before reaching the time horizon.
+    ///
+    /// Single runs no longer produce this: a tripped budget returns `Ok`
+    /// with a truncated [`Outcome`](mfu_guard::Outcome) and the
+    /// trajectory-so-far. Aggregating engines (ensemble, steady-state) that
+    /// need the full horizon convert that truncation back into this error.
     EventBudgetExhausted {
         /// Number of events simulated before giving up.
         events: usize,
         /// Simulated time reached when the budget ran out.
         reached: f64,
+    },
+    /// A run was truncated by a [`RunBudget`](mfu_guard::RunBudget) cap in a
+    /// context where a prefix is not a meaningful result (ensemble grids,
+    /// steady-state sampling).
+    Truncated {
+        /// Which budget cap tripped.
+        reason: TruncationReason,
+        /// Number of events simulated before truncation.
+        events: usize,
+        /// Simulated time reached when the budget tripped.
+        reached: f64,
+    },
+    /// A transition rate evaluated to NaN, an infinity, or a negative value.
+    ///
+    /// Detected at the rate-program boundary and attributed to the offending
+    /// rule and simulated time instead of poisoning downstream arithmetic.
+    InvalidRate {
+        /// Name of the transition whose rate was invalid.
+        rule: String,
+        /// Simulated time at which the rate was evaluated.
+        time: f64,
+        /// The offending rate value.
+        value: f64,
     },
     /// An error bubbled up from the modelling layer.
     Model(CtmcError),
@@ -50,6 +79,22 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "event budget exhausted after {events} events at t = {reached}"
+                )
+            }
+            SimError::Truncated {
+                reason,
+                events,
+                reached,
+            } => {
+                write!(
+                    f,
+                    "run truncated ({reason}) after {events} events at t = {reached}"
+                )
+            }
+            SimError::InvalidRate { rule, time, value } => {
+                write!(
+                    f,
+                    "transition `{rule}` produced invalid rate {value} at t = {time}"
                 )
             }
             SimError::Model(err) => write!(f, "model error: {err}"),
@@ -97,6 +142,19 @@ mod tests {
             reached: 0.7,
         };
         assert!(err.to_string().contains("10"));
+        let err = SimError::Truncated {
+            reason: TruncationReason::WallClock,
+            events: 10,
+            reached: 0.7,
+        };
+        assert!(err.to_string().contains("wall-clock"));
+        let err = SimError::InvalidRate {
+            rule: "infect".to_string(),
+            time: 2.25,
+            value: f64::NAN,
+        };
+        let text = err.to_string();
+        assert!(text.contains("infect") && text.contains("2.25") && text.contains("NaN"));
     }
 
     #[test]

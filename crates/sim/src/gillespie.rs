@@ -37,6 +37,7 @@
 
 use mfu_ctmc::population::PopulationModel;
 use mfu_ctmc::transition::apply_firings;
+use mfu_guard::{BudgetTracker, FaultPlan, Outcome, RunBudget, TruncationReason};
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
 use mfu_obs::{Counter, Field, Metrics, Obs};
@@ -142,6 +143,12 @@ pub struct SimulationOptions {
     /// event-by-event SSA; see [`SimulationAlgorithm::TauLeap`] for the
     /// approximate large-`N` engine).
     pub algorithm: SimulationAlgorithm,
+    /// Resource budget for the run (defaults to unlimited). A tripped budget
+    /// truncates the run gracefully: the engine returns `Ok` with the
+    /// trajectory-so-far and [`SimulationRun::outcome`] reporting the reason.
+    /// An untripped budget never perturbs the run — budget checks touch
+    /// neither the RNG nor any float, so trajectories stay bit-identical.
+    pub budget: RunBudget,
 }
 
 impl SimulationOptions {
@@ -164,6 +171,7 @@ impl SimulationOptions {
             propensity: PropensityStrategy::DependencyGraph,
             selection: SelectionStrategy::Auto,
             algorithm: SimulationAlgorithm::Exact,
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -228,6 +236,27 @@ impl SimulationOptions {
     pub fn lenient_policy(mut self) -> Self {
         self.strict_policy = false;
         self
+    }
+
+    /// Sets the resource budget (wall-clock, events, τ-leap caps).
+    ///
+    /// Tripped budgets truncate gracefully — see
+    /// [`SimulationOptions::budget`].
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The effective event cap: the engine-level `max_events` combined with
+    /// the budget's event cap, whichever is smaller.
+    pub(crate) fn effective_max_events(&self) -> usize {
+        match self.budget.max_events {
+            Some(cap) => self
+                .max_events
+                .min(usize::try_from(cap).unwrap_or(usize::MAX)),
+            None => self.max_events,
+        }
     }
 }
 
@@ -300,6 +329,12 @@ pub struct SimCounters {
     pub tau_fallback_steps: u64,
     /// Poisson firing-count draws made by the τ-leap engine.
     pub poisson_draws: u64,
+    /// Genuine (non-amortised) wall-clock reads performed by the run's
+    /// budget tracker; zero when no wall-clock budget is set.
+    pub budget_checks: u64,
+    /// 1 when the τ-leap run demoted itself to exact SSA after repeated
+    /// halvings, 0 otherwise.
+    pub tau_demotions: u64,
 }
 
 impl SimCounters {
@@ -318,6 +353,8 @@ impl SimCounters {
         metrics.add(Counter::SimTauFallbackBursts, self.tau_fallback_bursts);
         metrics.add(Counter::SimTauFallbackSteps, self.tau_fallback_steps);
         metrics.add(Counter::SimPoissonDraws, self.poisson_draws);
+        metrics.add(Counter::SimBudgetChecks, self.budget_checks);
+        metrics.add(Counter::SimTauDemotions, self.tau_demotions);
         metrics.add(Counter::SimRuns, 1);
     }
 }
@@ -331,6 +368,7 @@ pub struct SimulationRun {
     counters: SimCounters,
     resolved_selection: SelectionStrategy,
     resolved_propensity: PropensityStrategy,
+    outcome: Outcome,
 }
 
 impl SimulationRun {
@@ -343,6 +381,7 @@ impl SimulationRun {
         counters: SimCounters,
         resolved_selection: SelectionStrategy,
         resolved_propensity: PropensityStrategy,
+        outcome: Outcome,
     ) -> Self {
         SimulationRun {
             trajectory,
@@ -351,6 +390,7 @@ impl SimulationRun {
             counters,
             resolved_selection,
             resolved_propensity,
+            outcome,
         }
     }
 
@@ -388,6 +428,19 @@ impl SimulationRun {
         self.resolved_propensity
     }
 
+    /// How the run ended: [`Outcome::Completed`], or
+    /// [`Outcome::Truncated`] when a [`RunBudget`] cap tripped. A truncated
+    /// run still holds the full trajectory, counts, and counters up to
+    /// `reached_t` — work is never discarded.
+    pub fn outcome(&self) -> Outcome {
+        self.outcome
+    }
+
+    /// True when the run stopped early because a budget cap tripped.
+    pub fn is_truncated(&self) -> bool {
+        self.outcome.is_truncated()
+    }
+
     /// Consumes the run and returns its trajectory.
     pub fn into_trajectory(self) -> Trajectory {
         self.trajectory
@@ -413,6 +466,9 @@ pub struct Simulator {
     /// flush their [`SimCounters`] into it and emit run-summary trace
     /// events — never per-event records.
     obs: Obs,
+    /// Deterministic fault-injection schedule; `None` (the default) costs a
+    /// single branch per rate evaluation and leaves the run untouched.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -442,6 +498,7 @@ impl Simulator {
             sparse_jumps,
             dependencies,
             obs: Obs::none(),
+            fault_plan: None,
         })
     }
 
@@ -459,6 +516,24 @@ impl Simulator {
     /// The attached observability bundle (shared with the τ-leap engine).
     pub(crate) fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Arms a deterministic fault-injection schedule (testing facility).
+    ///
+    /// Faults are applied at the rate-evaluation and policy boundaries,
+    /// keyed on the number of events fired — see [`FaultPlan`]. An injected
+    /// NaN or negative rate surfaces as the same span-attributed
+    /// [`SimError::InvalidRate`] a genuinely broken model would produce,
+    /// which is exactly what the fault-injection harness asserts on.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The armed fault plan, if any (shared with the τ-leap engine).
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The underlying population model.
@@ -498,9 +573,11 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns an error if the initial counts have the wrong dimension or are
-    /// negative, if a rate is invalid, if the policy leaves the parameter
-    /// space under strict policy checking, or if the event budget is
-    /// exhausted before `t_end`.
+    /// negative, if a rate is invalid, or if the policy leaves the parameter
+    /// space under strict policy checking. An exhausted budget (events or
+    /// wall-clock) is *not* an error: the run returns `Ok` with
+    /// [`SimulationRun::outcome`] set to [`Outcome::Truncated`] and the
+    /// trajectory-so-far intact.
     pub fn simulate(
         &self,
         initial_counts: &[i64],
@@ -561,6 +638,12 @@ impl Simulator {
         // (see `SimCounters`): nothing here reads the obs handle, so the
         // numerical path is byte-for-byte the same with metrics on or off.
         let mut tally = SimCounters::default();
+        // Budget enforcement: an exhausted cap breaks out of the loop with a
+        // truncated outcome instead of erroring, so the prefix survives.
+        // Neither check touches the RNG or any float.
+        let max_events = options.effective_max_events();
+        let mut tracker = BudgetTracker::start(&options.budget);
+        let mut outcome = Outcome::Completed;
 
         let mut trajectory = Trajectory::new(dim);
         trajectory.push(0.0, x.clone())?;
@@ -586,8 +669,14 @@ impl Simulator {
         let mut selector = Selector::new(options.selection.resolve(n_transitions), n_transitions);
 
         // Constant policies are queried once (first iteration); everything
-        // else is queried at every event, as before.
-        let policy_constant = policy.is_constant();
+        // else is queried at every event, as before. A fault plan with
+        // policy faults disables the short-circuit — the injected jump must
+        // be observed at its scheduled event count.
+        let policy_constant = policy.is_constant()
+            && !self
+                .fault_plan
+                .as_ref()
+                .is_some_and(FaultPlan::has_policy_faults);
         let mut theta: Vec<f64> = Vec::new();
         let mut theta_known = false;
 
@@ -596,7 +685,10 @@ impl Simulator {
             let theta_changed = if theta_known && policy_constant {
                 false
             } else {
-                let theta_raw = policy.value(t, &x, rng);
+                let mut theta_raw = policy.value(t, &x, rng);
+                if let Some(plan) = &self.fault_plan {
+                    plan.perturb_params(events as u64, &mut theta_raw);
+                }
                 theta = if self.model.params().contains(&theta_raw) {
                     theta_raw
                 } else if options.strict_policy {
@@ -615,7 +707,7 @@ impl Simulator {
             if rescan_all {
                 total = 0.0;
                 for (k, rate) in rates.iter_mut().enumerate() {
-                    *rate = self.eval_rate(k, &x, &theta)?;
+                    *rate = self.eval_rate(k, &x, &theta, t, events as u64)?;
                     total += *rate;
                 }
                 tally.propensity_evals += n_transitions as u64;
@@ -626,7 +718,7 @@ impl Simulator {
                 if let Some(fired) = pending {
                     let touched = &self.dependencies[fired];
                     for &m in touched {
-                        let updated = self.eval_rate(m, &x, &theta)?;
+                        let updated = self.eval_rate(m, &x, &theta, t, events as u64)?;
                         delta += updated - rates[m];
                         rates[m] = updated;
                         selector.update(m, updated);
@@ -698,18 +790,39 @@ impl Simulator {
             }
 
             events += 1;
-            if recorder.should_record(events, t) {
+            // The `t > last` guard covers pathological rate explosions where
+            // `dt` underflows below the ulp of `t` and the clock stalls: the
+            // sample still fires, but recording it would duplicate a time.
+            if recorder.should_record(events, t) && t > trajectory.last_time() {
                 trajectory.push(t, x.clone())?;
             }
-            if events >= options.max_events {
-                return Err(SimError::EventBudgetExhausted { events, reached: t });
+            if events >= max_events {
+                outcome = Outcome::Truncated {
+                    reason: TruncationReason::MaxEvents,
+                    reached_t: t,
+                };
+                break;
+            }
+            if tracker.expired() {
+                outcome = Outcome::Truncated {
+                    reason: TruncationReason::WallClock,
+                    reached_t: t,
+                };
+                break;
             }
         }
 
-        if options.t_end > trajectory.last_time() {
-            trajectory.push(options.t_end, x.clone())?;
+        // A completed run pins the horizon point; a truncated run pins the
+        // state actually reached so the prefix stays internally consistent.
+        let pin_time = match outcome {
+            Outcome::Completed => options.t_end,
+            Outcome::Truncated { reached_t, .. } => reached_t,
+        };
+        if pin_time > trajectory.last_time() {
+            trajectory.push(pin_time, x.clone())?;
         }
 
+        tally.budget_checks = tracker.checks();
         tally.events_fired = events as u64;
         let resolved_selection = options.selection.resolve(n_transitions);
         tally.flush_to(&self.obs.metrics);
@@ -728,6 +841,7 @@ impl Simulator {
                     ),
                     ("selection", Field::Str(&resolved_selection.to_string())),
                     ("propensity", Field::Str(&options.propensity.to_string())),
+                    ("outcome", Field::Str(&outcome.to_string())),
                 ],
             );
         }
@@ -739,20 +853,37 @@ impl Simulator {
             tally,
             resolved_selection,
             options.propensity,
+            outcome,
         ))
     }
 
     /// Evaluates the scaled propensity of transition `k`, validating the
-    /// density.
+    /// density at the rate-program boundary.
+    ///
+    /// A NaN, infinite, or negative density — whether produced by the model
+    /// or injected by the armed [`FaultPlan`] — is reported as a
+    /// span-attributed [`SimError::InvalidRate`] naming the transition and
+    /// the simulated time, instead of poisoning downstream arithmetic.
     #[inline]
-    pub(crate) fn eval_rate(&self, k: usize, x: &StateVec, theta: &[f64]) -> Result<f64> {
+    pub(crate) fn eval_rate(
+        &self,
+        k: usize,
+        x: &StateVec,
+        theta: &[f64],
+        t: f64,
+        events: u64,
+    ) -> Result<f64> {
         let class = &self.model.transitions()[k];
-        let density = class.rate(x, theta);
-        if !density.is_finite() || density < 0.0 {
-            return Err(SimError::Model(mfu_ctmc::CtmcError::InvalidRate {
-                transition: class.name().to_string(),
-                rate: density,
-            }));
+        let mut density = class.rate(x, theta);
+        if let Some(plan) = &self.fault_plan {
+            density = plan.perturb_rate(k, events, density);
+        }
+        if !mfu_guard::rate_is_healthy(density) {
+            return Err(SimError::InvalidRate {
+                rule: class.name().to_string(),
+                time: t,
+                value: density,
+            });
         }
         Ok(density * self.scale as f64)
     }
@@ -908,15 +1039,96 @@ mod tests {
     }
 
     #[test]
-    fn event_budget_is_enforced() {
+    fn event_budget_truncates_gracefully_with_the_prefix_intact() {
         let sim = Simulator::new(bike_model(), 1000).unwrap();
         let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
         let options = SimulationOptions::new(100.0).max_events(50);
-        let err = sim.simulate(&[500], &mut policy, &options, 5).unwrap_err();
-        assert!(matches!(
-            err,
-            SimError::EventBudgetExhausted { events: 50, .. }
-        ));
+        let run = sim.simulate(&[500], &mut policy, &options, 5).unwrap();
+        assert_eq!(run.events(), 50);
+        let Outcome::Truncated { reason, reached_t } = run.outcome() else {
+            panic!("budget-capped run completed");
+        };
+        assert_eq!(reason, TruncationReason::MaxEvents);
+        assert!(reached_t > 0.0 && reached_t < 100.0);
+        assert_eq!(run.trajectory().last_time(), reached_t);
+        // The prefix is bit-identical to the uncapped run over [0, reached_t].
+        let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
+        let full = sim
+            .simulate(&[500], &mut policy, &SimulationOptions::new(100.0), 5)
+            .unwrap();
+        assert!(!full.is_truncated());
+        for ((ta, sa), (tb, sb)) in run.trajectory().iter().zip(full.trajectory().iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+    }
+
+    #[test]
+    fn budget_event_cap_combines_with_engine_cap() {
+        let options = SimulationOptions::new(1.0)
+            .max_events(100)
+            .budget(mfu_guard::RunBudget::unlimited().max_events(7));
+        assert_eq!(options.effective_max_events(), 7);
+        let options = SimulationOptions::new(1.0).max_events(3);
+        assert_eq!(options.effective_max_events(), 3);
+    }
+
+    #[test]
+    fn wall_clock_budget_truncates_instead_of_hanging() {
+        let sim = Simulator::new(bike_model(), 1000).unwrap();
+        let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
+        let options = SimulationOptions::new(1e9)
+            .budget(mfu_guard::RunBudget::unlimited().wall_clock(std::time::Duration::ZERO));
+        let run = sim.simulate(&[500], &mut policy, &options, 5).unwrap();
+        assert_eq!(
+            run.outcome().truncation(),
+            Some(TruncationReason::WallClock)
+        );
+        assert!(run.counters().budget_checks > 0);
+    }
+
+    #[test]
+    fn untripped_budget_is_bit_identical_to_no_budget() {
+        let sim = Simulator::new(cycle_model(), 500).unwrap();
+        let options = SimulationOptions::new(3.0);
+        let guarded_options = options.budget(
+            mfu_guard::RunBudget::unlimited()
+                .wall_clock(std::time::Duration::from_secs(3600))
+                .max_events(u64::MAX),
+        );
+        let mut policy = ConstantPolicy::new(vec![1.0]);
+        let plain = sim
+            .simulate(&[300, 100, 100], &mut policy, &options, 17)
+            .unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0]);
+        let guarded = sim
+            .simulate(&[300, 100, 100], &mut policy, &guarded_options, 17)
+            .unwrap();
+        assert_eq!(plain.events(), guarded.events());
+        assert_eq!(plain.final_counts(), guarded.final_counts());
+        for ((ta, sa), (tb, sb)) in plain.trajectory().iter().zip(guarded.trajectory().iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(sa.as_slice(), sb.as_slice());
+        }
+        assert!(guarded.counters().budget_checks > 0);
+        assert_eq!(plain.counters().budget_checks, 0);
+    }
+
+    #[test]
+    fn injected_nan_rate_surfaces_as_a_span_attributed_error() {
+        let sim = Simulator::new(bike_model(), 1000).unwrap().with_fault_plan(
+            mfu_guard::FaultPlan::new().inject(10, mfu_guard::FaultKind::NanRate { rule: 0 }),
+        );
+        let mut policy = ConstantPolicy::new(vec![2.0, 2.0]);
+        let err = sim
+            .simulate(&[500], &mut policy, &SimulationOptions::new(100.0), 5)
+            .unwrap_err();
+        let SimError::InvalidRate { rule, time, value } = err else {
+            panic!("expected InvalidRate, got {err:?}");
+        };
+        assert_eq!(rule, "pickup");
+        assert!(time > 0.0);
+        assert!(value.is_nan());
     }
 
     #[test]

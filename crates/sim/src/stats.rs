@@ -163,7 +163,7 @@ pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
         return Err(SimError::invalid_input("quantile level must lie in [0, 1]"));
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     if sorted.len() == 1 {
         return Ok(sorted[0]);
     }

@@ -8,6 +8,7 @@
 //! long trajectory with a burn-in period discarded and the remainder thinned
 //! onto a uniform grid.
 
+use mfu_guard::{Outcome, RunBudget};
 use mfu_num::geometry::Point2;
 use mfu_num::StateVec;
 
@@ -30,6 +31,10 @@ pub struct SteadyStateOptions {
     /// long stationary runs at large `N` affordable; defaults to the
     /// exact SSA).
     pub algorithm: SimulationAlgorithm,
+    /// Resource budget forwarded to the simulator. Stationary sampling needs
+    /// the full horizon, so a truncated run is reported as a typed error
+    /// rather than a partial sample.
+    pub budget: RunBudget,
 }
 
 impl SteadyStateOptions {
@@ -38,7 +43,8 @@ impl SteadyStateOptions {
     /// # Panics
     ///
     /// Panics if `burn_in` is negative, `sample_interval` is not positive, or
-    /// `samples == 0`.
+    /// `samples == 0` — see [`SteadyStateOptions::try_new`] for the typed
+    /// non-panicking variant.
     pub fn new(burn_in: f64, sample_interval: f64, samples: usize) -> Self {
         assert!(
             burn_in >= 0.0 && burn_in.is_finite(),
@@ -55,13 +61,48 @@ impl SteadyStateOptions {
             samples,
             max_events: 200_000_000,
             algorithm: SimulationAlgorithm::Exact,
+            budget: RunBudget::unlimited(),
         }
+    }
+
+    /// Creates options, reporting invalid values as typed errors instead of
+    /// panicking (the contract server-facing callers need).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidInput`] if `burn_in` is negative or
+    /// non-finite, `sample_interval` is not positive and finite, or
+    /// `samples == 0`.
+    pub fn try_new(burn_in: f64, sample_interval: f64, samples: usize) -> Result<Self> {
+        if !(burn_in >= 0.0 && burn_in.is_finite()) {
+            return Err(SimError::invalid_input(
+                "steady-state burn-in must be non-negative and finite",
+            ));
+        }
+        if !(sample_interval > 0.0 && sample_interval.is_finite()) {
+            return Err(SimError::invalid_input(
+                "steady-state sample interval must be positive and finite",
+            ));
+        }
+        if samples == 0 {
+            return Err(SimError::invalid_input(
+                "steady-state sampling requires at least one sample",
+            ));
+        }
+        Ok(SteadyStateOptions::new(burn_in, sample_interval, samples))
     }
 
     /// Selects the simulation algorithm for the underlying long run.
     #[must_use]
     pub fn algorithm(mut self, algorithm: SimulationAlgorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the resource budget forwarded to the simulator.
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -138,6 +179,7 @@ pub fn sample_steady_state(
     let sim_options = SimulationOptions::new(horizon)
         .max_events(options.max_events)
         .algorithm(options.algorithm)
+        .budget(options.budget)
         .record_interval(
             options
                 .sample_interval
@@ -145,6 +187,22 @@ pub fn sample_steady_state(
                 / 2.0,
         );
     let run = simulator.simulate(initial_counts, policy, &sim_options, seed)?;
+    // Stationary statistics over a truncated run would silently repeat the
+    // last reached state across the missing tail — surface the truncation
+    // as a typed error instead (the same mapping the ensemble applies).
+    if let Outcome::Truncated { reason, reached_t } = run.outcome() {
+        return Err(match reason {
+            mfu_guard::TruncationReason::MaxEvents => SimError::EventBudgetExhausted {
+                events: run.events(),
+                reached: reached_t,
+            },
+            _ => SimError::Truncated {
+                reason,
+                events: run.events(),
+                reached: reached_t,
+            },
+        });
+    }
     let trajectory = run.trajectory();
     if trajectory.last_time() < options.burn_in {
         return Err(SimError::invalid_input(
@@ -287,5 +345,30 @@ mod tests {
     #[should_panic(expected = "sample interval")]
     fn options_validate_interval() {
         let _ = SteadyStateOptions::new(1.0, 0.0, 5);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors_instead_of_panicking() {
+        assert!(SteadyStateOptions::try_new(1.0, 0.5, 5).is_ok());
+        for (burn_in, interval, samples) in [
+            (-1.0, 0.5, 5),
+            (f64::NAN, 0.5, 5),
+            (1.0, 0.0, 5),
+            (1.0, f64::INFINITY, 5),
+            (1.0, 0.5, 0),
+        ] {
+            let err = SteadyStateOptions::try_new(burn_in, interval, samples).unwrap_err();
+            assert!(matches!(err, SimError::InvalidInput { .. }));
+        }
+    }
+
+    #[test]
+    fn truncated_long_run_is_a_typed_error_not_a_partial_sample() {
+        let sim = Simulator::new(mean_reverting_model(), 200).unwrap();
+        let mut policy = ConstantPolicy::new(vec![1.0, 1.0]);
+        let options =
+            SteadyStateOptions::new(20.0, 0.5, 60).budget(RunBudget::unlimited().max_events(100));
+        let err = sample_steady_state(&sim, &[20], &mut policy, &options, 13).unwrap_err();
+        assert!(matches!(err, SimError::EventBudgetExhausted { .. }));
     }
 }

@@ -53,6 +53,7 @@
 //! thread it through.
 
 use mfu_ctmc::transition::accumulate_firings;
+use mfu_guard::{BudgetTracker, Outcome, TruncationReason};
 use mfu_num::ode::Trajectory;
 use mfu_num::StateVec;
 use rand::poisson;
@@ -84,6 +85,12 @@ pub struct TauLeapOptions {
     /// Number of exact SSA steps executed per fallback burst before
     /// τ-selection is retried.
     pub ssa_burst: usize,
+    /// Escalation ladder: once the run has accumulated this many τ halvings
+    /// in total, the engine *demotes itself to exact SSA* for the remainder
+    /// of the run instead of thrashing (every subsequent step goes through
+    /// the fallback path). Halvings this frequent mean the leap
+    /// approximation is not paying for itself on this model/regime.
+    pub demote_after_halvings: u64,
 }
 
 impl TauLeapOptions {
@@ -101,6 +108,7 @@ impl TauLeapOptions {
             epsilon,
             ssa_threshold: 10.0,
             ssa_burst: 100,
+            demote_after_halvings: 256,
         }
     }
 
@@ -123,6 +131,14 @@ impl TauLeapOptions {
     #[must_use]
     pub fn ssa_burst(mut self, steps: usize) -> Self {
         self.ssa_burst = steps.max(1);
+        self
+    }
+
+    /// Sets the cumulative-halving count after which the run demotes to
+    /// exact SSA (values below 1 are treated as 1).
+    #[must_use]
+    pub fn demote_after_halvings(mut self, halvings: u64) -> Self {
+        self.demote_after_halvings = halvings.max(1);
         self
     }
 }
@@ -202,9 +218,13 @@ fn query_theta(
     options: &SimulationOptions,
     t: f64,
     x: &StateVec,
+    events: u64,
     rng: &mut StdRng,
 ) -> Result<Vec<f64>> {
-    let theta_raw = policy.value(t, x, rng);
+    let mut theta_raw = policy.value(t, x, rng);
+    if let Some(plan) = simulator.fault_plan() {
+        plan.perturb_params(events, &mut theta_raw);
+    }
     if simulator.model().params().contains(&theta_raw) {
         Ok(theta_raw)
     } else if options.strict_policy {
@@ -255,22 +275,35 @@ pub(crate) fn simulate_tau_leap(
     trajectory.push(0.0, x.clone())?;
     let mut recorder = Recorder::new(options);
 
-    // Constant policies are queried once, like in the exact engine.
-    let policy_constant = policy.is_constant();
+    // Budget enforcement mirrors the exact engine: tripped caps break out
+    // with a truncated outcome, preserving the prefix. The demotion flag
+    // implements the escalation ladder — once set, every remaining step
+    // goes through the exact fallback path.
+    let max_events = options.effective_max_events();
+    let mut tracker = BudgetTracker::start(&options.budget);
+    let mut outcome = Outcome::Completed;
+    let mut demoted = false;
+
+    // Constant policies are queried once, like in the exact engine. Policy
+    // faults disable the short-circuit so injected jumps are observed.
+    let policy_constant = policy.is_constant()
+        && !simulator
+            .fault_plan()
+            .is_some_and(mfu_guard::FaultPlan::has_policy_faults);
     let mut theta: Vec<f64> = Vec::new();
     let mut theta_known = false;
 
     'run: loop {
         // Query the policy at the leap's start instant.
         if !(theta_known && policy_constant) {
-            theta = query_theta(simulator, policy, options, t, &x, rng)?;
+            theta = query_theta(simulator, policy, options, t, &x, steps as u64, rng)?;
             theta_known = true;
         }
 
         // Propensities are always fully rescanned: a leap is O(K) anyway.
         let mut total = 0.0_f64;
         for (k, rate) in rates.iter_mut().enumerate() {
-            *rate = simulator.eval_rate(k, &x, &theta)?;
+            *rate = simulator.eval_rate(k, &x, &theta, t, steps as u64)?;
             total += *rate;
         }
         tally.propensity_evals += n_transitions as u64;
@@ -291,9 +324,17 @@ pub(crate) fn simulate_tau_leap(
         let threshold = leap.ssa_threshold / total;
 
         // Guarded leap: reject-and-halve on negative populations, exact
-        // burst once τ is no longer worth its bias.
+        // burst once τ is no longer worth its bias (or permanently, once
+        // the halving ladder demoted the run to exact SSA).
         loop {
-            if tau < threshold.min(options.t_end - t) {
+            if tracker.expired() {
+                outcome = Outcome::Truncated {
+                    reason: TruncationReason::WallClock,
+                    reached_t: t,
+                };
+                break 'run;
+            }
+            if demoted || tau < threshold.min(options.t_end - t) {
                 // ---- exact fallback burst -------------------------------
                 tally.tau_fallback_bursts += 1;
                 if tracer.is_enabled() {
@@ -312,11 +353,11 @@ pub(crate) fn simulate_tau_leap(
                     // (matching the exact engine's event-level resolution);
                     // the leap start already queried for step 0.
                     if burst_step > 0 && !policy_constant {
-                        theta = query_theta(simulator, policy, options, t, &x, rng)?;
+                        theta = query_theta(simulator, policy, options, t, &x, steps as u64, rng)?;
                     }
                     let mut burst_total = 0.0_f64;
                     for (k, rate) in rates.iter_mut().enumerate() {
-                        *rate = simulator.eval_rate(k, &x, &theta)?;
+                        *rate = simulator.eval_rate(k, &x, &theta, t, steps as u64)?;
                         burst_total += *rate;
                     }
                     tally.propensity_evals += n_transitions as u64;
@@ -339,14 +380,24 @@ pub(crate) fn simulate_tau_leap(
                     }
                     steps += 1;
                     tally.tau_fallback_steps += 1;
-                    if recorder.should_record(steps, t) {
+                    // `t > last` guards against a stalled clock when a rate
+                    // explosion drives `dt` below the ulp of `t`.
+                    if recorder.should_record(steps, t) && t > trajectory.last_time() {
                         trajectory.push(t, x.clone())?;
                     }
-                    if steps >= options.max_events {
-                        return Err(SimError::EventBudgetExhausted {
-                            events: steps,
-                            reached: t,
-                        });
+                    if steps >= max_events {
+                        outcome = Outcome::Truncated {
+                            reason: TruncationReason::MaxEvents,
+                            reached_t: t,
+                        };
+                        break 'run;
+                    }
+                    if tracker.expired() {
+                        outcome = Outcome::Truncated {
+                            reason: TruncationReason::WallClock,
+                            reached_t: t,
+                        };
+                        break 'run;
                     }
                 }
                 break; // burst done: reselect τ from the new state
@@ -376,6 +427,32 @@ pub(crate) fn simulate_tau_leap(
                         &[("t", Field::F64(t)), ("tau", Field::F64(tau / 2.0))],
                     );
                 }
+                if let Some(cap) = options.budget.max_tau_halvings {
+                    if tally.tau_halvings >= cap {
+                        outcome = Outcome::Truncated {
+                            reason: TruncationReason::MaxTauHalvings,
+                            reached_t: t,
+                        };
+                        break 'run;
+                    }
+                }
+                if tally.tau_halvings >= leap.demote_after_halvings {
+                    // Escalation ladder: halvings this frequent mean the
+                    // leap approximation is thrashing — run exact SSA for
+                    // the rest of the run instead.
+                    demoted = true;
+                    tally.tau_demotions = 1;
+                    if tracer.is_enabled() {
+                        tracer.event(
+                            "tau_demoted",
+                            &[
+                                ("t", Field::F64(t)),
+                                ("halvings", Field::U64(tally.tau_halvings)),
+                            ],
+                        );
+                    }
+                    continue;
+                }
                 tau /= 2.0;
                 continue;
             }
@@ -388,14 +465,24 @@ pub(crate) fn simulate_tau_leap(
             t += tau;
             steps += 1;
             tally.tau_leap_steps += 1;
-            if recorder.should_record(steps, t) {
+            if recorder.should_record(steps, t) && t > trajectory.last_time() {
                 trajectory.push(t, x.clone())?;
             }
-            if steps >= options.max_events {
-                return Err(SimError::EventBudgetExhausted {
-                    events: steps,
-                    reached: t,
-                });
+            if steps >= max_events {
+                outcome = Outcome::Truncated {
+                    reason: TruncationReason::MaxEvents,
+                    reached_t: t,
+                };
+                break 'run;
+            }
+            if let Some(cap) = options.budget.max_leap_steps {
+                if tally.tau_leap_steps >= cap {
+                    outcome = Outcome::Truncated {
+                        reason: TruncationReason::MaxLeapSteps,
+                        reached_t: t,
+                    };
+                    break 'run;
+                }
             }
             if t >= options.t_end {
                 break 'run;
@@ -404,10 +491,17 @@ pub(crate) fn simulate_tau_leap(
         }
     }
 
-    if options.t_end > trajectory.last_time() {
-        trajectory.push(options.t_end, x.clone())?;
+    // Completed runs pin the horizon point; truncated runs pin the state
+    // actually reached (see the exact engine).
+    let pin_time = match outcome {
+        Outcome::Completed => options.t_end,
+        Outcome::Truncated { reached_t, .. } => reached_t,
+    };
+    if pin_time > trajectory.last_time() {
+        trajectory.push(pin_time, x.clone())?;
     }
 
+    tally.budget_checks = tracker.checks();
     tally.events_fired = steps as u64;
     tally.flush_to(&simulator.obs().metrics);
     if tracer.is_enabled() {
@@ -423,6 +517,8 @@ pub(crate) fn simulate_tau_leap(
                 ("tau_fallback_bursts", Field::U64(tally.tau_fallback_bursts)),
                 ("tau_fallback_steps", Field::U64(tally.tau_fallback_steps)),
                 ("poisson_draws", Field::U64(tally.poisson_draws)),
+                ("tau_demotions", Field::U64(tally.tau_demotions)),
+                ("outcome", Field::Str(&outcome.to_string())),
             ],
         );
     }
@@ -436,6 +532,7 @@ pub(crate) fn simulate_tau_leap(
         tally,
         SelectionStrategy::LinearScan,
         PropensityStrategy::FullRescan,
+        outcome,
     ))
 }
 
@@ -528,7 +625,7 @@ mod tests {
             let theta = [5.0];
             let x: StateVec = counts.iter().map(|&c| c as f64 / scale as f64).collect();
             let rates: Vec<f64> = (0..3)
-                .map(|k| simulator.eval_rate(k, &x, &theta).unwrap())
+                .map(|k| simulator.eval_rate(k, &x, &theta, 0.0, 0).unwrap())
                 .collect();
             let mut mu = vec![0.0; 3];
             let mut sigma2 = vec![0.0; 3];
@@ -667,18 +764,23 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SimError::PolicyOutOfRange { .. }));
         let mut policy = ConstantPolicy::new(vec![5.0]);
-        let err = simulator
+        let run = simulator
             .simulate(
                 &[700, 300, 0],
                 &mut policy,
                 &leap_options(1.0, 0.03).max_events(3),
                 1,
             )
-            .unwrap_err();
+            .unwrap();
+        assert_eq!(run.events(), 3, "the partial run keeps the prefix");
         assert!(matches!(
-            err,
-            SimError::EventBudgetExhausted { events: 3, .. }
+            run.outcome(),
+            mfu_guard::Outcome::Truncated {
+                reason: mfu_guard::TruncationReason::MaxEvents,
+                ..
+            }
         ));
+        assert!(run.trajectory().last_time() < 1.0);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   planar geometry);
 //! * [`obs`] — observability (zero-cost-when-off metrics counters/timers
 //!   and a line-delimited JSON run tracer);
+//! * [`guard`] — robustness substrate (run budgets and deadlines,
+//!   numeric-health sentinels, deterministic fault-injection plans);
 //! * [`ctmc`] — population-process and finite-CTMC substrate;
 //! * [`sim`] — stochastic simulation (Gillespie SSA, parameter policies,
 //!   ensembles);
@@ -52,6 +54,7 @@
 
 pub use mfu_core as core;
 pub use mfu_ctmc as ctmc;
+pub use mfu_guard as guard;
 pub use mfu_lang as lang;
 pub use mfu_models as models;
 pub use mfu_num as num;

@@ -1,0 +1,363 @@
+//! Deterministic fault-injection harness for every engine (mfu-guard).
+//!
+//! The contract under test: whatever a [`FaultPlan`] throws at an engine —
+//! NaN rates, rate spikes, out-of-box policy jumps — every registry scenario
+//! either completes, returns a gracefully truncated run, or fails with a
+//! *typed* error. Never a panic, never a hang: each simulation carries a
+//! wall-clock budget, so a misbehaving engine truncates instead of spinning.
+//!
+//! The harness also pins two guard guarantees that are easiest to check from
+//! outside the crates:
+//!
+//! * an armed-but-untripped budget is invisible — trajectories are
+//!   bit-identical with the guard on or off;
+//! * the Pontryagin escalation ladder closes the carried "single-start
+//!   settles on a local extremal for the reduced botnet drift" issue: the
+//!   single-start solver now matches the multi-start bound on its own.
+
+use std::time::{Duration, Instant};
+
+use mean_field_uncertain::core::pontryagin::{PontryaginOptions, PontryaginSolver};
+use mean_field_uncertain::guard::{FaultKind, FaultPlan, Outcome, RunBudget};
+use mean_field_uncertain::lang::{CompiledModel, ScenarioRegistry};
+use mean_field_uncertain::obs::{Counter, Obs};
+use mean_field_uncertain::sim::ensemble::{run_ensemble, EnsembleOptions};
+use mean_field_uncertain::sim::gillespie::{
+    SimulationAlgorithm, SimulationOptions, SimulationRun, Simulator,
+};
+use mean_field_uncertain::sim::policy::ConstantPolicy;
+use mean_field_uncertain::sim::steady::{sample_steady_state, SteadyStateOptions};
+use mean_field_uncertain::sim::tauleap::TauLeapOptions;
+use mean_field_uncertain::sim::SimError;
+
+const SCALE: usize = 200;
+
+/// Per-simulation budget: generous enough that healthy runs never trip it,
+/// tight enough that a spiked-rate run truncates in bounded time.
+fn harness_budget() -> RunBudget {
+    RunBudget::unlimited()
+        .wall_clock(Duration::from_secs(5))
+        .max_events(50_000)
+}
+
+fn scenarios() -> Vec<(String, CompiledModel)> {
+    let registry = ScenarioRegistry::with_builtins();
+    registry
+        .iter()
+        .map(|scenario| {
+            let model = scenario
+                .compile()
+                .unwrap_or_else(|e| panic!("scenario `{}` fails to compile: {e}", scenario.name()));
+            (scenario.name().to_string(), model)
+        })
+        .collect()
+}
+
+/// The fault registry: one plan per failure family, sized to the model.
+fn fault_plans(model: &CompiledModel) -> Vec<(&'static str, FaultPlan)> {
+    let last_rule = model.rules().len() - 1;
+    vec![
+        (
+            "nan_rate",
+            FaultPlan::new().inject(25, FaultKind::NanRate { rule: 0 }),
+        ),
+        (
+            "rate_spike",
+            FaultPlan::new().inject(
+                10,
+                FaultKind::RateSpike {
+                    rule: last_rule,
+                    factor: 1e12,
+                },
+            ),
+        ),
+        (
+            "policy_jump",
+            FaultPlan::new().inject(
+                30,
+                FaultKind::PolicyJump {
+                    param: 0,
+                    value: 1e9,
+                },
+            ),
+        ),
+    ]
+}
+
+/// Asserts the engine contract on one outcome: a graceful result or a typed
+/// error — anything else (a panic unwinds the test on its own) fails here.
+fn assert_contract(context: &str, elapsed: Duration, result: Result<SimulationRun, SimError>) {
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "{context}: took {elapsed:?} despite a 5 s wall-clock budget"
+    );
+    match result {
+        Ok(run) => {
+            // completed or truncated — either way the prefix must be sane
+            let last = run.trajectory().last_time();
+            assert!(
+                last.is_finite() && last >= 0.0,
+                "{context}: bad end time {last}"
+            );
+            if let Outcome::Truncated { reached_t, .. } = run.outcome() {
+                assert!(reached_t.is_finite(), "{context}: bad truncation time");
+            }
+        }
+        Err(
+            SimError::InvalidRate { .. }
+            | SimError::PolicyOutOfRange { .. }
+            | SimError::Truncated { .. }
+            | SimError::EventBudgetExhausted { .. }
+            | SimError::InvalidInput { .. }
+            | SimError::Model(_)
+            | SimError::Numerical(_),
+        ) => {}
+        Err(other) => panic!("{context}: unexpected error variant {other:?}"),
+    }
+}
+
+#[test]
+fn every_engine_survives_every_fault_on_every_scenario() {
+    for (name, model) in scenarios() {
+        let population = model.population_model().unwrap();
+        let counts = model.initial_counts(SCALE);
+        let midpoint = model.params().midpoint();
+        let horizon = model_horizon(&name);
+        for (fault, plan) in fault_plans(&model) {
+            for (engine, algorithm) in [
+                ("exact", SimulationAlgorithm::Exact),
+                (
+                    "tau-leap",
+                    SimulationAlgorithm::TauLeap(TauLeapOptions::default()),
+                ),
+            ] {
+                let context = format!("{name} × {engine} × {fault}");
+                let simulator = Simulator::new(population.clone(), SCALE)
+                    .unwrap()
+                    .with_fault_plan(plan.clone());
+                let options = SimulationOptions::new(horizon)
+                    .algorithm(algorithm)
+                    .budget(harness_budget());
+                let mut policy = ConstantPolicy::new(midpoint.clone());
+                let started = Instant::now();
+                let result = simulator.simulate(&counts, &mut policy, &options, 7);
+                assert_contract(&context, started.elapsed(), result);
+            }
+        }
+    }
+}
+
+#[test]
+fn aggregating_engines_convert_faults_into_typed_errors() {
+    // Ensemble grids and steady-state samples need full-horizon runs, so a
+    // fault mid-run must surface as a typed error — never a panic and never
+    // a silently poisoned aggregate.
+    for (name, model) in scenarios() {
+        let population = model.population_model().unwrap();
+        let counts = model.initial_counts(SCALE);
+        let midpoint = model.params().midpoint();
+        let horizon = model_horizon(&name);
+        for (fault, plan) in fault_plans(&model) {
+            let simulator = Simulator::new(population.clone(), SCALE)
+                .unwrap()
+                .with_fault_plan(plan.clone());
+            let sim_options = SimulationOptions::new(horizon).budget(harness_budget());
+
+            let context = format!("{name} × ensemble × {fault}");
+            let started = Instant::now();
+            let ensemble = run_ensemble(
+                &simulator,
+                &counts,
+                || ConstantPolicy::new(midpoint.clone()),
+                &sim_options,
+                &EnsembleOptions {
+                    replications: 3,
+                    base_seed: 11,
+                    threads: 2,
+                    grid_intervals: 8,
+                },
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(30),
+                "{context}: hang"
+            );
+            if let Err(err) = ensemble {
+                assert!(
+                    matches!(
+                        err,
+                        SimError::InvalidRate { .. }
+                            | SimError::PolicyOutOfRange { .. }
+                            | SimError::Truncated { .. }
+                            | SimError::EventBudgetExhausted { .. }
+                    ),
+                    "{context}: unexpected error {err:?}"
+                );
+            }
+
+            let context = format!("{name} × steady × {fault}");
+            let started = Instant::now();
+            let steady = sample_steady_state(
+                &simulator,
+                &counts,
+                &mut ConstantPolicy::new(midpoint.clone()),
+                &SteadyStateOptions::new(0.5, 0.1, 5).budget(harness_budget()),
+                13,
+            );
+            assert!(
+                started.elapsed() < Duration::from_secs(30),
+                "{context}: hang"
+            );
+            if let Err(err) = steady {
+                assert!(
+                    matches!(
+                        err,
+                        SimError::InvalidRate { .. }
+                            | SimError::PolicyOutOfRange { .. }
+                            | SimError::Truncated { .. }
+                            | SimError::EventBudgetExhausted { .. }
+                    ),
+                    "{context}: unexpected error {err:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_plans_never_panic_any_engine() {
+    // Sweep pseudo-random fault schedules over one cheap scenario per
+    // engine: the registry faults above are hand-aimed, this catches the
+    // combinations nobody thought of.
+    let registry = ScenarioRegistry::with_builtins();
+    let model = registry.get("sir").unwrap().compile().unwrap();
+    let population = model.population_model().unwrap();
+    let counts = model.initial_counts(SCALE);
+    let rules = model.rules().len();
+    let params = model.params().dim();
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed, rules, params, 4, 500);
+        for algorithm in [
+            SimulationAlgorithm::Exact,
+            SimulationAlgorithm::TauLeap(TauLeapOptions::default()),
+        ] {
+            let simulator = Simulator::new(population.clone(), SCALE)
+                .unwrap()
+                .with_fault_plan(plan.clone());
+            let options = SimulationOptions::new(2.0)
+                .algorithm(algorithm)
+                .budget(harness_budget());
+            let mut policy = ConstantPolicy::new(model.params().midpoint());
+            let started = Instant::now();
+            let result = simulator.simulate(&counts, &mut policy, &options, seed);
+            assert_contract(
+                &format!("sir × seeded plan {seed}"),
+                started.elapsed(),
+                result,
+            );
+        }
+    }
+}
+
+#[test]
+fn armed_untripped_budgets_are_bit_identical_to_no_budget() {
+    let generous = RunBudget::unlimited()
+        .wall_clock(Duration::from_secs(3600))
+        .max_events(u64::MAX)
+        .max_leap_steps(u64::MAX)
+        .max_tau_halvings(u64::MAX);
+    for (name, model) in scenarios() {
+        let population = model.population_model().unwrap();
+        let counts = model.initial_counts(SCALE);
+        let horizon = model_horizon(&name);
+        for (engine, algorithm) in [
+            ("exact", SimulationAlgorithm::Exact),
+            (
+                "tau-leap",
+                SimulationAlgorithm::TauLeap(TauLeapOptions::default()),
+            ),
+        ] {
+            let simulator = Simulator::new(population.clone(), SCALE).unwrap();
+            let base_options = SimulationOptions::new(horizon).algorithm(algorithm);
+            let mut policy = ConstantPolicy::new(model.params().midpoint());
+            let plain = simulator
+                .simulate(&counts, &mut policy, &base_options, 42)
+                .unwrap();
+            let mut policy = ConstantPolicy::new(model.params().midpoint());
+            let guarded = simulator
+                .simulate(&counts, &mut policy, &base_options.budget(generous), 42)
+                .unwrap();
+            assert_eq!(
+                plain.trajectory(),
+                guarded.trajectory(),
+                "{name} × {engine}: guard-on trajectory differs"
+            );
+            assert_eq!(plain.events(), guarded.events(), "{name} × {engine}");
+            assert_eq!(
+                plain.final_counts(),
+                guarded.final_counts(),
+                "{name} × {engine}"
+            );
+            assert_eq!(guarded.outcome(), Outcome::Completed, "{name} × {engine}");
+        }
+    }
+}
+
+#[test]
+fn botnet_single_start_escalates_and_matches_the_multi_start_bound() {
+    // The carried robustness issue: the single-start sweep settles on a
+    // local extremal for the 3-dimensional reduced botnet drift, which used
+    // to force every caller to know to pass multi_start. The escalation
+    // ladder must now detect the bad extremal and recover the multi-start
+    // bound on its own, reporting the escalation in the metrics.
+    let registry = ScenarioRegistry::with_builtins();
+    let scenario = registry.get("botnet").unwrap();
+    let model = scenario.compile().unwrap();
+    let drift = model.reduced_drift();
+    let x0 = model.reduced_initial_state();
+    let horizon = scenario.horizon();
+    let coordinate = scenario.objective_coordinate();
+
+    let multi = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 120,
+        multi_start: true,
+        ..Default::default()
+    });
+    let (multi_lo, multi_hi) = multi
+        .coordinate_extremes(&drift, &x0, horizon, coordinate)
+        .unwrap();
+
+    let obs = Obs::with_metrics();
+    let single = PontryaginSolver::new(PontryaginOptions {
+        grid_intervals: 120,
+        multi_start: false,
+        ..Default::default()
+    })
+    .with_obs(obs.clone());
+    let (lo, hi) = single
+        .coordinate_extremes(&drift, &x0, horizon, coordinate)
+        .unwrap();
+    assert!(
+        (lo - multi_lo).abs() < 1e-6,
+        "lower bound {lo} vs multi-start {multi_lo}"
+    );
+    assert!(
+        (hi - multi_hi).abs() < 1e-6,
+        "upper bound {hi} vs multi-start {multi_hi}"
+    );
+    let snapshot = obs.metrics.snapshot().unwrap();
+    assert!(
+        snapshot.counter(Counter::CorePontryaginEscalations) >= 1,
+        "the ladder never escalated"
+    );
+}
+
+/// Scenario horizons, clamped so that debug-mode suites stay quick: the
+/// contract under test is fault behaviour, not long-horizon accuracy.
+fn model_horizon(name: &str) -> f64 {
+    let registry = ScenarioRegistry::with_builtins();
+    registry
+        .get(name)
+        .map(|s| s.horizon())
+        .unwrap_or(2.0)
+        .min(2.0)
+}
