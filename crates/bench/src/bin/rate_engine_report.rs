@@ -1,7 +1,7 @@
 //! Emits `BENCH_rate_engine.json`: the perf trajectory of the rate engine
-//! (interpreted tree vs bytecode VM), of the Gillespie propensity and
-//! selection strategies, and of the τ-leap engine vs the exact SSA at
-//! large population scales.
+//! (interpreted tree vs bytecode VM, scalar vs batched SoA evaluation), of
+//! the Gillespie propensity and selection strategies, and of the τ-leap
+//! engine vs the exact SSA at large population scales.
 //!
 //! Run from the repository root (ideally `--release`):
 //!
@@ -31,6 +31,7 @@ use std::time::Instant;
 use mfu_bench::regression;
 use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_lang::vm::RateProgram;
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::ode::{Integrator, Rk4};
 use mfu_num::StateVec;
 use mfu_obs::Obs;
@@ -154,8 +155,10 @@ fn run_check(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<
 /// Parsed command line: measurement mode (default) or check mode.
 enum Mode {
     Measure {
-        /// `--assert-overhead <factor>`: fail when the metrics-enabled
-        /// per-event cost exceeds `factor ×` the disabled cost.
+        /// `--assert-overhead <factor>`: fail when any "must be ≈ free"
+        /// ratio exceeds `factor`: metrics-enabled vs disabled per-event
+        /// cost, armed-budget vs unbudgeted per-event cost, or width-1
+        /// batched vs scalar per-eval cost.
         assert_overhead: Option<f64>,
     },
     Check {
@@ -284,6 +287,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (tree_ns, vm_ns, n_rules, fast_path) = measure_rate_set(&groups_full, &x);
     let (mix_tree_ns, mix_vm_ns, mix_rules, mix_fast_path) = measure_rate_set(&groups_mix, &x);
+
+    // ---- batched SoA evaluation: per-eval cost vs lane width -------------
+    // The batched-VM acceptance gauge: the 200 ring rules evaluated over
+    // lane-varying states with a shared ϑ, scalar `eval` loop vs
+    // `RateProgram::eval_batch_into` at widths 1/4/16/64. The equivalence
+    // suites prove the lanes bit-identical, so the only open question is
+    // throughput: width 1 must be ≈ free (`--assert-overhead` gates the
+    // ratio next to the metrics/guard checks) and wide lanes must amortise
+    // dispatch into a real per-eval speedup.
+    let ring_model = mfu_lang::compile(&ring_source(200))?;
+    let ring_programs: Vec<RateProgram> = ring_model
+        .rules()
+        .iter()
+        .map(|rule| RateProgram::compile(&rule.rate))
+        .collect();
+    let ring_theta_mid = ring_model.params().midpoint();
+    let lanes: Vec<Vec<f64>> = (0..64)
+        .map(|lane| {
+            (0..ring_model.dim())
+                .map(|i| 0.1 + 0.07 * i as f64 + 1e-3 * lane as f64)
+                .collect()
+        })
+        .collect();
+    let lane_states: Vec<StateVec> = lanes
+        .iter()
+        .map(|lane| lane.iter().copied().collect())
+        .collect();
+    // Hold total evals per timing sample roughly constant across widths so
+    // every configuration gets the same measurement resolution.
+    let batch_target_evals = 200_000usize;
+    let scalar_iters = (batch_target_evals / (ring_programs.len() * lane_states.len())).max(1);
+    let batch_scalar_ns = min_ns(25, || {
+        let mut acc = 0.0;
+        for _ in 0..scalar_iters {
+            for program in &ring_programs {
+                for point in &lane_states {
+                    acc += program.eval(black_box(point), &ring_theta_mid);
+                }
+            }
+        }
+        acc
+    }) / (scalar_iters * ring_programs.len() * lane_states.len()) as f64;
+    let mut batched_entries = Vec::new();
+    for width in [1usize, 4, 16, 64] {
+        let batch = SoaBatch::from_lanes(&lanes[..width]);
+        let mut out = vec![0.0; width];
+        let iters = (batch_target_evals / (ring_programs.len() * width)).max(1);
+        let batch_ns = min_ns(25, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                for program in &ring_programs {
+                    program.eval_batch_into(
+                        black_box(&batch),
+                        BatchTheta::Shared(&ring_theta_mid),
+                        &mut out,
+                    );
+                    acc += out[width - 1];
+                }
+            }
+            acc
+        }) / (iters * ring_programs.len() * width) as f64;
+        batched_entries.push((width, batch_ns, batch_scalar_ns / batch_ns));
+    }
+    let batch_width1_overhead = batched_entries[0].1 / batch_scalar_ns;
 
     // ---- SSA: per-event cost under the propensity strategies -------------
     let strategies = [
@@ -571,6 +638,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!(
         "  \"rate_eval_with_reduced\": {{\n    \"scope\": \"full + reduced-coordinate rules (hull/Pontryagin mix)\",\n    \"rules\": {mix_rules},\n    \"fast_path_rules\": {mix_fast_path},\n    \"tree_eval_ns\": {mix_tree_ns:.2},\n    \"vm_eval_ns\": {mix_vm_ns:.2},\n    \"speedup\": {mix_speedup:.2}\n  }},\n"
     ));
+    let batched_lines: Vec<String> = batched_entries
+        .iter()
+        .map(|(width, batch_ns, speedup)| {
+            format!(
+                "    \"width_{width}\": {{\"batch_eval_ns\": {batch_ns:.2}, \
+                 \"speedup_vs_scalar\": {speedup:.2}}}"
+            )
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"batched_eval\": {{\n    \"scope\": \"ring_K200 rules, shared theta, lane-varying states (eval_batch_into)\",\n    \"rules\": {},\n    \"scalar_eval_ns\": {batch_scalar_ns:.2},\n    \"width1_overhead_ratio\": {batch_width1_overhead:.3},\n{}\n  }},\n",
+        ring_programs.len(),
+        batched_lines.join(",\n")
+    ));
     let ssa_blocks: Vec<String> = ssa_entries
         .iter()
         .map(|(label, scale, per_strategy)| {
@@ -679,6 +760,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(1);
         }
         eprintln!("budget-guard overhead {guard_overhead_ratio:.3} within the {cap} cap");
+        if batch_width1_overhead > cap {
+            eprintln!(
+                "batched-eval overhead assertion failed: width-1 \
+                 eval_batch_into/scalar per-eval ratio {batch_width1_overhead:.3} \
+                 exceeds the cap {cap}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("batched width-1 eval overhead {batch_width1_overhead:.3} within the {cap} cap");
     }
     Ok(())
 }

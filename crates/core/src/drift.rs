@@ -11,6 +11,7 @@
 
 use mfu_ctmc::params::ParamSpace;
 use mfu_ctmc::population::PopulationModel;
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::StateVec;
 
 /// A parametrised vector field `f(x, ϑ)` over an uncertainty set `Θ`.
@@ -34,6 +35,30 @@ pub trait ImpreciseDrift {
         out
     }
 
+    /// Evaluates the drift lane-wise over a structure-of-arrays batch of
+    /// states: lane `l` of `out` receives `f(x[l], ϑ[l])`.
+    ///
+    /// `out` is reshaped to `dim × width`. Implementations must be
+    /// *bit-identical* to calling [`ImpreciseDrift::drift_into`] once per
+    /// lane with that lane's state and parameters — the default does exactly
+    /// that (a scalar gather loop), so overriding is purely a performance
+    /// decision. The batched VM backend in `mfu-lang` overrides this to
+    /// advance every lane through each rate instruction together.
+    fn drift_batch_into(&self, x: &SoaBatch, theta: &BatchTheta<'_>, out: &mut SoaBatch) {
+        assert_eq!(x.rows(), self.dim(), "state batch dimension mismatch");
+        assert!(theta.covers(x.width()), "per-lane theta width mismatch");
+        out.reset(self.dim(), x.width());
+        let mut state = StateVec::zeros(self.dim());
+        let mut lane_out = StateVec::zeros(self.dim());
+        let mut theta_buf = Vec::new();
+        for l in 0..x.width() {
+            x.copy_lane_into(l, state.as_mut_slice());
+            let th = theta.lane(l, &mut theta_buf);
+            self.drift_into(&state, th, &mut lane_out);
+            out.set_lane(l, lane_out.as_slice());
+        }
+    }
+
     /// Number of additional interior grid points per parameter axis used when
     /// optimising over `Θ`. The default (0) restricts the search to the
     /// vertices of the box, which is exact for drifts affine in `ϑ` — the
@@ -43,35 +68,40 @@ pub trait ImpreciseDrift {
         0
     }
 
+    /// The parameter vectors examined when optimising over `Θ`: the
+    /// vertices of the box followed, when
+    /// [`ImpreciseDrift::theta_refinement`] is positive, by a regular grid
+    /// of the box.
+    ///
+    /// [`ImpreciseDrift::extremal_theta`] scans exactly this list in exactly
+    /// this order; batched optimisers (the differential-hull construction)
+    /// reuse it so that a lane-parallel scan visits candidates in the same
+    /// sequence and reproduces the scalar argmax bit for bit.
+    fn theta_candidates(&self) -> Vec<Vec<f64>> {
+        let mut candidates = self.params().vertices();
+        let refinement = self.theta_refinement();
+        if refinement > 0 {
+            candidates.extend(self.params().grid(refinement + 1));
+        }
+        candidates
+    }
+
     /// Returns the parameter in `Θ` maximising the scalar functional
     /// `direction · f(x, ϑ)`, together with the attained value.
     ///
-    /// The search enumerates the vertices of `Θ` and, when
-    /// [`ImpreciseDrift::theta_refinement`] is positive, a regular grid of the
-    /// box. For drifts affine in `ϑ` the vertex search is exact, which is
-    /// what produces the bang-bang extremal controls of Figure 2.
+    /// The search scans [`ImpreciseDrift::theta_candidates`] in order. For
+    /// drifts affine in `ϑ` the vertex search is exact, which is what
+    /// produces the bang-bang extremal controls of Figure 2.
     fn extremal_theta(&self, x: &StateVec, direction: &StateVec) -> (Vec<f64>, f64) {
         let mut best_theta = self.params().midpoint();
         let mut best_value = f64::NEG_INFINITY;
         let mut buffer = StateVec::zeros(self.dim());
-        let consider = |theta: &[f64],
-                        buffer: &mut StateVec,
-                        best_value: &mut f64,
-                        best_theta: &mut Vec<f64>| {
-            self.drift_into(x, theta, buffer);
+        for theta in self.theta_candidates() {
+            self.drift_into(x, &theta, &mut buffer);
             let value = buffer.dot(direction);
-            if value > *best_value {
-                *best_value = value;
-                *best_theta = theta.to_vec();
-            }
-        };
-        for theta in self.params().vertices() {
-            consider(&theta, &mut buffer, &mut best_value, &mut best_theta);
-        }
-        let refinement = self.theta_refinement();
-        if refinement > 0 {
-            for theta in self.params().grid(refinement + 1) {
-                consider(&theta, &mut buffer, &mut best_value, &mut best_theta);
+            if value > best_value {
+                best_value = value;
+                best_theta = theta;
             }
         }
         (best_theta, best_value)
@@ -100,6 +130,10 @@ impl<D: ImpreciseDrift + ?Sized> ImpreciseDrift for &D {
 
     fn drift_into(&self, x: &StateVec, theta: &[f64], out: &mut StateVec) {
         (**self).drift_into(x, theta, out)
+    }
+
+    fn drift_batch_into(&self, x: &SoaBatch, theta: &BatchTheta<'_>, out: &mut SoaBatch) {
+        (**self).drift_batch_into(x, theta, out)
     }
 
     fn theta_refinement(&self) -> usize {
@@ -295,6 +329,56 @@ mod tests {
         );
         assert!((refined - 0.25).abs() < 5e-3);
         assert!((theta[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn default_batch_drift_matches_scalar_per_lane() {
+        let d = linear_drift();
+        let states = [[2.0, 3.0], [0.5, -1.0], [0.0, 7.5]];
+        let thetas = [[1.0, -1.0], [2.0, 1.0], [1.5, 0.25]];
+        let x = SoaBatch::from_lanes(&states);
+        let th = SoaBatch::from_lanes(&thetas);
+        let mut out = SoaBatch::default();
+        d.drift_batch_into(&x, &BatchTheta::PerLane(&th), &mut out);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.width(), 3);
+        for (l, state) in states.iter().enumerate() {
+            let scalar = d.drift(&StateVec::from(*state), &thetas[l]);
+            for i in 0..2 {
+                assert_eq!(out.get(i, l).to_bits(), scalar[i].to_bits());
+            }
+        }
+        // shared-theta layout takes the same path
+        let mut shared_out = SoaBatch::default();
+        d.drift_batch_into(&x, &BatchTheta::Shared(&[1.5, 0.5]), &mut shared_out);
+        for (l, state) in states.iter().enumerate() {
+            let scalar = d.drift(&StateVec::from(*state), &[1.5, 0.5]);
+            for i in 0..2 {
+                assert_eq!(shared_out.get(i, l).to_bits(), scalar[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn theta_candidates_drive_the_extremal_scan() {
+        let d = linear_drift();
+        let candidates = d.theta_candidates();
+        assert_eq!(candidates, d.params().vertices());
+        let refined = FnDrift::new(
+            1,
+            ParamSpace::single("theta", 0.0, 1.0).unwrap(),
+            |_x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                dx[0] = th[0] * (1.0 - th[0]);
+            },
+        )
+        .with_theta_refinement(3);
+        let candidates = refined.theta_candidates();
+        let vertices = refined.params().vertices();
+        assert_eq!(&candidates[..vertices.len()], &vertices[..]);
+        assert_eq!(
+            candidates.len(),
+            vertices.len() + refined.params().grid(4).len()
+        );
     }
 
     #[test]

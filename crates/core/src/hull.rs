@@ -19,9 +19,10 @@
 //! becomes very loose — eventually trivial — as the range grows, which is
 //! exactly the behaviour reproduced by the benchmarks.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 
 use mfu_guard::{BudgetTracker, RunBudget, DIVERGENCE_CAP};
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::ode::{Integrator, OdeSystem, Rk4};
 use mfu_num::StateVec;
 use mfu_obs::{Counter, Field, Obs};
@@ -119,6 +120,15 @@ pub struct HullOptions {
     /// Optional clamp applied to both bounds after every report interval
     /// (e.g. `[0, 1]` for densities); `None` leaves the bounds unclamped.
     pub clamp: Option<(f64, f64)>,
+    /// When `true` (the default), each bound evaluation batches every
+    /// rectangle point × Θ-candidate drift into one
+    /// [`ImpreciseDrift::drift_batch_into`] pass instead of one scalar call
+    /// per pair. The results are bit-identical — the argmax reductions
+    /// replicate the scalar scan order exactly — so this is purely a
+    /// performance knob. Disable for drifts that override
+    /// [`ImpreciseDrift::extremal_theta`] or
+    /// [`ImpreciseDrift::coordinate_range`] with non-default semantics.
+    pub batch_drift: bool,
     /// Run budget; only the wall-clock cap applies to the hull integration,
     /// checked once per report interval. A tripped deadline returns the
     /// bounds accumulated so far with
@@ -133,6 +143,7 @@ impl Default for HullOptions {
             time_intervals: 100,
             refine_midpoints: true,
             clamp: None,
+            batch_drift: true,
             budget: RunBudget::unlimited(),
         }
     }
@@ -191,7 +202,14 @@ impl<D: ImpreciseDrift> DifferentialHull<D> {
             drift: &self.drift,
             dim,
             refine_midpoints: self.options.refine_midpoints,
+            batch_drift: self.options.batch_drift,
+            theta_candidates: if self.options.batch_drift {
+                self.drift.theta_candidates()
+            } else {
+                Vec::new()
+            },
             vertex_evals: Cell::new(0),
+            scratch: RefCell::new(HullScratch::default()),
         };
 
         // combined state: [lower | upper]
@@ -278,23 +296,39 @@ struct HullOde<'a, D> {
     drift: &'a D,
     dim: usize,
     refine_midpoints: bool,
+    batch_drift: bool,
+    /// The Θ scan list of [`ImpreciseDrift::extremal_theta`], precomputed
+    /// once (it does not depend on the state); empty when batching is off.
+    theta_candidates: Vec<Vec<f64>>,
     // `OdeSystem::rhs` takes `&self`, so the eval tally lives in a `Cell`;
     // the hull ODE is integrated on one thread, making this sound and free.
     vertex_evals: Cell<u64>,
+    scratch: RefCell<HullScratch>,
+}
+
+/// Reusable batch buffers for [`HullOde::extreme_over_box_batched`].
+#[derive(Default)]
+struct HullScratch {
+    /// Rectangle points in visit order, point-major (`point · dim + i`).
+    points: Vec<f64>,
+    x: SoaBatch,
+    thetas: SoaBatch,
+    drifts: SoaBatch,
 }
 
 impl<D: ImpreciseDrift> HullOde<'_, D> {
-    /// Enumerates the corner (and optionally midpoint) values of the other
-    /// coordinates, with coordinate `pin` fixed to `pin_value`, and returns
-    /// the extreme of drift coordinate `pin` over those points and over `Θ`.
-    fn extreme_over_box(
+    /// Visits the corner (and optionally midpoint) points of the rectangle
+    /// `[lower, upper]` with coordinate `pin` fixed to `pin_value`, in a
+    /// fixed deterministic order shared by the scalar and batched bound
+    /// evaluations.
+    fn for_each_rect_point<F: FnMut(&StateVec)>(
         &self,
         lower: &StateVec,
         upper: &StateVec,
         pin: usize,
         pin_value: f64,
-        want_max: bool,
-    ) -> f64 {
+        mut visit: F,
+    ) {
         let free: Vec<usize> = (0..self.dim).filter(|&i| i != pin).collect();
         // per free coordinate: candidate values
         let candidates: Vec<Vec<f64>> = free
@@ -309,11 +343,6 @@ impl<D: ImpreciseDrift> HullOde<'_, D> {
             })
             .collect();
 
-        let mut best = if want_max {
-            f64::NEG_INFINITY
-        } else {
-            f64::INFINITY
-        };
         let mut point = lower.clone();
         point[pin] = pin_value;
 
@@ -323,17 +352,12 @@ impl<D: ImpreciseDrift> HullOde<'_, D> {
             for (slot, &coord) in free.iter().enumerate() {
                 point[coord] = candidates[slot][indices[slot]];
             }
-            self.vertex_evals.set(self.vertex_evals.get() + 1);
-            let (lo, hi) = self.drift.coordinate_range(&point, pin);
-            let value = if want_max { hi } else { lo };
-            if (want_max && value > best) || (!want_max && value < best) {
-                best = value;
-            }
+            visit(&point);
             // advance the multi-index
             let mut slot = 0;
             loop {
                 if slot == free.len() {
-                    return best;
+                    return;
                 }
                 indices[slot] += 1;
                 if indices[slot] < candidates[slot].len() {
@@ -343,6 +367,120 @@ impl<D: ImpreciseDrift> HullOde<'_, D> {
                 slot += 1;
             }
         }
+    }
+
+    /// Enumerates the corner (and optionally midpoint) values of the other
+    /// coordinates, with coordinate `pin` fixed to `pin_value`, and returns
+    /// the extreme of drift coordinate `pin` over those points and over `Θ`.
+    fn extreme_over_box(
+        &self,
+        lower: &StateVec,
+        upper: &StateVec,
+        pin: usize,
+        pin_value: f64,
+        want_max: bool,
+    ) -> f64 {
+        if self.batch_drift {
+            return self.extreme_over_box_batched(lower, upper, pin, pin_value, want_max);
+        }
+        let mut best = if want_max {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        self.for_each_rect_point(lower, upper, pin, pin_value, |point| {
+            self.vertex_evals.set(self.vertex_evals.get() + 1);
+            let (lo, hi) = self.drift.coordinate_range(point, pin);
+            let value = if want_max { hi } else { lo };
+            if (want_max && value > best) || (!want_max && value < best) {
+                best = value;
+            }
+        });
+        best
+    }
+
+    /// Batched twin of [`HullOde::extreme_over_box`]: one
+    /// [`ImpreciseDrift::drift_batch_into`] pass evaluates every rectangle
+    /// point × Θ-candidate pair, then the reduction replays the scalar
+    /// `coordinate_range`/`extremal_theta` scans — same visit order, same
+    /// comparisons, same left-to-right dot-product fold — on the batched
+    /// values, so the result is bit-identical to the scalar path.
+    fn extreme_over_box_batched(
+        &self,
+        lower: &StateVec,
+        upper: &StateVec,
+        pin: usize,
+        pin_value: f64,
+        want_max: bool,
+    ) -> f64 {
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.points.clear();
+        let points = &mut scratch.points;
+        self.for_each_rect_point(lower, upper, pin, pin_value, |point| {
+            points.extend_from_slice(point.as_slice());
+        });
+        let n_points = points.len() / self.dim;
+        let n_cands = self.theta_candidates.len();
+        let width = n_points * n_cands;
+
+        // lane p·C + c holds rectangle point p paired with Θ candidate c, so
+        // the reduction walks lanes in exactly the scalar visit order
+        scratch.x.reset(self.dim, width);
+        scratch.thetas.reset(self.drift.params().dim(), width);
+        for p in 0..n_points {
+            let point = &scratch.points[p * self.dim..(p + 1) * self.dim];
+            for (c, candidate) in self.theta_candidates.iter().enumerate() {
+                scratch.x.set_lane(p * n_cands + c, point);
+                scratch.thetas.set_lane(p * n_cands + c, candidate);
+            }
+        }
+        self.drift.drift_batch_into(
+            &scratch.x,
+            &BatchTheta::PerLane(&scratch.thetas),
+            &mut scratch.drifts,
+        );
+
+        // replay of `StateVec::dot` with the unit direction `sign · e_pin`:
+        // the same left fold from 0.0 over every coordinate, zero terms
+        // included, so even the sign of a zero result matches the scalar scan
+        let dot_pin = |lane: usize, sign: f64| -> f64 {
+            let mut acc = 0.0;
+            for i in 0..self.dim {
+                let dir = if i == pin { sign } else { 0.0 };
+                acc += scratch.drifts.get(i, lane) * dir;
+            }
+            acc
+        };
+
+        let mut best = if want_max {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        for p in 0..n_points {
+            self.vertex_evals.set(self.vertex_evals.get() + 1);
+            // coordinate_range = extremal scan with +e_pin, then with −e_pin
+            let mut max_value = f64::NEG_INFINITY;
+            for c in 0..n_cands {
+                let value = dot_pin(p * n_cands + c, 1.0);
+                if value > max_value {
+                    max_value = value;
+                }
+            }
+            let mut neg_min = f64::NEG_INFINITY;
+            for c in 0..n_cands {
+                let value = dot_pin(p * n_cands + c, -1.0);
+                if value > neg_min {
+                    neg_min = value;
+                }
+            }
+            let (lo, hi) = (-neg_min, max_value);
+            let value = if want_max { hi } else { lo };
+            if (want_max && value > best) || (!want_max && value < best) {
+                best = value;
+            }
+        }
+        best
     }
 }
 
@@ -495,6 +633,79 @@ mod tests {
             .unwrap()
             .counter(Counter::CoreHullVertexEvals);
         assert_eq!(second, 2 * first);
+    }
+
+    #[test]
+    fn batched_bounds_are_bit_identical_to_scalar_bounds() {
+        // the coupled 2-d drift exercises midpoint refinement and a
+        // non-trivial rectangle enumeration; a refined Θ adds grid candidates
+        let theta = ParamSpace::single("coupling", 0.5, 2.0).unwrap();
+        let make_drift = || {
+            FnDrift::new(
+                2,
+                theta.clone(),
+                |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                    dx[0] = th[0] * (x[1] - x[0]);
+                    dx[1] = x[0] - x[1];
+                },
+            )
+            .with_theta_refinement(2)
+        };
+        let x0 = StateVec::from([1.0, 0.0]);
+        let scalar = DifferentialHull::new(
+            make_drift(),
+            HullOptions {
+                batch_drift: false,
+                ..HullOptions::default()
+            },
+        )
+        .bounds(&x0, 1.0)
+        .unwrap();
+        let batched = DifferentialHull::new(
+            make_drift(),
+            HullOptions {
+                batch_drift: true,
+                ..HullOptions::default()
+            },
+        )
+        .bounds(&x0, 1.0)
+        .unwrap();
+        assert_eq!(scalar.times(), batched.times());
+        for k in 0..scalar.times().len() {
+            for i in 0..2 {
+                assert_eq!(
+                    scalar.lower()[k][i].to_bits(),
+                    batched.lower()[k][i].to_bits(),
+                    "lower bound {i} at node {k}"
+                );
+                assert_eq!(
+                    scalar.upper()[k][i].to_bits(),
+                    batched.upper()[k][i].to_bits(),
+                    "upper bound {i} at node {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_count_vertex_evals_identically() {
+        let count_with = |batch_drift: bool| {
+            let obs = Obs::with_metrics();
+            let hull = DifferentialHull::new(
+                decay_drift(1.0, 2.0),
+                HullOptions {
+                    batch_drift,
+                    ..HullOptions::default()
+                },
+            )
+            .with_obs(obs.clone());
+            hull.bounds(&StateVec::from([1.0]), 1.0).unwrap();
+            obs.metrics
+                .snapshot()
+                .unwrap()
+                .counter(Counter::CoreHullVertexEvals)
+        };
+        assert_eq!(count_with(false), count_with(true));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! paper calls *template* refinement of the reachable set.
 
 use mfu_guard::{BudgetTracker, RunBudget, DIVERGENCE_CAP};
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::grid::{GridSignal, TimeGrid};
 use mfu_num::jacobian::{finite_difference_jacobian_into, Jacobian, JacobianScratch};
 use mfu_num::ode::Trajectory;
@@ -116,6 +117,14 @@ pub struct PontryaginOptions {
     /// solver escalates automatically: it reruns the sweep from every vertex
     /// and keeps the best result, exactly as `multi_start` would have.
     pub auto_escalate: bool,
+    /// When `true` (the default), the finite-difference Jacobians of the
+    /// costate sweep evaluate all `2·dim` perturbed drifts in one
+    /// [`ImpreciseDrift::drift_batch_into`] pass, and the escalation ladder's
+    /// Θ-vertex probes integrate every vertex in lockstep with one batched
+    /// drift evaluation per RK4 stage. Results and observability counters
+    /// are bit-identical to the scalar path; this is purely a performance
+    /// knob.
+    pub batch_drift: bool,
     /// Run budget for the sweep. `max_sweeps` caps the iterations of each
     /// restart (on top of `max_iterations`); `wall_clock` is checked once per
     /// sweep iteration, per restart. A tripped budget ends the sweep early
@@ -135,6 +144,7 @@ impl Default for PontryaginOptions {
             jacobian_step: 1e-6,
             multi_start: false,
             auto_escalate: true,
+            batch_drift: true,
             budget: RunBudget::unlimited(),
         }
     }
@@ -382,12 +392,31 @@ impl PontryaginSolver {
         if !self.options.multi_start && self.options.auto_escalate {
             let ascent = objective.ascent_weights();
             let margin = 10.0 * self.options.tolerance;
+            let threshold = sign * best.objective_value() + margin;
             let mut probe_steps = 0u64;
-            let suspicious = drift.params().vertices().into_iter().any(|vertex| {
-                probe_steps += self.options.grid_intervals.max(1) as u64;
-                self.probe_constant_control(drift, x0, horizon, &vertex, &ascent)
-                    .is_ok_and(|value| value > sign * best.objective_value() + margin)
-            });
+            let suspicious = if self.options.batch_drift {
+                // one lockstep integration evaluates every vertex probe; the
+                // scan below then replays the scalar short-circuit so the
+                // verdict and the RK4-step tally match the scalar path
+                let vertices = drift.params().vertices();
+                let values =
+                    self.probe_constant_controls_batched(drift, x0, horizon, &vertices, &ascent);
+                let mut found = false;
+                for value in &values {
+                    probe_steps += self.options.grid_intervals.max(1) as u64;
+                    if value.is_some_and(|v| v > threshold) {
+                        found = true;
+                        break;
+                    }
+                }
+                found
+            } else {
+                drift.params().vertices().into_iter().any(|vertex| {
+                    probe_steps += self.options.grid_intervals.max(1) as u64;
+                    self.probe_constant_control(drift, x0, horizon, &vertex, &ascent)
+                        .is_ok_and(|value| value > threshold)
+                })
+            };
             self.obs.metrics.add(Counter::CoreRk4Steps, probe_steps);
             if suspicious {
                 let offset = usize::try_from(restarts).unwrap_or(usize::MAX);
@@ -526,6 +555,107 @@ impl PontryaginSolver {
         Ok(ascent.dot(&x))
     }
 
+    /// The lockstep twin of [`PontryaginSolver::probe_constant_control`]:
+    /// integrates one lane per Θ vertex, evaluating all lanes' drifts with a
+    /// single [`ImpreciseDrift::drift_batch_into`] call per RK4 stage. Each
+    /// lane performs exactly the scalar probe's arithmetic (stage states
+    /// `x + c·h·k`, weighted final sum, left-fold terminal dot product), so
+    /// `out[v]` is bit-identical to the scalar probe of vertex `v`; a lane
+    /// whose step goes non-finite reports `None`, matching the scalar
+    /// probe's error.
+    fn probe_constant_controls_batched<D: ImpreciseDrift>(
+        &self,
+        drift: &D,
+        x0: &StateVec,
+        horizon: f64,
+        vertices: &[Vec<f64>],
+        ascent: &StateVec,
+    ) -> Vec<Option<f64>> {
+        let lanes = vertices.len();
+        if lanes == 0 {
+            return Vec::new();
+        }
+        let Ok(grid) = TimeGrid::new(0.0, horizon, self.options.grid_intervals.max(1)) else {
+            return vec![None; lanes];
+        };
+        let h = grid.step();
+        let dim = drift.dim();
+
+        let thetas = SoaBatch::from_lanes(vertices);
+        let theta = BatchTheta::PerLane(&thetas);
+        let mut x = SoaBatch::zeros(dim, lanes);
+        for lane in 0..lanes {
+            x.set_lane(lane, x0.as_slice());
+        }
+        let mut next = SoaBatch::zeros(dim, lanes);
+        let mut stage = SoaBatch::zeros(dim, lanes);
+        let mut k1 = SoaBatch::default();
+        let mut k2 = SoaBatch::default();
+        let mut k3 = SoaBatch::default();
+        let mut k4 = SoaBatch::default();
+        let mut alive = vec![true; lanes];
+
+        // `stage[i] = x[i] + scale · k[i]` per lane, the batched replay of
+        // `copy_from` + `add_scaled`
+        fn stage_from(stage: &mut SoaBatch, x: &SoaBatch, scale: f64, k: &SoaBatch) {
+            for i in 0..x.rows() {
+                let row = stage.row_mut(i);
+                row.copy_from_slice(x.row(i));
+                for (s, &ki) in row.iter_mut().zip(k.row(i).iter()) {
+                    *s += scale * ki;
+                }
+            }
+        }
+
+        for _ in 0..grid.intervals() {
+            drift.drift_batch_into(&x, &theta, &mut k1);
+            stage_from(&mut stage, &x, 0.5 * h, &k1);
+            drift.drift_batch_into(&stage, &theta, &mut k2);
+            stage_from(&mut stage, &x, 0.5 * h, &k2);
+            drift.drift_batch_into(&stage, &theta, &mut k3);
+            stage_from(&mut stage, &x, h, &k3);
+            drift.drift_batch_into(&stage, &theta, &mut k4);
+            for i in 0..dim {
+                let row = next.row_mut(i);
+                row.copy_from_slice(x.row(i));
+                for ((((o, &a), &b), &c), &d) in row
+                    .iter_mut()
+                    .zip(k1.row(i).iter())
+                    .zip(k2.row(i).iter())
+                    .zip(k3.row(i).iter())
+                    .zip(k4.row(i).iter())
+                {
+                    // the four sequential `add_scaled` updates of the scalar
+                    // RK4 step, in the same order
+                    *o += (h / 6.0) * a;
+                    *o += (h / 3.0) * b;
+                    *o += (h / 3.0) * c;
+                    *o += (h / 6.0) * d;
+                }
+            }
+            for (lane, lane_alive) in alive.iter_mut().enumerate() {
+                if *lane_alive && !(0..dim).all(|i| next.get(i, lane).is_finite()) {
+                    *lane_alive = false;
+                }
+            }
+            std::mem::swap(&mut x, &mut next);
+        }
+
+        (0..lanes)
+            .map(|lane| {
+                if !alive[lane] {
+                    return None;
+                }
+                // replay of `ascent.dot(&x)`: left fold from 0.0
+                let mut acc = 0.0;
+                for i in 0..dim {
+                    acc += ascent[i] * x.get(i, lane);
+                }
+                Some(acc)
+            })
+            .collect()
+    }
+
     /// One forward–backward sweep started from a constant control `initial`.
     fn solve_from<D: ImpreciseDrift>(
         &self,
@@ -577,6 +707,7 @@ impl PontryaginSolver {
         let mut rk4 = Rk4Scratch::new(dim);
         let mut jac = Jacobian::zeros(dim, dim);
         let mut jac_scratch = JacobianScratch::new(dim, dim);
+        let mut jac_batch = BatchedJacobianScratch::default();
         let mut midpoint = StateVec::zeros(dim);
 
         let mut converged = false;
@@ -648,14 +779,25 @@ impl PontryaginSolver {
                 // evaluation zeroes the matrix, preserving the historical
                 // "treat a bad Jacobian as no costate motion" behaviour.
                 half_sum_into(&state[k], &state[k + 1], &mut midpoint);
-                let jacobian_ok = finite_difference_jacobian_into(
-                    &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
-                    &midpoint,
-                    self.options.jacobian_step,
-                    &mut jac,
-                    &mut jac_scratch,
-                )
-                .is_ok();
+                let jacobian_ok = if self.options.batch_drift {
+                    batched_jacobian_into(
+                        drift,
+                        theta,
+                        &midpoint,
+                        self.options.jacobian_step,
+                        &mut jac,
+                        &mut jac_batch,
+                    )
+                } else {
+                    finite_difference_jacobian_into(
+                        &mut |x: &StateVec, dx: &mut StateVec| drift.drift_into(x, theta, dx),
+                        &midpoint,
+                        self.options.jacobian_step,
+                        &mut jac,
+                        &mut jac_scratch,
+                    )
+                    .is_ok()
+                };
                 if !jacobian_ok {
                     jac.fill_zero();
                 }
@@ -753,6 +895,63 @@ impl PontryaginSolver {
             iterations,
         })
     }
+}
+
+/// Reusable batch buffers of [`batched_jacobian_into`].
+#[derive(Default)]
+struct BatchedJacobianScratch {
+    points: SoaBatch,
+    drifts: SoaBatch,
+    lane: Vec<f64>,
+}
+
+/// The batched twin of
+/// [`finite_difference_jacobian_into`]: all `2·dim` perturbed states of the
+/// central-difference stencil are evaluated in one
+/// [`ImpreciseDrift::drift_batch_into`] pass (lane `2j` holds `x + h·e_j`,
+/// lane `2j + 1` holds `x − h·e_j`), then the entries are formed with the
+/// identical `(f⁺ − f⁻) / (2h)` arithmetic, so the resulting matrix is bit
+/// for bit the scalar one. Returns `false` — the caller zeroes the matrix —
+/// exactly when the scalar variant would have returned an error: an invalid
+/// step or a non-finite entry.
+fn batched_jacobian_into<D: ImpreciseDrift>(
+    drift: &D,
+    theta: &[f64],
+    x: &StateVec,
+    h: f64,
+    jac: &mut Jacobian,
+    scratch: &mut BatchedJacobianScratch,
+) -> bool {
+    if h <= 0.0 || !h.is_finite() {
+        return false;
+    }
+    let n = x.dim();
+    scratch.points.reset(n, 2 * n);
+    scratch.lane.clear();
+    scratch.lane.extend_from_slice(x.as_slice());
+    for j in 0..n {
+        let base = x[j];
+        scratch.lane[j] = base + h;
+        scratch.points.set_lane(2 * j, &scratch.lane);
+        scratch.lane[j] = base - h;
+        scratch.points.set_lane(2 * j + 1, &scratch.lane);
+        scratch.lane[j] = base;
+    }
+    drift.drift_batch_into(
+        &scratch.points,
+        &BatchTheta::Shared(theta),
+        &mut scratch.drifts,
+    );
+    for j in 0..n {
+        for i in 0..n {
+            let d = (scratch.drifts.get(i, 2 * j) - scratch.drifts.get(i, 2 * j + 1)) / (2.0 * h);
+            if !d.is_finite() {
+                return false;
+            }
+            jac.set_entry(i, j, d);
+        }
+    }
+    true
 }
 
 /// Preallocated stage buffers of [`rk4_step_into`]: the four slopes plus
@@ -1007,6 +1206,116 @@ mod tests {
             .solve(&drift, &x0, 1.0, LinearObjective::maximize_coordinate(1, 0))
             .is_err());
         assert_eq!(s.options().grid_intervals, 200);
+    }
+
+    #[test]
+    fn batched_solve_is_bit_identical_to_scalar_solve() {
+        // two-parameter switching problem: exercises the batched Jacobian on
+        // every sweep iteration and a genuinely moving control
+        let theta = ParamSpace::new(vec![
+            ("a", Interval::new(0.5, 3.0).unwrap()),
+            ("b", Interval::new(0.5, 1.5).unwrap()),
+        ])
+        .unwrap();
+        let make_drift = || {
+            FnDrift::new(
+                2,
+                theta.clone(),
+                |x: &StateVec, th: &[f64], dx: &mut StateVec| {
+                    dx[0] = th[0] * (1.0 - x[0]);
+                    dx[1] = th[0] * x[0] - th[1] * x[1];
+                },
+            )
+        };
+        let x0 = StateVec::from([0.0, 0.0]);
+        let solve_with = |batch_drift: bool, multi_start: bool| {
+            PontryaginSolver::new(PontryaginOptions {
+                grid_intervals: 60,
+                multi_start,
+                batch_drift,
+                ..Default::default()
+            })
+            .maximize_coordinate(&make_drift(), &x0, 2.0, 1)
+            .unwrap()
+        };
+        for multi_start in [false, true] {
+            let scalar = solve_with(false, multi_start);
+            let batched = solve_with(true, multi_start);
+            assert_eq!(
+                scalar.objective_value().to_bits(),
+                batched.objective_value().to_bits(),
+                "objective (multi_start = {multi_start})"
+            );
+            assert_eq!(scalar.iterations(), batched.iterations());
+            assert_eq!(scalar.converged(), batched.converged());
+            for (a, b) in scalar
+                .state()
+                .values()
+                .iter()
+                .chain(scalar.control().values())
+                .chain(scalar.costate().values())
+                .zip(
+                    batched
+                        .state()
+                        .values()
+                        .iter()
+                        .chain(batched.control().values())
+                        .chain(batched.costate().values()),
+                )
+            {
+                for i in 0..a.dim() {
+                    assert_eq!(a[i].to_bits(), b[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_probes_match_scalar_escalation_and_counters() {
+        // the stunted sweep from the escalation test: the vertex probes must
+        // reach the same verdict, counters and final value with batching on
+        let theta = ParamSpace::single("u", -1.0, 1.0).unwrap();
+        let make_drift = || {
+            FnDrift::new(
+                1,
+                theta.clone(),
+                |_x: &StateVec, th: &[f64], dx: &mut StateVec| dx[0] = th[0],
+            )
+        };
+        let x0 = StateVec::from([0.0]);
+        let run = |batch_drift: bool| {
+            let obs = Obs::with_metrics();
+            let solution = PontryaginSolver::new(PontryaginOptions {
+                grid_intervals: 50,
+                max_iterations: 1,
+                relaxation: 0.01,
+                batch_drift,
+                ..Default::default()
+            })
+            .with_obs(obs.clone())
+            .maximize_coordinate(&make_drift(), &x0, 1.0, 0)
+            .unwrap();
+            (solution, obs.metrics.snapshot().unwrap())
+        };
+        let (scalar, scalar_metrics) = run(false);
+        let (batched, batched_metrics) = run(true);
+        assert_eq!(
+            scalar.objective_value().to_bits(),
+            batched.objective_value().to_bits()
+        );
+        for counter in [
+            Counter::CorePontryaginEscalations,
+            Counter::CorePontryaginRestarts,
+            Counter::CoreRk4Steps,
+            Counter::CoreJacobianEvals,
+            Counter::CorePontryaginSweeps,
+        ] {
+            assert_eq!(
+                scalar_metrics.counter(counter),
+                batched_metrics.counter(counter),
+                "{counter:?}"
+            );
+        }
     }
 
     #[test]

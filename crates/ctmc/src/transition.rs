@@ -23,6 +23,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::StateVec;
 
 /// Signature of a native rate closure: `β(x, ϑ)`.
@@ -45,6 +46,29 @@ pub trait CompiledRate: Send + Sync {
     ///
     /// An empty slice means the rate is constant in the state.
     fn species_support(&self) -> &[usize];
+
+    /// Evaluates the rate for a whole [`SoaBatch`] of states — one value
+    /// per lane into `out`. Implementations must keep every lane
+    /// *bit-identical* to a scalar [`CompiledRate::eval`] on that lane's
+    /// `(x, ϑ)`; the default honours the contract trivially by gathering
+    /// each lane and calling the scalar path. Genuinely batched evaluators
+    /// (the `mfu-lang` VM) override this with a lane-parallel pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.width()` or a per-lane `theta` batch does
+    /// not cover every lane.
+    fn eval_batch_into(&self, x: &SoaBatch, theta: BatchTheta<'_>, out: &mut [f64]) {
+        assert_eq!(out.len(), x.width(), "one output slot per lane");
+        assert!(theta.covers(x.width()), "per-lane theta width mismatch");
+        let mut lane_x = StateVec::zeros(x.rows());
+        let mut lane_theta = Vec::new();
+        for (l, slot) in out.iter_mut().enumerate() {
+            x.copy_lane_into(l, lane_x.as_mut_slice());
+            let th = theta.lane(l, &mut lane_theta);
+            *slot = self.eval(&lane_x, th);
+        }
+    }
 }
 
 /// Rate function of a transition class: a native closure or a compiled
@@ -64,6 +88,33 @@ impl RateFn {
         match self {
             RateFn::Native(f) => f(x, theta),
             RateFn::Compiled(p) => p.eval(x, theta),
+        }
+    }
+
+    /// Evaluates the rate density over a [`SoaBatch`] of states, one value
+    /// per lane. Compiled programs use their lane-parallel batched path;
+    /// native closures fall back to a per-lane scalar gather. Either way
+    /// every lane is bit-identical to [`RateFn::eval`] on that lane's
+    /// `(x, ϑ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.width()` or a per-lane `theta` batch does
+    /// not cover every lane.
+    pub fn eval_batch_into(&self, x: &SoaBatch, theta: BatchTheta<'_>, out: &mut [f64]) {
+        match self {
+            RateFn::Native(f) => {
+                assert_eq!(out.len(), x.width(), "one output slot per lane");
+                assert!(theta.covers(x.width()), "per-lane theta width mismatch");
+                let mut lane_x = StateVec::zeros(x.rows());
+                let mut lane_theta = Vec::new();
+                for (l, slot) in out.iter_mut().enumerate() {
+                    x.copy_lane_into(l, lane_x.as_mut_slice());
+                    let th = theta.lane(l, &mut lane_theta);
+                    *slot = f(&lane_x, th);
+                }
+            }
+            RateFn::Compiled(p) => p.eval_batch_into(x, theta, out),
         }
     }
 

@@ -22,6 +22,7 @@ use mfu_core::drift::ImpreciseDrift;
 use mfu_ctmc::params::ParamSpace;
 use mfu_ctmc::population::PopulationModel;
 use mfu_ctmc::transition::TransitionClass;
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::StateVec;
 
 use crate::diagnostics::LangError;
@@ -280,6 +281,30 @@ impl ImpreciseDrift for DslDrift {
             }
         });
     }
+
+    fn drift_batch_into(&self, x: &SoaBatch, theta: &BatchTheta<'_>, out: &mut SoaBatch) {
+        assert_eq!(x.rows(), self.dim, "state batch dimension mismatch");
+        let width = x.width();
+        out.reset(self.dim, width);
+        // One batched VM pass computes every rule rate for every lane
+        // (rule-major rows), then the jump accumulation runs per lane in rule
+        // order with the same `r != 0` guard as the scalar path, so each
+        // output coordinate sees the identical sequence of `+= r * c`
+        // additions as a scalar `drift_into` on that lane.
+        let mut rates = vec![0.0_f64; self.rules.len() * width];
+        self.programs.eval_batch_into(x, *theta, &mut rates);
+        for (k, rule) in self.rules.iter().enumerate() {
+            let row = &rates[k * width..(k + 1) * width];
+            for (i, &c) in rule.change.iter().enumerate() {
+                let out_row = out.row_mut(i);
+                for (o, &r) in out_row.iter_mut().zip(row.iter()) {
+                    if r != 0.0 {
+                        *o += r * c;
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +335,40 @@ init S = 0.7, I = 0.3, R = 0;
             let b = drift.drift(&x, &[theta]);
             for k in 0..3 {
                 assert!((a[k] - b[k]).abs() < 1e-15, "coordinate {k} at ϑ = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dsl_drift_matches_scalar_bit_for_bit() {
+        let model = compile(SIR).unwrap();
+        for drift in [model.drift(), model.reduced_drift()] {
+            let dim = drift.dim();
+            let states: Vec<Vec<f64>> = (0..5)
+                .map(|l| (0..dim).map(|i| 0.05 + 0.11 * (l + i) as f64).collect())
+                .collect();
+            let thetas: Vec<Vec<f64>> = (0..5).map(|l| vec![1.0 + 1.7 * l as f64]).collect();
+            let x = SoaBatch::from_lanes(&states);
+            let th = SoaBatch::from_lanes(&thetas);
+            let mut out = SoaBatch::default();
+            drift.drift_batch_into(&x, &BatchTheta::PerLane(&th), &mut out);
+            for (l, state) in states.iter().enumerate() {
+                let scalar = drift.drift(&StateVec::from(state.clone()), &thetas[l]);
+                for i in 0..dim {
+                    assert_eq!(
+                        out.get(i, l).to_bits(),
+                        scalar[i].to_bits(),
+                        "coordinate {i} of lane {l}"
+                    );
+                }
+            }
+            let mut shared_out = SoaBatch::default();
+            drift.drift_batch_into(&x, &BatchTheta::Shared(&[4.2]), &mut shared_out);
+            for (l, state) in states.iter().enumerate() {
+                let scalar = drift.drift(&StateVec::from(state.clone()), &[4.2]);
+                for i in 0..dim {
+                    assert_eq!(shared_out.get(i, l).to_bits(), scalar[i].to_bits());
+                }
             }
         }
     }

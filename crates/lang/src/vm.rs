@@ -38,8 +38,27 @@
 //! all rules of a model and evaluates them in one VM pass over a shared
 //! scratch register file, which is how the DSL drift backend computes
 //! `f(x, ϑ)` without touching the allocator.
+//!
+//! # Batched (structure-of-arrays) evaluation
+//!
+//! [`RateProgram::eval_batch_into`] and [`ProgramSet::eval_batch_into`]
+//! evaluate a whole [`SoaBatch`] of states — `width` lanes laid out
+//! coordinate-major, with one shared `theta` or per-lane thetas
+//! ([`BatchTheta`]) — advancing *all lanes through each instruction before
+//! moving to the next*. The register file becomes a `width`-strided slab
+//! (register `r` of lane `l` lives at `r·width + l`), tiered like the
+//! scalar file; the constant, mass-action and affine-product fast paths get
+//! row-at-a-time variants; `Op::Cmp`/`Op::Select` stay branch-free per
+//! lane. Because every lane executes exactly the scalar instruction
+//! sequence on its own data — same operations, same order, lanes merely
+//! advance together — a batched lane is **bit-identical** to a scalar
+//! [`RateProgram::eval`] on that lane's `(x, ϑ)`, NaN payloads included.
+//! The property suite in `tests/vm_equivalence.rs` pins this across random
+//! expressions × widths; the hull, Pontryagin and lockstep-ensemble call
+//! sites rely on it to batch freely without perturbing results.
 
 use mfu_ctmc::transition::CompiledRate;
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::StateVec;
 
 use crate::ast::CmpOp;
@@ -291,6 +310,129 @@ impl ByteProgram {
         }
     }
 
+    /// The batched interpreter loop: one pass over the instruction array,
+    /// advancing all `width` lanes per instruction. `regs` is a
+    /// `width`-strided slab (register `r` of lane `l` at `r·width + l`) of
+    /// at least `registers · width` slots; the register-0 row lands in
+    /// `out`. Per lane this executes exactly the instruction sequence of
+    /// [`ByteProgram::run`] on that lane's values, so each lane's result is
+    /// bit-identical to a scalar evaluation.
+    fn run_batch(&self, x: &SoaBatch, theta: &BatchTheta<'_>, regs: &mut [f64], out: &mut [f64]) {
+        let w = x.width();
+        debug_assert!(regs.len() >= self.registers * w);
+        for op in &self.ops {
+            match *op {
+                Op::Const { dst, idx } => {
+                    regs[dst as usize * w..][..w].fill(self.consts[idx as usize]);
+                }
+                Op::Species { dst, idx } => {
+                    regs[dst as usize * w..][..w].copy_from_slice(x.row(idx as usize));
+                }
+                Op::Param { dst, idx } => match theta {
+                    BatchTheta::Shared(t) => regs[dst as usize * w..][..w].fill(t[idx as usize]),
+                    BatchTheta::PerLane(b) => {
+                        regs[dst as usize * w..][..w].copy_from_slice(b.row(idx as usize));
+                    }
+                },
+                Op::Neg { dst, a } => lanes_unary(regs, w, dst, a, |v| -v),
+                Op::Add { dst, a, b } => lanes_binary(regs, w, dst, a, b, |x, y| x + y),
+                Op::Sub { dst, a, b } => lanes_binary(regs, w, dst, a, b, |x, y| x - y),
+                Op::Mul { dst, a, b } => lanes_binary(regs, w, dst, a, b, |x, y| x * y),
+                Op::Div { dst, a, b } => lanes_binary(regs, w, dst, a, b, |x, y| x / y),
+                Op::Pow { dst, a, b } => lanes_binary(regs, w, dst, a, b, f64::powf),
+                Op::PowInt { dst, a, n } => {
+                    let (d, a) = (dst as usize * w, a as usize * w);
+                    for l in 0..w {
+                        let base = regs[a + l];
+                        let mut acc = base;
+                        for _ in 1..n {
+                            acc *= base;
+                        }
+                        regs[d + l] = acc;
+                    }
+                }
+                Op::Min { dst, a, b } => lanes_binary(regs, w, dst, a, b, f64::min),
+                Op::Max { dst, a, b } => lanes_binary(regs, w, dst, a, b, f64::max),
+                Op::Abs { dst, a } => lanes_unary(regs, w, dst, a, f64::abs),
+                Op::Exp { dst, a } => lanes_unary(regs, w, dst, a, f64::exp),
+                Op::Log { dst, a } => lanes_unary(regs, w, dst, a, f64::ln),
+                Op::Sqrt { dst, a } => lanes_unary(regs, w, dst, a, f64::sqrt),
+                Op::BinLeaf {
+                    op,
+                    leaf,
+                    dst,
+                    a,
+                    idx,
+                } => {
+                    let src = self.leaf_row(leaf, idx, x, theta);
+                    let (d, a) = (dst as usize * w, a as usize * w);
+                    for l in 0..w {
+                        regs[d + l] = op.apply(regs[a + l], src.get(l));
+                    }
+                }
+                Op::BinLeafLeaf {
+                    op,
+                    leaf_a,
+                    a_idx,
+                    leaf_b,
+                    b_idx,
+                    dst,
+                } => {
+                    let src_a = self.leaf_row(leaf_a, a_idx, x, theta);
+                    let src_b = self.leaf_row(leaf_b, b_idx, x, theta);
+                    let d = dst as usize * w;
+                    for l in 0..w {
+                        regs[d + l] = op.apply(src_a.get(l), src_b.get(l));
+                    }
+                }
+                Op::Cmp { op, dst, a, b } => {
+                    let (d, a, b) = (dst as usize * w, a as usize * w, b as usize * w);
+                    for l in 0..w {
+                        regs[d + l] = f64::from(op.holds(regs[a + l], regs[b + l]));
+                    }
+                }
+                Op::Select { dst, cond, a, b } => {
+                    // branch-free per lane, exactly like the scalar arm: both
+                    // values load unconditionally, the pick is a conditional
+                    // move carrying the chosen bit pattern through untouched
+                    let (d, c, a, b) = (
+                        dst as usize * w,
+                        cond as usize * w,
+                        a as usize * w,
+                        b as usize * w,
+                    );
+                    for l in 0..w {
+                        let take = regs[c + l] != 0.0;
+                        let va = regs[a + l];
+                        let vb = regs[b + l];
+                        regs[d + l] = if take { va } else { vb };
+                    }
+                }
+            }
+        }
+        out.copy_from_slice(&regs[..w]);
+    }
+
+    /// Resolves a fused leaf operand to its lane view: a broadcast scalar
+    /// (constant or shared parameter) or a contiguous per-lane row.
+    #[inline(always)]
+    fn leaf_row<'a>(
+        &'a self,
+        leaf: LeafSource,
+        idx: u16,
+        x: &'a SoaBatch,
+        theta: &BatchTheta<'a>,
+    ) -> LaneSrc<'a> {
+        match leaf {
+            LeafSource::Const => LaneSrc::Splat(self.consts[idx as usize]),
+            LeafSource::Species => LaneSrc::Row(x.row(idx as usize)),
+            LeafSource::Param => match theta {
+                BatchTheta::Shared(t) => LaneSrc::Splat(t[idx as usize]),
+                BatchTheta::PerLane(b) => LaneSrc::Row(b.row(idx as usize)),
+            },
+        }
+    }
+
     /// Evaluation over a freshly zeroed register file of the right tier:
     /// most programs fit 8 registers (one cache line to clear, no bounds
     /// checks thanks to the masked interpreter), deep ones 32, and
@@ -309,6 +451,53 @@ impl ByteProgram {
         }
     }
 }
+
+/// A fused-leaf operand as the batched interpreter sees it: one scalar
+/// broadcast to every lane (constants, shared parameters) or a contiguous
+/// per-lane row (species, per-lane parameters).
+enum LaneSrc<'a> {
+    Splat(f64),
+    Row(&'a [f64]),
+}
+
+impl LaneSrc<'_> {
+    #[inline(always)]
+    fn get(&self, lane: usize) -> f64 {
+        match self {
+            LaneSrc::Splat(v) => *v,
+            LaneSrc::Row(row) => row[lane],
+        }
+    }
+}
+
+/// `r[dst][l] = f(r[a][l])` for every lane `l` of a `width`-strided slab.
+#[inline(always)]
+fn lanes_unary(regs: &mut [f64], w: usize, dst: u16, a: u16, f: impl Fn(f64) -> f64) {
+    let (d, a) = (dst as usize * w, a as usize * w);
+    for l in 0..w {
+        let v = regs[a + l];
+        regs[d + l] = f(v);
+    }
+}
+
+/// `r[dst][l] = f(r[a][l], r[b][l])` for every lane `l`. Plain indexing
+/// rather than row slices because `dst` routinely aliases `a` (the lowering
+/// reuses the destination register as its left operand).
+#[inline(always)]
+fn lanes_binary(regs: &mut [f64], w: usize, dst: u16, a: u16, b: u16, f: impl Fn(f64, f64) -> f64) {
+    let (d, a, b) = (dst as usize * w, a as usize * w, b as usize * w);
+    for l in 0..w {
+        let va = regs[a + l];
+        let vb = regs[b + l];
+        regs[d + l] = f(va, vb);
+    }
+}
+
+/// Stack tiers of the batched register slab (`registers · width` slots):
+/// a small tier that stays cheap to zero at width 1 — the overhead-gated
+/// regime — and a larger one before falling back to the heap.
+const BATCH_SLAB_SMALL: usize = 64;
+const BATCH_SLAB_LARGE: usize = 2048;
 
 /// The shape a rate expression lowered to.
 #[derive(Debug, Clone, PartialEq)]
@@ -476,6 +665,86 @@ impl RateProgram {
         }
     }
 
+    /// Evaluates the program over a [`SoaBatch`] of `width` states in one
+    /// instruction pass, writing one rate per lane into `out`. Lane `l` is
+    /// bit-identical to `self.eval(&x.lane_state(l), theta_of_lane_l)` —
+    /// same floating-point operations in the same order, the lanes merely
+    /// advance together (see the [module docs](self)).
+    ///
+    /// Fast-path shapes evaluate row-at-a-time without touching a register
+    /// slab; bytecode programs run over a tiered `width`-strided slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.width()` or a per-lane `theta` batch does
+    /// not cover every lane.
+    #[inline]
+    pub fn eval_batch_into(&self, x: &SoaBatch, theta: BatchTheta<'_>, out: &mut [f64]) {
+        let width = x.width();
+        assert_eq!(out.len(), width, "one output slot per lane");
+        assert!(theta.covers(width), "per-lane theta width mismatch");
+        if let ProgramKind::Bytecode(p) = &self.kind {
+            let need = p.registers * width;
+            if need <= BATCH_SLAB_SMALL {
+                let mut regs = [0.0_f64; BATCH_SLAB_SMALL];
+                p.run_batch(x, &theta, &mut regs, out);
+            } else if need <= BATCH_SLAB_LARGE {
+                let mut regs = [0.0_f64; BATCH_SLAB_LARGE];
+                p.run_batch(x, &theta, &mut regs, out);
+            } else {
+                let mut regs = vec![0.0_f64; need];
+                p.run_batch(x, &theta, &mut regs, out);
+            }
+        } else {
+            self.eval_batch_fast(x, &theta, out);
+        }
+    }
+
+    /// Batched evaluation over a caller-provided `width`-strided register
+    /// slab (shared across the programs of a model by
+    /// [`ProgramSet::eval_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != x.width()`, or (in debug builds) if `regs`
+    /// is shorter than `self.registers() · x.width()`.
+    pub fn eval_batch_with(
+        &self,
+        x: &SoaBatch,
+        theta: &BatchTheta<'_>,
+        regs: &mut [f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), x.width(), "one output slot per lane");
+        if let ProgramKind::Bytecode(p) = &self.kind {
+            p.run_batch(x, theta, regs, out);
+        } else {
+            self.eval_batch_fast(x, theta, out);
+        }
+    }
+
+    /// The non-bytecode shapes, row-at-a-time.
+    #[inline]
+    fn eval_batch_fast(&self, x: &SoaBatch, theta: &BatchTheta<'_>, out: &mut [f64]) {
+        match &self.kind {
+            ProgramKind::Const(v) => out.fill(*v),
+            ProgramKind::MassAction {
+                coeff,
+                param,
+                species,
+                len,
+            } => mass_action_batch(x, theta, *coeff, *param, species, *len, out),
+            ProgramKind::AffineProduct {
+                base,
+                coeff,
+                param,
+                inner,
+                outer,
+            } => affine_product_batch(x, theta, *base, *coeff, *param, *inner, *outer, out),
+            ProgramKind::Bytecode(_) => unreachable!("bytecode handled by the callers"),
+        }
+    }
+
     /// Probes the program at `(x, theta)` against the numeric-health
     /// contract the simulation engines enforce at this same boundary
     /// ([`mfu_guard::rate_is_healthy`]): a rate must be finite and
@@ -497,6 +766,10 @@ impl CompiledRate for RateProgram {
 
     fn species_support(&self) -> &[usize] {
         &self.support
+    }
+
+    fn eval_batch_into(&self, x: &SoaBatch, theta: BatchTheta<'_>, out: &mut [f64]) {
+        RateProgram::eval_batch_into(self, x, theta, out);
     }
 }
 
@@ -588,6 +861,54 @@ impl ProgramSet {
     pub fn eval_into(&self, x: &StateVec, theta: &[f64], out: &mut [f64]) {
         assert!(out.len() >= self.programs.len(), "output slice too short");
         self.eval_each(x, theta, |k, r| out[k] = r);
+    }
+
+    /// Evaluates every program over a [`SoaBatch`] of `width` states in one
+    /// pass per program, writing rule-major rows into `out`: the rate of
+    /// rule `k` for lane `l` lands in `out[k · width + l]`. The shared
+    /// `width`-strided register slab is tiered like the scalar file (stack
+    /// slabs for the common sizes, heap fallback for pathological sets).
+    ///
+    /// Each lane of each row is bit-identical to the scalar
+    /// [`ProgramSet::eval_into`] on that lane's `(x, ϑ)` — see the
+    /// [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `len() · x.width()` or a per-lane
+    /// `theta` batch does not cover every lane.
+    pub fn eval_batch_into(&self, x: &SoaBatch, theta: BatchTheta<'_>, out: &mut [f64]) {
+        let width = x.width();
+        assert!(
+            out.len() >= self.programs.len() * width,
+            "output slice too short"
+        );
+        assert!(theta.covers(width), "per-lane theta width mismatch");
+        let need = self.registers * width;
+        if need <= BATCH_SLAB_SMALL {
+            let mut regs = [0.0_f64; BATCH_SLAB_SMALL];
+            self.eval_batch_all(x, &theta, &mut regs, out, width);
+        } else if need <= BATCH_SLAB_LARGE {
+            let mut regs = [0.0_f64; BATCH_SLAB_LARGE];
+            self.eval_batch_all(x, &theta, &mut regs, out, width);
+        } else {
+            let mut regs = vec![0.0_f64; need];
+            self.eval_batch_all(x, &theta, &mut regs, out, width);
+        }
+    }
+
+    /// One batched pass over every program with a shared register slab.
+    fn eval_batch_all(
+        &self,
+        x: &SoaBatch,
+        theta: &BatchTheta<'_>,
+        regs: &mut [f64],
+        out: &mut [f64],
+        width: usize,
+    ) {
+        for (k, program) in self.programs.iter().enumerate() {
+            program.eval_batch_with(x, theta, regs, &mut out[k * width..(k + 1) * width]);
+        }
     }
 
     /// Probes every program at `(x, theta)` and returns the first unhealthy
@@ -778,6 +1099,101 @@ fn mass_action(
         r *= x[i as usize];
     }
     r
+}
+
+/// Multiplies a parameter factor into every lane of `out` (broadcast for a
+/// shared theta, row-wise for per-lane thetas).
+#[inline(always)]
+fn mul_param_row(out: &mut [f64], theta: &BatchTheta<'_>, p: u16) {
+    match theta {
+        BatchTheta::Shared(t) => {
+            let v = t[p as usize];
+            for o in out.iter_mut() {
+                *o *= v;
+            }
+        }
+        BatchTheta::PerLane(b) => {
+            for (o, &v) in out.iter_mut().zip(b.row(p as usize)) {
+                *o *= v;
+            }
+        }
+    }
+}
+
+/// Batched mass-action fast path: per lane the exact factor order of
+/// [`mass_action`] — `coeff`, then `ϑ_p?`, then the species in source
+/// order — so every lane is bit-identical to the scalar fast path.
+#[inline]
+fn mass_action_batch(
+    x: &SoaBatch,
+    theta: &BatchTheta<'_>,
+    coeff: f64,
+    param: Option<u16>,
+    species: &[u16; 2],
+    len: u8,
+    out: &mut [f64],
+) {
+    // A single lane skips the row-slice machinery: same factor order,
+    // scalar arithmetic, so the width-1 batch costs what a scalar call
+    // costs.
+    if out.len() == 1 {
+        let mut r = coeff;
+        if let Some(p) = param {
+            r *= theta.get(p as usize, 0);
+        }
+        for &i in &species[..len as usize] {
+            r *= x.get(i as usize, 0);
+        }
+        out[0] = r;
+        return;
+    }
+    out.fill(coeff);
+    if let Some(p) = param {
+        mul_param_row(out, theta, p);
+    }
+    for &i in &species[..len as usize] {
+        for (o, &v) in out.iter_mut().zip(x.row(i as usize)) {
+            *o *= v;
+        }
+    }
+}
+
+/// Batched affine-product fast path: per lane the exact operation order of
+/// [`affine_product`] — `m = coeff · ϑ_p? · x_inner`, then
+/// `(base + m) · x_outer`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn affine_product_batch(
+    x: &SoaBatch,
+    theta: &BatchTheta<'_>,
+    base: f64,
+    coeff: f64,
+    param: Option<u16>,
+    inner: u16,
+    outer: u16,
+    out: &mut [f64],
+) {
+    // Width-1 scalar specialisation, same operation order (see
+    // `mass_action_batch`).
+    if out.len() == 1 {
+        let mut m = coeff;
+        if let Some(p) = param {
+            m *= theta.get(p as usize, 0);
+        }
+        m *= x.get(inner as usize, 0);
+        out[0] = (base + m) * x.get(outer as usize, 0);
+        return;
+    }
+    out.fill(coeff);
+    if let Some(p) = param {
+        mul_param_row(out, theta, p);
+    }
+    for (o, &v) in out.iter_mut().zip(x.row(inner as usize)) {
+        *o *= v;
+    }
+    for (o, &v) in out.iter_mut().zip(x.row(outer as usize)) {
+        *o = (base + *o) * v;
+    }
 }
 
 fn narrow(i: usize) -> u16 {

@@ -23,10 +23,16 @@ use mfu_core::drift::ImpreciseDrift;
 use mfu_lang::ast::CmpOp;
 use mfu_lang::expr::{Builtin, CompiledExpr};
 use mfu_lang::scenarios::ScenarioRegistry;
-use mfu_lang::vm::RateProgram;
+use mfu_lang::vm::{ProgramSet, RateProgram};
+use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::StateVec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Batch widths exercised by the batched-vs-scalar property suite: 1 (the
+/// overhead-gated degenerate batch), small odd widths that defeat any
+/// accidental power-of-two assumptions, and one slab-tier-crossing width.
+const BATCH_WIDTHS: [usize; 5] = [1, 2, 3, 7, 64];
 
 const DIM: usize = 3;
 const PARAMS: usize = 2;
@@ -181,6 +187,162 @@ fn every_scenario_rule_lowers_to_an_exact_program() {
                     scenario.name(),
                     rule.name
                 );
+            }
+        }
+    }
+}
+
+/// Draws `width` lane-varying points as SoA batches (states + per-lane
+/// thetas), returning the AoS originals for the scalar reference.
+#[allow(clippy::type_complexity)]
+fn random_lanes(
+    rng: &mut StdRng,
+    width: usize,
+) -> (Vec<StateVec>, Vec<Vec<f64>>, SoaBatch, SoaBatch) {
+    let mut states = Vec::with_capacity(width);
+    let mut thetas = Vec::with_capacity(width);
+    for _ in 0..width {
+        let (x, theta) = random_point(rng);
+        states.push(x);
+        thetas.push(theta);
+    }
+    let x_batch = SoaBatch::from_lanes(&states.iter().map(StateVec::as_slice).collect::<Vec<_>>());
+    let theta_batch = SoaBatch::from_lanes(&thetas);
+    (states, thetas, x_batch, theta_batch)
+}
+
+#[test]
+fn batched_lanes_match_scalar_eval_bit_for_bit_per_lane_thetas() {
+    // `allow_pow = true` is fine here: scalar and batched run the *same
+    // lowered program*, so even the strength-reduced ops must agree bit for
+    // bit — the ulp tolerance is only between program and tree.
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    for case in 0..200 {
+        let expr = random_expr(&mut rng, 6, true);
+        let program = RateProgram::compile(&expr);
+        for width in BATCH_WIDTHS {
+            let (states, thetas, x_batch, theta_batch) = random_lanes(&mut rng, width);
+            let mut out = vec![0.0_f64; width];
+            program.eval_batch_into(&x_batch, BatchTheta::PerLane(&theta_batch), &mut out);
+            for l in 0..width {
+                let scalar = program.eval(&states[l], &thetas[l]);
+                assert_eq!(
+                    scalar.to_bits(),
+                    out[l].to_bits(),
+                    "case {case}, width {width}, lane {l}: scalar {scalar} != batched {} for {expr:?}",
+                    out[l]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_lanes_match_scalar_eval_bit_for_bit_shared_theta() {
+    let mut rng = StdRng::seed_from_u64(0x5AA5);
+    for case in 0..200 {
+        let expr = random_expr(&mut rng, 6, true);
+        let program = RateProgram::compile(&expr);
+        for width in BATCH_WIDTHS {
+            let (states, _, x_batch, _) = random_lanes(&mut rng, width);
+            let (_, shared_theta) = random_point(&mut rng);
+            let mut out = vec![0.0_f64; width];
+            program.eval_batch_into(&x_batch, BatchTheta::Shared(&shared_theta), &mut out);
+            for l in 0..width {
+                let scalar = program.eval(&states[l], &shared_theta);
+                assert_eq!(
+                    scalar.to_bits(),
+                    out[l].to_bits(),
+                    "case {case}, width {width}, lane {l} for {expr:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_select_propagates_nan_payloads_like_scalar() {
+    // when x₀ > x₁ { x₀ } else { x₁ } — lowered to a branch-free Select.
+    // Lanes feed distinct NaN payloads through both branches; the batched
+    // conditional move must carry the exact bit pattern the scalar Select
+    // picks, lane by lane.
+    let expr = CompiledExpr::Select(
+        Box::new(CompiledExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(CompiledExpr::Species(0)),
+            Box::new(CompiledExpr::Species(1)),
+        )),
+        Box::new(CompiledExpr::Species(0)),
+        Box::new(CompiledExpr::Species(1)),
+    );
+    let program = RateProgram::compile(&expr);
+    let payload = |tag: u64| f64::from_bits(f64::NAN.to_bits() ^ tag);
+    // one NaN lane per operand side, one all-NaN lane, one finite control
+    let states = [
+        StateVec::from([payload(0x11), 2.0, 0.0]),
+        StateVec::from([2.0, payload(0x22), 0.0]),
+        StateVec::from([payload(0x33), payload(0x44), 0.0]),
+        StateVec::from([1.0, 2.0, 0.0]),
+    ];
+    let x_batch = SoaBatch::from_lanes(&states.iter().map(StateVec::as_slice).collect::<Vec<_>>());
+    let theta: Vec<f64> = vec![0.0, 0.0];
+    let mut out = vec![0.0_f64; states.len()];
+    program.eval_batch_into(&x_batch, BatchTheta::Shared(&theta), &mut out);
+    for (l, x) in states.iter().enumerate() {
+        let scalar = program.eval(x, &theta);
+        assert_eq!(
+            scalar.to_bits(),
+            out[l].to_bits(),
+            "lane {l}: scalar bits {:#x} != batched bits {:#x}",
+            scalar.to_bits(),
+            out[l].to_bits()
+        );
+    }
+    // the comparison with a NaN operand is false, so the else-branch payload
+    // must come through verbatim on the NaN lanes
+    assert_eq!(out[1].to_bits(), payload(0x22).to_bits());
+    assert_eq!(out[2].to_bits(), payload(0x44).to_bits());
+    assert_eq!(out[3], 2.0);
+}
+
+#[test]
+fn program_set_batch_rows_match_scalar_eval_into_across_registry() {
+    let registry = ScenarioRegistry::with_builtins();
+    let mut rng = StdRng::seed_from_u64(0x0B5E55ED);
+    for scenario in registry.iter() {
+        let model = scenario.compile().unwrap();
+        let set = ProgramSet::new(
+            model
+                .rules()
+                .iter()
+                .map(|rule| RateProgram::compile(&rule.rate))
+                .collect(),
+        );
+        let dim = model.dim();
+        let box_dim = model.params().dim();
+        for width in BATCH_WIDTHS {
+            let states: Vec<StateVec> = (0..width)
+                .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+                .collect();
+            let thetas: Vec<Vec<f64>> = (0..width)
+                .map(|_| (0..box_dim).map(|_| 0.2 + 4.0 * rng.gen::<f64>()).collect())
+                .collect();
+            let x_batch =
+                SoaBatch::from_lanes(&states.iter().map(StateVec::as_slice).collect::<Vec<_>>());
+            let theta_batch = SoaBatch::from_lanes(&thetas);
+            let mut batched = vec![0.0_f64; set.len() * width];
+            set.eval_batch_into(&x_batch, BatchTheta::PerLane(&theta_batch), &mut batched);
+            let mut scalar = vec![0.0_f64; set.len()];
+            for l in 0..width {
+                set.eval_into(&states[l], &thetas[l], &mut scalar);
+                for k in 0..set.len() {
+                    assert_eq!(
+                        scalar[k].to_bits(),
+                        batched[k * width + l].to_bits(),
+                        "scenario `{}`, rule {k}, width {width}, lane {l}",
+                        scenario.name()
+                    );
+                }
             }
         }
     }

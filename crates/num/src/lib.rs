@@ -6,6 +6,9 @@
 //!
 //! * [`StateVec`] — a small dense state vector with element-wise arithmetic,
 //!   used for population densities, drifts and costates;
+//! * the [`batch`] module — coordinate-major structure-of-arrays batches
+//!   ([`batch::SoaBatch`]) carrying many states or parameter vectors for
+//!   lane-parallel evaluators;
 //! * the [`ode`] module — explicit ODE integrators (Euler, classic RK4 and an
 //!   adaptive Dormand–Prince 4(5) pair) together with dense
 //!   [`Trajectory`](ode::Trajectory) output and interpolation;
@@ -48,6 +51,7 @@
 mod error;
 mod vector;
 
+pub mod batch;
 pub mod geometry;
 pub mod grid;
 pub mod jacobian;

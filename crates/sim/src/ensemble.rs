@@ -3,14 +3,31 @@
 //! Mean-field accuracy claims ("the stochastic system stays close to the
 //! deterministic limit as `N` grows") are checked against the *distribution*
 //! of the stochastic process, which requires many independent replications.
-//! This module runs replications across threads and summarises them on a
-//! common time grid.
+//! This module exploits the machine along both axes:
+//!
+//! * **across cores** — replications are distributed over scoped worker
+//!   threads; set the worker count with [`EnsembleOptions::threads`]
+//!   (`0` means one thread per available core, and the count is clamped
+//!   to the number of replications, so oversubscribed workers simply
+//!   idle);
+//! * **within a core** — τ-leap ensembles additionally advance each
+//!   worker's replications in *lockstep* ([`crate::lockstep`]), sharing
+//!   one batched SoA propensity rescan per round across all of the
+//!   worker's still-running trajectories. The batched rescan is
+//!   bit-identical to the scalar one, so summaries do not depend on
+//!   [`EnsembleOptions::batch_propensities`]; switch it off to pin down
+//!   the scalar reference when debugging.
+//!
+//! Either way every replication `k` keeps its own RNG stream seeded with
+//! `base_seed.wrapping_add(k)`, so summaries are deterministic in the
+//! seed for a fixed thread count.
 
 use std::sync::Mutex;
 
 use mfu_num::StateVec;
 
-use crate::gillespie::{SimulationOptions, Simulator};
+use crate::gillespie::{SimulationAlgorithm, SimulationOptions, SimulationRun, Simulator};
+use crate::lockstep::simulate_tau_leap_lockstep;
 use crate::policy::ParameterPolicy;
 use crate::stats::RunningStats;
 use crate::{Result, SimError};
@@ -25,9 +42,17 @@ pub struct EnsembleOptions {
     /// of overflowing.
     pub base_seed: u64,
     /// Number of worker threads (`0` means one thread per available core).
+    /// Clamped to the number of replications: extra workers would own no
+    /// replications and only add spawn overhead.
     pub threads: usize,
     /// Number of intervals of the common time grid used for the summary.
     pub grid_intervals: usize,
+    /// Advance each worker's τ-leap replications in lockstep, batching
+    /// their propensity rescans into shared SoA evaluations
+    /// (`RateProgram::eval_batch_into`); see [`crate::lockstep`]. On by
+    /// default; results are bit-identical either way, so this is purely a
+    /// performance knob. Ignored by the exact (non-τ-leap) algorithm.
+    pub batch_propensities: bool,
 }
 
 impl Default for EnsembleOptions {
@@ -37,6 +62,7 @@ impl Default for EnsembleOptions {
             base_seed: 1,
             threads: 0,
             grid_intervals: 100,
+            batch_propensities: true,
         }
     }
 }
@@ -135,6 +161,52 @@ impl EnsembleSummary {
 /// final states, and the first error observed (if any).
 type EnsembleAccumulator = (Vec<Vec<RunningStats>>, Vec<StateVec>, Option<SimError>);
 
+/// How many replications a worker advances per lockstep group: bounds the
+/// number of concurrently live trajectories (each holds its recorded
+/// states) while keeping the batch wide enough to fill the VM's small
+/// register slab tier.
+const LOCKSTEP_GROUP: usize = 64;
+
+/// Folds one completed replication into a worker's local accumulators.
+///
+/// Grid sampling is all-or-error: a truncated run or a failed
+/// `trajectory.at(t)` converts into a typed error instead of silently
+/// shrinking a grid point's observation count (the historical `if let Ok`
+/// bug).
+fn absorb_run(
+    run: &SimulationRun,
+    times: &[f64],
+    t_end: f64,
+    local_stats: &mut [Vec<RunningStats>],
+    local_finals: &mut Vec<StateVec>,
+) -> Result<()> {
+    // Grid sampling needs the full horizon: a prefix is not a meaningful
+    // ensemble member, so a truncated replication converts back into a
+    // typed error.
+    if let mfu_guard::Outcome::Truncated { reason, reached_t } = run.outcome() {
+        return Err(match reason {
+            mfu_guard::TruncationReason::MaxEvents => SimError::EventBudgetExhausted {
+                events: run.events(),
+                reached: reached_t,
+            },
+            _ => SimError::Truncated {
+                reason,
+                events: run.events(),
+                reached: reached_t,
+            },
+        });
+    }
+    let trajectory = run.trajectory();
+    for (k, &t) in times.iter().enumerate() {
+        let state = trajectory.at(t)?;
+        for (i, &v) in state.as_slice().iter().enumerate() {
+            local_stats[k][i].push(v);
+        }
+    }
+    local_finals.push(trajectory.at(t_end)?);
+    Ok(())
+}
+
 /// Runs `options.replications` independent simulations and summarises them.
 ///
 /// `make_policy` builds a fresh policy per replication (policies are stateful
@@ -190,6 +262,13 @@ where
         None,
     ));
 
+    // Lockstep grouping applies to τ-leap ensembles only: the exact engine
+    // re-evaluates a few dependency-pruned rates per event, which has no
+    // batched shape (every lane would need a rescan after every event of
+    // every other lane).
+    let lockstep = options.batch_propensities
+        && matches!(sim_options.algorithm, SimulationAlgorithm::TauLeap(_));
+
     std::thread::scope(|scope| {
         for worker in 0..threads {
             let accumulator = &accumulator;
@@ -199,50 +278,69 @@ where
                 let mut local_stats = vec![vec![RunningStats::new(); dim]; grid_n + 1];
                 let mut local_finals = Vec::new();
                 let mut local_error: Option<SimError> = None;
-                let mut replication = worker;
-                while replication < options.replications {
-                    let seed = options.base_seed.wrapping_add(replication as u64);
-                    let mut policy = make_policy();
-                    // A failed grid sample is an error, not a skip: silently
-                    // dropping it would leave this grid point with fewer
-                    // observations than its neighbours and skew the summary
-                    // (the historical `if let Ok` bug).
-                    let mut sample = || -> Result<()> {
-                        let run =
-                            simulator.simulate(initial_counts, &mut policy, sim_options, seed)?;
-                        // Grid sampling needs the full horizon: a prefix is
-                        // not a meaningful ensemble member, so a truncated
-                        // replication converts back into a typed error.
-                        if let mfu_guard::Outcome::Truncated { reason, reached_t } = run.outcome() {
-                            return Err(match reason {
-                                mfu_guard::TruncationReason::MaxEvents => {
-                                    SimError::EventBudgetExhausted {
-                                        events: run.events(),
-                                        reached: reached_t,
-                                    }
-                                }
-                                _ => SimError::Truncated {
-                                    reason,
-                                    events: run.events(),
-                                    reached: reached_t,
-                                },
+                // The worker's replications, in the order the sequential
+                // path runs them — lockstep groups absorb results in the
+                // same order, so the Welford update sequence (and thus the
+                // summary, bit for bit) does not depend on the grouping.
+                let assigned: Vec<usize> =
+                    (worker..options.replications).step_by(threads).collect();
+                if lockstep {
+                    'groups: for group in assigned.chunks(LOCKSTEP_GROUP) {
+                        let policies: Vec<P> = group.iter().map(|_| make_policy()).collect();
+                        let seeds: Vec<u64> = group
+                            .iter()
+                            .map(|&r| options.base_seed.wrapping_add(r as u64))
+                            .collect();
+                        let outcome = simulate_tau_leap_lockstep(
+                            simulator,
+                            initial_counts,
+                            policies,
+                            sim_options,
+                            &seeds,
+                        );
+                        let results = match outcome {
+                            Ok(results) => results,
+                            Err(err) => {
+                                local_error = Some(err);
+                                break 'groups;
+                            }
+                        };
+                        for result in results {
+                            let absorbed = result.and_then(|run| {
+                                absorb_run(
+                                    &run,
+                                    times,
+                                    sim_options.t_end,
+                                    &mut local_stats,
+                                    &mut local_finals,
+                                )
                             });
-                        }
-                        let trajectory = run.trajectory();
-                        for (k, &t) in times.iter().enumerate() {
-                            let state = trajectory.at(t)?;
-                            for (i, &v) in state.as_slice().iter().enumerate() {
-                                local_stats[k][i].push(v);
+                            if let Err(err) = absorbed {
+                                local_error = Some(err);
+                                break 'groups;
                             }
                         }
-                        local_finals.push(trajectory.at(sim_options.t_end)?);
-                        Ok(())
-                    };
-                    if let Err(err) = sample() {
-                        local_error = Some(err);
-                        break;
                     }
-                    replication += threads;
+                } else {
+                    for &replication in &assigned {
+                        let seed = options.base_seed.wrapping_add(replication as u64);
+                        let mut policy = make_policy();
+                        let sampled = simulator
+                            .simulate(initial_counts, &mut policy, sim_options, seed)
+                            .and_then(|run| {
+                                absorb_run(
+                                    &run,
+                                    times,
+                                    sim_options.t_end,
+                                    &mut local_stats,
+                                    &mut local_finals,
+                                )
+                            });
+                        if let Err(err) = sampled {
+                            local_error = Some(err);
+                            break;
+                        }
+                    }
                 }
                 // A worker that panicked while holding the lock only leaves
                 // behind merged partial statistics — recover the data
@@ -327,6 +425,7 @@ mod tests {
             base_seed: 3,
             threads: 2,
             grid_intervals: 10,
+            ..Default::default()
         };
         let summary = run_ensemble(
             &sim,
@@ -361,6 +460,7 @@ mod tests {
                 base_seed: 11,
                 threads: 4,
                 grid_intervals: 20,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -393,6 +493,7 @@ mod tests {
             base_seed: 5,
             threads: 3,
             grid_intervals: 16,
+            ..Default::default()
         };
         let summary = run_ensemble(
             &sim,
@@ -431,6 +532,7 @@ mod tests {
                 base_seed: u64::MAX - 1,
                 threads: 2,
                 grid_intervals: 4,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -500,6 +602,7 @@ mod tests {
                     base_seed: 7,
                     threads: 4,
                     grid_intervals: 8,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -511,5 +614,104 @@ mod tests {
             sd_large < sd_small,
             "std dev should shrink with N: N=20 gives {sd_small}, N=500 gives {sd_large}"
         );
+    }
+
+    /// Per-grid-point bit-identity of two summaries (means, deviations,
+    /// and every final state).
+    fn assert_summaries_bit_identical(a: &EnsembleSummary, b: &EnsembleSummary) {
+        assert_eq!(a.times(), b.times());
+        assert_eq!(a.replications(), b.replications());
+        for k in 0..a.times().len() {
+            let (ma, mb) = (a.mean_at(k), b.mean_at(k));
+            let (sa, sb) = (a.std_dev_at(k), b.std_dev_at(k));
+            for i in 0..ma.dim() {
+                assert_eq!(ma[i].to_bits(), mb[i].to_bits(), "mean at ({k}, {i})");
+                assert_eq!(sa[i].to_bits(), sb[i].to_bits(), "std dev at ({k}, {i})");
+            }
+        }
+        for (fa, fb) in a.final_states().iter().zip(b.final_states()) {
+            for (va, vb) in fa.as_slice().iter().zip(fb.as_slice()) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "final state");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_replications_gives_identical_results() {
+        // The clamp `threads.min(replications).max(1)` must leave the
+        // extra workers idle without perturbing the per-replication seeds:
+        // with one replication per worker the merge order is the only
+        // degree of freedom, and a single replication removes even that.
+        let sim = Simulator::new(bike_model(), 40).unwrap();
+        let run_with = |threads: usize, replications: usize| {
+            run_ensemble(
+                &sim,
+                &[20],
+                || ConstantPolicy::new(vec![1.0, 1.0]),
+                &SimulationOptions::new(3.0),
+                &EnsembleOptions {
+                    replications,
+                    base_seed: 9,
+                    threads,
+                    grid_intervals: 6,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let narrow = run_with(1, 1);
+        let wide = run_with(64, 1);
+        assert_summaries_bit_identical(&narrow, &wide);
+        // and with several replications the summary still carries exactly
+        // `replications` members per grid point — no phantom contributions
+        // from idle workers
+        let summary = run_with(64, 3);
+        assert_eq!(summary.replications(), 3);
+        for k in 0..summary.times().len() {
+            assert_eq!(summary.samples_at(k), 3);
+        }
+    }
+
+    #[test]
+    fn zero_replications_is_a_typed_error_not_a_hang() {
+        let sim = Simulator::new(bike_model(), 10).unwrap();
+        let res = run_ensemble(
+            &sim,
+            &[5],
+            || ConstantPolicy::new(vec![1.0, 1.0]),
+            &SimulationOptions::new(1.0),
+            &EnsembleOptions {
+                replications: 0,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(res, Err(SimError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn tau_leap_summaries_do_not_depend_on_propensity_batching() {
+        // One worker pins the Welford merge order, so the only remaining
+        // degree of freedom between the two runs is the lockstep batching
+        // itself — which must be invisible, bit for bit.
+        let sim = Simulator::new(bike_model(), 500).unwrap();
+        let sim_options =
+            SimulationOptions::new(4.0).tau_leap(crate::tauleap::TauLeapOptions::new(0.05));
+        let run_with = |batch: bool| {
+            run_ensemble(
+                &sim,
+                &[250],
+                || ConstantPolicy::new(vec![1.5, 0.75]),
+                &sim_options,
+                &EnsembleOptions {
+                    replications: 10,
+                    base_seed: 21,
+                    threads: 1,
+                    grid_intervals: 12,
+                    batch_propensities: batch,
+                },
+            )
+            .unwrap()
+        };
+        assert_summaries_bit_identical(&run_with(true), &run_with(false));
     }
 }

@@ -29,7 +29,12 @@
 //!   [`SimulationAlgorithm`](gillespie::SimulationAlgorithm) on
 //!   [`SimulationOptions`](gillespie::SimulationOptions);
 //! * [`ensemble`] — parallel replication of simulations with summary
-//!   statistics on a common time grid;
+//!   statistics on a common time grid (scoped worker threads via
+//!   [`EnsembleOptions::threads`](ensemble::EnsembleOptions::threads));
+//! * [`lockstep`] — lockstep τ-leap replication batching: groups of
+//!   replications advance together and share one batched SoA propensity
+//!   rescan per round (`RateProgram::eval_batch_into`), bit-identical to
+//!   running each replication alone;
 //! * [`stats`] — running statistics and empirical summaries;
 //! * [`steady`] — sampling of the stationary regime (burn-in plus thinning),
 //!   used to compare the empirical steady state against the Birkhoff centre.
@@ -85,6 +90,7 @@ mod error;
 
 pub mod ensemble;
 pub mod gillespie;
+pub mod lockstep;
 pub mod policy;
 pub mod selection;
 pub mod stats;

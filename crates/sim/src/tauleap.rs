@@ -153,8 +153,9 @@ impl Default for TauLeapOptions {
 
 /// Highest order of any reaction *consuming* each species, bounded via
 /// the rates' species supports (see the module docs); species nothing
-/// consumes keep the neutral order 1.
-fn reactant_orders(simulator: &Simulator) -> Vec<f64> {
+/// consumes keep the neutral order 1. Shared with the lockstep ensemble
+/// engine (`crate::lockstep`), which must select identical step sizes.
+pub(crate) fn reactant_orders(simulator: &Simulator) -> Vec<f64> {
     let mut orders = vec![1.0_f64; simulator.model().dim()];
     for (k, class) in simulator.model().transitions().iter().enumerate() {
         let order = class
@@ -173,7 +174,7 @@ fn reactant_orders(simulator: &Simulator) -> Vec<f64> {
 /// expected move and spread within `max(ε·c_i/g_i, 1)` counts. Returns
 /// `f64::INFINITY` when no propensity can change the state (the caller's
 /// horizon then caps the step).
-fn select_tau(
+pub(crate) fn select_tau(
     epsilon: f64,
     counts: &[i64],
     rates: &[f64],
@@ -212,7 +213,7 @@ fn select_tau(
 /// Queries the parameter policy at `(t, x)` and validates or clamps its
 /// output against the model's parameter space — the same contract the
 /// exact engine applies at every event.
-fn query_theta(
+pub(crate) fn query_theta(
     simulator: &Simulator,
     policy: &mut dyn ParameterPolicy,
     options: &SimulationOptions,
