@@ -1,7 +1,8 @@
 //! Emits `BENCH_rate_engine.json`: the perf trajectory of the rate engine
 //! (interpreted tree vs bytecode VM, scalar vs batched SoA evaluation), of
-//! the Gillespie propensity and selection strategies, and of the τ-leap
-//! engine vs the exact SSA at large population scales.
+//! the Gillespie propensity and selection strategies, of the τ-leap
+//! engine vs the exact SSA at large population scales, and of the
+//! `mfu serve` artifact cache (cold vs hot query latency).
 //!
 //! Run from the repository root (ideally `--release`):
 //!
@@ -29,12 +30,14 @@
 use std::time::Instant;
 
 use mfu_bench::regression;
+use mfu_core::artifact::BoundMethod;
 use mfu_lang::scenarios::{ring_source, ScenarioRegistry};
 use mfu_lang::vm::RateProgram;
 use mfu_num::batch::{BatchTheta, SoaBatch};
 use mfu_num::ode::{Integrator, Rk4};
 use mfu_num::StateVec;
 use mfu_obs::Obs;
+use mfu_serve::{BoundRequest, QueryService, ServiceOptions};
 use mfu_sim::gillespie::{PropensityStrategy, SimulationOptions, Simulator};
 use mfu_sim::policy::ConstantPolicy;
 use mfu_sim::selection::SelectionStrategy;
@@ -623,6 +626,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget_on_step_ns = guarded_wall / guarded_events.max(1) as f64;
     let guard_overhead_ratio = budget_on_step_ns / metrics_off_step_ns;
 
+    // ---- served queries: artifact-cache cold vs hot latency --------------
+    // The `mfu serve` acceptance gauge: a repeated bound query must come
+    // out of the artifact cache at a latency ≥ 100× better than the cold
+    // hull computation that populated it (a hot answer costs one key hash
+    // and an `Arc` clone). Cold is the first hull query against a fresh
+    // in-process service; hot is the identical request replayed. `hot_ns`
+    // and `cold_ns` are regression-gated like every other timing leaf;
+    // `speedup_x` and `hit_ratio` document the run (the hit ratio is a
+    // deterministic function of the replay count).
+    let service = QueryService::new(ServiceOptions::default());
+    let served_request = BoundRequest {
+        model: Some("sir".to_string()),
+        source: None,
+        method: BoundMethod::Hull,
+        horizon: Some(1.0),
+        box_overrides: Vec::new(),
+    };
+    let cold = service
+        .bound(&served_request)
+        .map_err(|e| format!("served cold query failed: {e}"))?;
+    assert!(!cold.cache_hit, "fresh service answered from the cache");
+    let served_cold_ns = cold.elapsed_ns.max(1) as f64;
+    let mut served_hits = 0u64;
+    let served_hot_ns = median_ns(25, || {
+        let outcome = service.bound(&served_request).expect("hot query failed");
+        assert!(outcome.cache_hit, "replayed query missed the cache");
+        served_hits += 1;
+        outcome.artifact.lower[0]
+    })
+    .max(1.0);
+    let served_speedup = served_cold_ns / served_hot_ns;
+    let served_hit_ratio = served_hits as f64 / (served_hits + 1) as f64;
+
     // ---- report ----------------------------------------------------------
     let speedup = tree_ns / vm_ns;
     let mix_speedup = mix_tree_ns / mix_vm_ns;
@@ -732,12 +768,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"overhead_ratio\": {overhead_ratio:.3}}},\n    \
          \"guard_overhead_ring_K200\": {{\"budget_off_step_ns\": {metrics_off_step_ns:.2}, \
          \"budget_on_step_ns\": {budget_on_step_ns:.2}, \
-         \"overhead_ratio\": {guard_overhead_ratio:.3}}}\n  }}\n}}\n",
+         \"overhead_ratio\": {guard_overhead_ratio:.3}}}\n  }},\n",
         rc.events_fired,
         tc.tau_leap_steps,
         tc.tau_fallback_steps,
         tc.poisson_draws,
         tc.tau_halvings
+    ));
+    json.push_str(&format!(
+        "  \"served_query\": {{\n    \
+         \"scope\": \"in-process QueryService, sir hull bound at horizon 1.0\",\n    \
+         \"cold_ns\": {served_cold_ns:.0},\n    \
+         \"hot_ns\": {served_hot_ns:.0},\n    \
+         \"speedup_x\": {served_speedup:.0},\n    \
+         \"hits\": {served_hits},\n    \
+         \"misses\": 1,\n    \
+         \"hit_ratio\": {served_hit_ratio:.4}\n  }}\n}}\n"
     ));
 
     println!("{json}");
@@ -769,6 +815,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::process::exit(1);
         }
         eprintln!("batched width-1 eval overhead {batch_width1_overhead:.3} within the {cap} cap");
+        // the serve acceptance floor rides along with the overhead gate:
+        // a hot artifact-cache answer must beat the cold computation by
+        // at least two orders of magnitude
+        if served_speedup < 100.0 {
+            eprintln!(
+                "served-query assertion failed: hot/cold speedup {served_speedup:.0}x \
+                 is below the 100x floor ({served_cold_ns:.0} ns cold, \
+                 {served_hot_ns:.0} ns hot)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("served-query hot path {served_speedup:.0}x faster than cold (>= 100x floor)");
     }
     Ok(())
 }

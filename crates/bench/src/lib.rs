@@ -29,236 +29,15 @@ pub fn print_section(title: &str) {
 /// Bench-regression guard: parse `BENCH_*.json` reports and compare their
 /// timing metrics against a committed baseline.
 ///
-/// The vendored `serde` is a no-op stub (no `serde_json`), so this module
-/// carries a deliberately small recursive-descent JSON reader — enough for
-/// the reports this workspace emits (objects, arrays, numbers, strings,
-/// booleans, null) — plus the comparison rule CI enforces: every metric
-/// key ending in `_ns` present in *both* reports may grow by at most the
+/// The JSON value type, reader and `numeric_leaves` flattener are
+/// re-exported from [`mfu_core::json`] — the workspace-wide JSON layer
+/// with the escaping-correct writer shared by `BoundArtifact` and the
+/// `mfu-serve` line framing — so the guard reads exactly what the report
+/// binaries emit. This module adds only the comparison rule CI enforces:
+/// every gated metric present in *both* reports may grow by at most the
 /// given relative tolerance.
 pub mod regression {
-    use std::collections::BTreeMap;
-
-    /// A parsed JSON value (numbers as `f64`, objects in key order).
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Json {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        Bool(bool),
-        /// Any JSON number.
-        Number(f64),
-        /// A string (escape sequences decoded).
-        String(String),
-        /// An array.
-        Array(Vec<Json>),
-        /// An object, preserving declaration order is not needed for the
-        /// guard, so keys are sorted.
-        Object(BTreeMap<String, Json>),
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl<'a> Parser<'a> {
-        fn error(&self, message: &str) -> String {
-            format!("JSON parse error at byte {}: {message}", self.pos)
-        }
-
-        fn skip_ws(&mut self) {
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| b.is_ascii_whitespace())
-            {
-                self.pos += 1;
-            }
-        }
-
-        fn expect(&mut self, byte: u8) -> Result<(), String> {
-            if self.bytes.get(self.pos) == Some(&byte) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(self.error(&format!("expected `{}`", byte as char)))
-            }
-        }
-
-        fn value(&mut self) -> Result<Json, String> {
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Json::String(self.string()?)),
-                Some(b't') => self.literal("true", Json::Bool(true)),
-                Some(b'f') => self.literal("false", Json::Bool(false)),
-                Some(b'n') => self.literal("null", Json::Null),
-                Some(_) => self.number(),
-                None => Err(self.error("unexpected end of input")),
-            }
-        }
-
-        fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
-            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-                self.pos += text.len();
-                Ok(value)
-            } else {
-                Err(self.error(&format!("expected `{text}`")))
-            }
-        }
-
-        fn object(&mut self) -> Result<Json, String> {
-            self.expect(b'{')?;
-            let mut entries = BTreeMap::new();
-            self.skip_ws();
-            if self.bytes.get(self.pos) == Some(&b'}') {
-                self.pos += 1;
-                return Ok(Json::Object(entries));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                entries.insert(key, self.value()?);
-                self.skip_ws();
-                match self.bytes.get(self.pos) {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Json::Object(entries));
-                    }
-                    _ => return Err(self.error("expected `,` or `}`")),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Json, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.bytes.get(self.pos) == Some(&b']') {
-                self.pos += 1;
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.bytes.get(self.pos) {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    _ => return Err(self.error("expected `,` or `]`")),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.bytes.get(self.pos) {
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        let escaped = *self
-                            .bytes
-                            .get(self.pos)
-                            .ok_or_else(|| self.error("dangling escape"))?;
-                        self.pos += 1;
-                        match escaped {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'n' => out.push('\n'),
-                            b't' => out.push('\t'),
-                            b'r' => out.push('\r'),
-                            other => {
-                                return Err(self
-                                    .error(&format!("unsupported escape `\\{}`", other as char)))
-                            }
-                        }
-                    }
-                    Some(&b) => {
-                        out.push(b as char);
-                        self.pos += 1;
-                    }
-                    None => return Err(self.error("unterminated string")),
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Json, String> {
-            let start = self.pos;
-            while self.bytes.get(self.pos).is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-            }) {
-                self.pos += 1;
-            }
-            std::str::from_utf8(&self.bytes[start..self.pos])
-                .ok()
-                .and_then(|text| text.parse::<f64>().ok())
-                .map(Json::Number)
-                .ok_or_else(|| self.error("malformed number"))
-        }
-    }
-
-    /// Parses one JSON document (trailing whitespace allowed, trailing
-    /// garbage rejected).
-    ///
-    /// # Errors
-    ///
-    /// Returns a byte-positioned message on malformed input.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut parser = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(parser.error("trailing garbage after document"));
-        }
-        Ok(value)
-    }
-
-    /// Flattens every numeric leaf into a `dotted.path → value` map
-    /// (array indices become path segments).
-    pub fn numeric_leaves(json: &Json) -> BTreeMap<String, f64> {
-        let mut out = BTreeMap::new();
-        collect(json, String::new(), &mut out);
-        out
-    }
-
-    fn collect(json: &Json, path: String, out: &mut BTreeMap<String, f64>) {
-        match json {
-            Json::Number(value) => {
-                out.insert(path, *value);
-            }
-            Json::Object(entries) => {
-                for (key, value) in entries {
-                    let child = if path.is_empty() {
-                        key.clone()
-                    } else {
-                        format!("{path}.{key}")
-                    };
-                    collect(value, child, out);
-                }
-            }
-            Json::Array(items) => {
-                for (index, value) in items.iter().enumerate() {
-                    collect(value, format!("{path}.{index}"), out);
-                }
-            }
-            Json::Null | Json::Bool(_) | Json::String(_) => {}
-        }
-    }
+    pub use mfu_core::json::{numeric_leaves, parse, Json};
 
     /// One metric that regressed beyond the tolerance.
     #[derive(Debug, Clone, PartialEq)]

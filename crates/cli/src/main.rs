@@ -7,6 +7,8 @@
 //! mfu check model.mfu                # compile + per-rule lowering report
 //! mfu run model.mfu --bound I@3      # Pontryagin bounds on a coordinate
 //! mfu run gps --simulate 2000        # registry scenario + one SSA run
+//! mfu serve --addr 127.0.0.1:7464    # long-running cached query service
+//! mfu query sir --method hull        # one query against a running server
 //! ```
 //!
 //! A target is a `.mfu` file (or any existing path) or the name of a
@@ -37,6 +39,23 @@ USAGE:
     mfu list-scenarios
     mfu check <model.mfu | scenario>
     mfu run   <model.mfu | scenario> [options]
+    mfu serve [--addr <host:port>] [--cache-cap <n>]
+    mfu query [<model.mfu | scenario>] [query options]
+
+SERVE OPTIONS:
+    --addr <host:port>       listen address (default 127.0.0.1:7464; port 0
+                             binds an ephemeral port, echoed on stdout)
+    --cache-cap <n>          bound-artifact cache capacity (default 64;
+                             least-recently-used eviction past it)
+
+QUERY OPTIONS:
+    --addr <host:port>       server address (default 127.0.0.1:7464)
+    --method <m>             bounding method: hull | pontryagin
+                             (default pontryagin)
+    --horizon <t>            analysis horizon (default: the scenario's)
+    --box <param=lo:hi>      override one parameter interval (repeatable)
+    --stats                  ask for cache statistics instead of bounds
+    --shutdown               ask the server to stop instead of bounds
 
 RUN OPTIONS:
     --bound <coord>@<time>   coordinate (species name or index) and horizon
@@ -92,7 +111,34 @@ enum Command {
     Check { target: String },
     /// `mfu run <target> [options]`
     Run { target: String, options: RunOptions },
+    /// `mfu serve [--addr ...] [--cache-cap ...]`
+    Serve { addr: String, cache_cap: usize },
+    /// `mfu query [target] [query options]`
+    Query { addr: String, request: QueryRequest },
 }
+
+/// What `mfu query` asks the server.
+#[derive(Debug, Clone, PartialEq)]
+enum QueryRequest {
+    /// Bound a target: registry scenario name, or a `.mfu` file sent inline.
+    Bound {
+        /// Scenario name or model file.
+        target: String,
+        /// `hull` or `pontryagin`.
+        method: String,
+        /// `--horizon`.
+        horizon: Option<f64>,
+        /// `--box param=lo:hi`, in flag order.
+        box_overrides: Vec<(String, f64, f64)>,
+    },
+    /// `--stats`.
+    Stats,
+    /// `--shutdown`.
+    Shutdown,
+}
+
+/// Default address `mfu serve` listens on and `mfu query` talks to.
+const DEFAULT_ADDR: &str = "127.0.0.1:7464";
 
 /// `--metrics` reporting format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -353,6 +399,105 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Run { target, options })
+        }
+        "serve" => {
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut cache_cap = 64usize;
+            while let Some(flag) = it.next() {
+                let mut value =
+                    |what: &str| it.next().ok_or(format!("`{flag}` needs {what}")).cloned();
+                match flag.as_str() {
+                    "--addr" => addr = value("a host:port address")?,
+                    "--cache-cap" => {
+                        cache_cap = value("a capacity")?
+                            .parse()
+                            .map_err(|e| format!("`--cache-cap`: {e}"))?;
+                    }
+                    other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+                }
+            }
+            Ok(Command::Serve { addr, cache_cap })
+        }
+        "query" => {
+            let mut addr = DEFAULT_ADDR.to_string();
+            let mut target: Option<String> = None;
+            let mut method = "pontryagin".to_string();
+            let mut horizon: Option<f64> = None;
+            let mut box_overrides: Vec<(String, f64, f64)> = Vec::new();
+            let mut stats = false;
+            let mut shutdown = false;
+            while let Some(arg) = it.next() {
+                let mut value =
+                    |what: &str| it.next().ok_or(format!("`{arg}` needs {what}")).cloned();
+                match arg.as_str() {
+                    "--addr" => addr = value("a host:port address")?,
+                    "--method" => {
+                        method = value("hull or pontryagin")?;
+                        if !matches!(method.as_str(), "hull" | "pontryagin") {
+                            return Err(format!(
+                                "`--method {method}`: expected hull or pontryagin"
+                            ));
+                        }
+                    }
+                    "--horizon" => {
+                        let spec = value("a horizon")?;
+                        let t: f64 = spec
+                            .parse()
+                            .map_err(|_| format!("`--horizon`: bad horizon `{spec}`"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(format!(
+                                "`--horizon {spec}`: horizon must be positive and finite"
+                            ));
+                        }
+                        horizon = Some(t);
+                    }
+                    "--box" => {
+                        let spec = value("a param=lo:hi override")?;
+                        let (name, range) = spec
+                            .split_once('=')
+                            .ok_or(format!("`--box {spec}`: expected param=lo:hi"))?;
+                        let (lo, hi) = range
+                            .split_once(':')
+                            .ok_or(format!("`--box {spec}`: expected param=lo:hi"))?;
+                        let lo: f64 = lo
+                            .parse()
+                            .map_err(|_| format!("`--box {spec}`: bad lower bound `{lo}`"))?;
+                        let hi: f64 = hi
+                            .parse()
+                            .map_err(|_| format!("`--box {spec}`: bad upper bound `{hi}`"))?;
+                        box_overrides.push((name.to_string(), lo, hi));
+                    }
+                    "--stats" => stats = true,
+                    "--shutdown" => shutdown = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown option `{other}`\n\n{USAGE}"));
+                    }
+                    other => {
+                        if target.replace(other.to_string()).is_some() {
+                            return Err("`query` takes at most one target".into());
+                        }
+                    }
+                }
+            }
+            let request = match (stats, shutdown, target) {
+                (true, false, None) => QueryRequest::Stats,
+                (false, true, None) => QueryRequest::Shutdown,
+                (false, false, Some(target)) => QueryRequest::Bound {
+                    target,
+                    method,
+                    horizon,
+                    box_overrides,
+                },
+                (false, false, None) => {
+                    return Err("`query` needs a target, `--stats` or `--shutdown`".into())
+                }
+                _ => {
+                    return Err(
+                        "`query` takes a target, `--stats` or `--shutdown` — exactly one".into(),
+                    )
+                }
+            };
+            Ok(Command::Query { addr, request })
         }
         "--help" | "-h" | "help" => Err(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -681,11 +826,89 @@ fn cmd_run(target: &str, options: &RunOptions) -> Result<String, String> {
     Ok(out)
 }
 
+/// Starts the query service and blocks until a client sends `shutdown`.
+///
+/// The bound address is echoed (and flushed) *before* the accept loop so
+/// scripts can start the server in the background and scrape the port.
+fn cmd_serve(addr: &str, cache_cap: usize) -> Result<String, String> {
+    use std::io::Write as _;
+    let options = mfu_serve::ServiceOptions {
+        artifact_cap: cache_cap,
+        ..Default::default()
+    };
+    let service = mfu_serve::QueryService::new(options);
+    let server = mfu_serve::Server::bind(addr, service)
+        .map_err(|e| format!("`mfu serve`: cannot bind `{addr}`: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("`mfu serve`: {e}"))?;
+    println!("listening on {bound}");
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("`mfu serve`: {e}"))?;
+    Ok("server stopped\n".to_string())
+}
+
+/// Sends one request line to a running server and prints the response.
+fn cmd_query(addr: &str, request: &QueryRequest) -> Result<String, String> {
+    use mfu_core::json::Json;
+    let line = match request {
+        QueryRequest::Stats => Json::object([("op", Json::string("stats"))]).render(),
+        QueryRequest::Shutdown => Json::object([("op", Json::string("shutdown"))]).render(),
+        QueryRequest::Bound {
+            target,
+            method,
+            horizon,
+            box_overrides,
+        } => {
+            let mut entries = vec![("op", Json::string("bound"))];
+            // A file target ships its source inline; anything else is a
+            // registry scenario name resolved server-side.
+            let path = Path::new(target);
+            let source;
+            if path.is_file() || target.ends_with(".mfu") {
+                source = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{target}`: {e}"))?;
+                entries.push(("source", Json::string(&*source)));
+            } else {
+                entries.push(("model", Json::string(&**target)));
+            }
+            entries.push(("method", Json::string(&**method)));
+            if let Some(t) = horizon {
+                entries.push(("horizon", Json::Number(*t)));
+            }
+            if !box_overrides.is_empty() {
+                entries.push((
+                    "box",
+                    Json::object(
+                        box_overrides
+                            .iter()
+                            .map(|(name, lo, hi)| (name.clone(), Json::numbers([*lo, *hi])))
+                            .collect::<Vec<_>>(),
+                    ),
+                ));
+            }
+            Json::object(entries.into_iter().map(|(k, v)| (k.to_string(), v))).render()
+        }
+    };
+    let response = mfu_serve::query_line(addr, &line)
+        .map_err(|e| format!("`mfu query`: cannot reach `{addr}`: {e}"))?;
+    let ok = mfu_core::json::parse(&response)
+        .ok()
+        .and_then(|json| json.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    if !ok {
+        return Err(format!("server error: {response}"));
+    }
+    Ok(format!("{response}\n"))
+}
+
 fn dispatch(command: &Command) -> Result<String, String> {
     match command {
         Command::ListScenarios => cmd_list_scenarios(),
         Command::Check { target } => cmd_check(target),
         Command::Run { target, options } => cmd_run(target, options),
+        Command::Serve { addr, cache_cap } => cmd_serve(addr, *cache_cap),
+        Command::Query { addr, request } => cmd_query(addr, request),
     }
 }
 
@@ -748,6 +971,73 @@ mod tests {
             PropensityStrategy::IncrementalTotal { refresh_every: 64 }
         );
         assert_eq!(options.selection, SelectionStrategy::SumTree);
+    }
+
+    #[test]
+    fn parses_serve_and_query() {
+        assert_eq!(
+            parse_args(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                cache_cap: 64
+            }
+        );
+        assert_eq!(
+            parse_args(&args("serve --addr 127.0.0.1:0 --cache-cap 8")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                cache_cap: 8
+            }
+        );
+        assert_eq!(
+            parse_args(&args("query --stats")).unwrap(),
+            Command::Query {
+                addr: DEFAULT_ADDR.into(),
+                request: QueryRequest::Stats
+            }
+        );
+        assert_eq!(
+            parse_args(&args("query --addr 127.0.0.1:9999 --shutdown")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:9999".into(),
+                request: QueryRequest::Shutdown
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "query sir --method hull --horizon 1.5 --box contact=2:5"
+            ))
+            .unwrap(),
+            Command::Query {
+                addr: DEFAULT_ADDR.into(),
+                request: QueryRequest::Bound {
+                    target: "sir".into(),
+                    method: "hull".into(),
+                    horizon: Some(1.5),
+                    box_overrides: vec![("contact".into(), 2.0, 5.0)],
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_serve_and_query_usage() {
+        for line in [
+            "serve --cache-cap many",
+            "serve --unknown",
+            "query",
+            "query --stats --shutdown",
+            "query sir --stats",
+            "query sir --method simplex",
+            "query sir --horizon -1",
+            "query sir --box contact=2",
+            "query sir extra",
+        ] {
+            assert!(
+                parse_args(&args(line)).is_err(),
+                "`{line}` should not parse"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! * [`robust`] — robust tuning of design parameters against worst-case
 //!   imprecise behaviour (Section VI-C).
 //!
+//! Two infrastructure modules round the analyses out: [`artifact`] defines
+//! the serializable [`artifact::BoundArtifact`] every bounding method can
+//! produce (the shared currency of the CLI, the `mfu-serve` caches and the
+//! benches), and [`json`] is the workspace's hand-rolled JSON
+//! reader/writer backing it (the vendored `serde` is a no-op stub).
+//!
 //! # Quick start
 //!
 //! Bound the transient behaviour of a one-dimensional imprecise model:
@@ -61,11 +67,13 @@
 
 mod error;
 
+pub mod artifact;
 pub mod asymptotic;
 pub mod birkhoff;
 pub mod drift;
 pub mod hull;
 pub mod inclusion;
+pub mod json;
 pub mod pontryagin;
 pub mod reachability;
 pub mod robust;

@@ -30,6 +30,21 @@ use crate::drift::ImpreciseDrift;
 use crate::signal::GridParamSignal;
 use crate::{CoreError, Result};
 
+/// Acceptance cap on `‖J‖∞ · h` for the frozen-midpoint costate Jacobian.
+///
+/// The backward sweep freezes the Jacobian per interval, so one costate RK4
+/// step amplifies `p` by up to `e^{‖J‖∞·h}`. Past the RK4 stability scale
+/// (|λh| ≈ 2.8 on the real axis) the frozen-matrix step resolves nothing —
+/// either the interval is genuinely too stiff for the grid, or (the common
+/// case for guarded rates) the finite-difference stencil straddled a drift
+/// discontinuity and the quotient is a jump artefact of order
+/// `Δf / (2·jacobian_step)`, not a derivative. Such matrices are zeroed like
+/// a failed evaluation (no costate motion on that interval) instead of being
+/// integrated into an overflow. Smooth population drifts sit orders of
+/// magnitude below this cap, so the gate is exercised only by discontinuous
+/// models.
+const MAX_COSTATE_STEP_GROWTH: f64 = 2.5;
+
 /// A linear terminal objective `weights · x(T)`, maximised or minimised.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinearObjective {
@@ -798,7 +813,9 @@ impl PontryaginSolver {
                     )
                     .is_ok()
                 };
-                if !jacobian_ok {
+                // A matrix the costate step cannot resolve (see
+                // `MAX_COSTATE_STEP_GROWTH`) counts as a failed evaluation.
+                if !jacobian_ok || jac.inf_norm() * h > MAX_COSTATE_STEP_GROWTH {
                     jac.fill_zero();
                 }
                 let jac_ref = &jac;

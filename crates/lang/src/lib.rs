@@ -159,6 +159,7 @@ pub mod ast;
 pub mod compile;
 pub mod diagnostics;
 pub mod expr;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod scenarios;
@@ -168,6 +169,7 @@ pub mod vm;
 
 pub use compile::{CompiledModel, DslDrift};
 pub use diagnostics::{Diagnostic, LangError, Span};
+pub use hash::{model_hash, source_hash, ModelHash, ModelInterner};
 pub use scenarios::{Scenario, ScenarioRegistry};
 pub use validate::ResolvedModel;
 pub use vm::{ProgramSet, RateProgram};

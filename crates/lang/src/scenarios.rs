@@ -142,8 +142,8 @@ impl ScenarioRegistry {
     }
 
     /// A registry pre-populated with the built-in scenarios
-    /// (`botnet`, `gps`, `gps_poisson`, `grid_6x6`, `load_balancer`,
-    /// `ring_48`, `seir`, `sir`, `sir_1e6`, `sis`).
+    /// (`bike`, `botnet`, `gps`, `gps_poisson`, `grid_6x6`,
+    /// `load_balancer`, `ring_48`, `seir`, `sir`, `sir_1e6`, `sis`).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
         for scenario in builtins() {
@@ -232,6 +232,25 @@ const b = 1;
 rule infect:  S -> I @ contact * S * I;
 rule recover: I -> S @ b * I;
 init I = 0.2, S = 0.8;
+";
+
+/// The single-station bike-sharing model of Sections II–III
+/// (`BikeStationModel::symmetric()`), written conservatively on
+/// (occupied, empty) racks so the reduced drift is the paper's
+/// one-dimensional occupancy dynamics. Both guarded rates reference only
+/// `B`, so the reduced drift matches `BikeStationModel::drift` exactly
+/// (`B < 1` is `E > 0` under conservation).
+pub const BIKE_SOURCE: &str = "\
+model bike;
+// Single bike station: B occupied racks, E empty racks. Pick-ups and
+// returns switch off at the boundaries, making the drift discontinuous —
+// the paper's running example for imprecise parameters.
+species B, E;
+param pickup in [0.5, 1.5];
+param giveback in [0.5, 1.5];
+rule take:    B -> E @ when B > 0 { pickup } else { 0 };
+rule restock: E -> B @ when B < 1 { giveback } else { 0 };
+init B = 0.5, E = 0.5;
 ";
 
 /// The SEIR variant (`SeirModel::sir_like()`): SIR parameters plus a
@@ -573,6 +592,16 @@ fn builtins() -> Vec<Scenario> {
             8.0,
             0,
         ),
+        // A realistic station has a few dozen racks, so the stochastic
+        // boundary effects the paper discusses are visible at this scale.
+        Scenario::new(
+            "bike",
+            "single-station bike sharing with imprecise pick-up and return rates (Sections II-III)",
+            BIKE_SOURCE,
+            2.0,
+            0,
+        )
+        .with_default_scale(40),
         Scenario::new(
             "seir",
             "SEIR epidemic: SIR parameters plus a latency stage",
@@ -632,6 +661,7 @@ mod tests {
         assert_eq!(
             registry.names(),
             vec![
+                "bike",
                 "botnet",
                 "gps",
                 "gps_poisson",
@@ -644,7 +674,7 @@ mod tests {
                 "sis"
             ]
         );
-        assert_eq!(registry.len(), 10);
+        assert_eq!(registry.len(), 11);
         assert!(!registry.is_empty());
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap_or_else(|e| {

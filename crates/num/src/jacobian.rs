@@ -69,6 +69,25 @@ impl Jacobian {
         self.data.fill(0.0);
     }
 
+    /// The induced `∞`-norm `max_i Σ_j |J_ij|` (maximum absolute row sum).
+    ///
+    /// `‖J‖∞ · h` bounds the per-step growth factor a frozen-Jacobian
+    /// integrator can impose, which makes this the natural gauge for "is
+    /// this matrix resolvable at step `h`". Non-finite entries propagate
+    /// (the result is non-finite), so callers can fold the finiteness check
+    /// into the same comparison.
+    pub fn inf_norm(&self) -> f64 {
+        let mut norm = 0.0_f64;
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            let sum = row.iter().fold(0.0_f64, |s, v| s + v.abs());
+            if sum.is_nan() {
+                return f64::NAN;
+            }
+            norm = norm.max(sum);
+        }
+        norm
+    }
+
     /// Computes `Jᵀ p`, the product of the transposed Jacobian with a vector.
     ///
     /// This is exactly the contraction appearing in the costate equation
@@ -416,5 +435,19 @@ mod tests {
         assert!(jac.transpose_mul_into(&p, &mut wrong).is_err());
         jac.fill_zero();
         assert_eq!(jac.entry(1, 0), 0.0);
+    }
+
+    #[test]
+    fn inf_norm_is_the_max_absolute_row_sum() {
+        let mut jac = Jacobian::zeros(2, 3);
+        jac.set_entry(0, 0, 1.0);
+        jac.set_entry(0, 1, -2.0);
+        jac.set_entry(0, 2, 0.5);
+        jac.set_entry(1, 0, -1.0);
+        jac.set_entry(1, 1, 1.0);
+        assert_eq!(jac.inf_norm(), 3.5);
+        assert_eq!(Jacobian::zeros(0, 0).inf_norm(), 0.0);
+        jac.set_entry(1, 2, f64::NAN);
+        assert!(jac.inf_norm().is_nan());
     }
 }

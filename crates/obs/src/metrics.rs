@@ -15,8 +15,9 @@ use std::time::Instant;
 /// Monotonic event counters recorded by the engines.
 ///
 /// Names are grouped by crate: `Sim*` from `mfu-sim`, `Core*` from
-/// `mfu-core`, `Lang*` from `mfu-lang`. The snapshot renders each as the
-/// snake-case of its variant name (e.g. `sim_events_fired`).
+/// `mfu-core`, `Lang*` from `mfu-lang`, `Serve*` from `mfu-serve`. The
+/// snapshot renders each as the snake-case of its variant name (e.g.
+/// `sim_events_fired`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum Counter {
@@ -61,11 +62,21 @@ pub enum Counter {
     CoreHullVertexEvals,
     /// DSL rules lowered to rate programs under observation.
     LangRulesLowered,
+    /// Bound-artifact cache hits served by `mfu-serve`.
+    ServeArtifactHits,
+    /// Bound-artifact cache misses (each one ran a bounding engine cold).
+    ServeArtifactMisses,
+    /// Bound artifacts evicted from the serve cache by the LRU bound.
+    ServeArtifactEvictions,
+    /// Compiled-model interner hits inside the query service.
+    ServeModelHits,
+    /// Compiled-model interner misses (each one compiled a model).
+    ServeModelMisses,
 }
 
 impl Counter {
     /// Every counter, in snapshot rendering order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 24] = [
         Counter::SimEventsFired,
         Counter::SimPropensityEvals,
         Counter::SimPropensitySkips,
@@ -85,6 +96,11 @@ impl Counter {
         Counter::CorePontryaginEscalations,
         Counter::CoreHullVertexEvals,
         Counter::LangRulesLowered,
+        Counter::ServeArtifactHits,
+        Counter::ServeArtifactMisses,
+        Counter::ServeArtifactEvictions,
+        Counter::ServeModelHits,
+        Counter::ServeModelMisses,
     ];
 
     /// Snake-case snapshot name.
@@ -110,6 +126,11 @@ impl Counter {
             Counter::CorePontryaginEscalations => "core_pontryagin_escalations",
             Counter::CoreHullVertexEvals => "core_hull_vertex_evals",
             Counter::LangRulesLowered => "lang_rules_lowered",
+            Counter::ServeArtifactHits => "serve_artifact_hits",
+            Counter::ServeArtifactMisses => "serve_artifact_misses",
+            Counter::ServeArtifactEvictions => "serve_artifact_evictions",
+            Counter::ServeModelHits => "serve_model_hits",
+            Counter::ServeModelMisses => "serve_model_misses",
         }
     }
 }

@@ -1,0 +1,203 @@
+//! The TCP front-end: line-delimited JSON over a plain socket.
+//!
+//! `nc`-friendly by construction — one request per line, one response
+//! line back — because the vendored HTTP-adjacent dependencies are stubs
+//! and a framing protocol this small needs none of them. Each accepted
+//! connection gets a thread; handlers share the [`QueryService`] (whose
+//! lock covers only cache bookkeeping, so concurrent cold queries
+//! overlap). A `shutdown` request flips an atomic flag and the handler
+//! then pokes the listener with a loopback connect so the blocking
+//! `accept` wakes up and observes the flag.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::service::QueryService;
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7464"`, port `0` for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, service: QueryService) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared query service (for in-process inspection in tests).
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Accepts and serves connections until a client sends `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (per-connection I/O errors only end
+    /// that connection).
+    pub fn run(&self) -> std::io::Result<()> {
+        let local = self.local_addr()?;
+        std::thread::scope(|scope| {
+            for connection in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = connection?;
+                let service = Arc::clone(&self.service);
+                let shutdown = Arc::clone(&self.shutdown);
+                scope.spawn(move || handle_connection(stream, &service, &shutdown, local));
+            }
+            Ok(())
+        })
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = service.handle_line(&line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so `run` observes the flag.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+}
+
+/// One-shot client: sends `line` to `addr` and returns the response line.
+///
+/// # Errors
+///
+/// Propagates connection and I/O failures; an empty response (server
+/// closed early) is reported as [`std::io::ErrorKind::UnexpectedEof`].
+pub fn query_line(addr: &str, line: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let read = reader.read_line(&mut response)?;
+    if read == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection before responding",
+        ));
+    }
+    while response.ends_with('\n') || response.ends_with('\r') {
+        response.pop();
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceOptions;
+    use mfu_core::hull::HullOptions;
+    use mfu_core::json::{parse, Json};
+
+    fn test_server() -> (std::thread::JoinHandle<std::io::Result<()>>, String) {
+        let options = ServiceOptions {
+            artifact_cap: 8,
+            hull: HullOptions {
+                step: 1e-2,
+                time_intervals: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::bind("127.0.0.1:0", QueryService::new(options)).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        (handle, addr)
+    }
+
+    #[test]
+    fn round_trip_over_tcp_hits_on_the_second_query() {
+        let (handle, addr) = test_server();
+        let request = r#"{"op":"bound","model":"sir","method":"hull","horizon":0.5}"#;
+        let first = parse(&query_line(&addr, request).unwrap()).unwrap();
+        assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+        let second = parse(&query_line(&addr, request).unwrap()).unwrap();
+        assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(second.get("cache_hit").and_then(Json::as_f64), Some(1.0));
+
+        let stats = parse(&query_line(&addr, r#"{"op":"stats"}"#).unwrap()).unwrap();
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("artifact_len"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+
+        let bye = parse(&query_line(&addr, r#"{"op":"shutdown"}"#).unwrap()).unwrap();
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn errors_come_back_as_json_lines() {
+        let (handle, addr) = test_server();
+        let response =
+            query_line(&addr, r#"{"op":"bound","model":"sri","method":"hull"}"#).unwrap();
+        let parsed = parse(&response).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(parsed
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("sri"));
+        query_line(&addr, r#"{"op":"shutdown"}"#).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

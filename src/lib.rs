@@ -22,7 +22,11 @@
 //! * [`lang`] — a textual model DSL for imprecise population CTMCs with a
 //!   scenario registry, compiling to both the population and the drift
 //!   backends (guarded/piecewise rates, shared `let` subexpressions, a
-//!   bytecode rate engine — see `docs/mfu-lang.md`).
+//!   bytecode rate engine — see `docs/mfu-lang.md`), plus canonical model
+//!   hashing and content-addressed interning;
+//! * [`serve`] — a long-running query service: compiled-model and
+//!   bound-artifact caches behind a line-delimited-JSON-over-TCP protocol
+//!   (`mfu serve` / `mfu query`).
 //!
 //! The `mfu` command-line front-end (`crates/cli`, not re-exported here)
 //! runs, checks and lists models without writing Rust:
@@ -59,4 +63,5 @@ pub use mfu_lang as lang;
 pub use mfu_models as models;
 pub use mfu_num as num;
 pub use mfu_obs as obs;
+pub use mfu_serve as serve;
 pub use mfu_sim as sim;

@@ -205,6 +205,43 @@ fn gps_drifts_agree_between_native_and_dsl() {
 }
 
 #[test]
+fn bike_native_drift_and_dsl_reduced_drift_are_identical() {
+    // The registry's `bike` scenario is the 2-species conservative spelling
+    // of `BikeStationModel`; its reduced drift must reproduce the native
+    // 1-dimensional occupancy dynamics bit for bit, boundary guards
+    // included (`B < 1` is exactly `E > 0` under conservation).
+    use mean_field_uncertain::core::drift::ImpreciseDrift;
+    use mean_field_uncertain::models::bike::BikeStationModel;
+    use mean_field_uncertain::num::StateVec;
+
+    let bike = BikeStationModel::symmetric();
+    let native = bike.drift();
+    let model = mean_field_uncertain::lang::ScenarioRegistry::with_builtins()
+        .compile("bike")
+        .expect("bike scenario compiles");
+    assert!(model.is_conservative(), "bike must conserve total racks");
+    let reduced = model.reduced_drift();
+    assert_eq!(reduced.dim(), 1, "reduced drift lives on the occupancy");
+    assert_eq!(
+        model.reduced_initial_state().as_slice(),
+        bike.initial_state().as_slice()
+    );
+
+    for occupancy in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let x = StateVec::from([occupancy]);
+        for theta in [[0.5, 0.5], [0.5, 1.5], [1.5, 0.5], [1.5, 1.5], [1.0, 1.3]] {
+            let a = native.drift(&x, &theta)[0];
+            let b = reduced.drift(&x, &theta)[0];
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "bike drift differs at B = {occupancy}, theta = {theta:?}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn gps_rates_stay_guarded_at_the_empty_queue_corner() {
     // The whole point of the `when` guard: the service rates are 0, not
     // NaN, when both queues are empty — in both representations.

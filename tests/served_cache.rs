@@ -1,0 +1,156 @@
+//! The `mfu serve` artifact cache must be invisible: a cached answer has
+//! to be bit-identical to the cold computation it replaced, for every
+//! registry scenario and both bounding methods. These tests sweep the
+//! registry through an in-process [`QueryService`] and compare, bit for
+//! bit,
+//!
+//! * the hot (cache-hit) artifact against a cold recomputation on a
+//!   *fresh* service — which simultaneously proves cold determinism,
+//! * the responses a crowd of concurrent clients receive for the same
+//!   query racing a single shared service.
+//!
+//! The cache-internal properties (LRU determinism, content-hash dedup,
+//! eviction counting) live in `crates/serve`; this is the end-to-end
+//! half over the real scenario registry.
+
+use mean_field_uncertain::core::artifact::{BoundArtifact, BoundMethod};
+use mean_field_uncertain::core::hull::HullOptions;
+use mean_field_uncertain::core::pontryagin::PontryaginOptions;
+use mean_field_uncertain::lang::scenarios::ScenarioRegistry;
+use mean_field_uncertain::serve::{BoundRequest, QueryService, ServiceOptions};
+
+/// The hull's rectangle-point enumeration is exponential in the dimension,
+/// so the sweep keeps to the models both methods can bound in test time
+/// (same cap as `tests/batch_invariance.rs`).
+const MAX_DIM: usize = 6;
+
+/// Fast-but-real analysis options: coarse enough for a full registry
+/// sweep, fine enough that every computation exercises the real solvers.
+fn fast_options() -> ServiceOptions {
+    ServiceOptions {
+        hull: HullOptions {
+            step: 1e-2,
+            time_intervals: 10,
+            ..Default::default()
+        },
+        pontryagin: PontryaginOptions {
+            grid_intervals: 40,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn assert_artifacts_bit_identical(a: &BoundArtifact, b: &BoundArtifact, what: &str) {
+    assert_eq!(a.model, b.model, "{what}: model name");
+    assert_eq!(a.model_hash, b.model_hash, "{what}: model hash");
+    assert_eq!(a.method, b.method, "{what}: method");
+    assert_eq!(a.horizon.to_bits(), b.horizon.to_bits(), "{what}: horizon");
+    assert_eq!(a.species, b.species, "{what}: species");
+    assert_eq!(a.truncated, b.truncated, "{what}: truncation flag");
+    assert_eq!(a.param_box.len(), b.param_box.len(), "{what}: box size");
+    for (ra, rb) in a.param_box.iter().zip(&b.param_box) {
+        assert_eq!(ra.name, rb.name, "{what}: box param name");
+        assert_eq!(ra.lo.to_bits(), rb.lo.to_bits(), "{what}: `{}` lo", ra.name);
+        assert_eq!(ra.hi.to_bits(), rb.hi.to_bits(), "{what}: `{}` hi", ra.name);
+    }
+    assert_eq!(a.lower.len(), b.lower.len(), "{what}: lower length");
+    for (i, (va, vb)) in a.lower.iter().zip(&b.lower).enumerate() {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: lower bound differs at coordinate {i}: {va} vs {vb}"
+        );
+    }
+    assert_eq!(a.upper.len(), b.upper.len(), "{what}: upper length");
+    for (i, (va, vb)) in a.upper.iter().zip(&b.upper).enumerate() {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: upper bound differs at coordinate {i}: {va} vs {vb}"
+        );
+    }
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_cold_recomputation_across_the_registry() {
+    let registry = ScenarioRegistry::with_builtins();
+    let mut checked = 0usize;
+    for scenario in registry.iter() {
+        let model = scenario.compile().unwrap();
+        if model.dim() > MAX_DIM {
+            continue;
+        }
+        for method in [BoundMethod::Hull, BoundMethod::Pontryagin] {
+            let request = BoundRequest {
+                model: Some(scenario.name().to_string()),
+                source: None,
+                method,
+                horizon: Some(scenario.horizon().min(1.0)),
+                box_overrides: Vec::new(),
+            };
+            let what = format!("{} / {}", scenario.name(), method.name());
+
+            let warm = QueryService::new(fast_options());
+            let cold = warm.bound(&request).unwrap_or_else(|e| {
+                panic!("{what}: cold query failed: {e}");
+            });
+            assert!(!cold.cache_hit, "{what}: fresh service reported a hit");
+            let hot = warm.bound(&request).expect("hot query failed");
+            assert!(hot.cache_hit, "{what}: replayed query missed the cache");
+            // a hit shares the cached artifact outright…
+            assert!(
+                std::sync::Arc::ptr_eq(&cold.artifact, &hot.artifact),
+                "{what}: hit did not return the cached artifact"
+            );
+
+            // …and that artifact matches an independent cold run bit for
+            // bit, so caching can never change an answer — and the cold
+            // computation itself is deterministic.
+            let fresh = QueryService::new(fast_options());
+            let recomputed = fresh.bound(&request).expect("recomputation failed");
+            assert!(!recomputed.cache_hit, "{what}: fresh service hit");
+            assert_artifacts_bit_identical(&hot.artifact, &recomputed.artifact, &what);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "only {checked} scenarios fit the sweep");
+}
+
+#[test]
+fn concurrent_clients_racing_one_service_get_identical_answers() {
+    // Eight clients fire the same cold query at one shared service. The
+    // compute-outside-the-lock design may let several threads compute
+    // redundantly, but every response must carry bit-identical bounds and
+    // at least one response must be served from the cache once it warms.
+    let service = QueryService::new(fast_options());
+    let request = BoundRequest {
+        model: Some("sir".to_string()),
+        source: None,
+        method: BoundMethod::Hull,
+        horizon: Some(1.0),
+        box_overrides: Vec::new(),
+    };
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    let first = service.bound(&request).expect("racing query failed");
+                    // a second round per client is guaranteed warm
+                    let second = service.bound(&request).expect("warm query failed");
+                    (first, second)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let reference = &outcomes[0].0.artifact;
+    let mut hits = 0usize;
+    for (i, (first, second)) in outcomes.iter().enumerate() {
+        assert_artifacts_bit_identical(reference, &first.artifact, &format!("client {i} round 1"));
+        assert_artifacts_bit_identical(reference, &second.artifact, &format!("client {i} round 2"));
+        assert!(second.cache_hit, "client {i}: warm round missed the cache");
+        hits += usize::from(first.cache_hit) + 1;
+    }
+    assert!(hits >= 8, "the cache never warmed across 16 queries");
+}

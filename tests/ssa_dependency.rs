@@ -131,6 +131,7 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
     assert_eq!(
         registry.names(),
         vec![
+            "bike",
             "botnet",
             "gps",
             "gps_poisson",
