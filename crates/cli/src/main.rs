@@ -578,16 +578,58 @@ fn summarize(model: &CompiledModel) -> String {
 
 fn cmd_list_scenarios() -> Result<String, String> {
     let registry = ScenarioRegistry::with_builtins();
-    let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+    // group related workloads: family first, then name (the registry
+    // iterates by name only)
+    let mut scenarios: Vec<_> = registry.iter().collect();
+    scenarios.sort_by_key(|s| (s.family(), s.name()));
+
+    let mut rows = Vec::with_capacity(scenarios.len() + 1);
+    rows.push([
+        "FAMILY".to_string(),
+        "SCENARIO".to_string(),
+        "SPECIES".to_string(),
+        "RULES".to_string(),
+        "SCALE".to_string(),
+        "SUMMARY".to_string(),
+    ]);
+    for scenario in &scenarios {
+        let model = scenario
+            .compile()
+            .map_err(|e| format!("scenario `{}` failed to compile:\n{e}", scenario.name()))?;
+        rows.push([
+            scenario.family().to_string(),
+            scenario.name().to_string(),
+            model.species().len().to_string(),
+            model.rules().len().to_string(),
+            scenario
+                .default_scale()
+                .map_or_else(|| "-".to_string(), |n| n.to_string()),
+            format!(
+                "{} (horizon {}, objective x[{}])",
+                scenario.summary(),
+                scenario.horizon(),
+                scenario.objective_coordinate(),
+            ),
+        ]);
+    }
+
+    let mut widths = [0usize; 5];
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
     let mut out = String::new();
-    for scenario in registry.iter() {
+    for row in &rows {
+        let [family, name, species, rules, scale, summary] = row;
         let _ = writeln!(
             out,
-            "{:width$}  {} (horizon {}, objective x[{}])",
-            scenario.name(),
-            scenario.summary(),
-            scenario.horizon(),
-            scenario.objective_coordinate(),
+            "{family:<fw$}  {name:<nw$}  {species:>sw$}  {rules:>rw$}  {scale:>cw$}  {summary}",
+            fw = widths[0],
+            nw = widths[1],
+            sw = widths[2],
+            rw = widths[3],
+            cw = widths[4],
         );
     }
     Ok(out)
@@ -1249,8 +1291,51 @@ mod tests {
     #[test]
     fn list_scenarios_names_everything() {
         let listing = cmd_list_scenarios().unwrap();
-        for name in ["sir", "sis", "seir", "botnet", "load_balancer", "gps"] {
+        for name in [
+            "sir",
+            "sis",
+            "seir",
+            "botnet",
+            "load_balancer",
+            "gps",
+            "pod_choices_d2",
+            "csma",
+            "ttl_cache",
+            "gossip",
+            "bike_city_4",
+        ] {
             assert!(listing.contains(name), "missing `{name}` in {listing}");
         }
+    }
+
+    #[test]
+    fn list_scenarios_is_grouped_by_family_with_shape_columns() {
+        let listing = cmd_list_scenarios().unwrap();
+        let mut lines = listing.lines();
+        let header = lines.next().unwrap();
+        for column in ["FAMILY", "SCENARIO", "SPECIES", "RULES", "SCALE", "SUMMARY"] {
+            assert!(header.contains(column), "missing `{column}` in {header}");
+        }
+        // rows are sorted by (family, name)
+        let keys: Vec<(String, String)> = lines
+            .map(|l| {
+                let mut cells = l.split_whitespace();
+                (
+                    cells.next().unwrap().to_string(),
+                    cells.next().unwrap().to_string(),
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "rows are not family-then-name sorted");
+        // spot-check one row's shape columns: gossip is 3 species, 3 rules,
+        // default scale 10000
+        let gossip = listing.lines().find(|l| l.contains(" gossip ")).unwrap();
+        let cells: Vec<&str> = gossip.split_whitespace().collect();
+        assert_eq!(&cells[..5], &["broadcast", "gossip", "3", "3", "10000"]);
+        // scale-free scenarios print a dash
+        let seir = listing.lines().find(|l| l.contains(" seir ")).unwrap();
+        assert_eq!(seir.split_whitespace().nth(4), Some("-"));
     }
 }

@@ -94,9 +94,46 @@ fn list_scenarios_prints_the_registry() {
     let out = mfu(&["list-scenarios"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for name in ["sir", "gps", "gps_poisson", "botnet", "load_balancer"] {
+    for name in [
+        "sir",
+        "gps",
+        "gps_poisson",
+        "botnet",
+        "load_balancer",
+        "pod_choices_d2",
+        "pod_choices_d3",
+        "csma",
+        "ttl_cache",
+        "gossip",
+        "bike_city_4",
+    ] {
         assert!(text.contains(name), "missing `{name}`:\n{text}");
     }
+}
+
+#[test]
+fn list_scenarios_is_family_sorted_with_scale_column() {
+    let out = mfu(&["list-scenarios"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header = lines.next().expect("a header line");
+    for column in ["FAMILY", "SCENARIO", "SPECIES", "RULES", "SCALE"] {
+        assert!(header.contains(column), "missing `{column}`:\n{text}");
+    }
+    // family-then-name sorted: the epidemic block precedes queueing, and
+    // names are sorted inside a family
+    let families: Vec<&str> = lines
+        .clone()
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    let mut sorted = families.clone();
+    sorted.sort();
+    assert_eq!(families, sorted, "families out of order:\n{text}");
+    // the fleet rows carry shape and scale columns
+    let csma = lines.find(|l| l.contains(" csma ")).expect("csma row");
+    let cells: Vec<&str> = csma.split_whitespace().collect();
+    assert_eq!(&cells[..5], &["wireless", "csma", "3", "4", "500"]);
 }
 
 #[test]

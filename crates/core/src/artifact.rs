@@ -16,6 +16,27 @@
 //! (the `mfu-serve` artifact cache), diffable (stable key order, one
 //! line) and bench-comparable (`rate_engine_report` emits them inside
 //! its `served_query` section).
+//!
+//! ```
+//! use mfu_core::artifact::{ArtifactCost, BoundArtifact, BoundMethod, ParamRange};
+//!
+//! let artifact = BoundArtifact {
+//!     model: "sir".into(),
+//!     model_hash: "decafbaddecafbad".into(),
+//!     method: BoundMethod::Hull,
+//!     horizon: 1.0,
+//!     param_box: vec![ParamRange { name: "contact".into(), lo: 1.0, hi: 10.0 }],
+//!     species: vec!["S".into(), "I".into()],
+//!     lower: vec![0.25, 0.125],
+//!     upper: vec![0.75, 0.5],
+//!     truncated: false,
+//!     cost: ArtifactCost { wall_ns: 1_000, ..ArtifactCost::default() },
+//! };
+//! // the wire form round-trips bit for bit through `mfu_core::json`
+//! assert_eq!(BoundArtifact::parse(&artifact.render())?, artifact);
+//! assert_eq!(BoundMethod::from_name("hull"), Some(BoundMethod::Hull));
+//! # Ok::<(), String>(())
+//! ```
 
 use crate::hull::HullBounds;
 use crate::json::{self, Json};

@@ -17,6 +17,20 @@
 //! quotes, backslashes and every control character (`\n`/`\r`/`\t`/`\b`/
 //! `\f` short forms, `\u00XX` otherwise); the reader additionally accepts
 //! arbitrary `\uXXXX` escapes including UTF-16 surrogate pairs.
+//!
+//! ```
+//! use mfu_core::json::{parse, Json};
+//!
+//! let doc = parse(r#"{"model": "sir", "bounds": [0.125, 0.875]}"#)?;
+//! assert_eq!(doc.get("model").and_then(Json::as_str), Some("sir"));
+//! let width = doc.get("bounds").and_then(Json::as_array).map(|b| {
+//!     b[1].as_f64().unwrap() - b[0].as_f64().unwrap()
+//! });
+//! assert_eq!(width, Some(0.75));
+//! // the writer's shortest-round-trip formatting reproduces every f64
+//! assert_eq!(parse(&doc.render())?, doc);
+//! # Ok::<(), String>(())
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -96,7 +96,7 @@ impl CompiledExpr {
             CompiledExpr::Sub(a, b) => a.eval(x, theta) - b.eval(x, theta),
             CompiledExpr::Mul(a, b) => a.eval(x, theta) * b.eval(x, theta),
             CompiledExpr::Div(a, b) => a.eval(x, theta) / b.eval(x, theta),
-            CompiledExpr::Pow(a, b) => a.eval(x, theta).powf(b.eval(x, theta)),
+            CompiledExpr::Pow(a, b) => eval_pow(a.eval(x, theta), b, x, theta),
             CompiledExpr::Call1(f, a) => {
                 let a = a.eval(x, theta);
                 match f {
@@ -110,13 +110,14 @@ impl CompiledExpr {
                     }
                 }
             }
+            CompiledExpr::Call2(Builtin::Pow, a, b) => eval_pow(a.eval(x, theta), b, x, theta),
             CompiledExpr::Call2(f, a, b) => {
                 let a = a.eval(x, theta);
                 let b = b.eval(x, theta);
                 match f {
                     Builtin::Min => a.min(b),
                     Builtin::Max => a.max(b),
-                    Builtin::Pow => a.powf(b),
+                    Builtin::Pow => unreachable!("pow handled above"),
                     Builtin::Abs | Builtin::Exp | Builtin::Log | Builtin::Sqrt => {
                         unreachable!("unary builtin with two arguments")
                     }
@@ -194,6 +195,56 @@ impl CompiledExpr {
     }
 }
 
+/// Exponent ceiling of the `x ^ n` strength reduction shared by the tree
+/// interpreter, the constant folder and the VM lowering: an integer
+/// constant exponent in `2..=MAX_UNROLLED_POW` evaluates as left-to-right
+/// repeated multiplication in *every* engine, so `^` keeps the bit-exact
+/// lowering contract (a lone `powf` call in one engine would drift by an
+/// ulp from the unrolled products the VM emits). Exponents `0` and `1` are
+/// exact under IEEE `pow` anyway; anything larger or fractional uses
+/// `powf` everywhere.
+pub(crate) const MAX_UNROLLED_POW: f64 = 4.0;
+
+/// `base ^ n` by left-to-right repeated multiplication — the shared
+/// reduction for integer `n` in `2..=MAX_UNROLLED_POW` (callers check the
+/// range; the VM's `PowInt` op runs this exact loop per lane).
+#[inline]
+pub(crate) fn unrolled_pow(base: f64, n: u16) -> f64 {
+    let mut acc = base;
+    for _ in 1..n {
+        acc *= base;
+    }
+    acc
+}
+
+/// `true` when the exponent takes the unrolled-multiplication path.
+#[inline]
+pub(crate) fn unrolls(n: f64) -> bool {
+    n.fract() == 0.0 && (2.0..=MAX_UNROLLED_POW).contains(&n)
+}
+
+/// Evaluates `base ^ exponent` with the shared strength reduction: a
+/// small-integer constant exponent multiplies out exactly like the VM's
+/// `PowInt`; everything else goes through `powf`.
+#[inline]
+fn eval_pow(base: f64, exponent: &CompiledExpr, x: &StateVec, theta: &[f64]) -> f64 {
+    if let CompiledExpr::Const(n) = exponent {
+        if unrolls(*n) {
+            return unrolled_pow(base, *n as u16);
+        }
+    }
+    base.powf(exponent.eval(x, theta))
+}
+
+/// Folds `a ^ b` for constants with the same reduction as [`eval_pow`].
+fn fold_pow(a: f64, b: f64) -> f64 {
+    if unrolls(b) {
+        unrolled_pow(a, b as u16)
+    } else {
+        a.powf(b)
+    }
+}
+
 /// Folds constant subtrees bottom-up. Folding performs exactly the
 /// operation the interpreter would have executed at run time, so it never
 /// changes a result; a `Select` with a constant condition reduces to its
@@ -231,7 +282,7 @@ pub(crate) fn fold_constants(expr: &CompiledExpr) -> CompiledExpr {
             (a, b) => E::Div(Box::new(a), Box::new(b)),
         },
         E::Pow(a, b) => match both(a, b) {
-            (E::Const(a), E::Const(b)) => E::Const(a.powf(b)),
+            (E::Const(a), E::Const(b)) => E::Const(fold_pow(a, b)),
             (a, b) => E::Pow(Box::new(a), Box::new(b)),
         },
         E::Call1(f, a) => match fold_constants(a) {
@@ -248,7 +299,7 @@ pub(crate) fn fold_constants(expr: &CompiledExpr) -> CompiledExpr {
             (E::Const(a), E::Const(b)) => E::Const(match f {
                 Builtin::Min => a.min(b),
                 Builtin::Max => a.max(b),
-                Builtin::Pow => a.powf(b),
+                Builtin::Pow => fold_pow(a, b),
                 _ => unreachable!("unary builtin with two arguments"),
             }),
             (a, b) => E::Call2(*f, Box::new(a), Box::new(b)),

@@ -22,6 +22,29 @@
 //! model (shared via [`Arc`]) so identical sources compile once, with an
 //! optional capacity bound evicted in deterministic least-recently-used
 //! order.
+//!
+//! ```
+//! use mfu_lang::hash::source_hash;
+//!
+//! let (original, _) = source_hash(
+//!     "model a; species S, I; param c in [1, 2]; \
+//!      rule infect: S -> I @ c * S * I; init S = 0.9, I = 0.1;",
+//! )?;
+//! // renamed, reformatted, commented — same dynamics, same hash
+//! let (reformatted, _) = source_hash(
+//!     "model b; // a rename and a comment\n\
+//!      species S, I;\n param c in [1, 2];\n\
+//!      rule infect: S -> I @ c * S * I;\n init S = 0.9, I = 0.1;",
+//! )?;
+//! assert_eq!(original, reformatted);
+//! // widening a parameter interval is semantically load-bearing
+//! let (widened, _) = source_hash(
+//!     "model a; species S, I; param c in [1, 3]; \
+//!      rule infect: S -> I @ c * S * I; init S = 0.9, I = 0.1;",
+//! )?;
+//! assert_ne!(original, widened);
+//! # Ok::<(), mfu_lang::LangError>(())
+//! ```
 
 use std::collections::HashMap;
 use std::fmt;

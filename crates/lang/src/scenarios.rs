@@ -14,9 +14,26 @@
 //!   routing fraction splits dispatched jobs between a fast and a slow
 //!   server.
 //!
-//! Each scenario records a recommended analysis horizon and an objective
-//! coordinate (in reduced coordinates), so examples, tests and benches can
-//! drive every scenario through the same pipeline.
+//! Each scenario records a recommended analysis horizon, an objective
+//! coordinate (in reduced coordinates), a workload *family* tag and — where
+//! a realistic population size exists — a default simulation scale, so
+//! examples, tests and benches can drive every scenario through the same
+//! pipeline and `mfu list-scenarios` can group them sensibly.
+//!
+//! # The Benaïm–Le Boudec interaction fleet
+//!
+//! The registry also ships the mean-field interaction models people
+//! actually run at scale (see PAPERS.md): power-of-`d`-choices load
+//! balancing ([`pod_choices_source`], registered for `d ∈ {2, 3}`),
+//! CSMA/WiFi backoff ([`CSMA_SOURCE`]), TTL cache eviction
+//! ([`TTL_CACHE_SOURCE`]), gossip/epidemic broadcast ([`GOSSIP_SOURCE`])
+//! and a generated multi-station bike-sharing network
+//! ([`bike_city_source`]) next to the paper's single-station `bike`. Each
+//! carries at least one interval-valued parameter, so the differential
+//! hull and Pontryagin bounds are non-trivial on every member, and a
+//! `default_scale` documenting the population size the workload is
+//! normally run at. `docs/SCENARIOS.md` catalogues the full fleet and the
+//! cross-scenario accuracy/cost matrix.
 //!
 //! # Generated scenario families
 //!
@@ -46,6 +63,8 @@ pub struct Scenario {
     objective: usize,
     /// Recommended simulation scale `N` (None for scale-free scenarios).
     default_scale: Option<usize>,
+    /// Workload family (`epidemic`, `queueing`, `mobility`, …).
+    family: String,
 }
 
 impl Scenario {
@@ -68,7 +87,18 @@ impl Scenario {
             horizon,
             objective,
             default_scale: None,
+            family: "custom".into(),
         }
+    }
+
+    /// Tags the scenario with a workload family (`epidemic`, `queueing`,
+    /// `mobility`, `synthetic`, …). Families group related scenarios in
+    /// `mfu list-scenarios` and the cross-scenario matrix; unset scenarios
+    /// report `"custom"`.
+    #[must_use]
+    pub fn with_family(mut self, family: impl Into<String>) -> Self {
+        self.family = family.into();
+        self
     }
 
     /// Records a recommended simulation scale `N` — the population size
@@ -119,6 +149,11 @@ impl Scenario {
         self.default_scale
     }
 
+    /// Workload family tag (`"custom"` when never set).
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
     /// Parses, validates and compiles the scenario source.
     ///
     /// # Errors
@@ -142,8 +177,10 @@ impl ScenarioRegistry {
     }
 
     /// A registry pre-populated with the built-in scenarios
-    /// (`bike`, `botnet`, `gps`, `gps_poisson`, `grid_6x6`,
-    /// `load_balancer`, `ring_48`, `seir`, `sir`, `sir_1e6`, `sis`).
+    /// (`bike`, `bike_city_4`, `botnet`, `csma`, `gossip`, `gps`,
+    /// `gps_poisson`, `grid_6x6`, `load_balancer`, `pod_choices_d2`,
+    /// `pod_choices_d3`, `ring_48`, `seir`, `sir`, `sir_1e6`, `sis`,
+    /// `ttl_cache`).
     pub fn with_builtins() -> Self {
         let mut registry = ScenarioRegistry::new();
         for scenario in builtins() {
@@ -377,6 +414,222 @@ rule serve_slow:    Q2 -> Idle @ mu2 * Q2;
 init Idle = 1, Q1 = 0, Q2 = 0;
 ";
 
+/// Mean-field CSMA/WiFi backoff in the Benaïm–Le Boudec interaction-model
+/// family: stations sense the channel before transmitting, concurrent
+/// transmissions collide pairwise, and collided stations sit out a backoff
+/// period. The sensing/attempt rate is imprecise.
+pub const CSMA_SOURCE: &str = "\
+model csma;
+// Mean-field CSMA/WiFi backoff: idle stations (I) sense the channel and
+// attempt a transmission only on the fraction of airtime left free by
+// ongoing transmissions (T); concurrent transmissions collide pairwise and
+// send both stations into backoff (B) until their timer expires.
+species I, T, B;
+param attempt in [0.4, 1.6];
+const done = 2;      // transmission completion rate
+const clash = 4;     // pairwise collision intensity
+const expire = 1;    // backoff expiry rate
+rule transmit: I -> T @ attempt * I * max(1 - T, 0);
+rule finish:   T -> I @ done * T;
+rule collide:  T -> B @ clash * T * T;
+rule recover:  B -> I @ expire * B;
+init I = 1, T = 0, B = 0;
+";
+
+/// A TTL cache over a fixed catalogue: cold objects are admitted on first
+/// request, cached copies expire after an imprecise time-to-live, and
+/// expired entries wait for the periodic sweeper before readmission. Both
+/// the request intensity and the TTL expiry rate are imprecise.
+pub const TTL_CACHE_SOURCE: &str = "\
+model ttl_cache;
+// TTL cache eviction over a fixed catalogue: cold objects (C) are admitted
+// on their next request, cached copies (W) expire after an imprecise TTL,
+// and expired entries (E) wait for the periodic sweeper before they can be
+// admitted again.
+species C, W, E;
+param request in [1, 3];
+param expiry in [0.5, 1.5];
+const sweep = 4;     // sweeper rate returning expired entries to cold
+rule admit:  C -> W @ request * C;
+rule expire: W -> E @ expiry * W;
+rule evict:  E -> C @ sweep * E;
+init C = 1, W = 0, E = 0;
+";
+
+/// Rumour spreading with stifling (the Daley–Kendall flavour of epidemic
+/// broadcast): active spreaders push the rumour to uninformed peers at an
+/// imprecise fan-out rate and turn stifler when gossiping to an
+/// already-informed peer — or simply out of fatigue.
+pub const GOSSIP_SOURCE: &str = "\
+model gossip;
+// Epidemic broadcast / rumour spreading with stifling: active spreaders
+// (A) push the rumour to uninformed peers (U) at an imprecise fan-out
+// rate; a spreader contacting an already-informed peer (A or R) turns
+// stifler (R), and spreaders also retire out of fatigue.
+species U, A, R;
+param push in [1, 4];
+const stifle = 1;    // contact rate with already-informed peers
+const cool = 0.2;    // spontaneous fatigue rate
+rule spread:  U -> A @ push * A * U;
+rule stifled: A -> R @ stifle * A * (A + R);
+rule fatigue: A -> R @ cool * A;
+init U = 0.95, A = 0.05, R = 0;
+";
+
+/// DSL source of the power-of-`d`-choices load balancer (Mitzenmacher;
+/// the flagship Benaïm–Le Boudec mean-field interaction model): `Q{i}` is
+/// the fraction of servers with exactly `i` queued jobs, truncated at
+/// queue length `levels`. A dispatcher samples `d` servers per arrival and
+/// joins the shortest queue, so a depth-`i` server fills at rate
+/// `λ · (s_i^d − s_{i+1}^d)` with `s_i` the tail fraction of servers at
+/// depth ≥ `i` (spelled with explicit tail sums and clamped with `max` so
+/// the rate stays non-negative off the simplex); service drains one job at
+/// a time. The arrival rate `λ` is imprecise.
+///
+/// # Panics
+///
+/// Panics if `d < 2` (one choice is plain random routing) or
+/// `levels < 2`.
+pub fn pod_choices_source(d: u32, levels: usize) -> String {
+    assert!(d >= 2, "power-of-d-choices needs at least two choices");
+    assert!(
+        levels >= 2,
+        "the queue truncation needs at least two levels"
+    );
+    let mut source = format!("model pod_choices_d{d};\nspecies ");
+    for i in 0..=levels {
+        if i > 0 {
+            source.push_str(", ");
+        }
+        source.push_str(&format!("Q{i}"));
+    }
+    source.push_str(";\nparam arrival in [0.55, 0.85];\nconst mu = 1;\n");
+    // tail sums s_{i} = Q{i} + … + Q{levels}: one `let` each, written out
+    // in full so no binding references another
+    for i in 1..=levels {
+        source.push_str(&format!("let t{i} = "));
+        for j in i..=levels {
+            if j > i {
+                source.push_str(" + ");
+            }
+            source.push_str(&format!("Q{j}"));
+        }
+        source.push_str(";\n");
+    }
+    for i in 0..levels {
+        let next = i + 1;
+        source.push_str(&format!(
+            "rule arrive{i}: Q{i} -> Q{next} @ arrival * max(((Q{i} + t{next}) ^ {d}) - (t{next} ^ {d}), 0);\n"
+        ));
+    }
+    for i in 1..=levels {
+        let prev = i - 1;
+        source.push_str(&format!("rule serve{i}: Q{i} -> Q{prev} @ mu * Q{i};\n"));
+    }
+    source.push_str("init Q0 = 1");
+    for i in 1..=levels {
+        source.push_str(&format!(", Q{i} = 0"));
+    }
+    source.push_str(";\n");
+    source
+}
+
+/// A registry-ready power-of-`d`-choices scenario named `pod_choices_d<d>`
+/// (queue truncation 4, every server initially idle), bounding the
+/// fraction of single-job servers over a 6-time-unit horizon.
+///
+/// # Panics
+///
+/// Panics if `d < 2` (see [`pod_choices_source`]).
+pub fn pod_choices_scenario(d: u32) -> Scenario {
+    Scenario::new(
+        format!("pod_choices_d{d}"),
+        format!("power-of-{d}-choices load balancing with an imprecise arrival rate"),
+        pod_choices_source(d, 4),
+        6.0,
+        1,
+    )
+    .with_family("queueing")
+    .with_default_scale(1000)
+}
+
+/// DSL source of a generated `stations`-station bike-sharing network, the
+/// city-scale sibling of the single-station [`BIKE_SOURCE`]: `D{i}` is the
+/// fraction of bikes docked at station `i`, `T{i}` the fraction in transit
+/// toward it. Riders pick a bike up at an imprecise per-station demand
+/// rate (mildly heterogeneous across stations, constant while bikes are
+/// available — the paper's discontinuous-rate shape) and ride it to the
+/// next station, docking only while racks are free (`D{i} < cap`). Both
+/// the demand and the trip-completion rate are imprecise, and every rate
+/// carries a boundary guard, so the drift is discontinuous like `bike`'s.
+///
+/// # Panics
+///
+/// Panics if `stations < 2`.
+pub fn bike_city_source(stations: usize) -> String {
+    assert!(stations >= 2, "a city needs at least two stations");
+    let mut source = format!("model bike_city_{stations};\nspecies ");
+    for i in 0..stations {
+        if i > 0 {
+            source.push_str(", ");
+        }
+        source.push_str(&format!("D{i}"));
+    }
+    for i in 0..stations {
+        source.push_str(&format!(", T{i}"));
+    }
+    source.push_str(";\nparam pickup in [0.6, 1.4];\nparam ride in [1, 3];\n");
+    let cap = 1.4 / stations as f64;
+    source.push_str(&format!("const cap = {cap};\n"));
+    for i in 0..stations {
+        let next = (i + 1) % stations;
+        // deterministic per-station weights keep the demand mildly
+        // heterogeneous, like the ring's per-edge rates
+        let weight = 1.0 + 0.1 * (i % 3) as f64;
+        source.push_str(&format!(
+            "rule take{i}: D{i} -> T{next} @ when D{i} > 0 {{ {weight} * pickup }} else {{ 0 }};\n"
+        ));
+        source.push_str(&format!(
+            "rule arrive{i}: T{i} -> D{i} @ when D{i} < cap {{ ride * T{i} }} else {{ 0 }};\n"
+        ));
+    }
+    source.push_str("init ");
+    let docked = 0.8 / stations as f64;
+    let transit = 0.2 / stations as f64;
+    for i in 0..stations {
+        if i > 0 {
+            source.push_str(", ");
+        }
+        source.push_str(&format!("D{i} = {docked}"));
+    }
+    for i in 0..stations {
+        source.push_str(&format!(", T{i} = {transit}"));
+    }
+    source.push_str(";\n");
+    source
+}
+
+/// A registry-ready multi-station bike-sharing scenario named
+/// `bike_city_<stations>`, bounding the first station's docked fraction;
+/// the default scale budgets a few hundred bikes per station.
+///
+/// # Panics
+///
+/// Panics if `stations < 2` (see [`bike_city_source`]).
+pub fn bike_city_scenario(stations: usize) -> Scenario {
+    Scenario::new(
+        format!("bike_city_{stations}"),
+        format!(
+            "generated {stations}-station bike-sharing network with rack caps and imprecise demand"
+        ),
+        bike_city_source(stations),
+        3.0,
+        0,
+    )
+    .with_family("mobility")
+    .with_default_scale(400 * stations)
+}
+
 /// DSL source of a closed `sites`-species migration ring: species
 /// `X0…X{sites-1}`, one mass-action rule per edge
 /// (`Xi -> Xi+1 @ rate · Xi`, the first edge driven by the imprecise
@@ -434,6 +687,7 @@ pub fn ring_scenario(sites: usize) -> Scenario {
         4.0,
         0,
     )
+    .with_family("synthetic")
 }
 
 /// DSL source of a closed `width × height` migration lattice: one species
@@ -518,6 +772,7 @@ pub fn grid_scenario(width: usize, height: usize) -> Scenario {
         4.0,
         0,
     )
+    .with_family("synthetic")
 }
 
 /// Compact suffix for a scale: powers of ten at or above 1000 print in
@@ -554,6 +809,7 @@ pub fn sir_scaled(n: usize) -> Scenario {
         3.0,
         1,
     )
+    .with_family("epidemic")
     .with_default_scale(n)
 }
 
@@ -573,6 +829,7 @@ pub fn gps_scaled(n: usize) -> Scenario {
         3.0,
         1,
     )
+    .with_family("queueing")
     .with_default_scale(n)
 }
 
@@ -584,14 +841,16 @@ fn builtins() -> Vec<Scenario> {
             SIR_SOURCE,
             3.0,
             1,
-        ),
+        )
+        .with_family("epidemic"),
         Scenario::new(
             "sis",
             "supercritical SIS epidemic (1-dimensional reduced state)",
             SIS_SOURCE,
             8.0,
             0,
-        ),
+        )
+        .with_family("epidemic"),
         // A realistic station has a few dozen racks, so the stochastic
         // boundary effects the paper discusses are visible at this scale.
         Scenario::new(
@@ -601,6 +860,7 @@ fn builtins() -> Vec<Scenario> {
             2.0,
             0,
         )
+        .with_family("mobility")
         .with_default_scale(40),
         Scenario::new(
             "seir",
@@ -608,7 +868,8 @@ fn builtins() -> Vec<Scenario> {
             SEIR_SOURCE,
             3.0,
             2,
-        ),
+        )
+        .with_family("epidemic"),
         // The GPS objectives follow the Figure 7 experiments
         // (tests/gps_experiments.rs): the MAP panel bounds Q1 (index 1 of
         // (D1, Q1, D2, Q2)), the Poisson panel bounds Q2 (index 1 of
@@ -619,28 +880,69 @@ fn builtins() -> Vec<Scenario> {
             GPS_SOURCE,
             3.0,
             1,
-        ),
+        )
+        .with_family("queueing"),
         Scenario::new(
             "gps_poisson",
             "Poisson-arrival GPS queue with mean-matched creation rates (Section VI)",
             GPS_POISSON_SOURCE,
             3.0,
             1,
-        ),
+        )
+        .with_family("queueing"),
         Scenario::new(
             "botnet",
             "malware propagation with an imprecise scanning rate",
             BOTNET_SOURCE,
             5.0,
             2,
-        ),
+        )
+        .with_family("security"),
         Scenario::new(
             "load_balancer",
             "closed two-server system with an imprecise routing fraction",
             LOAD_BALANCER_SOURCE,
             6.0,
             1,
-        ),
+        )
+        .with_family("queueing"),
+        // the Benaïm–Le Boudec mean-field interaction fleet: workloads
+        // people actually run at scale, each with interval-valued
+        // parameters so the paper's bounds have something to say
+        pod_choices_scenario(2),
+        pod_choices_scenario(3),
+        // a WiFi cell serves on the order of a few hundred stations
+        Scenario::new(
+            "csma",
+            "CSMA/WiFi backoff with an imprecise channel-attempt rate",
+            CSMA_SOURCE,
+            6.0,
+            1,
+        )
+        .with_family("wireless")
+        .with_default_scale(500),
+        // a CDN edge tracks catalogues of ~10⁴ hot objects
+        Scenario::new(
+            "ttl_cache",
+            "TTL cache eviction with imprecise request and expiry rates",
+            TTL_CACHE_SOURCE,
+            4.0,
+            1,
+        )
+        .with_family("caching")
+        .with_default_scale(10_000),
+        // gossip overlays are sized in the tens of thousands of nodes
+        Scenario::new(
+            "gossip",
+            "epidemic broadcast / rumour spreading with an imprecise fan-out rate",
+            GOSSIP_SOURCE,
+            5.0,
+            1,
+        )
+        .with_family("broadcast")
+        .with_default_scale(10_000),
+        // city-scale sibling of `bike`: multiple capped stations in a loop
+        bike_city_scenario(4),
         // generated large-K scenarios: exercise sparse dependency graphs
         // and sub-linear transition selection across the registry suites
         ring_scenario(48),
@@ -662,19 +964,25 @@ mod tests {
             registry.names(),
             vec![
                 "bike",
+                "bike_city_4",
                 "botnet",
+                "csma",
+                "gossip",
                 "gps",
                 "gps_poisson",
                 "grid_6x6",
                 "load_balancer",
+                "pod_choices_d2",
+                "pod_choices_d3",
                 "ring_48",
                 "seir",
                 "sir",
                 "sir_1e6",
-                "sis"
+                "sis",
+                "ttl_cache"
             ]
         );
-        assert_eq!(registry.len(), 11);
+        assert_eq!(registry.len(), 17);
         assert!(!registry.is_empty());
         for scenario in registry.iter() {
             let model = scenario.compile().unwrap_or_else(|e| {
@@ -739,6 +1047,157 @@ mod tests {
                     "`{name}`: rate `{}` = {rate} at empty queues",
                     t.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_builtin_declares_a_family() {
+        let registry = ScenarioRegistry::with_builtins();
+        for scenario in registry.iter() {
+            assert_ne!(
+                scenario.family(),
+                "custom",
+                "`{}` shipped without a family tag",
+                scenario.name()
+            );
+        }
+        assert_eq!(registry.get("sir").unwrap().family(), "epidemic");
+        assert_eq!(registry.get("pod_choices_d2").unwrap().family(), "queueing");
+        assert_eq!(registry.get("csma").unwrap().family(), "wireless");
+        assert_eq!(registry.get("ttl_cache").unwrap().family(), "caching");
+        assert_eq!(registry.get("gossip").unwrap().family(), "broadcast");
+        assert_eq!(registry.get("bike_city_4").unwrap().family(), "mobility");
+        assert_eq!(registry.get("ring_48").unwrap().family(), "synthetic");
+        // user scenarios default to `custom`
+        assert_eq!(
+            Scenario::new("x", "y", SIR_SOURCE, 1.0, 0).family(),
+            "custom"
+        );
+    }
+
+    #[test]
+    fn interaction_fleet_carries_imprecise_params_and_scales() {
+        // The whole point of the Benaïm–Le Boudec fleet: every scenario has
+        // at least one interval-valued parameter (so hull/Pontryagin bounds
+        // are non-trivial) and a realistic default simulation scale.
+        let registry = ScenarioRegistry::with_builtins();
+        for name in [
+            "pod_choices_d2",
+            "pod_choices_d3",
+            "csma",
+            "ttl_cache",
+            "gossip",
+            "bike_city_4",
+        ] {
+            let scenario = registry.get(name).unwrap();
+            assert!(scenario.default_scale().is_some(), "`{name}` has no scale");
+            let model = scenario.compile().unwrap();
+            let params = model.params();
+            assert!(params.dim() >= 1, "`{name}` has no imprecise parameter");
+            assert!(
+                params.vertices().len() >= 2,
+                "`{name}`'s parameter box is a point"
+            );
+        }
+    }
+
+    #[test]
+    fn pod_choices_compiles_with_expected_shape() {
+        let model = crate::compile(&pod_choices_source(2, 4)).unwrap();
+        assert_eq!(model.name(), "pod_choices_d2");
+        assert_eq!(model.dim(), 5);
+        assert!(model.is_conservative());
+        let population = model.population_model().unwrap();
+        // 4 arrival levels + 4 service levels
+        assert_eq!(population.transitions().len(), 8);
+        // all mass starts at the empty queue level
+        assert_eq!(model.initial_state()[0], 1.0);
+
+        // the mean-field power-of-d arrival rates: at the empty state the
+        // level-0 arrival fires at the full λ (s_0 = 1, s_1 = 0 gives
+        // λ·(1^d − 0^d)) and every deeper arrival is silent
+        use mfu_num::StateVec;
+        let empty = StateVec::from([1.0, 0.0, 0.0, 0.0, 0.0]);
+        let lambda = 0.7;
+        let rates: Vec<f64> = population
+            .transitions()
+            .iter()
+            .map(|t| t.rate(&empty, &[lambda]))
+            .collect();
+        assert!((rates[0] - lambda).abs() < 1e-12, "arrive0 = {}", rates[0]);
+        for (k, r) in rates.iter().enumerate().skip(1) {
+            assert_eq!(*r, 0.0, "transition {k} should be silent when empty");
+        }
+
+        // d = 3 deepens the imbalance: with half the servers idle the
+        // level-0 arrival rate grows with d (1 − s_1^d term)
+        let half = StateVec::from([0.5, 0.5, 0.0, 0.0, 0.0]);
+        let d2 = population.transitions()[0].rate(&half, &[lambda]);
+        let model3 = crate::compile(&pod_choices_source(3, 4)).unwrap();
+        let d3 = model3.population_model().unwrap().transitions()[0].rate(&half, &[lambda]);
+        assert!(d3 > d2, "d=3 should fill idle servers faster: {d3} vs {d2}");
+
+        assert!(std::panic::catch_unwind(|| pod_choices_source(1, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| pod_choices_source(2, 1)).is_err());
+    }
+
+    #[test]
+    fn bike_city_compiles_with_expected_shape() {
+        let stations = 4;
+        let model = crate::compile(&bike_city_source(stations)).unwrap();
+        assert_eq!(model.name(), "bike_city_4");
+        assert_eq!(model.dim(), 2 * stations);
+        assert!(model.is_conservative());
+        let population = model.population_model().unwrap();
+        assert_eq!(population.transitions().len(), 2 * stations);
+
+        // interior state: every take rule fires at its weighted demand,
+        // every arrive rule drains its transit pool
+        let theta = [1.0, 2.0]; // (pickup, ride)
+        let x0 = model.initial_state();
+        for t in population.transitions() {
+            let rate = t.rate(&x0, &theta);
+            assert!(rate > 0.0, "`{}` silent at the initial state", t.name());
+        }
+        // an empty station cannot lose bikes, a full one cannot dock
+        let mut empty0 = x0.clone();
+        empty0[0] = 0.0;
+        assert_eq!(population.transitions()[0].rate(&empty0, &theta), 0.0);
+        let mut full0 = x0.clone();
+        full0[0] = 0.4; // above cap = 0.35
+        assert_eq!(population.transitions()[1].rate(&full0, &theta), 0.0);
+
+        assert!(std::panic::catch_unwind(|| bike_city_source(1)).is_err());
+    }
+
+    #[test]
+    fn interaction_fleet_rates_stay_healthy_on_the_simplex() {
+        // CSMA, TTL cache and gossip are plain closed systems; their rates
+        // must be finite and non-negative on the whole simplex, at every
+        // vertex of the parameter box.
+        let registry = ScenarioRegistry::with_builtins();
+        for name in ["csma", "ttl_cache", "gossip"] {
+            let model = registry.compile(name).unwrap();
+            let population = model.population_model().unwrap();
+            let corners = [
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+                [0.4, 0.3, 0.3],
+            ];
+            for corner in corners {
+                let x = mfu_num::StateVec::from(corner);
+                for theta in model.params().vertices() {
+                    for t in population.transitions() {
+                        let rate = t.rate(&x, &theta);
+                        assert!(
+                            rate.is_finite() && rate >= 0.0,
+                            "`{name}`: rate `{}` = {rate} at {corner:?}",
+                            t.name()
+                        );
+                    }
+                }
             }
         }
     }

@@ -73,8 +73,7 @@ pub const STACK_REGISTERS: usize = 32;
 /// exceed depth 8, and an 8-register file costs one cache line to zero.
 const SMALL_REGISTERS: usize = 8;
 
-/// Largest exponent the `x^n` strength reduction unrolls to multiplications.
-const MAX_UNROLLED_POW: f64 = 4.0;
+use crate::expr::{unrolled_pow, unrolls};
 
 /// One register instruction: sources `a`/`b` and destination `dst` index a
 /// scratch register file; `idx` indexes the constant pool, the state or the
@@ -245,12 +244,7 @@ impl ByteProgram {
                         regs[a as usize & MASK].powf(regs[b as usize & MASK])
                 }
                 Op::PowInt { dst, a, n } => {
-                    let base = regs[a as usize & MASK];
-                    let mut acc = base;
-                    for _ in 1..n {
-                        acc *= base;
-                    }
-                    regs[dst as usize & MASK] = acc;
+                    regs[dst as usize & MASK] = unrolled_pow(regs[a as usize & MASK], n);
                 }
                 Op::Min { dst, a, b } => {
                     regs[dst as usize & MASK] = regs[a as usize & MASK].min(regs[b as usize & MASK])
@@ -343,12 +337,7 @@ impl ByteProgram {
                 Op::PowInt { dst, a, n } => {
                     let (d, a) = (dst as usize * w, a as usize * w);
                     for l in 0..w {
-                        let base = regs[a + l];
-                        let mut acc = base;
-                        for _ in 1..n {
-                            acc *= base;
-                        }
-                        regs[d + l] = acc;
+                        regs[d + l] = unrolled_pow(regs[a + l], n);
                     }
                 }
                 Op::Min { dst, a, b } => lanes_binary(regs, w, dst, a, b, f64::min),
@@ -964,8 +953,10 @@ impl Lowering {
             }
             CompiledExpr::Pow(a, b) | CompiledExpr::Call2(Builtin::Pow, a, b) => {
                 // x^n strength reduction: IEEE `pow` is exact for exponents 0
-                // and 1; small integer exponents become straight multiplies
-                // (up to 1 ulp from `powf`, which no test or model relies on).
+                // and 1; small integer exponents become straight multiplies.
+                // The tree interpreter applies the *same* reduction (shared
+                // `expr::unrolls`/`unrolled_pow`), so `^` stays inside the
+                // bit-exact lowering contract.
                 if let CompiledExpr::Const(n) = **b {
                     if n == 0.0 {
                         let idx = self.intern_const(1.0);
@@ -976,7 +967,7 @@ impl Lowering {
                         self.emit(a, dst);
                         return;
                     }
-                    if n.fract() == 0.0 && (2.0..=MAX_UNROLLED_POW).contains(&n) {
+                    if unrolls(n) {
                         self.emit(a, dst);
                         self.ops.push(Op::PowInt {
                             dst,

@@ -1,0 +1,231 @@
+//! Rumour spreading with stifling — the epidemic-broadcast member of the
+//! Benaïm–Le Boudec mean-field interaction family.
+//!
+//! `X_U` is the fraction of peers that have not heard the rumour, `X_A`
+//! the fraction actively spreading it and `X_R` the fraction of stiflers.
+//! Spreaders push the rumour to uninformed peers at an imprecise fan-out
+//! rate `ϑ ∈ [push_min, push_max]`; a spreader contacting an
+//! already-informed peer (active or stifler) turns stifler — the classic
+//! Daley–Kendall mechanism — and spreaders also retire spontaneously out
+//! of fatigue. This is the hand-coded twin of the registry's `gossip`
+//! scenario: the acceptance suite checks the two backends rate for rate,
+//! bit for bit.
+
+use mfu_core::drift::FnDrift;
+use mfu_ctmc::params::{Interval, ParamSpace};
+use mfu_ctmc::population::PopulationModel;
+use mfu_ctmc::transition::TransitionClass;
+use mfu_ctmc::Result;
+use mfu_num::StateVec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the gossip/rumour-spreading model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipModel {
+    /// Lower bound of the imprecise fan-out (push) rate.
+    pub push_min: f64,
+    /// Upper bound of the imprecise fan-out (push) rate.
+    pub push_max: f64,
+    /// Contact rate with already-informed peers (stifling intensity).
+    pub stifle: f64,
+    /// Spontaneous fatigue rate of active spreaders.
+    pub cool: f64,
+    /// Initial fraction of active spreaders (everyone else starts
+    /// uninformed).
+    pub initial_active: f64,
+}
+
+impl GossipModel {
+    /// The registry configuration: fan-out imprecise in `[1, 4]`, unit
+    /// stifling contact rate, mild fatigue, 5 % of the overlay seeded.
+    pub fn broadcast() -> Self {
+        GossipModel {
+            push_min: 1.0,
+            push_max: 4.0,
+            stifle: 1.0,
+            cool: 0.2,
+            initial_active: 0.05,
+        }
+    }
+
+    /// The uncertainty set `Θ = [push_min, push_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured bounds are not a valid interval.
+    pub fn param_space(&self) -> Result<ParamSpace> {
+        ParamSpace::new(vec![("push", Interval::new(self.push_min, self.push_max)?)])
+    }
+
+    /// The three-dimensional population model on `(X_U, X_A, X_R)`.
+    ///
+    /// The rate closures mirror the DSL twin's evaluation order factor by
+    /// factor (ϑ first, then the species in source order), so the two
+    /// backends agree bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parameter bounds are invalid.
+    pub fn population_model(&self) -> Result<PopulationModel> {
+        let stifle = self.stifle;
+        let cool = self.cool;
+        let params = self.param_space()?;
+        PopulationModel::builder(3, params)
+            .variable_names(vec!["U", "A", "R"])
+            .transition(
+                TransitionClass::new(
+                    "spread",
+                    [-1.0, 1.0, 0.0],
+                    move |x: &StateVec, theta: &[f64]| theta[0] * x[1] * x[0],
+                )
+                .with_species_support(vec![0, 1]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "stifled",
+                    [0.0, -1.0, 1.0],
+                    move |x: &StateVec, _theta: &[f64]| stifle * x[1] * (x[1] + x[2]),
+                )
+                .with_species_support(vec![1, 2]),
+            )
+            .transition(
+                TransitionClass::new(
+                    "fatigue",
+                    [0.0, -1.0, 1.0],
+                    move |x: &StateVec, _theta: &[f64]| cool * x[1],
+                )
+                .with_species_support(vec![1]),
+            )
+            .build()
+    }
+
+    /// The three-dimensional mean-field drift on `(X_U, X_A, X_R)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured push bounds do not form a valid interval
+    /// (use [`GossipModel::param_space`] to validate beforehand).
+    pub fn drift(&self) -> FnDrift<impl Fn(&StateVec, &[f64], &mut StateVec)> {
+        let stifle = self.stifle;
+        let cool = self.cool;
+        let params = self.param_space().expect("invalid push-rate interval");
+        FnDrift::new(
+            3,
+            params,
+            move |x: &StateVec, theta: &[f64], dx: &mut StateVec| {
+                let spread = theta[0] * x[1] * x[0];
+                let retire = stifle * x[1] * (x[1] + x[2]) + cool * x[1];
+                dx[0] = -spread;
+                dx[1] = spread - retire;
+                dx[2] = retire;
+            },
+        )
+    }
+
+    /// Initial condition on the simplex `(X_U, X_A, X_R)`.
+    pub fn initial_state(&self) -> StateVec {
+        StateVec::from([1.0 - self.initial_active, self.initial_active, 0.0])
+    }
+
+    /// Integer initial counts for an overlay of `scale` peers, rounding the
+    /// seeded fraction and assigning the remainder to the uninformed pool.
+    pub fn initial_counts(&self, scale: usize) -> Vec<i64> {
+        let active = (self.initial_active * scale as f64).round() as i64;
+        vec![scale as i64 - active, active, 0]
+    }
+
+    /// The same model expressed in the `mfu-lang` DSL — the
+    /// cross-validation hook: compiling the returned source must reproduce
+    /// [`GossipModel::population_model`] rate for rate, bit for bit (the
+    /// registry's `gossip` scenario is this source at the
+    /// [`GossipModel::broadcast`] configuration).
+    pub fn dsl_source(&self) -> String {
+        format!(
+            "model gossip;\n\
+             species U, A, R;\n\
+             param push in [{}, {}];\n\
+             const stifle = {};\n\
+             const cool = {};\n\
+             rule spread:  U -> A @ push * A * U;\n\
+             rule stifled: A -> R @ stifle * A * (A + R);\n\
+             rule fatigue: A -> R @ cool * A;\n\
+             init U = {}, A = {}, R = 0;\n",
+            self.push_min,
+            self.push_max,
+            self.stifle,
+            self.cool,
+            1.0 - self.initial_active,
+            self.initial_active,
+        )
+    }
+}
+
+impl Default for GossipModel {
+    fn default() -> Self {
+        GossipModel::broadcast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfu_core::drift::ImpreciseDrift;
+
+    #[test]
+    fn broadcast_configuration() {
+        let gossip = GossipModel::broadcast();
+        assert_eq!(gossip.initial_state().as_slice(), &[0.95, 0.05, 0.0]);
+        assert_eq!(gossip.initial_counts(10_000), vec![9_500, 500, 0]);
+        assert_eq!(GossipModel::default(), gossip);
+        assert_eq!(gossip.param_space().unwrap().dim(), 1);
+    }
+
+    #[test]
+    fn drift_conserves_the_overlay() {
+        let gossip = GossipModel::broadcast();
+        let drift = gossip.drift();
+        for theta in [[1.0], [2.5], [4.0]] {
+            let dx = drift.drift(&gossip.initial_state(), &theta);
+            let total: f64 = (0..3).map(|k| dx[k]).sum();
+            assert!(total.abs() < 1e-15, "mass leak {total:e} at ϑ = {theta:?}");
+            // seeded overlay, nobody informed yet: the rumour must grow
+            assert!(dx[0] < 0.0);
+        }
+    }
+
+    #[test]
+    fn population_model_matches_drift() {
+        let gossip = GossipModel::broadcast();
+        let model = gossip.population_model().unwrap();
+        let drift = gossip.drift();
+        let x = StateVec::from([0.6, 0.3, 0.1]);
+        for theta in [[1.0], [2.0], [4.0]] {
+            let a = model.drift(&x, &theta).unwrap();
+            let b = drift.drift(&x, &theta);
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() < 1e-15, "coordinate {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rumour_dies_without_spreaders() {
+        let gossip = GossipModel::broadcast();
+        let model = gossip.population_model().unwrap();
+        let silent = StateVec::from([1.0, 0.0, 0.0]);
+        for t in model.transitions() {
+            assert_eq!(t.rate(&silent, &[4.0]), 0.0, "`{}`", t.name());
+        }
+    }
+
+    #[test]
+    fn invalid_intervals_are_reported() {
+        let bad = GossipModel {
+            push_min: 5.0,
+            push_max: 1.0,
+            ..GossipModel::broadcast()
+        };
+        assert!(bad.param_space().is_err());
+        assert!(bad.population_model().is_err());
+    }
+}

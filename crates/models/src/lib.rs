@@ -18,7 +18,10 @@
 //!   network of Section VI, with Poisson and Markov-arrival-process (MAP)
 //!   job-creation scenarios;
 //! * [`sis`] and [`seir`] — additional epidemic variants used by the examples
-//!   and tests to exercise the library beyond the paper's two case studies.
+//!   and tests to exercise the library beyond the paper's two case studies;
+//! * [`gossip`] — rumour spreading with stifling (epidemic broadcast), the
+//!   hand-coded twin of the registry's Benaïm–Le Boudec interaction fleet
+//!   member of the same name.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod bike;
+pub mod gossip;
 pub mod gps;
 pub mod parity;
 pub mod seir;

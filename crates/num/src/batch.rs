@@ -19,6 +19,22 @@
 //! guarantee *bit-identical* results to their scalar paths — each lane sees
 //! exactly the same sequence of floating-point operations as a scalar call
 //! on that lane's data, lanes merely advance together.
+//!
+//! ```
+//! use mfu_num::batch::{BatchTheta, SoaBatch};
+//!
+//! // two 3-dimensional states, transposed into coordinate-major rows
+//! let batch = SoaBatch::from_lanes(&[[0.7, 0.3, 0.0], [0.6, 0.4, 0.0]]);
+//! assert_eq!((batch.rows(), batch.width()), (3, 2));
+//! assert_eq!(batch.row(1), &[0.3, 0.4]); // coordinate 1: one value per lane
+//! assert_eq!(batch.get(0, 1), 0.6); // coordinate 0 of lane 1
+//!
+//! // one parameter vector shared by every lane
+//! let theta = [2.0];
+//! let theta = BatchTheta::Shared(&theta);
+//! let mut scratch = Vec::new();
+//! assert_eq!(theta.lane(1, &mut scratch), &[2.0]);
+//! ```
 
 use crate::StateVec;
 

@@ -11,6 +11,18 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Bounded map with LRU eviction.
+///
+/// ```
+/// use mfu_serve::cache::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// cache.insert("sir", 1);
+/// cache.insert("sis", 2);
+/// cache.get(&"sir"); // refresh: "sir" is now the most recently used
+/// cache.insert("seir", 3); // evicts "sis", the least recently used
+/// assert!(cache.contains(&"sir") && !cache.contains(&"sis"));
+/// assert_eq!(cache.evictions(), 1);
+/// ```
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     entries: HashMap<K, (V, u64)>,

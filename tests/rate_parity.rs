@@ -205,6 +205,64 @@ fn gps_drifts_agree_between_native_and_dsl() {
 }
 
 #[test]
+fn gossip_native_and_dsl_rates_are_identical() {
+    // The epidemic-broadcast member of the Benaïm–Le Boudec fleet: the
+    // mass-action `spread` rate lowers through the VM fast path (ϑ first,
+    // then the species in source order), the `stifled` rate through
+    // bytecode — both must mirror the native closures bit for bit.
+    use mean_field_uncertain::models::gossip::GossipModel;
+    let gossip = GossipModel::broadcast();
+    assert_exact_parity(
+        "gossip",
+        &gossip.population_model().unwrap(),
+        &gossip.dsl_source(),
+    );
+}
+
+#[test]
+fn gossip_parity_survives_parameter_changes() {
+    use mean_field_uncertain::models::gossip::GossipModel;
+    for gossip in [
+        GossipModel {
+            push_max: 7.5,
+            ..GossipModel::broadcast()
+        },
+        GossipModel {
+            stifle: 2.25,
+            cool: 0.4,
+            ..GossipModel::broadcast()
+        },
+    ] {
+        assert_exact_parity(
+            "gossip",
+            &gossip.population_model().unwrap(),
+            &gossip.dsl_source(),
+        );
+    }
+}
+
+#[test]
+fn gossip_registry_scenario_matches_the_hand_coded_model() {
+    // The registry's `gossip` scenario is the broadcast configuration
+    // written out as literals; it must agree with the native model on
+    // every transition rate, at every parameter vertex.
+    use mean_field_uncertain::models::gossip::GossipModel;
+    let registry = mean_field_uncertain::lang::ScenarioRegistry::with_builtins();
+    let scenario = registry
+        .compile("gossip")
+        .expect("gossip scenario compiles")
+        .population_model()
+        .expect("population backend");
+    let native = GossipModel::broadcast().population_model().unwrap();
+    let samples = sample_states(3, 64);
+    let divergence = max_rate_divergence(&native, &scenario, &samples).expect("compatible models");
+    assert_eq!(
+        divergence, 0.0,
+        "registry gossip diverges by {divergence:e}"
+    );
+}
+
+#[test]
 fn bike_native_drift_and_dsl_reduced_drift_are_identical() {
     // The registry's `bike` scenario is the 2-species conservative spelling
     // of `BikeStationModel`; its reduced drift must reproduce the native

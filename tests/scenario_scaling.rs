@@ -1,0 +1,167 @@
+//! Scenario scaling laws: Kurtz density dependence across the registry.
+//!
+//! The mean-field machinery only applies to *density-dependent* population
+//! processes (Kurtz's condition): the propensity of a transition at
+//! population size `N` must be `N · f(counts / N)` for a scale-free rate
+//! density `f`. Every registry scenario therefore has to satisfy two
+//! properties, and this suite pins both so a mis-scaled rate can't
+//! silently enter the registry:
+//!
+//! * **scale invariance** — evaluating `f` at `counts / N` and at
+//!   `(2·counts) / (2N)` must give the *bit-identical* result (doubling
+//!   both numerator and denominator is exact in binary floating point, so
+//!   any difference would mean the rate depends on absolute counts, not
+//!   densities), which makes the propensity exactly linear in `N`;
+//! * **health on the simplex** — `f` is finite and non-negative at every
+//!   vertex of the parameter box, and the resulting drift is bounded
+//!   (`PopulationModel::check_scaling_assumptions`), for random population
+//!   splits, not just the initial condition.
+
+use proptest::prelude::*;
+
+use mean_field_uncertain::lang::ScenarioRegistry;
+use mean_field_uncertain::num::StateVec;
+
+/// Splits `scale` agents over `dim` compartments, deterministically from a
+/// seed: a Weyl sequence draws `dim − 1` cut fractions, the remainder goes
+/// to the last compartment, so the counts always sum to `scale` exactly.
+fn random_split(dim: usize, scale: usize, seed: u64) -> Vec<i64> {
+    const ALPHA: f64 = 0.618_033_988_749_894_9; // 1/φ
+    let mut remaining = scale as i64;
+    let mut counts = Vec::with_capacity(dim);
+    for i in 0..dim - 1 {
+        let fraction = ((seed + 1) as f64 * ALPHA * (i + 2) as f64).fract();
+        let take = ((remaining as f64 * fraction) as i64).clamp(0, remaining);
+        counts.push(take);
+        remaining -= take;
+    }
+    counts.push(remaining);
+    counts
+}
+
+/// Densities `counts / scale` as a state vector.
+fn densities(counts: &[i64], scale: usize) -> StateVec {
+    counts
+        .iter()
+        .map(|&c| c as f64 / scale as f64)
+        .collect::<Vec<_>>()
+        .into()
+}
+
+/// Parameter boxes to probe: every vertex plus the midpoint.
+fn thetas(model: &mean_field_uncertain::lang::CompiledModel) -> Vec<Vec<f64>> {
+    let mut thetas = model.params().vertices();
+    thetas.push(model.params().midpoint());
+    thetas
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Doubling both the counts and the population size leaves every rate
+    /// density bit-identical, at every parameter vertex — the registry-wide
+    /// Kurtz scale-invariance sweep.
+    #[test]
+    fn rates_are_density_dependent_across_the_registry(seed in 0u64..10_000) {
+        let registry = ScenarioRegistry::with_builtins();
+        for scenario in registry.iter() {
+            let model = scenario.compile().unwrap();
+            let population = model.population_model().unwrap();
+            // cap the sweep scale: the *density* maths is what matters, and
+            // doubled counts must stay exact in f64 regardless of the
+            // declared default (sir_1e6 still sweeps at its full scale)
+            let scale = scenario.default_scale().unwrap_or(1000).min(1 << 40);
+            let counts = random_split(population.dim(), scale, seed);
+            let doubled: Vec<i64> = counts.iter().map(|&c| 2 * c).collect();
+            let x = densities(&counts, scale);
+            let y = densities(&doubled, 2 * scale);
+            for theta in thetas(&model) {
+                for t in population.transitions() {
+                    let r1 = t.rate(&x, &theta);
+                    let r2 = t.rate(&y, &theta);
+                    prop_assert!(
+                        r1.is_finite() && r1 >= 0.0,
+                        "`{}`: unhealthy rate `{}` = {r1} at N = {scale}",
+                        scenario.name(),
+                        t.name()
+                    );
+                    prop_assert_eq!(
+                        r1.to_bits(),
+                        r2.to_bits(),
+                        "`{}`: rate `{}` is not density-dependent ({} at N vs {} at 2N)",
+                        scenario.name(),
+                        t.name(),
+                        r1,
+                        r2
+                    );
+                    // the propensity N·f(x) is then exactly linear in N
+                    // (multiplication by 2 is exact in binary)
+                    let propensity = scale as f64 * r1;
+                    let propensity_doubled = (2 * scale) as f64 * r2;
+                    prop_assert_eq!(
+                        (2.0 * propensity).to_bits(),
+                        propensity_doubled.to_bits(),
+                        "`{}`: propensity of `{}` is not linear in N",
+                        scenario.name(),
+                        t.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The drift stays bounded over random population splits at every
+    /// parameter vertex — `check_scaling_assumptions` over the registry.
+    #[test]
+    fn drifts_stay_bounded_on_random_population_splits(seed in 0u64..10_000) {
+        let registry = ScenarioRegistry::with_builtins();
+        for scenario in registry.iter() {
+            let model = scenario.compile().unwrap();
+            let population = model.population_model().unwrap();
+            let scale = scenario.default_scale().unwrap_or(1000);
+            let samples: Vec<StateVec> = (0..4)
+                .map(|k| densities(&random_split(population.dim(), scale, seed + k), scale))
+                .chain(std::iter::once(model.initial_state()))
+                .collect();
+            // generous but finite: rates are O(1) densities times O(10)
+            // constants, and the jump vectors are unit-sized — a diverging
+            // drift here means a modelling bug, not tightness
+            let bound = 1e4;
+            if let Err(e) = population.check_scaling_assumptions(&samples, bound) {
+                prop_assert!(false, "`{}`: {e}", scenario.name());
+            }
+        }
+    }
+}
+
+/// The flagship worked example of the Kurtz condition: power-of-d-choices
+/// at three different scales produces the exact same rate densities, so a
+/// τ-leap ensemble at N = 10³ and one at N = 10⁶ integrate the same
+/// mean-field limit.
+#[test]
+fn pod_choices_densities_are_scale_free() {
+    let registry = ScenarioRegistry::with_builtins();
+    let model = registry.compile("pod_choices_d2").unwrap();
+    let population = model.population_model().unwrap();
+    let theta = model.params().midpoint();
+    let reference: Vec<f64> = {
+        let x = densities(&model.initial_counts(1000), 1000);
+        population
+            .transitions()
+            .iter()
+            .map(|t| t.rate(&x, &theta))
+            .collect()
+    };
+    for scale in [4_000usize, 1_000_000] {
+        let x = densities(&model.initial_counts(scale), scale);
+        for (t, &expected) in population.transitions().iter().zip(&reference) {
+            let rate = t.rate(&x, &theta);
+            assert_eq!(
+                rate.to_bits(),
+                expected.to_bits(),
+                "`{}` drifts across scales: {rate} vs {expected}",
+                t.name()
+            );
+        }
+    }
+}

@@ -132,16 +132,22 @@ fn dependency_graph_ssa_is_bit_identical_across_the_registry() {
         registry.names(),
         vec![
             "bike",
+            "bike_city_4",
             "botnet",
+            "csma",
+            "gossip",
             "gps",
             "gps_poisson",
             "grid_6x6",
             "load_balancer",
+            "pod_choices_d2",
+            "pod_choices_d3",
             "ring_48",
             "seir",
             "sir",
             "sir_1e6",
-            "sis"
+            "sis",
+            "ttl_cache"
         ]
     );
     for scenario in registry.iter() {
